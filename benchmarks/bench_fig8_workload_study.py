@@ -1,0 +1,59 @@
+"""Figures 8a/8b: customer workload characteristics.
+
+Every distinct query of both workloads is pushed through Hyper-Q's rewrite
+engine with the feature tracker attached; the tracker's aggregates are the
+reproduced figures. The benchmarked operation is full-workload translation —
+the work a migration assessment actually performs.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.bench.harness import run_workload_study
+from repro.bench.reporting import format_table, percent
+from repro.workloads import customer
+from repro.workloads.features import FeatureClass
+
+PAPER_8A = {
+    1: {FeatureClass.TRANSLATION: 5 / 9, FeatureClass.TRANSFORMATION: 7 / 9,
+        FeatureClass.EMULATION: 3 / 9},
+    2: {FeatureClass.TRANSLATION: 2 / 9, FeatureClass.TRANSFORMATION: 6 / 9,
+        FeatureClass.EMULATION: 3 / 9},
+}
+PAPER_8B = {
+    1: {FeatureClass.TRANSLATION: 0.014, FeatureClass.TRANSFORMATION: 0.336,
+        FeatureClass.EMULATION: 0.002},
+    2: {FeatureClass.TRANSLATION: 0.002, FeatureClass.TRANSFORMATION: 0.040,
+        FeatureClass.EMULATION: 0.791},
+}
+
+
+@pytest.mark.parametrize("number", [1, 2])
+def test_fig8_workload_characteristics(benchmark, number):
+    profile = customer.PROFILES[number]
+    result = benchmark.pedantic(run_workload_study, args=(profile,),
+                                rounds=1, iterations=1)
+
+    rows_a = []
+    rows_b = []
+    for cls in FeatureClass:
+        rows_a.append((cls.value,
+                       percent(result.presence[cls]),
+                       percent(PAPER_8A[number][cls])))
+        rows_b.append((cls.value,
+                       percent(result.affected[cls]),
+                       percent(PAPER_8B[number][cls])))
+    emit(format_table(
+        ["class", "measured", "paper"], rows_a,
+        title=f"Figure 8a — tracked features present, Workload {number} "
+              f"({profile.sector})"))
+    emit(format_table(
+        ["class", "measured", "paper"], rows_b,
+        title=f"Figure 8b — queries affected, Workload {number} "
+              f"({profile.sector})"))
+
+    assert result.translation_errors == 0
+    for cls in FeatureClass:
+        assert result.presence[cls] == pytest.approx(PAPER_8A[number][cls])
+        assert result.affected[cls] == pytest.approx(PAPER_8B[number][cls],
+                                                     abs=0.005)

@@ -1,0 +1,37 @@
+"""Table 1: overview of customers and workloads.
+
+Regenerates the two customer workloads and reports total/distinct query
+counts; the benchmarked operation is distinct-query generation (the cost of
+materializing a 10k-query workload).
+"""
+
+from conftest import emit
+
+from repro.bench.reporting import format_table
+from repro.workloads import customer
+
+
+def test_table1_workload_overview(benchmark):
+    def generate_both():
+        return {
+            profile.number: (customer.distinct_queries(profile),
+                             customer.frequencies(profile))
+            for profile in (customer.HEALTH, customer.TELCO)
+        }
+
+    generated = benchmark(generate_both)
+
+    rows = []
+    for number, (queries, freqs) in sorted(generated.items()):
+        profile = customer.PROFILES[number]
+        rows.append((number, profile.sector,
+                     f"{sum(freqs)} ({len(queries)})"))
+    emit(format_table(
+        ["Customer", "Sector", "Total (Distinct) Number of Queries"],
+        rows, title="Table 1 — overview of customers and workloads"))
+
+    # Exact reproduction of the paper's counts.
+    health_queries, health_freqs = generated[1]
+    telco_queries, telco_freqs = generated[2]
+    assert (sum(health_freqs), len(health_queries)) == (39_731, 3_778)
+    assert (sum(telco_freqs), len(telco_queries)) == (192_753, 10_446)

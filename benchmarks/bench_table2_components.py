@@ -1,0 +1,113 @@
+"""Table 2: implementation component for each tracked feature.
+
+For every tracked feature a probe query exercises the rewrite; the tracker
+records which pipeline stage actually performed it. The regenerated table
+pairs each feature with its observed component, and the assertions pin the
+observed stage to the component the registry declares — if a rewrite ever
+moves stages silently, this bench fails. The benchmarked operation is the
+full probe sweep (one translation per feature).
+"""
+
+from conftest import emit
+
+from repro.bench.reporting import format_table
+from repro.core.engine import HyperQ
+from repro.core.tracker import FeatureTracker
+from repro.workloads.features import FEATURES_BY_NAME
+
+_STAGE_OF_COMPONENT = {
+    "Parser": "parser",
+    "Binder": "binder",
+    "Transformer": "transformer",
+    "Serializer": "serializer",
+    "Emulator": "emulator",
+}
+
+SETUP = [
+    """CREATE MULTISET TABLE SALES (
+        PRODUCT_NAME VARCHAR(40), STORE INTEGER,
+        AMOUNT DECIMAL(12,2), SALES_DATE DATE)""",
+    "CREATE TABLE SALES_HISTORY (GROSS DECIMAL(12,2), NET DECIMAL(12,2))",
+    "CREATE SET TABLE UNIQ_T (A INTEGER)",
+    "CREATE TABLE CP_T (N VARCHAR(10) NOT CASESPECIFIC)",
+    "CREATE VIEW SALES_V AS SELECT PRODUCT_NAME, AMOUNT FROM SALES",
+    "CREATE MACRO PROBE_M AS (SELECT COUNT(*) FROM SALES;)",
+    """CREATE PROCEDURE PROBE_P (IN X INTEGER)
+       BEGIN DECLARE V INTEGER; SET V = X; END""",
+    "INSERT INTO SALES VALUES ('a', 1, 10.00, DATE '2014-02-02')",
+    "INSERT INTO SALES_HISTORY VALUES (5.00, 4.00)",
+]
+
+PROBES = {
+    "sel_shortcut": "SEL 1 FROM SALES",
+    "ins_shortcut": "INS SALES ('b', 2, 1.00, DATE '2014-01-01')",
+    "upd_shortcut": "UPD SALES SET STORE = STORE WHERE 1 = 0",
+    "del_shortcut": "DEL FROM SALES WHERE 1 = 0",
+    "ne_operator": "SELECT 1 FROM SALES WHERE STORE ^= 0",
+    "zeroifnull": "SELECT ZEROIFNULL(AMOUNT) FROM SALES",
+    "chars_function": "SELECT CHARS(PRODUCT_NAME) FROM SALES",
+    "index_function": "SELECT INDEX(PRODUCT_NAME, 'a') FROM SALES",
+    "mod_operator": "SELECT STORE MOD 2 FROM SALES",
+    "qualify": "SELECT STORE FROM SALES QUALIFY RANK(AMOUNT DESC) <= 1",
+    "implicit_join": ("SELECT S.STORE, SALES_HISTORY.GROSS FROM SALES S "
+                      "WHERE S.AMOUNT = SALES_HISTORY.GROSS"),
+    "named_expression": "SELECT AMOUNT AS X, X + 1 FROM SALES",
+    "ordinal_group_by": "SELECT STORE, COUNT(*) FROM SALES GROUP BY 1",
+    "grouping_extensions": ("SELECT STORE, COUNT(*) FROM SALES "
+                            "GROUP BY ROLLUP (STORE)"),
+    "date_arithmetic": "SELECT SALES_DATE + 7 FROM SALES",
+    "date_int_comparison": "SELECT 1 FROM SALES WHERE SALES_DATE > 1140101",
+    "vector_subquery": ("SELECT 1 FROM SALES WHERE (AMOUNT, AMOUNT) > "
+                        "ANY (SELECT GROSS, NET FROM SALES_HISTORY)"),
+    "null_ordering": "SELECT STORE FROM SALES ORDER BY STORE",
+    "macro": "EXEC PROBE_M",
+    "stored_procedure": "CALL PROBE_P(1)",
+    "recursive_query": ("WITH RECURSIVE R (N) AS ("
+                        "SELECT STORE FROM SALES UNION ALL "
+                        "SELECT N FROM R WHERE N < 0) SELECT N FROM R"),
+    "merge_statement": ("MERGE INTO SALES USING SALES_HISTORY H "
+                        "ON SALES.AMOUNT = H.GROSS "
+                        "WHEN MATCHED THEN UPDATE SET AMOUNT = H.NET"),
+    "dml_on_view": "UPD SALES_V SET AMOUNT = AMOUNT WHERE 1 = 0",
+    "help_command": "HELP SESSION",
+    "set_table": "INSERT INTO UNIQ_T VALUES (1)",
+    # Probes the primary (binder) compensation: case-insensitive comparison.
+    # The secondary paths (non-constant default fill, PERIOD split) run in
+    # the emulator; Table 2 itself lists this feature as multi-component.
+    "column_properties": "SELECT 1 FROM CP_T WHERE N = 'x'",
+    "volatile_table": "CREATE VOLATILE TABLE VP_T (X INTEGER)",
+}
+
+
+def _run_probe_sweep():
+    tracker = FeatureTracker()
+    engine = HyperQ(tracker=tracker)
+    session = engine.create_session()
+    for ddl in SETUP:
+        session.execute(ddl)
+    observed = {}
+    for feature_name, probe in PROBES.items():
+        session.execute(probe)
+        observed[feature_name] = tracker.observed_stages.get(feature_name)
+    return observed
+
+
+def test_table2_component_attribution(benchmark):
+    observed = benchmark.pedantic(_run_probe_sweep, rounds=1, iterations=1)
+
+    rows = []
+    mismatches = []
+    for feature_name, stage in sorted(observed.items()):
+        declared = FEATURES_BY_NAME[feature_name].component.value
+        expected = _STAGE_OF_COMPONENT[declared]
+        ok = stage == expected
+        rows.append((feature_name,
+                     FEATURES_BY_NAME[feature_name].feature_class.value,
+                     declared, stage or "(not fired)",
+                     "ok" if ok else "MISMATCH"))
+        if not ok:
+            mismatches.append(feature_name)
+    emit(format_table(
+        ["feature", "class", "declared component", "observed stage", ""],
+        rows, title="Table 2 — feature -> implementing component"))
+    assert not mismatches, mismatches

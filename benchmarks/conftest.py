@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the reproduced rows/series (captured with ``pytest benchmarks/
+--benchmark-only -s``). Scale factors are deliberately laptop-sized; the
+*shape* of each result — who wins, by what factor — is what reproduces, not
+the absolute numbers from the authors' 1TB/64-core testbed.
+"""
+
+import os
+
+import pytest
+
+#: TPC-H scale factor used by the overhead benchmarks (paper: 1TB ~ SF 1000).
+TPCH_SCALE = float(os.environ.get("REPRO_TPCH_SCALE", "0.002"))
+
+
+@pytest.fixture(scope="session")
+def tpch_scale():
+    return TPCH_SCALE
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table/figure block."""
+    print()
+    print(text)

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package (offline CI).
+
+`pip install -e .` requires bdist_wheel with this setuptools; `python
+setup.py develop` provides an equivalent editable install without it.
+"""
+from setuptools import setup
+
+setup()

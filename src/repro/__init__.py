@@ -1,0 +1,70 @@
+"""repro — a reproduction of Datometry Hyper-Q (SIGMOD 2018).
+
+Adaptive Data Virtualization: run unmodified Teradata-dialect applications
+against a different data warehouse by intercepting the wire protocol and
+translating queries and results on the fly.
+
+Quickstart::
+
+    import repro
+
+    hq = repro.virtualize()                # engine + in-memory cloud target
+    session = hq.create_session()
+    session.execute("CREATE TABLE T (A INTEGER, B VARCHAR(10))")
+    session.execute("INS T (1, 'x')")      # Teradata shortcut syntax
+    result = session.execute("SEL A FROM T QUALIFY RANK(A DESC) <= 1")
+    print(result.rows)
+
+Or over the wire, exactly like an unchanged application would::
+
+    from repro import HyperQ, ServerThread, TdClient
+
+    with ServerThread(HyperQ()) as (host, port):
+        with TdClient(host, port) as client:
+            client.execute("SEL * FROM T")
+"""
+
+from repro.backend.engine import Database
+from repro.core.engine import (
+    HQResult,
+    HyperQ,
+    HyperQSession,
+    TranslationResult,
+)
+from repro.core.tracker import FeatureTracker
+from repro.core.timing import RequestTiming, TimingLog
+from repro.protocol.client import TdClient
+from repro.protocol.server import HyperQServer, ServerThread
+from repro.transform.capabilities import PROFILES, CapabilityProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "HyperQ",
+    "HyperQSession",
+    "HQResult",
+    "TranslationResult",
+    "FeatureTracker",
+    "RequestTiming",
+    "TimingLog",
+    "TdClient",
+    "HyperQServer",
+    "ServerThread",
+    "CapabilityProfile",
+    "PROFILES",
+    "virtualize",
+]
+
+
+def virtualize(target: str = "hyperion",
+               tracker: FeatureTracker | None = None,
+               converter_parallelism: int = 1) -> HyperQ:
+    """Create a Hyper-Q engine virtualizing Teradata onto *target*.
+
+    ``target`` names a capability profile from
+    :data:`repro.transform.capabilities.PROFILES`; ``hyperion`` is the
+    bundled executing in-memory cloud data warehouse.
+    """
+    return HyperQ(target=target, tracker=tracker,
+                  converter_parallelism=converter_parallelism)

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``shell``  — interactive Teradata-dialect SQL shell against a fresh
+  in-memory target (a single-user bteq).
+* ``run``    — execute a ';'-separated SQL script file through the pipeline.
+* ``serve``  — start the wire-protocol server so real client processes
+  (``repro.TdClient``, `examples/replatform_tpch.py`) can connect.
+* ``tpch``   — load TPC-H at a given scale and run the 22 queries, printing
+  the Figure 9a overhead split.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import HyperQ, ServerThread
+from repro.errors import HyperQError
+
+
+def _print_result(result) -> None:
+    if result.kind == "rows":
+        print("\t".join(result.columns))
+        for row in result.rows:
+            print("\t".join("NULL" if value is None else str(value)
+                            for value in row))
+        print(f"({result.rowcount} rows)")
+    elif result.kind == "count":
+        print(f"({result.rowcount} rows affected)")
+    else:
+        print("ok")
+
+
+def cmd_shell(args: argparse.Namespace) -> int:
+    engine = HyperQ(target=args.target, source=args.source)
+    session = engine.create_session()
+    print(f"repro shell — source={args.source}, target={args.target}; "
+          "end statements with ';', exit with \\q")
+    buffer: list[str] = []
+    while True:
+        try:
+            prompt = "sql> " if not buffer else "...> "
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        if line.strip() in ("\\q", "exit", "quit"):
+            return 0
+        buffer.append(line)
+        if not line.rstrip().endswith(";"):
+            continue
+        text = "\n".join(buffer)
+        buffer = []
+        try:
+            for result in session.execute_script(text):
+                _print_result(result)
+        except HyperQError as error:
+            print(f"error: {error}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    engine = HyperQ(target=args.target, source=args.source,
+                    dml_batching=args.batch_dml)
+    session = engine.create_session()
+    with open(args.script, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        for result in session.execute_script(text):
+            _print_result(result)
+    except HyperQError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    engine = HyperQ(target=args.target, source=args.source)
+    thread = ServerThread(engine, host=args.host, port=args.port)
+    host, port = thread.start()
+    print(f"Hyper-Q listening on {host}:{port} "
+          f"(source={args.source}, target={args.target}) — Ctrl-C to stop")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        thread.stop()
+    return 0
+
+
+def cmd_tpch(args: argparse.Namespace) -> int:
+    from repro.bench.harness import prepare_tpch_engine, run_tpch_sequential
+    from repro.bench.reporting import percent
+
+    print(f"loading TPC-H at scale {args.scale} ...")
+    engine = prepare_tpch_engine(scale=args.scale)
+    log = run_tpch_sequential(engine)
+    split = log.breakdown()
+    print(f"22 queries in {log.total:.2f}s")
+    print(f"  query translation     {percent(split['translation'], 2)}")
+    print(f"  execution             {percent(split['execution'], 2)}")
+    print(f"  result transformation {percent(split['result_conversion'], 2)}")
+    print(f"  total overhead        {percent(log.overhead_fraction, 2)} "
+          "(paper: < 2%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Hyper-Q reproduction CLI")
+    parser.add_argument("--target", default="hyperion",
+                        help="target capability profile (default: hyperion)")
+    parser.add_argument("--source", default="teradata",
+                        choices=["teradata", "ansi"],
+                        help="source dialect the frontend speaks")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("shell", help="interactive SQL shell")
+
+    run_cmd = commands.add_parser("run", help="execute a SQL script file")
+    run_cmd.add_argument("script")
+    run_cmd.add_argument("--batch-dml", action="store_true",
+                         help="merge contiguous single-row inserts")
+
+    serve_cmd = commands.add_parser("serve", help="start the wire server")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=10250)
+
+    tpch_cmd = commands.add_parser("tpch", help="load + run TPC-H")
+    tpch_cmd.add_argument("--scale", type=float, default=0.001)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"shell": cmd_shell, "run": cmd_run, "serve": cmd_serve,
+                "tpch": cmd_tpch}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

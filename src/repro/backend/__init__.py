@@ -1,0 +1,12 @@
+"""The cloud data warehouse substrate.
+
+An executing in-memory SQL database with its own ANSI parser, planner and
+executor. It stands in for the commercial cloud targets of the paper: it
+deliberately lacks the Teradata-only surface (QUALIFY, vector subqueries,
+implicit joins, macros, ...) so that every Hyper-Q rewrite and emulation is
+exercised for real, end to end.
+"""
+
+from repro.backend.engine import Database, BackendSession, QueryResult
+
+__all__ = ["Database", "BackendSession", "QueryResult"]

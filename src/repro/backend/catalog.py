@@ -1,0 +1,93 @@
+"""Backend catalog: tables, views, and session-temporary namespaces."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CatalogError
+from repro.backend.storage import Table
+from repro.xtra.schema import TableSchema
+
+
+class Catalog:
+    """Name -> object mapping with an optional per-session temp overlay.
+
+    Temporary tables shadow permanent ones of the same name, mirroring how
+    the paper's emulation layer creates WorkTable/TempTable scratch objects
+    without disturbing user schemas.
+    """
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, TableSchema] = {}
+
+    # -- tables --------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, if_not_exists: bool = False) -> Table:
+        name = schema.name.upper()
+        if name in self._tables or name in self._views:
+            if if_not_exists:
+                return self._tables[name]
+            raise CatalogError(f"object {name} already exists")
+        table = Table(schema)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> bool:
+        key = name.upper()
+        if key not in self._tables:
+            if if_exists:
+                return False
+            raise CatalogError(f"table {name} does not exist")
+        del self._tables[key]
+        return True
+
+    def table(self, name: str) -> Table:
+        key = name.upper()
+        table = self._tables.get(key)
+        if table is None:
+            raise CatalogError(f"table {name} does not exist")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name.upper() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- views ----------------------------------------------------------------
+
+    def create_view(self, schema: TableSchema, replace: bool = False) -> None:
+        name = schema.name.upper()
+        if name in self._tables:
+            raise CatalogError(f"object {name} already exists as a table")
+        if name in self._views and not replace:
+            raise CatalogError(f"view {name} already exists")
+        self._views[name] = schema
+
+    def drop_view(self, name: str, if_exists: bool = False) -> bool:
+        key = name.upper()
+        if key not in self._views:
+            if if_exists:
+                return False
+            raise CatalogError(f"view {name} does not exist")
+        del self._views[key]
+        return True
+
+    def view(self, name: str) -> Optional[TableSchema]:
+        return self._views.get(name.upper())
+
+    def has_view(self, name: str) -> bool:
+        return name.upper() in self._views
+
+    def view_names(self) -> list[str]:
+        return sorted(self._views)
+
+    def resolve(self, name: str) -> TableSchema:
+        """Resolve a name to table or view schema (tables win)."""
+        key = name.upper()
+        if key in self._tables:
+            return self._tables[key].schema
+        if key in self._views:
+            return self._views[key]
+        raise CatalogError(f"object {name} does not exist")

@@ -1,0 +1,373 @@
+"""The backend database facade.
+
+:class:`Database` is the "cloud data warehouse" of the reproduction: it
+accepts SQL text in its own ANSI dialect, parses, plans, and executes it.
+:class:`BackendSession` adds a per-session temporary-table namespace, which
+the Hyper-Q emulation layer uses for WorkTable/TempTable scratch objects
+(Section 6) and volatile-table emulation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import BackendError, CatalogError
+from repro.transform.capabilities import CapabilityProfile, HYPERION
+from repro.backend.catalog import Catalog
+from repro.backend.executor import Executor
+from repro.backend.expressions import Env, EvalContext
+from repro.backend.parser import BackendParser
+from repro.backend import planner as p
+from repro.backend.storage import Table, default_value_for
+from repro.xtra import types as t
+from repro.xtra.relational import OutputColumn
+from repro.xtra.schema import ColumnSchema, TableSchema
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one backend statement.
+
+    ``kind`` is "rows" for result sets, "count" for DML, "ok" for DDL and
+    transaction control.
+    """
+
+    kind: str
+    columns: list[str] = field(default_factory=list)
+    column_types: list[t.SQLType] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0
+
+    @property
+    def is_rows(self) -> bool:
+        return self.kind == "rows"
+
+
+class _SessionCatalog:
+    """Catalog view layering session-temporary objects over the shared ones."""
+
+    def __init__(self, shared: Catalog):
+        self._shared = shared
+        self._temp = Catalog()
+
+    # Reads: temp shadows shared. -------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        if self._temp.has_table(name):
+            return self._temp.table(name)
+        return self._shared.table(name)
+
+    def has_table(self, name: str) -> bool:
+        return self._temp.has_table(name) or self._shared.has_table(name)
+
+    def has_view(self, name: str) -> bool:
+        return self._shared.has_view(name)
+
+    def view(self, name: str):
+        return self._shared.view(name)
+
+    def resolve(self, name: str) -> TableSchema:
+        if self._temp.has_table(name):
+            return self._temp.table(name).schema
+        return self._shared.resolve(name)
+
+    def table_names(self) -> list[str]:
+        return sorted(set(self._shared.table_names()) | set(self._temp.table_names()))
+
+    def view_names(self) -> list[str]:
+        return self._shared.view_names()
+
+    # Writes ------------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, if_not_exists: bool = False,
+                     temporary: bool = False) -> Table:
+        if temporary:
+            return self._temp.create_table(schema, if_not_exists)
+        return self._shared.create_table(schema, if_not_exists)
+
+    def drop_table(self, name: str, if_exists: bool = False) -> bool:
+        if self._temp.has_table(name):
+            return self._temp.drop_table(name)
+        return self._shared.drop_table(name, if_exists)
+
+    def create_view(self, schema: TableSchema, replace: bool = False) -> None:
+        self._shared.create_view(schema, replace)
+
+    def drop_view(self, name: str, if_exists: bool = False) -> bool:
+        return self._shared.drop_view(name, if_exists)
+
+    def drop_all_temp(self) -> None:
+        for name in list(self._temp.table_names()):
+            self._temp.drop_table(name)
+
+
+class BackendSession:
+    """One client session: executes SQL, owns temporary tables."""
+
+    def __init__(self, database: "Database"):
+        self._database = database
+        self._catalog = _SessionCatalog(database.catalog)
+        self._parser = BackendParser(database.profile)
+        self._planner = p.Planner(self._catalog, database.profile)
+
+    @property
+    def profile(self) -> CapabilityProfile:
+        return self._database.profile
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and execute a single SQL statement."""
+        statement = self._parser.parse_statement(sql)
+        with self._database.lock:
+            return self._execute_spec(statement)
+
+    def execute_script(self, sql: str) -> list[QueryResult]:
+        """Parse and execute a ';'-separated statement sequence."""
+        statements = self._parser.parse_script(sql)
+        with self._database.lock:
+            return [self._execute_spec(statement) for statement in statements]
+
+    def close(self) -> None:
+        self._catalog.drop_all_temp()
+
+    # -- statement dispatch -----------------------------------------------------------
+
+    def _execute_spec(self, statement: p.StatementSpec) -> QueryResult:
+        if isinstance(statement, p.QueryStatementSpec):
+            return self._run_query(statement.query)
+        if isinstance(statement, p.InsertSpec):
+            return self._run_insert(statement)
+        if isinstance(statement, p.UpdateSpec):
+            return self._run_update(statement)
+        if isinstance(statement, p.DeleteSpec):
+            return self._run_delete(statement)
+        if isinstance(statement, p.CreateTableSpec):
+            return self._run_create_table(statement)
+        if isinstance(statement, p.DropTableSpec):
+            self._catalog.drop_table(statement.name, statement.if_exists)
+            return QueryResult("ok")
+        if isinstance(statement, p.CreateViewSpec):
+            return self._run_create_view(statement)
+        if isinstance(statement, p.DropViewSpec):
+            self._catalog.drop_view(statement.name, statement.if_exists)
+            return QueryResult("ok")
+        if isinstance(statement, p.TruncateSpec):
+            removed = self._catalog.table(statement.name).truncate()
+            return QueryResult("count", rowcount=removed)
+        if isinstance(statement, p.TransactionSpec):
+            return QueryResult("ok")
+        if isinstance(statement, p.MergeSpec):
+            return self._run_merge(statement)
+        raise BackendError(f"unsupported statement {type(statement).__name__}")
+
+    # -- queries --------------------------------------------------------------------------
+
+    def _run_query(self, spec: p.QuerySpec) -> QueryResult:
+        plan = self._planner.plan_query(spec)
+        executor = Executor(self._catalog, self.profile)
+        columns, rows = executor.run(plan)
+        return QueryResult(
+            "rows",
+            columns=[col.name for col in columns],
+            column_types=[col.type for col in columns],
+            rows=rows,
+            rowcount=len(rows),
+        )
+
+    def _plan_and_run(self, spec: p.QuerySpec):
+        plan = self._planner.plan_query(spec)
+        executor = Executor(self._catalog, self.profile)
+        return executor.run(plan)
+
+    # -- DML ------------------------------------------------------------------------------
+
+    def _run_insert(self, spec: p.InsertSpec) -> QueryResult:
+        table = self._catalog.table(spec.table)
+        schema = table.schema
+        target_columns = spec.columns or schema.column_names()
+        positions = [table.column_index(name) for name in target_columns]
+        if spec.query is not None:
+            __, rows = self._plan_and_run(spec.query)
+        else:
+            executor = Executor(self._catalog, self.profile)
+            ctx = EvalContext((), Env([]), None)
+            rows = []
+            for row_exprs in spec.rows or []:
+                scope = p._Scope()
+                planned = [self._planner._plan_scalar_subqueries(expr, scope)
+                           for expr in row_exprs]
+                rows.append(tuple(executor.evaluator.eval(expr, ctx)
+                                  for expr in planned))
+        inserted = 0
+        for row in rows:
+            if len(row) != len(positions):
+                raise BackendError(
+                    f"INSERT supplies {len(row)} values for {len(positions)} columns")
+            full_row: list[object] = [None] * len(schema.columns)
+            provided = set(positions)
+            for position, value in zip(positions, row):
+                full_row[position] = value
+            for index, column in enumerate(schema.columns):
+                if index not in provided and column.default_sql is not None:
+                    full_row[index] = default_value_for(column)
+            table.insert_row(full_row)
+            inserted += 1
+        return QueryResult("count", rowcount=inserted)
+
+    def _table_env(self, schema: TableSchema, alias: Optional[str]) -> Env:
+        qualifier = (alias or schema.name).upper()
+        return Env([OutputColumn(col.name, col.type, qualifier)
+                    for col in schema.columns])
+
+    def _run_update(self, spec: p.UpdateSpec) -> QueryResult:
+        table = self._catalog.table(spec.table)
+        env = self._table_env(table.schema, spec.alias)
+        executor = Executor(self._catalog, self.profile)
+        scope = p._Scope()
+        predicate = (self._planner._plan_scalar_subqueries(spec.predicate, scope)
+                     if spec.predicate is not None else None)
+        assignments = [
+            (name, self._planner._plan_scalar_subqueries(expr, scope))
+            for name, expr in spec.assignments
+        ]
+        positions = [table.column_index(name) for name, __ in assignments]
+        updated = 0
+        new_rows: list[tuple] = []
+        for row in table.rows:
+            ctx = EvalContext(row, env, None)
+            hit = predicate is None or executor.evaluator.eval_bool(predicate, ctx)
+            if not hit:
+                new_rows.append(row)
+                continue
+            values = list(row)
+            for position, (__, expr) in zip(positions, assignments):
+                values[position] = executor.evaluator.eval(expr, ctx)
+            new_rows.append(tuple(values))
+            updated += 1
+        # Re-validate through a scratch table to enforce types/NOT NULL.
+        table.rows = []
+        table.insert_rows(new_rows)
+        return QueryResult("count", rowcount=updated)
+
+    def _run_delete(self, spec: p.DeleteSpec) -> QueryResult:
+        table = self._catalog.table(spec.table)
+        env = self._table_env(table.schema, spec.alias)
+        executor = Executor(self._catalog, self.profile)
+        scope = p._Scope()
+        predicate = (self._planner._plan_scalar_subqueries(spec.predicate, scope)
+                     if spec.predicate is not None else None)
+        kept: list[tuple] = []
+        deleted = 0
+        for row in table.rows:
+            ctx = EvalContext(row, env, None)
+            if predicate is None or executor.evaluator.eval_bool(predicate, ctx):
+                deleted += 1
+            else:
+                kept.append(row)
+        table.rows = kept
+        return QueryResult("count", rowcount=deleted)
+
+    # -- DDL --------------------------------------------------------------------------------
+
+    def _run_create_table(self, spec: p.CreateTableSpec) -> QueryResult:
+        if spec.as_query is not None:
+            columns_meta, rows = self._plan_and_run(spec.as_query)
+            columns = [ColumnSchema(col.name, _storable_type(col.type))
+                       for col in columns_meta]
+            schema = TableSchema(spec.name.upper(), columns, volatile=spec.temporary)
+            table = self._catalog.create_table(schema, spec.if_not_exists,
+                                               spec.temporary)
+            table.insert_rows(rows)
+            return QueryResult("count", rowcount=len(rows))
+        schema = TableSchema(spec.name.upper(), list(spec.columns or []),
+                             volatile=spec.temporary)
+        self._catalog.create_table(schema, spec.if_not_exists, spec.temporary)
+        return QueryResult("ok")
+
+    def _run_create_view(self, spec: p.CreateViewSpec) -> QueryResult:
+        plan = self._planner.plan_query(spec.query)
+        inner = plan.output_columns()
+        names = spec.column_names or [col.name for col in inner]
+        if len(names) != len(inner):
+            raise BackendError(
+                f"view {spec.name}: {len(names)} names for {len(inner)} columns")
+        columns = [ColumnSchema(name.upper(), col.type)
+                   for name, col in zip(names, inner)]
+        schema = TableSchema(spec.name.upper(), columns, is_view=True,
+                             view_sql=spec.source_sql)
+        self._catalog.create_view(schema, spec.replace)
+        return QueryResult("ok")
+
+    # -- MERGE -------------------------------------------------------------------------------
+
+    def _run_merge(self, spec: p.MergeSpec) -> QueryResult:
+        if not self.profile.merge_statement:
+            raise BackendError("MERGE is not supported by this system")
+        table = self._catalog.table(spec.target)
+        target_env_cols = self._table_env(table.schema, spec.target_alias).columns
+        source_plan = self._planner._plan_table_ref(spec.source, p._Scope())
+        executor = Executor(self._catalog, self.profile)
+        source_cols, source_rows = executor.run(source_plan)
+        combined_env = Env(list(target_env_cols) + list(source_cols))
+        scope = p._Scope()
+        condition = self._planner._plan_scalar_subqueries(spec.condition, scope)
+        affected = 0
+        new_rows: list[tuple] = []
+        matched_sources: set[int] = set()
+        for target_row in table.rows:
+            match_row = None
+            for index, source_row in enumerate(source_rows):
+                ctx = EvalContext(target_row + source_row, combined_env, None)
+                if executor.evaluator.eval_bool(condition, ctx):
+                    match_row = source_row
+                    matched_sources.add(index)
+                    break
+            if match_row is not None and spec.matched_assignments:
+                ctx = EvalContext(target_row + match_row, combined_env, None)
+                values = list(target_row)
+                for name, expr in spec.matched_assignments:
+                    values[table.column_index(name)] = executor.evaluator.eval(expr, ctx)
+                new_rows.append(tuple(values))
+                affected += 1
+            else:
+                new_rows.append(target_row)
+        table.rows = []
+        table.insert_rows(new_rows)
+        if spec.insert_columns and spec.insert_values is not None:
+            positions = [table.column_index(name) for name in spec.insert_columns]
+            null_target = (None,) * len(table.schema.columns)
+            for index, source_row in enumerate(source_rows):
+                if index in matched_sources:
+                    continue
+                ctx = EvalContext(null_target + source_row, combined_env, None)
+                full_row: list[object] = [None] * len(table.schema.columns)
+                for position, expr in zip(positions, spec.insert_values):
+                    full_row[position] = executor.evaluator.eval(expr, ctx)
+                table.insert_row(full_row)
+                affected += 1
+        return QueryResult("count", rowcount=affected)
+
+
+class Database:
+    """A shared backend instance; create one session per client connection."""
+
+    def __init__(self, profile: CapabilityProfile = HYPERION):
+        self.profile = profile
+        self.catalog = Catalog()
+        self.lock = threading.RLock()
+
+    def create_session(self) -> BackendSession:
+        return BackendSession(self)
+
+    def execute(self, sql: str) -> QueryResult:
+        """One-shot convenience: execute in a throwaway session."""
+        return self.create_session().execute(sql)
+
+    def execute_script(self, sql: str) -> list[QueryResult]:
+        return self.create_session().execute_script(sql)
+
+
+def _storable_type(declared: t.SQLType) -> t.SQLType:
+    """CTAS columns with unknown types degrade to untyped storage."""
+    return declared

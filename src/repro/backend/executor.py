@@ -1,0 +1,726 @@
+"""Plan execution for the backend database.
+
+Executes XTRA relational plans directly: scans, filters, projections, hash and
+nested-loop joins, hash aggregation (with grouping-set expansion when the
+capability profile enables it), window functions, sorting with explicit NULL
+placement, set operations, LIMIT/TOP, and (when enabled) recursive CTE
+iteration. Rows are plain tuples; results are fully materialized lists, which
+is appropriate for a single-node analytical engine at reproduction scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import BackendError
+from repro.transform.capabilities import CapabilityProfile, NullOrdering
+from repro.backend.catalog import Catalog
+from repro.backend.expressions import Env, EvalContext, Evaluator, UnresolvedColumnError
+from repro.backend import functions as fl
+from repro.xtra.relational import (
+    Aggregate, CTERef, DerivedTable, Distinct, Filter, Get, GroupingKind,
+    Join, JoinKind, Limit, OutputColumn, Project, RelNode, SetOp, SetOpKind,
+    Sort, Values, Window, With,
+)
+from repro.xtra.scalars import (
+    BoolOp, BoolOpKind, ColumnRef, Comp, CompOp, ScalarExpr, SortKey,
+    WindowFunc, conjoin,
+)
+
+_MAX_RECURSION_ROUNDS = 10_000
+
+_CORRELATED = object()  # sentinel: plan observed to need outer context
+
+
+def walk_rel_nodes(node: RelNode):
+    yield node
+    for child in node.children():
+        yield from walk_rel_nodes(child)
+
+
+class Executor:
+    """Executes relational plans against a catalog."""
+
+    def __init__(self, catalog: Catalog, profile: CapabilityProfile):
+        self._catalog = catalog
+        self._profile = profile
+        self._evaluator = Evaluator(profile, self._run_subquery)
+        self._evaluator.subquery_overrides = {}
+        self._cte_frames: list[dict[str, tuple[list[OutputColumn], list[tuple]]]] = []
+        # id(plan) -> cached uncorrelated result, or _CORRELATED sentinel.
+        self._subquery_cache: dict[int, object] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def evaluator(self) -> Evaluator:
+        """The executor's scalar evaluator (used by the DML layer)."""
+        return self._evaluator
+
+    def run(self, plan: RelNode,
+            outer: Optional[EvalContext] = None) -> tuple[list[OutputColumn], list[tuple]]:
+        """Execute *plan*, returning (output columns, row list).
+
+        Plans are optimized (predicate pushdown) in place on first execution.
+        """
+        if not getattr(plan, "_optimized", False):
+            from repro.backend.optimizer import optimize
+
+            plan = optimize(plan)
+            plan._optimized = True  # type: ignore[attr-defined]
+        return self._execute(plan, outer)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _run_subquery(self, plan: RelNode, outer: Optional[EvalContext]):
+        # Uncorrelated subqueries execute once and are cached by plan
+        # identity (never when CTE references are involved: recursion
+        # rebinds them between rounds).
+        cached = self._subquery_cache.get(id(plan))
+        if cached is _CORRELATED:
+            return self._execute(plan, outer)
+        if cached is not None:
+            return cached
+        if any(isinstance(node, CTERef) for node in walk_rel_nodes(plan)):
+            return self._execute(plan, outer)
+        try:
+            result = self._execute(plan, None)
+        except UnresolvedColumnError:
+            self._subquery_cache[id(plan)] = _CORRELATED
+            return self._execute(plan, outer)
+        self._subquery_cache[id(plan)] = result
+        return result
+
+    def _execute(self, plan: RelNode, outer: Optional[EvalContext]):
+        handler = self._HANDLERS.get(type(plan))
+        if handler is None:
+            raise BackendError(f"cannot execute {type(plan).__name__}")
+        return handler(self, plan, outer)
+
+    # -- leaf operators ------------------------------------------------------------
+
+    def _get(self, node: Get, outer):
+        table = self._catalog.table(node.table.name)
+        return node.output_columns(), list(table.rows)
+
+    def _values(self, node: Values, outer):
+        env = Env([])
+        ctx = EvalContext((), env, outer)
+        rows = [tuple(self._evaluator.eval(cell, ctx) for cell in row)
+                for row in node.rows]
+        return node.output_columns(), rows
+
+    def _cte_ref(self, node: CTERef, outer):
+        for frame in reversed(self._cte_frames):
+            if node.name.upper() in frame:
+                __, rows = frame[node.name.upper()]
+                return node.output_columns(), list(rows)
+        raise BackendError(f"unknown CTE reference {node.name}")
+
+    # -- unary operators ---------------------------------------------------------
+
+    def _filter(self, node: Filter, outer):
+        from repro.backend import decorrelate
+
+        columns, rows = self._execute(node.child, outer)
+        env = Env(columns)
+        # Decorrelate eligible subqueries into hash probes before the row
+        # loop; ineligible ones fall back to per-row evaluation.
+        installed: list[int] = []
+        try:
+            if len(rows) > 8:
+                for subq in decorrelate.collect_subqueries(node.predicate):
+                    if id(subq) in self._evaluator.subquery_overrides:
+                        continue
+                    index = decorrelate.build_index(self, subq)
+                    if index is not None:
+                        self._evaluator.subquery_overrides[id(subq)] = index.probe
+                        installed.append(id(subq))
+            kept = [row for row in rows
+                    if self._evaluator.eval_bool(node.predicate,
+                                                 EvalContext(row, env, outer))]
+        finally:
+            for key in installed:
+                self._evaluator.subquery_overrides.pop(key, None)
+        return node.output_columns(), kept
+
+    def _project(self, node: Project, outer):
+        columns, rows = self._execute(node.child, outer)
+        env = Env(columns)
+        out_rows = []
+        for row in rows:
+            ctx = EvalContext(row, env, outer)
+            out_rows.append(tuple(self._evaluator.eval(expr, ctx) for expr in node.exprs))
+        return node.output_columns(), out_rows
+
+    def _derived(self, node: DerivedTable, outer):
+        __, rows = self._execute(node.child, outer)
+        return node.output_columns(), rows
+
+    def _distinct(self, node: Distinct, outer):
+        columns, rows = self._execute(node.child, outer)
+        seen: set = set()
+        out_rows = []
+        for row in rows:
+            key = _hashable_row(row)
+            if key not in seen:
+                seen.add(key)
+                out_rows.append(row)
+        return columns, out_rows
+
+    def _sort(self, node: Sort, outer):
+        columns, rows = self._execute(node.child, outer)
+        env = Env(columns)
+        sorted_rows = self._sort_rows(rows, node.keys, env, outer)
+        return columns, sorted_rows
+
+    def _sort_rows(self, rows: list[tuple], keys: list[SortKey], env: Env, outer):
+        """Stable multi-key sort honoring per-key NULL placement."""
+        default_first = self._profile.default_null_ordering is NullOrdering.NULLS_FIRST
+        decorated = list(rows)
+        for key in reversed(keys):
+            values = [self._evaluator.eval(key.expr, EvalContext(row, env, outer))
+                      for row in decorated]
+            nulls_first = key.nulls_first if key.nulls_first is not None else default_first
+            reverse = not key.ascending
+            if reverse:
+                null_rank = 1 if nulls_first else 0
+            else:
+                null_rank = 0 if nulls_first else 1
+            paired = sorted(
+                zip(values, decorated),
+                key=lambda pair: (null_rank, 0) if pair[0] is None
+                else (1 - null_rank, _SortValue(pair[0])),
+                reverse=reverse,
+            )
+            decorated = [row for __, row in paired]
+        return decorated
+
+    def _limit(self, node: Limit, outer):
+        columns, rows = self._execute(node.child, outer)
+        start = node.offset
+        if node.count is None:
+            return columns, rows[start:]
+        end = start + node.count
+        if node.with_ties:
+            if not self._profile.top_with_ties:
+                raise BackendError("TOP ... WITH TIES is not supported by this system")
+            if not isinstance(node.child, Sort) or end >= len(rows):
+                return columns, rows[start:end]
+            env = Env(columns)
+            keys = node.child.keys
+            boundary = rows[end - 1]
+            while end < len(rows) and self._same_sort_key(rows[end], boundary, keys, env, outer):
+                end += 1
+        return columns, rows[start:end]
+
+    def _same_sort_key(self, row_a, row_b, keys, env, outer) -> bool:
+        for key in keys:
+            value_a = self._evaluator.eval(key.expr, EvalContext(row_a, env, outer))
+            value_b = self._evaluator.eval(key.expr, EvalContext(row_b, env, outer))
+            if value_a is None and value_b is None:
+                continue
+            if self._evaluator.compare(CompOp.EQ, value_a, value_b) is not True:
+                return False
+        return True
+
+    # -- joins ------------------------------------------------------------------
+
+    def _join(self, node: Join, outer):
+        left_cols, left_rows = self._execute(node.left, outer)
+        right_cols, right_rows = self._execute(node.right, outer)
+        out_cols = node.output_columns()
+        env = Env(out_cols)
+        left_width = len(left_cols)
+        right_width = len(right_cols)
+
+        if node.kind is JoinKind.CROSS or node.condition is None:
+            rows = [l + r for l in left_rows for r in right_rows]
+            return out_cols, rows
+
+        equi, residual = self._split_equi(node.condition, Env(left_cols), Env(right_cols))
+        if node.kind is JoinKind.RIGHT:
+            # Execute as LEFT with sides swapped, then restore column order.
+            swapped = Join(JoinKind.LEFT, node.right, node.left, node.condition)
+            cols, rows = self._join(swapped, outer)
+            reordered = [row[right_width:] + row[:right_width] for row in rows]
+            return out_cols, reordered
+
+        if equi:
+            return out_cols, self._hash_join(
+                node.kind, left_rows, right_rows, left_cols, right_cols,
+                equi, residual, env, outer, left_width, right_width)
+        return out_cols, self._loop_join(
+            node.kind, left_rows, right_rows, node.condition, env, outer,
+            left_width, right_width)
+
+    def _split_equi(self, condition: ScalarExpr, left_env: Env, right_env: Env):
+        """Split a join predicate into equi pairs and a residual predicate."""
+        conjuncts = _flatten_and(condition)
+        equi: list[tuple[ScalarExpr, ScalarExpr]] = []
+        residual: list[ScalarExpr] = []
+        for conjunct in conjuncts:
+            pair = self._equi_pair(conjunct, left_env, right_env)
+            if pair is not None:
+                equi.append(pair)
+            else:
+                residual.append(conjunct)
+        return equi, conjoin(residual)
+
+    def _equi_pair(self, conjunct: ScalarExpr, left_env: Env, right_env: Env):
+        if not isinstance(conjunct, Comp) or conjunct.op is not CompOp.EQ:
+            return None
+        left_side = _side_of(conjunct.left, left_env, right_env)
+        right_side = _side_of(conjunct.right, left_env, right_env)
+        if left_side == "L" and right_side == "R":
+            return conjunct.left, conjunct.right
+        if left_side == "R" and right_side == "L":
+            return conjunct.right, conjunct.left
+        return None
+
+    def _hash_join(self, kind, left_rows, right_rows, left_cols, right_cols,
+                   equi, residual, env, outer, left_width, right_width):
+        left_env = Env(left_cols)
+        right_env = Env(right_cols)
+        table: dict = {}
+        for index, row in enumerate(right_rows):
+            ctx = EvalContext(row, right_env, outer)
+            key = tuple(self._evaluator.eval(expr, ctx) for __, expr in equi)
+            if any(value is None for value in key):
+                continue  # NULL keys never join
+            table.setdefault(_hashable_row(key), []).append((index, row))
+        out_rows = []
+        matched_right: set[int] = set()
+        null_right = (None,) * right_width
+        for row in left_rows:
+            ctx = EvalContext(row, left_env, outer)
+            key = tuple(self._evaluator.eval(expr, ctx) for expr, __ in equi)
+            matched = False
+            if not any(value is None for value in key):
+                for right_index, right_row in table.get(_hashable_row(key), ()):
+                    combined = row + right_row
+                    if residual is None or self._evaluator.eval_bool(
+                            residual, EvalContext(combined, env, outer)):
+                        out_rows.append(combined)
+                        matched = True
+                        matched_right.add(right_index)
+            if not matched and kind in (JoinKind.LEFT, JoinKind.FULL):
+                out_rows.append(row + null_right)
+        if kind is JoinKind.FULL:
+            null_left = (None,) * left_width
+            for index, right_row in enumerate(right_rows):
+                if index not in matched_right:
+                    out_rows.append(null_left + right_row)
+        return out_rows
+
+    def _loop_join(self, kind, left_rows, right_rows, condition, env, outer,
+                   left_width, right_width):
+        out_rows = []
+        matched_right: set[int] = set()
+        null_right = (None,) * right_width
+        for row in left_rows:
+            matched = False
+            for index, right_row in enumerate(right_rows):
+                combined = row + right_row
+                if self._evaluator.eval_bool(condition, EvalContext(combined, env, outer)):
+                    out_rows.append(combined)
+                    matched = True
+                    matched_right.add(index)
+            if not matched and kind in (JoinKind.LEFT, JoinKind.FULL):
+                out_rows.append(row + null_right)
+        if kind is JoinKind.FULL:
+            null_left = (None,) * left_width
+            for index, right_row in enumerate(right_rows):
+                if index not in matched_right:
+                    out_rows.append(null_left + right_row)
+        return out_rows
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def _aggregate(self, node: Aggregate, outer):
+        columns, rows = self._execute(node.child, outer)
+        env = Env(columns)
+        key_count = len(node.group_by)
+        sets = self._grouping_sets(node)
+        out_rows: list[tuple] = []
+        for included in sets:
+            out_rows.extend(self._aggregate_one_set(node, rows, env, outer, included))
+        return node.output_columns(), out_rows
+
+    def _grouping_sets(self, node: Aggregate) -> list[frozenset[int]]:
+        all_keys = frozenset(range(len(node.group_by)))
+        if node.kind is GroupingKind.SIMPLE:
+            return [all_keys]
+        if not self._profile.grouping_extensions:
+            raise BackendError(
+                "GROUP BY ROLLUP/CUBE/GROUPING SETS is not supported by this system")
+        if node.kind is GroupingKind.ROLLUP:
+            return [frozenset(range(k)) for k in range(len(node.group_by), -1, -1)]
+        if node.kind is GroupingKind.CUBE:
+            sets = []
+            n = len(node.group_by)
+            for mask in range(2 ** n - 1, -1, -1):
+                sets.append(frozenset(i for i in range(n) if mask & (1 << i)))
+            return sets
+        return [frozenset(indexes) for indexes in (node.grouping_sets or [list(all_keys)])]
+
+    def _aggregate_one_set(self, node: Aggregate, rows, env, outer,
+                           included: frozenset[int]) -> list[tuple]:
+        groups: dict = {}
+        order: list = []
+        for row in rows:
+            ctx = EvalContext(row, env, outer)
+            key_values = tuple(
+                self._evaluator.eval(expr, ctx) if index in included else None
+                for index, expr in enumerate(node.group_by))
+            key = _hashable_row(key_values)
+            state = groups.get(key)
+            if state is None:
+                accs = [fl.make_accumulator(agg.name, agg.distinct, agg.star)
+                        for agg in node.aggs]
+                state = (key_values, accs)
+                groups[key] = state
+                order.append(key)
+            for agg, acc in zip(node.aggs, state[1]):
+                if agg.star:
+                    acc.add(1)
+                else:
+                    acc.add(self._evaluator.eval(agg.args[0], ctx))
+        if not groups and not node.group_by:
+            # Global aggregate over empty input yields one row of defaults.
+            accs = [fl.make_accumulator(agg.name, agg.distinct, agg.star)
+                    for agg in node.aggs]
+            return [tuple(acc.result() for acc in accs)]
+        out = []
+        for key in order:
+            key_values, accs = groups[key]
+            out.append(tuple(key_values) + tuple(acc.result() for acc in accs))
+        return out
+
+    # -- windows ---------------------------------------------------------------------
+
+    def _window(self, node: Window, outer):
+        columns, rows = self._execute(node.child, outer)
+        env = Env(columns)
+        extra_columns: list[list[object]] = []
+        for func in node.funcs:
+            extra_columns.append(self._compute_window(func, rows, env, outer))
+        out_rows = [
+            row + tuple(extra[index] for extra in extra_columns)
+            for index, row in enumerate(rows)
+        ]
+        return node.output_columns(), out_rows
+
+    def _compute_window(self, func: WindowFunc, rows, env, outer) -> list[object]:
+        results: list[object] = [None] * len(rows)
+        # Partition rows, carrying their original indices.
+        partitions: dict = {}
+        for index, row in enumerate(rows):
+            ctx = EvalContext(row, env, outer)
+            key = _hashable_row(tuple(
+                self._evaluator.eval(expr, ctx) for expr in func.partition_by))
+            partitions.setdefault(key, []).append(index)
+        for indices in partitions.values():
+            ordered = indices
+            if func.order_by:
+                ordered = self._sort_indices(indices, rows, func.order_by, env, outer)
+            self._fill_window_values(func, ordered, rows, env, outer, results)
+        return results
+
+    def _sort_indices(self, indices: list[int], rows, keys: list[SortKey],
+                      env, outer) -> list[int]:
+        """Stable multi-key sort of row *indices* (window partitions)."""
+        from repro.transform.capabilities import NullOrdering as _NO
+
+        default_first = self._profile.default_null_ordering is _NO.NULLS_FIRST
+        ordered = list(indices)
+        for key in reversed(keys):
+            values = {
+                index: self._evaluator.eval(
+                    key.expr, EvalContext(rows[index], env, outer))
+                for index in ordered
+            }
+            nulls_first = key.nulls_first if key.nulls_first is not None else default_first
+            reverse = not key.ascending
+            if reverse:
+                null_rank = 1 if nulls_first else 0
+            else:
+                null_rank = 0 if nulls_first else 1
+            ordered.sort(
+                key=lambda index: (null_rank, 0) if values[index] is None
+                else (1 - null_rank, _SortValue(values[index])),
+                reverse=reverse,
+            )
+        return ordered
+
+    def _fill_window_values(self, func: WindowFunc, ordered: list[int], rows,
+                            env, outer, results: list[object]) -> None:
+        name = func.name.upper()
+        peer_keys = []
+        for index in ordered:
+            ctx = EvalContext(rows[index], env, outer)
+            peer_keys.append(_hashable_row(tuple(
+                self._evaluator.eval(key.expr, ctx) for key in func.order_by)))
+        if name == "ROW_NUMBER":
+            for position, index in enumerate(ordered):
+                results[index] = position + 1
+            return
+        if name in ("RANK", "DENSE_RANK"):
+            rank = 0
+            dense = 0
+            previous = object()
+            for position, index in enumerate(ordered):
+                if peer_keys[position] != previous:
+                    rank = position + 1
+                    dense += 1
+                    previous = peer_keys[position]
+                results[index] = rank if name == "RANK" else dense
+            return
+        if name in ("LAG", "LEAD"):
+            offset = 1
+            default = None
+            constant_ctx = EvalContext((), Env([]), None)
+            if len(func.args) > 1:
+                try:
+                    offset = int(self._evaluator.eval(func.args[1], constant_ctx))
+                except UnresolvedColumnError:
+                    raise BackendError(f"{name}: offset must be a constant")
+            if len(func.args) > 2:
+                try:
+                    default = self._evaluator.eval(func.args[2], constant_ctx)
+                except UnresolvedColumnError:
+                    raise BackendError(f"{name}: default must be a constant")
+            step = -offset if name == "LAG" else offset
+            for position, index in enumerate(ordered):
+                source = position + step
+                if 0 <= source < len(ordered):
+                    ctx = EvalContext(rows[ordered[source]], env, outer)
+                    results[index] = self._evaluator.eval(func.args[0], ctx)
+                else:
+                    results[index] = default
+            return
+        if name in ("FIRST_VALUE", "LAST_VALUE"):
+            if not ordered:
+                return
+            pick = ordered[0] if name == "FIRST_VALUE" else ordered[-1]
+            ctx = EvalContext(rows[pick], env, outer)
+            value = self._evaluator.eval(func.args[0], ctx)
+            for index in ordered:
+                results[index] = value
+            return
+        if fl.is_aggregate_name(name):
+            if not func.order_by:
+                acc = fl.make_accumulator(name, star=not func.args)
+                for index in ordered:
+                    ctx = EvalContext(rows[index], env, outer)
+                    acc.add(self._evaluator.eval(func.args[0], ctx) if func.args else 1)
+                value = acc.result()
+                for index in ordered:
+                    results[index] = value
+                return
+            # Running aggregate with RANGE ... CURRENT ROW peer semantics.
+            acc = fl.make_accumulator(name, star=not func.args)
+            position = 0
+            while position < len(ordered):
+                peer_end = position
+                while (peer_end + 1 < len(ordered)
+                       and peer_keys[peer_end + 1] == peer_keys[position]):
+                    peer_end += 1
+                for cursor in range(position, peer_end + 1):
+                    index = ordered[cursor]
+                    ctx = EvalContext(rows[index], env, outer)
+                    acc.add(self._evaluator.eval(func.args[0], ctx) if func.args else 1)
+                value = acc.result()
+                for cursor in range(position, peer_end + 1):
+                    results[ordered[cursor]] = value
+                position = peer_end + 1
+            return
+        raise BackendError(f"unknown window function {func.name}()")
+
+    # -- set operations ------------------------------------------------------------------
+
+    def _setop(self, node: SetOp, outer):
+        left_cols, left_rows = self._execute(node.left, outer)
+        __, right_rows = self._execute(node.right, outer)
+        out_cols = node.output_columns()
+        if node.kind is SetOpKind.UNION:
+            combined = left_rows + right_rows
+            if node.all:
+                return out_cols, combined
+            return out_cols, _dedupe(combined)
+        if node.kind is SetOpKind.INTERSECT:
+            counts = _count_rows(right_rows)
+            out = []
+            for row in left_rows:
+                key = _hashable_row(row)
+                if counts.get(key, 0) > 0:
+                    out.append(row)
+                    if node.all:
+                        counts[key] -= 1
+                    else:
+                        counts[key] = 0
+            return out_cols, out if node.all else _dedupe(out)
+        # EXCEPT
+        counts = _count_rows(right_rows)
+        out = []
+        for row in left_rows:
+            key = _hashable_row(row)
+            if counts.get(key, 0) > 0:
+                if node.all:
+                    counts[key] -= 1
+                continue
+            out.append(row)
+        return out_cols, out if node.all else _dedupe(out)
+
+    # -- CTEs -------------------------------------------------------------------------------
+
+    def _with(self, node: With, outer):
+        frame: dict[str, tuple[list[OutputColumn], list[tuple]]] = {}
+        self._cte_frames.append(frame)
+        try:
+            for cte in node.ctes:
+                if cte.recursive:
+                    if not self._profile.recursive_cte:
+                        raise BackendError(
+                            "recursive common table expressions are not "
+                            "supported by this system")
+                    frame[cte.name.upper()] = self._run_recursive_cte(cte, outer)
+                else:
+                    columns, rows = self._execute(cte.plan, outer)
+                    frame[cte.name.upper()] = (columns, rows)
+            return self._execute(node.body, outer)
+        finally:
+            self._cte_frames.pop()
+
+    def _run_recursive_cte(self, cte, outer):
+        plan = cte.plan
+        if not isinstance(plan, SetOp) or plan.kind is not SetOpKind.UNION:
+            raise BackendError("recursive CTE must be seed UNION ALL recursive-term")
+        frame = self._cte_frames[-1]
+        seed_cols, work = self._execute(plan.left, outer)
+        all_rows = list(work)
+        rounds = 0
+        while work:
+            rounds += 1
+            if rounds > _MAX_RECURSION_ROUNDS:
+                raise BackendError("recursive CTE exceeded iteration limit")
+            frame[cte.name.upper()] = (seed_cols, work)
+            __, produced = self._execute(plan.right, outer)
+            work = produced
+            all_rows.extend(produced)
+        frame[cte.name.upper()] = (seed_cols, all_rows)
+        return seed_cols, all_rows
+
+    _HANDLERS = {}
+
+
+Executor._HANDLERS = {
+    Get: Executor._get,
+    Values: Executor._values,
+    CTERef: Executor._cte_ref,
+    Filter: Executor._filter,
+    Project: Executor._project,
+    DerivedTable: Executor._derived,
+    Distinct: Executor._distinct,
+    Sort: Executor._sort,
+    Limit: Executor._limit,
+    Join: Executor._join,
+    Aggregate: Executor._aggregate,
+    Window: Executor._window,
+    SetOp: Executor._setop,
+    With: Executor._with,
+}
+
+
+# -- small helpers ----------------------------------------------------------------
+
+class _SortValue:
+    """Total-ordering wrapper so heterogeneous-but-compatible values sort."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        left, right = self.value, other.value
+        if isinstance(left, str) and isinstance(right, str):
+            return left.rstrip() < right.rstrip()
+        return left < right
+
+    def __eq__(self, other):
+        left, right = self.value, other.value
+        if isinstance(left, str) and isinstance(right, str):
+            return left.rstrip() == right.rstrip()
+        return left == right
+
+
+def _hashable_row(row: tuple) -> tuple:
+    """Make a row usable as a dict key (floats that are integral fold to int)."""
+    return tuple(
+        int(value) if isinstance(value, float) and value.is_integer() else
+        value.rstrip() if isinstance(value, str) else value
+        for value in row
+    )
+
+
+def _dedupe(rows: list[tuple]) -> list[tuple]:
+    seen: set = set()
+    out = []
+    for row in rows:
+        key = _hashable_row(row)
+        if key not in seen:
+            seen.add(key)
+            out.append(row)
+    return out
+
+
+def _count_rows(rows: list[tuple]) -> dict:
+    counts: dict = {}
+    for row in rows:
+        key = _hashable_row(row)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _flatten_and(expr: ScalarExpr) -> list[ScalarExpr]:
+    if isinstance(expr, BoolOp) and expr.op is BoolOpKind.AND:
+        out: list[ScalarExpr] = []
+        for arg in expr.args:
+            out.extend(_flatten_and(arg))
+        return out
+    return [expr]
+
+
+def _side_of(expr: ScalarExpr, left_env: Env, right_env: Env) -> Optional[str]:
+    """Which join side an expression's column references belong to.
+
+    Returns "L", "R", or None (mixed / unresolved / no references at all —
+    constant expressions are unusable as hash keys for sidedness).
+    """
+    from repro.xtra.visitor import walk_scalars
+
+    refs = [node for node in walk_scalars(expr) if isinstance(node, ColumnRef)]
+    if not refs:
+        return None
+    sides = set()
+    for ref in refs:
+        try:
+            in_left = left_env.try_resolve(ref.name, ref.table) is not None
+        except BackendError:
+            in_left = True  # ambiguous within left side: still left
+        try:
+            in_right = right_env.try_resolve(ref.name, ref.table) is not None
+        except BackendError:
+            in_right = True
+        if in_left and not in_right:
+            sides.add("L")
+        elif in_right and not in_left:
+            sides.add("R")
+        else:
+            return None
+    if sides == {"L"}:
+        return "L"
+    if sides == {"R"}:
+        return "R"
+    return None

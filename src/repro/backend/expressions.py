@@ -1,0 +1,582 @@
+"""Runtime scalar evaluation for the backend executor.
+
+Implements SQL three-valued logic (``None`` doubles as UNKNOWN), strict type
+checking on mixed-type operations (the backend rejects Teradata-isms like
+``date > 1140101`` unless its capability profile says otherwise), vector
+comparisons for quantified subqueries, and LIKE pattern matching.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from typing import Callable, Optional, Sequence
+
+from repro.errors import BackendError, TypeMismatchError
+from repro.transform.capabilities import CapabilityProfile
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+from repro.xtra.relational import OutputColumn, RelNode
+from repro.xtra.scalars import (
+    AggCall, Arith, ArithOp, Between, BoolOp, BoolOpKind, Case, Cast,
+    ColumnRef, Comp, CompOp, Const, Extract, ExtractField, FuncCall, InList,
+    IsNull, Like, Negate, Not, Param, Quantifier, ScalarExpr, SubqueryExpr,
+    SubqueryKind,
+)
+from repro.backend import functions as fl
+
+
+class Env:
+    """Column name environment for one operator's input rows."""
+
+    def __init__(self, columns: Sequence[OutputColumn]):
+        self.columns = list(columns)
+        self._by_name: dict[str, list[int]] = {}
+        self._by_qualified: dict[tuple[str, str], list[int]] = {}
+        for index, col in enumerate(self.columns):
+            self._by_name.setdefault(col.name, []).append(index)
+            if col.qualifier:
+                self._by_qualified.setdefault((col.qualifier, col.name), []).append(index)
+
+    def try_resolve(self, name: str, qualifier: Optional[str]) -> Optional[int]:
+        """Return the column index or None when not found.
+
+        Ambiguity (duplicate unqualified name across inputs) raises.
+        """
+        if qualifier:
+            hits = self._by_qualified.get((qualifier.upper(), name.upper()), [])
+        else:
+            hits = self._by_name.get(name.upper(), [])
+        if not hits:
+            return None
+        if len(hits) > 1 and not qualifier:
+            raise BackendError(f"ambiguous column reference {name!r}")
+        return hits[0]
+
+
+class UnresolvedColumnError(BackendError):
+    """A column reference matched no scope — also used by the executor to
+    detect correlation when probing subqueries."""
+
+
+class EvalContext:
+    """A row binding plus the chain of outer rows for correlated subqueries."""
+
+    __slots__ = ("row", "env", "parent")
+
+    def __init__(self, row: tuple, env: Env, parent: Optional["EvalContext"] = None):
+        self.row = row
+        self.env = env
+        self.parent = parent
+
+    def lookup(self, ref: ColumnRef) -> object:
+        ctx: Optional[EvalContext] = self
+        while ctx is not None:
+            index = ctx.env.try_resolve(ref.name, ref.table)
+            if index is not None:
+                return ctx.row[index]
+            ctx = ctx.parent
+        raise UnresolvedColumnError(f"unresolved column reference {ref.qualified()!r}")
+
+
+SubqueryRunner = Callable[[RelNode, Optional[EvalContext]], tuple[list[OutputColumn], list[tuple]]]
+
+
+class Evaluator:
+    """Evaluates scalar expressions against rows, honoring the backend's
+    capability profile for type-mixing rules."""
+
+    def __init__(self, profile: CapabilityProfile, run_subquery: SubqueryRunner):
+        self._profile = profile
+        self._run_subquery = run_subquery
+
+    # -- entry point --------------------------------------------------------
+
+    def eval(self, expr: ScalarExpr, ctx: EvalContext) -> object:
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise BackendError(f"cannot evaluate {type(expr).__name__}")
+        return method(self, expr, ctx)
+
+    def eval_bool(self, expr: ScalarExpr, ctx: EvalContext) -> bool:
+        """Evaluate a predicate; UNKNOWN (None) counts as not satisfied."""
+        return self.eval(expr, ctx) is True
+
+    # -- node handlers --------------------------------------------------------
+
+    def _const(self, expr: Const, ctx: EvalContext) -> object:
+        return expr.value
+
+    def _column(self, expr: ColumnRef, ctx: EvalContext) -> object:
+        return ctx.lookup(expr)
+
+    def _param(self, expr: Param, ctx: EvalContext) -> object:
+        raise BackendError(f"unbound parameter {expr.name!r}")
+
+    def _negate(self, expr: Negate, ctx: EvalContext) -> object:
+        value = self.eval(expr.operand, ctx)
+        if value is None:
+            return None
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TypeMismatchError(f"cannot negate {type(value).__name__}")
+        return -value
+
+    def _arith(self, expr: Arith, ctx: EvalContext) -> object:
+        left = self.eval(expr.left, ctx)
+        right = self.eval(expr.right, ctx)
+        if left is None or right is None:
+            return None
+        return self.apply_arith(expr.op, left, right)
+
+    def apply_arith(self, op: ArithOp, left: object, right: object) -> object:
+        if op is ArithOp.CONCAT:
+            if isinstance(left, str) and isinstance(right, str):
+                return left + right
+            raise TypeMismatchError("|| requires text operands")
+        left_num = _is_number(left)
+        right_num = _is_number(right)
+        if left_num and right_num:
+            if op is ArithOp.ADD:
+                return left + right
+            if op is ArithOp.SUB:
+                return left - right
+            if op is ArithOp.MUL:
+                return left * right
+            if op is ArithOp.DIV:
+                if right == 0:
+                    raise BackendError("division by zero")
+                result = left / right
+                return result
+            if op is ArithOp.MOD:
+                if right == 0:
+                    raise BackendError("division by zero")
+                return left % right
+            if op is ArithOp.POW:
+                return left ** right
+        # date arithmetic -----------------------------------------------------
+        left_date = isinstance(left, datetime.date) and not isinstance(left, datetime.datetime)
+        right_date = isinstance(right, datetime.date) and not isinstance(right, datetime.datetime)
+        if left_date and right_date and op is ArithOp.SUB:
+            return (left - right).days
+        if self._profile.date_int_arithmetic:
+            if left_date and right_num and op in (ArithOp.ADD, ArithOp.SUB):
+                days = int(right) if op is ArithOp.ADD else -int(right)
+                return left + datetime.timedelta(days=days)
+            if right_date and left_num and op is ArithOp.ADD:
+                return right + datetime.timedelta(days=int(left))
+        raise TypeMismatchError(
+            f"operator {op.value} undefined for "
+            f"{type(left).__name__} and {type(right).__name__}")
+
+    def _comp(self, expr: Comp, ctx: EvalContext) -> object:
+        left = self.eval(expr.left, ctx)
+        right = self.eval(expr.right, ctx)
+        return self.compare(expr.op, left, right)
+
+    def compare(self, op: CompOp, left: object, right: object) -> object:
+        """Three-valued comparison with strict type mixing rules."""
+        if left is None or right is None:
+            return None
+        order = self._order(left, right)
+        if op is CompOp.EQ:
+            return order == 0
+        if op is CompOp.NE:
+            return order != 0
+        if op is CompOp.LT:
+            return order < 0
+        if op is CompOp.LE:
+            return order <= 0
+        if op is CompOp.GT:
+            return order > 0
+        return order >= 0
+
+    def _order(self, left: object, right: object) -> int:
+        """-1/0/+1 ordering of two non-NULL values; raises on type mixing."""
+        if _is_number(left) and _is_number(right):
+            return (left > right) - (left < right)
+        if isinstance(left, str) and isinstance(right, str):
+            # CHAR padding: SQL compares ignoring trailing blanks.
+            ls, rs = left.rstrip(), right.rstrip()
+            return (ls > rs) - (ls < rs)
+        left_dt = isinstance(left, (datetime.date, datetime.datetime))
+        right_dt = isinstance(right, (datetime.date, datetime.datetime))
+        if left_dt and right_dt:
+            left_n = _as_datetime(left)
+            right_n = _as_datetime(right)
+            return (left_n > right_n) - (left_n < right_n)
+        if left_dt and _is_number(right) or right_dt and _is_number(left):
+            if self._profile.date_int_comparison:
+                left_v = t.date_to_teradata_int(left) if left_dt else left
+                right_v = t.date_to_teradata_int(right) if right_dt else right
+                return (left_v > right_v) - (left_v < right_v)
+            raise TypeMismatchError(
+                "cannot compare DATE with a numeric value on this system")
+        if isinstance(left, bool) and isinstance(right, bool):
+            return (left > right) - (left < right)
+        raise TypeMismatchError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}")
+
+    def _bool(self, expr: BoolOp, ctx: EvalContext) -> object:
+        if expr.op is BoolOpKind.AND:
+            saw_unknown = False
+            for arg in expr.args:
+                value = self.eval(arg, ctx)
+                if value is False:
+                    return False
+                if value is None:
+                    saw_unknown = True
+            return None if saw_unknown else True
+        saw_unknown = False
+        for arg in expr.args:
+            value = self.eval(arg, ctx)
+            if value is True:
+                return True
+            if value is None:
+                saw_unknown = True
+        return None if saw_unknown else False
+
+    def _not(self, expr: Not, ctx: EvalContext) -> object:
+        value = self.eval(expr.operand, ctx)
+        if value is None:
+            return None
+        return not value
+
+    def _is_null(self, expr: IsNull, ctx: EvalContext) -> object:
+        value = self.eval(expr.operand, ctx)
+        result = value is None
+        return not result if expr.negated else result
+
+    def _in_list(self, expr: InList, ctx: EvalContext) -> object:
+        value = self.eval(expr.operand, ctx)
+        if value is None:
+            return None
+        saw_unknown = False
+        for item in expr.items:
+            item_value = self.eval(item, ctx)
+            verdict = self.compare(CompOp.EQ, value, item_value)
+            if verdict is True:
+                return False if expr.negated else True
+            if verdict is None:
+                saw_unknown = True
+        if saw_unknown:
+            return None
+        return True if expr.negated else False
+
+    def _between(self, expr: Between, ctx: EvalContext) -> object:
+        value = self.eval(expr.operand, ctx)
+        low = self.eval(expr.low, ctx)
+        high = self.eval(expr.high, ctx)
+        lo_ok = self.compare(CompOp.GE, value, low)
+        hi_ok = self.compare(CompOp.LE, value, high)
+        combined = _and3(lo_ok, hi_ok)
+        if combined is None:
+            return None
+        return not combined if expr.negated else combined
+
+    def _like(self, expr: Like, ctx: EvalContext) -> object:
+        value = self.eval(expr.operand, ctx)
+        pattern = self.eval(expr.pattern, ctx)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise TypeMismatchError("LIKE requires text operands")
+        result = like_match(value, pattern, expr.escape)
+        return not result if expr.negated else result
+
+    def _func(self, expr: FuncCall, ctx: EvalContext) -> object:
+        args = [self.eval(arg, ctx) for arg in expr.args]
+        return fl.call_scalar(expr.name, args)
+
+    def _agg(self, expr: AggCall, ctx: EvalContext) -> object:
+        raise BackendError(
+            f"aggregate {expr.name} used outside GROUP BY context")
+
+    def _case(self, expr: Case, ctx: EvalContext) -> object:
+        operand = self.eval(expr.operand, ctx) if expr.operand is not None else None
+        for condition, result in zip(expr.conditions, expr.results):
+            if expr.operand is not None:
+                verdict = self.compare(CompOp.EQ, operand, self.eval(condition, ctx))
+            else:
+                verdict = self.eval(condition, ctx)
+            if verdict is True:
+                return self.eval(result, ctx)
+        if expr.default is not None:
+            return self.eval(expr.default, ctx)
+        return None
+
+    def _cast(self, expr: Cast, ctx: EvalContext) -> object:
+        value = self.eval(expr.operand, ctx)
+        return cast_value(value, expr.type)
+
+    def _extract(self, expr: Extract, ctx: EvalContext) -> object:
+        value = self.eval(expr.operand, ctx)
+        if value is None:
+            return None
+        if not isinstance(value, (datetime.date, datetime.datetime, datetime.time)):
+            raise TypeMismatchError("EXTRACT requires a temporal operand")
+        field = expr.field_name
+        if field is ExtractField.YEAR:
+            return value.year
+        if field is ExtractField.MONTH:
+            return value.month
+        if field is ExtractField.DAY:
+            return value.day
+        if field is ExtractField.HOUR:
+            return getattr(value, "hour", 0)
+        if field is ExtractField.MINUTE:
+            return getattr(value, "minute", 0)
+        return getattr(value, "second", 0)
+
+    #: id(SubqueryExpr) -> callable(ctx) -> value; installed by the executor
+    #: when it decorrelates a subquery into a hash lookup.
+    subquery_overrides: dict[int, Callable[[EvalContext], object]]
+
+    def _subquery(self, expr: SubqueryExpr, ctx: EvalContext) -> object:
+        override = getattr(self, "subquery_overrides", None)
+        if override:
+            handler = override.get(id(expr))
+            if handler is not None:
+                return handler(ctx)
+        if expr.kind is SubqueryKind.EXISTS:
+            __, rows = self._run_subquery(expr.plan, ctx)
+            result = bool(rows)
+            return not result if expr.negated else result
+        if expr.kind is SubqueryKind.SCALAR:
+            __, rows = self._run_subquery(expr.plan, ctx)
+            if not rows:
+                return None
+            if len(rows) > 1:
+                raise BackendError("scalar subquery returned more than one row")
+            if len(rows[0]) != 1:
+                raise BackendError("scalar subquery must return one column")
+            return rows[0][0]
+        if expr.kind is SubqueryKind.IN:
+            return self._quantified(expr, ctx, CompOp.EQ, Quantifier.ANY)
+        # QUANTIFIED
+        if len(expr.left) > 1 and not self._profile.vector_subquery:
+            raise BackendError(
+                "vector comparison in quantified subquery is not supported "
+                "by this system")
+        return self._quantified(expr, ctx, expr.op or CompOp.EQ,
+                                expr.quantifier or Quantifier.ANY)
+
+    def _quantified(self, expr: SubqueryExpr, ctx: EvalContext,
+                    op: CompOp, quantifier: Quantifier) -> object:
+        left_values = [self.eval(item, ctx) for item in expr.left]
+        __, rows = self._run_subquery(expr.plan, ctx)
+        if len(rows) and len(rows[0]) != len(left_values):
+            raise BackendError(
+                f"subquery returns {len(rows[0])} columns, expected {len(left_values)}")
+        verdicts = [self._vector_compare(op, left_values, list(row)) for row in rows]
+        if quantifier is Quantifier.ANY:
+            if any(v is True for v in verdicts):
+                result: object = True
+            elif any(v is None for v in verdicts):
+                result = None
+            else:
+                result = False
+        else:  # ALL
+            if any(v is False for v in verdicts):
+                result = False
+            elif any(v is None for v in verdicts):
+                result = None
+            else:
+                result = True
+        if result is None:
+            return None
+        return not result if expr.negated else result
+
+    def _vector_compare(self, op: CompOp, left: list[object], right: list[object]) -> object:
+        """Lexicographic vector comparison with SQL NULL semantics.
+
+        For a single element this degenerates to a plain comparison. For the
+        Teradata vector construct ``(a, b) > (g, n)`` it implements
+        ``a > g OR (a = g AND b > n)`` as defined in Section 5.
+        """
+        if len(left) == 1:
+            return self.compare(op, left[0], right[0])
+        if op in (CompOp.EQ, CompOp.NE):
+            verdict: object = True
+            for lv, rv in zip(left, right):
+                part = self.compare(CompOp.EQ, lv, rv)
+                verdict = _and3(verdict, part)
+            if op is CompOp.NE:
+                return None if verdict is None else not verdict
+            return verdict
+        strict = CompOp.GT if op in (CompOp.GT, CompOp.GE) else CompOp.LT
+        # Lexicographic: strict on some prefix position, equal before it.
+        result: object = False
+        # Build OR over positions.
+        for position in range(len(left)):
+            term: object = True
+            for prefix in range(position):
+                term = _and3(term, self.compare(CompOp.EQ, left[prefix], right[prefix]))
+            term = _and3(term, self.compare(strict, left[position], right[position]))
+            result = _or3(result, term)
+        if op in (CompOp.GE, CompOp.LE):
+            all_eq: object = True
+            for lv, rv in zip(left, right):
+                all_eq = _and3(all_eq, self.compare(CompOp.EQ, lv, rv))
+            result = _or3(result, all_eq)
+        return result
+
+    _DISPATCH = {}
+
+
+Evaluator._DISPATCH = {
+    Const: Evaluator._const,
+    ColumnRef: Evaluator._column,
+    Param: Evaluator._param,
+    Negate: Evaluator._negate,
+    Arith: Evaluator._arith,
+    Comp: Evaluator._comp,
+    BoolOp: Evaluator._bool,
+    Not: Evaluator._not,
+    IsNull: Evaluator._is_null,
+    InList: Evaluator._in_list,
+    Between: Evaluator._between,
+    Like: Evaluator._like,
+    FuncCall: Evaluator._func,
+    AggCall: Evaluator._agg,
+    Case: Evaluator._case,
+    Cast: Evaluator._cast,
+    Extract: Evaluator._extract,
+    SubqueryExpr: Evaluator._subquery,
+}
+
+
+# -- helpers -------------------------------------------------------------------
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _as_datetime(value) -> datetime.datetime:
+    if isinstance(value, datetime.datetime):
+        return value
+    return datetime.datetime(value.year, value.month, value.day)
+
+
+def _and3(left: object, right: object) -> object:
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def _or3(left: object, right: object) -> object:
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+_LIKE_CACHE: dict[tuple[str, Optional[str]], re.Pattern] = {}
+
+
+def like_match(value: str, pattern: str, escape: Optional[str]) -> bool:
+    """SQL LIKE matching with %/_ wildcards and optional escape character."""
+    key = (pattern, escape)
+    compiled = _LIKE_CACHE.get(key)
+    if compiled is None:
+        parts: list[str] = []
+        index = 0
+        while index < len(pattern):
+            char = pattern[index]
+            if escape and char == escape and index + 1 < len(pattern):
+                parts.append(re.escape(pattern[index + 1]))
+                index += 2
+                continue
+            if char == "%":
+                parts.append(".*")
+            elif char == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(char))
+            index += 1
+        compiled = re.compile("^" + "".join(parts) + "$", re.DOTALL)
+        if len(_LIKE_CACHE) > 4096:
+            _LIKE_CACHE.clear()
+        _LIKE_CACHE[key] = compiled
+    return compiled.match(value) is not None
+
+
+def cast_value(value: object, target: t.SQLType) -> object:
+    """CAST semantics used by both the evaluator and the result pipeline."""
+    if value is None:
+        return None
+    kind = target.kind
+    if kind in (t.TypeKind.SMALLINT, t.TypeKind.INTEGER, t.TypeKind.BIGINT):
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, (int, float)):
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value.strip())
+            except ValueError as exc:
+                raise BackendError(f"cannot cast {value!r} to {kind.value}") from exc
+        raise TypeMismatchError(f"cannot cast {type(value).__name__} to {kind.value}")
+    if kind in (t.TypeKind.DECIMAL, t.TypeKind.FLOAT):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            result = float(value)
+            if kind is t.TypeKind.DECIMAL and target.scale is not None:
+                return round(result, target.scale)
+            return result
+        if isinstance(value, str):
+            try:
+                return float(value.strip())
+            except ValueError as exc:
+                raise BackendError(f"cannot cast {value!r} to {kind.value}") from exc
+        raise TypeMismatchError(f"cannot cast {type(value).__name__} to {kind.value}")
+    if kind in (t.TypeKind.CHAR, t.TypeKind.VARCHAR):
+        if isinstance(value, str):
+            text = value
+        elif isinstance(value, bool):
+            text = "TRUE" if value else "FALSE"
+        elif isinstance(value, float) and value.is_integer():
+            text = str(int(value))
+        else:
+            text = str(value)
+        if target.length is not None:
+            text = text[: target.length]
+            if kind is t.TypeKind.CHAR:
+                text = text.ljust(target.length)
+        return text
+    if kind is t.TypeKind.DATE:
+        if isinstance(value, datetime.datetime):
+            return value.date()
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value.strip())
+            except ValueError as exc:
+                raise BackendError(f"cannot cast {value!r} to DATE") from exc
+        if isinstance(value, int):
+            # Teradata semantics: integer is the internal date encoding.
+            try:
+                return t.teradata_int_to_date(value)
+            except ValueError as exc:
+                raise BackendError(f"cannot cast {value!r} to DATE") from exc
+        raise TypeMismatchError(f"cannot cast {type(value).__name__} to DATE")
+    if kind is t.TypeKind.TIMESTAMP:
+        if isinstance(value, datetime.datetime):
+            return value
+        if isinstance(value, datetime.date):
+            return datetime.datetime(value.year, value.month, value.day)
+        if isinstance(value, str):
+            try:
+                return datetime.datetime.fromisoformat(value.strip())
+            except ValueError as exc:
+                raise BackendError(f"cannot cast {value!r} to TIMESTAMP") from exc
+        raise TypeMismatchError(f"cannot cast {type(value).__name__} to TIMESTAMP")
+    if kind is t.TypeKind.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return bool(value)
+        raise TypeMismatchError(f"cannot cast {type(value).__name__} to BOOLEAN")
+    return value

@@ -1,0 +1,372 @@
+"""Builtin scalar and aggregate function library of the backend.
+
+Scalar names here are the *target dialect* (ANSI-flavoured) spellings the
+Hyper-Q serializer emits: Teradata spellings like ``CHARS`` or ``ZEROIFNULL``
+never reach the backend — the translation layer rewrites them (Table 2).
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+from typing import Callable, Optional
+
+from repro.errors import BackendError, TypeMismatchError
+
+_SystemClock = datetime.datetime(2018, 6, 10, 12, 0, 0)  # fixed for determinism
+
+
+def _require_text(name: str, value: object) -> str:
+    if not isinstance(value, str):
+        raise TypeMismatchError(f"{name} requires a text argument")
+    return value
+
+
+def _require_number(name: str, value: object):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeMismatchError(f"{name} requires a numeric argument")
+    return value
+
+
+def _require_date(name: str, value: object) -> datetime.date:
+    if isinstance(value, datetime.datetime):
+        return value.date()
+    if isinstance(value, datetime.date):
+        return value
+    raise TypeMismatchError(f"{name} requires a date argument")
+
+
+def _add_months(value: datetime.date, months: int) -> datetime.date:
+    month_index = value.year * 12 + (value.month - 1) + months
+    year, month = divmod(month_index, 12)
+    month += 1
+    day = min(value.day, _days_in_month(year, month))
+    if isinstance(value, datetime.datetime):
+        return value.replace(year=year, month=month, day=day)
+    return datetime.date(year, month, day)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        return 31
+    return (datetime.date(year, month + 1, 1) - datetime.timedelta(days=1)).day
+
+
+def _dateadd(unit: object, amount: object, value: object):
+    if amount is None or value is None:
+        return None
+    unit_name = _require_text("DATEADD", unit).upper()
+    date_value = _require_date("DATEADD", value)
+    count = int(_require_number("DATEADD", amount))
+    if unit_name == "DAY":
+        return date_value + datetime.timedelta(days=count)
+    if unit_name == "MONTH":
+        return _add_months(date_value, count)
+    if unit_name == "YEAR":
+        return _add_months(date_value, count * 12)
+    raise BackendError(f"DATEADD: unsupported unit {unit_name!r}")
+
+
+def _datediff(unit: object, start: object, end: object):
+    if start is None or end is None:
+        return None
+    unit_name = _require_text("DATEDIFF", unit).upper()
+    start_date = _require_date("DATEDIFF", start)
+    end_date = _require_date("DATEDIFF", end)
+    if unit_name == "DAY":
+        return (end_date - start_date).days
+    if unit_name == "MONTH":
+        return (end_date.year - start_date.year) * 12 + end_date.month - start_date.month
+    if unit_name == "YEAR":
+        return end_date.year - start_date.year
+    raise BackendError(f"DATEDIFF: unsupported unit {unit_name!r}")
+
+
+def _substring(value: object, start: object, length: object = None):
+    if value is None or start is None:
+        return None
+    text = _require_text("SUBSTRING", value)
+    begin = int(_require_number("SUBSTRING", start))
+    # SQL is 1-based; positions <= 0 shift the window.
+    zero_based = begin - 1
+    if length is None:
+        return text[max(zero_based, 0):]
+    count = int(_require_number("SUBSTRING", length))
+    if count < 0:
+        raise BackendError("SUBSTRING: negative length")
+    end = zero_based + count
+    return text[max(zero_based, 0):max(end, 0)]
+
+
+def _position(needle: object, haystack: object):
+    if needle is None or haystack is None:
+        return None
+    sub = _require_text("POSITION", needle)
+    text = _require_text("POSITION", haystack)
+    return text.find(sub) + 1
+
+
+def _round(value: object, digits: object = 0):
+    if value is None:
+        return None
+    number = _require_number("ROUND", value)
+    places = int(_require_number("ROUND", digits)) if digits is not None else 0
+    result = round(number + 0.0, places)
+    return result if places > 0 else (int(result) if float(result).is_integer() and isinstance(number, int) else result)
+
+
+def _coalesce(*args):
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _nullif(left, right):
+    if left is None:
+        return None
+    if right is not None and left == right:
+        return None
+    return left
+
+
+def _trim(value):
+    if value is None:
+        return None
+    return _require_text("TRIM", value).strip()
+
+
+def _null_prop(name: str, fn: Callable) -> Callable:
+    """Wrap a function so any NULL argument yields NULL."""
+    def wrapper(*args):
+        if any(arg is None for arg in args):
+            return None
+        return fn(*args)
+    wrapper.__name__ = name.lower()
+    return wrapper
+
+
+SCALAR_FUNCTIONS: dict[str, Callable] = {
+    # text ------------------------------------------------------------------
+    "LENGTH": _null_prop("LENGTH", lambda v: len(_require_text("LENGTH", v).rstrip())),
+    "CHAR_LENGTH": _null_prop("CHAR_LENGTH", lambda v: len(_require_text("CHAR_LENGTH", v).rstrip())),
+    "UPPER": _null_prop("UPPER", lambda v: _require_text("UPPER", v).upper()),
+    "LOWER": _null_prop("LOWER", lambda v: _require_text("LOWER", v).lower()),
+    "TRIM": _trim,
+    "LTRIM": _null_prop("LTRIM", lambda v: _require_text("LTRIM", v).lstrip()),
+    "RTRIM": _null_prop("RTRIM", lambda v: _require_text("RTRIM", v).rstrip()),
+    "SUBSTRING": _substring,
+    "SUBSTR": _substring,
+    "POSITION": _position,
+    "REPLACE": _null_prop("REPLACE", lambda v, old, new: _require_text("REPLACE", v).replace(old, new)),
+    "CONCAT": _null_prop("CONCAT", lambda *parts: "".join(_require_text("CONCAT", p) for p in parts)),
+    "LPAD": _null_prop("LPAD", lambda v, n, p=" ": _require_text("LPAD", v).rjust(int(n), p)),
+    "RPAD": _null_prop("RPAD", lambda v, n, p=" ": _require_text("RPAD", v).ljust(int(n), p)),
+    # numeric ----------------------------------------------------------------
+    "ABS": _null_prop("ABS", lambda v: abs(_require_number("ABS", v))),
+    "ROUND": _round,
+    "FLOOR": _null_prop("FLOOR", lambda v: math.floor(_require_number("FLOOR", v))),
+    "CEIL": _null_prop("CEIL", lambda v: math.ceil(_require_number("CEIL", v))),
+    "CEILING": _null_prop("CEILING", lambda v: math.ceil(_require_number("CEILING", v))),
+    "MOD": _null_prop("MOD", lambda a, b: _require_number("MOD", a) % _require_number("MOD", b)),
+    "POWER": _null_prop("POWER", lambda a, b: _require_number("POWER", a) ** _require_number("POWER", b)),
+    "SQRT": _null_prop("SQRT", lambda v: math.sqrt(_require_number("SQRT", v))),
+    "EXP": _null_prop("EXP", lambda v: math.exp(_require_number("EXP", v))),
+    "LN": _null_prop("LN", lambda v: math.log(_require_number("LN", v))),
+    "SIGN": _null_prop("SIGN", lambda v: (0 if v == 0 else (1 if v > 0 else -1))),
+    # null handling -----------------------------------------------------------
+    "COALESCE": _coalesce,
+    "NULLIF": _nullif,
+    # temporal ------------------------------------------------------------------
+    "DATEADD": _dateadd,
+    "DATEDIFF": _datediff,
+    "ADD_MONTHS": _null_prop(
+        "ADD_MONTHS", lambda d, n: _add_months(_require_date("ADD_MONTHS", d), int(n))),
+    "LAST_DAY": _null_prop(
+        "LAST_DAY",
+        lambda d: _require_date("LAST_DAY", d).replace(
+            day=_days_in_month(_require_date("LAST_DAY", d).year,
+                               _require_date("LAST_DAY", d).month))),
+    "CURRENT_DATE": lambda: _SystemClock.date(),
+    "CURRENT_TIMESTAMP": lambda: _SystemClock,
+    # misc -----------------------------------------------------------------------
+    "GREATEST": _null_prop("GREATEST", lambda *vs: max(vs)),
+    "LEAST": _null_prop("LEAST", lambda *vs: min(vs)),
+}
+
+
+def call_scalar(name: str, args: list[object]) -> object:
+    """Dispatch a scalar function call by normalized name."""
+    fn = SCALAR_FUNCTIONS.get(name.upper())
+    if fn is None:
+        raise BackendError(f"unknown function {name}()")
+    try:
+        return fn(*args)
+    except TypeError as exc:
+        raise BackendError(f"{name}(): bad argument count or types: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+class Accumulator:
+    """Base aggregate accumulator (one instance per group)."""
+
+    def add(self, value: object) -> None:
+        raise NotImplementedError
+
+    def result(self) -> object:
+        raise NotImplementedError
+
+
+class _Sum(Accumulator):
+    def __init__(self):
+        self._total = None
+
+    def add(self, value):
+        if value is None:
+            return
+        _require_number("SUM", value)
+        self._total = value if self._total is None else self._total + value
+
+    def result(self):
+        return self._total
+
+
+class _Count(Accumulator):
+    def __init__(self):
+        self._count = 0
+
+    def add(self, value):
+        if value is not None:
+            self._count += 1
+
+    def result(self):
+        return self._count
+
+
+class _CountStar(Accumulator):
+    def __init__(self):
+        self._count = 0
+
+    def add(self, value):
+        self._count += 1
+
+    def result(self):
+        return self._count
+
+
+class _Avg(Accumulator):
+    def __init__(self):
+        self._total = 0.0
+        self._count = 0
+
+    def add(self, value):
+        if value is None:
+            return
+        self._total += _require_number("AVG", value)
+        self._count += 1
+
+    def result(self):
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class _Min(Accumulator):
+    def __init__(self):
+        self._value = None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self._value is None or value < self._value:
+            self._value = value
+
+    def result(self):
+        return self._value
+
+
+class _Max(Accumulator):
+    def __init__(self):
+        self._value = None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self._value is None or value > self._value:
+            self._value = value
+
+    def result(self):
+        return self._value
+
+
+class _StddevSamp(Accumulator):
+    """Welford's online algorithm; NULL for fewer than two inputs."""
+
+    def __init__(self):
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value):
+        if value is None:
+            return
+        number = _require_number("STDDEV_SAMP", value)
+        self._count += 1
+        delta = number - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (number - self._mean)
+
+    def result(self):
+        if self._count < 2:
+            return None
+        return math.sqrt(self._m2 / (self._count - 1))
+
+
+class _Distinct(Accumulator):
+    """Wrapper enforcing DISTINCT before delegating to an inner accumulator."""
+
+    def __init__(self, inner: Accumulator):
+        self._inner = inner
+        self._seen: set = set()
+
+    def add(self, value):
+        if value is None:
+            self._inner.add(value)
+            return
+        if value in self._seen:
+            return
+        self._seen.add(value)
+        self._inner.add(value)
+
+    def result(self):
+        return self._inner.result()
+
+
+_AGGREGATES: dict[str, Callable[[], Accumulator]] = {
+    "SUM": _Sum,
+    "COUNT": _Count,
+    "AVG": _Avg,
+    "MIN": _Min,
+    "MAX": _Max,
+    "STDDEV_SAMP": _StddevSamp,
+}
+
+
+def make_accumulator(name: str, distinct: bool = False, star: bool = False) -> Accumulator:
+    """Create a fresh accumulator for one group."""
+    if star:
+        return _CountStar()
+    factory = _AGGREGATES.get(name.upper())
+    if factory is None:
+        raise BackendError(f"unknown aggregate {name}()")
+    acc = factory()
+    if distinct:
+        return _Distinct(acc)
+    return acc
+
+
+def is_aggregate_name(name: str) -> bool:
+    return name.upper() in _AGGREGATES

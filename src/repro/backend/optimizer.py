@@ -1,0 +1,148 @@
+"""Predicate pushdown for the backend executor.
+
+TPC-H-style queries spell joins as comma-separated FROM lists with the join
+conditions in WHERE; executed literally that is a cross product. This pass
+pushes each WHERE conjunct to the lowest point in the join tree where all of
+its column references resolve:
+
+* single-side conjuncts become Filters on that join input,
+* two-side conjuncts become join conditions (turning CROSS into INNER),
+* conjuncts containing subqueries stay in the top Filter so the executor's
+  decorrelation logic sees them against the full row.
+
+Only INNER/CROSS joins participate; outer-join inputs are left untouched
+(pushing below an outer join changes semantics).
+"""
+
+from __future__ import annotations
+
+from repro.backend.expressions import Env
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+from repro.xtra.relational import RelNode
+from repro.xtra.scalars import ScalarExpr
+from repro.xtra.visitor import rewrite_rel, walk_scalars
+
+
+def optimize(plan: RelNode) -> RelNode:
+    """Apply predicate pushdown everywhere in a plan (incl. subquery plans)."""
+
+    def scalar_fn(expr: ScalarExpr) -> ScalarExpr:
+        # rewrite_scalars with rel_fn already descends into subquery plans.
+        return expr
+
+    return rewrite_rel(plan, _push_node, scalar_fn)
+
+
+def _push_node(node: RelNode) -> RelNode:
+    if isinstance(node, r.Filter) and isinstance(node.child, r.Join):
+        return _push_filter(node)
+    return node
+
+
+def _split_and(expr: ScalarExpr) -> list[ScalarExpr]:
+    if isinstance(expr, s.BoolOp) and expr.op is s.BoolOpKind.AND:
+        out: list[ScalarExpr] = []
+        for arg in expr.args:
+            out.extend(_split_and(arg))
+        return out
+    return [expr]
+
+
+def _contains_subquery(expr: ScalarExpr) -> bool:
+    return any(isinstance(node, s.SubqueryExpr) for node in walk_scalars(expr))
+
+
+def _resolvable(expr: ScalarExpr, env: Env) -> bool:
+    """All column refs resolve in *env* (ambiguity or miss -> False)."""
+    for node in walk_scalars(expr):
+        if isinstance(node, s.ColumnRef):
+            try:
+                if env.try_resolve(node.name, node.table) is None:
+                    return False
+            except Exception:
+                return False
+    return True
+
+
+def _factor_or(expr: ScalarExpr) -> ScalarExpr:
+    """Hoist conjuncts shared by every OR branch: OR(AnX, BnX) -> X AND OR(A, B).
+
+    TPC-H Q19 relies on this: the join predicate ``p_partkey = l_partkey``
+    appears inside each disjunct and only becomes a hash-joinable condition
+    once factored out.
+    """
+    if not isinstance(expr, s.BoolOp) or expr.op is not s.BoolOpKind.OR:
+        return expr
+    branch_conjuncts = [_split_and(arg) for arg in expr.args]
+    first = branch_conjuncts[0]
+    common: list[ScalarExpr] = []
+    for candidate in first:
+        if all(any(s.same(candidate, other) for other in branch)
+               for branch in branch_conjuncts[1:]):
+            common.append(candidate)
+    if not common:
+        return expr
+    reduced_branches: list[ScalarExpr] = []
+    for branch in branch_conjuncts:
+        rest = [c for c in branch
+                if not any(s.same(c, picked) for picked in common)]
+        reduced = s.conjoin(rest)
+        reduced_branches.append(reduced if reduced is not None
+                                else s.Const(True, t.BOOLEAN))
+    remaining_or = s.BoolOp(s.BoolOpKind.OR, reduced_branches)
+    return s.conjoin(common + [remaining_or])  # type: ignore[return-value]
+
+
+def _push_filter(node: r.Filter) -> RelNode:
+    join = node.child
+    assert isinstance(join, r.Join)
+    node.predicate = _factor_or(node.predicate)
+    conjuncts = _split_and(node.predicate)
+    remaining: list[ScalarExpr] = []
+    for conjunct in conjuncts:
+        if _contains_subquery(conjunct) or not _try_place(join, conjunct):
+            remaining.append(conjunct)
+    rest = s.conjoin(remaining)
+    if rest is None:
+        return join
+    return r.Filter(join, rest)
+
+
+def _try_place(join: r.Join, conjunct: ScalarExpr) -> bool:
+    """Attempt to sink *conjunct* into the join tree; True on success."""
+    if join.kind not in (r.JoinKind.INNER, r.JoinKind.CROSS):
+        return False
+    left_env = Env(join.left.output_columns())
+    right_env = Env(join.right.output_columns())
+    in_left = _resolvable(conjunct, left_env)
+    in_right = _resolvable(conjunct, right_env)
+    if in_left and not in_right:
+        join.left = _sink(join.left, conjunct)
+        return True
+    if in_right and not in_left:
+        join.right = _sink(join.right, conjunct)
+        return True
+    both_env = Env(join.left.output_columns() + join.right.output_columns())
+    if not _resolvable(conjunct, both_env):
+        return False
+    # Spans both sides: becomes (part of) this join's condition.
+    if join.condition is None:
+        join.condition = conjunct
+    else:
+        join.condition = s.conjoin([join.condition, conjunct])
+    if join.kind is r.JoinKind.CROSS:
+        join.kind = r.JoinKind.INNER
+    return True
+
+
+def _sink(node: RelNode, conjunct: ScalarExpr) -> RelNode:
+    """Push a single-side conjunct as deep as possible into *node*."""
+    if isinstance(node, r.Join) and node.kind in (r.JoinKind.INNER, r.JoinKind.CROSS):
+        if _try_place(node, conjunct):
+            return node
+    if isinstance(node, r.Filter):
+        node.predicate = s.conjoin([node.predicate, conjunct])
+        return node
+    return r.Filter(node, conjunct)

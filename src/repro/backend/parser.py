@@ -1,0 +1,1071 @@
+"""ANSI SQL parser of the backend database (the *target* grammar).
+
+This is deliberately a different grammar from the Teradata frontend: it
+accepts the dialect the Hyper-Q serializer emits (plus ordinary hand-written
+ANSI SQL) and rejects Teradata-isms — ``SEL``, ``QUALIFY``, implicit joins,
+vector subqueries on weak profiles, and so on. Statements parse into the spec
+structures of :mod:`repro.backend.planner`, which lowers them to XTRA plans.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Optional
+
+from repro.errors import BackendError, ParseError
+from repro.sqlkit import Lexer, LexerConfig, Token, TokenKind
+from repro.transform.capabilities import CapabilityProfile
+from repro.backend import planner as p
+from repro.xtra import types as t
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra.schema import ColumnSchema, TableSchema
+
+_KEYWORDS = frozenset("""
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET DISTINCT ALL AS ON
+    AND OR NOT IN IS NULL LIKE ESCAPE BETWEEN EXISTS ANY SOME CASE WHEN THEN
+    ELSE END CAST EXTRACT SUBSTRING POSITION FOR JOIN INNER LEFT RIGHT FULL
+    OUTER CROSS UNION INTERSECT EXCEPT WITH RECURSIVE VALUES INSERT INTO
+    UPDATE SET DELETE CREATE TABLE VIEW DROP IF TEMPORARY TEMP REPLACE MERGE
+    USING MATCHED ASC DESC NULLS FIRST LAST TOP TIES DATE TIME TIMESTAMP
+    INTERVAL YEAR MONTH DAY HOUR MINUTE SECOND TRUE FALSE DEFAULT PRIMARY KEY
+    UNIQUE CHECK REFERENCES FOREIGN CONSTRAINT BEGIN COMMIT ROLLBACK WORK
+    TRANSACTION OVER PARTITION ROWS RANGE UNBOUNDED PRECEDING FOLLOWING
+    CURRENT ROW ROLLUP CUBE GROUPING SETS TRUNCATE
+""".split())
+
+_TYPE_NAMES = frozenset("""
+    INT INTEGER SMALLINT BIGINT DECIMAL NUMERIC FLOAT DOUBLE REAL CHAR
+    CHARACTER VARCHAR TEXT DATE TIME TIMESTAMP BOOLEAN
+""".split())
+
+_LEXER_CONFIG = LexerConfig(keywords=_KEYWORDS)
+
+_AGG_NAMES = frozenset({"SUM", "COUNT", "AVG", "MIN", "MAX", "STDDEV_SAMP"})
+_WINDOW_ONLY = frozenset({"RANK", "DENSE_RANK", "ROW_NUMBER", "LAG",
+                          "LEAD", "FIRST_VALUE", "LAST_VALUE"})
+
+
+class BackendParser:
+    """Recursive-descent parser for the backend dialect."""
+
+    def __init__(self, profile: CapabilityProfile):
+        self._profile = profile
+        self._lexer = Lexer(_LEXER_CONFIG)
+
+    # -- entry points ------------------------------------------------------------
+
+    def parse_statement(self, sql: str) -> p.StatementSpec:
+        """Parse exactly one statement (a trailing ';' is allowed)."""
+        statements = self.parse_script(sql)
+        if len(statements) != 1:
+            raise ParseError(f"expected one statement, found {len(statements)}")
+        return statements[0]
+
+    def parse_script(self, sql: str) -> list[p.StatementSpec]:
+        """Parse a ';'-separated statement list."""
+        self._tokens = self._lexer.tokenize(sql)
+        self._index = 0
+        statements: list[p.StatementSpec] = []
+        while not self._at(TokenKind.EOF):
+            if self._accept_op(";"):
+                continue
+            statements.append(self._statement())
+        return statements
+
+    # -- token plumbing ------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _at_keyword(self, *names: str) -> bool:
+        return self._peek().is_keyword(*names)
+
+    def _accept_keyword(self, *names: str) -> Optional[Token]:
+        if self._at_keyword(*names):
+            return self._next()
+        return None
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._accept_keyword(*names)
+        if token is None:
+            found = self._peek()
+            raise ParseError(
+                f"expected {' or '.join(names)}, found {found.text or 'end of input'}",
+                found.line, found.column)
+        return token
+
+    def _accept_op(self, *ops: str) -> Optional[Token]:
+        if self._peek().is_op(*ops):
+            return self._next()
+        return None
+
+    def _expect_op(self, *ops: str) -> Token:
+        token = self._accept_op(*ops)
+        if token is None:
+            found = self._peek()
+            raise ParseError(
+                f"expected {' or '.join(ops)}, found {found.text or 'end of input'}",
+                found.line, found.column)
+        return token
+
+    def _expect_ident(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if token.kind in (TokenKind.IDENT, TokenKind.QUOTED_IDENT):
+            self._next()
+            return str(token.value).upper()
+        # Non-reserved keywords usable as identifiers in common positions.
+        if token.kind is TokenKind.KEYWORD and token.value in (
+                "DATE", "TIME", "TIMESTAMP", "YEAR", "MONTH", "DAY", "FIRST",
+                "LAST", "KEY", "WORK", "ROW", "VALUES"):
+            self._next()
+            return str(token.value)
+        raise ParseError(f"expected {what}, found {token.text or 'end of input'}",
+                         token.line, token.column)
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _statement(self) -> p.StatementSpec:
+        token = self._peek()
+        if token.is_keyword("SELECT", "WITH") or token.is_op("("):
+            return p.QueryStatementSpec(self._query_expr())
+        if token.is_keyword("INSERT"):
+            return self._insert()
+        if token.is_keyword("UPDATE"):
+            return self._update()
+        if token.is_keyword("DELETE"):
+            return self._delete()
+        if token.is_keyword("CREATE"):
+            return self._create()
+        if token.is_keyword("DROP"):
+            return self._drop()
+        if token.is_keyword("MERGE"):
+            return self._merge()
+        if token.is_keyword("TRUNCATE"):
+            self._next()
+            self._accept_keyword("TABLE")
+            return p.TruncateSpec(self._qualified_name())
+        if token.is_keyword("BEGIN"):
+            self._next()
+            self._accept_keyword("TRANSACTION", "WORK")
+            return p.TransactionSpec("BEGIN")
+        if token.is_keyword("COMMIT"):
+            self._next()
+            self._accept_keyword("TRANSACTION", "WORK")
+            return p.TransactionSpec("COMMIT")
+        if token.is_keyword("ROLLBACK"):
+            self._next()
+            self._accept_keyword("TRANSACTION", "WORK")
+            return p.TransactionSpec("ROLLBACK")
+        raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)
+
+    def _qualified_name(self) -> str:
+        name = self._expect_ident("object name")
+        while self._accept_op("."):
+            # Schemas are flattened into one namespace in this backend.
+            name = self._expect_ident("object name")
+        return name
+
+    def _insert(self) -> p.InsertSpec:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._qualified_name()
+        columns: Optional[list[str]] = None
+        if self._peek().is_op("(") and self._looks_like_column_list():
+            self._expect_op("(")
+            columns = [self._expect_ident("column name")]
+            while self._accept_op(","):
+                columns.append(self._expect_ident("column name"))
+            self._expect_op(")")
+        if self._at_keyword("VALUES"):
+            self._next()
+            rows = [self._values_row()]
+            while self._accept_op(","):
+                rows.append(self._values_row())
+            return p.InsertSpec(table, columns, rows=rows, query=None)
+        query = self._query_expr()
+        return p.InsertSpec(table, columns, rows=None, query=query)
+
+    def _looks_like_column_list(self) -> bool:
+        """Disambiguate ``INSERT INTO t (a, b) ...`` from ``INSERT INTO t (SELECT ...)``."""
+        offset = 1
+        token = self._peek(offset)
+        return token.kind in (TokenKind.IDENT, TokenKind.QUOTED_IDENT)
+
+    def _values_row(self) -> list[s.ScalarExpr]:
+        self._expect_op("(")
+        row = [self._expr()]
+        while self._accept_op(","):
+            row.append(self._expr())
+        self._expect_op(")")
+        return row
+
+    def _update(self) -> p.UpdateSpec:
+        self._expect_keyword("UPDATE")
+        table = self._qualified_name()
+        alias = None
+        if self._peek().kind in (TokenKind.IDENT, TokenKind.QUOTED_IDENT):
+            alias = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._accept_op(","):
+            assignments.append(self._assignment())
+        predicate = None
+        if self._accept_keyword("WHERE"):
+            predicate = self._expr()
+        return p.UpdateSpec(table, alias, assignments, predicate)
+
+    def _assignment(self) -> tuple[str, s.ScalarExpr]:
+        column = self._expect_ident("column name")
+        self._expect_op("=")
+        return column, self._expr()
+
+    def _delete(self) -> p.DeleteSpec:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._qualified_name()
+        alias = None
+        if self._peek().kind in (TokenKind.IDENT, TokenKind.QUOTED_IDENT):
+            alias = self._expect_ident()
+        predicate = None
+        if self._accept_keyword("WHERE"):
+            predicate = self._expr()
+        return p.DeleteSpec(table, alias, predicate)
+
+    def _create(self) -> p.StatementSpec:
+        self._expect_keyword("CREATE")
+        replace = False
+        if self._accept_keyword("OR") is not None:  # pragma: no cover - OR not keyworded here
+            self._expect_keyword("REPLACE")
+            replace = True
+        temporary = bool(self._accept_keyword("TEMPORARY", "TEMP"))
+        if self._accept_keyword("TABLE"):
+            return self._create_table(temporary)
+        if self._accept_keyword("VIEW"):
+            return self._create_view(replace)
+        token = self._peek()
+        raise ParseError(f"unsupported CREATE {token.text!r}", token.line, token.column)
+
+    def _create_table(self, temporary: bool) -> p.CreateTableSpec:
+        if_not_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("NOT")
+            self._expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self._qualified_name()
+        if self._accept_keyword("AS"):
+            query = self._query_expr()
+            return p.CreateTableSpec(name, columns=None, as_query=query,
+                                     temporary=temporary, if_not_exists=if_not_exists)
+        self._expect_op("(")
+        columns = [self._column_def()]
+        while self._accept_op(","):
+            if self._at_keyword("PRIMARY", "UNIQUE", "CHECK", "FOREIGN", "CONSTRAINT"):
+                self._skip_table_constraint()
+                continue
+            columns.append(self._column_def())
+        self._expect_op(")")
+        return p.CreateTableSpec(name, columns=columns, as_query=None,
+                                 temporary=temporary, if_not_exists=if_not_exists)
+
+    def _skip_table_constraint(self) -> None:
+        """Consume and ignore a table-level constraint clause."""
+        depth = 0
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.EOF:
+                return
+            if token.is_op("("):
+                depth += 1
+            elif token.is_op(")"):
+                if depth == 0:
+                    return
+                depth -= 1
+            elif token.is_op(",") and depth == 0:
+                return
+            self._next()
+
+    def _column_def(self) -> ColumnSchema:
+        name = self._expect_ident("column name")
+        column_type = self._type_name()
+        nullable = True
+        default_sql: Optional[str] = None
+        while True:
+            if self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                nullable = False
+            elif self._accept_keyword("NULL"):
+                nullable = True
+            elif self._accept_keyword("DEFAULT"):
+                token = self._next()
+                if token.kind is TokenKind.STRING:
+                    default_sql = "'" + str(token.value).replace("'", "''") + "'"
+                elif token.kind is TokenKind.NUMBER:
+                    default_sql = token.text
+                elif token.is_keyword("NULL"):
+                    default_sql = "NULL"
+                else:
+                    raise BackendError(
+                        f"column {name}: only literal DEFAULTs are supported "
+                        "by this backend")
+            elif self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                nullable = False
+            elif self._accept_keyword("UNIQUE"):
+                pass
+            else:
+                break
+        return ColumnSchema(name, column_type, nullable, default_sql)
+
+    def _type_name(self) -> t.SQLType:
+        token = self._peek()
+        name = str(token.value).upper() if token.kind in (
+            TokenKind.IDENT, TokenKind.KEYWORD) else ""
+        if name not in _TYPE_NAMES:
+            raise ParseError(f"expected a type name, found {token.text!r}",
+                             token.line, token.column)
+        self._next()
+        if name in ("INT", "INTEGER"):
+            return t.INTEGER
+        if name == "SMALLINT":
+            return t.SMALLINT
+        if name == "BIGINT":
+            return t.BIGINT
+        if name in ("DECIMAL", "NUMERIC"):
+            precision, scale = 18, 2
+            if self._accept_op("("):
+                precision = int(self._expect_number())
+                scale = 0
+                if self._accept_op(","):
+                    scale = int(self._expect_number())
+                self._expect_op(")")
+            return t.decimal(precision, scale)
+        if name in ("FLOAT", "REAL"):
+            return t.FLOAT
+        if name == "DOUBLE":
+            if self._peek().kind is TokenKind.IDENT and self._peek().value == "PRECISION":
+                self._next()
+            return t.FLOAT
+        if name in ("CHAR", "CHARACTER"):
+            length = 1
+            if self._accept_op("("):
+                length = int(self._expect_number())
+                self._expect_op(")")
+            return t.char(length)
+        if name in ("VARCHAR", "TEXT"):
+            length = None
+            if self._accept_op("("):
+                length = int(self._expect_number())
+                self._expect_op(")")
+            return t.SQLType(t.TypeKind.VARCHAR, length=length)
+        if name == "DATE":
+            return t.DATE
+        if name == "TIME":
+            return t.TIME
+        if name == "TIMESTAMP":
+            return t.TIMESTAMP
+        return t.SQLType(t.TypeKind.BOOLEAN)
+
+    def _expect_number(self) -> float:
+        token = self._peek()
+        if token.kind is not TokenKind.NUMBER:
+            raise ParseError(f"expected a number, found {token.text!r}",
+                             token.line, token.column)
+        self._next()
+        return token.value  # type: ignore[return-value]
+
+    def _create_view(self, replace: bool) -> p.CreateViewSpec:
+        name = self._qualified_name()
+        column_names: Optional[list[str]] = None
+        if self._accept_op("("):
+            column_names = [self._expect_ident("column name")]
+            while self._accept_op(","):
+                column_names.append(self._expect_ident("column name"))
+            self._expect_op(")")
+        self._expect_keyword("AS")
+        start = self._index
+        query = self._query_expr()
+        source_sql = self._source_between(start, self._index)
+        return p.CreateViewSpec(name, column_names, query, source_sql, replace)
+
+    def _source_between(self, start: int, end: int) -> str:
+        return " ".join(token.text for token in self._tokens[start:end])
+
+    def _drop(self) -> p.StatementSpec:
+        self._expect_keyword("DROP")
+        kind = self._expect_keyword("TABLE", "VIEW")
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        name = self._qualified_name()
+        if kind.value == "TABLE":
+            return p.DropTableSpec(name, if_exists)
+        return p.DropViewSpec(name, if_exists)
+
+    def _merge(self) -> p.MergeSpec:
+        if not self._profile.merge_statement:
+            token = self._peek()
+            raise BackendError("MERGE is not supported by this system")
+        self._expect_keyword("MERGE")
+        self._expect_keyword("INTO")
+        target = self._qualified_name()
+        target_alias = None
+        if self._accept_keyword("AS") or self._peek().kind is TokenKind.IDENT:
+            target_alias = self._expect_ident()
+        self._expect_keyword("USING")
+        source = self._table_ref()
+        self._expect_keyword("ON")
+        condition = self._expr()
+        matched_assignments = None
+        insert_columns = None
+        insert_values = None
+        while self._accept_keyword("WHEN"):
+            negated = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("MATCHED")
+            self._expect_keyword("THEN")
+            if negated:
+                self._expect_keyword("INSERT")
+                self._expect_op("(")
+                insert_columns = [self._expect_ident("column name")]
+                while self._accept_op(","):
+                    insert_columns.append(self._expect_ident("column name"))
+                self._expect_op(")")
+                self._expect_keyword("VALUES")
+                insert_values = self._values_row()
+            else:
+                self._expect_keyword("UPDATE")
+                self._expect_keyword("SET")
+                matched_assignments = [self._assignment()]
+                while self._accept_op(","):
+                    matched_assignments.append(self._assignment())
+        return p.MergeSpec(target, target_alias, source, condition,
+                           matched_assignments, insert_columns, insert_values)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def _query_expr(self) -> p.QuerySpec:
+        ctes: list[p.CTESpec] = []
+        if self._accept_keyword("WITH"):
+            recursive = bool(self._accept_keyword("RECURSIVE"))
+            if recursive and not self._profile.recursive_cte:
+                raise BackendError(
+                    "recursive common table expressions are not supported by "
+                    "this system")
+            ctes.append(self._cte(recursive))
+            while self._accept_op(","):
+                ctes.append(self._cte(recursive))
+        first = self._query_term()
+        branches: list[tuple[r.SetOpKind, bool, p.CoreSpec | p.QuerySpec]] = []
+        while self._at_keyword("UNION", "INTERSECT", "EXCEPT"):
+            kind_token = self._next()
+            kind = r.SetOpKind[str(kind_token.value)]
+            all_rows = bool(self._accept_keyword("ALL"))
+            if not all_rows:
+                self._accept_keyword("DISTINCT")
+            branches.append((kind, all_rows, self._query_term()))
+        order_by: list[s.SortKey] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._sort_key())
+            while self._accept_op(","):
+                order_by.append(self._sort_key())
+        limit = None
+        offset = 0
+        if self._accept_keyword("LIMIT"):
+            limit = int(self._expect_number())
+            if self._accept_keyword("OFFSET"):
+                offset = int(self._expect_number())
+        elif self._accept_keyword("OFFSET"):
+            offset = int(self._expect_number())
+        return p.QuerySpec(ctes, first, branches, order_by, limit, offset)
+
+    def _cte(self, recursive: bool) -> p.CTESpec:
+        name = self._expect_ident("CTE name")
+        column_names: Optional[list[str]] = None
+        if self._accept_op("("):
+            column_names = [self._expect_ident("column name")]
+            while self._accept_op(","):
+                column_names.append(self._expect_ident("column name"))
+            self._expect_op(")")
+        self._expect_keyword("AS")
+        self._expect_op("(")
+        query = self._query_expr()
+        self._expect_op(")")
+        return p.CTESpec(name, column_names, query, recursive)
+
+    def _query_term(self) -> p.CoreSpec | p.QuerySpec:
+        if self._accept_op("("):
+            inner = self._query_expr()
+            self._expect_op(")")
+            return inner
+        return self._select_core()
+
+    def _select_core(self) -> p.CoreSpec:
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("ALL")
+        top: Optional[tuple[int, bool]] = None
+        if self._at_keyword("TOP"):
+            self._next()
+            count = int(self._expect_number())
+            with_ties = False
+            if self._accept_keyword("WITH"):
+                self._expect_keyword("TIES")
+                with_ties = True
+            top = (count, with_ties)
+        items = [self._select_item()]
+        while self._accept_op(","):
+            items.append(self._select_item())
+        from_refs: list[p.TableRefSpec] = []
+        if self._accept_keyword("FROM"):
+            from_refs.append(self._table_ref())
+            while self._accept_op(","):
+                from_refs.append(self._table_ref())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._expr()
+        group_by: list[s.ScalarExpr] = []
+        group_kind = r.GroupingKind.SIMPLE
+        grouping_sets: Optional[list[list[int]]] = None
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by, group_kind, grouping_sets = self._group_by()
+        having = None
+        if self._accept_keyword("HAVING"):
+            having = self._expr()
+        return p.CoreSpec(distinct, top, items, from_refs, where,
+                          group_by, group_kind, grouping_sets, having)
+
+    def _group_by(self):
+        kind = r.GroupingKind.SIMPLE
+        grouping_sets = None
+        if self._accept_keyword("ROLLUP"):
+            kind = r.GroupingKind.ROLLUP
+            exprs = self._paren_expr_list()
+        elif self._accept_keyword("CUBE"):
+            kind = r.GroupingKind.CUBE
+            exprs = self._paren_expr_list()
+        elif self._at_keyword("GROUPING"):
+            self._next()
+            self._expect_keyword("SETS")
+            kind = r.GroupingKind.SETS
+            exprs, grouping_sets = self._grouping_sets_list()
+        else:
+            exprs = [self._expr()]
+            while self._accept_op(","):
+                exprs.append(self._expr())
+        if kind is not r.GroupingKind.SIMPLE and not self._profile.grouping_extensions:
+            raise BackendError(
+                "GROUP BY ROLLUP/CUBE/GROUPING SETS is not supported by this system")
+        return exprs, kind, grouping_sets
+
+    def _paren_expr_list(self) -> list[s.ScalarExpr]:
+        self._expect_op("(")
+        exprs = [self._expr()]
+        while self._accept_op(","):
+            exprs.append(self._expr())
+        self._expect_op(")")
+        return exprs
+
+    def _grouping_sets_list(self):
+        self._expect_op("(")
+        all_exprs: list[s.ScalarExpr] = []
+        sets: list[list[int]] = []
+        while True:
+            self._expect_op("(")
+            indexes: list[int] = []
+            if not self._peek().is_op(")"):
+                while True:
+                    expr = self._expr()
+                    position = None
+                    for index, existing in enumerate(all_exprs):
+                        if s.same(existing, expr):
+                            position = index
+                            break
+                    if position is None:
+                        position = len(all_exprs)
+                        all_exprs.append(expr)
+                    indexes.append(position)
+                    if not self._accept_op(","):
+                        break
+            self._expect_op(")")
+            sets.append(indexes)
+            if not self._accept_op(","):
+                break
+        self._expect_op(")")
+        return all_exprs, sets
+
+    def _select_item(self) -> p.SelectItem:
+        if self._accept_op("*"):
+            return p.SelectItem(star=True, star_qualifier=None, expr=None, alias=None)
+        # "table.*"
+        token = self._peek()
+        if token.kind in (TokenKind.IDENT, TokenKind.QUOTED_IDENT) \
+                and self._peek(1).is_op(".") and self._peek(2).is_op("*"):
+            qualifier = self._expect_ident()
+            self._expect_op(".")
+            self._expect_op("*")
+            return p.SelectItem(star=True, star_qualifier=qualifier, expr=None, alias=None)
+        expr = self._expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias")
+        elif self._peek().kind in (TokenKind.IDENT, TokenKind.QUOTED_IDENT):
+            alias = self._expect_ident()
+        return p.SelectItem(star=False, star_qualifier=None, expr=expr, alias=alias)
+
+    def _table_ref(self) -> p.TableRefSpec:
+        left = self._table_primary()
+        while True:
+            if self._at_keyword("JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS"):
+                kind = r.JoinKind.INNER
+                if self._accept_keyword("INNER"):
+                    pass
+                elif self._accept_keyword("LEFT"):
+                    self._accept_keyword("OUTER")
+                    kind = r.JoinKind.LEFT
+                elif self._accept_keyword("RIGHT"):
+                    self._accept_keyword("OUTER")
+                    kind = r.JoinKind.RIGHT
+                elif self._accept_keyword("FULL"):
+                    self._accept_keyword("OUTER")
+                    kind = r.JoinKind.FULL
+                elif self._accept_keyword("CROSS"):
+                    kind = r.JoinKind.CROSS
+                self._expect_keyword("JOIN")
+                right = self._table_primary()
+                condition = None
+                if kind is not r.JoinKind.CROSS:
+                    self._expect_keyword("ON")
+                    condition = self._expr()
+                left = p.JoinSpec(kind, left, right, condition)
+            else:
+                return left
+
+    def _table_primary(self) -> p.TableRefSpec:
+        if self._accept_op("("):
+            # Either a derived table or a parenthesized join tree.
+            if self._at_keyword("SELECT", "WITH"):
+                query = self._query_expr()
+                self._expect_op(")")
+                alias, column_names = self._table_alias(required=True)
+                return p.SubqueryRefSpec(query, alias, column_names)
+            if self._peek().is_op("("):
+                # Could be a parenthesized query expression (e.g. a UNION of
+                # SELECTs used as a derived table) or a parenthesized join
+                # tree; try the query first and backtrack on failure.
+                mark = self._index
+                try:
+                    query = self._query_expr()
+                    self._expect_op(")")
+                    alias, column_names = self._table_alias(required=True)
+                    return p.SubqueryRefSpec(query, alias, column_names)
+                except ParseError:
+                    self._index = mark
+            inner = self._table_ref()
+            self._expect_op(")")
+            return inner
+        name = self._qualified_name()
+        alias, column_names = self._table_alias(required=False)
+        return p.TableNameSpec(name, alias, column_names)
+
+    def _table_alias(self, required: bool) -> tuple[Optional[str], Optional[list[str]]]:
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias")
+        elif self._peek().kind in (TokenKind.IDENT, TokenKind.QUOTED_IDENT):
+            alias = self._expect_ident()
+        elif required:
+            token = self._peek()
+            raise ParseError("derived table requires an alias", token.line, token.column)
+        column_names = None
+        if alias and self._peek().is_op("(") and self._peek(1).kind in (
+                TokenKind.IDENT, TokenKind.QUOTED_IDENT) and (
+                self._peek(2).is_op(",") or self._peek(2).is_op(")")):
+            self._expect_op("(")
+            column_names = [self._expect_ident("column name")]
+            while self._accept_op(","):
+                column_names.append(self._expect_ident("column name"))
+            self._expect_op(")")
+        return alias, column_names
+
+    def _sort_key(self) -> s.SortKey:
+        expr = self._expr()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        nulls_first: Optional[bool] = None
+        if self._accept_keyword("NULLS"):
+            if not self._profile.explicit_null_ordering:
+                raise BackendError(
+                    "explicit NULLS FIRST/LAST is not supported by this system")
+            token = self._expect_keyword("FIRST", "LAST")
+            nulls_first = token.value == "FIRST"
+        return s.SortKey(expr, ascending, nulls_first)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _expr(self) -> s.ScalarExpr:
+        return self._or_expr()
+
+    def _or_expr(self) -> s.ScalarExpr:
+        left = self._and_expr()
+        args = [left]
+        while self._accept_keyword("OR"):
+            args.append(self._and_expr())
+        if len(args) == 1:
+            return left
+        return s.BoolOp(s.BoolOpKind.OR, args)
+
+    def _and_expr(self) -> s.ScalarExpr:
+        left = self._not_expr()
+        args = [left]
+        while self._accept_keyword("AND"):
+            args.append(self._not_expr())
+        if len(args) == 1:
+            return left
+        return s.BoolOp(s.BoolOpKind.AND, args)
+
+    def _not_expr(self) -> s.ScalarExpr:
+        if self._accept_keyword("NOT"):
+            return s.Not(self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> s.ScalarExpr:
+        left = self._additive()
+        return self._predicate_tail(left)
+
+    def _predicate_tail(self, left: s.ScalarExpr) -> s.ScalarExpr:
+        token = self._peek()
+        if token.is_op("=", "<>", "<", "<=", ">", ">="):
+            self._next()
+            op = s.CompOp(str(token.value))
+            if self._at_keyword("ANY", "SOME", "ALL"):
+                quantifier_token = self._next()
+                quantifier = (s.Quantifier.ALL if quantifier_token.value == "ALL"
+                              else s.Quantifier.ANY)
+                self._expect_op("(")
+                query = self._query_expr()
+                self._expect_op(")")
+                left_items = self._row_items(left)
+                if len(left_items) > 1 and not self._profile.vector_subquery:
+                    raise BackendError(
+                        "vector comparison in quantified subquery is not "
+                        "supported by this system")
+                return s.SubqueryExpr(kind=s.SubqueryKind.QUANTIFIED, plan=query,
+                                      left=left_items, op=op, quantifier=quantifier)
+            right = self._additive()
+            return s.Comp(op, left, right)
+        negated = False
+        if token.is_keyword("NOT"):
+            lookahead = self._peek(1)
+            if lookahead.is_keyword("IN", "LIKE", "BETWEEN"):
+                self._next()
+                negated = True
+                token = self._peek()
+        if token.is_keyword("IS"):
+            self._next()
+            is_negated = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return s.IsNull(left, is_negated)
+        if token.is_keyword("IN"):
+            self._next()
+            self._expect_op("(")
+            if self._at_keyword("SELECT", "WITH"):
+                query = self._query_expr()
+                self._expect_op(")")
+                return s.SubqueryExpr(kind=s.SubqueryKind.IN, plan=query,
+                                      left=self._row_items(left), negated=negated)
+            items = [self._expr()]
+            while self._accept_op(","):
+                items.append(self._expr())
+            self._expect_op(")")
+            return s.InList(left, items, negated)
+        if token.is_keyword("LIKE"):
+            self._next()
+            pattern = self._additive()
+            escape = None
+            if self._accept_keyword("ESCAPE"):
+                escape_token = self._next()
+                escape = str(escape_token.value)
+            return s.Like(left, pattern, escape, negated)
+        if token.is_keyword("BETWEEN"):
+            self._next()
+            low = self._additive()
+            self._expect_keyword("AND")
+            high = self._additive()
+            return s.Between(left, low, high, negated)
+        return left
+
+    def _row_items(self, left: s.ScalarExpr) -> list[s.ScalarExpr]:
+        """Unpack a row-value constructor produced by ``_primary``."""
+        if isinstance(left, _RowValue):
+            return left.items
+        return [left]
+
+    def _additive(self) -> s.ScalarExpr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.is_op("+", "-", "||"):
+                self._next()
+                op = {"+": s.ArithOp.ADD, "-": s.ArithOp.SUB,
+                      "||": s.ArithOp.CONCAT}[str(token.value)]
+                left = s.Arith(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> s.ScalarExpr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.is_op("*", "/", "%"):
+                self._next()
+                op = {"*": s.ArithOp.MUL, "/": s.ArithOp.DIV,
+                      "%": s.ArithOp.MOD}[str(token.value)]
+                left = s.Arith(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> s.ScalarExpr:
+        if self._accept_op("-"):
+            return s.Negate(self._unary())
+        if self._accept_op("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> s.ScalarExpr:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._next()
+            value = token.value
+            kind = t.INTEGER if isinstance(value, int) else t.FLOAT
+            return s.Const(value, kind)
+        if token.kind is TokenKind.STRING:
+            self._next()
+            return s.const_str(str(token.value))
+        if token.is_keyword("NULL"):
+            self._next()
+            return s.null_const()
+        if token.is_keyword("TRUE"):
+            self._next()
+            return s.Const(True, t.BOOLEAN)
+        if token.is_keyword("FALSE"):
+            self._next()
+            return s.Const(False, t.BOOLEAN)
+        if token.is_keyword("DATE") and self._peek(1).kind is TokenKind.STRING:
+            self._next()
+            literal = self._next()
+            try:
+                value = datetime.date.fromisoformat(str(literal.value))
+            except ValueError as exc:
+                raise ParseError(f"bad date literal {literal.value!r}",
+                                 literal.line, literal.column) from exc
+            return s.Const(value, t.DATE)
+        if token.is_keyword("TIMESTAMP") and self._peek(1).kind is TokenKind.STRING:
+            self._next()
+            literal = self._next()
+            try:
+                value = datetime.datetime.fromisoformat(str(literal.value))
+            except ValueError as exc:
+                raise ParseError(f"bad timestamp literal {literal.value!r}",
+                                 literal.line, literal.column) from exc
+            return s.Const(value, t.TIMESTAMP)
+        if token.is_keyword("CASE"):
+            return self._case()
+        if token.is_keyword("CAST"):
+            return self._cast()
+        if token.is_keyword("EXTRACT"):
+            return self._extract()
+        if token.is_keyword("SUBSTRING"):
+            return self._substring()
+        if token.is_keyword("POSITION"):
+            return self._position()
+        if token.is_keyword("EXISTS"):
+            self._next()
+            self._expect_op("(")
+            query = self._query_expr()
+            self._expect_op(")")
+            return s.SubqueryExpr(kind=s.SubqueryKind.EXISTS, plan=query)
+        if token.is_keyword("CURRENT"):  # pragma: no cover - alt spelling
+            raise ParseError("unexpected CURRENT", token.line, token.column)
+        if token.is_op("("):
+            self._next()
+            if self._at_keyword("SELECT", "WITH"):
+                query = self._query_expr()
+                self._expect_op(")")
+                return s.SubqueryExpr(kind=s.SubqueryKind.SCALAR, plan=query)
+            expr = self._expr()
+            if self._accept_op(","):
+                items = [expr, self._expr()]
+                while self._accept_op(","):
+                    items.append(self._expr())
+                self._expect_op(")")
+                return _RowValue(items)
+            self._expect_op(")")
+            return expr
+        if token.kind is TokenKind.PARAM:
+            self._next()
+            return s.Param(str(token.value))
+        if token.kind in (TokenKind.IDENT, TokenKind.QUOTED_IDENT):
+            return self._name_or_call()
+        raise ParseError(f"unexpected token {token.text or 'end of input'!r}",
+                         token.line, token.column)
+
+    def _case(self) -> s.Case:
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._at_keyword("WHEN"):
+            operand = self._expr()
+        conditions: list[s.ScalarExpr] = []
+        results: list[s.ScalarExpr] = []
+        while self._accept_keyword("WHEN"):
+            conditions.append(self._expr())
+            self._expect_keyword("THEN")
+            results.append(self._expr())
+        default = None
+        if self._accept_keyword("ELSE"):
+            default = self._expr()
+        self._expect_keyword("END")
+        if not conditions:
+            token = self._peek()
+            raise ParseError("CASE requires at least one WHEN", token.line, token.column)
+        return s.Case(operand, conditions, results, default)
+
+    def _cast(self) -> s.Cast:
+        self._expect_keyword("CAST")
+        self._expect_op("(")
+        operand = self._expr()
+        self._expect_keyword("AS")
+        target = self._type_name()
+        self._expect_op(")")
+        return s.Cast(operand, target)
+
+    def _extract(self) -> s.Extract:
+        self._expect_keyword("EXTRACT")
+        self._expect_op("(")
+        field_token = self._expect_keyword(
+            "YEAR", "MONTH", "DAY", "HOUR", "MINUTE", "SECOND")
+        self._expect_keyword("FROM")
+        operand = self._expr()
+        self._expect_op(")")
+        return s.Extract(s.ExtractField[str(field_token.value)], operand)
+
+    def _substring(self) -> s.FuncCall:
+        self._expect_keyword("SUBSTRING")
+        self._expect_op("(")
+        value = self._expr()
+        if self._accept_keyword("FROM"):
+            start = self._expr()
+            length = None
+            if self._accept_keyword("FOR"):
+                length = self._expr()
+        else:
+            self._expect_op(",")
+            start = self._expr()
+            length = None
+            if self._accept_op(","):
+                length = self._expr()
+        self._expect_op(")")
+        args = [value, start] + ([length] if length is not None else [])
+        return s.FuncCall("SUBSTRING", args)
+
+    def _position(self) -> s.FuncCall:
+        self._expect_keyword("POSITION")
+        self._expect_op("(")
+        # The needle must stop before IN (which would otherwise parse as an
+        # IN-list predicate).
+        needle = self._additive()
+        self._expect_keyword("IN")
+        haystack = self._expr()
+        self._expect_op(")")
+        return s.FuncCall("POSITION", [needle, haystack])
+
+    def _name_or_call(self) -> s.ScalarExpr:
+        name = self._expect_ident()
+        if self._peek().is_op("("):
+            return self._call(name)
+        if self._accept_op("."):
+            column = self._expect_ident("column name")
+            return s.ColumnRef(column, table=name)
+        return s.ColumnRef(name)
+
+    def _call(self, name: str) -> s.ScalarExpr:
+        self._expect_op("(")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        star = False
+        args: list[s.ScalarExpr] = []
+        if self._accept_op("*"):
+            star = True
+        elif not self._peek().is_op(")"):
+            args.append(self._expr())
+            while self._accept_op(","):
+                args.append(self._expr())
+        self._expect_op(")")
+        upper = name.upper()
+        window = self._over_clause()
+        if window is not None:
+            if upper not in _WINDOW_ONLY and upper not in _AGG_NAMES:
+                raise BackendError(f"{name}() cannot be used as a window function")
+            partition_by, order_by = window
+            return s.WindowFunc(upper, args, partition_by, order_by)
+        if upper in _WINDOW_ONLY:
+            raise BackendError(f"{name}() requires an OVER clause")
+        if upper in _AGG_NAMES:
+            return s.AggCall(upper, args, distinct=distinct, star=star)
+        if star or distinct:
+            raise ParseError(f"{name}() does not accept DISTINCT or *",
+                             self._peek().line, self._peek().column)
+        return s.FuncCall(upper, args)
+
+    def _over_clause(self):
+        if not self._at_keyword("OVER"):
+            return None
+        self._next()
+        self._expect_op("(")
+        partition_by: list[s.ScalarExpr] = []
+        order_by: list[s.SortKey] = []
+        if self._accept_keyword("PARTITION"):
+            self._expect_keyword("BY")
+            partition_by.append(self._expr())
+            while self._accept_op(","):
+                partition_by.append(self._expr())
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._sort_key())
+            while self._accept_op(","):
+                order_by.append(self._sort_key())
+        if self._at_keyword("ROWS", "RANGE"):
+            raise BackendError("explicit window frames are not supported by this system")
+        self._expect_op(")")
+        return partition_by, order_by
+
+
+class _RowValue(s.ScalarExpr):
+    """Internal marker for a parenthesized row-value constructor.
+
+    Only valid immediately to the left of IN / quantified comparison; any
+    other use is rejected during planning.
+    """
+
+    CHILD_FIELDS = ("items",)
+
+    def __init__(self, items: list[s.ScalarExpr]):
+        self.items = items
+        self.type = t.UNKNOWN

@@ -1,0 +1,636 @@
+"""Lowering of parsed backend statements into executable XTRA plans.
+
+The parser (:mod:`repro.backend.parser`) produces the spec dataclasses below;
+the :class:`Planner` resolves names against the backend catalog, expands
+``*``, extracts aggregates and window functions into their relational
+operators, and wires CTE scopes. The output plans run directly on
+:class:`repro.backend.executor.Executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import BackendError
+from repro.transform.capabilities import CapabilityProfile
+from repro.backend.catalog import Catalog
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+from repro.xtra.relational import OutputColumn, RelNode
+from repro.xtra.scalars import ScalarExpr
+
+
+# ---------------------------------------------------------------------------
+# Parse specs
+# ---------------------------------------------------------------------------
+
+class StatementSpec:
+    """Base class for parsed statements."""
+
+
+@dataclass
+class SelectItem:
+    star: bool
+    star_qualifier: Optional[str]
+    expr: Optional[ScalarExpr]
+    alias: Optional[str]
+
+
+class TableRefSpec:
+    pass
+
+
+@dataclass
+class TableNameSpec(TableRefSpec):
+    name: str
+    alias: Optional[str]
+    column_names: Optional[list[str]] = None
+
+
+@dataclass
+class SubqueryRefSpec(TableRefSpec):
+    query: "QuerySpec"
+    alias: str
+    column_names: Optional[list[str]] = None
+
+
+@dataclass
+class JoinSpec(TableRefSpec):
+    kind: r.JoinKind
+    left: TableRefSpec
+    right: TableRefSpec
+    condition: Optional[ScalarExpr]
+
+
+@dataclass
+class CoreSpec:
+    distinct: bool
+    top: Optional[tuple[int, bool]]
+    items: list[SelectItem]
+    from_refs: list[TableRefSpec]
+    where: Optional[ScalarExpr]
+    group_by: list[ScalarExpr]
+    group_kind: r.GroupingKind
+    grouping_sets: Optional[list[list[int]]]
+    having: Optional[ScalarExpr]
+
+
+@dataclass
+class CTESpec:
+    name: str
+    column_names: Optional[list[str]]
+    query: "QuerySpec"
+    recursive: bool
+
+
+@dataclass
+class QuerySpec:
+    ctes: list[CTESpec]
+    first: "CoreSpec | QuerySpec"
+    branches: list[tuple[r.SetOpKind, bool, "CoreSpec | QuerySpec"]]
+    order_by: list[s.SortKey]
+    limit: Optional[int]
+    offset: int
+
+
+@dataclass
+class QueryStatementSpec(StatementSpec):
+    query: QuerySpec
+
+
+@dataclass
+class InsertSpec(StatementSpec):
+    table: str
+    columns: Optional[list[str]]
+    rows: Optional[list[list[ScalarExpr]]]
+    query: Optional[QuerySpec]
+
+
+@dataclass
+class UpdateSpec(StatementSpec):
+    table: str
+    alias: Optional[str]
+    assignments: list[tuple[str, ScalarExpr]]
+    predicate: Optional[ScalarExpr]
+
+
+@dataclass
+class DeleteSpec(StatementSpec):
+    table: str
+    alias: Optional[str]
+    predicate: Optional[ScalarExpr]
+
+
+@dataclass
+class CreateTableSpec(StatementSpec):
+    name: str
+    columns: Optional[list]
+    as_query: Optional[QuerySpec]
+    temporary: bool
+    if_not_exists: bool
+
+
+@dataclass
+class DropTableSpec(StatementSpec):
+    name: str
+    if_exists: bool
+
+
+@dataclass
+class CreateViewSpec(StatementSpec):
+    name: str
+    column_names: Optional[list[str]]
+    query: QuerySpec
+    source_sql: str
+    replace: bool
+
+
+@dataclass
+class DropViewSpec(StatementSpec):
+    name: str
+    if_exists: bool
+
+
+@dataclass
+class TruncateSpec(StatementSpec):
+    name: str
+
+
+@dataclass
+class TransactionSpec(StatementSpec):
+    action: str
+
+
+@dataclass
+class MergeSpec(StatementSpec):
+    target: str
+    target_alias: Optional[str]
+    source: TableRefSpec
+    condition: ScalarExpr
+    matched_assignments: Optional[list[tuple[str, ScalarExpr]]]
+    insert_columns: Optional[list[str]]
+    insert_values: Optional[list[ScalarExpr]]
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+class _Scope:
+    """Chain of CTE name -> output columns visible during planning."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.ctes: dict[str, list[OutputColumn]] = {}
+
+    def lookup(self, name: str) -> Optional[list[OutputColumn]]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name.upper() in scope.ctes:
+                return scope.ctes[name.upper()]
+            scope = scope.parent
+        return None
+
+
+class Planner:
+    """Plans parsed query specs against a catalog + capability profile."""
+
+    def __init__(self, catalog: Catalog, profile: CapabilityProfile):
+        self._catalog = catalog
+        self._profile = profile
+
+    # -- entry point ----------------------------------------------------------
+
+    def plan_query(self, spec: QuerySpec, scope: Optional[_Scope] = None) -> RelNode:
+        scope = _Scope(scope)
+        cte_defs: list[r.CTEDef] = []
+        for cte in spec.ctes:
+            if cte.recursive:
+                plan, columns = self._plan_recursive_cte(cte, scope)
+            else:
+                plan = self.plan_query(cte.query, scope)
+                columns = self._cte_columns(cte, plan)
+            scope.ctes[cte.name.upper()] = columns
+            cte_defs.append(r.CTEDef(cte.name.upper(), plan, cte.column_names,
+                                     cte.recursive))
+        defer = bool(spec.branches)
+        body = self._plan_term(spec.first, scope,
+                               order_by=None if defer else spec.order_by,
+                               limit=None if defer else spec.limit,
+                               offset=0 if defer else spec.offset)
+        for kind, all_rows, branch in spec.branches:
+            right = self._plan_term(branch, scope, None, None, 0)
+            self._check_branch_arity(body, right)
+            body = r.SetOp(kind, all_rows, body, right)
+        if defer:
+            body = self._attach_order_limit_over_setop(
+                body, spec.order_by, spec.limit, spec.offset)
+        if cte_defs:
+            return r.With(cte_defs, body)
+        return body
+
+    # -- internals -----------------------------------------------------------------
+
+    def _check_branch_arity(self, left: RelNode, right: RelNode) -> None:
+        left_n = len(left.output_columns())
+        right_n = len(right.output_columns())
+        if left_n != right_n:
+            raise BackendError(
+                f"set operation branches have {left_n} and {right_n} columns")
+
+    def _cte_columns(self, cte: CTESpec, plan: RelNode) -> list[OutputColumn]:
+        inner = plan.output_columns()
+        if cte.column_names:
+            if len(cte.column_names) != len(inner):
+                raise BackendError(
+                    f"CTE {cte.name}: {len(cte.column_names)} names for "
+                    f"{len(inner)} columns")
+            return [OutputColumn(name.upper(), col.type)
+                    for name, col in zip(cte.column_names, inner)]
+        return [OutputColumn(col.name, col.type) for col in inner]
+
+    def _plan_recursive_cte(self, cte: CTESpec, scope: _Scope):
+        query = cte.query
+        if query.branches and query.branches[0][0] is r.SetOpKind.UNION:
+            seed_spec = query.first
+            rest = query.branches
+        else:
+            raise BackendError(
+                f"recursive CTE {cte.name} must be <seed> UNION ALL <recursive>")
+        seed_plan = self._plan_term(seed_spec, scope, None, None, 0)
+        columns = self._cte_columns(
+            CTESpec(cte.name, cte.column_names, query, False), seed_plan)
+        # Make the self-reference visible while planning recursive branches.
+        scope.ctes[cte.name.upper()] = columns
+        body: RelNode = seed_plan
+        for kind, all_rows, branch in rest:
+            if kind is not r.SetOpKind.UNION or not all_rows:
+                raise BackendError(
+                    f"recursive CTE {cte.name} only supports UNION ALL")
+            right = self._plan_term(branch, scope, None, None, 0)
+            self._check_branch_arity(body, right)
+            body = r.SetOp(kind, all_rows, body, right)
+        return body, columns
+
+    def _attach_order_limit_over_setop(self, body: RelNode,
+                                       order_by: list[s.SortKey],
+                                       limit: Optional[int], offset: int) -> RelNode:
+        output = body.output_columns()
+        names = [col.name for col in output]
+        if order_by:
+            keys = []
+            for key in order_by:
+                expr = key.expr
+                if isinstance(expr, s.Const) and isinstance(expr.value, int):
+                    position = expr.value
+                    if not 1 <= position <= len(names):
+                        raise BackendError(f"ORDER BY position {position} out of range")
+                    expr = s.ColumnRef(names[position - 1])
+                elif not (isinstance(expr, s.ColumnRef) and expr.name in names):
+                    raise BackendError(
+                        "ORDER BY over a set operation must use output column "
+                        "names or ordinals")
+                keys.append(s.SortKey(expr, key.ascending, key.nulls_first))
+            body = r.Sort(body, keys)
+        if limit is not None or offset:
+            body = r.Limit(body, limit, offset)
+        return body
+
+    def _plan_term(self, term, scope: _Scope, order_by, limit, offset) -> RelNode:
+        if isinstance(term, QuerySpec):
+            plan = self.plan_query(term, scope)
+            if order_by or limit is not None or offset:
+                plan = self._attach_order_limit_over_setop(plan, order_by or [],
+                                                           limit, offset)
+            return plan
+        return self._plan_core(term, scope, order_by or [], limit, offset)
+
+    # -- FROM clause ----------------------------------------------------------------
+
+    def _plan_from(self, refs: list[TableRefSpec], scope: _Scope) -> RelNode:
+        if not refs:
+            return r.Values(rows=[[]], names=[], types=[])
+        plan = self._plan_table_ref(refs[0], scope)
+        for ref in refs[1:]:
+            plan = r.Join(r.JoinKind.CROSS, plan, self._plan_table_ref(ref, scope))
+        return plan
+
+    def _plan_table_ref(self, ref: TableRefSpec, scope: _Scope) -> RelNode:
+        if isinstance(ref, JoinSpec):
+            left = self._plan_table_ref(ref.left, scope)
+            right = self._plan_table_ref(ref.right, scope)
+            condition = None
+            if ref.condition is not None:
+                condition = self._plan_scalar_subqueries(ref.condition, scope)
+            return r.Join(ref.kind, left, right, condition)
+        if isinstance(ref, SubqueryRefSpec):
+            child = self.plan_query(ref.query, scope)
+            return r.DerivedTable(child, ref.alias.upper(), ref.column_names)
+        assert isinstance(ref, TableNameSpec)
+        cte_columns = scope.lookup(ref.name)
+        if cte_columns is not None:
+            return r.CTERef(ref.name.upper(), cte_columns, ref.alias)
+        if self._catalog.has_view(ref.name):
+            return self._expand_view(ref, scope)
+        table = self._catalog.table(ref.name)  # raises CatalogError if absent
+        return r.Get(table.schema, ref.alias)
+
+    def _expand_view(self, ref: TableNameSpec, scope: _Scope) -> RelNode:
+        from repro.backend.parser import BackendParser  # local import: cycle
+
+        view = self._catalog.view(ref.name)
+        assert view is not None and view.view_sql is not None
+        parser = BackendParser(self._profile)
+        statement = parser.parse_statement(view.view_sql)
+        if not isinstance(statement, QueryStatementSpec):
+            raise BackendError(f"view {ref.name} does not wrap a query")
+        child = self.plan_query(statement.query, scope)
+        names = [col.name for col in view.columns] or None
+        return r.DerivedTable(child, (ref.alias or ref.name).upper(), names)
+
+    # -- SELECT core -------------------------------------------------------------------
+
+    def _plan_core(self, core: CoreSpec, scope: _Scope,
+                   order_by: list[s.SortKey], limit: Optional[int],
+                   offset: int) -> RelNode:
+        source = self._plan_from(core.from_refs, scope)
+        input_columns = source.output_columns()
+
+        if core.where is not None:
+            where = self._plan_scalar_subqueries(core.where, scope)
+            if _contains_aggregate(where):
+                raise BackendError("aggregates are not allowed in WHERE")
+            source = r.Filter(source, where)
+
+        select_exprs, select_names = self._expand_items(core.items, input_columns, scope)
+        having = (self._plan_scalar_subqueries(core.having, scope)
+                  if core.having is not None else None)
+        group_by = [self._plan_scalar_subqueries(expr, scope) for expr in core.group_by]
+        group_by = self._resolve_group_ordinals(group_by, select_exprs)
+
+        agg_calls: list[s.AggCall] = []
+        for expr in select_exprs:
+            _collect_aggregates(expr, agg_calls)
+        if having is not None:
+            _collect_aggregates(having, agg_calls)
+
+        current = source
+        if group_by or agg_calls or core.group_kind is not r.GroupingKind.SIMPLE:
+            group_names = [f"_G{i}" for i in range(len(group_by))]
+            agg_names = [f"_A{i}" for i in range(len(agg_calls))]
+            current = r.Aggregate(current, group_by, group_names, agg_calls,
+                                  agg_names, core.group_kind, core.grouping_sets)
+            replacer = _AggReplacer(group_by, group_names, agg_calls, agg_names)
+            select_exprs = [replacer.rewrite(expr) for expr in select_exprs]
+            if having is not None:
+                having = replacer.rewrite(having)
+                current = r.Filter(current, having)
+            order_by = [s.SortKey(replacer.rewrite(key.expr), key.ascending,
+                                  key.nulls_first) for key in order_by]
+        elif having is not None:
+            raise BackendError("HAVING requires GROUP BY or aggregates")
+
+        # Window extraction (post-aggregation scope).
+        window_funcs: list[s.WindowFunc] = []
+        window_names: list[str] = []
+        extractor = _WindowExtractor(window_funcs, window_names)
+        select_exprs = [extractor.rewrite(expr) for expr in select_exprs]
+        order_by = [s.SortKey(extractor.rewrite(key.expr), key.ascending,
+                              key.nulls_first) for key in order_by]
+        if window_funcs:
+            current = r.Window(current, window_funcs, window_names)
+
+        project = r.Project(current, list(select_exprs), list(select_names))
+        result: RelNode = project
+
+        if core.distinct:
+            result = r.Distinct(result)
+
+        if order_by:
+            result = self._plan_order_by(result, project, select_names,
+                                         select_exprs, order_by, core.distinct)
+
+        top_count = None
+        with_ties = False
+        if core.top is not None:
+            top_count, with_ties = core.top
+            if with_ties and not self._profile.top_with_ties:
+                raise BackendError("TOP ... WITH TIES is not supported by this system")
+        if limit is not None:
+            top_count = limit if top_count is None else min(top_count, limit)
+        if top_count is not None or offset:
+            result = r.Limit(result, top_count, offset, with_ties)
+        return result
+
+    def _resolve_group_ordinals(self, group_by: list[ScalarExpr],
+                                select_exprs: list[ScalarExpr]) -> list[ScalarExpr]:
+        if not self._profile.ordinal_group_by:
+            return group_by
+        resolved = []
+        for expr in group_by:
+            if isinstance(expr, s.Const) and isinstance(expr.value, int):
+                position = expr.value
+                if not 1 <= position <= len(select_exprs):
+                    raise BackendError(f"GROUP BY position {position} out of range")
+                resolved.append(select_exprs[position - 1])
+            else:
+                resolved.append(expr)
+        return resolved
+
+    def _expand_items(self, items: list[SelectItem],
+                      input_columns: list[OutputColumn],
+                      scope: _Scope) -> tuple[list[ScalarExpr], list[str]]:
+        exprs: list[ScalarExpr] = []
+        names: list[str] = []
+        for item in items:
+            if item.star:
+                matched = False
+                for col in input_columns:
+                    if item.star_qualifier and col.qualifier != item.star_qualifier.upper():
+                        continue
+                    matched = True
+                    exprs.append(s.ColumnRef(col.name, col.qualifier, col.type))
+                    names.append(col.name)
+                if not matched:
+                    raise BackendError(
+                        f"no columns match {item.star_qualifier or ''}.*")
+                continue
+            expr = self._plan_scalar_subqueries(item.expr, scope)
+            exprs.append(expr)
+            names.append(item.alias or _default_name(expr, len(names)))
+        return exprs, names
+
+    def _plan_order_by(self, result: RelNode, project: r.Project,
+                       select_names: list[str], select_exprs: list[ScalarExpr],
+                       order_by: list[s.SortKey], distinct: bool) -> RelNode:
+        keys: list[s.SortKey] = []
+        hidden: list[tuple[str, ScalarExpr]] = []
+        for key in order_by:
+            expr = key.expr
+            if isinstance(expr, s.Const) and isinstance(expr.value, int):
+                position = expr.value
+                if not 1 <= position <= len(select_names):
+                    raise BackendError(f"ORDER BY position {position} out of range")
+                keys.append(s.SortKey(s.ColumnRef(select_names[position - 1]),
+                                      key.ascending, key.nulls_first))
+                continue
+            if isinstance(expr, s.ColumnRef) and expr.table is None \
+                    and expr.name in select_names:
+                keys.append(key)
+                continue
+            # Match a full select expression (ORDER BY <same expr>).
+            matched_name = None
+            for name, sel in zip(select_names, select_exprs):
+                if s.same(sel, expr):
+                    matched_name = name
+                    break
+            if matched_name is not None:
+                keys.append(s.SortKey(s.ColumnRef(matched_name), key.ascending,
+                                      key.nulls_first))
+                continue
+            if distinct:
+                raise BackendError(
+                    "ORDER BY expression must appear in the SELECT DISTINCT list")
+            hidden_name = f"_S{len(hidden)}"
+            hidden.append((hidden_name, expr))
+            keys.append(s.SortKey(s.ColumnRef(hidden_name), key.ascending,
+                                  key.nulls_first))
+        if not hidden:
+            return r.Sort(result, keys)
+        # Widen the projection with hidden sort columns, sort, then strip.
+        visible = len(project.exprs)
+        project.exprs = project.exprs + [expr for __, expr in hidden]
+        project.names = project.names + [name for name, __ in hidden]
+        sorted_node = r.Sort(result, keys)
+        strip_exprs = [s.ColumnRef(name) for name in project.names[:visible]]
+        return r.Project(sorted_node, strip_exprs, list(project.names[:visible]))
+
+    # -- scalar subquery planning ----------------------------------------------------------
+
+    def _plan_scalar_subqueries(self, expr: ScalarExpr, scope: _Scope) -> ScalarExpr:
+        """Recursively plan QuerySpec payloads inside SubqueryExpr nodes and
+        reject stray row-value constructors."""
+        from repro.backend.parser import _RowValue  # local import: cycle
+
+        for name in expr.CHILD_FIELDS:
+            value = getattr(expr, name)
+            if isinstance(value, ScalarExpr):
+                setattr(expr, name, self._plan_scalar_subqueries(value, scope))
+            elif isinstance(value, list):
+                setattr(expr, name, [
+                    self._plan_scalar_subqueries(item, scope)
+                    if isinstance(item, ScalarExpr) else item
+                    for item in value
+                ])
+        if isinstance(expr, _RowValue):
+            raise BackendError("row value constructor used outside IN/quantified "
+                               "comparison")
+        if isinstance(expr, s.SubqueryExpr) and isinstance(expr.plan, QuerySpec):
+            expr.plan = self.plan_query(expr.plan, scope)
+        return expr
+
+
+# ---------------------------------------------------------------------------
+# Rewrite helpers
+# ---------------------------------------------------------------------------
+
+def _default_name(expr: ScalarExpr, position: int) -> str:
+    if isinstance(expr, s.ColumnRef):
+        return expr.name
+    if isinstance(expr, s.AggCall):
+        return expr.name
+    if isinstance(expr, s.FuncCall):
+        return expr.name
+    return f"_C{position}"
+
+
+def _contains_aggregate(expr: ScalarExpr) -> bool:
+    if isinstance(expr, s.AggCall):
+        return True
+    return any(_contains_aggregate(child) for child in expr.children())
+
+
+def _collect_aggregates(expr: ScalarExpr, out: list[s.AggCall]) -> None:
+    """Collect AggCall nodes (outside subquery plans, deduplicated by identity
+    and structure)."""
+    if isinstance(expr, s.AggCall):
+        for existing in out:
+            if existing is expr or s.same(existing, expr):
+                return
+        out.append(expr)
+        return
+    if isinstance(expr, s.WindowFunc):
+        # Aggregates inside a window spec (e.g. RANK() OVER (ORDER BY SUM(x)))
+        # belong to the aggregation below the window.
+        for child in expr.children():
+            _collect_aggregates(child, out)
+        return
+    for child in expr.children():
+        _collect_aggregates(child, out)
+
+
+class _AggReplacer:
+    """Top-down replacement of group-by subtrees and aggregate calls with
+    references to the Aggregate operator's output columns."""
+
+    def __init__(self, group_by, group_names, aggs, agg_names):
+        self._groups = list(zip(group_by, group_names))
+        self._aggs = list(zip(aggs, agg_names))
+
+    def rewrite(self, expr: ScalarExpr) -> ScalarExpr:
+        if isinstance(expr, s.AggCall):
+            for agg, name in self._aggs:
+                if agg is expr or s.same(agg, expr):
+                    return s.ColumnRef(name, type=expr.type)
+            raise BackendError("uncollected aggregate (planner bug)")
+        for group, name in self._groups:
+            if s.same(group, expr):
+                return s.ColumnRef(name, type=expr.type)
+        if isinstance(expr, s.SubqueryExpr):
+            # Do not descend into subquery plans: their columns are their own.
+            expr.left = [self.rewrite(item) for item in expr.left]
+            return expr
+        for field_name in expr.CHILD_FIELDS:
+            value = getattr(expr, field_name)
+            if isinstance(value, ScalarExpr):
+                setattr(expr, field_name, self.rewrite(value))
+            elif isinstance(value, list):
+                setattr(expr, field_name, [
+                    self.rewrite(item) if isinstance(item, ScalarExpr) else item
+                    for item in value
+                ])
+        return expr
+
+
+class _WindowExtractor:
+    """Pulls WindowFunc specs out of scalar trees, replacing them with
+    references to the Window operator's computed columns."""
+
+    def __init__(self, funcs: list[s.WindowFunc], names: list[str]):
+        self._funcs = funcs
+        self._names = names
+
+    def rewrite(self, expr: ScalarExpr) -> ScalarExpr:
+        if isinstance(expr, s.WindowFunc):
+            for func, name in zip(self._funcs, self._names):
+                if func is expr or s.same(func, expr):
+                    return s.ColumnRef(name, type=expr.type)
+            name = f"_W{len(self._funcs)}"
+            self._funcs.append(expr)
+            self._names.append(name)
+            return s.ColumnRef(name, type=expr.type)
+        if isinstance(expr, s.SubqueryExpr):
+            expr.left = [self.rewrite(item) for item in expr.left]
+            return expr
+        for field_name in expr.CHILD_FIELDS:
+            value = getattr(expr, field_name)
+            if isinstance(value, ScalarExpr):
+                setattr(expr, field_name, self.rewrite(value))
+            elif isinstance(value, list):
+                setattr(expr, field_name, [
+                    self.rewrite(item) if isinstance(item, ScalarExpr) else item
+                    for item in value
+                ])
+        return expr

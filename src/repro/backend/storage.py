@@ -1,0 +1,159 @@
+"""Row storage for the backend database.
+
+A deliberately simple heap: each table is a list of row tuples guarded by its
+:class:`~repro.xtra.schema.TableSchema`. Type checking happens at insert time
+so downstream operators can trust value shapes. NOT NULL and (constant)
+DEFAULT column properties are enforced here; richer Teradata column
+properties (non-constant defaults, CASESPECIFIC, SET semantics) are exactly
+the gaps Hyper-Q emulates in the mid-tier.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterable, Optional
+
+from repro.errors import BackendError, TypeMismatchError
+from repro.xtra.schema import ColumnSchema, TableSchema
+from repro.xtra.types import SQLType, TypeKind
+
+Row = tuple
+
+_INT_KINDS = (TypeKind.SMALLINT, TypeKind.INTEGER, TypeKind.BIGINT)
+
+
+def coerce_value(value: object, target: SQLType, column_name: str = "?") -> object:
+    """Coerce a Python value into the runtime representation of *target*.
+
+    Raises :class:`TypeMismatchError` for values that cannot represent the
+    declared type. NULL (None) always passes; nullability is checked by the
+    caller because it needs the column metadata.
+    """
+    if value is None:
+        return None
+    kind = target.kind
+    if kind in _INT_KINDS:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(
+                f"column {column_name}: expected {kind.value}, got {type(value).__name__}")
+        if isinstance(value, float):
+            if not value.is_integer():
+                raise TypeMismatchError(
+                    f"column {column_name}: non-integral value {value!r} for {kind.value}")
+            return int(value)
+        return value
+    if kind in (TypeKind.DECIMAL, TypeKind.FLOAT):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(
+                f"column {column_name}: expected numeric, got {type(value).__name__}")
+        return float(value)
+    if kind in (TypeKind.CHAR, TypeKind.VARCHAR):
+        if not isinstance(value, str):
+            raise TypeMismatchError(
+                f"column {column_name}: expected text, got {type(value).__name__}")
+        if target.length is not None and len(value) > target.length:
+            raise TypeMismatchError(
+                f"column {column_name}: value of length {len(value)} exceeds "
+                f"{kind.value}({target.length})")
+        if kind is TypeKind.CHAR and target.length is not None:
+            return value.ljust(target.length)
+        return value
+    if kind is TypeKind.DATE:
+        if isinstance(value, datetime.datetime):
+            return value.date()
+        if not isinstance(value, datetime.date):
+            raise TypeMismatchError(
+                f"column {column_name}: expected DATE, got {type(value).__name__}")
+        return value
+    if kind is TypeKind.TIMESTAMP:
+        if isinstance(value, datetime.datetime):
+            return value
+        if isinstance(value, datetime.date):
+            return datetime.datetime(value.year, value.month, value.day)
+        raise TypeMismatchError(
+            f"column {column_name}: expected TIMESTAMP, got {type(value).__name__}")
+    if kind is TypeKind.TIME:
+        if not isinstance(value, datetime.time):
+            raise TypeMismatchError(
+                f"column {column_name}: expected TIME, got {type(value).__name__}")
+        return value
+    if kind is TypeKind.BOOLEAN:
+        if not isinstance(value, bool):
+            raise TypeMismatchError(
+                f"column {column_name}: expected BOOLEAN, got {type(value).__name__}")
+        return value
+    # UNKNOWN / INTERVAL / PERIOD / BYTE: store as-is.
+    return value
+
+
+class Table:
+    """One heap table: schema plus stored rows."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.rows: list[Row] = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def insert_row(self, values: Iterable[object]) -> None:
+        """Validate, coerce and append a single row."""
+        values = list(values)
+        if len(values) != len(self.schema.columns):
+            raise BackendError(
+                f"table {self.schema.name}: expected {len(self.schema.columns)} "
+                f"values, got {len(values)}")
+        coerced = []
+        for value, column in zip(values, self.schema.columns):
+            if value is None and not column.nullable:
+                raise BackendError(
+                    f"table {self.schema.name}: NULL in NOT NULL column {column.name}")
+            coerced.append(coerce_value(value, column.type, column.name))
+        self.rows.append(tuple(coerced))
+
+    def insert_rows(self, rows: Iterable[Iterable[object]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert_row(row)
+            count += 1
+        return count
+
+    def truncate(self) -> int:
+        removed = len(self.rows)
+        self.rows = []
+        return removed
+
+    def column_index(self, name: str) -> int:
+        wanted = name.upper()
+        for index, column in enumerate(self.schema.columns):
+            if column.name == wanted:
+                return index
+        raise BackendError(f"table {self.schema.name}: no column {name!r}")
+
+
+def default_value_for(column: ColumnSchema) -> object:
+    """Evaluate a *constant* DEFAULT expression from the column metadata.
+
+    The backend supports only literal defaults; non-constant defaults
+    (``CURRENT_DATE`` etc.) are an emulated column property (Table 2) and are
+    resolved by Hyper-Q before the INSERT reaches us.
+    """
+    sql = column.default_sql
+    if sql is None:
+        return None
+    text = sql.strip()
+    if text.upper() == "NULL":
+        return None
+    if text.startswith("'") and text.endswith("'"):
+        return text[1:-1].replace("''", "'")
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    raise BackendError(
+        f"column {column.name}: non-constant DEFAULT {sql!r} is not supported "
+        "by this backend")

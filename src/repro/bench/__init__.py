@@ -1,0 +1,20 @@
+"""Benchmark harness utilities: experiment drivers and report formatting."""
+
+from repro.bench.harness import (
+    WorkloadStudyResult,
+    prepare_tpch_engine,
+    run_tpch_sequential,
+    run_tpch_stress,
+    run_workload_study,
+)
+from repro.bench.reporting import format_table, percent
+
+__all__ = [
+    "WorkloadStudyResult",
+    "prepare_tpch_engine",
+    "run_tpch_sequential",
+    "run_tpch_stress",
+    "run_workload_study",
+    "format_table",
+    "percent",
+]

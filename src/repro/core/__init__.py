@@ -1,0 +1,7 @@
+"""Hyper-Q core: the adaptive data virtualization engine (the paper's
+primary contribution)."""
+
+from repro.core.tracker import FeatureTracker
+from repro.core.timing import RequestTiming
+
+__all__ = ["FeatureTracker", "RequestTiming"]

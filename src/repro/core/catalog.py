@@ -1,0 +1,178 @@
+"""Hyper-Q's shadow catalog.
+
+Hyper-Q keeps its own picture of the *source-side* schema: Teradata column
+properties that the target cannot represent (SET semantics, CASESPECIFIC,
+non-constant defaults), view definitions in the source dialect, macro and
+procedure bodies, and per-session volatile tables. This is the "state
+information maintained in the application layer" that Section 2.1 says
+emulation requires (the paper calls it the DTM catalog in Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CatalogError
+from repro.xtra.schema import TableSchema
+from repro.xtra.types import SQLType
+
+
+@dataclass
+class MacroDef:
+    """A stored Teradata macro: named parameterized statement sequence."""
+
+    name: str
+    parameters: list[tuple[str, SQLType]] = field(default_factory=list)
+    body_sql: str = ""
+
+
+@dataclass
+class ProcedureDef:
+    """A stored procedure: parameter modes plus the parsed body block."""
+
+    name: str
+    parameters: list[tuple[str, str, SQLType]] = field(default_factory=list)
+    body: object = None  # list[TdProcStatement]
+
+
+class ShadowCatalog:
+    """Source-side catalog shared by all Hyper-Q sessions."""
+
+    def __init__(self):
+        self._tables: dict[str, TableSchema] = {}
+        self._views: dict[str, TableSchema] = {}
+        self._macros: dict[str, MacroDef] = {}
+        self._procedures: dict[str, ProcedureDef] = {}
+
+    # -- tables/views ----------------------------------------------------------
+
+    def add_table(self, schema: TableSchema) -> None:
+        name = schema.name.upper()
+        if name in self._tables or name in self._views:
+            raise CatalogError(f"object {name} already exists")
+        self._tables[name] = schema
+
+    def drop_table(self, name: str) -> None:
+        if name.upper() not in self._tables:
+            raise CatalogError(f"table {name} does not exist")
+        del self._tables[name.upper()]
+
+    def add_view(self, schema: TableSchema, replace: bool = False) -> None:
+        name = schema.name.upper()
+        if name in self._tables:
+            raise CatalogError(f"object {name} already exists as a table")
+        if name in self._views and not replace:
+            raise CatalogError(f"view {name} already exists")
+        self._views[name] = schema
+
+    def drop_view(self, name: str) -> None:
+        if name.upper() not in self._views:
+            raise CatalogError(f"view {name} does not exist")
+        del self._views[name.upper()]
+
+    def resolve(self, name: str) -> Optional[TableSchema]:
+        key = name.upper()
+        return self._tables.get(key) or self._views.get(key)
+
+    def table(self, name: str) -> TableSchema:
+        schema = self.resolve(name)
+        if schema is None:
+            raise CatalogError(f"object {name} does not exist")
+        return schema
+
+    def is_view(self, name: str) -> bool:
+        return name.upper() in self._views
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def view_names(self) -> list[str]:
+        return sorted(self._views)
+
+    # -- macros -------------------------------------------------------------------
+
+    def add_macro(self, macro: MacroDef, replace: bool = False) -> None:
+        key = macro.name.upper()
+        if key in self._macros and not replace:
+            raise CatalogError(f"macro {macro.name} already exists")
+        self._macros[key] = macro
+
+    def drop_macro(self, name: str) -> None:
+        if name.upper() not in self._macros:
+            raise CatalogError(f"macro {name} does not exist")
+        del self._macros[name.upper()]
+
+    def macro(self, name: str) -> MacroDef:
+        macro = self._macros.get(name.upper())
+        if macro is None:
+            raise CatalogError(f"macro {name} does not exist")
+        return macro
+
+    def has_macro(self, name: str) -> bool:
+        return name.upper() in self._macros
+
+    # -- procedures -------------------------------------------------------------------
+
+    def add_procedure(self, procedure: ProcedureDef, replace: bool = False) -> None:
+        key = procedure.name.upper()
+        if key in self._procedures and not replace:
+            raise CatalogError(f"procedure {procedure.name} already exists")
+        self._procedures[key] = procedure
+
+    def drop_procedure(self, name: str) -> None:
+        if name.upper() not in self._procedures:
+            raise CatalogError(f"procedure {name} does not exist")
+        del self._procedures[name.upper()]
+
+    def procedure(self, name: str) -> ProcedureDef:
+        procedure = self._procedures.get(name.upper())
+        if procedure is None:
+            raise CatalogError(f"procedure {name} does not exist")
+        return procedure
+
+    def has_procedure(self, name: str) -> bool:
+        return name.upper() in self._procedures
+
+
+class SessionCatalog:
+    """Per-session view over the shadow catalog plus volatile tables."""
+
+    def __init__(self, shared: ShadowCatalog):
+        self.shared = shared
+        self._volatile: dict[str, TableSchema] = {}
+
+    def add_volatile(self, schema: TableSchema) -> None:
+        name = schema.name.upper()
+        if name in self._volatile:
+            raise CatalogError(f"volatile table {name} already exists")
+        self._volatile[name] = schema
+
+    def drop_volatile(self, name: str) -> bool:
+        return self._volatile.pop(name.upper(), None) is not None
+
+    def is_volatile(self, name: str) -> bool:
+        return name.upper() in self._volatile
+
+    def volatile_names(self) -> list[str]:
+        return sorted(self._volatile)
+
+    # -- resolution: volatile shadows shared ----------------------------------------
+
+    def resolve(self, name: str) -> Optional[TableSchema]:
+        return self._volatile.get(name.upper()) or self.shared.resolve(name)
+
+    def table(self, name: str) -> TableSchema:
+        schema = self.resolve(name)
+        if schema is None:
+            raise CatalogError(f"object {name} does not exist")
+        return schema
+
+    def is_view(self, name: str) -> bool:
+        if name.upper() in self._volatile:
+            return False
+        return self.shared.is_view(name)
+
+    def drop_table(self, name: str) -> None:
+        if not self.drop_volatile(name):
+            self.shared.drop_table(name)

@@ -1,0 +1,7 @@
+"""Mid-tier feature emulation (Section 6).
+
+Each module reconstructs one target-side feature gap by breaking a source
+request into multiple target requests plus Hyper-Q-side state: recursive
+queries (WorkTable/TempTable loops), macros, stored procedures, MERGE,
+DML-on-views, SET-table semantics, HELP/SHOW commands, and column-property
+compensation."""

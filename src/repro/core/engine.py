@@ -1,0 +1,559 @@
+"""The Hyper-Q engine: adaptive data virtualization end to end.
+
+One :class:`HyperQSession` per client connection. Each request runs the
+paper's pipeline (Figure 3):
+
+    Protocol Handler -> Parser -> Binder -> Transformer -> Serializer
+        -> ODBC Server -> target -> TDF -> Result Converter -> client
+
+Statements the target cannot express are routed to the emulators in
+:mod:`repro.core.emulation`, which issue multiple target requests and keep
+mid-tier state. Per-request stage timings (Figure 9) and tracked-feature
+observations (Figure 8) are collected on the way through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import EmulationError, HyperQError, UnsupportedFeatureError
+from repro.backend.engine import Database
+from repro.core.catalog import MacroDef, ProcedureDef, SessionCatalog, ShadowCatalog
+from repro.core.timing import RequestTiming, TimingLog
+from repro.core.tracker import FeatureTracker
+from repro.frontend.teradata import ast as td_ast
+from repro.frontend.teradata.binder import Binder
+from repro.frontend.teradata.parser import TeradataParser
+from repro.odbc.api import OdbcResult, OdbcServer
+from repro.odbc.drivers import InProcessDriver
+from repro.protocol.encoding import ColumnMeta, decode_rows
+from repro.results.converter import ConvertedResult, ResultConverter
+from repro.serializer import serializer_for
+from repro.transform.capabilities import CapabilityProfile, HYPERION, PROFILES
+from repro.transform.engine import Transformer
+from repro.xtra import relational as r
+from repro.xtra import types as t
+from repro.xtra.relational import RelNode
+from repro.xtra.schema import ColumnSchema, TableSchema
+from repro.xtra.visitor import walk_rel
+
+
+@dataclass
+class HQResult:
+    """Outcome of one Hyper-Q request as seen by the application."""
+
+    kind: str  # "rows" | "count" | "ok"
+    columns: list[str] = field(default_factory=list)
+    metas: list[ColumnMeta] = field(default_factory=list)
+    converted: Optional[ConvertedResult] = None
+    rowcount: int = 0
+    timing: RequestTiming = field(default_factory=RequestTiming)
+    target_sql: list[str] = field(default_factory=list)
+
+    @property
+    def rows(self) -> list[tuple]:
+        """Decode the converted binary payload back into Python rows."""
+        if self.converted is None:
+            return []
+        return self.converted.rows()
+
+    def close(self) -> None:
+        if self.converted is not None:
+            self.converted.close()
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of translation without execution (the workload-study path)."""
+
+    kind: str  # "sql" | "emulated" | "ok"
+    statements: list[str] = field(default_factory=list)
+    emulated_feature: Optional[str] = None
+
+
+class HyperQ:
+    """The shared virtualization engine: one per (source, target) pair."""
+
+    def __init__(self, backend: Optional[Database] = None,
+                 target: CapabilityProfile | str = HYPERION,
+                 tracker: Optional[FeatureTracker] = None,
+                 converter_parallelism: int = 1,
+                 transformer_fixpoint: bool = True,
+                 dml_batching: bool = False,
+                 source: str = "teradata",
+                 converter_max_memory: int = 64 * 1024 * 1024,
+                 spill_dir: Optional[str] = None):
+        if isinstance(target, str):
+            target = PROFILES[target]
+        if source not in ("teradata", "ansi"):
+            raise HyperQError(f"unknown source dialect {source!r}")
+        #: source dialect each session's frontend speaks.
+        self.source = source
+        self.profile = target
+        self.backend = backend if backend is not None else Database(target)
+        self.shadow = ShadowCatalog()
+        self.tracker = tracker
+        self.timing_log = TimingLog()
+        self.converter_parallelism = converter_parallelism
+        self.transformer_fixpoint = transformer_fixpoint
+        #: Section 4.3's performance transformation: merge contiguous
+        #: single-row VALUES inserts in execute_script into one statement.
+        self.dml_batching = dml_batching
+        #: Result Converter buffering budget before spilling to disk (§4.6).
+        self.converter_max_memory = converter_max_memory
+        self.spill_dir = spill_dir
+
+    def create_session(self) -> "HyperQSession":
+        return HyperQSession(self)
+
+    def execute(self, sql: str) -> HQResult:
+        """One-shot convenience for scripts and tests."""
+        return self.create_session().execute(sql)
+
+
+class HyperQSession:
+    """One application connection through the virtualization layer."""
+
+    def __init__(self, engine: HyperQ):
+        self.engine = engine
+        self.profile = engine.profile
+        self.tracker = engine.tracker
+        self.catalog = SessionCatalog(engine.shadow)
+        self.parser = TeradataParser(engine.tracker)
+        self.binder = Binder(self.catalog, engine.tracker)
+        rules = None
+        if engine.source == "ansi":
+            # ANSI sources share the target's NULL placement semantics; the
+            # Teradata-specific pinning rule must not fire for them.
+            from repro.transform.engine import default_rules
+            from repro.transform.rules.null_ordering import NullOrderingRule
+
+            rules = [rule for rule in default_rules()
+                     if not isinstance(rule, NullOrderingRule)]
+        self.transformer = Transformer(engine.profile, engine.tracker,
+                                       rules=rules,
+                                       fixpoint=engine.transformer_fixpoint)
+        self.serializer = serializer_for(engine.profile, engine.tracker)
+        self.odbc = OdbcServer(InProcessDriver(engine.backend))
+        self.converter = ResultConverter(
+            parallelism=engine.converter_parallelism,
+            max_memory_bytes=engine.converter_max_memory,
+            spill_dir=engine.spill_dir)
+        self.ansi_frontend = None
+        if engine.source == "ansi":
+            from repro.frontend.ansi import AnsiFrontend
+
+            self.ansi_frontend = AnsiFrontend(self.catalog, engine.tracker)
+        self.session_params: dict[str, object] = {
+            "USER": "HYPERQ",
+            "TRANSACTION_SEMANTICS": "Teradata",
+            "CHARACTER_SET": "UTF8",
+            "SOURCE": engine.source,
+            "TARGET": engine.profile.name,
+        }
+        self._temp_counter = 0
+        self._original_ddl: dict[str, str] = {}
+
+    # -- public API ----------------------------------------------------------------
+
+    def execute(self, sql: str, parameters=None, **named_parameters) -> HQResult:
+        """Process one source-dialect request end to end.
+
+        ``parameters`` feeds ``?`` positional markers; keyword arguments feed
+        ``:name`` markers (Section 4.5's parameterized queries)::
+
+            session.execute("SEL A FROM T WHERE B = ? AND C = :lim",
+                            ["x"], lim=10)
+        """
+        if self.tracker is not None:
+            self.tracker.begin_query()
+        try:
+            timing = RequestTiming()
+            with timing.measure("translation"):
+                if self.ansi_frontend is not None:
+                    if parameters or named_parameters:
+                        raise HyperQError(
+                            "parameter binding is implemented for the "
+                            "Teradata frontend only")
+                    ast = None
+                    bound = self.ansi_frontend.bind_statement(sql)
+                else:
+                    ast = self.parser.parse_statement(sql)
+                    if parameters or named_parameters:
+                        from repro.frontend.teradata.parameters import (
+                            bind_parameters,
+                        )
+
+                        bind_parameters(ast, parameters, named_parameters)
+                    bound = self.binder.bind(ast)
+            result = self._dispatch(bound, ast, timing)
+            result.timing = timing
+            self.engine.timing_log.record(timing)
+            return result
+        finally:
+            if self.tracker is not None:
+                self.tracker.end_query()
+
+    def execute_script(self, sql: str) -> list[HQResult]:
+        """Process a ';'-separated request sequence.
+
+        With :attr:`HyperQ.dml_batching` enabled, runs of contiguous
+        compatible single-row VALUES inserts are merged into one target
+        statement (Section 4.3's performance transformation); one result is
+        returned per *executed* statement in that case.
+        """
+        if self.ansi_frontend is not None:
+            results = []
+            for spec in self.ansi_frontend.parse_script(sql):
+                timing = RequestTiming()
+                with timing.measure("translation"):
+                    bound = self.ansi_frontend.lower_spec(spec)
+                result = self._dispatch(bound, None, timing)
+                result.timing = timing
+                self.engine.timing_log.record(timing)
+                results.append(result)
+            return results
+        statements = self.parser.parse_script(sql)
+        if not self.engine.dml_batching:
+            return [self._execute_ast(ast) for ast in statements]
+        return self._execute_script_batched(statements)
+
+    def _execute_ast(self, ast: td_ast.TdStatement) -> HQResult:
+        if self.tracker is not None:
+            self.tracker.begin_query()
+        try:
+            timing = RequestTiming()
+            with timing.measure("translation"):
+                bound = self.binder.bind(ast)
+            result = self._dispatch(bound, ast, timing)
+            result.timing = timing
+            self.engine.timing_log.record(timing)
+            return result
+        finally:
+            if self.tracker is not None:
+                self.tracker.end_query()
+
+    def _execute_script_batched(self, statements) -> list[HQResult]:
+        from repro.transform.rules.dml_batching import (
+            _is_batchable_insert, batch_statements,
+        )
+
+        results: list[HQResult] = []
+        pending: list[tuple[r.Insert, td_ast.TdStatement]] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            merged = batch_statements([bound for bound, __ in pending])
+            for bound in merged:
+                timing = RequestTiming()
+                result = self._dispatch(bound, pending[0][1], timing)
+                result.timing = timing
+                self.engine.timing_log.record(timing)
+                results.append(result)
+            pending.clear()
+
+        for ast in statements:
+            if self.tracker is not None:
+                self.tracker.begin_query()
+            try:
+                timing = RequestTiming()
+                with timing.measure("translation"):
+                    bound = self.binder.bind(ast)
+                if isinstance(bound, r.Insert) and _is_batchable_insert(bound) \
+                        and self._emulated_feature(bound) is None:
+                    pending.append((bound, ast))
+                    continue
+                flush()
+                result = self._dispatch(bound, ast, timing)
+                result.timing = timing
+                self.engine.timing_log.record(timing)
+                results.append(result)
+            finally:
+                if self.tracker is not None:
+                    self.tracker.end_query()
+        flush()
+        return results
+
+    def translate(self, sql: str) -> TranslationResult:
+        """Translate without executing — the workload-study entry point.
+
+        Emulated statements report the feature that routes them to the
+        mid-tier instead of producing target SQL.
+        """
+        if self.tracker is not None:
+            self.tracker.begin_query()
+        try:
+            if self.ansi_frontend is not None:
+                bound = self.ansi_frontend.bind_statement(sql)
+            else:
+                ast = self.parser.parse_statement(sql)
+                bound = self.binder.bind(ast)
+            feature = self._emulated_feature(bound)
+            if feature is not None:
+                self._note(feature)
+                return TranslationResult("emulated", emulated_feature=feature)
+            if isinstance(bound, (r.NoOp, r.SetSessionParam)):
+                return TranslationResult("ok")
+            self.transformer.transform(bound)
+            return TranslationResult("sql", [self.serializer.serialize(bound)])
+        finally:
+            if self.tracker is not None:
+                self.tracker.end_query()
+
+    def close(self) -> None:
+        self.odbc.close()
+
+    # -- helpers shared with emulators -----------------------------------------------
+
+    def _note(self, feature: str, stage: str = "emulator") -> None:
+        if self.tracker is not None:
+            self.tracker.note(feature, stage)
+
+    def fresh_temp_name(self, prefix: str) -> str:
+        self._temp_counter += 1
+        return f"_HQ_{prefix}_{self._temp_counter}"
+
+    def run_translated(self, bound: r.Statement, timing: RequestTiming) -> HQResult:
+        """Transform + serialize + execute one statement on the target."""
+        with timing.measure("translation"):
+            self.transformer.transform(bound)
+            sql = self.serializer.serialize(bound)
+        with timing.measure("execution"):
+            odbc_result = self.odbc.execute(sql)
+        return self.package_result(odbc_result, timing, [sql])
+
+    def run_target_sql(self, sql: str, timing: RequestTiming) -> OdbcResult:
+        """Execute already-serialized target SQL (emulator building block)."""
+        with timing.measure("execution"):
+            return self.odbc.execute(sql)
+
+    def package_result(self, odbc_result: OdbcResult, timing: RequestTiming,
+                       target_sql: list[str]) -> HQResult:
+        """Run the TDF -> source-binary conversion path on a target result."""
+        if odbc_result.kind != "rows":
+            return HQResult(kind=odbc_result.kind, rowcount=odbc_result.rowcount,
+                            timing=timing, target_sql=target_sql)
+        with timing.measure("execution"):
+            batches = list(odbc_result.tdf_batches())
+        with timing.measure("result_conversion"):
+            converted = self.converter.convert(batches, odbc_result.column_types)
+        return HQResult(
+            kind="rows",
+            columns=odbc_result.columns,
+            metas=converted.metas,
+            converted=converted,
+            rowcount=converted.rowcount,
+            timing=timing,
+            target_sql=target_sql,
+        )
+
+    def fabricate_result(self, columns: list[str], types: list[t.SQLType],
+                         rows: list[tuple], timing: RequestTiming,
+                         target_sql: Optional[list[str]] = None) -> HQResult:
+        """Build a result entirely in the mid-tier (HELP/SHOW commands),
+        still flowing through TDF + conversion so the client sees the same
+        binary shape as real query results."""
+        from repro import tdf as tdf_mod
+
+        batches = list(tdf_mod.batches_of(columns, rows))
+        with timing.measure("result_conversion"):
+            converted = self.converter.convert(batches, types)
+        return HQResult(
+            kind="rows", columns=columns, metas=converted.metas,
+            converted=converted, rowcount=converted.rowcount, timing=timing,
+            target_sql=target_sql or [],
+        )
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def _emulated_feature(self, bound: r.Statement) -> Optional[str]:
+        """Which tracked feature (if any) forces this statement into the
+        mid-tier for the current target."""
+        profile = self.profile
+        if isinstance(bound, r.Query) and not profile.recursive_cte \
+                and _has_recursive_cte(bound.plan):
+            return "recursive_query"
+        if isinstance(bound, (r.CreateMacro, r.DropMacro, r.ExecMacro)) \
+                and not profile.macros:
+            return "macro"
+        if isinstance(bound, (r.CreateProcedure, r.DropProcedure,
+                              r.CallProcedure)) and not profile.stored_procedures:
+            return "stored_procedure"
+        if isinstance(bound, r.Merge) and not profile.merge_statement:
+            return "merge_statement"
+        if isinstance(bound, (r.HelpCommand, r.ShowCommand)) \
+                and not profile.help_commands:
+            return "help_command"
+        if isinstance(bound, (r.Insert, r.Update, r.Delete)) \
+                and not profile.updatable_views \
+                and self.catalog.is_view(bound.table):
+            return "dml_on_view"
+        if isinstance(bound, r.Insert) and not profile.set_tables:
+            schema = self.catalog.resolve(bound.table)
+            if schema is not None and schema.set_semantics:
+                return "set_table"
+        if isinstance(bound, r.CreateTable) and bound.schema.volatile \
+                and not profile.volatile_tables:
+            return "volatile_table"
+        return None
+
+    def _dispatch(self, bound: r.Statement, ast: td_ast.TdStatement,
+                  timing: RequestTiming) -> HQResult:
+        from repro.core.emulation import (
+            column_props, help_commands, macros, merge, procedures, recursive,
+            set_tables, views,
+        )
+
+        if isinstance(bound, r.NoOp):
+            return HQResult(kind="ok", timing=timing)
+        if isinstance(bound, r.SetSessionParam):
+            self.session_params[bound.name.upper()] = bound.value
+            return HQResult(kind="ok", timing=timing)
+        if isinstance(bound, r.Transaction):
+            with timing.measure("execution"):
+                self.odbc.execute(bound.action)
+            return HQResult(kind="ok", timing=timing)
+        if isinstance(bound, (r.HelpCommand, r.ShowCommand)):
+            self._note("help_command")
+            return help_commands.run(self, bound, timing)
+
+        if isinstance(bound, r.Query):
+            if not self.profile.recursive_cte and _has_recursive_cte(bound.plan):
+                self._note("recursive_query")
+                return recursive.run(self, bound, timing)
+            return self.run_translated(bound, timing)
+
+        if isinstance(bound, r.Insert):
+            return self._dispatch_insert(bound, timing, column_props,
+                                         set_tables, views)
+        if isinstance(bound, (r.Update, r.Delete)):
+            if not self.profile.updatable_views and self.catalog.is_view(bound.table):
+                self._note("dml_on_view")
+                return views.run_dml(self, bound, timing)
+            return self.run_translated(bound, timing)
+
+        if isinstance(bound, r.Merge):
+            if self.profile.merge_statement:
+                return self.run_translated(bound, timing)
+            self._note("merge_statement")
+            return merge.run(self, bound, timing)
+
+        if isinstance(bound, r.CreateTable):
+            return self._dispatch_create_table(bound, timing)
+        if isinstance(bound, r.DropTable):
+            return self._dispatch_drop_table(bound, timing)
+        if isinstance(bound, r.CreateView):
+            return self._dispatch_create_view(bound, timing)
+        if isinstance(bound, r.DropView):
+            self.engine.shadow.drop_view(bound.name)
+            with timing.measure("execution"):
+                self.odbc.execute(f"DROP VIEW {bound.name}")
+            return HQResult(kind="ok", timing=timing)
+
+        if isinstance(bound, r.CreateMacro):
+            self._note("macro")
+            self.engine.shadow.add_macro(
+                MacroDef(bound.name, bound.parameters, bound.body_sql),
+                replace=bound.replace)
+            return HQResult(kind="ok", timing=timing)
+        if isinstance(bound, r.DropMacro):
+            self._note("macro")
+            self.engine.shadow.drop_macro(bound.name)
+            return HQResult(kind="ok", timing=timing)
+        if isinstance(bound, r.ExecMacro):
+            self._note("macro")
+            return macros.run(self, bound, timing)
+
+        if isinstance(bound, r.CreateProcedure):
+            self._note("stored_procedure")
+            self.engine.shadow.add_procedure(
+                ProcedureDef(bound.name, bound.parameters, bound.body),
+                replace=bound.replace)
+            return HQResult(kind="ok", timing=timing)
+        if isinstance(bound, r.DropProcedure):
+            self._note("stored_procedure")
+            self.engine.shadow.drop_procedure(bound.name)
+            return HQResult(kind="ok", timing=timing)
+        if isinstance(bound, r.CallProcedure):
+            self._note("stored_procedure")
+            return procedures.run(self, bound, timing)
+
+        raise UnsupportedFeatureError(
+            f"no execution path for {type(bound).__name__}")
+
+    def _dispatch_insert(self, bound: r.Insert, timing: RequestTiming,
+                         column_props, set_tables, views) -> HQResult:
+        if not self.profile.updatable_views and self.catalog.is_view(bound.table):
+            self._note("dml_on_view")
+            return views.run_dml(self, bound, timing)
+        schema = self.catalog.resolve(bound.table)
+        if schema is not None:
+            bound = column_props.fill_nonconstant_defaults(self, schema, bound)
+            if schema.set_semantics and not self.profile.set_tables:
+                self._note("set_table")
+                return set_tables.run_insert(self, schema, bound, timing)
+        return self.run_translated(bound, timing)
+
+    def _dispatch_create_table(self, bound: r.CreateTable,
+                               timing: RequestTiming) -> HQResult:
+        from repro.core.emulation import column_props
+
+        schema = bound.schema
+        # PERIOD columns: split into begin/end DATE columns (Section 2.2.2).
+        schema, split = column_props.split_period_columns(self, schema)
+        bound.schema = schema
+        if schema.set_semantics and not self.profile.set_tables:
+            self._note("set_table")
+        if any(col.default_sql and not _is_constant_default(col.default_sql)
+               for col in schema.columns):
+            self._note("column_properties")
+        if schema.volatile and not self.profile.volatile_tables:
+            self._note("volatile_table")
+            self.catalog.add_volatile(schema)
+        else:
+            self.engine.shadow.add_table(schema)
+        result = self.run_translated(bound, timing)
+        return result
+
+    def _dispatch_drop_table(self, bound: r.DropTable,
+                             timing: RequestTiming) -> HQResult:
+        if self.catalog.is_volatile(bound.name):
+            self.catalog.drop_volatile(bound.name)
+        else:
+            self.engine.shadow.drop_table(bound.name)
+        with timing.measure("execution"):
+            self.odbc.execute(f"DROP TABLE {bound.name}")
+        return HQResult(kind="ok", timing=timing)
+
+    def _dispatch_create_view(self, bound: r.CreateView,
+                              timing: RequestTiming) -> HQResult:
+        columns = [ColumnSchema(name, col.type)
+                   for name, col in zip(bound.column_names or [],
+                                        bound.plan.output_columns())]
+        if not columns:
+            columns = [ColumnSchema(col.name, col.type)
+                       for col in bound.plan.output_columns()]
+        schema = TableSchema(bound.name, columns, is_view=True,
+                             view_sql=bound.source_sql)
+        self.engine.shadow.add_view(schema, replace=bound.replace)
+        return self.run_translated(bound, timing)
+
+
+def _has_recursive_cte(plan: RelNode) -> bool:
+    for node in walk_rel(plan):
+        if isinstance(node, r.With) and any(cte.recursive for cte in node.ctes):
+            return True
+    return False
+
+
+def _is_constant_default(sql: str) -> bool:
+    text = sql.strip().upper()
+    if text == "NULL" or text.startswith("'"):
+        return True
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

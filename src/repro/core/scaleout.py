@@ -1,0 +1,159 @@
+"""Scale-out virtualization (Appendix B.3 — the paper's future work).
+
+"A common solution ... is to maintain multiple replicas of the data warehouse
+and load balance queries across them. The ADV solution on top can then
+automatically route the queries to the different replicas, without
+sacrificing consistency, and without requiring changes to the application
+logic. We are currently working on extending Hyper-Q to handle this
+scenario."
+
+This module implements that extension for the reproduction: a
+:class:`ScaledHyperQ` fronts N independent replica warehouses, each behind
+its own Hyper-Q engine. Statement classification decides routing:
+
+* **reads** (SELECT without side effects, HELP/SHOW) go to one replica,
+  chosen by the balancing policy;
+* **writes** (DML, DDL, macros/procedures — anything that could mutate
+  state) are applied to *every* replica synchronously, preserving
+  consistency at the cost of write fan-out.
+
+Session-scoped state (volatile tables, recursion work tables) stays
+consistent because a session pins each *read* to the replica that owns its
+session-scoped objects only when such objects exist; otherwise reads rotate
+freely.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, Optional
+
+from repro.errors import HyperQError
+from repro.core.engine import HQResult, HyperQ, HyperQSession
+from repro.frontend.teradata import ast as a
+from repro.frontend.teradata.parser import TeradataParser
+from repro.transform.capabilities import CapabilityProfile, HYPERION
+
+Policy = Callable[[int, int], int]  # (request_index, replica_count) -> index
+
+
+def round_robin(request_index: int, replica_count: int) -> int:
+    """The default balancing policy."""
+    return request_index % replica_count
+
+
+class ScaledHyperQ:
+    """A load-balanced fleet of replica warehouses behind one virtual front."""
+
+    def __init__(self, replicas: int = 2,
+                 target: CapabilityProfile | str = HYPERION,
+                 policy: Policy = round_robin):
+        if replicas < 1:
+            raise HyperQError("at least one replica is required")
+        self.engines = [HyperQ(target=target) for __ in range(replicas)]
+        self.policy = policy
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+        #: reads served per replica (observability for the balance tests).
+        self.reads_per_replica = [0] * replicas
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.engines)
+
+    def create_session(self) -> "ScaledSession":
+        return ScaledSession(self)
+
+    def _next_read_index(self) -> int:
+        with self._lock:
+            index = self.policy(next(self._counter), len(self.engines))
+            self.reads_per_replica[index] += 1
+            return index
+
+
+class ScaledSession:
+    """One application session spanning all replicas."""
+
+    def __init__(self, fleet: ScaledHyperQ):
+        self._fleet = fleet
+        self._sessions: list[HyperQSession] = [
+            engine.create_session() for engine in fleet.engines
+        ]
+        self._parser = TeradataParser()
+        #: replica owning this session's volatile/session-scoped objects
+        #: (None until the first session-scoped DDL pins one).
+        self._pinned: Optional[int] = None
+
+    # -- classification ---------------------------------------------------------
+
+    def _classify(self, statement: a.TdStatement) -> str:
+        """"read" | "write" | "session" (session-scoped state)."""
+        if isinstance(statement, (a.TdQuery, a.TdHelp, a.TdShow)):
+            return "read"
+        if isinstance(statement, a.TdCreateTable) and (
+                statement.volatile or statement.global_temporary):
+            return "session"
+        if isinstance(statement, (a.TdCollectStatistics, a.TdSetSession,
+                                  a.TdTransaction)):
+            return "session"
+        # DML against this session's volatile objects stays on the replica
+        # that owns them.
+        if isinstance(statement, (a.TdInsert, a.TdUpdate, a.TdDelete)) \
+                and self._pinned is not None \
+                and self._sessions[self._pinned].catalog.is_volatile(
+                    statement.table):
+            return "session"
+        if isinstance(statement, a.TdDropTable) and self._pinned is not None \
+                and self._sessions[self._pinned].catalog.is_volatile(
+                    statement.name):
+            return "session"
+        # DML, DDL, macros, procedures, MERGE: conservative write fan-out
+        # (EXEC/CALL bodies may contain DML).
+        return "write"
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, sql: str) -> HQResult:
+        statement = self._parser.parse_statement(sql)
+        kind = self._classify(statement)
+        if kind == "read":
+            return self._execute_read(sql)
+        if kind == "session":
+            return self._execute_session_scoped(sql)
+        return self._execute_write(sql)
+
+    def _execute_read(self, sql: str) -> HQResult:
+        if self._pinned is not None:
+            return self._sessions[self._pinned].execute(sql)
+        index = self._fleet._next_read_index()
+        try:
+            return self._sessions[index].execute(sql)
+        except HyperQError:
+            # Failover: a broken replica must not break the application.
+            for fallback, session in enumerate(self._sessions):
+                if fallback != index:
+                    try:
+                        return session.execute(sql)
+                    except HyperQError:
+                        continue
+            raise
+
+    def _execute_session_scoped(self, sql: str) -> HQResult:
+        if self._pinned is None:
+            self._pinned = self._fleet._next_read_index()
+        return self._sessions[self._pinned].execute(sql)
+
+    def _execute_write(self, sql: str) -> HQResult:
+        results = [session.execute(sql) for session in self._sessions]
+        # All replicas must agree on the effect; surfacing divergence beats
+        # silently returning one replica's answer.
+        counts = {result.rowcount for result in results}
+        if len(counts) > 1:
+            raise HyperQError(
+                f"replica divergence: write affected {sorted(counts)} rows")
+        return results[0]
+
+    def close(self) -> None:
+        for session in self._sessions:
+            session.close()

@@ -1,0 +1,102 @@
+"""Per-request timing breakdown (the instrumentation behind Figure 9).
+
+The paper reports three components of end-to-end response time:
+
+* *query translation* — parse + bind + transform + serialize inside Hyper-Q,
+* *execution* — time spent in the target database,
+* *result transformation* — TDF decode + conversion to the source binary
+  format.
+
+:class:`RequestTiming` collects these for one request; :class:`TimingLog`
+aggregates them across a workload run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RequestTiming:
+    """Wall-clock seconds spent in each pipeline stage for one request."""
+
+    translation: float = 0.0
+    execution: float = 0.0
+    result_conversion: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.translation + self.execution + self.result_conversion
+
+    @property
+    def overhead(self) -> float:
+        """Hyper-Q's share of the request (everything but execution)."""
+        return self.translation + self.result_conversion
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.overhead / self.total if self.total else 0.0
+
+    @contextmanager
+    def measure(self, stage: str):
+        """Accumulate elapsed time into one of the three stage buckets."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if stage == "translation":
+                self.translation += elapsed
+            elif stage == "execution":
+                self.execution += elapsed
+            elif stage == "result_conversion":
+                self.result_conversion += elapsed
+            else:
+                raise ValueError(f"unknown timing stage {stage!r}")
+
+
+@dataclass
+class TimingLog:
+    """Aggregated timings across many requests (Figure 9 series)."""
+
+    requests: list[RequestTiming] = field(default_factory=list)
+
+    def record(self, timing: RequestTiming) -> None:
+        self.requests.append(timing)
+
+    @property
+    def translation(self) -> float:
+        return sum(t.translation for t in self.requests)
+
+    @property
+    def execution(self) -> float:
+        return sum(t.execution for t in self.requests)
+
+    @property
+    def result_conversion(self) -> float:
+        return sum(t.result_conversion for t in self.requests)
+
+    @property
+    def total(self) -> float:
+        return self.translation + self.execution + self.result_conversion
+
+    def breakdown(self) -> dict[str, float]:
+        """Fractions of end-to-end time per stage (sums to 1.0)."""
+        total = self.total
+        if not total:
+            return {"translation": 0.0, "execution": 0.0, "result_conversion": 0.0}
+        return {
+            "translation": self.translation / total,
+            "execution": self.execution / total,
+            "result_conversion": self.result_conversion / total,
+        }
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Hyper-Q overhead as a fraction of end-to-end time (Figure 9)."""
+        total = self.total
+        if not total:
+            return 0.0
+        return (self.translation + self.result_conversion) / total

@@ -1,0 +1,97 @@
+"""Feature-usage instrumentation for the workload study (Section 7.1).
+
+Every pipeline stage calls :meth:`FeatureTracker.note` when it encounters one
+of the 27 tracked non-standard features. Per query, the tracker records which
+features (and therefore which difficulty classes) the query uses and at which
+pipeline stage each rewrite was carried out — the raw data behind Figures 8a
+and 8b and the component attribution of Table 2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.workloads.features import FEATURES_BY_NAME, Feature, FeatureClass
+
+
+@dataclass
+class QueryFeatureRecord:
+    """Features observed while processing one request."""
+
+    features: set[str] = field(default_factory=set)
+    stages: dict[str, str] = field(default_factory=dict)
+
+    def classes(self) -> set[FeatureClass]:
+        return {FEATURES_BY_NAME[name].feature_class for name in self.features}
+
+
+class FeatureTracker:
+    """Aggregates per-query feature observations across a workload."""
+
+    def __init__(self):
+        self._current: QueryFeatureRecord | None = None
+        self.query_count = 0
+        self.feature_query_counts: Counter[str] = Counter()
+        self.class_query_counts: Counter[FeatureClass] = Counter()
+        self.observed_stages: dict[str, str] = {}
+
+    # -- per-request lifecycle ---------------------------------------------------
+
+    def begin_query(self) -> None:
+        """Start recording a new request."""
+        self._current = QueryFeatureRecord()
+
+    def note(self, feature_name: str, stage: str) -> None:
+        """Record that *feature_name* was handled at pipeline *stage*.
+
+        Unknown names raise KeyError eagerly: silent typos here would corrupt
+        the workload study.
+        """
+        feature = FEATURES_BY_NAME[feature_name]
+        assert isinstance(feature, Feature)
+        if self._current is None:
+            return
+        self._current.features.add(feature_name)
+        self._current.stages.setdefault(feature_name, stage)
+        self.observed_stages.setdefault(feature_name, stage)
+
+    def end_query(self) -> QueryFeatureRecord | None:
+        """Finish the current request, folding it into workload totals."""
+        record = self._current
+        self._current = None
+        if record is None:
+            return None
+        self.query_count += 1
+        for name in record.features:
+            self.feature_query_counts[name] += 1
+        for cls in record.classes():
+            self.class_query_counts[cls] += 1
+        return record
+
+    # -- workload-level reporting (Figure 8) ----------------------------------------
+
+    def features_seen(self) -> set[str]:
+        return set(self.feature_query_counts)
+
+    def feature_presence_by_class(self) -> dict[FeatureClass, float]:
+        """Figure 8a: fraction of the 9 tracked features per class that
+        appear at least once in the workload."""
+        out: dict[FeatureClass, float] = {}
+        seen = self.features_seen()
+        for cls in FeatureClass:
+            tracked = [f for f in FEATURES_BY_NAME.values() if f.feature_class is cls]
+            present = sum(1 for f in tracked if f.name in seen)
+            out[cls] = present / len(tracked)
+        return out
+
+    def affected_query_fraction_by_class(self) -> dict[FeatureClass, float]:
+        """Figure 8b: fraction of processed queries touched by each class.
+
+        A query counts at most once per class but may count in several
+        classes, exactly as the paper specifies.
+        """
+        if self.query_count == 0:
+            return {cls: 0.0 for cls in FeatureClass}
+        return {cls: self.class_query_counts[cls] / self.query_count
+                for cls in FeatureClass}

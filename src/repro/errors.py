@@ -1,0 +1,82 @@
+"""Exception hierarchy for the Hyper-Q reproduction.
+
+All library errors derive from :class:`HyperQError` so callers can catch a
+single base class. Subclasses mirror the pipeline stages described in the
+paper: lexing/parsing (Algebrizer), binding, transformation, serialization,
+backend execution, protocol handling, and emulation.
+"""
+
+from __future__ import annotations
+
+
+class HyperQError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SQLError(HyperQError):
+    """Base class for errors tied to a specific position in SQL text.
+
+    Attributes:
+        message: human-readable description of the problem.
+        line: 1-based line number in the offending SQL text, if known.
+        column: 1-based column number, if known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line is not None and self.column is not None:
+            return f"{self.message} (at line {self.line}, column {self.column})"
+        return self.message
+
+
+class LexError(SQLError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+
+class ParseError(SQLError):
+    """Raised when the parser cannot make sense of the token stream."""
+
+
+class BindError(SQLError):
+    """Raised during name resolution / type derivation (AST -> XTRA)."""
+
+
+class TransformError(HyperQError):
+    """Raised when a transformation rule fails or the fixpoint diverges."""
+
+
+class SerializeError(HyperQError):
+    """Raised when an XTRA tree cannot be rendered in the target dialect."""
+
+
+class UnsupportedFeatureError(HyperQError):
+    """Raised when a request uses a feature with no rewrite or emulation."""
+
+
+class CatalogError(HyperQError):
+    """Raised for missing or conflicting catalog objects."""
+
+
+class BackendError(HyperQError):
+    """Raised by the backend database engine during execution."""
+
+
+class TypeMismatchError(BackendError):
+    """Raised when runtime values do not match their declared types."""
+
+
+class ProtocolError(HyperQError):
+    """Raised for malformed or unexpected wire-protocol messages."""
+
+
+class EmulationError(HyperQError):
+    """Raised when a mid-tier emulation cannot complete."""
+
+
+class ConversionError(HyperQError):
+    """Raised when results cannot be converted to the source binary format."""

@@ -1,0 +1,2 @@
+"""Source-system frontends. Each frontend contributes a language parser and
+a binder producing XTRA; today the Teradata dialect is implemented."""

@@ -1,0 +1,15 @@
+"""ANSI SQL frontend.
+
+Section 4 claims Hyper-Q avoids the full M x N support matrix: adding a
+frontend means adding a parser that produces XTRA, after which it composes
+with *every* supported backend. This package is the proof by construction —
+a second frontend beside Teradata. It also covers a use case the paper calls
+out explicitly (Appendix B.1): after re-platforming, "developers now have
+the choice what query language they want to use for their new applications"
+— old Teradata SQL and new ANSI SQL can address the same virtualized target
+side by side.
+"""
+
+from repro.frontend.ansi.frontend import AnsiFrontend
+
+__all__ = ["AnsiFrontend"]

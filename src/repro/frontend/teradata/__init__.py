@@ -1,0 +1,6 @@
+"""Teradata dialect frontend: lexer, parser (AST), and binder (AST -> XTRA)."""
+
+from repro.frontend.teradata.parser import TeradataParser
+from repro.frontend.teradata.binder import Binder
+
+__all__ = ["TeradataParser", "Binder"]

@@ -1,0 +1,317 @@
+"""Abstract syntax tree of the Teradata frontend.
+
+Mirrors the paper's Figure 4: the AST mixes *generic* nodes (shared with any
+ANSI dialect — scalar expressions reuse the XTRA scalar classes directly) and
+*Teradata-specific* nodes (``Td*`` below) for constructs like QUALIFY or the
+legacy ``RANK(expr DESC)`` spelling that deviate from the standard. The
+binder (:mod:`repro.frontend.teradata.binder`) lowers this AST into XTRA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra.types import SQLType
+
+
+# -- Teradata-specific scalar nodes ------------------------------------------------
+
+@dataclass(eq=False)
+class TdRank(s.ScalarExpr):
+    """Legacy Teradata ``RANK(expr [ASC|DESC], ...)`` — the order expression
+    is given as a function argument rather than an OVER clause (Section 5)."""
+
+    CHILD_FIELDS = ("keys",)
+
+    keys: list[s.SortKey] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class TdCsv(s.ScalarExpr):
+    """Internal marker for a parenthesized expression row ``(a, b)`` used on
+    the left of IN / quantified comparisons (vector subqueries)."""
+
+    CHILD_FIELDS = ("items",)
+
+    items: list[s.ScalarExpr] = field(default_factory=list)
+
+
+# -- query structure ------------------------------------------------------------------
+
+@dataclass
+class TdSelectItem:
+    star: bool = False
+    star_qualifier: Optional[str] = None
+    expr: Optional[s.ScalarExpr] = None
+    alias: Optional[str] = None
+
+
+class TdTableRef:
+    pass
+
+
+@dataclass
+class TdTableName(TdTableRef):
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass
+class TdSubqueryRef(TdTableRef):
+    query: "TdSelect"
+    alias: str = ""
+    column_names: Optional[list[str]] = None
+
+
+@dataclass
+class TdJoin(TdTableRef):
+    kind: r.JoinKind = r.JoinKind.INNER
+    left: TdTableRef = None  # type: ignore[assignment]
+    right: TdTableRef = None  # type: ignore[assignment]
+    condition: Optional[s.ScalarExpr] = None
+
+
+@dataclass
+class TdSelectCore:
+    """One SELECT block. Teradata permits unusual clause ordering (Example 1:
+    ORDER BY before WHERE); the parser accepts any order and stores clauses
+    here normalized."""
+
+    distinct: bool = False
+    top: Optional[tuple[int, bool]] = None  # (count, with_ties)
+    items: list[TdSelectItem] = field(default_factory=list)
+    from_refs: list[TdTableRef] = field(default_factory=list)
+    where: Optional[s.ScalarExpr] = None
+    group_by: list[s.ScalarExpr] = field(default_factory=list)
+    group_kind: r.GroupingKind = r.GroupingKind.SIMPLE
+    grouping_sets: Optional[list[list[int]]] = None
+    having: Optional[s.ScalarExpr] = None
+    qualify: Optional[s.ScalarExpr] = None
+    order_by: list[s.SortKey] = field(default_factory=list)
+
+
+@dataclass
+class TdCTE:
+    name: str
+    column_names: Optional[list[str]]
+    query: "TdSelect"
+    recursive: bool = False
+
+
+@dataclass
+class TdSelect:
+    """A full query expression: CTEs, set-operation chain, ordering, top."""
+
+    ctes: list[TdCTE] = field(default_factory=list)
+    first: Union[TdSelectCore, "TdSelect"] = None  # type: ignore[assignment]
+    branches: list[tuple[r.SetOpKind, bool, Union[TdSelectCore, "TdSelect"]]] = \
+        field(default_factory=list)
+    order_by: list[s.SortKey] = field(default_factory=list)
+
+
+# -- statements ------------------------------------------------------------------------
+
+class TdStatement:
+    """Base class for parsed Teradata statements."""
+
+
+@dataclass
+class TdQuery(TdStatement):
+    select: TdSelect = None  # type: ignore[assignment]
+
+
+@dataclass
+class TdInsert(TdStatement):
+    table: str = ""
+    columns: Optional[list[str]] = None
+    rows: Optional[list[list[s.ScalarExpr]]] = None
+    select: Optional[TdSelect] = None
+
+
+@dataclass
+class TdUpdate(TdStatement):
+    table: str = ""
+    alias: Optional[str] = None
+    assignments: list[tuple[str, s.ScalarExpr]] = field(default_factory=list)
+    where: Optional[s.ScalarExpr] = None
+
+
+@dataclass
+class TdDelete(TdStatement):
+    table: str = ""
+    alias: Optional[str] = None
+    where: Optional[s.ScalarExpr] = None
+
+
+@dataclass
+class TdColumnDef:
+    name: str = ""
+    type: SQLType = None  # type: ignore[assignment]
+    not_null: bool = False
+    default_expr: Optional[s.ScalarExpr] = None
+    default_sql: Optional[str] = None
+    case_specific: Optional[bool] = None  # None = dialect default (CASESPECIFIC)
+
+
+@dataclass
+class TdCreateTable(TdStatement):
+    name: str = ""
+    set_semantics: bool = False          # SET vs MULTISET
+    volatile: bool = False
+    global_temporary: bool = False
+    columns: list[TdColumnDef] = field(default_factory=list)
+    primary_index: tuple[str, ...] = ()
+    as_select: Optional[TdSelect] = None
+    with_data: bool = True
+    on_commit_preserve: bool = False
+
+
+@dataclass
+class TdDropTable(TdStatement):
+    name: str = ""
+
+
+@dataclass
+class TdCreateView(TdStatement):
+    name: str = ""
+    column_names: Optional[list[str]] = None
+    select: TdSelect = None  # type: ignore[assignment]
+    source_sql: str = ""
+    replace: bool = False
+
+
+@dataclass
+class TdDropView(TdStatement):
+    name: str = ""
+
+
+@dataclass
+class TdCreateMacro(TdStatement):
+    name: str = ""
+    parameters: list[tuple[str, SQLType]] = field(default_factory=list)
+    body_sql: str = ""
+    replace: bool = False
+
+
+@dataclass
+class TdDropMacro(TdStatement):
+    name: str = ""
+
+
+@dataclass
+class TdExecMacro(TdStatement):
+    name: str = ""
+    arguments: list[s.ScalarExpr] = field(default_factory=list)
+    named_arguments: dict[str, s.ScalarExpr] = field(default_factory=dict)
+
+
+# -- stored procedures -------------------------------------------------------------------
+
+class TdProcStatement:
+    """Base class for statements inside a procedure body."""
+
+
+@dataclass
+class TdProcSQL(TdProcStatement):
+    """An embedded SQL statement (parsed Teradata statement)."""
+
+    statement: TdStatement = None  # type: ignore[assignment]
+
+
+@dataclass
+class TdDeclare(TdProcStatement):
+    name: str = ""
+    type: SQLType = None  # type: ignore[assignment]
+    default: Optional[s.ScalarExpr] = None
+
+
+@dataclass
+class TdSetVariable(TdProcStatement):
+    name: str = ""
+    value: s.ScalarExpr = None  # type: ignore[assignment]
+
+
+@dataclass
+class TdIf(TdProcStatement):
+    condition: s.ScalarExpr = None  # type: ignore[assignment]
+    then_branch: list[TdProcStatement] = field(default_factory=list)
+    else_branch: list[TdProcStatement] = field(default_factory=list)
+
+
+@dataclass
+class TdWhile(TdProcStatement):
+    condition: s.ScalarExpr = None  # type: ignore[assignment]
+    body: list[TdProcStatement] = field(default_factory=list)
+
+
+@dataclass
+class TdSelectInto(TdProcStatement):
+    """SELECT <expr, ...> INTO <var, ...> FROM ... (single-row fetch)."""
+
+    select: TdSelect = None  # type: ignore[assignment]
+    targets: list[str] = field(default_factory=list)
+
+
+@dataclass
+class TdCreateProcedure(TdStatement):
+    name: str = ""
+    parameters: list[tuple[str, str, SQLType]] = field(default_factory=list)
+    body: list[TdProcStatement] = field(default_factory=list)
+    replace: bool = False
+
+
+@dataclass
+class TdDropProcedure(TdStatement):
+    name: str = ""
+
+
+@dataclass
+class TdCall(TdStatement):
+    name: str = ""
+    arguments: list[s.ScalarExpr] = field(default_factory=list)
+
+
+# -- misc statements -----------------------------------------------------------------------
+
+@dataclass
+class TdMerge(TdStatement):
+    target: str = ""
+    target_alias: Optional[str] = None
+    source: TdTableRef = None  # type: ignore[assignment]
+    condition: s.ScalarExpr = None  # type: ignore[assignment]
+    matched_assignments: Optional[list[tuple[str, s.ScalarExpr]]] = None
+    insert_columns: Optional[list[str]] = None
+    insert_values: Optional[list[s.ScalarExpr]] = None
+
+
+@dataclass
+class TdHelp(TdStatement):
+    kind: str = "SESSION"  # SESSION | TABLE | COLUMN | DATABASE
+    subject: Optional[str] = None
+
+
+@dataclass
+class TdShow(TdStatement):
+    object_kind: str = "TABLE"
+    name: str = ""
+
+
+@dataclass
+class TdCollectStatistics(TdStatement):
+    """COLLECT STATISTICS — accepted and ignored (no backend equivalent)."""
+
+    table: str = ""
+
+
+@dataclass
+class TdTransaction(TdStatement):
+    action: str = "BEGIN"  # BEGIN | COMMIT | ROLLBACK
+
+
+@dataclass
+class TdSetSession(TdStatement):
+    parameter: str = ""
+    value: object = None

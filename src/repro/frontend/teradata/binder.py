@@ -1,0 +1,850 @@
+"""The Teradata binder: AST -> XTRA (the second half of the Algebrizer).
+
+Performs name resolution against the Hyper-Q shadow catalog, type derivation,
+and the binding-stage rewrites of Table 2:
+
+* implicit joins — tables referenced outside FROM are added to the join tree,
+* chained projections — named expressions are replaced by their definitions,
+* ordinal GROUP BY / ORDER BY — positions become the referenced expressions,
+* QUALIFY — window functions are hoisted into a Window operator and the
+  QUALIFY predicate becomes a Filter above it,
+* legacy ``RANK(expr DESC)`` — normalized to an ANSI window specification,
+* NOT CASESPECIFIC columns — comparisons are wrapped in UPPER() so the
+  case-insensitive source semantics survive on a case-sensitive target.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.errors import BindError
+from repro.core.catalog import SessionCatalog
+from repro.core.tracker import FeatureTracker
+from repro.frontend.teradata import ast as a
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+from repro.xtra.relational import OutputColumn, RelNode
+from repro.xtra.scalars import ScalarExpr
+from repro.xtra.schema import ColumnSchema, TableSchema
+
+_AGG_TYPES = {
+    "COUNT": t.BIGINT,
+    "AVG": t.FLOAT,
+    "STDDEV_SAMP": t.FLOAT,
+}
+
+# Result types of builtins whose Teradata spelling flows through XTRA and is
+# translated by the serializer.
+_FUNC_TYPES: dict[str, t.SQLType] = {
+    "CHARS": t.INTEGER, "CHARACTERS": t.INTEGER, "CHARACTER_LENGTH": t.INTEGER,
+    "LENGTH": t.INTEGER, "CHAR_LENGTH": t.INTEGER,
+    "INDEX": t.INTEGER, "POSITION": t.INTEGER,
+    "SUBSTRING": t.varchar(), "SUBSTR": t.varchar(), "TRIM": t.varchar(),
+    "LTRIM": t.varchar(), "RTRIM": t.varchar(), "UPPER": t.varchar(),
+    "LOWER": t.varchar(), "REPLACE": t.varchar(), "CONCAT": t.varchar(),
+    "LPAD": t.varchar(), "RPAD": t.varchar(),
+    "ADD_MONTHS": t.DATE, "LAST_DAY": t.DATE, "DATEADD": t.DATE,
+    "CURRENT_DATE": t.DATE, "CURRENT_TIMESTAMP": t.TIMESTAMP,
+    "DATEDIFF": t.INTEGER, "MOD": t.INTEGER, "SIGN": t.INTEGER,
+    "FLOOR": t.BIGINT, "CEIL": t.BIGINT, "CEILING": t.BIGINT,
+    "SQRT": t.FLOAT, "EXP": t.FLOAT, "LN": t.FLOAT, "POWER": t.FLOAT,
+}
+
+
+class _Scope:
+    """Name-resolution scope: input columns, select aliases, outer chain."""
+
+    def __init__(self, columns: list[OutputColumn],
+                 parent: Optional["_Scope"] = None,
+                 ctes: Optional[dict[str, list[OutputColumn]]] = None):
+        self.columns = columns
+        self.parent = parent
+        self.select_aliases: dict[str, ScalarExpr] = {}
+        self.ctes = ctes if ctes is not None else (
+            parent.ctes if parent is not None else {})
+
+    def resolve_local(self, name: str, qualifier: Optional[str]) -> Optional[OutputColumn]:
+        hits = [col for col in self.columns
+                if col.name == name.upper()
+                and (qualifier is None or col.qualifier == qualifier.upper())]
+        if len(hits) > 1 and qualifier is None:
+            raise BindError(f"ambiguous column reference {name!r}")
+        return hits[0] if hits else None
+
+    def qualifiers(self) -> set[str]:
+        return {col.qualifier for col in self.columns if col.qualifier}
+
+
+class Binder:
+    """Binds Teradata AST statements into XTRA."""
+
+    def __init__(self, catalog: SessionCatalog,
+                 tracker: Optional[FeatureTracker] = None):
+        self._catalog = catalog
+        self._tracker = tracker
+
+    def _note(self, feature: str, stage: str = "binder") -> None:
+        if self._tracker is not None:
+            self._tracker.note(feature, stage)
+
+    # -- statement dispatch ------------------------------------------------------
+
+    def bind(self, statement: a.TdStatement) -> r.Statement:
+        if isinstance(statement, a.TdQuery):
+            return r.Query(self.bind_select(statement.select, None))
+        if isinstance(statement, a.TdInsert):
+            return self._bind_insert(statement)
+        if isinstance(statement, a.TdUpdate):
+            return self._bind_update(statement)
+        if isinstance(statement, a.TdDelete):
+            return self._bind_delete(statement)
+        if isinstance(statement, a.TdCreateTable):
+            return self._bind_create_table(statement)
+        if isinstance(statement, a.TdDropTable):
+            return r.DropTable(statement.name.upper())
+        if isinstance(statement, a.TdCreateView):
+            return self._bind_create_view(statement)
+        if isinstance(statement, a.TdDropView):
+            return r.DropView(statement.name.upper())
+        if isinstance(statement, a.TdCreateMacro):
+            return r.CreateMacro(statement.name.upper(), statement.parameters,
+                                 statement.body_sql, statement.replace)
+        if isinstance(statement, a.TdDropMacro):
+            return r.DropMacro(statement.name.upper())
+        if isinstance(statement, a.TdExecMacro):
+            scope = _Scope([])
+            return r.ExecMacro(
+                statement.name.upper(),
+                [self._bind_expr(arg, scope) for arg in statement.arguments],
+                {name.upper(): self._bind_expr(expr, scope)
+                 for name, expr in statement.named_arguments.items()})
+        if isinstance(statement, a.TdCreateProcedure):
+            return r.CreateProcedure(statement.name.upper(), statement.parameters,
+                                     statement.body, statement.replace)
+        if isinstance(statement, a.TdDropProcedure):
+            return r.DropProcedure(statement.name.upper())
+        if isinstance(statement, a.TdCall):
+            scope = _Scope([])
+            return r.CallProcedure(
+                statement.name.upper(),
+                [self._bind_expr(arg, scope) for arg in statement.arguments])
+        if isinstance(statement, a.TdMerge):
+            return self._bind_merge(statement)
+        if isinstance(statement, a.TdHelp):
+            return r.HelpCommand(r.HelpKind[statement.kind], statement.subject)
+        if isinstance(statement, a.TdShow):
+            return r.ShowCommand(statement.object_kind, statement.name.upper())
+        if isinstance(statement, a.TdTransaction):
+            return r.Transaction(statement.action)
+        if isinstance(statement, a.TdCollectStatistics):
+            return r.NoOp(f"COLLECT STATISTICS on {statement.table}")
+        if isinstance(statement, a.TdSetSession):
+            return r.SetSessionParam(statement.parameter, statement.value)
+        raise BindError(f"cannot bind {type(statement).__name__}")
+
+    # -- DML ------------------------------------------------------------------------
+
+    def _bind_insert(self, statement: a.TdInsert) -> r.Insert:
+        table = self._catalog.table(statement.table)
+        columns = statement.columns
+        if statement.select is not None:
+            source: RelNode = self.bind_select(statement.select, None)
+        else:
+            scope = _Scope([])
+            target_cols = ([table.column(name) for name in columns]
+                           if columns else table.columns)
+            rows = []
+            for row in statement.rows or []:
+                bound = [self._bind_expr(cell, scope) for cell in row]
+                rows.append(bound)
+            names = [col.name for col in target_cols]
+            types = [col.type for col in target_cols]
+            source = r.Values(rows, names, types)
+        return r.Insert(table.name, columns, source)
+
+    def _table_scope(self, table: TableSchema, alias: Optional[str]) -> _Scope:
+        qualifier = (alias or table.name).upper()
+        return _Scope([OutputColumn(col.name, col.type, qualifier)
+                       for col in table.columns])
+
+    def _bind_update(self, statement: a.TdUpdate) -> r.Update:
+        table = self._catalog.table(statement.table)
+        scope = self._table_scope(table, statement.alias)
+        assignments = [(name.upper(), self._bind_expr(expr, scope))
+                       for name, expr in statement.assignments]
+        predicate = (self._bind_expr(statement.where, scope)
+                     if statement.where is not None else None)
+        return r.Update(table.name, assignments, predicate, statement.alias)
+
+    def _bind_delete(self, statement: a.TdDelete) -> r.Delete:
+        table = self._catalog.table(statement.table)
+        scope = self._table_scope(table, statement.alias)
+        predicate = (self._bind_expr(statement.where, scope)
+                     if statement.where is not None else None)
+        return r.Delete(table.name, predicate, statement.alias)
+
+    def _bind_merge(self, statement: a.TdMerge) -> r.Merge:
+        table = self._catalog.table(statement.target)
+        source_plan, __ = self._bind_table_ref(statement.source, None, {})
+        target_qualifier = (statement.target_alias or table.name).upper()
+        columns = [OutputColumn(col.name, col.type, target_qualifier)
+                   for col in table.columns]
+        columns += source_plan.output_columns()
+        scope = _Scope(columns)
+        condition = self._bind_expr(statement.condition, scope)
+        matched = None
+        if statement.matched_assignments is not None:
+            matched = [(name.upper(), self._bind_expr(expr, scope))
+                       for name, expr in statement.matched_assignments]
+        insert_values = None
+        if statement.insert_values is not None:
+            insert_values = [self._bind_expr(expr, scope)
+                             for expr in statement.insert_values]
+        source_alias = _ref_alias(statement.source)
+        return r.Merge(table.name, statement.target_alias, source_plan,
+                       source_alias, condition, matched,
+                       statement.insert_columns, insert_values)
+
+    # -- DDL ----------------------------------------------------------------------------
+
+    def _bind_create_table(self, statement: a.TdCreateTable) -> r.CreateTable:
+        import dataclasses
+
+        columns = []
+        for col in statement.columns:
+            case_specific = col.case_specific if col.case_specific is not None else True
+            column_type = col.type
+            if not case_specific and column_type.is_text:
+                # Propagate onto the type so bound ColumnRefs carry the flag
+                # (the binder's UPPER() compensation keys off it).
+                column_type = dataclasses.replace(column_type,
+                                                  case_specific=False)
+            columns.append(ColumnSchema(
+                name=col.name.upper(),
+                type=column_type,
+                nullable=not col.not_null,
+                default_sql=col.default_sql,
+                case_specific=case_specific,
+            ))
+        schema = TableSchema(
+            name=statement.name.upper(),
+            columns=columns,
+            set_semantics=statement.set_semantics,
+            volatile=statement.volatile or statement.global_temporary,
+            primary_index=statement.primary_index,
+        )
+        as_query = None
+        if statement.as_select is not None:
+            as_query = self.bind_select(statement.as_select, None)
+            if not schema.columns:
+                schema.columns = [
+                    ColumnSchema(col.name, col.type)
+                    for col in as_query.output_columns()
+                ]
+        return r.CreateTable(schema, as_query)
+
+    def _bind_create_view(self, statement: a.TdCreateView) -> r.CreateView:
+        plan = self.bind_select(statement.select, None)
+        inner = plan.output_columns()
+        names = statement.column_names or [col.name for col in inner]
+        if len(names) != len(inner):
+            raise BindError(
+                f"view {statement.name}: {len(names)} names for {len(inner)} columns")
+        return r.CreateView(statement.name.upper(), [n.upper() for n in names],
+                            plan, statement.source_sql, statement.replace)
+
+    # -- queries ------------------------------------------------------------------------------
+
+    def bind_select(self, select: a.TdSelect, outer: Optional[_Scope],
+                    cte_scope: Optional[dict[str, list[OutputColumn]]] = None) -> RelNode:
+        cte_scope = dict(cte_scope or {})
+        cte_defs: list[r.CTEDef] = []
+        for cte in select.ctes:
+            if cte.recursive:
+                plan, columns = self._bind_recursive_cte(cte, outer, cte_scope)
+            else:
+                plan = self.bind_select(cte.query, outer, cte_scope)
+                columns = _named_columns(cte.column_names, plan)
+            cte_scope[cte.name.upper()] = columns
+            cte_defs.append(r.CTEDef(cte.name.upper(), plan, cte.column_names,
+                                     cte.recursive))
+        defer_order = bool(select.branches)
+        body = self._bind_term(select.first, outer, cte_scope,
+                               order_by=None if defer_order else select.order_by)
+        for kind, all_rows, branch in select.branches:
+            right = self._bind_term(branch, outer, cte_scope, order_by=None)
+            if len(body.output_columns()) != len(right.output_columns()):
+                raise BindError("set operation branches differ in column count")
+            body = r.SetOp(kind, all_rows, body, right)
+        if defer_order and select.order_by:
+            body = self._order_over_setop(body, select.order_by, outer)
+        if cte_defs:
+            return r.With(cte_defs, body)
+        return body
+
+    def _bind_term(self, term, outer, cte_scope, order_by) -> RelNode:
+        if isinstance(term, a.TdSelect):
+            plan = self.bind_select(term, outer, cte_scope)
+            if order_by:
+                plan = self._order_over_setop(plan, order_by, outer)
+            return plan
+        return self._bind_core(term, outer, cte_scope, order_by)
+
+    def _bind_recursive_cte(self, cte: a.TdCTE, outer, cte_scope):
+        query = cte.query
+        if not query.branches:
+            raise BindError(
+                f"recursive CTE {cte.name} must be <seed> UNION ALL <recursive>")
+        seed = self._bind_term(query.first, outer, cte_scope, None)
+        columns = _named_columns(cte.column_names, seed)
+        cte_scope = dict(cte_scope)
+        cte_scope[cte.name.upper()] = columns
+        body: RelNode = seed
+        for kind, all_rows, branch in query.branches:
+            if kind is not r.SetOpKind.UNION or not all_rows:
+                raise BindError(
+                    f"recursive CTE {cte.name} only supports UNION ALL")
+            right = self._bind_term(branch, outer, cte_scope, None)
+            body = r.SetOp(kind, all_rows, body, right)
+        return body, columns
+
+    def _order_over_setop(self, body: RelNode, order_by: list[s.SortKey],
+                          outer) -> RelNode:
+        output = body.output_columns()
+        names = [col.name for col in output]
+        keys = []
+        for key in order_by:
+            expr = key.expr
+            if isinstance(expr, s.Const) and isinstance(expr.value, int):
+                position = expr.value
+                if not 1 <= position <= len(names):
+                    raise BindError(f"ORDER BY position {position} out of range")
+                self._note("ordinal_group_by")
+                expr = s.ColumnRef(names[position - 1], type=output[position - 1].type)
+            elif isinstance(expr, s.ColumnRef) and expr.name.upper() in names:
+                expr = s.ColumnRef(expr.name.upper())
+            else:
+                raise BindError(
+                    "ORDER BY over a set operation must use output column "
+                    "names or ordinals")
+            keys.append(s.SortKey(expr, key.ascending, key.nulls_first))
+        return r.Sort(body, keys)
+
+    # -- FROM binding --------------------------------------------------------------------------
+
+    def _bind_table_ref(self, ref: a.TdTableRef, outer,
+                        cte_scope: dict[str, list[OutputColumn]]):
+        """Returns (plan, deferred join condition or None)."""
+        if isinstance(ref, a.TdJoin):
+            left, __ = self._bind_table_ref(ref.left, outer, cte_scope)
+            right, __ = self._bind_table_ref(ref.right, outer, cte_scope)
+            condition = None
+            if ref.condition is not None:
+                scope = _Scope(left.output_columns() + right.output_columns(), outer)
+                condition = self._bind_expr(ref.condition, scope)
+            return r.Join(ref.kind, left, right, condition), None
+        if isinstance(ref, a.TdSubqueryRef):
+            child = self.bind_select(ref.query, outer, cte_scope)
+            return r.DerivedTable(child, ref.alias.upper(), ref.column_names), None
+        assert isinstance(ref, a.TdTableName)
+        columns = cte_scope.get(ref.name.upper())
+        if columns is not None:
+            return r.CTERef(ref.name.upper(), columns, ref.alias), None
+        table = self._catalog.table(ref.name)
+        return r.Get(table, ref.alias), None
+
+    def _bind_from(self, core: a.TdSelectCore, outer,
+                   cte_scope: dict[str, list[OutputColumn]]) -> RelNode:
+        refs = core.from_refs
+        if not refs:
+            plan: RelNode = r.Values(rows=[[]], names=[], types=[])
+        else:
+            plan, __ = self._bind_table_ref(refs[0], outer, cte_scope)
+            for ref in refs[1:]:
+                right, __ = self._bind_table_ref(ref, outer, cte_scope)
+                plan = r.Join(r.JoinKind.CROSS, plan, right)
+        return self._add_implicit_joins(core, plan, cte_scope, outer)
+
+    def _add_implicit_joins(self, core: a.TdSelectCore, plan: RelNode,
+                            cte_scope, outer: Optional[_Scope]) -> RelNode:
+        """Teradata implicit joins: a qualified reference to a table that is
+        absent from FROM silently joins it in. (Table 2: Binder.)
+
+        A qualifier visible in an *enclosing* scope is a correlated
+        reference, not an implicit join.
+        """
+        present = {col.qualifier for col in plan.output_columns() if col.qualifier}
+        scope = outer
+        while scope is not None:
+            present |= scope.qualifiers()
+            scope = scope.parent
+        missing: list[str] = []
+        for expr in _core_exprs(core):
+            for node in _walk_unbound(expr):
+                if isinstance(node, s.ColumnRef) and node.table:
+                    qualifier = node.table.upper()
+                    if qualifier in present or qualifier in missing:
+                        continue
+                    if qualifier in cte_scope or self._catalog.resolve(qualifier):
+                        missing.append(qualifier)
+        for name in missing:
+            self._note("implicit_join")
+            if name in cte_scope:
+                right: RelNode = r.CTERef(name, cte_scope[name], None)
+            else:
+                right = r.Get(self._catalog.table(name), None)
+            if isinstance(plan, r.Values) and not plan.names:
+                plan = right
+            else:
+                plan = r.Join(r.JoinKind.CROSS, plan, right)
+        return plan
+
+    # -- SELECT core ------------------------------------------------------------------------------
+
+    def _bind_core(self, core: a.TdSelectCore, outer,
+                   cte_scope: dict[str, list[OutputColumn]],
+                   order_by: Optional[list[s.SortKey]]) -> RelNode:
+        source = self._bind_from(core, outer, cte_scope)
+        scope = _Scope(source.output_columns(), outer, cte_scope)
+
+        # Bind select items first so later clauses can reuse their aliases
+        # (Teradata lets WHERE/QUALIFY/ORDER BY reference named expressions).
+        select_exprs: list[ScalarExpr] = []
+        select_names: list[str] = []
+        for item in core.items:
+            if item.star:
+                for col in scope.columns:
+                    if item.star_qualifier and col.qualifier != item.star_qualifier.upper():
+                        continue
+                    select_exprs.append(s.ColumnRef(col.name, col.qualifier, col.type))
+                    select_names.append(col.name)
+                continue
+            bound = self._bind_expr(item.expr, scope)
+            name = item.alias or _default_name(bound, len(select_names))
+            select_exprs.append(bound)
+            select_names.append(name.upper())
+            if item.alias:
+                scope.select_aliases[item.alias.upper()] = bound
+
+        where = self._bind_expr(core.where, scope) if core.where is not None else None
+        having = self._bind_expr(core.having, scope) if core.having is not None else None
+        qualify = self._bind_expr(core.qualify, scope) if core.qualify is not None else None
+
+        group_by: list[ScalarExpr] = []
+        for expr in core.group_by:
+            if isinstance(expr, s.Const) and isinstance(expr.value, int):
+                position = expr.value
+                if not 1 <= position <= len(select_exprs):
+                    raise BindError(f"GROUP BY position {position} out of range")
+                self._note("ordinal_group_by")
+                group_by.append(copy.deepcopy(select_exprs[position - 1]))
+            else:
+                group_by.append(self._bind_expr(expr, scope))
+        if core.group_kind is not r.GroupingKind.SIMPLE:
+            self._note("grouping_extensions", "transformer")
+
+        sort_keys: list[s.SortKey] = []
+        for key in (order_by if order_by is not None else core.order_by) or []:
+            expr = key.expr
+            if isinstance(expr, s.Const) and isinstance(expr.value, int):
+                position = expr.value
+                if not 1 <= position <= len(select_exprs):
+                    raise BindError(f"ORDER BY position {position} out of range")
+                self._note("ordinal_group_by")
+                sort_keys.append(s.SortKey(s.ColumnRef(select_names[position - 1]),
+                                           key.ascending, key.nulls_first))
+                continue
+            if isinstance(expr, s.ColumnRef) and expr.table is None \
+                    and expr.name.upper() in select_names:
+                sort_keys.append(s.SortKey(s.ColumnRef(expr.name.upper()),
+                                           key.ascending, key.nulls_first))
+                continue
+            sort_keys.append(s.SortKey(self._bind_expr(expr, scope),
+                                       key.ascending, key.nulls_first))
+
+        # -- aggregation ---------------------------------------------------------
+        agg_calls: list[s.AggCall] = []
+        for expr in select_exprs:
+            _collect_aggs(expr, agg_calls)
+        for extra in (having, qualify):
+            if extra is not None:
+                _collect_aggs(extra, agg_calls)
+        for key in sort_keys:
+            _collect_aggs(key.expr, agg_calls)
+
+        current = source
+        if where is not None:
+            if _contains_agg(where):
+                raise BindError("aggregates are not allowed in WHERE")
+            current = r.Filter(current, where)
+
+        if group_by or agg_calls or core.group_kind is not r.GroupingKind.SIMPLE:
+            group_names = [f"_G{i}" for i in range(len(group_by))]
+            agg_names = [f"_A{i}" for i in range(len(agg_calls))]
+            current = r.Aggregate(current, group_by, group_names, agg_calls,
+                                  agg_names, core.group_kind, core.grouping_sets)
+            replacer = _AggReplacer(group_by, group_names, agg_calls, agg_names)
+            select_exprs = [replacer.rewrite(expr) for expr in select_exprs]
+            if having is not None:
+                having = replacer.rewrite(having)
+                current = r.Filter(current, having)
+            if qualify is not None:
+                qualify = replacer.rewrite(qualify)
+            sort_keys = [s.SortKey(replacer.rewrite(key.expr), key.ascending,
+                                   key.nulls_first) for key in sort_keys]
+        elif having is not None:
+            raise BindError("HAVING requires GROUP BY or aggregates")
+
+        # -- windows + QUALIFY ------------------------------------------------------
+        window_funcs: list[s.WindowFunc] = []
+        window_names: list[str] = []
+        extractor = _WindowExtractor(window_funcs, window_names)
+        select_exprs = [extractor.rewrite(expr) for expr in select_exprs]
+        if qualify is not None:
+            self._note("qualify")
+            qualify = extractor.rewrite(qualify)
+        sort_keys = [s.SortKey(extractor.rewrite(key.expr), key.ascending,
+                               key.nulls_first) for key in sort_keys]
+        if window_funcs:
+            current = r.Window(current, window_funcs, window_names)
+        if qualify is not None:
+            current = r.Filter(current, qualify)
+
+        project = r.Project(current, list(select_exprs), list(select_names))
+        result: RelNode = project
+        if core.distinct:
+            result = r.Distinct(result)
+
+        if sort_keys:
+            result = self._attach_sort(result, project, select_names,
+                                       select_exprs, sort_keys, core.distinct)
+
+        if core.top is not None:
+            count, with_ties = core.top
+            result = r.Limit(result, count, 0, with_ties)
+        return result
+
+    def _attach_sort(self, result: RelNode, project: r.Project,
+                     select_names: list[str], select_exprs: list[ScalarExpr],
+                     sort_keys: list[s.SortKey], distinct: bool) -> RelNode:
+        keys: list[s.SortKey] = []
+        hidden: list[tuple[str, ScalarExpr]] = []
+        for key in sort_keys:
+            expr = key.expr
+            if isinstance(expr, s.ColumnRef) and expr.table is None \
+                    and expr.name in select_names:
+                keys.append(key)
+                continue
+            matched_name = None
+            for name, sel in zip(select_names, select_exprs):
+                if s.same(sel, expr):
+                    matched_name = name
+                    break
+            if matched_name is not None:
+                keys.append(s.SortKey(s.ColumnRef(matched_name), key.ascending,
+                                      key.nulls_first))
+                continue
+            if distinct:
+                raise BindError(
+                    "ORDER BY expression must appear in the SELECT DISTINCT list")
+            hidden_name = f"_S{len(hidden)}"
+            hidden.append((hidden_name, expr))
+            keys.append(s.SortKey(s.ColumnRef(hidden_name), key.ascending,
+                                  key.nulls_first))
+        if not hidden:
+            return r.Sort(result, keys)
+        visible = len(project.exprs)
+        project.exprs = project.exprs + [expr for __, expr in hidden]
+        project.names = project.names + [name for name, __ in hidden]
+        sorted_node = r.Sort(result, keys)
+        strip = [s.ColumnRef(name) for name in project.names[:visible]]
+        return r.Project(sorted_node, strip, list(project.names[:visible]))
+
+    # -- expression binding ---------------------------------------------------------------------
+
+    def _bind_expr(self, expr: ScalarExpr, scope: _Scope) -> ScalarExpr:
+        if isinstance(expr, s.ColumnRef):
+            return self._bind_column(expr, scope)
+        if isinstance(expr, a.TdRank):
+            keys = [s.SortKey(self._bind_expr(key.expr, scope), key.ascending,
+                              key.nulls_first) for key in expr.keys]
+            func = s.WindowFunc("RANK", [], [], keys)
+            func.type = t.INTEGER
+            return func
+        if isinstance(expr, a.TdCsv):
+            raise BindError("row value constructor used outside IN/quantified "
+                            "comparison")
+        if isinstance(expr, s.SubqueryExpr):
+            expr.left = [self._bind_expr(item, scope) for item in expr.left]
+            select = expr.plan
+            if isinstance(select, a.TdSelect):
+                expr.plan = self.bind_select(select, scope, scope.ctes)
+            if expr.kind is s.SubqueryKind.SCALAR:
+                inner = expr.plan.output_columns()
+                expr.type = inner[0].type if inner else t.UNKNOWN
+            return expr
+        if isinstance(expr, s.Arith):
+            return self._bind_arith(expr, scope)
+        # Generic: bind children, then derive type.
+        for name in expr.CHILD_FIELDS:
+            value = getattr(expr, name)
+            if isinstance(value, ScalarExpr):
+                setattr(expr, name, self._bind_expr(value, scope))
+            elif isinstance(value, list):
+                setattr(expr, name, [
+                    self._bind_expr(item, scope) if isinstance(item, ScalarExpr)
+                    else item
+                    for item in value
+                ])
+        self._derive_type(expr)
+        if isinstance(expr, s.Comp):
+            expr = self._apply_case_insensitivity(expr)
+        return expr
+
+    def _bind_column(self, ref: s.ColumnRef, scope: _Scope) -> ScalarExpr:
+        current: Optional[_Scope] = scope
+        first = True
+        while current is not None:
+            column = current.resolve_local(ref.name, ref.table)
+            if column is not None:
+                bound = s.ColumnRef(column.name, column.qualifier, column.type)
+                return bound
+            if first and ref.table is None and ref.name.upper() in current.select_aliases:
+                # Chained projection: replace by the named expression's
+                # definition (Table 2).
+                self._note("named_expression")
+                return copy.deepcopy(current.select_aliases[ref.name.upper()])
+            first = False
+            current = current.parent
+        raise BindError(f"unknown column {ref.qualified()!r}")
+
+    def _bind_arith(self, expr: s.Arith, scope: _Scope) -> ScalarExpr:
+        left = self._bind_expr(expr.left, scope)
+        right = self._bind_expr(expr.right, scope)
+        # Fold INTERVAL literals into DATEADD calls right away: the construct
+        # only exists as a date-arithmetic operand.
+        interval = None
+        other = None
+        if _is_interval(left):
+            interval, other = left, right
+        elif _is_interval(right):
+            interval, other = right, left
+        if interval is not None:
+            count = interval.args[0].value  # type: ignore[union-attr]
+            unit = interval.args[1].value   # type: ignore[union-attr]
+            if expr.op is s.ArithOp.SUB:
+                if other is not right:
+                    raise BindError("cannot subtract a date from an interval")
+                count = -count
+            elif expr.op is not s.ArithOp.ADD:
+                raise BindError("intervals support only + and -")
+            call = s.FuncCall("DATEADD", [s.const_str(str(unit)),
+                                          s.const_int(count), other])
+            call.type = other.type if other.type.is_temporal else t.DATE
+            return call
+        expr.left, expr.right = left, right
+        self._derive_type(expr)
+        return expr
+
+    def _apply_case_insensitivity(self, comp: s.Comp) -> s.Comp:
+        """NOT CASESPECIFIC columns compare case-insensitively on Teradata;
+        wrap both sides in UPPER() to preserve that on the target."""
+        def is_ci(node: ScalarExpr) -> bool:
+            return isinstance(node, s.ColumnRef) and node.type.is_text \
+                and not node.type.case_specific
+
+        if is_ci(comp.left) or is_ci(comp.right):
+            self._note("column_properties")
+            if comp.left.type.is_text:
+                upper_left = s.FuncCall("UPPER", [comp.left])
+                upper_left.type = comp.left.type
+                comp.left = upper_left
+            if comp.right.type.is_text:
+                upper_right = s.FuncCall("UPPER", [comp.right])
+                upper_right.type = comp.right.type
+                comp.right = upper_right
+        return comp
+
+    # -- type derivation -----------------------------------------------------------------------
+
+    def _derive_type(self, expr: ScalarExpr) -> None:
+        if isinstance(expr, s.Arith):
+            left, right = expr.left.type, expr.right.type
+            if expr.op is s.ArithOp.CONCAT:
+                expr.type = t.varchar()
+            elif left.kind is t.TypeKind.DATE and right.is_numeric:
+                expr.type = t.DATE
+            elif right.kind is t.TypeKind.DATE and left.is_numeric:
+                expr.type = t.DATE
+            elif left.kind is t.TypeKind.DATE and right.kind is t.TypeKind.DATE:
+                expr.type = t.INTEGER
+            elif expr.op is s.ArithOp.DIV:
+                expr.type = t.FLOAT
+            else:
+                expr.type = t.common_numeric(left, right)
+        elif isinstance(expr, s.Negate):
+            expr.type = expr.operand.type
+        elif isinstance(expr, s.AggCall):
+            if expr.name in _AGG_TYPES:
+                expr.type = _AGG_TYPES[expr.name]
+            elif expr.args:
+                expr.type = expr.args[0].type
+            else:
+                expr.type = t.BIGINT
+        elif isinstance(expr, s.WindowFunc):
+            if expr.name in ("RANK", "DENSE_RANK", "ROW_NUMBER"):
+                expr.type = t.INTEGER
+            elif expr.name in _AGG_TYPES:
+                expr.type = _AGG_TYPES[expr.name]
+            elif expr.args:
+                expr.type = expr.args[0].type
+        elif isinstance(expr, s.FuncCall):
+            name = expr.name.upper()
+            if name in _FUNC_TYPES:
+                expr.type = _FUNC_TYPES[name]
+            elif name in ("ZEROIFNULL", "NULLIFZERO", "ABS", "ROUND", "COALESCE",
+                          "NULLIF", "GREATEST", "LEAST"):
+                expr.type = expr.args[0].type if expr.args else t.UNKNOWN
+        elif isinstance(expr, s.Case):
+            for result in expr.results:
+                if result.type.kind is not t.TypeKind.UNKNOWN:
+                    expr.type = result.type
+                    break
+            else:
+                if expr.default is not None:
+                    expr.type = expr.default.type
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _is_interval(expr: ScalarExpr) -> bool:
+    return isinstance(expr, s.FuncCall) and expr.name == "_INTERVAL"
+
+
+def _ref_alias(ref: a.TdTableRef) -> Optional[str]:
+    if isinstance(ref, a.TdTableName):
+        return ref.alias
+    if isinstance(ref, a.TdSubqueryRef):
+        return ref.alias
+    return None
+
+
+def _named_columns(column_names: Optional[list[str]], plan: RelNode) -> list[OutputColumn]:
+    inner = plan.output_columns()
+    if column_names:
+        if len(column_names) != len(inner):
+            raise BindError(
+                f"{len(column_names)} column names for {len(inner)} columns")
+        return [OutputColumn(name.upper(), col.type)
+                for name, col in zip(column_names, inner)]
+    return [OutputColumn(col.name, col.type) for col in inner]
+
+
+def _default_name(expr: ScalarExpr, position: int) -> str:
+    if isinstance(expr, s.ColumnRef):
+        return expr.name
+    if isinstance(expr, (s.AggCall, s.FuncCall)):
+        return expr.name
+    return f"_C{position}"
+
+
+def _core_exprs(core: a.TdSelectCore):
+    for item in core.items:
+        if item.expr is not None:
+            yield item.expr
+    for clause in (core.where, core.having, core.qualify):
+        if clause is not None:
+            yield clause
+    yield from core.group_by
+    for key in core.order_by:
+        yield key.expr
+
+
+def _walk_unbound(expr: ScalarExpr):
+    """Walk an unbound AST scalar tree, not descending into subquery ASTs."""
+    yield expr
+    for child in expr.children():
+        yield from _walk_unbound(child)
+
+
+def _contains_agg(expr: ScalarExpr) -> bool:
+    if isinstance(expr, s.AggCall):
+        return True
+    return any(_contains_agg(child) for child in expr.children())
+
+
+def _collect_aggs(expr: ScalarExpr, out: list[s.AggCall]) -> None:
+    if isinstance(expr, s.AggCall):
+        for existing in out:
+            if existing is expr or s.same(existing, expr):
+                return
+        out.append(expr)
+        return
+    for child in expr.children():
+        _collect_aggs(child, out)
+
+
+class _AggReplacer:
+    """Replaces group-by subtrees / aggregate calls with Aggregate outputs."""
+
+    def __init__(self, group_by, group_names, aggs, agg_names):
+        self._groups = list(zip(group_by, group_names))
+        self._aggs = list(zip(aggs, agg_names))
+
+    def rewrite(self, expr: ScalarExpr) -> ScalarExpr:
+        if isinstance(expr, s.AggCall):
+            for agg, name in self._aggs:
+                if agg is expr or s.same(agg, expr):
+                    return s.ColumnRef(name, type=agg.type)
+            raise BindError("uncollected aggregate (binder bug)")
+        for group, name in self._groups:
+            if s.same(group, expr):
+                return s.ColumnRef(name, type=group.type)
+        if isinstance(expr, s.SubqueryExpr):
+            expr.left = [self.rewrite(item) for item in expr.left]
+            return expr
+        for field_name in expr.CHILD_FIELDS:
+            value = getattr(expr, field_name)
+            if isinstance(value, ScalarExpr):
+                setattr(expr, field_name, self.rewrite(value))
+            elif isinstance(value, list):
+                setattr(expr, field_name, [
+                    self.rewrite(item) if isinstance(item, ScalarExpr) else item
+                    for item in value
+                ])
+        return expr
+
+
+class _WindowExtractor:
+    """Hoists WindowFunc specs into a Window operator's output columns."""
+
+    def __init__(self, funcs: list[s.WindowFunc], names: list[str]):
+        self._funcs = funcs
+        self._names = names
+
+    def rewrite(self, expr: ScalarExpr) -> ScalarExpr:
+        if isinstance(expr, s.WindowFunc):
+            for func, name in zip(self._funcs, self._names):
+                if func is expr or s.same(func, expr):
+                    return s.ColumnRef(name, type=func.type)
+            name = f"_W{len(self._funcs)}"
+            self._funcs.append(expr)
+            self._names.append(name)
+            return s.ColumnRef(name, type=expr.type)
+        if isinstance(expr, s.SubqueryExpr):
+            expr.left = [self.rewrite(item) for item in expr.left]
+            return expr
+        for field_name in expr.CHILD_FIELDS:
+            value = getattr(expr, field_name)
+            if isinstance(value, ScalarExpr):
+                setattr(expr, field_name, self.rewrite(value))
+            elif isinstance(value, list):
+                setattr(expr, field_name, [
+                    self.rewrite(item) if isinstance(item, ScalarExpr) else item
+                    for item in value
+                ])
+        return expr

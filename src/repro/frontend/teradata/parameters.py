@@ -1,0 +1,167 @@
+"""Parameter binding for prepared requests.
+
+The ODBC Server section (4.5) lists parameterized queries among the request
+kinds Hyper-Q submits. On the *source* side, applications send statements
+with ``?`` positional markers or ``:name`` named markers; this module
+substitutes concrete values into a parsed statement before binding, so the
+rest of the pipeline (and the target) sees a fully literal request — the
+same strategy the stored-procedure emulator uses for host variables.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import BindError
+from repro.frontend.teradata import ast as a
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+
+
+def _const_for(value: object) -> s.Const:
+    if value is None:
+        return s.null_const()
+    if isinstance(value, bool):
+        return s.Const(value, t.BOOLEAN)
+    if isinstance(value, int):
+        return s.Const(value, t.INTEGER)
+    if isinstance(value, float):
+        return s.Const(value, t.FLOAT)
+    if isinstance(value, str):
+        return s.const_str(value)
+    if isinstance(value, datetime.datetime):
+        return s.Const(value, t.TIMESTAMP)
+    if isinstance(value, datetime.date):
+        return s.Const(value, t.DATE)
+    raise BindError(f"unsupported parameter type {type(value).__name__}")
+
+
+class _Binder:
+    def __init__(self, positional: Sequence[object],
+                 named: Mapping[str, object]):
+        self._positional = list(positional)
+        self._named = {key.upper(): value for key, value in named.items()}
+        self._cursor = 0
+        self.used = 0
+
+    def replace(self, param: s.Param) -> s.Const:
+        name = param.name
+        if name == "?":
+            if self._cursor >= len(self._positional):
+                raise BindError(
+                    f"statement uses more than {len(self._positional)} "
+                    "positional parameters")
+            value = self._positional[self._cursor]
+            self._cursor += 1
+            self.used += 1
+            return _const_for(value)
+        key = name.lstrip(":").upper()
+        if key not in self._named:
+            raise BindError(f"missing value for parameter :{key}")
+        self.used += 1
+        return _const_for(self._named[key])
+
+    def check_exhausted(self) -> None:
+        if self._cursor < len(self._positional):
+            raise BindError(
+                f"{len(self._positional)} positional parameters supplied, "
+                f"only {self._cursor} used")
+
+
+def _substitute_expr(expr: Optional[s.ScalarExpr],
+                     binder: _Binder) -> Optional[s.ScalarExpr]:
+    if expr is None:
+        return None
+    if isinstance(expr, s.Param):
+        return binder.replace(expr)
+    for field_name in expr.CHILD_FIELDS:
+        value = getattr(expr, field_name)
+        if isinstance(value, s.ScalarExpr):
+            setattr(expr, field_name, _substitute_expr(value, binder))
+        elif isinstance(value, list):
+            setattr(expr, field_name, [
+                _substitute_expr(item, binder)
+                if isinstance(item, s.ScalarExpr) else item
+                for item in value
+            ])
+    if isinstance(expr, s.SubqueryExpr) and isinstance(expr.plan, a.TdSelect):
+        _substitute_select(expr.plan, binder)
+    return expr
+
+
+def _substitute_select(select: a.TdSelect, binder: _Binder) -> None:
+    terms = [select.first] + [branch for __, __, branch in select.branches]
+    for term in terms:
+        if isinstance(term, a.TdSelect):
+            _substitute_select(term, binder)
+            continue
+        core = term
+        for item in core.items:
+            if item.expr is not None:
+                item.expr = _substitute_expr(item.expr, binder)
+        core.where = _substitute_expr(core.where, binder)
+        core.having = _substitute_expr(core.having, binder)
+        core.qualify = _substitute_expr(core.qualify, binder)
+        core.group_by = [_substitute_expr(expr, binder)
+                         for expr in core.group_by]
+        for key in core.order_by:
+            key.expr = _substitute_expr(key.expr, binder)
+        for ref in core.from_refs:
+            _substitute_table_ref(ref, binder)
+    for cte in select.ctes:
+        _substitute_select(cte.query, binder)
+
+
+def _substitute_table_ref(ref: a.TdTableRef, binder: _Binder) -> None:
+    if isinstance(ref, a.TdJoin):
+        _substitute_table_ref(ref.left, binder)
+        _substitute_table_ref(ref.right, binder)
+        ref.condition = _substitute_expr(ref.condition, binder)
+    elif isinstance(ref, a.TdSubqueryRef):
+        _substitute_select(ref.query, binder)
+
+
+def bind_parameters(statement: a.TdStatement,
+                    positional: Optional[Sequence[object]] = None,
+                    named: Optional[Mapping[str, object]] = None) -> a.TdStatement:
+    """Substitute parameter markers in a parsed statement (in place).
+
+    Positional values feed ``?`` markers left to right; named values feed
+    ``:name`` markers. Unused positional values and missing named values
+    both raise :class:`~repro.errors.BindError` — silent mismatches corrupt
+    applications.
+    """
+    binder = _Binder(positional or [], named or {})
+    if isinstance(statement, a.TdQuery):
+        _substitute_select(statement.select, binder)
+    elif isinstance(statement, a.TdInsert):
+        if statement.rows is not None:
+            statement.rows = [
+                [_substitute_expr(cell, binder) for cell in row]
+                for row in statement.rows
+            ]
+        if statement.select is not None:
+            _substitute_select(statement.select, binder)
+    elif isinstance(statement, a.TdUpdate):
+        statement.assignments = [
+            (name, _substitute_expr(expr, binder))
+            for name, expr in statement.assignments
+        ]
+        statement.where = _substitute_expr(statement.where, binder)
+    elif isinstance(statement, a.TdDelete):
+        statement.where = _substitute_expr(statement.where, binder)
+    elif isinstance(statement, a.TdMerge):
+        statement.condition = _substitute_expr(statement.condition, binder)
+        if statement.matched_assignments is not None:
+            statement.matched_assignments = [
+                (name, _substitute_expr(expr, binder))
+                for name, expr in statement.matched_assignments
+            ]
+        if statement.insert_values is not None:
+            statement.insert_values = [
+                _substitute_expr(expr, binder)
+                for expr in statement.insert_values
+            ]
+    binder.check_exhausted()
+    return statement

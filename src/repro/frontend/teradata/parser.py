@@ -1,0 +1,1465 @@
+"""Recursive-descent parser for the Teradata dialect.
+
+Implements the paper's documented query surface: SEL/INS/UPD/DEL shortcuts,
+free clause ordering (Example 1 places ORDER BY before WHERE), QUALIFY, the
+legacy ``RANK(expr DESC)`` spelling, vector subqueries, ``**`` and infix
+``MOD``, SET/MULTISET/VOLATILE tables with Teradata column properties, macros,
+stored procedures, MERGE, recursive WITH, and HELP/SHOW commands.
+
+Keyword-level translations (the paper's *Translation* class) are performed
+right here during parsing and reported to the :class:`FeatureTracker`.
+"""
+
+from __future__ import annotations
+
+import copy
+import datetime
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.sqlkit import Token, TokenKind
+from repro.core.tracker import FeatureTracker
+from repro.frontend.teradata import ast as a
+from repro.frontend.teradata.lexer import make_lexer
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+
+_AGG_NAMES = frozenset({"SUM", "COUNT", "AVG", "MIN", "MAX", "STDDEV_SAMP"})
+_WINDOW_ONLY = frozenset({"RANK", "DENSE_RANK", "ROW_NUMBER", "LAG",
+                          "LEAD", "FIRST_VALUE", "LAST_VALUE"})
+
+# Keywords acceptable as identifiers in name position.
+_SOFT_KEYWORDS = frozenset({
+    "DATE", "TIME", "TIMESTAMP", "YEAR", "MONTH", "DAY", "FIRST", "LAST",
+    "KEY", "WORK", "ROW", "VALUES", "TITLE", "FORMAT", "INDEX", "STATS",
+    "SESSION", "DATABASE", "COLUMN", "NO",
+})
+
+_KEYWORD_COMPARISONS = {
+    "EQ": s.CompOp.EQ, "NE": s.CompOp.NE, "LT": s.CompOp.LT,
+    "LE": s.CompOp.LE, "GT": s.CompOp.GT, "GE": s.CompOp.GE,
+}
+
+
+class TeradataParser:
+    """Parses Teradata SQL text into the frontend AST."""
+
+    def __init__(self, tracker: Optional[FeatureTracker] = None):
+        self._tracker = tracker
+        self._lexer = make_lexer()
+
+    def _note(self, feature: str, stage: str = "parser") -> None:
+        if self._tracker is not None:
+            self._tracker.note(feature, stage)
+
+    # -- entry points --------------------------------------------------------------
+
+    def parse_statement(self, sql: str) -> a.TdStatement:
+        statements = self.parse_script(sql)
+        if len(statements) != 1:
+            raise ParseError(f"expected one statement, found {len(statements)}")
+        return statements[0]
+
+    def parse_script(self, sql: str) -> list[a.TdStatement]:
+        self._tokens = self._lexer.tokenize(sql)
+        self._index = 0
+        statements: list[a.TdStatement] = []
+        while not self._at(TokenKind.EOF):
+            if self._accept_op(";"):
+                continue
+            statements.append(self._statement())
+        return statements
+
+    # -- token plumbing -------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _at_keyword(self, *names: str) -> bool:
+        return self._peek().is_keyword(*names)
+
+    def _accept_keyword(self, *names: str) -> Optional[Token]:
+        if self._at_keyword(*names):
+            return self._next()
+        return None
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._accept_keyword(*names)
+        if token is None:
+            found = self._peek()
+            raise ParseError(
+                f"expected {' or '.join(names)}, found {found.text or 'end of input'!r}",
+                found.line, found.column)
+        return token
+
+    def _accept_op(self, *ops: str) -> Optional[Token]:
+        if self._peek().is_op(*ops):
+            return self._next()
+        return None
+
+    def _expect_op(self, *ops: str) -> Token:
+        token = self._accept_op(*ops)
+        if token is None:
+            found = self._peek()
+            raise ParseError(
+                f"expected {' or '.join(ops)}, found {found.text or 'end of input'!r}",
+                found.line, found.column)
+        return token
+
+    def _at_ident(self, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.kind in (TokenKind.IDENT, TokenKind.QUOTED_IDENT) or (
+            token.kind is TokenKind.KEYWORD and token.value in _SOFT_KEYWORDS)
+
+    def _expect_ident(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if self._at_ident():
+            self._next()
+            return str(token.value).upper()
+        raise ParseError(f"expected {what}, found {token.text or 'end of input'!r}",
+                         token.line, token.column)
+
+    def _expect_number(self) -> float:
+        token = self._peek()
+        if token.kind is not TokenKind.NUMBER:
+            raise ParseError(f"expected a number, found {token.text!r}",
+                             token.line, token.column)
+        self._next()
+        return token.value  # type: ignore[return-value]
+
+    def _qualified_name(self) -> str:
+        name = self._expect_ident("object name")
+        while self._accept_op("."):
+            name = self._expect_ident("object name")
+        return name
+
+    def _source_between(self, start: int, end: int) -> str:
+        return " ".join(token.text for token in self._tokens[start:end])
+
+    # -- statements -------------------------------------------------------------------
+
+    def _statement(self) -> a.TdStatement:
+        token = self._peek()
+        if token.is_keyword("SEL", "SELECT", "WITH") or token.is_op("("):
+            return a.TdQuery(self._select_expr())
+        if token.is_keyword("INS", "INSERT"):
+            return self._insert()
+        if token.is_keyword("UPD", "UPDATE"):
+            return self._update()
+        if token.is_keyword("DEL", "DELETE"):
+            return self._delete()
+        if token.is_keyword("CREATE"):
+            return self._create()
+        if token.is_keyword("REPLACE"):
+            return self._create(replace=True)
+        if token.is_keyword("DROP"):
+            return self._drop()
+        if token.is_keyword("MERGE"):
+            return self._merge()
+        if token.is_keyword("EXEC", "EXECUTE"):
+            return self._exec_macro()
+        if token.is_keyword("CALL"):
+            return self._call()
+        if token.is_keyword("HELP"):
+            return self._help()
+        if token.is_keyword("SHOW"):
+            return self._show()
+        if token.is_keyword("COLLECT"):
+            return self._collect_statistics()
+        if token.is_keyword("BT"):
+            self._next()
+            return a.TdTransaction("BEGIN")
+        if token.is_keyword("ET"):
+            self._next()
+            return a.TdTransaction("COMMIT")
+        if token.is_keyword("BEGIN"):
+            self._next()
+            self._expect_keyword("TRANSACTION", "WORK")
+            return a.TdTransaction("BEGIN")
+        if token.is_keyword("COMMIT"):
+            self._next()
+            self._accept_keyword("TRANSACTION", "WORK")
+            return a.TdTransaction("COMMIT")
+        if token.is_keyword("ROLLBACK"):
+            self._next()
+            self._accept_keyword("TRANSACTION", "WORK")
+            return a.TdTransaction("ROLLBACK")
+        if token.is_keyword("SET"):
+            return self._set_session()
+        raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)
+
+    def _set_session(self) -> a.TdSetSession:
+        self._expect_keyword("SET")
+        self._expect_keyword("SESSION")
+        name = self._expect_ident("session parameter")
+        self._expect_op("=")
+        token = self._next()
+        return a.TdSetSession(name, token.value)
+
+    def _collect_statistics(self) -> a.TdCollectStatistics:
+        self._expect_keyword("COLLECT")
+        self._expect_keyword("STATISTICS", "STATS")
+        self._accept_keyword("ON")
+        table = self._qualified_name()
+        # Consume optional COLUMN (...) specifications.
+        while self._accept_keyword("COLUMN"):
+            if self._accept_op("("):
+                self._expect_ident("column name")
+                while self._accept_op(","):
+                    self._expect_ident("column name")
+                self._expect_op(")")
+            else:
+                self._expect_ident("column name")
+            self._accept_op(",")
+        return a.TdCollectStatistics(table)
+
+    # -- DML ---------------------------------------------------------------------------
+
+    def _insert(self) -> a.TdInsert:
+        token = self._expect_keyword("INS", "INSERT")
+        if token.value == "INS":
+            self._note("ins_shortcut")
+        self._accept_keyword("INTO")
+        table = self._qualified_name()
+        columns: Optional[list[str]] = None
+        if self._peek().is_op("(") and self._column_list_ahead():
+            columns = self._paren_name_list()
+        if self._at_keyword("VALUES"):
+            self._next()
+            rows = [self._values_row()]
+            while self._accept_op(","):
+                rows.append(self._values_row())
+            return a.TdInsert(table, columns, rows=rows, select=None)
+        if self._peek().is_op("(") and not self._subquery_ahead():
+            # Teradata positional shorthand: INS t (v1, v2, ...).
+            rows = [self._values_row()]
+            return a.TdInsert(table, None, rows=rows, select=None)
+        select = self._select_expr()
+        return a.TdInsert(table, columns, rows=None, select=select)
+
+    def _column_list_ahead(self) -> bool:
+        """True when '(' begins a column name list followed by VALUES/SELECT."""
+        if not self._at_ident(1):
+            return False
+        offset = 1
+        depth = 0
+        while True:
+            token = self._peek(offset)
+            if token.kind is TokenKind.EOF:
+                return False
+            if token.is_op("("):
+                depth += 1
+            elif token.is_op(")"):
+                if depth == 0:
+                    following = self._peek(offset + 1)
+                    return following.is_keyword("VALUES", "SEL", "SELECT", "WITH") \
+                        or following.is_op("(")
+                depth -= 1
+            offset += 1
+
+    def _subquery_ahead(self) -> bool:
+        return self._peek(1).is_keyword("SEL", "SELECT", "WITH")
+
+    def _paren_name_list(self) -> list[str]:
+        self._expect_op("(")
+        names = [self._expect_ident("column name")]
+        while self._accept_op(","):
+            names.append(self._expect_ident("column name"))
+        self._expect_op(")")
+        return names
+
+    def _values_row(self) -> list[s.ScalarExpr]:
+        self._expect_op("(")
+        row = [self._expr()]
+        while self._accept_op(","):
+            row.append(self._expr())
+        self._expect_op(")")
+        return row
+
+    def _update(self) -> a.TdUpdate:
+        token = self._expect_keyword("UPD", "UPDATE")
+        if token.value == "UPD":
+            self._note("upd_shortcut")
+        table = self._qualified_name()
+        alias = None
+        if self._at_ident() and not self._at_keyword("SET"):
+            alias = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._accept_op(","):
+            assignments.append(self._assignment())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._expr()
+        return a.TdUpdate(table, alias, assignments, where)
+
+    def _assignment(self) -> tuple[str, s.ScalarExpr]:
+        column = self._expect_ident("column name")
+        self._expect_op("=")
+        return column, self._expr()
+
+    def _delete(self) -> a.TdDelete:
+        token = self._expect_keyword("DEL", "DELETE")
+        if token.value == "DEL":
+            self._note("del_shortcut")
+        self._accept_keyword("FROM")
+        table = self._qualified_name()
+        if self._accept_keyword("ALL"):
+            return a.TdDelete(table, None, None)
+        alias = None
+        if self._at_ident() and not self._at_keyword("WHERE"):
+            alias = self._expect_ident()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._expr()
+        return a.TdDelete(table, alias, where)
+
+    # -- DDL -----------------------------------------------------------------------------
+
+    def _create(self, replace: bool = False) -> a.TdStatement:
+        self._expect_keyword("CREATE" if not replace else "REPLACE")
+        set_semantics = False
+        multiset_seen = False
+        if self._accept_keyword("SET"):
+            set_semantics = True
+        elif self._accept_keyword("MULTISET"):
+            multiset_seen = True
+        volatile = bool(self._accept_keyword("VOLATILE"))
+        global_temporary = False
+        if self._accept_keyword("GLOBAL"):
+            self._expect_keyword("TEMPORARY")
+            global_temporary = True
+        if self._accept_keyword("TABLE"):
+            return self._create_table(set_semantics, volatile, global_temporary)
+        if set_semantics or multiset_seen or volatile or global_temporary:
+            token = self._peek()
+            raise ParseError("table options require CREATE TABLE",
+                             token.line, token.column)
+        if self._accept_keyword("VIEW"):
+            return self._create_view(replace)
+        if self._accept_keyword("MACRO"):
+            return self._create_macro(replace)
+        if self._accept_keyword("PROCEDURE"):
+            return self._create_procedure(replace)
+        token = self._peek()
+        raise ParseError(f"unsupported CREATE {token.text!r}", token.line, token.column)
+
+    def _create_table(self, set_semantics: bool, volatile: bool,
+                      global_temporary: bool) -> a.TdCreateTable:
+        name = self._qualified_name()
+        # Teradata table options: ", NO FALLBACK, NO JOURNAL ..." — skip.
+        while self._accept_op(","):
+            self._skip_table_option()
+        if self._accept_keyword("AS"):
+            if self._accept_op("("):
+                select = self._select_expr()
+                self._expect_op(")")
+            else:
+                select = self._select_expr()
+            with_data = True
+            if self._accept_keyword("WITH"):
+                if self._accept_keyword("NO"):
+                    with_data = False
+                self._expect_ident("DATA")
+            table = a.TdCreateTable(name, set_semantics, volatile,
+                                    global_temporary, [], (), select, with_data)
+        else:
+            self._expect_op("(")
+            columns = [self._column_def()]
+            while self._accept_op(","):
+                columns.append(self._column_def())
+            self._expect_op(")")
+            table = a.TdCreateTable(name, set_semantics, volatile,
+                                    global_temporary, columns)
+        if self._accept_keyword("UNIQUE"):
+            self._expect_keyword("PRIMARY")
+            self._expect_keyword("INDEX")
+            table.primary_index = tuple(self._paren_name_list())
+        elif self._accept_keyword("PRIMARY"):
+            self._expect_keyword("INDEX")
+            table.primary_index = tuple(self._paren_name_list())
+        if self._accept_keyword("ON"):
+            self._expect_keyword("COMMIT")
+            if self._accept_keyword("PRESERVE"):
+                table.on_commit_preserve = True
+            else:
+                self._expect_keyword("DEL", "DELETE")
+            self._expect_keyword("ROWS")
+        return table
+
+    def _skip_table_option(self) -> None:
+        """Skip one Teradata physical table option (NO FALLBACK etc.)."""
+        while self._at_ident() or self._at_keyword("NO", "FALLBACK"):
+            self._next()
+
+    def _column_def(self) -> a.TdColumnDef:
+        name = self._expect_ident("column name")
+        column_type = self._type_name()
+        column = a.TdColumnDef(name, column_type)
+        while True:
+            if self._accept_keyword("NOT"):
+                if self._accept_keyword("NULL"):
+                    column.not_null = True
+                elif self._accept_keyword("CASESPECIFIC"):
+                    column.case_specific = False
+                else:
+                    token = self._peek()
+                    raise ParseError("expected NULL or CASESPECIFIC after NOT",
+                                     token.line, token.column)
+            elif self._accept_keyword("NULL"):
+                column.not_null = False
+            elif self._accept_keyword("CASESPECIFIC"):
+                column.case_specific = True
+            elif self._accept_keyword("DEFAULT"):
+                start = self._index
+                column.default_expr = self._default_expr()
+                column.default_sql = self._source_between(start, self._index)
+            elif self._accept_keyword("FORMAT", "TITLE"):
+                self._next()  # the format/title string literal
+            elif self._accept_keyword("CHARACTER"):
+                self._expect_keyword("SET")
+                self._expect_ident("character set")
+            elif self._accept_keyword("COMPRESS"):
+                if self._peek().kind in (TokenKind.NUMBER, TokenKind.STRING):
+                    self._next()
+            elif self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                column.not_null = True
+            elif self._accept_keyword("UNIQUE"):
+                pass
+            else:
+                break
+        return column
+
+    def _default_expr(self) -> s.ScalarExpr:
+        """A DEFAULT value: literal, DATE literal, or a niladic function."""
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._next()
+            kind = t.INTEGER if isinstance(token.value, int) else t.FLOAT
+            return s.Const(token.value, kind)
+        if token.kind is TokenKind.STRING:
+            self._next()
+            return s.const_str(str(token.value))
+        if token.is_keyword("NULL"):
+            self._next()
+            return s.null_const()
+        if token.is_keyword("DATE") and self._peek(1).kind is TokenKind.STRING:
+            return self._date_literal()
+        if token.is_keyword("CURRENT") or (
+                token.kind is TokenKind.IDENT and str(token.value).upper() in (
+                    "CURRENT_DATE", "CURRENT_TIMESTAMP", "CURRENT_TIME", "USER")):
+            self._next()
+            return s.FuncCall(str(token.value).upper())
+        raise ParseError(f"unsupported DEFAULT {token.text!r}", token.line, token.column)
+
+    def _type_name(self) -> t.SQLType:
+        token = self._peek()
+        name = str(token.value).upper() if token.kind in (
+            TokenKind.IDENT, TokenKind.KEYWORD) else ""
+        mapping = {
+            "BYTEINT": t.SMALLINT, "SMALLINT": t.SMALLINT,
+            "INT": t.INTEGER, "INTEGER": t.INTEGER, "BIGINT": t.BIGINT,
+            "FLOAT": t.FLOAT, "REAL": t.FLOAT, "DOUBLE": t.FLOAT,
+            "DATE": t.DATE, "TIME": t.TIME, "TIMESTAMP": t.TIMESTAMP,
+        }
+        if name in mapping:
+            self._next()
+            if name == "DOUBLE" and self._peek().kind is TokenKind.IDENT \
+                    and self._peek().value == "PRECISION":
+                self._next()
+            return mapping[name]
+        if name in ("DECIMAL", "NUMERIC", "NUMBER"):
+            self._next()
+            precision, scale = 18, 2
+            if self._accept_op("("):
+                precision = int(self._expect_number())
+                scale = 0
+                if self._accept_op(","):
+                    scale = int(self._expect_number())
+                self._expect_op(")")
+            return t.decimal(precision, scale)
+        if name in ("CHAR", "CHARACTER"):
+            self._next()
+            length = 1
+            if self._accept_op("("):
+                length = int(self._expect_number())
+                self._expect_op(")")
+            return t.char(length)
+        if name in ("VARCHAR", "CLOB"):
+            self._next()
+            length = None
+            if self._accept_op("("):
+                length = int(self._expect_number())
+                self._expect_op(")")
+            return t.SQLType(t.TypeKind.VARCHAR, length=length)
+        if name == "PERIOD":
+            self._next()
+            element = t.TypeKind.DATE
+            if self._accept_op("("):
+                element_token = self._expect_keyword("DATE", "TIME", "TIMESTAMP")
+                element = t.TypeKind[str(element_token.value)]
+                self._expect_op(")")
+            return t.SQLType(t.TypeKind.PERIOD, precision=None)
+        raise ParseError(f"expected a type name, found {token.text!r}",
+                         token.line, token.column)
+
+    def _create_view(self, replace: bool) -> a.TdCreateView:
+        name = self._qualified_name()
+        column_names = None
+        if self._peek().is_op("("):
+            column_names = self._paren_name_list()
+        self._expect_keyword("AS")
+        start = self._index
+        select = self._select_expr()
+        return a.TdCreateView(name, column_names, select,
+                              self._source_between(start, self._index), replace)
+
+    def _create_macro(self, replace: bool) -> a.TdCreateMacro:
+        name = self._qualified_name()
+        parameters: list[tuple[str, t.SQLType]] = []
+        if self._accept_op("("):
+            if not self._peek().is_op(")"):
+                parameters.append(self._macro_param())
+                while self._accept_op(","):
+                    parameters.append(self._macro_param())
+            self._expect_op(")")
+        self._expect_keyword("AS")
+        self._expect_op("(")
+        # Capture the raw body text up to the matching ')' — the macro
+        # emulator parses it lazily at EXEC time with arguments substituted.
+        depth = 0
+        start = self._index
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.EOF:
+                raise ParseError("unterminated macro body", token.line, token.column)
+            if token.is_op("("):
+                depth += 1
+            elif token.is_op(")"):
+                if depth == 0:
+                    break
+                depth -= 1
+            self._next()
+        body_sql = self._source_between(start, self._index)
+        self._expect_op(")")
+        return a.TdCreateMacro(name, parameters, body_sql, replace)
+
+    def _macro_param(self) -> tuple[str, t.SQLType]:
+        name = self._expect_ident("parameter name")
+        param_type = self._type_name()
+        if self._accept_keyword("DEFAULT"):
+            self._default_expr()
+        return name, param_type
+
+    def _exec_macro(self) -> a.TdExecMacro:
+        self._expect_keyword("EXEC", "EXECUTE")
+        name = self._qualified_name()
+        arguments: list[s.ScalarExpr] = []
+        named: dict[str, s.ScalarExpr] = {}
+        if self._accept_op("("):
+            if not self._peek().is_op(")"):
+                while True:
+                    if self._at_ident() and self._peek(1).is_op("="):
+                        param = self._expect_ident()
+                        self._expect_op("=")
+                        named[param] = self._expr()
+                    else:
+                        arguments.append(self._expr())
+                    if not self._accept_op(","):
+                        break
+            self._expect_op(")")
+        return a.TdExecMacro(name, arguments, named)
+
+    # -- procedures ------------------------------------------------------------------------
+
+    def _create_procedure(self, replace: bool) -> a.TdCreateProcedure:
+        name = self._qualified_name()
+        parameters: list[tuple[str, str, t.SQLType]] = []
+        if self._accept_op("("):
+            if not self._peek().is_op(")"):
+                parameters.append(self._proc_param())
+                while self._accept_op(","):
+                    parameters.append(self._proc_param())
+            self._expect_op(")")
+        body = self._proc_block()
+        return a.TdCreateProcedure(name, parameters, body, replace)
+
+    def _proc_param(self) -> tuple[str, str, t.SQLType]:
+        mode = "IN"
+        token = self._accept_keyword("IN", "OUT", "INOUT")
+        if token is not None:
+            mode = str(token.value)
+        name = self._expect_ident("parameter name")
+        param_type = self._type_name()
+        return mode, name, param_type
+
+    def _proc_block(self) -> list[a.TdProcStatement]:
+        self._expect_keyword("BEGIN")
+        statements: list[a.TdProcStatement] = []
+        while not self._at_keyword("END"):
+            statements.append(self._proc_statement())
+            self._accept_op(";")
+        self._expect_keyword("END")
+        return statements
+
+    def _proc_statement(self) -> a.TdProcStatement:
+        token = self._peek()
+        if token.is_keyword("DECLARE"):
+            self._next()
+            name = self._expect_ident("variable name")
+            var_type = self._type_name()
+            default = None
+            if self._accept_keyword("DEFAULT"):
+                default = self._expr()
+            return a.TdDeclare(name, var_type, default)
+        if token.is_keyword("SET"):
+            self._next()
+            name = self._expect_ident("variable name")
+            self._expect_op("=")
+            return a.TdSetVariable(name, self._expr())
+        if token.is_keyword("IF"):
+            return self._proc_if()
+        if token.is_keyword("WHILE"):
+            self._next()
+            condition = self._expr()
+            self._expect_keyword("DO")
+            body: list[a.TdProcStatement] = []
+            while not self._at_keyword("END"):
+                body.append(self._proc_statement())
+                self._accept_op(";")
+            self._expect_keyword("END")
+            self._expect_keyword("WHILE")
+            return a.TdWhile(condition, body)
+        if token.is_keyword("SEL", "SELECT") and self._select_into_ahead():
+            return self._select_into()
+        return a.TdProcSQL(self._statement())
+
+    def _proc_if(self) -> a.TdIf:
+        self._expect_keyword("IF")
+        condition = self._expr()
+        self._expect_keyword("THEN")
+        then_branch: list[a.TdProcStatement] = []
+        else_branch: list[a.TdProcStatement] = []
+        while not self._at_keyword("ELSE", "END"):
+            then_branch.append(self._proc_statement())
+            self._accept_op(";")
+        if self._accept_keyword("ELSE"):
+            while not self._at_keyword("END"):
+                else_branch.append(self._proc_statement())
+                self._accept_op(";")
+        self._expect_keyword("END")
+        self._expect_keyword("IF")
+        return a.TdIf(condition, then_branch, else_branch)
+
+    def _select_into_ahead(self) -> bool:
+        """Look ahead for SELECT ... INTO at the current statement level."""
+        offset = 0
+        depth = 0
+        while True:
+            token = self._peek(offset)
+            if token.kind is TokenKind.EOF or token.is_op(";"):
+                return False
+            if token.is_op("("):
+                depth += 1
+            elif token.is_op(")"):
+                depth -= 1
+            elif depth == 0 and token.is_keyword("INTO"):
+                return True
+            elif depth == 0 and token.is_keyword("FROM"):
+                return False
+            offset += 1
+
+    def _select_into(self) -> a.TdSelectInto:
+        token = self._expect_keyword("SEL", "SELECT")
+        if token.value == "SEL":
+            self._note("sel_shortcut")
+        items = [self._select_item()]
+        while self._accept_op(","):
+            items.append(self._select_item())
+        self._expect_keyword("INTO")
+        targets = []
+        target_token = self._next()  # :var or bare name
+        targets.append(str(target_token.value).upper())
+        while self._accept_op(","):
+            target_token = self._next()
+            targets.append(str(target_token.value).upper())
+        core = a.TdSelectCore(items=items)
+        self._select_clauses(core)
+        return a.TdSelectInto(a.TdSelect(first=core, order_by=core.order_by), targets)
+
+    # -- other statements ----------------------------------------------------------------------
+
+    def _call(self) -> a.TdCall:
+        self._expect_keyword("CALL")
+        name = self._qualified_name()
+        arguments: list[s.ScalarExpr] = []
+        if self._accept_op("("):
+            if not self._peek().is_op(")"):
+                arguments.append(self._expr())
+                while self._accept_op(","):
+                    arguments.append(self._expr())
+            self._expect_op(")")
+        return a.TdCall(name, arguments)
+
+    def _merge(self) -> a.TdMerge:
+        self._expect_keyword("MERGE")
+        self._accept_keyword("INTO")
+        target = self._qualified_name()
+        target_alias = None
+        self._accept_keyword("AS")
+        if self._at_ident() and not self._at_keyword("USING"):
+            target_alias = self._expect_ident()
+        self._expect_keyword("USING")
+        source = self._table_primary()
+        self._expect_keyword("ON")
+        condition = self._expr()
+        matched_assignments = None
+        insert_columns = None
+        insert_values = None
+        while self._accept_keyword("WHEN"):
+            negated = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("MATCHED")
+            self._expect_keyword("THEN")
+            if negated:
+                token = self._expect_keyword("INS", "INSERT")
+                if token.value == "INS":
+                    self._note("ins_shortcut")
+                insert_columns = self._paren_name_list()
+                self._expect_keyword("VALUES")
+                insert_values = self._values_row()
+            else:
+                token = self._expect_keyword("UPD", "UPDATE")
+                if token.value == "UPD":
+                    self._note("upd_shortcut")
+                self._expect_keyword("SET")
+                matched_assignments = [self._assignment()]
+                while self._accept_op(","):
+                    matched_assignments.append(self._assignment())
+        return a.TdMerge(target, target_alias, source, condition,
+                         matched_assignments, insert_columns, insert_values)
+
+    def _help(self) -> a.TdHelp:
+        self._expect_keyword("HELP")
+        token = self._expect_keyword("SESSION", "TABLE", "COLUMN", "DATABASE")
+        kind = str(token.value)
+        subject = None
+        if kind in ("TABLE", "DATABASE"):
+            subject = self._qualified_name()
+        elif kind == "COLUMN":
+            subject = self._expect_ident("table name")
+            while self._accept_op("."):
+                subject += "." + self._expect_ident("column name")
+        return a.TdHelp(kind, subject)
+
+    def _show(self) -> a.TdShow:
+        self._expect_keyword("SHOW")
+        token = self._expect_keyword("TABLE", "VIEW", "MACRO")
+        return a.TdShow(str(token.value), self._qualified_name())
+
+    def _drop(self) -> a.TdStatement:
+        self._expect_keyword("DROP")
+        kind = self._expect_keyword("TABLE", "VIEW", "MACRO", "PROCEDURE")
+        name = self._qualified_name()
+        if kind.value == "TABLE":
+            return a.TdDropTable(name)
+        if kind.value == "VIEW":
+            return a.TdDropView(name)
+        if kind.value == "MACRO":
+            return a.TdDropMacro(name)
+        return a.TdDropProcedure(name)
+
+    # -- queries ------------------------------------------------------------------------------
+
+    def _select_expr(self) -> a.TdSelect:
+        ctes: list[a.TdCTE] = []
+        if self._accept_keyword("WITH"):
+            recursive = bool(self._accept_keyword("RECURSIVE"))
+            ctes.append(self._cte(recursive))
+            while self._accept_op(","):
+                ctes.append(self._cte(recursive))
+        first = self._select_term()
+        branches: list[tuple[r.SetOpKind, bool, object]] = []
+        while self._at_keyword("UNION", "INTERSECT", "EXCEPT", "MINUS"):
+            kind_token = self._next()
+            kind_name = "EXCEPT" if kind_token.value == "MINUS" else str(kind_token.value)
+            kind = r.SetOpKind[kind_name]
+            all_rows = bool(self._accept_keyword("ALL"))
+            if not all_rows:
+                self._accept_keyword("DISTINCT")
+            branches.append((kind, all_rows, self._select_term()))
+        select = a.TdSelect(ctes, first, branches)
+        # A trailing ORDER BY over the whole set-operation chain.
+        if branches and self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            select.order_by.append(self._sort_key())
+            while self._accept_op(","):
+                select.order_by.append(self._sort_key())
+        elif not branches and isinstance(first, a.TdSelectCore):
+            select.order_by = first.order_by
+        elif not branches and isinstance(first, a.TdSelect):
+            select.order_by = first.order_by
+        return select
+
+    def _cte(self, recursive: bool) -> a.TdCTE:
+        name = self._expect_ident("CTE name")
+        column_names = None
+        if self._peek().is_op("("):
+            column_names = self._paren_name_list()
+        self._expect_keyword("AS")
+        self._expect_op("(")
+        query = self._select_expr()
+        self._expect_op(")")
+        return a.TdCTE(name, column_names, query, recursive)
+
+    def _select_term(self):
+        if self._accept_op("("):
+            inner = self._select_expr()
+            self._expect_op(")")
+            return inner
+        return self._select_core()
+
+    def _select_core(self) -> a.TdSelectCore:
+        token = self._expect_keyword("SEL", "SELECT")
+        if token.value == "SEL":
+            self._note("sel_shortcut")
+        core = a.TdSelectCore()
+        if self._accept_keyword("DISTINCT"):
+            core.distinct = True
+        else:
+            self._accept_keyword("ALL")
+        if self._accept_keyword("TOP"):
+            count = int(self._expect_number())
+            with_ties = False
+            if self._accept_keyword("WITH"):
+                self._expect_keyword("TIES")
+                with_ties = True
+            core.top = (count, with_ties)
+        core.items = [self._select_item()]
+        while self._accept_op(","):
+            core.items.append(self._select_item())
+        self._select_clauses(core)
+        return core
+
+    def _select_clauses(self, core: a.TdSelectCore) -> None:
+        """Consume FROM/WHERE/GROUP BY/HAVING/QUALIFY/ORDER BY in any order.
+
+        Teradata tolerates non-standard clause ordering (Example 1); each
+        clause may appear at most once.
+        """
+        seen: set[str] = set()
+
+        def check(clause: str, token: Token) -> None:
+            if clause in seen:
+                raise ParseError(f"duplicate {clause} clause", token.line, token.column)
+            seen.add(clause)
+
+        while True:
+            token = self._peek()
+            if token.is_keyword("FROM"):
+                check("FROM", token)
+                self._next()
+                core.from_refs.append(self._table_ref())
+                while self._accept_op(","):
+                    core.from_refs.append(self._table_ref())
+            elif token.is_keyword("WHERE"):
+                check("WHERE", token)
+                self._next()
+                core.where = self._expr()
+            elif token.is_keyword("GROUP"):
+                check("GROUP", token)
+                self._next()
+                self._expect_keyword("BY")
+                self._group_by(core)
+            elif token.is_keyword("HAVING"):
+                check("HAVING", token)
+                self._next()
+                core.having = self._expr()
+            elif token.is_keyword("QUALIFY"):
+                check("QUALIFY", token)
+                self._next()
+                core.qualify = self._expr()
+            elif token.is_keyword("ORDER"):
+                check("ORDER", token)
+                self._next()
+                self._expect_keyword("BY")
+                core.order_by.append(self._sort_key())
+                while self._accept_op(","):
+                    core.order_by.append(self._sort_key())
+            elif token.is_keyword("SAMPLE"):
+                check("SAMPLE", token)
+                self._next()
+                self._expect_number()  # accepted, ignored at reproduction scale
+            else:
+                return
+
+    def _group_by(self, core: a.TdSelectCore) -> None:
+        if self._accept_keyword("ROLLUP"):
+            core.group_kind = r.GroupingKind.ROLLUP
+            core.group_by = self._values_row()
+            return
+        if self._accept_keyword("CUBE"):
+            core.group_kind = r.GroupingKind.CUBE
+            core.group_by = self._values_row()
+            return
+        if self._at_keyword("GROUPING"):
+            self._next()
+            self._expect_keyword("SETS")
+            core.group_kind = r.GroupingKind.SETS
+            core.group_by, core.grouping_sets = self._grouping_sets_list()
+            return
+        core.group_by = [self._expr()]
+        while self._accept_op(","):
+            core.group_by.append(self._expr())
+
+    def _grouping_sets_list(self):
+        self._expect_op("(")
+        all_exprs: list[s.ScalarExpr] = []
+        sets: list[list[int]] = []
+        while True:
+            self._expect_op("(")
+            indexes: list[int] = []
+            if not self._peek().is_op(")"):
+                while True:
+                    expr = self._expr()
+                    position = None
+                    for index, existing in enumerate(all_exprs):
+                        if s.same(existing, expr):
+                            position = index
+                            break
+                    if position is None:
+                        position = len(all_exprs)
+                        all_exprs.append(expr)
+                    indexes.append(position)
+                    if not self._accept_op(","):
+                        break
+            self._expect_op(")")
+            sets.append(indexes)
+            if not self._accept_op(","):
+                break
+        self._expect_op(")")
+        return all_exprs, sets
+
+    def _select_item(self) -> a.TdSelectItem:
+        if self._accept_op("*"):
+            return a.TdSelectItem(star=True)
+        if self._at_ident() and self._peek(1).is_op(".") and self._peek(2).is_op("*"):
+            qualifier = self._expect_ident()
+            self._expect_op(".")
+            self._expect_op("*")
+            return a.TdSelectItem(star=True, star_qualifier=qualifier)
+        expr = self._expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias")
+        elif self._at_ident() and not self._clause_keyword_ahead():
+            alias = self._expect_ident()
+        return a.TdSelectItem(expr=expr, alias=alias)
+
+    def _clause_keyword_ahead(self) -> bool:
+        return self._peek().is_keyword(
+            "FROM", "WHERE", "GROUP", "HAVING", "QUALIFY", "ORDER", "SAMPLE",
+            "UNION", "INTERSECT", "EXCEPT", "MINUS", "INTO")
+
+    def _table_ref(self) -> a.TdTableRef:
+        left = self._table_primary()
+        while True:
+            if self._at_keyword("JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS"):
+                kind = r.JoinKind.INNER
+                if self._accept_keyword("INNER"):
+                    pass
+                elif self._accept_keyword("LEFT"):
+                    self._accept_keyword("OUTER")
+                    kind = r.JoinKind.LEFT
+                elif self._accept_keyword("RIGHT"):
+                    self._accept_keyword("OUTER")
+                    kind = r.JoinKind.RIGHT
+                elif self._accept_keyword("FULL"):
+                    self._accept_keyword("OUTER")
+                    kind = r.JoinKind.FULL
+                elif self._accept_keyword("CROSS"):
+                    kind = r.JoinKind.CROSS
+                self._expect_keyword("JOIN")
+                right = self._table_primary()
+                condition = None
+                if kind is not r.JoinKind.CROSS:
+                    self._expect_keyword("ON")
+                    condition = self._expr()
+                left = a.TdJoin(kind, left, right, condition)
+            else:
+                return left
+
+    def _table_primary(self) -> a.TdTableRef:
+        if self._accept_op("("):
+            if self._at_keyword("SEL", "SELECT", "WITH"):
+                query = self._select_expr()
+                self._expect_op(")")
+                alias, column_names = self._table_alias(required=True)
+                return a.TdSubqueryRef(query, alias or "", column_names)
+            inner = self._table_ref()
+            self._expect_op(")")
+            return inner
+        name = self._qualified_name()
+        alias, __ = self._table_alias(required=False)
+        return a.TdTableName(name, alias)
+
+    def _table_alias(self, required: bool):
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias")
+        elif self._at_ident() and not self._clause_keyword_ahead() \
+                and not self._peek().is_keyword("JOIN", "INNER", "LEFT", "RIGHT",
+                                                "FULL", "CROSS", "ON", "USING",
+                                                "WHEN"):
+            alias = self._expect_ident()
+        elif required:
+            token = self._peek()
+            raise ParseError("derived table requires an alias", token.line, token.column)
+        column_names = None
+        if alias and self._peek().is_op("(") and self._at_ident(1) and (
+                self._peek(2).is_op(",") or self._peek(2).is_op(")")):
+            column_names = self._paren_name_list()
+        return alias, column_names
+
+    def _sort_key(self) -> s.SortKey:
+        expr = self._expr()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        nulls_first = None
+        if self._accept_keyword("NULLS"):
+            token = self._expect_keyword("FIRST", "LAST")
+            nulls_first = token.value == "FIRST"
+        return s.SortKey(expr, ascending, nulls_first)
+
+    # -- expressions ------------------------------------------------------------------------------
+
+    def _expr(self) -> s.ScalarExpr:
+        return self._or_expr()
+
+    def _or_expr(self) -> s.ScalarExpr:
+        args = [self._and_expr()]
+        while self._accept_keyword("OR"):
+            args.append(self._and_expr())
+        if len(args) == 1:
+            return args[0]
+        return s.BoolOp(s.BoolOpKind.OR, args)
+
+    def _and_expr(self) -> s.ScalarExpr:
+        args = [self._not_expr()]
+        while self._accept_keyword("AND"):
+            args.append(self._not_expr())
+        if len(args) == 1:
+            return args[0]
+        return s.BoolOp(s.BoolOpKind.AND, args)
+
+    def _not_expr(self) -> s.ScalarExpr:
+        if self._accept_keyword("NOT"):
+            return s.Not(self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> s.ScalarExpr:
+        left = self._additive()
+        token = self._peek()
+        comp_op: Optional[s.CompOp] = None
+        if token.is_op("=", "<>", "<", "<=", ">", ">="):
+            self._next()
+            comp_op = s.CompOp(str(token.value))
+            if token.text in ("^=", "!=", "~="):
+                self._note("ne_operator")
+        elif token.kind is TokenKind.KEYWORD and str(token.value) in _KEYWORD_COMPARISONS:
+            self._next()
+            comp_op = _KEYWORD_COMPARISONS[str(token.value)]
+            self._note("ne_operator")
+        if comp_op is not None:
+            if self._at_keyword("ANY", "SOME", "ALL"):
+                quantifier_token = self._next()
+                quantifier = (s.Quantifier.ALL if quantifier_token.value == "ALL"
+                              else s.Quantifier.ANY)
+                self._expect_op("(")
+                query = self._select_expr()
+                self._expect_op(")")
+                left_items = left.items if isinstance(left, a.TdCsv) else [left]
+                return s.SubqueryExpr(kind=s.SubqueryKind.QUANTIFIED, plan=query,  # type: ignore[arg-type]
+                                      left=left_items, op=comp_op,
+                                      quantifier=quantifier)
+            right = self._additive()
+            return s.Comp(comp_op, left, right)
+        negated = False
+        if token.is_keyword("NOT") and self._peek(1).is_keyword("IN", "LIKE", "BETWEEN"):
+            self._next()
+            negated = True
+            token = self._peek()
+        if token.is_keyword("IS"):
+            self._next()
+            is_negated = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return s.IsNull(left, is_negated)
+        if token.is_keyword("IN"):
+            self._next()
+            self._expect_op("(")
+            if self._at_keyword("SEL", "SELECT", "WITH"):
+                query = self._select_expr()
+                self._expect_op(")")
+                left_items = left.items if isinstance(left, a.TdCsv) else [left]
+                return s.SubqueryExpr(kind=s.SubqueryKind.IN, plan=query,  # type: ignore[arg-type]
+                                      left=left_items, negated=negated)
+            items = [self._expr()]
+            while self._accept_op(","):
+                items.append(self._expr())
+            self._expect_op(")")
+            return s.InList(left, items, negated)
+        if token.is_keyword("LIKE"):
+            self._next()
+            quantifier = self._accept_keyword("ANY", "ALL", "SOME")
+            if quantifier is not None:
+                # Teradata extension: expr LIKE ANY ('a%', 'b%') — sugar for
+                # a disjunction (ANY/SOME) or conjunction (ALL) of LIKEs.
+                self._expect_op("(")
+                patterns = [self._additive()]
+                while self._accept_op(","):
+                    patterns.append(self._additive())
+                self._expect_op(")")
+                likes: list[s.ScalarExpr] = [
+                    s.Like(copy.deepcopy(left), pattern, None, False)
+                    for pattern in patterns
+                ]
+                kind = (s.BoolOpKind.AND if quantifier.value == "ALL"
+                        else s.BoolOpKind.OR)
+                combined: s.ScalarExpr = (
+                    likes[0] if len(likes) == 1 else s.BoolOp(kind, likes))
+                return s.Not(combined) if negated else combined
+            pattern = self._additive()
+            escape = None
+            if self._accept_keyword("ESCAPE"):
+                escape_token = self._next()
+                escape = str(escape_token.value)
+            return s.Like(left, pattern, escape, negated)
+        if token.is_keyword("BETWEEN"):
+            self._next()
+            low = self._additive()
+            self._expect_keyword("AND")
+            high = self._additive()
+            return s.Between(left, low, high, negated)
+        return left
+
+    def _additive(self) -> s.ScalarExpr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.is_op("+", "-", "||"):
+                self._next()
+                op = {"+": s.ArithOp.ADD, "-": s.ArithOp.SUB,
+                      "||": s.ArithOp.CONCAT}[str(token.value)]
+                left = s.Arith(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> s.ScalarExpr:
+        left = self._power()
+        while True:
+            token = self._peek()
+            if token.is_op("*", "/", "%"):
+                self._next()
+                op = {"*": s.ArithOp.MUL, "/": s.ArithOp.DIV,
+                      "%": s.ArithOp.MOD}[str(token.value)]
+                left = s.Arith(op, left, self._power())
+            elif token.is_keyword("MOD"):
+                self._next()
+                self._note("mod_operator")
+                left = s.Arith(s.ArithOp.MOD, left, self._power())
+            else:
+                return left
+
+    def _power(self) -> s.ScalarExpr:
+        left = self._unary()
+        if self._accept_op("**"):
+            # Right-associative exponentiation.
+            return s.Arith(s.ArithOp.POW, left, self._power())
+        return left
+
+    def _unary(self) -> s.ScalarExpr:
+        if self._accept_op("-"):
+            return s.Negate(self._unary())
+        if self._accept_op("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> s.ScalarExpr:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._next()
+            kind = t.INTEGER if isinstance(token.value, int) else t.FLOAT
+            return s.Const(token.value, kind)
+        if token.kind is TokenKind.STRING:
+            self._next()
+            return s.const_str(str(token.value))
+        if token.kind is TokenKind.PARAM:
+            self._next()
+            return s.Param(str(token.value))
+        if token.is_keyword("NULL"):
+            self._next()
+            return s.null_const()
+        if token.is_keyword("TRUE"):
+            self._next()
+            return s.Const(True, t.BOOLEAN)
+        if token.is_keyword("FALSE"):
+            self._next()
+            return s.Const(False, t.BOOLEAN)
+        if token.is_keyword("DATE"):
+            if self._peek(1).kind is TokenKind.STRING:
+                return self._date_literal()
+            self._next()
+            return s.FuncCall("CURRENT_DATE")  # Teradata's niladic DATE
+        if token.is_keyword("TIME") and self._peek(1).kind is not TokenKind.STRING:
+            self._next()
+            return s.FuncCall("CURRENT_TIMESTAMP")
+        if token.is_keyword("TIMESTAMP") and self._peek(1).kind is TokenKind.STRING:
+            self._next()
+            literal = self._next()
+            try:
+                value = datetime.datetime.fromisoformat(str(literal.value))
+            except ValueError as exc:
+                raise ParseError(f"bad timestamp literal {literal.value!r}",
+                                 literal.line, literal.column) from exc
+            return s.Const(value, t.TIMESTAMP)
+        if token.is_keyword("INTERVAL"):
+            return self._interval_literal()
+        if token.is_keyword("CASE"):
+            return self._case()
+        if token.is_keyword("CAST"):
+            return self._cast()
+        if token.is_keyword("EXTRACT"):
+            return self._extract()
+        if token.is_keyword("SUBSTRING"):
+            return self._substring()
+        if token.is_keyword("POSITION"):
+            return self._position()
+        if token.is_keyword("TRIM"):
+            return self._trim()
+        if token.is_keyword("EXISTS"):
+            self._next()
+            self._expect_op("(")
+            query = self._select_expr()
+            self._expect_op(")")
+            return s.SubqueryExpr(kind=s.SubqueryKind.EXISTS, plan=query)  # type: ignore[arg-type]
+        if token.is_op("("):
+            self._next()
+            if self._at_keyword("SEL", "SELECT", "WITH"):
+                query = self._select_expr()
+                self._expect_op(")")
+                return s.SubqueryExpr(kind=s.SubqueryKind.SCALAR, plan=query)  # type: ignore[arg-type]
+            expr = self._expr()
+            if self._accept_op(","):
+                items = [expr, self._expr()]
+                while self._accept_op(","):
+                    items.append(self._expr())
+                self._expect_op(")")
+                return a.TdCsv(items)
+            self._expect_op(")")
+            return expr
+        if self._at_ident():
+            return self._name_or_call()
+        raise ParseError(f"unexpected token {token.text or 'end of input'!r}",
+                         token.line, token.column)
+
+    def _date_literal(self) -> s.Const:
+        self._expect_keyword("DATE")
+        literal = self._next()
+        try:
+            value = datetime.date.fromisoformat(str(literal.value))
+        except ValueError as exc:
+            raise ParseError(f"bad date literal {literal.value!r}",
+                             literal.line, literal.column) from exc
+        return s.Const(value, t.DATE)
+
+    def _interval_literal(self) -> s.ScalarExpr:
+        """INTERVAL 'n' DAY/MONTH/YEAR — normalized at parse time into a
+        (count, unit) function the binder turns into date arithmetic."""
+        self._expect_keyword("INTERVAL")
+        literal = self._next()
+        if literal.kind is not TokenKind.STRING:
+            raise ParseError("INTERVAL requires a quoted count",
+                             literal.line, literal.column)
+        unit = self._expect_keyword("DAY", "MONTH", "YEAR")
+        count = int(str(literal.value))
+        return s.FuncCall("_INTERVAL", [s.const_int(count),
+                                        s.const_str(str(unit.value))])
+
+    def _case(self) -> s.Case:
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._at_keyword("WHEN"):
+            operand = self._expr()
+        conditions: list[s.ScalarExpr] = []
+        results: list[s.ScalarExpr] = []
+        while self._accept_keyword("WHEN"):
+            conditions.append(self._expr())
+            self._expect_keyword("THEN")
+            results.append(self._expr())
+        default = None
+        if self._accept_keyword("ELSE"):
+            default = self._expr()
+        self._expect_keyword("END")
+        if not conditions:
+            token = self._peek()
+            raise ParseError("CASE requires at least one WHEN", token.line, token.column)
+        return s.Case(operand, conditions, results, default)
+
+    def _cast(self) -> s.Cast:
+        self._expect_keyword("CAST")
+        self._expect_op("(")
+        operand = self._expr()
+        self._expect_keyword("AS")
+        target = self._type_name()
+        # Teradata: CAST(x AS DATE FORMAT 'YYYY-MM-DD') — format ignored.
+        if self._accept_keyword("FORMAT"):
+            self._next()
+        self._expect_op(")")
+        return s.Cast(operand, target)
+
+    def _extract(self) -> s.Extract:
+        self._expect_keyword("EXTRACT")
+        self._expect_op("(")
+        field_token = self._expect_keyword(
+            "YEAR", "MONTH", "DAY", "HOUR", "MINUTE", "SECOND")
+        self._expect_keyword("FROM")
+        operand = self._expr()
+        self._expect_op(")")
+        return s.Extract(s.ExtractField[str(field_token.value)], operand)
+
+    def _substring(self) -> s.FuncCall:
+        self._expect_keyword("SUBSTRING")
+        self._expect_op("(")
+        value = self._expr()
+        if self._accept_keyword("FROM"):
+            start = self._expr()
+            length = None
+            if self._accept_keyword("FOR"):
+                length = self._expr()
+        else:
+            self._expect_op(",")
+            start = self._expr()
+            length = None
+            if self._accept_op(","):
+                length = self._expr()
+        self._expect_op(")")
+        args = [value, start] + ([length] if length is not None else [])
+        return s.FuncCall("SUBSTRING", args)
+
+    def _position(self) -> s.FuncCall:
+        self._expect_keyword("POSITION")
+        self._expect_op("(")
+        # The needle must stop before IN (which would otherwise parse as an
+        # IN-list predicate).
+        needle = self._additive()
+        self._expect_keyword("IN")
+        haystack = self._expr()
+        self._expect_op(")")
+        return s.FuncCall("POSITION", [needle, haystack])
+
+    def _trim(self) -> s.FuncCall:
+        self._expect_keyword("TRIM")
+        self._expect_op("(")
+        mode = "BOTH"
+        token = self._accept_keyword("LEADING", "TRAILING", "BOTH")
+        if token is not None:
+            mode = str(token.value)
+            self._expect_keyword("FROM")
+            operand = self._expr()
+        else:
+            operand = self._expr()
+            if self._accept_keyword("FROM"):  # TRIM(expr FROM expr): char trim
+                operand = self._expr()
+        self._expect_op(")")
+        name = {"BOTH": "TRIM", "LEADING": "LTRIM", "TRAILING": "RTRIM"}[mode]
+        return s.FuncCall(name, [operand])
+
+    def _name_or_call(self) -> s.ScalarExpr:
+        name = self._expect_ident()
+        if self._peek().is_op("("):
+            return self._call_expr(name)
+        if self._accept_op("."):
+            column = self._expect_ident("column name")
+            return s.ColumnRef(column, table=name)
+        return s.ColumnRef(name)
+
+    def _call_expr(self, name: str) -> s.ScalarExpr:
+        upper = name.upper()
+        if upper == "RANK" and not self._peek(1).is_op(")"):
+            # Legacy Teradata RANK(expr [ASC|DESC], ...) — Section 5.
+            self._expect_op("(")
+            keys = [self._sort_key()]
+            while self._accept_op(","):
+                keys.append(self._sort_key())
+            self._expect_op(")")
+            return a.TdRank(keys)
+        self._expect_op("(")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        star = False
+        args: list[s.ScalarExpr] = []
+        if self._accept_op("*"):
+            star = True
+        elif not self._peek().is_op(")"):
+            args.append(self._expr())
+            while self._accept_op(","):
+                args.append(self._expr())
+        self._expect_op(")")
+        window = self._over_clause()
+        if window is not None:
+            partition_by, order_by = window
+            return s.WindowFunc(upper, args, partition_by, order_by)
+        if upper in _WINDOW_ONLY:
+            # RANK()/ROW_NUMBER() without OVER: Teradata-legacy empty RANK is
+            # meaningless; require OVER.
+            token = self._peek()
+            raise ParseError(f"{name}() requires an OVER clause",
+                             token.line, token.column)
+        if upper in _AGG_NAMES:
+            return s.AggCall(upper, args, distinct=distinct, star=star)
+        if star or distinct:
+            token = self._peek()
+            raise ParseError(f"{name}() does not accept DISTINCT or *",
+                             token.line, token.column)
+        return s.FuncCall(upper, args)
+
+    def _over_clause(self):
+        if not self._at_keyword("OVER"):
+            return None
+        self._next()
+        self._expect_op("(")
+        partition_by: list[s.ScalarExpr] = []
+        order_by: list[s.SortKey] = []
+        if self._accept_keyword("PARTITION"):
+            self._expect_keyword("BY")
+            partition_by.append(self._expr())
+            while self._accept_op(","):
+                partition_by.append(self._expr())
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._sort_key())
+            while self._accept_op(","):
+                order_by.append(self._sort_key())
+        if self._at_keyword("ROWS", "RANGE"):
+            # Accept and ignore the default frame spelling.
+            self._next()
+            if self._accept_keyword("UNBOUNDED"):
+                self._expect_keyword("PRECEDING")
+            if self._accept_keyword("BETWEEN"):  # pragma: no cover - rare
+                while not self._peek().is_op(")"):
+                    self._next()
+        self._expect_op(")")
+        return partition_by, order_by

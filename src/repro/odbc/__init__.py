@@ -1,0 +1,6 @@
+"""ODBC abstraction: how Hyper-Q talks to target databases (Section 4.5)."""
+
+from repro.odbc.api import OdbcServer, OdbcResult
+from repro.odbc.drivers import InProcessDriver, Driver
+
+__all__ = ["OdbcServer", "OdbcResult", "InProcessDriver", "Driver"]

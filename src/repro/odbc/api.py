@@ -1,0 +1,84 @@
+"""The ODBC Server: Hyper-Q's abstraction over target database access.
+
+Section 4.5: provides means to submit requests (simple queries, DML,
+multi-statement scripts) and retrieves results on demand in one or more
+batches packaged in :mod:`repro.tdf`. Handles "very wide rows and extremely
+large result sets" by never materializing more than one batch outside the
+:class:`~repro.results.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro import tdf
+from repro.backend.engine import QueryResult
+from repro.odbc.drivers import Driver, DriverConnection
+
+
+class OdbcResult:
+    """One request's outcome, exposing results as TDF batches."""
+
+    def __init__(self, raw: QueryResult, batch_rows: int = 1024):
+        self._raw = raw
+        self._batch_rows = batch_rows
+
+    @property
+    def kind(self) -> str:
+        return self._raw.kind
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._raw.columns)
+
+    @property
+    def column_types(self):
+        return list(self._raw.column_types)
+
+    @property
+    def rowcount(self) -> int:
+        return self._raw.rowcount
+
+    def tdf_batches(self) -> Iterator[bytes]:
+        """Yield the result set as encoded TDF packets."""
+        if self._raw.kind != "rows":
+            return
+        yield from tdf.batches_of(self._raw.columns, self._raw.rows,
+                                  self._batch_rows)
+
+    def raw_rows(self) -> list[tuple]:
+        """Direct row access for mid-tier emulators that drive recursion or
+        procedure control flow off result contents (Section 6)."""
+        return list(self._raw.rows)
+
+
+class OdbcServer:
+    """One ODBC connection to the target per Hyper-Q session."""
+
+    def __init__(self, driver: Driver, batch_rows: int = 1024):
+        self._driver = driver
+        self._batch_rows = batch_rows
+        self._connection: Optional[DriverConnection] = None
+
+    def _ensure_connection(self) -> DriverConnection:
+        if self._connection is None:
+            self._connection = self._driver.connect()
+        return self._connection
+
+    @property
+    def connection(self) -> DriverConnection:
+        return self._ensure_connection()
+
+    def execute(self, sql: str) -> OdbcResult:
+        """Submit one statement to the target database."""
+        raw = self._ensure_connection().execute(sql)
+        return OdbcResult(raw, self._batch_rows)
+
+    def execute_script(self, statements: list[str]) -> list[OdbcResult]:
+        """Submit a multi-statement request, returning one result each."""
+        return [self.execute(sql) for sql in statements]
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None

@@ -1,0 +1,54 @@
+"""Target database drivers for the ODBC Server.
+
+A :class:`Driver` hides how the target is reached; :class:`InProcessDriver`
+connects to the in-memory backend engine directly, which stands in for a
+vendor ODBC driver + network hop. The interface is deliberately ODBC-shaped:
+connect -> execute -> (description, rows) so a real pyodbc-backed driver
+could slot in unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.backend.engine import BackendSession, Database, QueryResult
+
+
+class Driver(Protocol):
+    """Minimal driver contract: one connection handle per Hyper-Q session."""
+
+    def connect(self) -> "DriverConnection":  # pragma: no cover - protocol
+        ...
+
+
+class DriverConnection(Protocol):
+    def execute(self, sql: str) -> QueryResult:  # pragma: no cover - protocol
+        ...
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class InProcessDriver:
+    """Driver for the bundled in-memory cloud data warehouse."""
+
+    def __init__(self, database: Database):
+        self._database = database
+
+    def connect(self) -> "InProcessConnection":
+        return InProcessConnection(self._database.create_session())
+
+
+class InProcessConnection:
+    def __init__(self, session: BackendSession):
+        self._session = session
+
+    @property
+    def backend_session(self) -> BackendSession:
+        return self._session
+
+    def execute(self, sql: str) -> QueryResult:
+        return self._session.execute(sql)
+
+    def close(self) -> None:
+        self._session.close()

@@ -1,0 +1,5 @@
+"""Source wire protocol: framing, binary row encoding, server, client."""
+
+from repro.protocol.encoding import ColumnMeta, effective_meta, encode_rows, decode_rows
+
+__all__ = ["ColumnMeta", "effective_meta", "encode_rows", "decode_rows"]

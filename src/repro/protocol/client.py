@@ -1,0 +1,89 @@
+"""A bteq-like client library speaking the source wire protocol.
+
+Stands in for the unchanged application + vendor connector of Figure 1: it
+submits source-dialect SQL over the binary protocol and decodes the binary
+result records, oblivious to the fact that a completely different database
+executed the query.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import BackendError, ProtocolError
+from repro.protocol.encoding import ColumnMeta, decode_meta, decode_rows
+from repro.protocol.messages import MessageKind, read_message, send_message
+
+
+@dataclass
+class ClientResult:
+    """Decoded outcome of one request."""
+
+    kind: str  # "rows" | "count" | "ok"
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0
+
+
+class TdClient:
+    """A minimal interactive client (the reproduction's ``bteq``)."""
+
+    def __init__(self, host: str, port: int, user: str = "dbc",
+                 password: str = "dbc", timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.session_id: Optional[int] = None
+        self._logon(user, password)
+
+    def _logon(self, user: str, password: str) -> None:
+        payload = user.encode("utf-8") + b"\0" + password.encode("utf-8")
+        send_message(self._sock, MessageKind.LOGON_REQUEST, payload)
+        kind, response = read_message(self._sock)
+        if kind is not MessageKind.LOGON_RESPONSE:
+            raise ProtocolError(f"logon failed: got {kind.name}")
+        (self.session_id,) = struct.unpack(">I", response)
+
+    def execute(self, sql: str) -> ClientResult:
+        """Submit one request and collect the full response."""
+        send_message(self._sock, MessageKind.RUN_QUERY, sql.encode("utf-8"))
+        metas: list[ColumnMeta] = []
+        rows: list[tuple] = []
+        count = 0
+        saw_count = False
+        while True:
+            kind, payload = read_message(self._sock)
+            if kind is MessageKind.RESULT_META:
+                metas = decode_meta(payload)
+            elif kind is MessageKind.RESULT_ROWS:
+                rows.extend(decode_rows(metas, payload))
+            elif kind is MessageKind.RESULT_COUNT:
+                (count,) = struct.unpack(">Q", payload)
+                saw_count = True
+            elif kind is MessageKind.SUCCESS:
+                (total,) = struct.unpack(">Q", payload)
+                if metas:
+                    return ClientResult("rows", [m.name for m in metas], rows,
+                                        total)
+                if saw_count:
+                    return ClientResult("count", rowcount=count)
+                return ClientResult("ok")
+            elif kind is MessageKind.FAILURE:
+                raise BackendError(payload.decode("utf-8", "replace"))
+            else:
+                raise ProtocolError(f"unexpected message {kind.name}")
+
+    def close(self) -> None:
+        try:
+            send_message(self._sock, MessageKind.LOGOFF)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "TdClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

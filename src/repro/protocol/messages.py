@@ -1,0 +1,71 @@
+"""Wire message framing for the source protocol (WP-A).
+
+Every message is ``magic(2) | kind(1) | length(4) | payload``. The message
+vocabulary models the request/response flow of a Teradata-style client
+protocol: logon handshake, query submission, result metadata, binary row
+chunks, activity counts, success/failure envelopes, and logoff. Clients break
+"with the slightest difference in behavior" (Section 4.1), so both ends
+validate framing strictly.
+"""
+
+from __future__ import annotations
+
+import enum
+import socket
+import struct
+
+from repro.errors import ProtocolError
+
+MAGIC = b"HQ"
+HEADER = struct.Struct(">2sBI")
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+
+class MessageKind(enum.IntEnum):
+    LOGON_REQUEST = 1     # payload: user '\0' password
+    LOGON_RESPONSE = 2    # payload: session id (u32)
+    RUN_QUERY = 3         # payload: utf-8 SQL text
+    RESULT_META = 4       # payload: encoded column metadata
+    RESULT_ROWS = 5       # payload: binary row records chunk
+    RESULT_COUNT = 6      # payload: u64 activity count (DML/DDL)
+    SUCCESS = 7           # payload: u64 total row count (end of result)
+    FAILURE = 8           # payload: utf-8 error text
+    LOGOFF = 9            # payload: empty
+
+
+def encode_message(kind: MessageKind, payload: bytes = b"") -> bytes:
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(f"payload of {len(payload)} bytes exceeds limit")
+    return HEADER.pack(MAGIC, int(kind), len(payload)) + payload
+
+
+def read_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(sock: socket.socket) -> tuple[MessageKind, bytes]:
+    header = read_exact(sock, HEADER.size)
+    magic, kind, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"declared payload of {length} bytes exceeds limit")
+    try:
+        message_kind = MessageKind(kind)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown message kind {kind}") from exc
+    payload = read_exact(sock, length) if length else b""
+    return message_kind, payload
+
+
+def send_message(sock: socket.socket, kind: MessageKind,
+                 payload: bytes = b"") -> None:
+    sock.sendall(encode_message(kind, payload))

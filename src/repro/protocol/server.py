@@ -1,0 +1,133 @@
+"""The Protocol Handler: a TCP server speaking the source wire protocol.
+
+Section 4.1: intercepts the application's network message flow, extracts
+credentials and request payloads, hands them to the Hyper-Q engine, and
+packages responses back into the binary message format the application
+expects. One engine session per connection; a thread per connection gives
+the horizontal-scalability shape of the stress test (Section 7.3).
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+from typing import Optional
+
+from repro.errors import HyperQError, ProtocolError
+from repro.core.engine import HQResult, HyperQ
+from repro.protocol.encoding import encode_meta
+from repro.protocol.messages import MessageKind, read_message, send_message
+
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    server: "HyperQServer"
+
+    def handle(self) -> None:
+        sock: socket.socket = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            kind, payload = read_message(sock)
+            if kind is not MessageKind.LOGON_REQUEST:
+                raise ProtocolError("expected LOGON_REQUEST")
+            user = payload.split(b"\0", 1)[0].decode("utf-8", "replace")
+            session = self.server.engine.create_session()
+            session.session_params["USER"] = user.upper() or "HYPERQ"
+            session_id = self.server.next_session_id()
+            send_message(sock, MessageKind.LOGON_RESPONSE,
+                         struct.pack(">I", session_id))
+            self._serve(sock, session)
+        except (ProtocolError, ConnectionError, OSError):
+            return
+
+    def _serve(self, sock: socket.socket, session) -> None:
+        while True:
+            kind, payload = read_message(sock)
+            if kind is MessageKind.LOGOFF:
+                session.close()
+                return
+            if kind is not MessageKind.RUN_QUERY:
+                raise ProtocolError(f"unexpected message {kind.name}")
+            sql = payload.decode("utf-8")
+            try:
+                result = session.execute(sql)
+            except HyperQError as error:
+                send_message(sock, MessageKind.FAILURE,
+                             str(error).encode("utf-8"))
+                continue
+            self._send_result(sock, result)
+
+    def _send_result(self, sock: socket.socket, result: HQResult) -> None:
+        if result.kind == "rows":
+            send_message(sock, MessageKind.RESULT_META,
+                         encode_meta(result.metas))
+            if result.converted is not None:
+                for chunk in result.converted.iter_chunks():
+                    if chunk:
+                        send_message(sock, MessageKind.RESULT_ROWS, chunk)
+            send_message(sock, MessageKind.SUCCESS,
+                         struct.pack(">Q", result.rowcount))
+        elif result.kind == "count":
+            send_message(sock, MessageKind.RESULT_COUNT,
+                         struct.pack(">Q", result.rowcount))
+            send_message(sock, MessageKind.SUCCESS,
+                         struct.pack(">Q", result.rowcount))
+        else:
+            send_message(sock, MessageKind.SUCCESS, struct.pack(">Q", 0))
+        result.close()
+
+
+class HyperQServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server wrapping one Hyper-Q engine."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, engine: HyperQ, host: str = "127.0.0.1", port: int = 0):
+        self.engine = engine
+        self._session_counter = 0
+        self._counter_lock = threading.Lock()
+        super().__init__((host, port), _ConnectionHandler)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self.server_address[:2]
+        return str(host), int(port)
+
+    def next_session_id(self) -> int:
+        with self._counter_lock:
+            self._session_counter += 1
+            return self._session_counter
+
+
+class ServerThread:
+    """Runs a :class:`HyperQServer` on a background thread.
+
+    Usage::
+
+        with ServerThread(engine) as address:
+            client = TdClient(*address)
+    """
+
+    def __init__(self, engine: HyperQ, host: str = "127.0.0.1", port: int = 0):
+        self.server = HyperQServer(engine, host, port)
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(target=self.server.serve_forever,
+                                        name="hyperq-server", daemon=True)
+        self._thread.start()
+        return self.server.address
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,7 @@
+"""Result pipeline: buffering (with spill-to-disk) and conversion into the
+source database's binary format (Sections 4.5-4.6)."""
+
+from repro.results.store import ResultStore
+from repro.results.converter import ResultConverter, ConvertedResult
+
+__all__ = ["ResultStore", "ResultConverter", "ConvertedResult"]

@@ -1,0 +1,92 @@
+"""The Result Store: bounded buffering with spill-to-disk.
+
+Some source protocols require the total row count before any row can be sent
+(Section 4.6), forcing Hyper-Q to buffer entire result sets. When buffered
+chunks exceed the memory budget, the store spills them to temporary files and
+replays them on iteration, mirroring the paper's spill-file design.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+from typing import Iterator, Optional
+
+
+class ResultStore:
+    """Append-only store of binary chunks with a memory cap.
+
+    Chunks stay in memory until ``max_memory_bytes`` is exceeded; from then
+    on every chunk goes to a spill file. Iteration yields chunks in append
+    order regardless of where they live.
+    """
+
+    def __init__(self, max_memory_bytes: int = 64 * 1024 * 1024,
+                 spill_dir: Optional[str] = None):
+        self._max_memory = max_memory_bytes
+        self._spill_dir = spill_dir
+        self._memory_chunks: list[bytes] = []
+        self._memory_bytes = 0
+        self._spill_file: Optional[tempfile._TemporaryFileWrapper] = None
+        self._spilled_chunks = 0
+        self._closed = False
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._memory_bytes
+
+    @property
+    def spilled(self) -> bool:
+        return self._spill_file is not None
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._memory_chunks) + self._spilled_chunks
+
+    def append(self, chunk: bytes) -> None:
+        if self._closed:
+            raise ValueError("result store is closed")
+        if self._spill_file is None and \
+                self._memory_bytes + len(chunk) <= self._max_memory:
+            self._memory_chunks.append(chunk)
+            self._memory_bytes += len(chunk)
+            return
+        if self._spill_file is None:
+            self._spill_file = tempfile.NamedTemporaryFile(
+                prefix="hyperq-spill-", dir=self._spill_dir, delete=False)
+        self._spill_file.write(struct.pack("<I", len(chunk)))
+        self._spill_file.write(chunk)
+        self._spilled_chunks += 1
+
+    def __iter__(self) -> Iterator[bytes]:
+        yield from self._memory_chunks
+        if self._spill_file is not None:
+            self._spill_file.flush()
+            with open(self._spill_file.name, "rb") as handle:
+                while True:
+                    header = handle.read(4)
+                    if not header:
+                        break
+                    (length,) = struct.unpack("<I", header)
+                    yield handle.read(length)
+
+    def close(self) -> None:
+        """Release buffers and delete any spill file."""
+        self._memory_chunks = []
+        self._memory_bytes = 0
+        self._closed = True
+        if self._spill_file is not None:
+            name = self._spill_file.name
+            self._spill_file.close()
+            try:
+                os.unlink(name)
+            except OSError:
+                pass
+            self._spill_file = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,6 @@
+"""Per-target SQL serializers over XTRA (Section 4.4)."""
+
+from repro.serializer.base import Serializer
+from repro.serializer.dialects import serializer_for
+
+__all__ = ["Serializer", "serializer_for"]

@@ -1,0 +1,850 @@
+"""The ANSI serializer: XTRA -> target SQL text.
+
+Serialization walks the XTRA tree, generating a SQL block per operator and
+formatting blocks according to the target's keywords (Section 4.4). The key
+mechanism is the *render environment*: every operator's scalar expressions
+reference its child's output columns, so each rendered FROM item publishes a
+SQL spelling for every output position; expression rendering resolves
+ColumnRefs through a chain of such environments (outer chains serve
+correlated subqueries).
+
+Teradata-only builtin spellings (ZEROIFNULL, CHARS, INDEX, ...) are mapped to
+target spellings here — the paper's guideline that "names of otherwise
+standard features can be dealt with in the system-specific serializer".
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Optional
+
+from repro.errors import SerializeError
+from repro.core.tracker import FeatureTracker
+from repro.transform.capabilities import CapabilityProfile, LimitSyntax
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+from repro.xtra.relational import OutputColumn, RelNode
+from repro.xtra.scalars import ScalarExpr
+
+
+class _Env:
+    """Maps (qualifier, name) of child output columns to SQL spellings."""
+
+    def __init__(self, entries: list[tuple[OutputColumn, str]],
+                 parent: Optional["_Env"] = None):
+        self.entries = entries
+        self.parent = parent
+
+    def resolve(self, ref: s.ColumnRef) -> Optional[str]:
+        env: Optional[_Env] = self
+        while env is not None:
+            hits = [
+                text for col, text in env.entries
+                if col.name == ref.name.upper()
+                and (ref.table is None or col.qualifier == ref.table.upper())
+            ]
+            if len(hits) > 1 and ref.table is None:
+                # Prefer an exact single hit in an outer scope over ambiguity?
+                # No: ambiguity within one scope is an error upstream; take
+                # the first (binder already disambiguated positions).
+                return hits[0]
+            if hits:
+                return hits[0]
+            env = env.parent
+        return None
+
+
+class Serializer:
+    """Serializes XTRA statements into the target's SQL dialect."""
+
+    #: Teradata function spelling -> target spelling (None = special-cased).
+    FUNCTION_MAP: dict[str, Optional[str]] = {
+        "CHARS": "LENGTH", "CHARACTERS": "LENGTH",
+        "CHARACTER_LENGTH": "LENGTH", "CHAR_LENGTH": "LENGTH",
+        "SUBSTR": "SUBSTRING",
+        "ZEROIFNULL": None, "NULLIFZERO": None, "INDEX": None,
+        "POSITION": None, "SUBSTRING": None,
+    }
+
+    def __init__(self, profile: CapabilityProfile,
+                 tracker: Optional[FeatureTracker] = None):
+        self._profile = profile
+        self._tracker = tracker
+        self._alias_counter = 0
+
+    # -- public API ------------------------------------------------------------------
+
+    def serialize(self, statement: r.Statement) -> str:
+        """Render one XTRA statement as SQL text for the target."""
+        self._alias_counter = 0
+        if isinstance(statement, r.Query):
+            sql, __ = self._render_query(statement.plan, None)
+            return sql
+        if isinstance(statement, r.Insert):
+            return self._render_insert(statement)
+        if isinstance(statement, r.Update):
+            return self._render_update(statement)
+        if isinstance(statement, r.Delete):
+            return self._render_delete(statement)
+        if isinstance(statement, r.CreateTable):
+            return self._render_create_table(statement)
+        if isinstance(statement, r.DropTable):
+            suffix = " IF EXISTS" if statement.if_exists else ""
+            return f"DROP TABLE{suffix} {self.ident(statement.name)}"
+        if isinstance(statement, r.CreateView):
+            return self._render_create_view(statement)
+        if isinstance(statement, r.DropView):
+            suffix = " IF EXISTS" if statement.if_exists else ""
+            return f"DROP VIEW{suffix} {self.ident(statement.name)}"
+        if isinstance(statement, r.Merge):
+            return self._render_merge(statement)
+        if isinstance(statement, r.Transaction):
+            return {"BEGIN": "BEGIN", "COMMIT": "COMMIT",
+                    "ROLLBACK": "ROLLBACK"}[statement.action]
+        raise SerializeError(
+            f"statement {type(statement).__name__} has no target serialization "
+            "(it requires emulation)")
+
+    # -- dialect hooks -----------------------------------------------------------------
+
+    def ident(self, name: str) -> str:
+        """Render an identifier (quote when necessary)."""
+        if name and (name[0].isalpha() or name[0] == "_") and \
+                all(ch.isalnum() or ch == "_" for ch in name):
+            return name
+        return '"' + name.replace('"', '""') + '"'
+
+    def type_sql(self, declared: t.SQLType) -> str:
+        kind = declared.kind
+        if kind is t.TypeKind.DECIMAL:
+            return f"DECIMAL({declared.precision or 18},{declared.scale or 0})"
+        if kind is t.TypeKind.CHAR:
+            return f"CHAR({declared.length or 1})"
+        if kind is t.TypeKind.VARCHAR:
+            if declared.length is not None:
+                return f"VARCHAR({declared.length})"
+            return "VARCHAR(4096)"
+        if kind is t.TypeKind.FLOAT:
+            return "DOUBLE PRECISION"
+        if kind is t.TypeKind.PERIOD:
+            raise SerializeError(
+                "PERIOD has no target representation; Hyper-Q splits it into "
+                "begin/end columns before DDL reaches the serializer")
+        if kind is t.TypeKind.UNKNOWN:
+            return "VARCHAR(4096)"
+        return kind.value
+
+    def _note(self, feature: str) -> None:
+        if self._tracker is not None:
+            self._tracker.note(feature, "serializer")
+
+    def _fresh(self, prefix: str) -> str:
+        self._alias_counter += 1
+        return f"{prefix}{self._alias_counter}"
+
+    # -- literals ---------------------------------------------------------------------------
+
+    def literal(self, value: object, declared: t.SQLType) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, (int, float)):
+            text = repr(value)
+            return text
+        if isinstance(value, str):
+            return "'" + value.replace("'", "''") + "'"
+        if isinstance(value, datetime.datetime):
+            return f"TIMESTAMP '{value.isoformat(sep=' ')}'"
+        if isinstance(value, datetime.date):
+            return f"DATE '{value.isoformat()}'"
+        raise SerializeError(f"cannot render literal {value!r}")
+
+    # -- expressions -------------------------------------------------------------------------
+
+    def render_expr(self, expr: ScalarExpr, env: Optional[_Env]) -> str:
+        if isinstance(expr, s.Const):
+            return self.literal(expr.value, expr.type)
+        if isinstance(expr, s.ColumnRef):
+            if env is not None:
+                resolved = env.resolve(expr)
+                if resolved is not None:
+                    return resolved
+            # Unresolved references render as written (e.g. ORDER BY aliases).
+            if expr.table:
+                return f"{self.ident(expr.table)}.{self.ident(expr.name)}"
+            return self.ident(expr.name)
+        if isinstance(expr, s.Param):
+            return "?"
+        if isinstance(expr, s.Negate):
+            return f"(- {self.render_expr(expr.operand, env)})"
+        if isinstance(expr, s.Arith):
+            return self._render_arith(expr, env)
+        if isinstance(expr, s.Comp):
+            left = self.render_expr(expr.left, env)
+            right = self.render_expr(expr.right, env)
+            return f"{left} {expr.op.value} {right}"
+        if isinstance(expr, s.BoolOp):
+            joiner = f" {expr.op.value} "
+            return "(" + joiner.join(self.render_expr(arg, env)
+                                     for arg in expr.args) + ")"
+        if isinstance(expr, s.Not):
+            return f"NOT ({self.render_expr(expr.operand, env)})"
+        if isinstance(expr, s.IsNull):
+            keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+            return f"{self.render_expr(expr.operand, env)} {keyword}"
+        if isinstance(expr, s.InList):
+            items = ", ".join(self.render_expr(item, env) for item in expr.items)
+            keyword = "NOT IN" if expr.negated else "IN"
+            return f"{self.render_expr(expr.operand, env)} {keyword} ({items})"
+        if isinstance(expr, s.Between):
+            keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
+            return (f"{self.render_expr(expr.operand, env)} {keyword} "
+                    f"{self.render_expr(expr.low, env)} AND "
+                    f"{self.render_expr(expr.high, env)}")
+        if isinstance(expr, s.Like):
+            keyword = "NOT LIKE" if expr.negated else "LIKE"
+            out = (f"{self.render_expr(expr.operand, env)} {keyword} "
+                   f"{self.render_expr(expr.pattern, env)}")
+            if expr.escape:
+                out += f" ESCAPE '{expr.escape}'"
+            return out
+        if isinstance(expr, s.FuncCall):
+            return self._render_func(expr, env)
+        if isinstance(expr, s.AggCall):
+            return self.render_agg(expr, env)
+        if isinstance(expr, s.Case):
+            return self._render_case(expr, env)
+        if isinstance(expr, s.Cast):
+            return (f"CAST({self.render_expr(expr.operand, env)} AS "
+                    f"{self.type_sql(expr.type)})")
+        if isinstance(expr, s.Extract):
+            return (f"EXTRACT({expr.field_name.value} FROM "
+                    f"{self.render_expr(expr.operand, env)})")
+        if isinstance(expr, s.SubqueryExpr):
+            return self._render_subquery_expr(expr, env)
+        if isinstance(expr, s.WindowFunc):
+            return self.render_window(expr, env)
+        raise SerializeError(f"cannot render {type(expr).__name__}")
+
+    def _render_arith(self, expr: s.Arith, env: Optional[_Env]) -> str:
+        left = self.render_expr(expr.left, env)
+        right = self.render_expr(expr.right, env)
+        if expr.op is s.ArithOp.POW:
+            return f"POWER({left}, {right})"
+        if expr.op is s.ArithOp.MOD:
+            return f"MOD({left}, {right})"
+        return f"({left} {expr.op.value} {right})"
+
+    def _render_func(self, expr: s.FuncCall, env: Optional[_Env]) -> str:
+        name = expr.name.upper()
+        args = [self.render_expr(arg, env) for arg in expr.args]
+        if name in ("ZEROIFNULL", "NULLIFZERO"):
+            self._note("zeroifnull")
+            target = "COALESCE" if name == "ZEROIFNULL" else "NULLIF"
+            return f"{target}({args[0]}, 0)"
+        if name in ("CHARS", "CHARACTERS", "CHARACTER_LENGTH", "CHAR_LENGTH"):
+            self._note("chars_function")
+            length_name = self.FUNCTION_MAP.get("LENGTH") or "LENGTH"
+            return f"{length_name}({args[0]})"
+        if name == "INDEX":
+            self._note("index_function")
+            return f"POSITION({args[1]} IN {args[0]})"
+        if name == "POSITION":
+            return f"POSITION({args[0]} IN {args[1]})"
+        if name in ("SUBSTRING", "SUBSTR"):
+            out = f"SUBSTRING({args[0]} FROM {args[1]}"
+            if len(args) > 2:
+                out += f" FOR {args[2]}"
+            return out + ")"
+        mapped = self.FUNCTION_MAP.get(name, name)
+        if mapped is None:
+            mapped = name
+        return f"{mapped}({', '.join(args)})"
+
+    def render_agg(self, expr: s.AggCall, env: Optional[_Env]) -> str:
+        if expr.star:
+            return "COUNT(*)"
+        inner = ", ".join(self.render_expr(arg, env) for arg in expr.args)
+        if expr.distinct:
+            inner = "DISTINCT " + inner
+        return f"{expr.name.upper()}({inner})"
+
+    def _render_case(self, expr: s.Case, env: Optional[_Env]) -> str:
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(self.render_expr(expr.operand, env))
+        for condition, result in zip(expr.conditions, expr.results):
+            parts.append(f"WHEN {self.render_expr(condition, env)} "
+                         f"THEN {self.render_expr(result, env)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {self.render_expr(expr.default, env)}")
+        parts.append("END")
+        return " ".join(parts)
+
+    def _render_subquery_expr(self, expr: s.SubqueryExpr, env: Optional[_Env]) -> str:
+        sub_sql, __ = self._render_query(expr.plan, env)
+        if expr.kind is s.SubqueryKind.EXISTS:
+            prefix = "NOT EXISTS" if expr.negated else "EXISTS"
+            return f"{prefix} ({sub_sql})"
+        if expr.kind is s.SubqueryKind.SCALAR:
+            return f"({sub_sql})"
+        left_texts = [self.render_expr(item, env) for item in expr.left]
+        if len(left_texts) > 1:
+            if not self._profile.vector_subquery:
+                raise SerializeError(
+                    "vector subquery reached serialization for a target "
+                    "without support (transformer should have rewritten it)")
+            left_sql = "(" + ", ".join(left_texts) + ")"
+        else:
+            left_sql = left_texts[0]
+        if expr.kind is s.SubqueryKind.IN:
+            keyword = "NOT IN" if expr.negated else "IN"
+            return f"{left_sql} {keyword} ({sub_sql})"
+        op = (expr.op or s.CompOp.EQ).value
+        quantifier = (expr.quantifier or s.Quantifier.ANY).value
+        out = f"{left_sql} {op} {quantifier} ({sub_sql})"
+        if expr.negated:
+            out = f"NOT ({out})"
+        return out
+
+    def render_window(self, expr: s.WindowFunc, env: Optional[_Env]) -> str:
+        args = ", ".join(self.render_expr(arg, env) for arg in expr.args)
+        over_parts = []
+        if expr.partition_by:
+            cols = ", ".join(self.render_expr(part, env)
+                             for part in expr.partition_by)
+            over_parts.append(f"PARTITION BY {cols}")
+        if expr.order_by:
+            keys = ", ".join(self.render_sort_key(key, env)
+                             for key in expr.order_by)
+            over_parts.append(f"ORDER BY {keys}")
+        return f"{expr.name.upper()}({args}) OVER ({' '.join(over_parts)})"
+
+    def render_sort_key(self, key: s.SortKey, env: Optional[_Env]) -> str:
+        base = self.render_expr(key.expr, env)
+        direction = "ASC" if key.ascending else "DESC"
+        if key.nulls_first is None:
+            return f"{base} {direction}"
+        if self._profile.explicit_null_ordering:
+            placement = "NULLS FIRST" if key.nulls_first else "NULLS LAST"
+            return f"{base} {direction} {placement}"
+        # Emulate via a CASE prefix key on targets without the syntax; the
+        # caller must emit this helper as an extra leading key.
+        return f"{base} {direction}"
+
+    def null_placement_keys(self, key: s.SortKey, env: Optional[_Env]) -> list[str]:
+        """The full ORDER BY key list for one logical key, adding a CASE
+        prefix when explicit NULLS FIRST/LAST is unavailable."""
+        if key.nulls_first is None or self._profile.explicit_null_ordering:
+            return [self.render_sort_key(key, env)]
+        base = self.render_expr(key.expr, env)
+        null_rank = "0" if key.nulls_first else "1"
+        other = "1" if key.nulls_first else "0"
+        case = f"CASE WHEN {base} IS NULL THEN {null_rank} ELSE {other} END ASC"
+        return [case, self.render_sort_key(key, env)]
+
+    # -- relational rendering ---------------------------------------------------------------------
+
+    def _render_source(self, node: RelNode, outer: Optional[_Env]):
+        """Render a FROM item: returns (sql fragment, env entries)."""
+        if isinstance(node, r.Get):
+            qualifier = (node.alias or node.table.name).upper()
+            sql = self.ident(node.table.name)
+            if node.alias:
+                sql += f" {self.ident(node.alias.upper())}"
+            entries = [
+                (col, f"{self.ident(qualifier)}.{self.ident(col.name)}")
+                for col in node.output_columns()
+            ]
+            return sql, entries
+        if isinstance(node, r.CTERef):
+            qualifier = (node.alias or node.name).upper()
+            sql = self.ident(node.name)
+            if node.alias:
+                sql += f" {self.ident(node.alias.upper())}"
+            entries = [
+                (col, f"{self.ident(qualifier)}.{self.ident(col.name)}")
+                for col in node.output_columns()
+            ]
+            return sql, entries
+        if isinstance(node, r.DerivedTable):
+            inner_sql, out_names = self._render_query(node.child, outer)
+            alias = node.alias.upper()
+            sql = f"({inner_sql}) AS {self.ident(alias)}"
+            columns = node.output_columns()
+            if node.column_names:
+                names = [name.upper() for name in node.column_names]
+                sql += " (" + ", ".join(self.ident(name) for name in names) + ")"
+            else:
+                names = out_names
+            entries = [
+                (col, f"{self.ident(alias)}.{self.ident(name)}")
+                for col, name in zip(columns, names)
+            ]
+            return sql, entries
+        if isinstance(node, r.Join):
+            left_sql, left_entries = self._render_source(node.left, outer)
+            right_sql, right_entries = self._render_source(node.right, outer)
+            entries = left_entries + right_entries
+            if node.kind is r.JoinKind.CROSS or node.condition is None:
+                return f"{left_sql} CROSS JOIN {right_sql}", entries
+            env = _Env(entries, outer)
+            cond = self.render_expr(node.condition, env)
+            keyword = {"INNER": "JOIN", "LEFT": "LEFT JOIN",
+                       "RIGHT": "RIGHT JOIN", "FULL": "FULL JOIN"}[node.kind.value]
+            return f"{left_sql} {keyword} {right_sql} ON {cond}", entries
+        # Fallback: any other operator becomes a derived table.
+        alias = self._fresh("_Q")
+        inner_sql, out_names = self._render_query(node, outer)
+        entries = [
+            (col, f"{self.ident(alias)}.{self.ident(name)}")
+            for col, name in zip(node.output_columns(), out_names)
+        ]
+        return f"({inner_sql}) AS {self.ident(alias)}", entries
+
+    def _render_query(self, plan: RelNode, outer: Optional[_Env]):
+        """Render a full SELECT; returns (sql, output names)."""
+        node = plan
+        with_prefix = ""
+        if isinstance(node, r.With):
+            with_prefix = self._render_with(node, outer)
+            node = node.body
+
+        # Peel ordering / limiting / distinct / strip-projection layers.
+        limit: Optional[r.Limit] = None
+        sort: Optional[r.Sort] = None
+        strip: Optional[r.Project] = None
+        distinct = False
+        while True:
+            if isinstance(node, r.Limit) and limit is None:
+                limit = node
+                node = node.child
+            elif isinstance(node, r.Sort) and sort is None:
+                sort = node
+                node = node.child
+            elif isinstance(node, r.Project) and isinstance(node.child, r.Sort) \
+                    and sort is None and strip is None:
+                strip = node
+                node = node.child
+            elif isinstance(node, r.Distinct):
+                distinct = True
+                node = node.child
+            else:
+                break
+
+        if isinstance(node, r.SetOp):
+            sql, names = self._render_setop(node, outer)
+            sql = self._attach_order_limit_names(sql, names, sort, limit, outer)
+            return with_prefix + sql, names
+        if isinstance(node, r.Values):
+            sql, names = self._render_values_select(node, outer)
+            return with_prefix + sql, names
+        if not isinstance(node, r.Project):
+            # Render whatever remains via a generic wrapper projection.
+            names = [col.name for col in node.output_columns()]
+            exprs = [s.ColumnRef(col.name, col.qualifier, col.type)
+                     for col in node.output_columns()]
+            node = r.Project(node, exprs, names)
+        sql, names = self._render_block(node, distinct, sort, limit, strip, outer)
+        return with_prefix + sql, names
+
+    def _render_with(self, node: r.With, outer: Optional[_Env]) -> str:
+        rendered = []
+        recursive = any(cte.recursive for cte in node.ctes)
+        if recursive and not self._profile.recursive_cte:
+            raise SerializeError(
+                "recursive CTE reached serialization for a target without "
+                "support (the emulator should have handled it)")
+        for cte in node.ctes:
+            inner_sql, __ = self._render_query(cte.plan, outer)
+            header = self.ident(cte.name.upper())
+            if cte.column_names:
+                header += " (" + ", ".join(self.ident(name.upper())
+                                           for name in cte.column_names) + ")"
+            rendered.append(f"{header} AS ({inner_sql})")
+        keyword = "WITH RECURSIVE " if recursive else "WITH "
+        return keyword + ", ".join(rendered) + " "
+
+    def _render_setop(self, node: r.SetOp, outer: Optional[_Env]):
+        left_sql, names = self._render_query(node.left, outer)
+        right_sql, __ = self._render_query(node.right, outer)
+        keyword = node.kind.value + (" ALL" if node.all else "")
+        return f"({left_sql}) {keyword} ({right_sql})", names
+
+    def _render_values_select(self, node: r.Values, outer: Optional[_Env]):
+        if node.names:
+            raise SerializeError("bare VALUES relations only support SELECT "
+                                 "without FROM")
+        return "SELECT 1", ["_ONE"]
+
+    def _attach_order_limit_names(self, sql: str, names: list[str],
+                                  sort: Optional[r.Sort], limit: Optional[r.Limit],
+                                  outer: Optional[_Env]) -> str:
+        if sort is not None:
+            keys = []
+            for key in sort.keys:
+                keys.extend(self.null_placement_keys(key, None))
+            sql = f"{sql} ORDER BY {', '.join(keys)}"
+        if limit is not None:
+            sql = self._attach_limit(sql, limit, top_allowed=False)
+        return sql
+
+    def _attach_limit(self, sql: str, limit: r.Limit, top_allowed: bool) -> str:
+        if limit.count is None and not limit.offset:
+            return sql
+        if self._profile.limit_syntax is LimitSyntax.LIMIT or not top_allowed:
+            if limit.count is not None:
+                sql += f" LIMIT {limit.count}"
+            if limit.offset:
+                sql += f" OFFSET {limit.offset}"
+            return sql
+        return sql  # TOP handled in the SELECT clause by _render_block
+
+    # -- the core SELECT block --------------------------------------------------------------------
+
+    def _render_block(self, project: r.Project, distinct: bool,
+                      sort: Optional[r.Sort], limit: Optional[r.Limit],
+                      strip: Optional[r.Project], outer: Optional[_Env]):
+        # Identify the canonical operator stack under the projection.
+        qualify_pred: Optional[ScalarExpr] = None
+        window: Optional[r.Window] = None
+        having_pred: Optional[ScalarExpr] = None
+        aggregate: Optional[r.Aggregate] = None
+        where_pred: Optional[ScalarExpr] = None
+
+        cursor: RelNode = project.child
+        if isinstance(cursor, r.Filter) and isinstance(cursor.child, r.Window):
+            qualify_pred = cursor.predicate
+            cursor = cursor.child
+        if isinstance(cursor, r.Window):
+            window = cursor
+            cursor = cursor.child
+        if isinstance(cursor, r.Filter) and isinstance(cursor.child, r.Aggregate):
+            having_pred = cursor.predicate
+            cursor = cursor.child
+        if isinstance(cursor, r.Aggregate):
+            aggregate = cursor
+            cursor = cursor.child
+        if isinstance(cursor, r.Filter):
+            where_pred = cursor.predicate
+            cursor = cursor.child
+        source = cursor
+
+        # FROM-less SELECT (over the unit Values row).
+        from_sql: Optional[str] = None
+        entries: list[tuple[OutputColumn, str]] = []
+        if isinstance(source, r.Values) and not source.names:
+            if source.rows != [[]]:
+                raise SerializeError("non-unit VALUES cannot anchor a SELECT")
+        else:
+            from_sql, entries = self._render_source(source, outer)
+        base_env = _Env(entries, outer)
+
+        where_sql = (self.render_expr(where_pred, base_env)
+                     if where_pred is not None else None)
+
+        group_sql: list[str] = []
+        env_after_agg = base_env
+        if aggregate is not None:
+            if aggregate.kind is not r.GroupingKind.SIMPLE:
+                raise SerializeError(
+                    "extended grouping reached serialization for a target "
+                    "without support (transformer should have expanded it)")
+            agg_entries: list[tuple[OutputColumn, str]] = []
+            for expr, name in zip(aggregate.group_by, aggregate.group_names):
+                text = self.render_expr(expr, base_env)
+                group_sql.append(text)
+                agg_entries.append((OutputColumn(name, expr.type), text))
+            for agg_call, name in zip(aggregate.aggs, aggregate.agg_names):
+                text = self.render_agg(agg_call, base_env)
+                agg_entries.append((OutputColumn(name, agg_call.type), text))
+            env_after_agg = _Env(agg_entries, outer)
+
+        having_sql = (self.render_expr(having_pred, env_after_agg)
+                      if having_pred is not None else None)
+
+        # -- window handling -------------------------------------------------------
+        if window is not None and qualify_pred is not None:
+            return self._render_qualify_block(
+                project, distinct, sort, limit, strip, outer,
+                window, qualify_pred, from_sql, where_sql, group_sql,
+                having_sql, env_after_agg)
+
+        env_select = env_after_agg
+        if window is not None:
+            window_entries = list(env_after_agg.entries)
+            for func, name in zip(window.funcs, window.names):
+                text = self.render_window(func, env_after_agg)
+                window_entries.append((OutputColumn(name, func.type), text))
+            env_select = _Env(window_entries, outer)
+
+        exprs, names = _visible_projection(project, strip)
+        select_parts, out_names = self._render_select_list(exprs, names, env_select)
+        order_sql = self._render_order(sort, strip, project, env_select, out_names)
+
+        return self._assemble(select_parts, out_names, distinct, from_sql,
+                              where_sql, group_sql, having_sql, order_sql,
+                              limit), out_names
+
+    def _render_select_list(self, exprs: list[ScalarExpr], names: list[str],
+                            env: _Env):
+        out_names = _uniquify([name.upper() for name in names])
+        parts = []
+        for expr, name in zip(exprs, out_names):
+            text = self.render_expr(expr, env)
+            parts.append(f"{text} AS {self.ident(name)}")
+        return parts, out_names
+
+    def _render_order(self, sort: Optional[r.Sort], strip: Optional[r.Project],
+                      project: r.Project, env: _Env,
+                      out_names: list[str]) -> Optional[str]:
+        if sort is None and strip is not None:
+            inner = strip.child
+            assert isinstance(inner, r.Sort)
+            sort = inner
+        if sort is None:
+            return None
+        name_to_expr = {name.upper(): expr
+                        for name, expr in zip(project.names, project.exprs)}
+        keys: list[str] = []
+        for key in sort.keys:
+            expr = key.expr
+            rendered_key = key
+            if isinstance(expr, s.ColumnRef) and expr.table is None:
+                target = name_to_expr.get(expr.name.upper())
+                if target is not None and expr.name.upper() not in out_names:
+                    # Hidden sort column: inline its defining expression.
+                    rendered_key = s.SortKey(target, key.ascending, key.nulls_first)
+                elif target is not None:
+                    # Visible output column: order by its alias.
+                    rendered_key = s.SortKey(s.ColumnRef(expr.name.upper()),
+                                             key.ascending, key.nulls_first)
+            rendered = []
+            if isinstance(rendered_key.expr, s.ColumnRef) \
+                    and rendered_key.expr.table is None \
+                    and rendered_key.expr.name.upper() in out_names:
+                # Alias reference: resolve to the bare alias, not the env.
+                base = self.ident(rendered_key.expr.name.upper())
+                direction = "ASC" if rendered_key.ascending else "DESC"
+                if rendered_key.nulls_first is None \
+                        or not self._profile.explicit_null_ordering:
+                    alias_key = s.SortKey(s.ColumnRef(rendered_key.expr.name),
+                                          rendered_key.ascending,
+                                          rendered_key.nulls_first)
+                    rendered = self.null_placement_keys(alias_key, None)
+                else:
+                    placement = ("NULLS FIRST" if rendered_key.nulls_first
+                                 else "NULLS LAST")
+                    rendered = [f"{base} {direction} {placement}"]
+            else:
+                rendered = self.null_placement_keys(rendered_key, env)
+            keys.extend(rendered)
+        return ", ".join(keys)
+
+    def _render_qualify_block(self, project, distinct, sort, limit, strip,
+                              outer, window, qualify_pred, from_sql, where_sql,
+                              group_sql, having_sql, env_inner):
+        """Two-block rendering for QUALIFY-style post-window filters:
+        the inner block computes pass-through columns plus window values, the
+        outer block filters and projects (the paper's Example 3 shape)."""
+        inner_cols = window.child.output_columns()
+        inner_names = _uniquify([col.name for col in inner_cols])
+        select_parts = []
+        alias = self._fresh("_QW")
+        outer_entries: list[tuple[OutputColumn, str]] = []
+        for col, name in zip(inner_cols, inner_names):
+            ref = s.ColumnRef(col.name, col.qualifier, col.type)
+            select_parts.append(f"{self.render_expr(ref, env_inner)} AS "
+                                f"{self.ident(name)}")
+            outer_entries.append((col, f"{self.ident(alias)}.{self.ident(name)}"))
+        window_names = _uniquify(inner_names + [n.upper() for n in window.names])
+        window_names = window_names[len(inner_names):]
+        for func, name, out_col in zip(window.funcs, window_names,
+                                       window.output_columns()[len(inner_cols):]):
+            text = self.render_window(func, env_inner)
+            select_parts.append(f"{text} AS {self.ident(name)}")
+            outer_entries.append((out_col, f"{self.ident(alias)}.{self.ident(name)}"))
+        inner_sql = self._assemble(select_parts, inner_names + window_names,
+                                   False, from_sql, where_sql, group_sql,
+                                   having_sql, None, None)
+        outer_env = _Env(outer_entries, outer)
+        exprs, names = _visible_projection(project, strip)
+        outer_project_parts, out_names = self._render_select_list(exprs, names,
+                                                                  outer_env)
+        qualify_sql = self.render_expr(qualify_pred, outer_env)
+        order_sql = self._render_order(sort, strip, project, outer_env, out_names)
+        return self._assemble(
+            outer_project_parts, out_names, distinct,
+            f"({inner_sql}) AS {self.ident(alias)}", qualify_sql, [], None,
+            order_sql, limit), out_names
+
+    def _assemble(self, select_parts: list[str], out_names: list[str],
+                  distinct: bool, from_sql: Optional[str],
+                  where_sql: Optional[str], group_sql: list[str],
+                  having_sql: Optional[str], order_sql: Optional[str],
+                  limit: Optional[r.Limit]) -> str:
+        head = "SELECT "
+        if distinct:
+            head += "DISTINCT "
+        if limit is not None and limit.count is not None \
+                and self._profile.limit_syntax is LimitSyntax.TOP:
+            head += f"TOP {limit.count} "
+            if limit.with_ties:
+                head += "WITH TIES "
+            limit = None
+        sql = head + ", ".join(select_parts)
+        if from_sql:
+            sql += f" FROM {from_sql}"
+        if where_sql:
+            sql += f" WHERE {where_sql}"
+        if group_sql:
+            sql += f" GROUP BY {', '.join(group_sql)}"
+        if having_sql:
+            sql += f" HAVING {having_sql}"
+        if order_sql:
+            sql += f" ORDER BY {order_sql}"
+        if limit is not None:
+            sql = self._attach_limit(sql, limit, top_allowed=False)
+        return sql
+
+    # -- DML / DDL ---------------------------------------------------------------------------
+
+    def _render_insert(self, statement: r.Insert) -> str:
+        head = f"INSERT INTO {self.ident(statement.table)}"
+        if statement.columns:
+            head += " (" + ", ".join(self.ident(name.upper())
+                                     for name in statement.columns) + ")"
+        if isinstance(statement.source, r.Values):
+            rows = []
+            for row in statement.source.rows:
+                rows.append("(" + ", ".join(self.render_expr(cell, None)
+                                            for cell in row) + ")")
+            return f"{head} VALUES {', '.join(rows)}"
+        inner_sql, __ = self._render_query(statement.source, None)
+        return f"{head} {inner_sql}"
+
+    def _render_update(self, statement: r.Update) -> str:
+        table = statement.table.upper()
+        qualifier = (statement.alias or table).upper()
+        env = _Env([])  # refs render as written (they are bound + qualified)
+        sql = f"UPDATE {self.ident(table)}"
+        if statement.alias:
+            sql += f" {self.ident(statement.alias.upper())}"
+        sets = ", ".join(
+            f"{self.ident(name)} = {self.render_expr(expr, env)}"
+            for name, expr in statement.assignments)
+        sql += f" SET {sets}"
+        if statement.predicate is not None:
+            sql += f" WHERE {self.render_expr(statement.predicate, env)}"
+        return sql
+
+    def _render_delete(self, statement: r.Delete) -> str:
+        sql = f"DELETE FROM {self.ident(statement.table.upper())}"
+        if statement.alias:
+            sql += f" {self.ident(statement.alias.upper())}"
+        if statement.predicate is not None:
+            sql += f" WHERE {self.render_expr(statement.predicate, _Env([]))}"
+        return sql
+
+    def _render_create_table(self, statement: r.CreateTable) -> str:
+        schema = statement.schema
+        temp = ""
+        if schema.volatile:
+            temp = f"{self._profile.temp_table_keyword} "
+        head = f"CREATE {temp}TABLE {self.ident(schema.name)}"
+        if statement.as_query is not None:
+            inner_sql, __ = self._render_query(statement.as_query, None)
+            return f"{head} AS {inner_sql}"
+        columns = []
+        for col in schema.columns:
+            part = f"{self.ident(col.name)} {self.type_sql(col.type)}"
+            if not col.nullable:
+                part += " NOT NULL"
+            if col.default_sql is not None and _is_constant_default(col.default_sql):
+                part += f" DEFAULT {col.default_sql}"
+            columns.append(part)
+        return f"{head} ({', '.join(columns)})"
+
+    def _render_create_view(self, statement: r.CreateView) -> str:
+        inner_sql, __ = self._render_query(statement.plan, None)
+        head = "CREATE OR REPLACE VIEW" if statement.replace else "CREATE VIEW"
+        sql = f"{head} {self.ident(statement.name)}"
+        if statement.column_names:
+            sql += " (" + ", ".join(self.ident(name)
+                                    for name in statement.column_names) + ")"
+        return f"{sql} AS {inner_sql}"
+
+    def _render_merge(self, statement: r.Merge) -> str:
+        if not self._profile.merge_statement:
+            raise SerializeError(
+                "MERGE reached serialization for a target without support "
+                "(the emulator should have handled it)")
+        source_sql, entries = self._render_source(statement.source, None)
+        env = _Env(entries)
+        sql = f"MERGE INTO {self.ident(statement.target)}"
+        if statement.target_alias:
+            sql += f" {self.ident(statement.target_alias.upper())}"
+        sql += f" USING {source_sql}"
+        sql += f" ON {self.render_expr(statement.condition, env)}"
+        if statement.matched_assignments:
+            sets = ", ".join(
+                f"{self.ident(name)} = {self.render_expr(expr, env)}"
+                for name, expr in statement.matched_assignments)
+            sql += f" WHEN MATCHED THEN UPDATE SET {sets}"
+        if statement.insert_columns and statement.insert_values is not None:
+            cols = ", ".join(self.ident(name.upper())
+                             for name in statement.insert_columns)
+            values = ", ".join(self.render_expr(expr, env)
+                               for expr in statement.insert_values)
+            sql += f" WHEN NOT MATCHED THEN INSERT ({cols}) VALUES ({values})"
+        return sql
+
+
+def _visible_projection(project: r.Project,
+                        strip: "r.Project | None") -> tuple[list, list[str]]:
+    """The output expressions/names of a block, honoring a strip projection.
+
+    When ORDER BY needed hidden sort columns, the binder widened the
+    projection and stacked a stripping Project above the Sort; the serialized
+    SELECT list must expose only the stripped (visible) subset — hidden keys
+    are inlined into ORDER BY instead.
+    """
+    if strip is None:
+        return list(project.exprs), list(project.names)
+    by_name = {name.upper(): expr
+               for name, expr in zip(project.names, project.exprs)}
+    exprs = [by_name[name.upper()] for name in strip.names]
+    return exprs, list(strip.names)
+
+
+def _uniquify(names: list[str]) -> list[str]:
+    seen: dict[str, int] = {}
+    out = []
+    for name in names:
+        if name not in seen:
+            seen[name] = 1
+            out.append(name)
+        else:
+            seen[name] += 1
+            candidate = f"{name}_{seen[name]}"
+            while candidate in seen:
+                seen[name] += 1
+                candidate = f"{name}_{seen[name]}"
+            seen[candidate] = 1
+            out.append(candidate)
+    return out
+
+
+def _is_constant_default(sql: str) -> bool:
+    text = sql.strip().upper()
+    if text in ("NULL",):
+        return True
+    if text.startswith("'"):
+        return True
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,114 @@
+"""Per-target serializer specializations.
+
+Each modeled cloud target gets its own Serializer subclass, mirroring the
+paper's per-backend Serializer plugins. The executing in-memory backend
+("hyperion") uses the base ANSI serializer unchanged; the cloud archetypes
+override spelling details (type names, quoting, function spellings) so the
+serializers demonstrably produce different texts for the same XTRA.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.tracker import FeatureTracker
+from repro.errors import SerializeError
+from repro.serializer.base import Serializer
+from repro.transform.capabilities import (
+    AZURESYNTH, CapabilityProfile, HYPERION, HYPERION_PLUS, MEADOWSHIFT,
+    PROFILES, SKYQUERY, SNOWFIELD,
+)
+from repro.xtra import types as t
+
+
+class PostgresSerializer(Serializer):
+    """Redshift-like target: Postgres heritage."""
+
+    def type_sql(self, declared: t.SQLType) -> str:
+        if declared.kind is t.TypeKind.FLOAT:
+            return "DOUBLE PRECISION"
+        if declared.kind is t.TypeKind.TIMESTAMP:
+            return "TIMESTAMP WITHOUT TIME ZONE"
+        return super().type_sql(declared)
+
+
+class BigQuerySerializer(Serializer):
+    """BigQuery-like target: backtick quoting, INT64/STRING type names."""
+
+    _TYPE_NAMES = {
+        t.TypeKind.SMALLINT: "INT64",
+        t.TypeKind.INTEGER: "INT64",
+        t.TypeKind.BIGINT: "INT64",
+        t.TypeKind.FLOAT: "FLOAT64",
+        t.TypeKind.BOOLEAN: "BOOL",
+        t.TypeKind.DATE: "DATE",
+        t.TypeKind.TIMESTAMP: "TIMESTAMP",
+    }
+
+    def ident(self, name: str) -> str:
+        if name and (name[0].isalpha() or name[0] == "_") and \
+                all(ch.isalnum() or ch == "_" for ch in name):
+            return name
+        return "`" + name.replace("`", "``") + "`"
+
+    def type_sql(self, declared: t.SQLType) -> str:
+        if declared.kind in self._TYPE_NAMES:
+            return self._TYPE_NAMES[declared.kind]
+        if declared.kind in (t.TypeKind.CHAR, t.TypeKind.VARCHAR,
+                             t.TypeKind.UNKNOWN):
+            return "STRING"
+        if declared.kind is t.TypeKind.DECIMAL:
+            return "NUMERIC"
+        return super().type_sql(declared)
+
+
+class TSQLSerializer(Serializer):
+    """Azure SQL DW-like target: T-SQL spellings, TOP instead of LIMIT,
+    bracket quoting, LEN instead of LENGTH."""
+
+    FUNCTION_MAP = dict(Serializer.FUNCTION_MAP)
+    FUNCTION_MAP.update({"LENGTH": "LEN"})
+
+    def ident(self, name: str) -> str:
+        if name and (name[0].isalpha() or name[0] == "_") and \
+                all(ch.isalnum() or ch == "_" for ch in name):
+            return name
+        return "[" + name.replace("]", "]]") + "]"
+
+    def type_sql(self, declared: t.SQLType) -> str:
+        if declared.kind is t.TypeKind.FLOAT:
+            return "FLOAT"
+        if declared.kind is t.TypeKind.TIMESTAMP:
+            return "DATETIME2"
+        return super().type_sql(declared)
+
+
+class SnowflakeSerializer(Serializer):
+    """Snowflake-like target: largely ANSI; NUMBER for decimals."""
+
+    def type_sql(self, declared: t.SQLType) -> str:
+        if declared.kind is t.TypeKind.DECIMAL:
+            return f"NUMBER({declared.precision or 18},{declared.scale or 0})"
+        return super().type_sql(declared)
+
+
+_SERIALIZERS: dict[str, type[Serializer]] = {
+    HYPERION.name: Serializer,
+    HYPERION_PLUS.name: Serializer,
+    MEADOWSHIFT.name: PostgresSerializer,
+    SKYQUERY.name: BigQuerySerializer,
+    AZURESYNTH.name: TSQLSerializer,
+    SNOWFIELD.name: SnowflakeSerializer,
+}
+
+
+def serializer_for(profile: CapabilityProfile | str,
+                   tracker: Optional[FeatureTracker] = None) -> Serializer:
+    """The serializer matching a target capability profile."""
+    if isinstance(profile, str):
+        resolved = PROFILES.get(profile)
+        if resolved is None:
+            raise SerializeError(f"unknown target profile {profile!r}")
+        profile = resolved
+    cls = _SERIALIZERS.get(profile.name, Serializer)
+    return cls(profile, tracker)

@@ -1,0 +1,7 @@
+"""Shared SQL lexing foundation used by both the Teradata frontend parser
+and the backend's ANSI parser."""
+
+from repro.sqlkit.tokens import Token, TokenKind
+from repro.sqlkit.lexer import Lexer, LexerConfig
+
+__all__ = ["Token", "TokenKind", "Lexer", "LexerConfig"]

@@ -1,0 +1,216 @@
+"""A configurable SQL lexer.
+
+The same lexer core serves both dialects in the system: the Teradata frontend
+configures extra operators (``^=``, ``**``) and keyword set; the backend's
+ANSI parser uses the defaults. Dialect differences are data
+(:class:`LexerConfig`), not subclasses, which keeps tokenization rules in one
+audited place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LexError
+from repro.sqlkit.tokens import Token, TokenKind
+
+# Multi-character operators recognized by default, longest first.
+_DEFAULT_OPERATORS = [
+    "||", "<>", "<=", ">=", "!=", "::",
+    "(", ")", ",", ";", ".", "+", "-", "*", "/", "%",
+    "<", ">", "=", "?", "[", "]",
+]
+
+
+@dataclass
+class LexerConfig:
+    """Dialect-specific lexing knobs.
+
+    Attributes:
+        keywords: the set of words to classify as KEYWORD (upper-case).
+        extra_operators: additional operator spellings (longest-match wins).
+        line_comment: prefix that starts a comment running to end of line.
+        allow_named_params: recognize ``:name`` parameter markers.
+    """
+
+    keywords: frozenset[str] = frozenset()
+    extra_operators: tuple[str, ...] = ()
+    line_comment: str = "--"
+    allow_named_params: bool = True
+
+
+class Lexer:
+    """Tokenize SQL text into a list of :class:`Token`.
+
+    Usage::
+
+        tokens = Lexer(config).tokenize("SELECT 1")
+    """
+
+    def __init__(self, config: LexerConfig):
+        self._config = config
+        ops = list(_DEFAULT_OPERATORS) + list(config.extra_operators)
+        # Sort by length so multi-char operators are matched before prefixes.
+        self._operators = sorted(set(ops), key=len, reverse=True)
+        self._op_first_chars = {op[0] for op in self._operators}
+
+    def tokenize(self, text: str) -> list[Token]:
+        """Tokenize *text*, returning tokens ending with a single EOF token."""
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._text):
+                tokens.append(Token(TokenKind.EOF, None, "", self._line, self._col))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < len(self._text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self._text[self._pos:self._pos + count]
+        for char in chunk:
+            if char == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+        self._pos += count
+        return chunk
+
+    def _skip_whitespace_and_comments(self) -> None:
+        comment = self._config.line_comment
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif comment and self._text.startswith(comment, self._pos):
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            elif self._text.startswith("/*", self._pos):
+                start_line, start_col = self._line, self._col
+                self._advance(2)
+                while self._pos < len(self._text) and not self._text.startswith("*/", self._pos):
+                    self._advance()
+                if self._pos >= len(self._text):
+                    raise LexError("unterminated block comment", start_line, start_col)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        char = self._peek()
+        line, col = self._line, self._col
+        if char == "'":
+            return self._lex_string(line, col)
+        if char == '"':
+            return self._lex_quoted_ident(line, col)
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, col)
+        if char.isalpha() or char == "_":
+            return self._lex_word(line, col)
+        if char == ":" and self._config.allow_named_params and (
+            self._peek(1).isalpha() or self._peek(1) == "_"
+        ):
+            self._advance()
+            name = self._lex_word(line, col)
+            return Token(TokenKind.PARAM, str(name.value), ":" + name.text, line, col)
+        if char in self._op_first_chars:
+            for op in self._operators:
+                if self._text.startswith(op, self._pos):
+                    self._advance(len(op))
+                    normalized = {"!=": "<>", "^=": "<>", "~=": "<>"}.get(op, op)
+                    if op == "?":
+                        return Token(TokenKind.PARAM, "?", op, line, col)
+                    return Token(TokenKind.OPERATOR, normalized, op, line, col)
+        raise LexError(f"unexpected character {char!r}", line, col)
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        # SQL string literal with '' escaping.
+        start = self._pos
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise LexError("unterminated string literal", line, col)
+            char = self._peek()
+            if char == "'":
+                if self._peek(1) == "'":
+                    parts.append("'")
+                    self._advance(2)
+                else:
+                    self._advance()
+                    break
+            else:
+                parts.append(char)
+                self._advance()
+        raw = self._text[start:self._pos]
+        return Token(TokenKind.STRING, "".join(parts), raw, line, col)
+
+    def _lex_quoted_ident(self, line: int, col: int) -> Token:
+        start = self._pos
+        self._advance()
+        parts: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise LexError("unterminated quoted identifier", line, col)
+            char = self._peek()
+            if char == '"':
+                if self._peek(1) == '"':
+                    parts.append('"')
+                    self._advance(2)
+                else:
+                    self._advance()
+                    break
+            else:
+                parts.append(char)
+                self._advance()
+        raw = self._text[start:self._pos]
+        return Token(TokenKind.QUOTED_IDENT, "".join(parts), raw, line, col)
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self._pos
+        saw_dot = False
+        saw_exp = False
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char.isdigit():
+                self._advance()
+            elif char == "." and not saw_dot and not saw_exp:
+                # Don't consume '..' or a trailing '.' followed by an ident
+                # (e.g. 1.e is a number; but `t.1` won't reach here).
+                saw_dot = True
+                self._advance()
+            elif char in "eE" and not saw_exp and (
+                self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                saw_exp = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+            else:
+                break
+        raw = self._text[start:self._pos]
+        value: object
+        if saw_dot or saw_exp:
+            value = float(raw)
+        else:
+            value = int(raw)
+        return Token(TokenKind.NUMBER, value, raw, line, col)
+
+    def _lex_word(self, line: int, col: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._text) and (self._peek().isalnum() or self._peek() in "_$#"):
+            self._advance()
+        raw = self._text[start:self._pos]
+        upper = raw.upper()
+        if upper in self._config.keywords:
+            return Token(TokenKind.KEYWORD, upper, raw, line, col)
+        return Token(TokenKind.IDENT, upper, raw, line, col)

@@ -1,0 +1,55 @@
+"""Token model shared by every SQL parser in the project.
+
+A :class:`Token` records its kind, raw text, normalized value and source
+position so parse errors can point at the offending SQL.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories produced by :class:`repro.sqlkit.lexer.Lexer`."""
+
+    KEYWORD = "keyword"          # reserved or contextual keyword (upper-cased value)
+    IDENT = "ident"              # bare identifier (upper-cased value)
+    QUOTED_IDENT = "quoted"      # "Quoted Identifier" (value keeps original case)
+    STRING = "string"            # 'string literal' (value has quotes stripped)
+    NUMBER = "number"            # numeric literal (value is int/float/str-decimal)
+    OPERATOR = "operator"        # punctuation / operators, normalized (e.g. '<>')
+    PARAM = "param"              # positional parameter marker '?' or ':name'
+    EOF = "eof"                  # end of input sentinel
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: lexical category.
+        value: normalized value — keywords and bare identifiers are upper-cased,
+            string literals have quotes removed and doubled quotes collapsed,
+            numbers are parsed into int/float.
+        text: the raw source text of the token.
+        line: 1-based source line.
+        column: 1-based source column.
+    """
+
+    kind: TokenKind
+    value: object
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return True if this token is a keyword token matching any name."""
+        return self.kind is TokenKind.KEYWORD and self.value in names
+
+    def is_op(self, *ops: str) -> bool:
+        """Return True if this token is an operator matching any symbol."""
+        return self.kind is TokenKind.OPERATOR and self.value in ops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.value!r} @{self.line}:{self.column})"

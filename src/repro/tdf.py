@@ -1,0 +1,177 @@
+"""Tabular Data Format (TDF): Hyper-Q's internal binary result encoding.
+
+Section 4.5: result batches fetched through the ODBC Server are packaged in
+TDF, "an extensible binary format that is able to handle arbitrarily large
+nested data". Every value carries a type tag, so batches are self-describing
+and survive schema-less paths (CTAS results, untyped projections); LIST and
+BYTES tags provide the nesting/extensibility hook.
+
+Layout of one batch::
+
+    magic 'TDF1' | u32 column_count | column names (u16 len + utf8) ...
+    | u32 row_count | rows
+
+Each value: 1 tag byte followed by a tag-specific payload.
+"""
+
+from __future__ import annotations
+
+import datetime
+import struct
+from typing import Iterable, Iterator
+
+from repro.errors import ConversionError
+
+MAGIC = b"TDF1"
+
+TAG_NULL = 0
+TAG_INT = 1
+TAG_FLOAT = 2
+TAG_STRING = 3
+TAG_DATE = 4
+TAG_TIMESTAMP = 5
+TAG_BOOL = 6
+TAG_TIME = 7
+TAG_BYTES = 8
+TAG_LIST = 9
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def _encode_value(value: object, out: bytearray) -> None:
+    if value is None:
+        out.append(TAG_NULL)
+    elif isinstance(value, bool):
+        out.append(TAG_BOOL)
+        out.append(1 if value else 0)
+    elif isinstance(value, int):
+        out.append(TAG_INT)
+        out += struct.pack("<q", value)
+    elif isinstance(value, float):
+        out.append(TAG_FLOAT)
+        out += struct.pack("<d", value)
+    elif isinstance(value, str):
+        payload = value.encode("utf-8")
+        out.append(TAG_STRING)
+        out += struct.pack("<I", len(payload))
+        out += payload
+    elif isinstance(value, datetime.datetime):
+        out.append(TAG_TIMESTAMP)
+        out += struct.pack("<d", value.timestamp())
+    elif isinstance(value, datetime.date):
+        out.append(TAG_DATE)
+        out += struct.pack("<i", (value - _EPOCH).days)
+    elif isinstance(value, datetime.time):
+        out.append(TAG_TIME)
+        micros = ((value.hour * 60 + value.minute) * 60 + value.second) * 1_000_000 \
+            + value.microsecond
+        out += struct.pack("<q", micros)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(TAG_BYTES)
+        out += struct.pack("<I", len(value))
+        out += bytes(value)
+    elif isinstance(value, (list, tuple)):
+        out.append(TAG_LIST)
+        out += struct.pack("<I", len(value))
+        for item in value:
+            _encode_value(item, out)
+    else:
+        raise ConversionError(f"TDF cannot encode {type(value).__name__}")
+
+
+def _decode_value(buffer: memoryview, offset: int) -> tuple[object, int]:
+    tag = buffer[offset]
+    offset += 1
+    if tag == TAG_NULL:
+        return None, offset
+    if tag == TAG_BOOL:
+        return bool(buffer[offset]), offset + 1
+    if tag == TAG_INT:
+        return struct.unpack_from("<q", buffer, offset)[0], offset + 8
+    if tag == TAG_FLOAT:
+        return struct.unpack_from("<d", buffer, offset)[0], offset + 8
+    if tag == TAG_STRING:
+        length = struct.unpack_from("<I", buffer, offset)[0]
+        offset += 4
+        text = bytes(buffer[offset:offset + length]).decode("utf-8")
+        return text, offset + length
+    if tag == TAG_DATE:
+        days = struct.unpack_from("<i", buffer, offset)[0]
+        return _EPOCH + datetime.timedelta(days=days), offset + 4
+    if tag == TAG_TIMESTAMP:
+        stamp = struct.unpack_from("<d", buffer, offset)[0]
+        return datetime.datetime.fromtimestamp(stamp), offset + 8
+    if tag == TAG_TIME:
+        micros = struct.unpack_from("<q", buffer, offset)[0]
+        seconds, micro = divmod(micros, 1_000_000)
+        minutes, second = divmod(seconds, 60)
+        hour, minute = divmod(minutes, 60)
+        return datetime.time(hour, minute, second, micro), offset + 8
+    if tag == TAG_BYTES:
+        length = struct.unpack_from("<I", buffer, offset)[0]
+        offset += 4
+        return bytes(buffer[offset:offset + length]), offset + length
+    if tag == TAG_LIST:
+        count = struct.unpack_from("<I", buffer, offset)[0]
+        offset += 4
+        items = []
+        for __ in range(count):
+            item, offset = _decode_value(buffer, offset)
+            items.append(item)
+        return items, offset
+    raise ConversionError(f"TDF: unknown tag {tag}")
+
+
+def encode_batch(columns: list[str], rows: Iterable[tuple]) -> bytes:
+    """Encode one batch of rows into a TDF packet."""
+    out = bytearray(MAGIC)
+    out += struct.pack("<I", len(columns))
+    for name in columns:
+        payload = name.encode("utf-8")
+        out += struct.pack("<H", len(payload))
+        out += payload
+    rows = list(rows)
+    out += struct.pack("<I", len(rows))
+    for row in rows:
+        if len(row) != len(columns):
+            raise ConversionError(
+                f"TDF row has {len(row)} values for {len(columns)} columns")
+        for value in row:
+            _encode_value(value, out)
+    return bytes(out)
+
+
+def decode_batch(packet: bytes) -> tuple[list[str], list[tuple]]:
+    """Decode one TDF packet back into (column names, rows)."""
+    if packet[:4] != MAGIC:
+        raise ConversionError("not a TDF packet")
+    buffer = memoryview(packet)
+    offset = 4
+    column_count = struct.unpack_from("<I", buffer, offset)[0]
+    offset += 4
+    columns = []
+    for __ in range(column_count):
+        length = struct.unpack_from("<H", buffer, offset)[0]
+        offset += 2
+        columns.append(bytes(buffer[offset:offset + length]).decode("utf-8"))
+        offset += length
+    row_count = struct.unpack_from("<I", buffer, offset)[0]
+    offset += 4
+    rows = []
+    for __ in range(row_count):
+        values = []
+        for __ in range(column_count):
+            value, offset = _decode_value(buffer, offset)
+            values.append(value)
+        rows.append(tuple(values))
+    return columns, rows
+
+
+def batches_of(columns: list[str], rows: list[tuple],
+               batch_rows: int = 1024) -> Iterator[bytes]:
+    """Split a result into encoded TDF batches of at most *batch_rows*."""
+    if not rows:
+        yield encode_batch(columns, [])
+        return
+    for start in range(0, len(rows), batch_rows):
+        yield encode_batch(columns, rows[start:start + batch_rows])

@@ -1,0 +1,3 @@
+"""Capability-driven query transformation (the paper's Transformer)."""
+
+from repro.transform.capabilities import CapabilityProfile, PROFILES, cloud_profiles

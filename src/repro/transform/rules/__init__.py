@@ -1,0 +1,1 @@
+"""Individual transformation rules, one module per rewrite (Table 2)."""

@@ -1,0 +1,45 @@
+"""Date arithmetic rewrite (Table 2: "Date arithmetics" -> Transformer).
+
+Teradata evaluates ``date + n`` / ``date - n`` as day arithmetic. Targets
+without the implicit form get an explicit ``DATEADD('DAY', n, date)`` call.
+"""
+
+from __future__ import annotations
+
+from repro.transform.engine import Rule, RuleContext
+from repro.transform.capabilities import CapabilityProfile
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+from repro.xtra.scalars import ScalarExpr
+
+
+def _is_date(expr: ScalarExpr) -> bool:
+    return expr.type.kind is t.TypeKind.DATE
+
+
+class DateArithRule(Rule):
+    """Replace implicit date/day arithmetic with DATEADD."""
+
+    name = "date_arith_to_dateadd"
+    stage = "transformer"
+    feature = "date_arithmetic"
+
+    def applies(self, profile: CapabilityProfile) -> bool:
+        return not profile.date_int_arithmetic
+
+    def rewrite_scalar(self, expr: ScalarExpr, ctx: RuleContext) -> ScalarExpr:
+        if not isinstance(expr, s.Arith) or expr.op not in (s.ArithOp.ADD, s.ArithOp.SUB):
+            return expr
+        if _is_date(expr.left) and expr.right.type.is_numeric:
+            date_side, amount = expr.left, expr.right
+        elif _is_date(expr.right) and expr.left.type.is_numeric \
+                and expr.op is s.ArithOp.ADD:
+            date_side, amount = expr.right, expr.left
+        else:
+            return expr
+        ctx.fired(self)
+        if expr.op is s.ArithOp.SUB:
+            amount = s.Negate(amount, type=amount.type)
+        call = s.FuncCall("DATEADD", [s.const_str("DAY"), amount, date_side])
+        call.type = t.DATE
+        return call

@@ -1,0 +1,74 @@
+"""DATE/integer comparison rewrite (Section 5.2, Figure 5).
+
+Teradata stores DATEs as ``(year-1900)*10000 + month*100 + day`` and lets SQL
+compare a DATE column directly with that integer encoding. No cloud target
+accepts the mixed comparison, so the date side is expanded into the
+equivalent integer arithmetic::
+
+    SALES_DATE > 1140101
+    ==> EXTRACT(DAY FROM SALES_DATE)
+      + EXTRACT(MONTH FROM SALES_DATE) * 100
+      + (EXTRACT(YEAR FROM SALES_DATE) - 1900) * 10000 > 1140101
+
+The rewrite is system-independent (Teradata's encoding never depends on the
+target), which is why the paper applies it as early as possible.
+"""
+
+from __future__ import annotations
+
+from repro.transform.engine import Rule, RuleContext
+from repro.transform.capabilities import CapabilityProfile
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+from repro.xtra.scalars import ScalarExpr
+
+
+def date_to_int_expr(date_expr: ScalarExpr) -> ScalarExpr:
+    """Build DAY + MONTH*100 + (YEAR-1900)*10000 over *date_expr*."""
+    day = s.Extract(s.ExtractField.DAY, date_expr)
+    month = s.Extract(s.ExtractField.MONTH, date_expr)
+    year = s.Extract(s.ExtractField.YEAR, date_expr)
+    month_term = s.Arith(s.ArithOp.MUL, month, s.const_int(100), type=t.INTEGER)
+    year_term = s.Arith(
+        s.ArithOp.MUL,
+        s.Arith(s.ArithOp.SUB, year, s.const_int(1900), type=t.INTEGER),
+        s.const_int(10000),
+        type=t.INTEGER,
+    )
+    total = s.Arith(
+        s.ArithOp.ADD,
+        s.Arith(s.ArithOp.ADD, day, month_term, type=t.INTEGER),
+        year_term,
+        type=t.INTEGER,
+    )
+    return total
+
+
+def _is_date(expr: ScalarExpr) -> bool:
+    return expr.type.kind is t.TypeKind.DATE
+
+
+def _is_integerish(expr: ScalarExpr) -> bool:
+    return expr.type.is_numeric
+
+
+class DateIntCompareRule(Rule):
+    """Expand the DATE side of DATE-vs-integer comparisons."""
+
+    name = "comp_date_to_int"
+    stage = "transformer"
+    feature = "date_int_comparison"
+
+    def applies(self, profile: CapabilityProfile) -> bool:
+        return not profile.date_int_comparison
+
+    def rewrite_scalar(self, expr: ScalarExpr, ctx: RuleContext) -> ScalarExpr:
+        if not isinstance(expr, s.Comp):
+            return expr
+        if _is_date(expr.left) and _is_integerish(expr.right):
+            ctx.fired(self)
+            expr.left = date_to_int_expr(expr.left)
+        elif _is_date(expr.right) and _is_integerish(expr.left):
+            ctx.fired(self)
+            expr.right = date_to_int_expr(expr.right)
+        return expr

@@ -1,0 +1,59 @@
+"""Implicit NULL-ordering rewrite.
+
+Teradata treats NULL as the *lowest* value: ascending sorts place NULLs
+first, descending sorts place them last. Postgres-family targets default the
+other way around, so leaving ORDER BY untouched silently reorders results —
+one of the paper's "subtle defects that are hard to spot" (Section 2.1).
+For targets that support explicit ``NULLS FIRST/LAST`` the rule pins every
+implicit sort key (including window-function ORDER BY keys) to the source
+semantics.
+"""
+
+from __future__ import annotations
+
+from repro.transform.engine import Rule, RuleContext
+from repro.transform.capabilities import CapabilityProfile, NullOrdering
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra.relational import RelNode
+from repro.xtra.scalars import ScalarExpr
+
+
+def teradata_nulls_first(ascending: bool) -> bool:
+    """Where Teradata puts NULLs: lowest value — first iff ascending."""
+    return ascending
+
+
+class NullOrderingRule(Rule):
+    """Make the source system's NULL placement explicit on the target."""
+
+    name = "explicit_null_ordering"
+    stage = "serializer"
+    feature = "null_ordering"
+
+    def applies(self, profile: CapabilityProfile) -> bool:
+        # Needed whenever the target's implicit placement can differ from the
+        # source's; targets without explicit syntax fall back to the
+        # serializer's CASE-based emulation.
+        return profile.default_null_ordering is NullOrdering.NULLS_LAST
+
+    def _pin(self, keys: list[s.SortKey], ctx: RuleContext) -> None:
+        # The target places NULLs high (last when ascending); Teradata places
+        # them low (first when ascending) — every implicit key needs pinning.
+        for key in keys:
+            if key.nulls_first is None:
+                key.nulls_first = teradata_nulls_first(key.ascending)
+                ctx.fired(self)
+
+    def rewrite_rel(self, node: RelNode, ctx: RuleContext) -> RelNode:
+        if isinstance(node, r.Sort):
+            self._pin(node.keys, ctx)
+        elif isinstance(node, r.Window):
+            for func in node.funcs:
+                self._pin(func.order_by, ctx)
+        return node
+
+    def rewrite_scalar(self, expr: ScalarExpr, ctx: RuleContext) -> ScalarExpr:
+        if isinstance(expr, s.WindowFunc):
+            self._pin(expr.order_by, ctx)
+        return expr

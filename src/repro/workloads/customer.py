@@ -1,0 +1,244 @@
+"""Synthetic customer workloads calibrated to the paper's case study.
+
+Table 1 describes two customers: a Health customer (39,731 queries, 3,778
+distinct) and a Telco customer (192,753 queries, 10,446 distinct). Their real
+workloads are proprietary, so this module generates synthetic stand-ins with
+the *same query counts* and a feature mix chosen to land near the Figure 8
+measurements:
+
+* Workload 1 uses 5/9 translation, 7/9 transformation and 3/9 emulation
+  features; ~1.4% / ~33.6% / ~0.2% of distinct queries are affected per class.
+* Workload 2 wraps most business logic in macros (the paper's explanation for
+  its 79.1% emulation share) and uses 2/9 / 6/9 / 3/9 features.
+
+Importantly the generator only controls which *SQL text* each query contains;
+the Figure 8 numbers are measured by running every distinct query through
+Hyper-Q's rewrite engine with the FeatureTracker attached — if the engine
+stopped detecting a feature, the reproduction of Figure 8 would drift, not
+silently stay put.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CustomerProfile:
+    """One synthetic customer (a row of Table 1)."""
+
+    number: int
+    sector: str
+    total_queries: int
+    distinct_queries: int
+    seed: int
+    #: feature name -> number of distinct queries carrying it.
+    feature_quotas: dict[str, int] = field(default_factory=dict, hash=False)
+
+
+#: Customer 1 (Health): transformation-heavy, almost no emulation.
+HEALTH = CustomerProfile(
+    number=1,
+    sector="Health",
+    total_queries=39_731,
+    distinct_queries=3_778,
+    seed=1001,
+    feature_quotas={
+        # Translation: 5 of 9 tracked features, ~1.4% of queries.
+        "sel_shortcut": 20,
+        "del_shortcut": 8,
+        "zeroifnull": 12,
+        "chars_function": 8,
+        "mod_operator": 5,
+        # Transformation: 7 of 9 tracked features, ~33.6% of queries.
+        "qualify": 230,
+        "implicit_join": 95,
+        "named_expression": 180,
+        "ordinal_group_by": 260,
+        "date_arithmetic": 130,
+        "date_int_comparison": 74,
+        "null_ordering": 300,
+        # Emulation: 3 of 9 tracked features, ~0.2% of queries.
+        "recursive_query": 3,
+        "help_command": 3,
+        "volatile_table": 2,
+    },
+)
+
+#: Customer 2 (Telco): business logic lives in macros -> emulation dominates.
+TELCO = CustomerProfile(
+    number=2,
+    sector="Telco",
+    total_queries=192_753,
+    distinct_queries=10_446,
+    seed=2002,
+    feature_quotas={
+        # Translation: 2 of 9 features, ~0.2% of queries.
+        "sel_shortcut": 13,
+        "ne_operator": 8,
+        # Transformation: 6 of 9 features, ~4.0% of queries.
+        "qualify": 80,
+        "implicit_join": 40,
+        "named_expression": 70,
+        "ordinal_group_by": 100,
+        "date_arithmetic": 58,
+        "null_ordering": 70,
+        # Emulation: 3 of 9 features, ~79.1% of queries.
+        "macro": 8_200,
+        "merge_statement": 40,
+        "dml_on_view": 23,
+    },
+)
+
+PROFILES = {1: HEALTH, 2: TELCO}
+
+_MACRO_COUNT = 25  # distinct macro definitions EXECed by workload 2
+
+
+def schema_sql(profile: CustomerProfile) -> list[str]:
+    """Source-dialect DDL for the profile's schema (run through Hyper-Q)."""
+    prefix = "HC" if profile.number == 1 else "TC"
+    statements = [
+        f"""CREATE MULTISET TABLE {prefix}_FACTS (
+            ID INTEGER NOT NULL, GRP INTEGER, REGION INTEGER,
+            VAL DECIMAL(12,2), QTY INTEGER, NAME VARCHAR(40),
+            EVT_DATE DATE, NOTE VARCHAR(80))""",
+        f"""CREATE MULTISET TABLE {prefix}_DIM (
+            ID INTEGER NOT NULL, LABEL VARCHAR(40), CATEGORY INTEGER)""",
+        f"""CREATE MULTISET TABLE {prefix}_EVENTS (
+            ID INTEGER NOT NULL, FACT_ID INTEGER, KIND INTEGER,
+            AMOUNT DECIMAL(12,2), EVT_DATE DATE)""",
+        f"""CREATE VIEW {prefix}_ACTIVE AS
+            SELECT ID, GRP, VAL FROM {prefix}_FACTS WHERE QTY > 0""",
+    ]
+    return statements
+
+
+def setup_sql(profile: CustomerProfile) -> list[str]:
+    """Objects the workload depends on beyond tables (macros)."""
+    if profile.feature_quotas.get("macro", 0) == 0:
+        return []
+    prefix = "TC"
+    statements = []
+    for index in range(_MACRO_COUNT):
+        statements.append(
+            f"CREATE MACRO {prefix}_RPT_{index} (P1 INTEGER) AS "
+            f"(SELECT GRP, SUM(VAL) FROM {prefix}_FACTS "
+            f"WHERE REGION = :P1 GROUP BY GRP;)")
+    return statements
+
+
+def _plain_query(prefix: str, rng: random.Random) -> str:
+    variant = rng.randrange(4)
+    grp = rng.randrange(1, 500)
+    if variant == 0:
+        return (f"SELECT ID, NAME, VAL FROM {prefix}_FACTS "
+                f"WHERE GRP = {grp} AND QTY > {rng.randrange(10)}")
+    if variant == 1:
+        return (f"SELECT GRP, SUM(VAL) AS TOTAL, COUNT(*) AS N "
+                f"FROM {prefix}_FACTS WHERE REGION = {rng.randrange(50)} "
+                f"GROUP BY GRP")
+    if variant == 2:
+        return (f"SELECT F.NAME, D.LABEL FROM {prefix}_FACTS F "
+                f"JOIN {prefix}_DIM D ON F.GRP = D.ID "
+                f"WHERE D.CATEGORY = {rng.randrange(20)}")
+    return (f"SELECT ID FROM {prefix}_FACTS WHERE VAL BETWEEN "
+            f"{grp} AND {grp + rng.randrange(1, 100)}")
+
+
+def _feature_query(feature: str, prefix: str, rng: random.Random) -> str:
+    grp = rng.randrange(1, 500)
+    day = rng.randrange(1, 28)
+    if feature == "sel_shortcut":
+        return f"SEL ID, VAL FROM {prefix}_FACTS WHERE GRP = {grp}"
+    if feature == "del_shortcut":
+        return f"DEL FROM {prefix}_EVENTS WHERE KIND = {rng.randrange(100)}"
+    if feature == "ne_operator":
+        return f"SELECT ID FROM {prefix}_FACTS WHERE GRP ^= {grp}"
+    if feature == "zeroifnull":
+        return (f"SELECT ID, ZEROIFNULL(VAL) FROM {prefix}_FACTS "
+                f"WHERE GRP = {grp}")
+    if feature == "chars_function":
+        return (f"SELECT ID FROM {prefix}_FACTS WHERE CHARS(NAME) > "
+                f"{rng.randrange(3, 20)}")
+    if feature == "mod_operator":
+        return f"SELECT ID FROM {prefix}_FACTS WHERE ID MOD {rng.randrange(2, 9)} = 0"
+    if feature == "qualify":
+        return (f"SELECT ID, VAL FROM {prefix}_FACTS WHERE GRP = {grp} "
+                f"QUALIFY RANK(VAL DESC) <= {rng.randrange(5, 50)}")
+    if feature == "implicit_join":
+        dim = f"{prefix}_DIM"
+        return (f"SELECT F.ID, {dim}.LABEL FROM {prefix}_FACTS F "
+                f"WHERE F.GRP = {dim}.ID AND {dim}.CATEGORY = {rng.randrange(20)}")
+    if feature == "named_expression":
+        return (f"SELECT VAL AS BASE, BASE * {1 + rng.randrange(1, 9) / 10} "
+                f"AS ADJUSTED FROM {prefix}_FACTS WHERE GRP = {grp}")
+    if feature == "ordinal_group_by":
+        return (f"SELECT GRP, SUM(VAL) FROM {prefix}_FACTS "
+                f"WHERE REGION = {rng.randrange(50)} GROUP BY 1")
+    if feature == "date_arithmetic":
+        return (f"SELECT ID FROM {prefix}_FACTS WHERE EVT_DATE > "
+                f"DATE '2016-03-{day:02d}' - {rng.randrange(10, 200)}")
+    if feature == "date_int_comparison":
+        encoded = 1_160_000 + rng.randrange(1, 12) * 100 + day
+        return f"SELECT ID FROM {prefix}_FACTS WHERE EVT_DATE > {encoded}"
+    if feature == "null_ordering":
+        return (f"SELECT ID, VAL FROM {prefix}_FACTS WHERE GRP = {grp} "
+                f"ORDER BY VAL DESC")
+    if feature == "recursive_query":
+        return (f"WITH RECURSIVE CHAIN (ID, FACT_ID) AS ("
+                f"SELECT ID, FACT_ID FROM {prefix}_EVENTS WHERE KIND = {grp % 7} "
+                f"UNION ALL SELECT E.ID, E.FACT_ID FROM {prefix}_EVENTS E, CHAIN "
+                f"WHERE CHAIN.FACT_ID = E.ID) SELECT ID FROM CHAIN")
+    if feature == "help_command":
+        return f"HELP TABLE {prefix}_FACTS"
+    if feature == "volatile_table":
+        return (f"CREATE VOLATILE TABLE {prefix}_SCRATCH_{rng.randrange(10_000)} "
+                f"(K INTEGER, V DECIMAL(12,2)) ON COMMIT PRESERVE ROWS")
+    if feature == "macro":
+        return f"EXEC {prefix}_RPT_{rng.randrange(_MACRO_COUNT)} ({rng.randrange(50)})"
+    if feature == "merge_statement":
+        return (f"MERGE INTO {prefix}_FACTS USING {prefix}_EVENTS E "
+                f"ON {prefix}_FACTS.ID = E.FACT_ID "
+                f"WHEN MATCHED THEN UPDATE SET VAL = E.AMOUNT")
+    if feature == "dml_on_view":
+        return (f"UPDATE {prefix}_ACTIVE SET VAL = VAL * 1.0{rng.randrange(1, 9)} "
+                f"WHERE GRP = {grp}")
+    raise ValueError(f"no template for feature {feature!r}")
+
+
+def distinct_queries(profile: CustomerProfile) -> list[str]:
+    """The profile's distinct query texts (deterministic for the seed)."""
+    rng = random.Random(profile.seed)
+    prefix = "HC" if profile.number == 1 else "TC"
+    queries: list[str] = []
+    for feature, quota in profile.feature_quotas.items():
+        for __ in range(quota):
+            queries.append(_feature_query(feature, prefix, rng))
+    while len(queries) < profile.distinct_queries:
+        queries.append(_plain_query(prefix, rng))
+    del queries[profile.distinct_queries:]
+    rng.shuffle(queries)
+    return queries
+
+
+def frequencies(profile: CustomerProfile) -> list[int]:
+    """Per-distinct-query submission counts summing to the Table 1 total.
+
+    Real workloads are heavily skewed (reports re-run with different
+    parameters); a Zipf-flavoured weighting reproduces that shape.
+    """
+    rng = random.Random(profile.seed + 1)
+    counts = [1] * profile.distinct_queries
+    weights = [1.0 / (rank + 1) for rank in range(profile.distinct_queries)]
+    extra = profile.total_queries - profile.distinct_queries
+    for index in rng.choices(range(profile.distinct_queries), weights, k=extra):
+        counts[index] += 1
+    return counts
+
+
+def workload(profile: CustomerProfile):
+    """(schema DDL, setup DDL, distinct queries, frequencies)."""
+    return (schema_sql(profile), setup_sql(profile),
+            distinct_queries(profile), frequencies(profile))

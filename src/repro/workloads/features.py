@@ -1,0 +1,128 @@
+"""Registry of the 27 tracked non-standard features.
+
+Section 7.1 instruments Hyper-Q's rewrite engine to track 27 commonly used
+non-standard features, nine from each of the three difficulty classes of
+Section 2.1 (Translation, Transformation, Emulation). This module is the
+single source of truth for those features: the tracker, the workload
+generators, Figure 2's support matrix and Table 2's component mapping all key
+off these names.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FeatureClass(enum.Enum):
+    """The paper's three difficulty classes (Section 2.1)."""
+
+    TRANSLATION = "Translation"
+    TRANSFORMATION = "Transformation"
+    EMULATION = "Emulation"
+
+
+class Component(enum.Enum):
+    """Hyper-Q component that implements a feature's rewrite (Table 2)."""
+
+    PARSER = "Parser"
+    BINDER = "Binder"
+    TRANSFORMER = "Transformer"
+    SERIALIZER = "Serializer"
+    EMULATOR = "Emulator"
+
+
+@dataclass(frozen=True)
+class Feature:
+    """One tracked feature.
+
+    Attributes:
+        name: stable identifier used by the tracker.
+        feature_class: difficulty class.
+        component: component where this reproduction implements the rewrite.
+        capability: the CapabilityProfile flag gating native support on a
+            target (None for pure keyword translations every target needs).
+        description: short human description (mirrors Table 2 prose).
+    """
+
+    name: str
+    feature_class: FeatureClass
+    component: Component
+    capability: str | None
+    description: str
+
+
+FEATURES: list[Feature] = [
+    # -- Translation (9): keyword/function spelling differences -----------------
+    Feature("sel_shortcut", FeatureClass.TRANSLATION, Component.PARSER,
+            "keyword_shortcuts", "SEL shortcut for SELECT"),
+    Feature("ins_shortcut", FeatureClass.TRANSLATION, Component.PARSER,
+            "keyword_shortcuts", "INS shortcut for INSERT"),
+    Feature("upd_shortcut", FeatureClass.TRANSLATION, Component.PARSER,
+            "keyword_shortcuts", "UPD shortcut for UPDATE"),
+    Feature("del_shortcut", FeatureClass.TRANSLATION, Component.PARSER,
+            "keyword_shortcuts", "DEL shortcut for DELETE"),
+    Feature("ne_operator", FeatureClass.TRANSLATION, Component.PARSER,
+            None, "^= / NE inequality spellings"),
+    Feature("zeroifnull", FeatureClass.TRANSLATION, Component.SERIALIZER,
+            None, "ZEROIFNULL / NULLIFZERO builtins"),
+    Feature("chars_function", FeatureClass.TRANSLATION, Component.SERIALIZER,
+            None, "CHARS / CHARACTERS string length"),
+    Feature("index_function", FeatureClass.TRANSLATION, Component.SERIALIZER,
+            None, "INDEX(string, substring) search"),
+    Feature("mod_operator", FeatureClass.TRANSLATION, Component.PARSER,
+            None, "infix MOD operator"),
+    # -- Transformation (9): structure-aware rewrites ----------------------------
+    Feature("qualify", FeatureClass.TRANSFORMATION, Component.BINDER,
+            "qualify_clause", "QUALIFY predicate over window functions"),
+    Feature("implicit_join", FeatureClass.TRANSFORMATION, Component.BINDER,
+            "implicit_joins", "tables referenced outside the FROM clause"),
+    Feature("named_expression", FeatureClass.TRANSFORMATION, Component.BINDER,
+            "named_expression_reuse", "alias reuse within one SELECT list"),
+    Feature("ordinal_group_by", FeatureClass.TRANSFORMATION, Component.BINDER,
+            "ordinal_group_by", "GROUP BY / ORDER BY column positions"),
+    Feature("grouping_extensions", FeatureClass.TRANSFORMATION, Component.TRANSFORMER,
+            "grouping_extensions", "ROLLUP / CUBE / GROUPING SETS"),
+    Feature("date_arithmetic", FeatureClass.TRANSFORMATION, Component.TRANSFORMER,
+            "date_int_arithmetic", "date +/- integer arithmetic"),
+    Feature("date_int_comparison", FeatureClass.TRANSFORMATION, Component.TRANSFORMER,
+            "date_int_comparison", "DATE compared with internal integer form"),
+    Feature("vector_subquery", FeatureClass.TRANSFORMATION, Component.SERIALIZER,
+            "vector_subquery", "(a, b) op ANY/ALL (SELECT x, y ...)"),
+    Feature("null_ordering", FeatureClass.TRANSFORMATION, Component.SERIALIZER,
+            None, "implicit NULL placement in ORDER BY"),
+    # -- Emulation (9): mid-tier feature reconstruction ---------------------------
+    Feature("macro", FeatureClass.EMULATION, Component.EMULATOR,
+            "macros", "CREATE MACRO / EXEC parameterized statements"),
+    Feature("stored_procedure", FeatureClass.EMULATION, Component.EMULATOR,
+            "stored_procedures", "CREATE PROCEDURE / CALL with control flow"),
+    Feature("recursive_query", FeatureClass.EMULATION, Component.EMULATOR,
+            "recursive_cte", "WITH RECURSIVE common table expressions"),
+    Feature("merge_statement", FeatureClass.EMULATION, Component.EMULATOR,
+            "merge_statement", "MERGE upsert statement"),
+    Feature("dml_on_view", FeatureClass.EMULATION, Component.EMULATOR,
+            "updatable_views", "INSERT/UPDATE/DELETE against views"),
+    Feature("help_command", FeatureClass.EMULATION, Component.EMULATOR,
+            "help_commands", "HELP SESSION / SHOW TABLE introspection"),
+    Feature("set_table", FeatureClass.EMULATION, Component.EMULATOR,
+            "set_tables", "SET table duplicate-row elimination"),
+    Feature("column_properties", FeatureClass.EMULATION, Component.BINDER,
+            "nonconstant_defaults", "non-constant defaults / NOT CASESPECIFIC"),
+    Feature("volatile_table", FeatureClass.EMULATION, Component.EMULATOR,
+            "volatile_tables", "VOLATILE / global temporary tables"),
+]
+
+FEATURES_BY_NAME: dict[str, Feature] = {feature.name: feature for feature in FEATURES}
+
+FEATURES_BY_CLASS: dict[FeatureClass, list[Feature]] = {
+    cls: [feature for feature in FEATURES if feature.feature_class is cls]
+    for cls in FeatureClass
+}
+
+assert all(len(features) == 9 for features in FEATURES_BY_CLASS.values()), \
+    "the paper tracks exactly 9 features per class"
+
+
+def feature(name: str) -> Feature:
+    """Look up a tracked feature by name."""
+    return FEATURES_BY_NAME[name]

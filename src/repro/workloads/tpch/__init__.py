@@ -1,0 +1,7 @@
+"""TPC-H workload in the Teradata dialect (Section 7.2's benchmark)."""
+
+from repro.workloads.tpch.schema import SCHEMA_DDL, TABLE_NAMES
+from repro.workloads.tpch.datagen import generate, load_into
+from repro.workloads.tpch.queries import QUERIES, query
+
+__all__ = ["SCHEMA_DDL", "TABLE_NAMES", "generate", "load_into", "QUERIES", "query"]

@@ -1,0 +1,256 @@
+"""Deterministic TPC-H data generator (a laptop-scale dbgen).
+
+Produces the eight TPC-H tables at a configurable scale factor with the
+value distributions the 22 queries depend on (date ranges, segment / priority
+/ ship-mode vocabularies, PROMO part types, comment patterns for Q13/Q16,
+phone country codes for Q22). Everything is driven by a seeded RNG, so two
+runs at the same scale produce identical databases.
+
+Row counts follow the spec's SF ratios: SF=1 means 10k suppliers, 150k
+customers, 1.5M orders. The reproduction defaults to small fractions of that.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Callable, Iterable
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE",
+               "LG BOX", "JUMBO PKG", "WRAP CASE"]
+_TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_COLORS = ["almond", "antique", "aquamarine", "azure", "beige", "bisque",
+           "blanched", "blush", "burlywood", "chartreuse", "chiffon",
+           "coral", "cornflower", "cream", "cyan", "dark", "deep", "dim",
+           "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+           "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew"]
+
+_ORDER_DATE_MIN = datetime.date(1992, 1, 1)
+_ORDER_DATE_MAX = datetime.date(1998, 8, 2)
+_CURRENT_DATE = datetime.date(1995, 6, 17)  # returnflag pivot per spec
+
+#: Base row counts at SF = 1.
+_BASE_COUNTS = {
+    "SUPPLIER": 10_000,
+    "PART": 200_000,
+    "CUSTOMER": 150_000,
+    "ORDERS": 1_500_000,
+}
+
+
+def _comment(rng: random.Random, length: int) -> str:
+    words = []
+    total = 0
+    while total < length:
+        word = rng.choice(_COLORS)
+        words.append(word)
+        total += len(word) + 1
+    return " ".join(words)[:length]
+
+
+def _money(rng: random.Random, low: float, high: float) -> float:
+    return round(rng.uniform(low, high), 2)
+
+
+def _phone(rng: random.Random, nationkey: int) -> str:
+    return (f"{10 + nationkey}-{rng.randrange(100, 999)}-"
+            f"{rng.randrange(100, 999)}-{rng.randrange(1000, 9999)}")
+
+
+def generate(scale: float = 0.001, seed: int = 20180610) -> dict[str, list[tuple]]:
+    """Generate all eight tables at the given scale factor."""
+    rng = random.Random(seed)
+    counts = {name: max(1, int(base * scale))
+              for name, base in _BASE_COUNTS.items()}
+    n_supplier = max(counts["SUPPLIER"], 5)
+    n_part = max(counts["PART"], 20)
+    n_customer = max(counts["CUSTOMER"], 10)
+    n_orders = max(counts["ORDERS"], 30)
+
+    data: dict[str, list[tuple]] = {}
+    data["REGION"] = [
+        (key, name, _comment(rng, 40)) for key, name in enumerate(_REGIONS)
+    ]
+    data["NATION"] = [
+        (key, name, region, _comment(rng, 40))
+        for key, (name, region) in enumerate(_NATIONS)
+    ]
+    data["SUPPLIER"] = [
+        (key,
+         f"Supplier#{key:09d}",
+         _comment(rng, 20),
+         rng.randrange(len(_NATIONS)),
+         _phone(rng, key % len(_NATIONS)),
+         _money(rng, -999.99, 9999.99),
+         ("Customer Complaints " if rng.random() < 0.02 else "") + _comment(rng, 40))
+        for key in range(1, n_supplier + 1)
+    ]
+    data["CUSTOMER"] = [
+        (key,
+         f"Customer#{key:09d}",
+         _comment(rng, 20),
+         rng.randrange(len(_NATIONS)),
+         _phone(rng, rng.randrange(len(_NATIONS))),
+         _money(rng, -999.99, 9999.99),
+         rng.choice(_SEGMENTS),
+         _comment(rng, 60))
+        for key in range(1, n_customer + 1)
+    ]
+    part_rows = []
+    for key in range(1, n_part + 1):
+        name = " ".join(rng.sample(_COLORS, 3))
+        mfgr = rng.randrange(1, 6)
+        part_rows.append((
+            key,
+            name,
+            f"Manufacturer#{mfgr}",
+            f"Brand#{mfgr}{rng.randrange(1, 6)}",
+            f"{rng.choice(_TYPE_SYLL1)} {rng.choice(_TYPE_SYLL2)} "
+            f"{rng.choice(_TYPE_SYLL3)}",
+            rng.randrange(1, 51),
+            rng.choice(_CONTAINERS),
+            round(900 + (key % 1000) * 0.1 + rng.uniform(0, 100), 2),
+            _comment(rng, 15),
+        ))
+    data["PART"] = part_rows
+    retail = {row[0]: row[7] for row in part_rows}
+
+    partsupp_rows = []
+    for key in range(1, n_part + 1):
+        for offset in range(4):
+            suppkey = 1 + (key + offset * (n_supplier // 4 + 1)) % n_supplier
+            partsupp_rows.append((
+                key, suppkey, rng.randrange(1, 10_000),
+                _money(rng, 1.0, 1000.0), _comment(rng, 50)))
+    data["PARTSUPP"] = partsupp_rows
+    supplycost = {(ps[0], ps[1]): ps[3] for ps in partsupp_rows}
+    part_suppliers: dict[int, list[int]] = {}
+    for ps in partsupp_rows:
+        part_suppliers.setdefault(ps[0], []).append(ps[1])
+
+    orders_rows = []
+    lineitem_rows = []
+    date_span = (_ORDER_DATE_MAX - _ORDER_DATE_MIN).days - 151
+    for orderkey in range(1, n_orders + 1):
+        custkey = rng.randrange(1, n_customer + 1)
+        orderdate = _ORDER_DATE_MIN + datetime.timedelta(days=rng.randrange(date_span))
+        n_lines = rng.randrange(1, 8)
+        total = 0.0
+        all_filled = True
+        any_filled = False
+        for line in range(1, n_lines + 1):
+            partkey = rng.randrange(1, n_part + 1)
+            suppkey = rng.choice(part_suppliers[partkey])
+            quantity = rng.randrange(1, 51)
+            extended = round(quantity * retail[partkey] / 10.0, 2)
+            discount = round(rng.uniform(0.0, 0.10), 2)
+            tax = round(rng.uniform(0.0, 0.08), 2)
+            shipdate = orderdate + datetime.timedelta(days=rng.randrange(1, 122))
+            commitdate = orderdate + datetime.timedelta(days=rng.randrange(30, 91))
+            receiptdate = shipdate + datetime.timedelta(days=rng.randrange(1, 31))
+            if receiptdate <= _CURRENT_DATE:
+                returnflag = rng.choice(["R", "A"])
+            else:
+                returnflag = "N"
+            linestatus = "O" if shipdate > _CURRENT_DATE else "F"
+            if linestatus == "F":
+                any_filled = True
+            else:
+                all_filled = False
+            total += extended * (1 + tax) * (1 - discount)
+            lineitem_rows.append((
+                orderkey, partkey, suppkey, line, float(quantity), extended,
+                discount, tax, returnflag, linestatus, shipdate, commitdate,
+                receiptdate, rng.choice(_SHIP_INSTRUCT),
+                rng.choice(_SHIP_MODES), _comment(rng, 25)))
+        status = "F" if all_filled else ("O" if not any_filled else "P")
+        comment = _comment(rng, 40)
+        if rng.random() < 0.01:
+            comment = "special packages requests " + comment
+        orders_rows.append((
+            orderkey, custkey, status, round(total, 2), orderdate,
+            rng.choice(_PRIORITIES), f"Clerk#{rng.randrange(1, 1000):09d}",
+            0, comment))
+    data["ORDERS"] = orders_rows
+    data["LINEITEM"] = lineitem_rows
+    return data
+
+
+def _sql_literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, datetime.date):
+        return f"DATE '{value.isoformat()}'"
+    return repr(value)
+
+
+def insert_statements(table: str, rows: Iterable[tuple],
+                      batch_rows: int = 250) -> Iterable[str]:
+    """Yield batched INSERT statements in the source dialect."""
+    batch: list[str] = []
+    for row in rows:
+        batch.append("(" + ", ".join(_sql_literal(v) for v in row) + ")")
+        if len(batch) >= batch_rows:
+            yield f"INSERT INTO {table} VALUES " + ", ".join(batch)
+            batch = []
+    if batch:
+        yield f"INSERT INTO {table} VALUES " + ", ".join(batch)
+
+
+def load_into(execute: Callable[[str], object], scale: float = 0.001,
+              seed: int = 20180610, create_schema: bool = True,
+              batch_rows: int = 250) -> dict[str, int]:
+    """Create the schema and load generated data through *execute*.
+
+    ``execute`` is any callable accepting source-dialect SQL — a
+    :class:`~repro.core.engine.HyperQSession` method, a wire-protocol client,
+    or (for baseline measurements) a backend session.
+    """
+    from repro.workloads.tpch.schema import SCHEMA_DDL, TABLE_NAMES
+
+    data = generate(scale, seed)
+    loaded: dict[str, int] = {}
+    for table in TABLE_NAMES:
+        if create_schema:
+            execute(SCHEMA_DDL[table].strip())
+        count = 0
+        for statement in insert_statements(table, data[table], batch_rows):
+            execute(statement)
+        loaded[table] = len(data[table])
+    return loaded
+
+
+def load_direct(database, scale: float = 0.001, seed: int = 20180610) -> dict[str, int]:
+    """Fast path: write rows straight into a backend Database's storage.
+
+    Used by benchmarks where load time is not under measurement. The schema
+    must already exist (e.g. created through Hyper-Q so the shadow catalog
+    is populated too).
+    """
+    data = generate(scale, seed)
+    loaded = {}
+    for table_name, rows in data.items():
+        table = database.catalog.table(table_name)
+        table.insert_rows(rows)
+        loaded[table_name] = len(rows)
+    return loaded

@@ -1,0 +1,21 @@
+"""eXtended Relational Algebra (XTRA).
+
+XTRA is the dialect-neutral intermediate representation described in Section 4
+of the paper. Frontend binders produce XTRA, the Transformer rewrites it, and
+per-target Serializers render it back into SQL. It is the *only* currency
+between dialects: no SQL text crosses an internal module boundary.
+"""
+
+from repro.xtra import scalars, relational, types
+from repro.xtra.types import SQLType, TypeKind
+from repro.xtra.schema import ColumnSchema, TableSchema
+
+__all__ = [
+    "scalars",
+    "relational",
+    "types",
+    "SQLType",
+    "TypeKind",
+    "ColumnSchema",
+    "TableSchema",
+]

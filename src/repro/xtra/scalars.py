@@ -1,0 +1,381 @@
+"""Scalar expression nodes of the XTRA algebra.
+
+Every node is a plain dataclass. Fields that hold child expressions are listed
+in ``CHILD_FIELDS`` so :mod:`repro.xtra.visitor` can walk and rewrite trees
+generically. Nodes use identity equality (``eq=False``) because rewrite maps
+key on node identity; structural comparison is provided by :func:`same`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.xtra import types as t
+from repro.xtra.types import SQLType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.xtra.relational import RelNode
+
+
+class ScalarExpr:
+    """Base class for all scalar expressions."""
+
+    CHILD_FIELDS: tuple[str, ...] = ()
+
+    type: SQLType = t.UNKNOWN
+
+    def children(self) -> Iterable["ScalarExpr"]:
+        """Yield direct child expressions (flattening list-valued fields)."""
+        for name in self.CHILD_FIELDS:
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ScalarExpr):
+                        yield item
+            elif isinstance(value, ScalarExpr):
+                yield value
+
+
+@dataclass(eq=False)
+class ColumnRef(ScalarExpr):
+    """A resolved reference to a column of some input relation."""
+
+    name: str
+    table: Optional[str] = None  # resolved qualifier (alias), if any
+    type: SQLType = t.UNKNOWN
+
+    def qualified(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(eq=False)
+class Const(ScalarExpr):
+    """A literal constant. ``value is None`` represents SQL NULL."""
+
+    value: object
+    type: SQLType = t.UNKNOWN
+
+
+@dataclass(eq=False)
+class Param(ScalarExpr):
+    """A query parameter marker (``?`` or ``:name``)."""
+
+    name: str = "?"
+    type: SQLType = t.UNKNOWN
+
+
+class ArithOp(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+    POW = "**"
+    CONCAT = "||"
+
+
+@dataclass(eq=False)
+class Arith(ScalarExpr):
+    """Binary arithmetic / concatenation."""
+
+    CHILD_FIELDS = ("left", "right")
+
+    op: ArithOp
+    left: ScalarExpr
+    right: ScalarExpr
+    type: SQLType = t.UNKNOWN
+
+
+@dataclass(eq=False)
+class Negate(ScalarExpr):
+    """Unary minus."""
+
+    CHILD_FIELDS = ("operand",)
+
+    operand: ScalarExpr
+    type: SQLType = t.UNKNOWN
+
+
+class CompOp(enum.Enum):
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def flipped(self) -> "CompOp":
+        """The operator with operand sides swapped (a op b == b flipped(op) a)."""
+        return {
+            CompOp.EQ: CompOp.EQ, CompOp.NE: CompOp.NE,
+            CompOp.LT: CompOp.GT, CompOp.GT: CompOp.LT,
+            CompOp.LE: CompOp.GE, CompOp.GE: CompOp.LE,
+        }[self]
+
+
+@dataclass(eq=False)
+class Comp(ScalarExpr):
+    """Binary comparison; result type is BOOLEAN."""
+
+    CHILD_FIELDS = ("left", "right")
+
+    op: CompOp
+    left: ScalarExpr
+    right: ScalarExpr
+    type: SQLType = t.BOOLEAN
+
+
+class BoolOpKind(enum.Enum):
+    AND = "AND"
+    OR = "OR"
+
+
+@dataclass(eq=False)
+class BoolOp(ScalarExpr):
+    """N-ary conjunction or disjunction."""
+
+    CHILD_FIELDS = ("args",)
+
+    op: BoolOpKind
+    args: list[ScalarExpr]
+    type: SQLType = t.BOOLEAN
+
+
+@dataclass(eq=False)
+class Not(ScalarExpr):
+    CHILD_FIELDS = ("operand",)
+
+    operand: ScalarExpr
+    type: SQLType = t.BOOLEAN
+
+
+@dataclass(eq=False)
+class IsNull(ScalarExpr):
+    CHILD_FIELDS = ("operand",)
+
+    operand: ScalarExpr
+    negated: bool = False
+    type: SQLType = t.BOOLEAN
+
+
+@dataclass(eq=False)
+class InList(ScalarExpr):
+    """``expr [NOT] IN (item, item, ...)`` over literal/scalar items."""
+
+    CHILD_FIELDS = ("operand", "items")
+
+    operand: ScalarExpr
+    items: list[ScalarExpr] = field(default_factory=list)
+    negated: bool = False
+    type: SQLType = t.BOOLEAN
+
+
+@dataclass(eq=False)
+class Between(ScalarExpr):
+    CHILD_FIELDS = ("operand", "low", "high")
+
+    operand: ScalarExpr
+    low: ScalarExpr
+    high: ScalarExpr
+    negated: bool = False
+    type: SQLType = t.BOOLEAN
+
+
+@dataclass(eq=False)
+class Like(ScalarExpr):
+    CHILD_FIELDS = ("operand", "pattern")
+
+    operand: ScalarExpr
+    pattern: ScalarExpr
+    escape: Optional[str] = None
+    negated: bool = False
+    type: SQLType = t.BOOLEAN
+
+
+@dataclass(eq=False)
+class FuncCall(ScalarExpr):
+    """A scalar builtin or user function call (normalized ANSI name)."""
+
+    CHILD_FIELDS = ("args",)
+
+    name: str
+    args: list[ScalarExpr] = field(default_factory=list)
+    type: SQLType = t.UNKNOWN
+
+
+@dataclass(eq=False)
+class AggCall(ScalarExpr):
+    """An aggregate function call (SUM/COUNT/MIN/MAX/AVG/...).
+
+    ``args`` is empty for ``COUNT(*)`` (``star`` set instead).
+    """
+
+    CHILD_FIELDS = ("args",)
+
+    name: str
+    args: list[ScalarExpr] = field(default_factory=list)
+    distinct: bool = False
+    star: bool = False
+    type: SQLType = t.UNKNOWN
+
+
+@dataclass(eq=False)
+class Case(ScalarExpr):
+    """Searched or simple CASE expression.
+
+    For a simple CASE, ``operand`` is set and each when-condition is the
+    comparison value; the binder normalizes simple CASE into searched CASE.
+    """
+
+    CHILD_FIELDS = ("operand", "conditions", "results", "default")
+
+    operand: Optional[ScalarExpr] = None
+    conditions: list[ScalarExpr] = field(default_factory=list)
+    results: list[ScalarExpr] = field(default_factory=list)
+    default: Optional[ScalarExpr] = None
+    type: SQLType = t.UNKNOWN
+
+
+@dataclass(eq=False)
+class Cast(ScalarExpr):
+    CHILD_FIELDS = ("operand",)
+
+    operand: ScalarExpr
+    type: SQLType = t.UNKNOWN
+
+
+class ExtractField(enum.Enum):
+    YEAR = "YEAR"
+    MONTH = "MONTH"
+    DAY = "DAY"
+    HOUR = "HOUR"
+    MINUTE = "MINUTE"
+    SECOND = "SECOND"
+
+
+@dataclass(eq=False)
+class Extract(ScalarExpr):
+    """``EXTRACT(field FROM operand)``."""
+
+    CHILD_FIELDS = ("operand",)
+
+    field_name: ExtractField = ExtractField.YEAR
+    operand: ScalarExpr = None  # type: ignore[assignment]
+    type: SQLType = t.INTEGER
+
+
+@dataclass(eq=False)
+class SortKey(ScalarExpr):
+    """An ordering key with direction and NULL placement.
+
+    ``nulls_first is None`` means "dialect default" — the NULL-ordering
+    transformation rule makes it explicit for targets whose default differs
+    from the source's.
+    """
+
+    CHILD_FIELDS = ("expr",)
+
+    expr: ScalarExpr = None  # type: ignore[assignment]
+    ascending: bool = True
+    nulls_first: Optional[bool] = None
+
+
+@dataclass(eq=False)
+class WindowFunc(ScalarExpr):
+    """A window function specification: RANK/ROW_NUMBER/aggregates OVER (...).
+
+    In XTRA, window functions are computed by the relational ``Window``
+    operator; within scalar trees they appear as :class:`ColumnRef` to the
+    computed output column. This node is the *specification* stored on the
+    Window operator.
+    """
+
+    CHILD_FIELDS = ("args", "partition_by", "order_by")
+
+    name: str = ""
+    args: list[ScalarExpr] = field(default_factory=list)
+    partition_by: list[ScalarExpr] = field(default_factory=list)
+    order_by: list[SortKey] = field(default_factory=list)
+    type: SQLType = t.UNKNOWN
+
+
+class SubqueryKind(enum.Enum):
+    SCALAR = "SCALAR"    # single-value subquery
+    EXISTS = "EXISTS"    # EXISTS (...)
+    IN = "IN"            # expr IN (...)
+    QUANTIFIED = "QUANT"  # expr(s) op ANY/ALL (...)
+
+
+class Quantifier(enum.Enum):
+    ANY = "ANY"
+    ALL = "ALL"
+
+
+@dataclass(eq=False)
+class SubqueryExpr(ScalarExpr):
+    """A subquery in a scalar context.
+
+    For QUANTIFIED subqueries, ``left`` holds one or more left-hand
+    expressions: more than one means a Teradata *vector comparison* (Section
+    5.3), which targets without that capability need rewritten into an
+    existential correlated subquery.
+    """
+
+    CHILD_FIELDS = ("left",)
+
+    kind: SubqueryKind = SubqueryKind.SCALAR
+    plan: "RelNode" = None  # type: ignore[assignment]
+    left: list[ScalarExpr] = field(default_factory=list)
+    op: Optional[CompOp] = None
+    quantifier: Optional[Quantifier] = None
+    negated: bool = False
+    type: SQLType = t.UNKNOWN
+
+
+# -- helpers -----------------------------------------------------------------
+
+def conjoin(predicates: list[ScalarExpr]) -> Optional[ScalarExpr]:
+    """AND together a list of predicates; returns None for an empty list."""
+    live = [p for p in predicates if p is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+    return BoolOp(BoolOpKind.AND, live)
+
+
+def const_int(value: int) -> Const:
+    return Const(value, t.INTEGER)
+
+
+def const_str(value: str) -> Const:
+    return Const(value, t.varchar(max(1, len(value))))
+
+
+def null_const() -> Const:
+    return Const(None, t.UNKNOWN)
+
+
+def same(a: ScalarExpr, b: ScalarExpr) -> bool:
+    """Structural equality of two scalar trees (ignores node identity)."""
+    if type(a) is not type(b):
+        return False
+    for f in fields(a):  # type: ignore[arg-type]
+        left, right = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(left, ScalarExpr) or isinstance(right, ScalarExpr):
+            if not (isinstance(left, ScalarExpr) and isinstance(right, ScalarExpr)
+                    and same(left, right)):
+                return False
+        elif isinstance(left, list) and left and isinstance(left[0], ScalarExpr):
+            if len(left) != len(right) or not all(same(x, y) for x, y in zip(left, right)):
+                return False
+        elif f.name == "plan":
+            if left is not right:
+                return False
+        elif left != right:
+            return False
+    return True

@@ -1,0 +1,162 @@
+"""SQL type system shared across the pipeline.
+
+Includes the Teradata-specific DATE-as-integer encoding that drives the
+date/integer comparison and arithmetic rewrites of Section 5.2: Teradata
+stores a DATE as ``(year - 1900) * 10000 + month * 100 + day``.
+Also models the PERIOD compound type discussed in Section 2.2.2.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+
+
+class TypeKind(enum.Enum):
+    """Primitive SQL type families."""
+
+    BOOLEAN = "BOOLEAN"
+    SMALLINT = "SMALLINT"
+    INTEGER = "INTEGER"
+    BIGINT = "BIGINT"
+    DECIMAL = "DECIMAL"
+    FLOAT = "FLOAT"
+    CHAR = "CHAR"
+    VARCHAR = "VARCHAR"
+    DATE = "DATE"
+    TIME = "TIME"
+    TIMESTAMP = "TIMESTAMP"
+    INTERVAL = "INTERVAL"
+    PERIOD = "PERIOD"
+    BYTE = "BYTE"
+    UNKNOWN = "UNKNOWN"
+
+
+_NUMERIC_KINDS = frozenset({
+    TypeKind.SMALLINT, TypeKind.INTEGER, TypeKind.BIGINT,
+    TypeKind.DECIMAL, TypeKind.FLOAT,
+})
+
+_TEXT_KINDS = frozenset({TypeKind.CHAR, TypeKind.VARCHAR})
+
+# Rank for implicit numeric widening: result of mixing is the higher rank.
+_NUMERIC_RANK = {
+    TypeKind.SMALLINT: 0,
+    TypeKind.INTEGER: 1,
+    TypeKind.BIGINT: 2,
+    TypeKind.DECIMAL: 3,
+    TypeKind.FLOAT: 4,
+}
+
+
+@dataclass(frozen=True)
+class SQLType:
+    """A concrete SQL type: kind plus optional length/precision/scale.
+
+    Attributes:
+        kind: the type family.
+        length: max length for CHAR/VARCHAR/BYTE.
+        precision: total digits for DECIMAL; element kind name for PERIOD.
+        scale: fractional digits for DECIMAL.
+        case_specific: Teradata CASESPECIFIC flag for text comparisons.
+    """
+
+    kind: TypeKind
+    length: int | None = None
+    precision: int | None = None
+    scale: int | None = None
+    case_specific: bool = True
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind in _NUMERIC_KINDS
+
+    @property
+    def is_text(self) -> bool:
+        return self.kind in _TEXT_KINDS
+
+    @property
+    def is_temporal(self) -> bool:
+        return self.kind in (TypeKind.DATE, TypeKind.TIME, TypeKind.TIMESTAMP)
+
+    def __str__(self) -> str:
+        if self.kind is TypeKind.DECIMAL and self.precision is not None:
+            return f"DECIMAL({self.precision},{self.scale or 0})"
+        if self.kind in _TEXT_KINDS and self.length is not None:
+            return f"{self.kind.value}({self.length})"
+        if self.kind is TypeKind.PERIOD:
+            return f"PERIOD({self.precision or 'DATE'})"
+        return self.kind.value
+
+
+# Singleton-ish convenience constructors used throughout the codebase.
+BOOLEAN = SQLType(TypeKind.BOOLEAN)
+SMALLINT = SQLType(TypeKind.SMALLINT)
+INTEGER = SQLType(TypeKind.INTEGER)
+BIGINT = SQLType(TypeKind.BIGINT)
+FLOAT = SQLType(TypeKind.FLOAT)
+DATE = SQLType(TypeKind.DATE)
+TIME = SQLType(TypeKind.TIME)
+TIMESTAMP = SQLType(TypeKind.TIMESTAMP)
+INTERVAL = SQLType(TypeKind.INTERVAL)
+UNKNOWN = SQLType(TypeKind.UNKNOWN)
+
+
+def decimal(precision: int = 18, scale: int = 2) -> SQLType:
+    """A DECIMAL type with the given precision and scale."""
+    return SQLType(TypeKind.DECIMAL, precision=precision, scale=scale)
+
+
+def varchar(length: int = 256) -> SQLType:
+    """A VARCHAR type with the given maximum length."""
+    return SQLType(TypeKind.VARCHAR, length=length)
+
+
+def char(length: int = 1) -> SQLType:
+    """A fixed-length CHAR type."""
+    return SQLType(TypeKind.CHAR, length=length)
+
+
+def period(element: TypeKind = TypeKind.DATE) -> SQLType:
+    """A Teradata PERIOD compound type over the given element kind."""
+    return SQLType(TypeKind.PERIOD, precision=None, scale=None, length=None,
+                   case_specific=True) if element is TypeKind.DATE else SQLType(TypeKind.PERIOD)
+
+
+def common_numeric(left: SQLType, right: SQLType) -> SQLType:
+    """The implicit widening result of mixing two numeric types."""
+    if not (left.is_numeric and right.is_numeric):
+        return UNKNOWN
+    if _NUMERIC_RANK[left.kind] >= _NUMERIC_RANK[right.kind]:
+        return left
+    return right
+
+
+# -- Teradata DATE-as-integer semantics -------------------------------------
+
+def date_to_teradata_int(value: datetime.date) -> int:
+    """Encode a date the way Teradata stores DATE values internally.
+
+    ``2014-01-01`` encodes as ``1140101``: (2014-1900)*10000 + 1*100 + 1.
+    """
+    return (value.year - 1900) * 10000 + value.month * 100 + value.day
+
+
+def teradata_int_to_date(value: int) -> datetime.date:
+    """Decode a Teradata internal DATE integer back into a date."""
+    year = value // 10000 + 1900
+    month = (value % 10000) // 100
+    day = value % 100
+    return datetime.date(year, month, day)
+
+
+def is_valid_teradata_date_int(value: int) -> bool:
+    """Return True if *value* decodes to a real calendar date."""
+    try:
+        teradata_int_to_date(value)
+    except ValueError:
+        return False
+    return True

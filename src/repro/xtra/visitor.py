@@ -1,0 +1,152 @@
+"""Generic walkers and rewriters for XTRA trees.
+
+Transformation rules use :func:`rewrite_scalars` / :func:`rewrite_rel` to
+express rewrites as small functions over single nodes; the driver handles
+recursion, list-valued fields, and statement boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Callable, Iterator
+
+from repro.xtra.relational import CTEDef, RelNode, Statement
+from repro.xtra.scalars import ScalarExpr, SubqueryExpr
+
+ScalarFn = Callable[[ScalarExpr], ScalarExpr]
+RelFn = Callable[[RelNode], RelNode]
+
+
+def walk_scalars(expr: ScalarExpr, into_subqueries: bool = False) -> Iterator[ScalarExpr]:
+    """Depth-first pre-order walk over a scalar tree."""
+    yield expr
+    for child in expr.children():
+        yield from walk_scalars(child, into_subqueries)
+    if into_subqueries and isinstance(expr, SubqueryExpr) and expr.plan is not None:
+        for node in walk_rel(expr.plan):
+            for scalar in node.scalars():
+                yield from walk_scalars(scalar, into_subqueries)
+
+
+def walk_rel(node: RelNode) -> Iterator[RelNode]:
+    """Depth-first pre-order walk over a relational tree (not subqueries)."""
+    yield node
+    for child in node.children():
+        yield from walk_rel(child)
+
+
+def walk_all_scalars(node: RelNode) -> Iterator[ScalarExpr]:
+    """All scalar expressions under a plan, descending into subquery plans."""
+    for rel in walk_rel(node):
+        for scalar in rel.scalars():
+            yield from walk_scalars(scalar, into_subqueries=True)
+
+
+def rewrite_scalars(expr: ScalarExpr, fn: ScalarFn, into_subqueries: bool = True,
+                    rel_fn: RelFn | None = None) -> ScalarExpr:
+    """Bottom-up rewrite of a scalar tree.
+
+    ``fn`` receives each node after its children were rewritten in place and
+    returns a replacement node (possibly the same one). Subquery plans are
+    descended into when ``into_subqueries`` is set; ``rel_fn`` (if given) is
+    applied to the relational nodes of those plans as well.
+    """
+    for name in expr.CHILD_FIELDS:
+        value = getattr(expr, name)
+        if value is None:
+            continue
+        if isinstance(value, list):
+            setattr(expr, name, [
+                rewrite_scalars(item, fn, into_subqueries, rel_fn)
+                if isinstance(item, ScalarExpr) else item
+                for item in value
+            ])
+        elif isinstance(value, ScalarExpr):
+            setattr(expr, name, rewrite_scalars(value, fn, into_subqueries, rel_fn))
+    if into_subqueries and isinstance(expr, SubqueryExpr) and expr.plan is not None:
+        expr.plan = rewrite_rel(expr.plan, rel_fn or (lambda n: n), fn)
+    return fn(expr)
+
+
+def _rewrite_rel_fields(node: RelNode, rel_fn: RelFn, scalar_fn: ScalarFn | None) -> None:
+    """Rewrite the child-rel and scalar fields of *node* in place."""
+    for f in fields(node):  # type: ignore[arg-type]
+        value = getattr(node, f.name)
+        if isinstance(value, RelNode):
+            setattr(node, f.name, rewrite_rel(value, rel_fn, scalar_fn))
+        elif isinstance(value, CTEDef):
+            value.plan = rewrite_rel(value.plan, rel_fn, scalar_fn)
+        elif isinstance(value, list):
+            new_items = []
+            for item in value:
+                if isinstance(item, RelNode):
+                    new_items.append(rewrite_rel(item, rel_fn, scalar_fn))
+                elif isinstance(item, CTEDef):
+                    item.plan = rewrite_rel(item.plan, rel_fn, scalar_fn)
+                    new_items.append(item)
+                elif isinstance(item, ScalarExpr) and scalar_fn is not None:
+                    new_items.append(rewrite_scalars(item, scalar_fn, rel_fn=rel_fn))
+                elif isinstance(item, tuple) and len(item) == 2 and isinstance(item[1], ScalarExpr) \
+                        and scalar_fn is not None:
+                    new_items.append((item[0], rewrite_scalars(item[1], scalar_fn, rel_fn=rel_fn)))
+                else:
+                    new_items.append(item)
+            setattr(node, f.name, new_items)
+        elif isinstance(value, ScalarExpr) and scalar_fn is not None:
+            setattr(node, f.name, rewrite_scalars(value, scalar_fn, rel_fn=rel_fn))
+
+
+def rewrite_rel(node: RelNode, rel_fn: RelFn, scalar_fn: ScalarFn | None = None) -> RelNode:
+    """Bottom-up rewrite of a relational tree.
+
+    Children (including CTE plans and scalar fields) are rewritten first, then
+    ``rel_fn`` maps the node itself.
+    """
+    _rewrite_rel_fields(node, rel_fn, scalar_fn)
+    return rel_fn(node)
+
+
+def rewrite_statement(stmt: Statement, rel_fn: RelFn, scalar_fn: ScalarFn | None = None) -> Statement:
+    """Apply a rewrite to every plan/scalar embedded in a statement."""
+    for f in fields(stmt):  # type: ignore[arg-type]
+        value = getattr(stmt, f.name)
+        if isinstance(value, RelNode):
+            setattr(stmt, f.name, rewrite_rel(value, rel_fn, scalar_fn))
+        elif isinstance(value, ScalarExpr) and scalar_fn is not None:
+            setattr(stmt, f.name, rewrite_scalars(value, scalar_fn, rel_fn=rel_fn))
+        elif isinstance(value, list):
+            new_items = []
+            for item in value:
+                if isinstance(item, ScalarExpr) and scalar_fn is not None:
+                    new_items.append(rewrite_scalars(item, scalar_fn, rel_fn=rel_fn))
+                elif isinstance(item, tuple) and len(item) == 2 and isinstance(item[1], ScalarExpr) \
+                        and scalar_fn is not None:
+                    new_items.append((item[0], rewrite_scalars(item[1], scalar_fn, rel_fn=rel_fn)))
+                else:
+                    new_items.append(item)
+            setattr(stmt, f.name, new_items)
+    return stmt
+
+
+def statement_plans(stmt: Statement) -> Iterator[RelNode]:
+    """Yield the top-level relational plans embedded in a statement."""
+    for f in fields(stmt):  # type: ignore[arg-type]
+        value = getattr(stmt, f.name)
+        if isinstance(value, RelNode):
+            yield value
+
+
+def statement_scalars(stmt: Statement) -> Iterator[ScalarExpr]:
+    """Yield every scalar expression reachable from a statement."""
+    for f in fields(stmt):  # type: ignore[arg-type]
+        value = getattr(stmt, f.name)
+        if isinstance(value, RelNode):
+            yield from walk_all_scalars(value)
+        elif isinstance(value, ScalarExpr):
+            yield from walk_scalars(value, into_subqueries=True)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ScalarExpr):
+                    yield from walk_scalars(item, into_subqueries=True)
+                elif isinstance(item, tuple) and len(item) == 2 and isinstance(item[1], ScalarExpr):
+                    yield from walk_scalars(item[1], into_subqueries=True)

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import Database
+from repro.core.engine import HyperQ
+from repro.core.tracker import FeatureTracker
+
+
+@pytest.fixture
+def backend():
+    """A fresh in-memory backend database (default HYPERION profile)."""
+    return Database()
+
+
+@pytest.fixture
+def backend_session(backend):
+    return backend.create_session()
+
+
+@pytest.fixture
+def tracker():
+    return FeatureTracker()
+
+
+@pytest.fixture
+def engine(tracker):
+    """A fresh Hyper-Q engine with feature tracking attached."""
+    return HyperQ(tracker=tracker)
+
+
+@pytest.fixture
+def session(engine):
+    return engine.create_session()
+
+
+@pytest.fixture
+def sales_session(session):
+    """A Hyper-Q session with the paper's SALES/SALES_HISTORY schema loaded."""
+    session.execute("""
+        CREATE MULTISET TABLE SALES (
+            PRODUCT_NAME VARCHAR(40),
+            STORE INTEGER,
+            AMOUNT DECIMAL(12,2),
+            SALES_DATE DATE)
+    """)
+    session.execute("""
+        CREATE MULTISET TABLE SALES_HISTORY (
+            GROSS DECIMAL(12,2), NET DECIMAL(12,2))
+    """)
+    session.execute("""
+        INSERT INTO SALES VALUES
+            ('alpha', 1, 100.00, DATE '2015-02-03'),
+            ('beta',  1,  50.00, DATE '2013-01-01'),
+            ('gamma', 2,  80.00, DATE '2016-05-05'),
+            ('delta', 2,  80.00, DATE '2014-07-01'),
+            ('omega', 3,  20.00, DATE '2014-01-02')
+    """)
+    session.execute("INSERT INTO SALES_HISTORY VALUES (90.00, 70.00), (60.00, 40.00)")
+    return session
+
+
+@pytest.fixture
+def emp_session(session):
+    """A Hyper-Q session with the paper's Example 4 employee hierarchy."""
+    session.execute("CREATE TABLE EMP (EMPNO INTEGER, MGRNO INTEGER)")
+    session.execute(
+        "INSERT INTO EMP VALUES (1, 7), (7, 8), (8, 10), (9, 10), (10, 11)")
+    return session

@@ -1,0 +1,123 @@
+"""Integration tests for the second (ANSI) frontend — the paper's
+"add a parser, reuse everything else" extensibility claim, and the B.1
+observation that developers may keep writing old-dialect SQL or switch to
+the new dialect against the same virtualized database."""
+
+import pytest
+
+from repro.core.engine import HyperQ
+from repro.errors import HyperQError
+
+
+@pytest.fixture
+def ansi():
+    engine = HyperQ(source="ansi")
+    session = engine.create_session()
+    session.execute("CREATE TABLE ITEMS (ID INTEGER, NAME VARCHAR(20), "
+                    "PRICE DOUBLE PRECISION)")
+    session.execute("INSERT INTO ITEMS VALUES (1, 'apple', 1.5), "
+                    "(2, 'pear', 2.0), (3, 'plum', 0.5)")
+    return engine, session
+
+
+class TestAnsiBasics:
+    def test_select_executes(self, ansi):
+        __, session = ansi
+        result = session.execute(
+            "SELECT NAME FROM ITEMS WHERE PRICE > 1.0 ORDER BY NAME")
+        assert [row[0] for row in result.rows] == ["apple", "pear"]
+
+    def test_window_functions(self, ansi):
+        __, session = ansi
+        result = session.execute(
+            "SELECT NAME, RANK() OVER (ORDER BY PRICE DESC) AS R "
+            "FROM ITEMS ORDER BY R")
+        assert result.rows[0] == ("pear", 1)
+
+    def test_group_by_having(self, ansi):
+        __, session = ansi
+        result = session.execute(
+            "SELECT COUNT(*), SUM(PRICE) FROM ITEMS HAVING COUNT(*) > 1")
+        assert result.rows == [(3, 4.0)]
+
+    def test_dml(self, ansi):
+        __, session = ansi
+        assert session.execute(
+            "UPDATE ITEMS SET PRICE = PRICE * 2 WHERE ID = 3").rowcount == 1
+        assert session.execute(
+            "DELETE FROM ITEMS WHERE PRICE >= 1.5").rowcount == 2
+        assert session.execute("SELECT COUNT(*) FROM ITEMS").rows == [(1,)]
+
+    def test_views(self, ansi):
+        __, session = ansi
+        session.execute("CREATE VIEW CHEAP AS SELECT NAME FROM ITEMS "
+                        "WHERE PRICE < 1.0")
+        assert session.execute("SELECT * FROM CHEAP").rows == [("plum",)]
+
+    def test_null_ordering_keeps_target_semantics(self, ansi):
+        __, session = ansi
+        session.execute("INSERT INTO ITEMS VALUES (4, 'kiwi', NULL)")
+        result = session.execute("SELECT PRICE FROM ITEMS ORDER BY PRICE")
+        # ANSI source: the target's native placement (NULLs last) applies —
+        # unlike the Teradata frontend, which pins NULLs first.
+        assert result.rows[-1] == (None,)
+
+    def test_teradata_syntax_rejected(self, ansi):
+        __, session = ansi
+        with pytest.raises(HyperQError):
+            session.execute("SEL NAME FROM ITEMS")
+        with pytest.raises(HyperQError):
+            session.execute("SELECT NAME FROM ITEMS QUALIFY RANK() "
+                            "OVER (ORDER BY PRICE) = 1")
+
+
+class TestAnsiEmulation:
+    def test_recursive_cte_emulated_for_weak_target(self, ansi):
+        __, session = ansi
+        result = session.execute(
+            "WITH RECURSIVE SEQ (N) AS ("
+            "SELECT ID FROM ITEMS WHERE ID = 1 "
+            "UNION ALL SELECT N + 1 FROM SEQ WHERE N < 5) "
+            "SELECT N FROM SEQ ORDER BY N")
+        assert [row[0] for row in result.rows] == [1, 2, 3, 4, 5]
+        assert len(result.target_sql) > 3  # emulated, not native
+
+    def test_merge_emulated(self, ansi):
+        __, session = ansi
+        session.execute("CREATE TABLE PATCH (ID INTEGER, PRICE DOUBLE PRECISION)")
+        session.execute("INSERT INTO PATCH VALUES (1, 9.99), (42, 0.42)")
+        result = session.execute(
+            "MERGE INTO ITEMS USING PATCH P ON ITEMS.ID = P.ID "
+            "WHEN MATCHED THEN UPDATE SET PRICE = P.PRICE "
+            "WHEN NOT MATCHED THEN INSERT (ID, PRICE) VALUES (P.ID, P.PRICE)")
+        assert result.rowcount == 2
+        assert session.execute(
+            "SELECT PRICE FROM ITEMS WHERE ID = 1").rows == [(9.99,)]
+
+
+class TestDualFrontendsOneTarget:
+    """Appendix B.1: old and new dialects side by side on one database."""
+
+    def test_teradata_and_ansi_share_a_backend(self):
+        ansi_engine = HyperQ(source="ansi")
+        td_engine = HyperQ(backend=ansi_engine.backend)
+        td_engine.shadow = ansi_engine.shadow  # one shared schema picture
+
+        ansi_session = ansi_engine.create_session()
+        td_session = td_engine.create_session()
+
+        ansi_session.execute("CREATE TABLE SHARED (A INTEGER, D DATE)")
+        td_session.execute("INS SHARED (1, DATE '2014-03-01')")
+        ansi_session.execute(
+            "INSERT INTO SHARED VALUES (2, DATE '2015-03-01')")
+
+        # Teradata app queries with TD-isms; ANSI app queries plainly.
+        td_result = td_session.execute(
+            "SEL COUNT(*) FROM SHARED WHERE D > 1140101")
+        ansi_result = ansi_session.execute(
+            "SELECT COUNT(*) FROM SHARED WHERE D > DATE '2014-01-01'")
+        assert td_result.rows == ansi_result.rows == [(2,)]
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(HyperQError):
+            HyperQ(source="cobol")

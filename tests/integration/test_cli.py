@@ -1,0 +1,67 @@
+"""Integration tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestRunCommand:
+    def test_runs_script_file(self, tmp_path, capsys):
+        script = tmp_path / "demo.sql"
+        script.write_text(
+            "CREATE TABLE T (A INTEGER);"
+            "INS T (1); INS T (2);"
+            "SEL A FROM T ORDER BY A DESC;")
+        assert main(["run", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "(2 rows)" in out
+        data = out[out.index("A\n"):]
+        assert data.index("2") < data.index("1")  # DESC ordering visible
+
+    def test_error_reports_nonzero_exit(self, tmp_path, capsys):
+        script = tmp_path / "bad.sql"
+        script.write_text("SEL * FROM MISSING;")
+        assert main(["run", str(script)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_dml_flag(self, tmp_path, capsys):
+        script = tmp_path / "batch.sql"
+        script.write_text(
+            "CREATE TABLE T (A INTEGER);"
+            + "".join(f"INSERT INTO T VALUES ({i});" for i in range(5))
+            + "SEL COUNT(*) FROM T;")
+        assert main(["run", str(script), "--batch-dml"]) == 0
+        out = capsys.readouterr().out
+        assert "(5 rows affected)" in out  # one merged insert
+
+    def test_ansi_source_flag(self, tmp_path, capsys):
+        script = tmp_path / "ansi.sql"
+        script.write_text(
+            "CREATE TABLE T (A INTEGER);"
+            "INSERT INTO T VALUES (7);"
+            "SELECT A FROM T;")
+        assert main(["--source", "ansi", "run", str(script)]) == 0
+        assert "(1 rows)" in capsys.readouterr().out
+
+
+class TestTpchCommand:
+    def test_prints_overhead_split(self, capsys):
+        assert main(["tpch", "--scale", "0.0002"]) == 0
+        out = capsys.readouterr().out
+        assert "query translation" in out
+        assert "total overhead" in out
+
+
+class TestArgumentParsing:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--source", "cobol", "shell"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 10250

@@ -1,0 +1,72 @@
+"""Integration tests: translating the full TPC-H workload for every modeled
+cloud target dialect.
+
+The executing backend only accepts its own dialect, but translation to the
+other four targets must always *produce* SQL (the paper's M-frontends ×
+N-backends claim rests on serializers being independent plugins).
+"""
+
+import pytest
+
+from repro.core.engine import HyperQ
+from repro.transform.capabilities import cloud_profiles
+from repro.workloads.tpch import queries
+from repro.workloads.tpch.schema import SCHEMA_DDL, TABLE_NAMES
+
+TARGETS = [profile.name for profile in cloud_profiles()] + ["hyperion"]
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    """One translation-only session per target, sharing the TPC-H schema."""
+    out = {}
+    for target in TARGETS:
+        engine = HyperQ(target=target)
+        session = engine.create_session()
+        for table in TABLE_NAMES:
+            # Register schema in the shadow catalog through the binder (the
+            # backend DDL side effect is irrelevant for translation tests,
+            # but executing is the honest path and works for every target's
+            # serializer).
+            session.translate(SCHEMA_DDL[table].strip())
+            bound = session.binder.bind(
+                session.parser.parse_statement(SCHEMA_DDL[table].strip()))
+            engine.shadow.add_table(bound.schema)
+        out[target] = session
+    return out
+
+
+class TestTPCHAcrossDialects:
+    @pytest.mark.parametrize("target", TARGETS)
+    @pytest.mark.parametrize("number", list(range(1, 23)))
+    def test_query_translates(self, sessions, target, number):
+        translation = sessions[target].translate(queries.query(number))
+        assert translation.kind == "sql"
+        (sql,) = translation.statements
+        assert sql.startswith("SELECT") or sql.startswith("WITH")
+        # No Teradata-isms may survive serialization for any target.
+        upper = sql.upper()
+        assert "QUALIFY" not in upper
+        assert " SEL " not in f" {upper} "
+
+    def test_dialects_actually_differ(self, sessions):
+        texts = {target: sessions[target].translate(queries.query(1)).statements[0]
+                 for target in TARGETS}
+        # The T-SQL target spells TOP/date arithmetic differently from the
+        # Postgres-flavoured one somewhere across the workload; check a
+        # concrete known divergence on Q2 (TOP 100).
+        q2 = {target: sessions[target].translate(queries.query(2)).statements[0]
+              for target in TARGETS}
+        assert "TOP 100" in q2["azuresynth"]
+        assert q2["meadowshift"].endswith("LIMIT 100")
+
+    @pytest.mark.parametrize("target", TARGETS)
+    def test_date_arithmetic_respects_target_capability(self, sessions, target):
+        translation = sessions[target].translate(
+            "SEL L_ORDERKEY FROM LINEITEM WHERE L_SHIPDATE < "
+            "DATE '1998-12-01' - 90")
+        (sql,) = translation.statements
+        if target == "meadowshift":  # Postgres family: date - int is native
+            assert "DATEADD" not in sql
+        else:
+            assert "DATEADD" in sql

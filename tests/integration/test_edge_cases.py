@@ -1,0 +1,147 @@
+"""Edge-case integration tests: corners of the pipeline that regressions
+love — duplicate output names, set-operation ALL variants, subqueries in
+projections, QUALIFY over partitioned aggregates, empty results."""
+
+import pytest
+
+from repro.core.engine import HyperQ
+
+
+@pytest.fixture
+def pairs(session):
+    session.execute("CREATE TABLE P1 (X INTEGER)")
+    session.execute("CREATE TABLE P2 (X INTEGER)")
+    session.execute("INSERT INTO P1 VALUES (1), (2), (2), (3)")
+    session.execute("INSERT INTO P2 VALUES (2), (2), (4)")
+    return session
+
+
+class TestSetOpAllVariants:
+    def test_intersect_all_keeps_multiplicity(self, pairs):
+        result = pairs.execute(
+            "SEL X FROM P1 INTERSECT ALL SEL X FROM P2 ORDER BY 1")
+        assert [row[0] for row in result.rows] == [2, 2]
+
+    def test_except_all_subtracts_multiplicity(self, pairs):
+        result = pairs.execute(
+            "SEL X FROM P1 EXCEPT ALL SEL X FROM P2 ORDER BY 1")
+        assert [row[0] for row in result.rows] == [1, 3]
+
+    def test_minus_is_distinct_except(self, pairs):
+        result = pairs.execute("SEL X FROM P1 MINUS SEL X FROM P2 ORDER BY 1")
+        assert [row[0] for row in result.rows] == [1, 3]
+
+    def test_three_way_chain(self, pairs):
+        result = pairs.execute(
+            "SEL X FROM P1 UNION SEL X FROM P2 UNION ALL SEL X FROM P2")
+        # distinct(P1 ∪ P2) = {1,2,3,4} then + 3 more rows.
+        assert result.rowcount == 7
+
+
+class TestDuplicateNames:
+    def test_same_column_name_from_two_tables(self, pairs):
+        result = pairs.execute(
+            "SEL A.X, B.X FROM P1 A, P2 B WHERE A.X = B.X AND A.X = 2")
+        assert result.rowcount == 4  # 2 dup rows x 2 dup rows
+        assert result.columns[0] != result.columns[1]  # uniquified on output
+
+    def test_duplicate_names_through_derived_table(self, pairs):
+        result = pairs.execute(
+            "SEL COUNT(*) FROM "
+            "(SEL A.X, B.X FROM P1 A, P2 B WHERE A.X = B.X) AS D (XA, XB)")
+        assert result.rows == [(4,)]
+
+
+class TestSubqueriesInProjections:
+    def test_scalar_subquery_in_select_list(self, pairs):
+        result = pairs.execute(
+            "SEL X, (SEL COUNT(*) FROM P2 WHERE P2.X = P1.X) AS MATCHES "
+            "FROM P1 ORDER BY X, MATCHES")
+        by_x = {}
+        for x, matches in result.rows:
+            by_x[x] = matches
+        assert by_x == {1: 0, 2: 2, 3: 0}
+
+    def test_case_wrapping_exists(self, pairs):
+        result = pairs.execute(
+            "SEL X, CASE WHEN EXISTS (SEL 1 FROM P2 WHERE P2.X = P1.X) "
+            "THEN 'hit' ELSE 'miss' END FROM P1 ORDER BY 1, 2")
+        verdicts = {row[0]: row[1] for row in result.rows}
+        assert verdicts == {1: "miss", 2: "hit", 3: "miss"}
+
+
+class TestQualifyCorners:
+    @pytest.fixture
+    def teams(self, session):
+        session.execute("CREATE TABLE TEAMS (CITY VARCHAR(5), PTS INTEGER)")
+        session.execute("INSERT INTO TEAMS VALUES ('nyc', 10), ('nyc', 30), "
+                        "('sf', 20), ('sf', 5), ('sf', 20)")
+        return session
+
+    def test_qualify_partitioned_rank(self, teams):
+        result = teams.execute(
+            "SEL CITY, PTS FROM TEAMS "
+            "QUALIFY ROW_NUMBER() OVER (PARTITION BY CITY ORDER BY PTS DESC) = 1 "
+            "ORDER BY CITY")
+        assert result.rows == [("nyc", 30), ("sf", 20)]
+
+    def test_qualify_over_grouped_aggregate(self, teams):
+        result = teams.execute(
+            "SEL CITY, SUM(PTS) AS TOTAL FROM TEAMS GROUP BY CITY "
+            "QUALIFY RANK(TOTAL DESC) = 1")
+        assert result.rows == [("sf", 45)]
+
+    def test_qualify_and_where_combined(self, teams):
+        result = teams.execute(
+            "SEL CITY, PTS FROM TEAMS WHERE PTS > 5 "
+            "QUALIFY RANK(PTS DESC) <= 2 ORDER BY PTS DESC, CITY")
+        # after WHERE: 10, 30, 20, 20 -> top-2 ranks with ties: 30, 20, 20.
+        assert result.rows == [("nyc", 30), ("sf", 20), ("sf", 20)]
+
+
+class TestEmptyResults:
+    def test_empty_rows_through_full_pipeline(self, pairs):
+        result = pairs.execute("SEL X FROM P1 WHERE X > 100")
+        assert result.kind == "rows"
+        assert result.rowcount == 0
+        assert result.rows == []
+        assert result.columns == ["X"]
+
+    def test_aggregate_over_empty_through_pipeline(self, pairs):
+        result = pairs.execute(
+            "SEL COUNT(*), SUM(X), MIN(X) FROM P1 WHERE X > 100")
+        assert result.rows == [(0, None, None)]
+
+    def test_empty_qualify(self, pairs):
+        result = pairs.execute(
+            "SEL X FROM P1 WHERE X > 100 QUALIFY RANK(X DESC) <= 1")
+        assert result.rows == []
+
+
+class TestChainedEmulations:
+    def test_macro_calling_recursive_query(self, session):
+        session.execute("CREATE TABLE EDGES (S INTEGER, D INTEGER)")
+        session.execute("INSERT INTO EDGES VALUES (1, 2), (2, 3), (3, 4)")
+        session.execute("""
+            CREATE MACRO REACH (START INTEGER) AS (
+                WITH RECURSIVE R (N) AS (
+                    SELECT D FROM EDGES WHERE S = :START
+                    UNION ALL
+                    SELECT EDGES.D FROM EDGES, R WHERE EDGES.S = R.N)
+                SELECT N FROM R ORDER BY N;)
+        """)
+        result = session.execute("EXEC REACH (1)")
+        assert [row[0] for row in result.rows] == [2, 3, 4]
+
+    def test_procedure_using_volatile_table(self, session):
+        session.execute("CREATE TABLE SRC_T (V INTEGER)")
+        session.execute("INSERT INTO SRC_T VALUES (5), (10)")
+        session.execute("""
+            CREATE PROCEDURE SNAPSHOT ()
+            BEGIN
+                CREATE VOLATILE TABLE SNAP (V INTEGER) ON COMMIT PRESERVE ROWS;
+                INSERT INTO SNAP SEL V FROM SRC_T;
+            END
+        """)
+        session.execute("CALL SNAPSHOT()")
+        assert session.execute("SEL COUNT(*) FROM SNAP").rows == [(2,)]

@@ -1,0 +1,318 @@
+"""Integration tests for every emulation path of Section 6 / Table 2."""
+
+import datetime
+
+import pytest
+
+from repro.errors import EmulationError, HyperQError
+
+
+class TestMacros:
+    def test_create_exec_with_positional_args(self, sales_session):
+        sales_session.execute(
+            "CREATE MACRO TOP_SALES (LIM INTEGER) AS "
+            "(SEL PRODUCT_NAME FROM SALES QUALIFY RANK(AMOUNT DESC) <= :LIM "
+            "ORDER BY PRODUCT_NAME;)")
+        result = sales_session.execute("EXEC TOP_SALES (2)")
+        assert [row[0] for row in result.rows] == ["alpha", "delta", "gamma"]
+
+    def test_exec_with_named_args(self, sales_session):
+        sales_session.execute(
+            "CREATE MACRO BY_STORE (S INTEGER) AS "
+            "(SEL PRODUCT_NAME FROM SALES WHERE STORE = :S ORDER BY 1;)")
+        result = sales_session.execute("EXEC BY_STORE (S = 2)")
+        assert [row[0] for row in result.rows] == ["delta", "gamma"]
+
+    def test_multi_statement_macro_returns_last_result_set(self, sales_session):
+        sales_session.execute(
+            "CREATE MACRO REFRESH (S INTEGER) AS ("
+            "DEL FROM SALES_HISTORY WHERE GROSS < 0; "
+            "SEL COUNT(*) FROM SALES WHERE STORE = :S;)")
+        result = sales_session.execute("EXEC REFRESH (1)")
+        assert result.rows == [(2,)]
+
+    def test_missing_argument_rejected(self, sales_session):
+        sales_session.execute(
+            "CREATE MACRO NEEDS (X INTEGER) AS (SEL :X FROM SALES;)")
+        with pytest.raises(EmulationError):
+            sales_session.execute("EXEC NEEDS")
+
+    def test_drop_macro(self, sales_session):
+        sales_session.execute("CREATE MACRO M1 AS (SEL 1 FROM SALES;)")
+        sales_session.execute("DROP MACRO M1")
+        with pytest.raises(HyperQError):
+            sales_session.execute("EXEC M1")
+
+    def test_replace_macro(self, sales_session):
+        sales_session.execute("CREATE MACRO M2 AS (SEL COUNT(*) FROM SALES;)")
+        sales_session.execute(
+            "REPLACE MACRO M2 AS (SEL COUNT(*) + 100 FROM SALES;)")
+        assert sales_session.execute("EXEC M2").rows == [(105,)]
+
+
+class TestStoredProcedures:
+    def test_control_flow_and_select_into(self, sales_session):
+        sales_session.execute("""
+            CREATE PROCEDURE RERATE (IN P_STORE INTEGER, IN P_LIMIT FLOAT)
+            BEGIN
+                DECLARE V_TOTAL FLOAT;
+                SELECT SUM(AMOUNT) INTO :V_TOTAL FROM SALES
+                    WHERE STORE = :P_STORE;
+                IF V_TOTAL > P_LIMIT THEN
+                    UPDATE SALES SET AMOUNT = AMOUNT * 0.9
+                        WHERE STORE = :P_STORE;
+                END IF;
+            END
+        """)
+        sales_session.execute("CALL RERATE(1, 100.0)")  # total 150 > 100
+        result = sales_session.execute(
+            "SEL SUM(AMOUNT) FROM SALES WHERE STORE = 1")
+        assert result.rows[0][0] == pytest.approx(135.0)
+
+    def test_branch_not_taken(self, sales_session):
+        sales_session.execute("""
+            CREATE PROCEDURE NOOP_IF_SMALL (IN P_STORE INTEGER)
+            BEGIN
+                DECLARE V_TOTAL FLOAT;
+                SELECT SUM(AMOUNT) INTO :V_TOTAL FROM SALES
+                    WHERE STORE = :P_STORE;
+                IF V_TOTAL > 10000 THEN
+                    DELETE FROM SALES WHERE STORE = :P_STORE;
+                END IF;
+            END
+        """)
+        sales_session.execute("CALL NOOP_IF_SMALL(1)")
+        assert sales_session.execute(
+            "SEL COUNT(*) FROM SALES WHERE STORE = 1").rows == [(2,)]
+
+    def test_while_loop(self, session):
+        session.execute("CREATE TABLE LOG_T (I INTEGER)")
+        session.execute("""
+            CREATE PROCEDURE FILL (IN N INTEGER)
+            BEGIN
+                DECLARE I INTEGER DEFAULT 0;
+                WHILE I < N DO
+                    SET I = I + 1;
+                    INSERT INTO LOG_T VALUES (:I);
+                END WHILE;
+            END
+        """)
+        session.execute("CALL FILL(4)")
+        assert session.execute("SEL COUNT(*), MAX(I) FROM LOG_T").rows == [(4, 4)]
+
+    def test_out_parameter_returned(self, sales_session):
+        sales_session.execute("""
+            CREATE PROCEDURE GET_TOTAL (IN P_STORE INTEGER, OUT P_TOTAL FLOAT)
+            BEGIN
+                SELECT SUM(AMOUNT) INTO :P_TOTAL FROM SALES
+                    WHERE STORE = :P_STORE;
+            END
+        """)
+        result = sales_session.execute("CALL GET_TOTAL(2, 0.0)")
+        assert result.columns == ["P_TOTAL"]
+        assert result.rows[0][0] == pytest.approx(160.0)
+
+    def test_select_into_requires_single_row(self, sales_session):
+        sales_session.execute("""
+            CREATE PROCEDURE BAD ()
+            BEGIN
+                DECLARE V FLOAT;
+                SELECT AMOUNT INTO :V FROM SALES;
+            END
+        """)
+        with pytest.raises(EmulationError):
+            sales_session.execute("CALL BAD()")
+
+
+class TestMerge:
+    @pytest.fixture
+    def merged(self, sales_session):
+        sales_session.execute(
+            "CREATE TABLE DELTAS (PRODUCT_NAME VARCHAR(40), AMOUNT DECIMAL(12,2))")
+        sales_session.execute(
+            "INSERT INTO DELTAS VALUES ('alpha', 111.00), ('newone', 9.99)")
+        return sales_session
+
+    def test_update_and_insert_branches(self, merged):
+        result = merged.execute("""
+            MERGE INTO SALES USING DELTAS D
+            ON SALES.PRODUCT_NAME = D.PRODUCT_NAME
+            WHEN MATCHED THEN UPDATE SET AMOUNT = D.AMOUNT
+            WHEN NOT MATCHED THEN INSERT (PRODUCT_NAME, AMOUNT)
+                VALUES (D.PRODUCT_NAME, D.AMOUNT)
+        """)
+        assert result.rowcount == 2
+        assert merged.execute(
+            "SEL AMOUNT FROM SALES WHERE PRODUCT_NAME = 'alpha'").rows == [(111.0,)]
+        assert merged.execute(
+            "SEL AMOUNT FROM SALES WHERE PRODUCT_NAME = 'newone'").rows == [(9.99,)]
+
+    def test_update_only_merge(self, merged):
+        result = merged.execute("""
+            MERGE INTO SALES USING DELTAS D
+            ON SALES.PRODUCT_NAME = D.PRODUCT_NAME
+            WHEN MATCHED THEN UPDATE SET AMOUNT = 0.00
+        """)
+        assert result.rowcount == 1
+        assert merged.execute(
+            "SEL COUNT(*) FROM SALES WHERE PRODUCT_NAME = 'newone'").rows == [(0,)]
+
+    def test_merge_is_emulated_as_two_statements(self, merged, tracker):
+        result = merged.execute("""
+            MERGE INTO SALES USING DELTAS D
+            ON SALES.PRODUCT_NAME = D.PRODUCT_NAME
+            WHEN MATCHED THEN UPDATE SET AMOUNT = D.AMOUNT
+            WHEN NOT MATCHED THEN INSERT (PRODUCT_NAME, AMOUNT)
+                VALUES (D.PRODUCT_NAME, D.AMOUNT)
+        """)
+        assert len(result.target_sql) == 2
+        assert result.target_sql[0].startswith("UPDATE")
+        assert result.target_sql[1].startswith("INSERT")
+        assert "merge_statement" in tracker.features_seen()
+
+
+class TestDMLOnViews:
+    @pytest.fixture
+    def viewed(self, sales_session):
+        sales_session.execute(
+            "CREATE VIEW PRICY AS SEL PRODUCT_NAME AS PNAME, AMOUNT, STORE "
+            "FROM SALES WHERE AMOUNT > 60")
+        return sales_session
+
+    def test_select_from_view(self, viewed):
+        result = viewed.execute("SEL PNAME FROM PRICY ORDER BY 1")
+        assert [row[0] for row in result.rows] == ["alpha", "delta", "gamma"]
+
+    def test_update_through_view_respects_view_predicate(self, viewed):
+        count = viewed.execute(
+            "UPD PRICY SET AMOUNT = AMOUNT + 1 WHERE STORE = 1").rowcount
+        # Only alpha (store 1, amount > 60) is visible through the view.
+        assert count == 1
+        assert viewed.execute(
+            "SEL AMOUNT FROM SALES WHERE PRODUCT_NAME = 'beta'").rows == [(50.0,)]
+
+    def test_delete_through_view(self, viewed):
+        count = viewed.execute("DEL FROM PRICY WHERE PNAME = 'gamma'").rowcount
+        assert count == 1
+        assert viewed.execute("SEL COUNT(*) FROM SALES").rows == [(4,)]
+
+    def test_insert_through_view_maps_columns(self, viewed):
+        viewed.execute("INSERT INTO PRICY (PNAME, AMOUNT, STORE) "
+                       "VALUES ('epsilon', 75.00, 9)")
+        assert viewed.execute(
+            "SEL STORE FROM SALES WHERE PRODUCT_NAME = 'epsilon'").rows == [(9,)]
+
+    def test_complex_view_rejected(self, sales_session):
+        sales_session.execute(
+            "CREATE VIEW AGGV AS SEL STORE, SUM(AMOUNT) AS TOTAL FROM SALES "
+            "GROUP BY STORE")
+        with pytest.raises(EmulationError):
+            sales_session.execute("UPD AGGV SET TOTAL = 0")
+
+
+class TestSetTables:
+    def test_duplicates_silently_dropped(self, session):
+        session.execute("CREATE SET TABLE UNIQ (A INTEGER, B VARCHAR(5))")
+        first = session.execute(
+            "INSERT INTO UNIQ VALUES (1, 'x'), (1, 'x'), (2, 'y')")
+        assert first.rowcount == 2
+        second = session.execute("INSERT INTO UNIQ VALUES (1, 'x'), (3, 'z')")
+        assert second.rowcount == 1
+        assert session.execute("SEL COUNT(*) FROM UNIQ").rows == [(3,)]
+
+    def test_null_safe_duplicate_detection(self, session):
+        session.execute("CREATE SET TABLE UNIQ2 (A INTEGER, B VARCHAR(5))")
+        session.execute("INSERT INTO UNIQ2 VALUES (1, NULL)")
+        result = session.execute("INSERT INTO UNIQ2 VALUES (1, NULL)")
+        assert result.rowcount == 0
+
+    def test_multiset_table_keeps_duplicates(self, session):
+        session.execute("CREATE MULTISET TABLE MULTI (A INTEGER)")
+        session.execute("INSERT INTO MULTI VALUES (1), (1)")
+        assert session.execute("SEL COUNT(*) FROM MULTI").rows == [(2,)]
+
+
+class TestHelpAndShow:
+    def test_help_session_returns_parameters(self, session):
+        result = session.execute("HELP SESSION")
+        params = dict(result.rows)
+        assert params["USER"] == "HYPERQ"
+        assert "TARGET" in params
+
+    def test_set_session_visible_in_help(self, session):
+        session.execute("SET SESSION COLLATION = 'ASCII'")
+        params = dict(session.execute("HELP SESSION").rows)
+        assert params["COLLATION"] == "ASCII"
+
+    def test_help_table_lists_columns(self, sales_session):
+        result = sales_session.execute("HELP TABLE SALES")
+        names = [row[0] for row in result.rows]
+        assert names == ["PRODUCT_NAME", "STORE", "AMOUNT", "SALES_DATE"]
+
+    def test_help_column(self, sales_session):
+        result = sales_session.execute("HELP COLUMN SALES.AMOUNT")
+        assert result.rows[0][0] == "AMOUNT"
+
+    def test_show_table_reconstructs_teradata_ddl(self, session):
+        session.execute("CREATE SET TABLE SHOWME (A INTEGER NOT NULL) "
+                        "PRIMARY INDEX (A)")
+        (ddl,) = session.execute("SHOW TABLE SHOWME").rows[0]
+        assert ddl.startswith("CREATE SET TABLE SHOWME")
+        assert "PRIMARY INDEX (A)" in ddl
+
+    def test_show_view_returns_source_sql(self, sales_session):
+        sales_session.execute("CREATE VIEW SV AS SEL STORE FROM SALES")
+        (ddl,) = sales_session.execute("SHOW VIEW SV").rows[0]
+        assert "CREATE VIEW SV" in ddl
+
+    def test_show_macro(self, session):
+        session.execute("CREATE MACRO SM (X INTEGER) AS (SEL :X;)")
+        (ddl,) = session.execute("SHOW MACRO SM").rows[0]
+        assert ddl.startswith("CREATE MACRO SM")
+
+
+class TestVolatileTables:
+    def test_session_scoped(self, engine):
+        one = engine.create_session()
+        two = engine.create_session()
+        one.execute("CREATE VOLATILE TABLE VT (X INTEGER) "
+                    "ON COMMIT PRESERVE ROWS")
+        one.execute("INSERT INTO VT VALUES (1)")
+        assert one.execute("SEL COUNT(*) FROM VT").rows == [(1,)]
+        with pytest.raises(HyperQError):
+            two.execute("SEL * FROM VT")
+
+    def test_drop_volatile(self, session):
+        session.execute("CREATE VOLATILE TABLE VT2 (X INTEGER)")
+        session.execute("DROP TABLE VT2")
+        with pytest.raises(HyperQError):
+            session.execute("SEL * FROM VT2")
+
+
+class TestColumnProperties:
+    def test_nonconstant_default_filled_in_mid_tier(self, session, tracker):
+        session.execute("CREATE TABLE AUDIT_T (ID INTEGER, "
+                        "CREATED DATE DEFAULT CURRENT_DATE)")
+        session.execute("INSERT INTO AUDIT_T (ID) VALUES (1)")
+        (created,) = session.execute(
+            "SEL CREATED FROM AUDIT_T WHERE ID = 1").rows[0]
+        assert isinstance(created, datetime.date)
+        assert "column_properties" in tracker.features_seen()
+
+    def test_case_insensitive_column_comparison(self, session):
+        session.execute("CREATE TABLE NAMES_T "
+                        "(N VARCHAR(20) NOT CASESPECIFIC)")
+        session.execute("INSERT INTO NAMES_T VALUES ('Alice')")
+        result = session.execute("SEL COUNT(*) FROM NAMES_T WHERE N = 'ALICE'")
+        assert result.rows == [(1,)]
+
+    def test_period_column_split_for_target(self, session):
+        session.execute("CREATE TABLE SPANS (ID INTEGER, VALIDITY PERIOD(DATE))")
+        result = session.execute("HELP TABLE SPANS")
+        names = [row[0] for row in result.rows]
+        assert names == ["ID", "VALIDITY_BEGIN", "VALIDITY_END"]
+
+    def test_collect_statistics_is_absorbed(self, sales_session):
+        result = sales_session.execute("COLLECT STATISTICS ON SALES COLUMN (STORE)")
+        assert result.kind == "ok"
+        assert result.target_sql == []

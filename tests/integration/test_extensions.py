@@ -1,0 +1,155 @@
+"""Integration tests for the extension features: DML batching (Section 4.3's
+performance transformation) and scale-out load balancing (Appendix B.3
+future work)."""
+
+import pytest
+
+from repro.errors import HyperQError
+from repro.core.engine import HyperQ
+from repro.core.scaleout import ScaledHyperQ, round_robin
+from repro.transform.rules.dml_batching import batch_statements
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+
+
+class TestDMLBatchingRule:
+    def insert(self, table, value, columns=None):
+        values = r.Values([[s.const_int(value)]], ["A"], [t.INTEGER])
+        return r.Insert(table, columns, values)
+
+    def test_contiguous_inserts_merge(self):
+        statements = [self.insert("T", 1), self.insert("T", 2),
+                      self.insert("T", 3)]
+        merged = batch_statements(statements)
+        assert len(merged) == 1
+        assert len(merged[0].source.rows) == 3
+
+    def test_different_tables_do_not_merge(self):
+        statements = [self.insert("T", 1), self.insert("U", 2)]
+        assert len(batch_statements(statements)) == 2
+
+    def test_different_column_lists_do_not_merge(self):
+        statements = [self.insert("T", 1, ["A"]), self.insert("T", 2, ["B"])]
+        assert len(batch_statements(statements)) == 2
+
+    def test_intervening_statement_is_a_barrier(self):
+        barrier = r.Query(r.Values([[]], [], []))
+        statements = [self.insert("T", 1), barrier, self.insert("T", 2)]
+        merged = batch_statements(statements)
+        assert len(merged) == 3
+
+    def test_batch_size_cap(self):
+        statements = [self.insert("T", i) for i in range(5)]
+        merged = batch_statements(statements, max_rows_per_batch=2)
+        assert [len(m.source.rows) for m in merged] == [2, 2, 1]
+
+
+class TestDMLBatchingEndToEnd:
+    def test_script_batching_reduces_target_statements(self):
+        engine = HyperQ(dml_batching=True)
+        session = engine.create_session()
+        session.execute("CREATE TABLE BJT (A INTEGER, B VARCHAR(5))")
+        results = session.execute_script(
+            "INSERT INTO BJT VALUES (1, 'a');"
+            "INSERT INTO BJT VALUES (2, 'b');"
+            "INSERT INTO BJT VALUES (3, 'c');"
+            "SEL COUNT(*) FROM BJT;"
+            "INSERT INTO BJT VALUES (4, 'd');")
+        kinds = [(result.kind, result.rowcount) for result in results]
+        assert kinds == [("count", 3), ("rows", 1), ("count", 1)]
+        # The mid-script SELECT observes the already-flushed batch.
+        assert results[1].rows == [(3,)]
+        assert session.execute("SEL COUNT(*) FROM BJT").rows == [(4,)]
+
+    def test_batching_disabled_by_default(self):
+        engine = HyperQ()
+        session = engine.create_session()
+        session.execute("CREATE TABLE BT2 (A INTEGER)")
+        results = session.execute_script(
+            "INSERT INTO BT2 VALUES (1); INSERT INTO BT2 VALUES (2);")
+        assert len(results) == 2
+
+    def test_set_table_inserts_never_batch(self):
+        # SET-table inserts need the dedup emulation per statement.
+        engine = HyperQ(dml_batching=True)
+        session = engine.create_session()
+        session.execute("CREATE SET TABLE BT3 (A INTEGER)")
+        results = session.execute_script(
+            "INSERT INTO BT3 VALUES (1); INSERT INTO BT3 VALUES (1);")
+        assert [result.rowcount for result in results] == [1, 0]
+
+
+class TestScaleOut:
+    @pytest.fixture
+    def fleet(self):
+        fleet = ScaledHyperQ(replicas=3)
+        session = fleet.create_session()
+        session.execute("CREATE TABLE EV (ID INTEGER, V INTEGER)")
+        session.execute("INSERT INTO EV VALUES (1, 10), (2, 20), (3, 30)")
+        return fleet, session
+
+    def test_reads_balance_round_robin(self, fleet):
+        fleet_obj, session = fleet
+        baseline = list(fleet_obj.reads_per_replica)
+        for __ in range(6):
+            session.execute("SEL COUNT(*) FROM EV")
+        growth = [after - before for after, before
+                  in zip(fleet_obj.reads_per_replica, baseline)]
+        assert growth == [2, 2, 2]
+
+    def test_writes_reach_every_replica(self, fleet):
+        fleet_obj, session = fleet
+        session.execute("UPD EV SET V = V + 1 WHERE ID = 1")
+        for engine in fleet_obj.engines:
+            check = engine.create_session().execute(
+                "SEL V FROM EV WHERE ID = 1")
+            assert check.rows == [(11,)]
+
+    def test_read_results_identical_across_replicas(self, fleet):
+        fleet_obj, session = fleet
+        answers = {tuple(session.execute(
+            "SEL SUM(V) FROM EV").rows[0]) for __ in range(3)}
+        assert len(answers) == 1
+
+    def test_session_scoped_objects_pin_to_one_replica(self, fleet):
+        __, session = fleet
+        session.execute("CREATE VOLATILE TABLE SCRATCH (X INTEGER)")
+        session.execute("INSERT INTO SCRATCH VALUES (7)")
+        # Reads after pinning keep hitting the replica holding SCRATCH.
+        for __ in range(4):
+            assert session.execute("SEL X FROM SCRATCH").rows == [(7,)]
+
+    def test_failover_to_healthy_replica(self, fleet):
+        fleet_obj, session = fleet
+        # Break replica 0 by dropping the table behind Hyper-Q's back.
+        fleet_obj.engines[0].backend.catalog.drop_table("EV")
+        fleet_obj.engines[0].shadow.drop_table("EV")
+        for __ in range(3):
+            result = session.execute("SEL COUNT(*) FROM EV")
+            assert result.rows == [(3,)]
+
+    def test_divergence_detected(self, fleet):
+        fleet_obj, session = fleet
+        # Sneak an extra row into one replica only.
+        rogue = fleet_obj.engines[1].create_session()
+        rogue.execute("INSERT INTO EV VALUES (99, 0)")
+        with pytest.raises(HyperQError):
+            session.execute("UPD EV SET V = 0 WHERE ID >= 0")
+
+    def test_policy_is_pluggable(self):
+        always_first = lambda index, count: 0
+        fleet = ScaledHyperQ(replicas=2, policy=always_first)
+        session = fleet.create_session()
+        session.execute("CREATE TABLE P (X INTEGER)")
+        for __ in range(3):
+            session.execute("SEL COUNT(*) FROM P")
+        assert fleet.reads_per_replica[0] == 3
+        assert fleet.reads_per_replica[1] == 0
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(HyperQError):
+            ScaledHyperQ(replicas=0)
+
+    def test_round_robin_policy(self):
+        assert [round_robin(i, 3) for i in range(6)] == [0, 1, 2, 0, 1, 2]

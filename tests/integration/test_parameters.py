@@ -1,0 +1,84 @@
+"""Integration tests for parameterized queries (Section 4.5)."""
+
+import datetime
+
+import pytest
+
+from repro.errors import BindError
+
+
+class TestPositionalParameters:
+    def test_where_clause_marker(self, sales_session):
+        result = sales_session.execute(
+            "SEL PRODUCT_NAME FROM SALES WHERE STORE = ? ORDER BY 1", [2])
+        assert [row[0] for row in result.rows] == ["delta", "gamma"]
+
+    def test_multiple_markers_bind_left_to_right(self, sales_session):
+        result = sales_session.execute(
+            "SEL COUNT(*) FROM SALES WHERE STORE = ? AND AMOUNT > ?", [1, 60])
+        assert result.rows == [(1,)]
+
+    def test_markers_in_insert_values(self, sales_session):
+        sales_session.execute(
+            "INSERT INTO SALES VALUES (?, ?, ?, ?)",
+            ["zeta", 9, 1.50, datetime.date(2015, 6, 1)])
+        row = sales_session.execute(
+            "SEL STORE, SALES_DATE FROM SALES WHERE PRODUCT_NAME = 'zeta'"
+        ).rows[0]
+        assert row == (9, datetime.date(2015, 6, 1))
+
+    def test_markers_in_update(self, sales_session):
+        count = sales_session.execute(
+            "UPD SALES SET AMOUNT = ? WHERE PRODUCT_NAME = ?",
+            [77.0, "alpha"]).rowcount
+        assert count == 1
+
+    def test_too_few_values_rejected(self, sales_session):
+        with pytest.raises(BindError):
+            sales_session.execute(
+                "SEL 1 FROM SALES WHERE STORE = ? AND AMOUNT = ?", [1])
+
+    def test_unused_values_rejected(self, sales_session):
+        with pytest.raises(BindError):
+            sales_session.execute(
+                "SEL 1 FROM SALES WHERE STORE = ?", [1, 2])
+
+
+class TestNamedParameters:
+    def test_named_marker(self, sales_session):
+        result = sales_session.execute(
+            "SEL PRODUCT_NAME FROM SALES WHERE STORE = :s AND AMOUNT > :amt "
+            "ORDER BY 1", s=2, amt=10)
+        assert [row[0] for row in result.rows] == ["delta", "gamma"]
+
+    def test_named_marker_reuse(self, sales_session):
+        result = sales_session.execute(
+            "SEL COUNT(*) FROM SALES WHERE AMOUNT > :lo AND AMOUNT < :lo + 50",
+            lo=40)
+        # amounts strictly between 40 and 90: beta(50), gamma(80), delta(80)
+        assert result.rows == [(3,)]
+
+    def test_missing_named_value_rejected(self, sales_session):
+        with pytest.raises(BindError):
+            sales_session.execute(
+                "SEL 1 FROM SALES WHERE STORE = :nope", s=1)
+
+    def test_null_parameter(self, sales_session):
+        result = sales_session.execute(
+            "SEL COUNT(*) FROM SALES WHERE STORE = :v", v=None)
+        assert result.rows == [(0,)]  # NULL never equals anything
+
+
+class TestParametersInSubqueries:
+    def test_marker_inside_subquery(self, sales_session):
+        result = sales_session.execute(
+            "SEL PRODUCT_NAME FROM SALES WHERE AMOUNT > "
+            "(SEL AVG(GROSS) FROM SALES_HISTORY WHERE GROSS > ?) "
+            "ORDER BY 1", [0])
+        assert [row[0] for row in result.rows] == ["alpha", "delta", "gamma"]
+
+    def test_marker_in_qualify(self, sales_session):
+        result = sales_session.execute(
+            "SEL PRODUCT_NAME FROM SALES QUALIFY RANK(AMOUNT DESC) <= :k "
+            "ORDER BY 1", k=1)
+        assert result.rows == [("alpha",)]

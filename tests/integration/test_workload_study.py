@@ -1,0 +1,86 @@
+"""Integration test: the customer workload study (Table 1, Figures 8a/8b).
+
+The measured numbers must land on the paper's values because the tracker
+actually detects every feature in the generated workloads — a regression in
+any rewrite path shows up here as a drifted percentage.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload_study
+from repro.workloads import customer
+from repro.workloads.features import FeatureClass
+
+
+@pytest.fixture(scope="module")
+def study():
+    return {
+        1: run_workload_study(customer.HEALTH),
+        2: run_workload_study(customer.TELCO),
+    }
+
+
+class TestTable1:
+    def test_health_counts(self, study):
+        result = study[1]
+        assert result.total_queries == 39_731
+        assert result.distinct_queries == 3_778
+
+    def test_telco_counts(self, study):
+        result = study[2]
+        assert result.total_queries == 192_753
+        assert result.distinct_queries == 10_446
+
+    def test_every_query_translates_cleanly(self, study):
+        assert study[1].translation_errors == 0
+        assert study[2].translation_errors == 0
+
+    def test_frequencies_are_deterministic_and_skewed(self):
+        first = customer.frequencies(customer.HEALTH)
+        second = customer.frequencies(customer.HEALTH)
+        assert first == second
+        assert max(first) > 10 * min(first)  # heavy repetition skew
+
+
+class TestFigure8a:
+    """Fraction of the 9 tracked features per class present per workload."""
+
+    PAPER = {
+        1: {FeatureClass.TRANSLATION: 5 / 9, FeatureClass.TRANSFORMATION: 7 / 9,
+            FeatureClass.EMULATION: 3 / 9},
+        2: {FeatureClass.TRANSLATION: 2 / 9, FeatureClass.TRANSFORMATION: 6 / 9,
+            FeatureClass.EMULATION: 3 / 9},
+    }
+
+    @pytest.mark.parametrize("workload", [1, 2])
+    def test_presence_matches_paper(self, study, workload):
+        measured = study[workload].presence
+        for cls, expected in self.PAPER[workload].items():
+            assert measured[cls] == pytest.approx(expected), cls
+
+
+class TestFigure8b:
+    """Fraction of distinct queries affected per class."""
+
+    PAPER = {
+        1: {FeatureClass.TRANSLATION: 0.014, FeatureClass.TRANSFORMATION: 0.336,
+            FeatureClass.EMULATION: 0.002},
+        2: {FeatureClass.TRANSLATION: 0.002, FeatureClass.TRANSFORMATION: 0.040,
+            FeatureClass.EMULATION: 0.791},
+    }
+
+    @pytest.mark.parametrize("workload", [1, 2])
+    def test_affected_fractions_match_paper(self, study, workload):
+        measured = study[workload].affected
+        for cls, expected in self.PAPER[workload].items():
+            assert measured[cls] == pytest.approx(expected, abs=0.005), cls
+
+    def test_keyword_translation_is_the_small_minority(self, study):
+        """The paper's key observation: 'very few differences are due to
+        keyword translation. The majority of queries require more involved
+        rewrites.'"""
+        for result in study.values():
+            translation = result.affected[FeatureClass.TRANSLATION]
+            involved = (result.affected[FeatureClass.TRANSFORMATION]
+                        + result.affected[FeatureClass.EMULATION])
+            assert involved > 2 * translation

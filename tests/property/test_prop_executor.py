@@ -1,0 +1,165 @@
+"""Property-based tests on backend executor invariants.
+
+Every property compares engine output against an independent Python
+recomputation over randomly generated tables, so optimizer rewrites
+(pushdown, decorrelation, OR factorization) cannot silently change results.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import Database
+
+values = st.one_of(st.none(), st.integers(min_value=-20, max_value=20))
+row_lists = st.lists(st.tuples(values, values), min_size=0, max_size=30)
+
+
+def load(rows, name="T"):
+    database = Database()
+    session = database.create_session()
+    session.execute(f"CREATE TABLE {name} (A INTEGER, B INTEGER)")
+    if rows:
+        literals = ", ".join(
+            f"({'NULL' if a is None else a}, {'NULL' if b is None else b})"
+            for a, b in rows)
+        session.execute(f"INSERT INTO {name} VALUES {literals}")
+    return session
+
+
+class TestFilterProperties:
+    @given(rows=row_lists, threshold=st.integers(min_value=-20, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_filter_matches_python_semantics(self, rows, threshold):
+        session = load(rows)
+        result = session.execute(f"SELECT A, B FROM T WHERE A > {threshold}")
+        expected = [(a, b) for a, b in rows if a is not None and a > threshold]
+        assert sorted(result.rows, key=_key) == sorted(expected, key=_key)
+
+    @given(rows=row_lists, low=st.integers(-10, 0), high=st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_conjunction_equals_intersection(self, rows, low, high):
+        session = load(rows)
+        both = session.execute(
+            f"SELECT A, B FROM T WHERE A >= {low} AND A <= {high}").rows
+        expected = [(a, b) for a, b in rows
+                    if a is not None and low <= a <= high]
+        assert sorted(both, key=_key) == sorted(expected, key=_key)
+
+
+class TestAggregateProperties:
+    @given(rows=row_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_global_aggregates(self, rows):
+        session = load(rows)
+        result = session.execute("SELECT COUNT(*), COUNT(A), SUM(A) FROM T")
+        non_null = [a for a, __ in rows if a is not None]
+        expected_sum = sum(non_null) if non_null else None
+        assert result.rows == [(len(rows), len(non_null), expected_sum)]
+
+    @given(rows=row_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_partitions_rows(self, rows):
+        session = load(rows)
+        result = session.execute("SELECT B, COUNT(*) FROM T GROUP BY B")
+        expected: dict = {}
+        for __, b in rows:
+            expected[b] = expected.get(b, 0) + 1
+        assert dict(result.rows) == expected
+        # Group counts sum back to the row count (no row lost or duplicated).
+        assert sum(count for __, count in result.rows) == len(rows)
+
+
+class TestSortProperties:
+    @given(rows=row_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_order_by_sorts_with_nulls_last(self, rows):
+        session = load(rows)
+        result = session.execute("SELECT A FROM T ORDER BY A")
+        got = [row[0] for row in result.rows]
+        non_null = sorted(a for a, __ in rows if a is not None)
+        nulls = [None] * sum(1 for a, __ in rows if a is None)
+        assert got == non_null + nulls
+
+    @given(rows=row_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_sort_is_stable_permutation(self, rows):
+        session = load(rows)
+        result = session.execute("SELECT A, B FROM T ORDER BY A DESC")
+        assert sorted(result.rows, key=_key) == sorted(rows, key=_key)
+
+    @given(rows=row_lists, limit=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_limit_is_prefix_of_full_sort(self, rows, limit):
+        session = load(rows)
+        full = session.execute("SELECT A FROM T ORDER BY A NULLS LAST").rows
+        limited = session.execute(
+            f"SELECT A FROM T ORDER BY A NULLS LAST LIMIT {limit}").rows
+        assert limited == full[:limit]
+
+
+class TestSetOpProperties:
+    @given(left=row_lists, right=row_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_union_all_cardinality(self, left, right):
+        session = load(left, "L")
+        session.execute("CREATE TABLE R (A INTEGER, B INTEGER)")
+        if right:
+            literals = ", ".join(
+                f"({'NULL' if a is None else a}, {'NULL' if b is None else b})"
+                for a, b in right)
+            session.execute(f"INSERT INTO R VALUES {literals}")
+        result = session.execute(
+            "(SELECT A, B FROM L) UNION ALL (SELECT A, B FROM R)")
+        assert result.rowcount == len(left) + len(right)
+
+    @given(rows=row_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_union_distinct_is_set_semantics(self, rows):
+        session = load(rows)
+        result = session.execute("(SELECT A FROM T) UNION (SELECT A FROM T)")
+        assert result.rowcount == len({a for a, __ in rows})
+
+
+class TestDecorrelationEquivalence:
+    """EXISTS evaluated via hash semi-join must equal Python set logic."""
+
+    @given(outer=row_lists, inner=row_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_exists_matches_reference(self, outer, inner):
+        session = load(outer, "O")
+        session.execute("CREATE TABLE I (A INTEGER, B INTEGER)")
+        if inner:
+            literals = ", ".join(
+                f"({'NULL' if a is None else a}, {'NULL' if b is None else b})"
+                for a, b in inner)
+            session.execute(f"INSERT INTO I VALUES {literals}")
+        result = session.execute(
+            "SELECT COUNT(*) FROM O WHERE EXISTS "
+            "(SELECT 1 FROM I WHERE I.A = O.A)")
+        keys = {a for a, __ in inner if a is not None}
+        expected = sum(1 for a, __ in outer if a is not None and a in keys)
+        assert result.rows == [(expected,)]
+
+    @given(outer=row_lists, inner=row_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_not_exists_is_complement(self, outer, inner):
+        session = load(outer, "O")
+        session.execute("CREATE TABLE I (A INTEGER, B INTEGER)")
+        if inner:
+            literals = ", ".join(
+                f"({'NULL' if a is None else a}, {'NULL' if b is None else b})"
+                for a, b in inner)
+            session.execute(f"INSERT INTO I VALUES {literals}")
+        hit = session.execute(
+            "SELECT COUNT(*) FROM O WHERE EXISTS "
+            "(SELECT 1 FROM I WHERE I.A = O.A)").rows[0][0]
+        miss = session.execute(
+            "SELECT COUNT(*) FROM O WHERE NOT EXISTS "
+            "(SELECT 1 FROM I WHERE I.A = O.A)").rows[0][0]
+        assert hit + miss == len(outer)
+
+
+def _key(row):
+    return tuple((value is None, value if value is not None else 0)
+                 for value in row)

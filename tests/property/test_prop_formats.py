@@ -1,0 +1,96 @@
+"""Property-based tests for the binary formats and the Teradata DATE
+encoding: every encodable value must round-trip exactly."""
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tdf
+from repro.protocol import encoding as enc
+from repro.xtra import types as t
+
+# Values TDF must carry losslessly.
+scalar_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-2**62, max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=60),
+    st.dates(min_value=datetime.date(1, 1, 1),
+             max_value=datetime.date(9999, 12, 31)),
+    st.binary(max_size=40),
+)
+
+rows_strategy = st.integers(min_value=1, max_value=6).flatmap(
+    lambda width: st.lists(
+        st.tuples(*([scalar_values] * width)), max_size=25))
+
+
+class TestTDFRoundtrip:
+    @given(rows=rows_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_batch_roundtrip(self, rows):
+        width = len(rows[0]) if rows else 3
+        columns = [f"C{i}" for i in range(width)]
+        packet = tdf.encode_batch(columns, rows)
+        decoded_columns, decoded_rows = tdf.decode_batch(packet)
+        assert decoded_columns == columns
+        assert decoded_rows == rows
+
+    @given(items=st.lists(st.one_of(scalar_values,
+                                    st.lists(scalar_values, max_size=4)),
+                          max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_nested_list_roundtrip(self, items):
+        packet = tdf.encode_batch(["L"], [(items,)])
+        __, rows = tdf.decode_batch(packet)
+        assert rows == [(items,)]
+
+
+class TestWireEncodingRoundtrip:
+    wire_row = st.tuples(
+        st.one_of(st.none(), st.integers(min_value=-2**31, max_value=2**31 - 1)),
+        st.one_of(st.none(), st.text(max_size=50)),
+        st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
+        st.one_of(st.none(), st.dates(min_value=datetime.date(1900, 1, 1),
+                                      max_value=datetime.date(2999, 12, 31))),
+        st.one_of(st.none(), st.booleans()),
+    )
+
+    @given(rows=st.lists(wire_row, max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_rows_roundtrip(self, rows):
+        metas = [
+            enc.ColumnMeta("I", enc.CODE_INTEGER),
+            enc.ColumnMeta("S", enc.CODE_VARCHAR),
+            enc.ColumnMeta("F", enc.CODE_FLOAT),
+            enc.ColumnMeta("D", enc.CODE_DATE),
+            enc.ColumnMeta("B", enc.CODE_BOOLEAN),
+        ]
+        blob = enc.encode_rows(metas, rows)
+        assert enc.decode_rows(metas, blob) == rows
+
+    @given(names=st.lists(st.text(min_size=1, max_size=30), min_size=1,
+                          max_size=10, unique=True),
+           code=st.sampled_from([enc.CODE_INTEGER, enc.CODE_VARCHAR,
+                                 enc.CODE_DATE]))
+    @settings(max_examples=40, deadline=None)
+    def test_meta_roundtrip(self, names, code):
+        metas = [enc.ColumnMeta(name, code) for name in names]
+        assert enc.decode_meta(enc.encode_meta(metas)) == metas
+
+
+class TestTeradataDateEncoding:
+    @given(date=st.dates(min_value=datetime.date(1900, 1, 1),
+                         max_value=datetime.date(2999, 12, 31)))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, date):
+        assert t.teradata_int_to_date(t.date_to_teradata_int(date)) == date
+
+    @given(date=st.dates(min_value=datetime.date(1900, 1, 1),
+                         max_value=datetime.date(2999, 12, 31)))
+    @settings(max_examples=200, deadline=None)
+    def test_encoding_preserves_order(self, date):
+        later = date + datetime.timedelta(days=1)
+        assert t.date_to_teradata_int(later) > t.date_to_teradata_int(date)

@@ -1,0 +1,90 @@
+"""Property-based robustness tests: hostile inputs must fail *predictably*.
+
+A virtualization layer sits in front of arbitrary applications; malformed
+SQL or corrupt network bytes must surface as the library's own error types,
+never as random AttributeErrors/IndexErrors deep in the stack.
+"""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HyperQError
+from repro.backend.parser import BackendParser
+from repro.frontend.teradata.parser import TeradataParser
+from repro.protocol import messages
+from repro.transform.capabilities import HYPERION
+
+
+class _ByteSock:
+    def __init__(self, data: bytes):
+        self.data = data
+
+    def recv(self, count: int) -> bytes:
+        chunk, self.data = self.data[:count], self.data[count:]
+        return chunk
+
+
+class TestProtocolRobustness:
+    @given(blob=st.binary(max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_random_bytes_never_crash_the_reader(self, blob):
+        try:
+            messages.read_message(_ByteSock(blob))
+        except HyperQError:
+            pass  # ProtocolError is the contract
+
+    @given(kind=st.sampled_from(list(messages.MessageKind)),
+           payload=st.binary(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_wellformed_messages_always_roundtrip(self, kind, payload):
+        packet = messages.encode_message(kind, payload)
+        got_kind, got_payload = messages.read_message(_ByteSock(packet))
+        assert got_kind is kind
+        assert got_payload == payload
+
+    @given(length=st.integers(min_value=messages.MAX_PAYLOAD + 1,
+                              max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_oversized_declared_length_rejected_before_allocation(self, length):
+        header = messages.HEADER.pack(messages.MAGIC, 3, length)
+        try:
+            messages.read_message(_ByteSock(header))
+            raise AssertionError("oversized payload accepted")
+        except HyperQError:
+            pass
+
+
+_sql_fragments = st.text(
+    alphabet=st.sampled_from(list(
+        "SELECT FROM WHERE GROUP BY ORDER QUALIFY ()*',.;<>=+-0123456789"
+        "ABCdef_\"' \n\t")),
+    max_size=120)
+
+
+class TestParserRobustness:
+    @given(text=_sql_fragments)
+    @settings(max_examples=200, deadline=None)
+    def test_teradata_parser_fails_cleanly(self, text):
+        parser = TeradataParser()
+        try:
+            parser.parse_script(text)
+        except HyperQError:
+            pass  # LexError / ParseError are the contract
+
+    @given(text=_sql_fragments)
+    @settings(max_examples=200, deadline=None)
+    def test_backend_parser_fails_cleanly(self, text):
+        parser = BackendParser(HYPERION)
+        try:
+            parser.parse_script(text)
+        except HyperQError:
+            pass
+
+    @given(count=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_deeply_nested_expressions_parse(self, count):
+        sql = "SEL " + "(" * count + "1" + ")" * count + " FROM T"
+        statement = TeradataParser().parse_statement(sql)
+        assert statement is not None

@@ -1,0 +1,129 @@
+"""Unit tests for the backend builtin function library and aggregates."""
+
+import datetime
+import math
+
+import pytest
+
+from repro.errors import BackendError
+from repro.backend import functions as fl
+
+
+class TestScalarFunctions:
+    def test_length_ignores_trailing_blanks(self):
+        assert fl.call_scalar("LENGTH", ["abc  "]) == 3
+
+    def test_upper_lower(self):
+        assert fl.call_scalar("UPPER", ["MiXeD"]) == "MIXED"
+        assert fl.call_scalar("LOWER", ["MiXeD"]) == "mixed"
+
+    def test_null_propagation(self):
+        assert fl.call_scalar("UPPER", [None]) is None
+        assert fl.call_scalar("ABS", [None]) is None
+
+    def test_coalesce_skips_nulls(self):
+        assert fl.call_scalar("COALESCE", [None, None, 7]) == 7
+        assert fl.call_scalar("COALESCE", [None]) is None
+
+    def test_nullif(self):
+        assert fl.call_scalar("NULLIF", [5, 5]) is None
+        assert fl.call_scalar("NULLIF", [5, 6]) == 5
+
+    def test_substring_is_one_based(self):
+        assert fl.call_scalar("SUBSTRING", ["hello", 2, 3]) == "ell"
+        assert fl.call_scalar("SUBSTRING", ["hello", 1]) == "hello"
+
+    def test_substring_with_nonpositive_start(self):
+        assert fl.call_scalar("SUBSTRING", ["hello", 0, 3]) == "he"
+
+    def test_position(self):
+        assert fl.call_scalar("POSITION", ["ll", "hello"]) == 3
+        assert fl.call_scalar("POSITION", ["xx", "hello"]) == 0
+
+    def test_trim_family(self):
+        assert fl.call_scalar("TRIM", ["  x  "]) == "x"
+        assert fl.call_scalar("LTRIM", ["  x  "]) == "x  "
+        assert fl.call_scalar("RTRIM", ["  x  "]) == "  x"
+
+    def test_round_and_floor(self):
+        assert fl.call_scalar("ROUND", [2.567, 2]) == 2.57
+        assert fl.call_scalar("FLOOR", [2.9]) == 2
+        assert fl.call_scalar("CEIL", [2.1]) == 3
+
+    def test_mod_and_power(self):
+        assert fl.call_scalar("MOD", [10, 3]) == 1
+        assert fl.call_scalar("POWER", [2, 10]) == 1024
+
+    def test_dateadd_units(self):
+        base = datetime.date(2014, 1, 31)
+        assert fl.call_scalar("DATEADD", ["DAY", 1, base]) == datetime.date(2014, 2, 1)
+        assert fl.call_scalar("DATEADD", ["MONTH", 1, base]) == datetime.date(2014, 2, 28)
+        assert fl.call_scalar("DATEADD", ["YEAR", -1, base]) == datetime.date(2013, 1, 31)
+
+    def test_datediff(self):
+        a = datetime.date(2014, 1, 1)
+        b = datetime.date(2014, 3, 1)
+        assert fl.call_scalar("DATEDIFF", ["DAY", a, b]) == 59
+        assert fl.call_scalar("DATEDIFF", ["MONTH", a, b]) == 2
+
+    def test_add_months_clamps_day(self):
+        assert fl.call_scalar("ADD_MONTHS", [datetime.date(2014, 1, 31), 1]) \
+            == datetime.date(2014, 2, 28)
+
+    def test_last_day(self):
+        assert fl.call_scalar("LAST_DAY", [datetime.date(2014, 2, 10)]) \
+            == datetime.date(2014, 2, 28)
+
+    def test_current_date_is_deterministic(self):
+        first = fl.call_scalar("CURRENT_DATE", [])
+        second = fl.call_scalar("CURRENT_DATE", [])
+        assert first == second
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(BackendError):
+            fl.call_scalar("NO_SUCH_FN", [1])
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(BackendError):
+            fl.call_scalar("NULLIF", [1])
+
+
+class TestAggregates:
+    def run_agg(self, name, values, distinct=False, star=False):
+        acc = fl.make_accumulator(name, distinct, star)
+        for value in values:
+            acc.add(value)
+        return acc.result()
+
+    def test_sum_ignores_nulls(self):
+        assert self.run_agg("SUM", [1, None, 2]) == 3
+
+    def test_sum_of_all_nulls_is_null(self):
+        assert self.run_agg("SUM", [None, None]) is None
+
+    def test_count_ignores_nulls_but_count_star_does_not(self):
+        assert self.run_agg("COUNT", [1, None, 2]) == 2
+        assert self.run_agg("COUNT", [1, None, 2], star=True) == 3
+
+    def test_avg(self):
+        assert self.run_agg("AVG", [2, 4, None]) == 3.0
+        assert self.run_agg("AVG", []) is None
+
+    def test_min_max(self):
+        assert self.run_agg("MIN", [3, 1, 2]) == 1
+        assert self.run_agg("MAX", ["a", "c", "b"]) == "c"
+
+    def test_distinct_wrapper(self):
+        assert self.run_agg("SUM", [1, 1, 2], distinct=True) == 3
+        assert self.run_agg("COUNT", [1, 1, 2, None], distinct=True) == 2
+
+    def test_stddev_samp(self):
+        result = self.run_agg("STDDEV_SAMP", [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert math.isclose(result, 2.138, rel_tol=1e-3)
+
+    def test_stddev_of_single_value_is_null(self):
+        assert self.run_agg("STDDEV_SAMP", [1.0]) is None
+
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(BackendError):
+            fl.make_accumulator("MEDIAN")

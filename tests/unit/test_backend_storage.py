@@ -1,0 +1,130 @@
+"""Unit tests for backend storage: coercion, NOT NULL, defaults, catalog."""
+
+import datetime
+
+import pytest
+
+from repro.errors import BackendError, CatalogError, TypeMismatchError
+from repro.backend.catalog import Catalog
+from repro.backend.storage import Table, coerce_value, default_value_for
+from repro.xtra import types as t
+from repro.xtra.schema import ColumnSchema, TableSchema
+
+
+def schema():
+    return TableSchema("T", [
+        ColumnSchema("A", t.INTEGER, nullable=False),
+        ColumnSchema("B", t.varchar(5)),
+        ColumnSchema("C", t.decimal(10, 2)),
+    ])
+
+
+class TestCoercion:
+    def test_null_always_passes(self):
+        assert coerce_value(None, t.INTEGER) is None
+
+    def test_integral_float_narrows_to_int(self):
+        assert coerce_value(2.0, t.INTEGER) == 2
+
+    def test_fractional_float_to_int_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(2.5, t.INTEGER)
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(True, t.INTEGER)
+
+    def test_int_widens_to_decimal(self):
+        assert coerce_value(3, t.decimal(10, 2)) == 3.0
+
+    def test_char_pads_and_varchar_checks_length(self):
+        assert coerce_value("ab", t.char(4)) == "ab  "
+        with pytest.raises(TypeMismatchError):
+            coerce_value("toolong", t.varchar(3))
+
+    def test_datetime_narrows_to_date(self):
+        stamp = datetime.datetime(2014, 5, 1, 10, 30)
+        assert coerce_value(stamp, t.DATE) == datetime.date(2014, 5, 1)
+
+    def test_date_widens_to_timestamp(self):
+        value = coerce_value(datetime.date(2014, 5, 1), t.TIMESTAMP)
+        assert value == datetime.datetime(2014, 5, 1)
+
+
+class TestTable:
+    def test_insert_and_count(self):
+        table = Table(schema())
+        table.insert_row((1, "ab", 2.5))
+        assert len(table) == 1
+
+    def test_not_null_enforced(self):
+        table = Table(schema())
+        with pytest.raises(BackendError):
+            table.insert_row((None, "x", 1.0))
+
+    def test_arity_checked(self):
+        table = Table(schema())
+        with pytest.raises(BackendError):
+            table.insert_row((1, "x"))
+
+    def test_truncate_returns_removed_count(self):
+        table = Table(schema())
+        table.insert_rows([(1, "a", 1.0), (2, "b", 2.0)])
+        assert table.truncate() == 2
+        assert len(table) == 0
+
+    def test_column_index(self):
+        table = Table(schema())
+        assert table.column_index("b") == 1
+        with pytest.raises(BackendError):
+            table.column_index("nope")
+
+
+class TestDefaults:
+    def test_literal_defaults(self):
+        assert default_value_for(ColumnSchema("X", t.INTEGER, default_sql="7")) == 7
+        assert default_value_for(ColumnSchema("X", t.FLOAT, default_sql="1.5")) == 1.5
+        assert default_value_for(
+            ColumnSchema("X", t.varchar(5), default_sql="'hi'")) == "hi"
+        assert default_value_for(ColumnSchema("X", t.INTEGER, default_sql="NULL")) is None
+
+    def test_nonconstant_default_rejected_by_backend(self):
+        column = ColumnSchema("X", t.DATE, default_sql="CURRENT_DATE")
+        with pytest.raises(BackendError):
+            default_value_for(column)
+
+
+class TestCatalog:
+    def test_create_and_resolve(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        assert catalog.has_table("t")
+        assert catalog.table("T").schema.name == "T"
+
+    def test_duplicate_table_raises_unless_if_not_exists(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        with pytest.raises(CatalogError):
+            catalog.create_table(schema())
+        catalog.create_table(schema(), if_not_exists=True)
+
+    def test_drop_missing_raises_unless_if_exists(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.drop_table("T")
+        assert catalog.drop_table("T", if_exists=True) is False
+
+    def test_views_shadowing_rules(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        view = TableSchema("V", [ColumnSchema("A", t.INTEGER)], is_view=True,
+                           view_sql="SELECT A FROM T")
+        catalog.create_view(view)
+        assert catalog.has_view("V")
+        with pytest.raises(CatalogError):
+            catalog.create_view(view)
+        catalog.create_view(view, replace=True)
+        # A view may not collide with a table name.
+        bad = TableSchema("T", [], is_view=True, view_sql="SELECT 1")
+        with pytest.raises(CatalogError):
+            catalog.create_view(bad)

@@ -1,0 +1,267 @@
+"""Unit tests for the Teradata binder: name resolution, type derivation, and
+the binding-stage rewrites of Table 2."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.core.catalog import SessionCatalog, ShadowCatalog
+from repro.core.tracker import FeatureTracker
+from repro.frontend.teradata.binder import Binder
+from repro.frontend.teradata.parser import TeradataParser
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+from repro.xtra.schema import ColumnSchema, TableSchema
+from repro.xtra.visitor import walk_all_scalars, walk_rel
+
+
+@pytest.fixture
+def catalog():
+    shadow = ShadowCatalog()
+    shadow.add_table(TableSchema("SALES", [
+        ColumnSchema("PRODUCT_NAME", t.varchar(40)),
+        ColumnSchema("STORE", t.INTEGER),
+        ColumnSchema("AMOUNT", t.decimal(12, 2)),
+        ColumnSchema("SALES_DATE", t.DATE),
+    ]))
+    shadow.add_table(TableSchema("STORES", [
+        ColumnSchema("STORE_ID", t.INTEGER),
+        ColumnSchema("CITY", t.varchar(30)),
+    ]))
+    shadow.add_table(TableSchema("CI", [
+        ColumnSchema("NAME", t.SQLType(t.TypeKind.VARCHAR, length=20,
+                                       case_specific=False)),
+        ColumnSchema("V", t.INTEGER),
+    ]))
+    return SessionCatalog(shadow)
+
+
+@pytest.fixture
+def tracked():
+    return FeatureTracker()
+
+
+def bind(sql, catalog, tracker=None):
+    if tracker is not None:
+        tracker.begin_query()
+    parser = TeradataParser(tracker)
+    binder = Binder(catalog, tracker)
+    return binder.bind(parser.parse_statement(sql))
+
+
+def plan_of(statement):
+    assert isinstance(statement, r.Query)
+    return statement.plan
+
+
+def node_types(plan):
+    return [type(node).__name__ for node in walk_rel(plan)]
+
+
+class TestResolution:
+    def test_column_types_resolved_from_catalog(self, catalog):
+        statement = bind("SEL AMOUNT FROM SALES", catalog)
+        project = plan_of(statement)
+        assert isinstance(project, r.Project)
+        assert project.exprs[0].type.kind is t.TypeKind.DECIMAL
+
+    def test_unknown_column_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind("SEL NOPE FROM SALES", catalog)
+
+    def test_unknown_table_rejected(self, catalog):
+        with pytest.raises(Exception):
+            bind("SEL A FROM MISSING", catalog)
+
+    def test_star_expansion(self, catalog):
+        statement = bind("SEL * FROM SALES", catalog)
+        assert [c.name for c in plan_of(statement).output_columns()] == [
+            "PRODUCT_NAME", "STORE", "AMOUNT", "SALES_DATE"]
+
+    def test_qualified_star(self, catalog):
+        statement = bind(
+            "SEL S.* FROM SALES S, STORES WHERE S.STORE = STORES.STORE_ID",
+            catalog)
+        assert len(plan_of(statement).output_columns()) == 4
+
+    def test_ambiguous_unqualified_rejected(self, catalog):
+        shadow = catalog.shared
+        shadow.add_table(TableSchema("SALES2", [
+            ColumnSchema("STORE", t.INTEGER)]))
+        with pytest.raises(BindError):
+            bind("SEL STORE FROM SALES, SALES2", catalog)
+
+
+class TestNamedExpressions:
+    """Table 2: chained projections are replaced by their definitions."""
+
+    def test_alias_reuse_in_select_list(self, catalog, tracked):
+        statement = bind(
+            "SEL AMOUNT AS BASE, BASE + 100 AS OFFSET_AMT FROM SALES",
+            catalog, tracked)
+        project = plan_of(statement)
+        offset_expr = project.exprs[1]
+        assert isinstance(offset_expr, s.Arith)
+        assert isinstance(offset_expr.left, s.ColumnRef)
+        assert offset_expr.left.name == "AMOUNT"
+        assert "named_expression" in tracked._current.features  # type: ignore
+
+    def test_alias_reuse_in_where(self, catalog, tracked):
+        statement = bind(
+            "SEL AMOUNT AS BASE FROM SALES WHERE BASE > 10", catalog, tracked)
+        refs = [n for n in walk_all_scalars(plan_of(statement))
+                if isinstance(n, s.ColumnRef)]
+        assert all(ref.name != "BASE" for ref in refs)
+
+
+class TestImplicitJoins:
+    """Table 2: tables referenced outside FROM join in implicitly."""
+
+    def test_qualified_reference_adds_table(self, catalog, tracked):
+        statement = bind(
+            "SEL PRODUCT_NAME, STORES.CITY FROM SALES "
+            "WHERE STORE = STORES.STORE_ID", catalog, tracked)
+        gets = [n for n in walk_rel(plan_of(statement)) if isinstance(n, r.Get)]
+        assert {g.table.name for g in gets} == {"SALES", "STORES"}
+        assert "implicit_join" in tracked._current.features  # type: ignore
+
+    def test_no_false_positive_for_aliases(self, catalog, tracked):
+        bind("SEL S.AMOUNT FROM SALES S", catalog, tracked)
+        assert "implicit_join" not in tracked._current.features  # type: ignore
+
+
+class TestOrdinals:
+    def test_group_by_ordinal_replaced(self, catalog, tracked):
+        statement = bind(
+            "SEL STORE, SUM(AMOUNT) FROM SALES GROUP BY 1", catalog, tracked)
+        agg = next(n for n in walk_rel(plan_of(statement))
+                   if isinstance(n, r.Aggregate))
+        assert isinstance(agg.group_by[0], s.ColumnRef)
+        assert agg.group_by[0].name == "STORE"
+        assert "ordinal_group_by" in tracked._current.features  # type: ignore
+
+    def test_order_by_ordinal_replaced(self, catalog, tracked):
+        statement = bind("SEL STORE, AMOUNT FROM SALES ORDER BY 2", catalog,
+                         tracked)
+        sort = next(n for n in walk_rel(plan_of(statement))
+                    if isinstance(n, r.Sort))
+        assert sort.keys[0].expr.name == "AMOUNT"
+
+    def test_out_of_range_ordinal_rejected(self, catalog):
+        with pytest.raises(BindError):
+            bind("SEL STORE FROM SALES GROUP BY 5", catalog)
+
+
+class TestQualify:
+    def test_qualify_builds_window_plus_filter(self, catalog, tracked):
+        statement = bind(
+            "SEL PRODUCT_NAME FROM SALES QUALIFY RANK(AMOUNT DESC) <= 10",
+            catalog, tracked)
+        names = node_types(plan_of(statement))
+        # Project over Filter over Window over Get.
+        assert names == ["Project", "Filter", "Window", "Get"]
+        assert "qualify" in tracked._current.features  # type: ignore
+
+    def test_legacy_rank_normalized_to_window_func(self, catalog):
+        statement = bind(
+            "SEL PRODUCT_NAME FROM SALES QUALIFY RANK(AMOUNT DESC) <= 10",
+            catalog)
+        window = next(n for n in walk_rel(plan_of(statement))
+                      if isinstance(n, r.Window))
+        func = window.funcs[0]
+        assert func.name == "RANK"
+        assert func.order_by[0].ascending is False
+
+    def test_qualify_with_aggregate_below(self, catalog):
+        statement = bind(
+            "SEL STORE, SUM(AMOUNT) AS TOTAL FROM SALES GROUP BY STORE "
+            "QUALIFY RANK(TOTAL DESC) <= 3", catalog)
+        names = node_types(plan_of(statement))
+        assert names == ["Project", "Filter", "Window", "Aggregate", "Get"]
+
+
+class TestTypeDerivation:
+    def test_date_arithmetic_type(self, catalog):
+        statement = bind(
+            "SEL SALES_DATE + 30 FROM SALES", catalog)
+        assert plan_of(statement).exprs[0].type.kind is t.TypeKind.DATE
+
+    def test_interval_folds_to_dateadd(self, catalog):
+        statement = bind(
+            "SEL SALES_DATE + INTERVAL '3' MONTH FROM SALES", catalog)
+        expr = plan_of(statement).exprs[0]
+        assert isinstance(expr, s.FuncCall)
+        assert expr.name == "DATEADD"
+        assert expr.args[0].value == "MONTH"
+
+    def test_aggregate_types(self, catalog):
+        statement = bind(
+            "SEL COUNT(*), AVG(AMOUNT), SUM(AMOUNT) FROM SALES", catalog)
+        types = [expr.type.kind for expr in plan_of(statement).exprs]
+        assert types == [t.TypeKind.BIGINT, t.TypeKind.FLOAT, t.TypeKind.DECIMAL]
+
+
+class TestCaseInsensitiveColumns:
+    def test_not_casespecific_comparison_wrapped_in_upper(self, catalog, tracked):
+        statement = bind("SEL V FROM CI WHERE NAME = 'x'", catalog, tracked)
+        filt = next(n for n in walk_rel(plan_of(statement))
+                    if isinstance(n, r.Filter))
+        comp = filt.predicate
+        assert isinstance(comp.left, s.FuncCall) and comp.left.name == "UPPER"
+        assert isinstance(comp.right, s.FuncCall) and comp.right.name == "UPPER"
+        assert "column_properties" in tracked._current.features  # type: ignore
+
+    def test_casespecific_comparison_untouched(self, catalog):
+        statement = bind("SEL STORE FROM SALES WHERE PRODUCT_NAME = 'x'",
+                         catalog)
+        filt = next(n for n in walk_rel(plan_of(statement))
+                    if isinstance(n, r.Filter))
+        assert isinstance(filt.predicate.left, s.ColumnRef)
+
+
+class TestSubqueries:
+    def test_correlated_subquery_binds_against_outer(self, catalog):
+        statement = bind("""
+            SEL PRODUCT_NAME FROM SALES S1 WHERE AMOUNT > (
+                SEL AVG(AMOUNT) FROM SALES S2 WHERE S2.STORE = S1.STORE)
+        """, catalog)
+        assert isinstance(statement, r.Query)
+
+    def test_vector_subquery_left_items_bound(self, catalog):
+        statement = bind("""
+            SEL * FROM SALES WHERE (AMOUNT, AMOUNT * 0.85) >
+            ANY (SEL AMOUNT, AMOUNT FROM SALES)
+        """, catalog)
+        subq = next(n for n in walk_all_scalars(plan_of(statement))
+                    if isinstance(n, s.SubqueryExpr))
+        assert subq.left[0].type.kind is t.TypeKind.DECIMAL
+
+
+class TestDDLBinding:
+    def test_create_table_carries_properties(self, catalog):
+        statement = bind("""
+            CREATE SET VOLATILE TABLE VT (
+                A INTEGER NOT NULL,
+                B VARCHAR(10) NOT CASESPECIFIC DEFAULT 'x')
+        """, catalog)
+        assert isinstance(statement, r.CreateTable)
+        assert statement.schema.set_semantics
+        assert statement.schema.volatile
+        column = statement.schema.column("B")
+        assert column.case_specific is False
+        assert column.default_sql.strip() == "'x'"
+
+    def test_create_view_records_source_sql(self, catalog):
+        statement = bind(
+            "CREATE VIEW V AS SEL STORE, AMOUNT FROM SALES WHERE AMOUNT > 5",
+            catalog)
+        assert isinstance(statement, r.CreateView)
+        assert "AMOUNT > 5" in statement.source_sql
+
+    def test_update_binds_assignments(self, catalog):
+        statement = bind("UPD SALES SET AMOUNT = AMOUNT * 2 WHERE STORE = 1",
+                         catalog)
+        assert isinstance(statement, r.Update)
+        ((name, expr),) = statement.assignments
+        assert name == "AMOUNT"
+        assert isinstance(expr, s.Arith)

@@ -1,0 +1,114 @@
+"""Unit tests for the shared SQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.teradata.lexer import make_lexer
+from repro.sqlkit import Lexer, LexerConfig, TokenKind
+
+BASIC = LexerConfig(keywords=frozenset({"SELECT", "FROM", "WHERE"}))
+
+
+def lex(text, config=BASIC):
+    return Lexer(config).tokenize(text)
+
+
+def kinds(tokens):
+    return [token.kind for token in tokens]
+
+
+class TestBasicTokens:
+    def test_keywords_are_upper_cased(self):
+        tokens = lex("select From WHERE")
+        assert [t.value for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:3])
+
+    def test_identifiers_upper_cased_but_raw_text_kept(self):
+        (token, __) = lex("MyTable")
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "MYTABLE"
+        assert token.text == "MyTable"
+
+    def test_eof_is_always_last(self):
+        tokens = lex("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_integer_and_float_literals(self):
+        tokens = lex("42 3.14 1e3 2.5E-2 .5")
+        values = [t.value for t in tokens[:-1]]
+        assert values == [42, 3.14, 1000.0, 0.025, 0.5]
+        assert tokens[0].kind is TokenKind.NUMBER
+
+    def test_string_literal_with_escaped_quote(self):
+        (token, __) = lex("'it''s'")
+        assert token.kind is TokenKind.STRING
+        assert token.value == "it's"
+
+    def test_quoted_identifier_preserves_case(self):
+        (token, __) = lex('"MixedCase"')
+        assert token.kind is TokenKind.QUOTED_IDENT
+        assert token.value == "MixedCase"
+
+    def test_parameter_markers(self):
+        tokens = lex("? :name")
+        assert tokens[0].kind is TokenKind.PARAM
+        assert tokens[1].kind is TokenKind.PARAM
+        assert tokens[1].value == "NAME"
+
+
+class TestOperators:
+    def test_multi_char_operators_win_over_prefixes(self):
+        tokens = lex("a <= b <> c || d")
+        ops = [t.value for t in tokens if t.kind is TokenKind.OPERATOR]
+        assert ops == ["<=", "<>", "||"]
+
+    def test_inequality_spellings_normalize(self):
+        tokens = lex("a != b")
+        ops = [t for t in tokens if t.kind is TokenKind.OPERATOR]
+        assert ops[0].value == "<>"
+        assert ops[0].text == "!="
+
+    def test_teradata_caret_inequality(self):
+        tokens = make_lexer().tokenize("a ^= b")
+        ops = [t for t in tokens if t.kind is TokenKind.OPERATOR]
+        assert ops[0].value == "<>"
+
+    def test_teradata_exponent_operator(self):
+        tokens = make_lexer().tokenize("2 ** 3")
+        ops = [t for t in tokens if t.kind is TokenKind.OPERATOR]
+        assert ops[0].value == "**"
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comments_skipped(self):
+        tokens = lex("a -- comment here\n b")
+        assert [t.value for t in tokens[:2]] == ["A", "B"]
+
+    def test_block_comments_skipped(self):
+        tokens = lex("a /* multi\nline */ b")
+        assert [t.value for t in tokens[:2]] == ["A", "B"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            lex("a /* never closed")
+
+    def test_line_and_column_tracking(self):
+        tokens = lex("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string_raises_with_position(self):
+        with pytest.raises(LexError) as info:
+            lex("  'oops")
+        assert info.value.column == 3
+
+    def test_unterminated_quoted_identifier_raises(self):
+        with pytest.raises(LexError):
+            lex('"oops')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            lex("a @ b")

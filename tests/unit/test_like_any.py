@@ -1,0 +1,57 @@
+"""Unit tests for the Teradata LIKE ANY / LIKE ALL extension."""
+
+import pytest
+
+from repro.core.engine import HyperQ
+
+
+@pytest.fixture
+def session():
+    engine = HyperQ()
+    session = engine.create_session()
+    session.execute("CREATE TABLE WORDS (W VARCHAR(20))")
+    session.execute("INSERT INTO WORDS VALUES ('apple'), ('apricot'), "
+                    "('banana'), ('plum'), (NULL)")
+    return session
+
+
+class TestLikeAny:
+    def test_any_is_disjunction(self, session):
+        result = session.execute(
+            "SEL W FROM WORDS WHERE W LIKE ANY ('ap%', 'pl%') ORDER BY 1")
+        assert [row[0] for row in result.rows] == ["apple", "apricot", "plum"]
+
+    def test_some_is_synonym_for_any(self, session):
+        result = session.execute(
+            "SEL COUNT(*) FROM WORDS WHERE W LIKE SOME ('b%')")
+        assert result.rows == [(1,)]
+
+    def test_all_is_conjunction(self, session):
+        result = session.execute(
+            "SEL W FROM WORDS WHERE W LIKE ALL ('a%', '%t')")
+        assert result.rows == [("apricot",)]
+
+    def test_not_like_any(self, session):
+        result = session.execute(
+            "SEL W FROM WORDS WHERE W NOT LIKE ANY ('ap%', 'pl%') ORDER BY 1")
+        assert [row[0] for row in result.rows] == ["banana"]
+
+    def test_null_rows_never_match(self, session):
+        result = session.execute(
+            "SEL COUNT(*) FROM WORDS WHERE W LIKE ANY ('%')")
+        assert result.rows == [(4,)]
+
+    def test_single_pattern_degenerates_to_plain_like(self, session):
+        translation = session.translate(
+            "SEL W FROM WORDS WHERE W LIKE ANY ('a%')")
+        (sql,) = translation.statements
+        assert "LIKE 'a%'" in sql
+        assert " OR " not in sql
+
+    def test_translated_sql_is_plain_ansi(self, session):
+        translation = session.translate(
+            "SEL W FROM WORDS WHERE W LIKE ANY ('a%', 'b%')")
+        (sql,) = translation.statements
+        assert "ANY" not in sql
+        assert sql.count("LIKE") == 2
+        assert " OR " in sql

@@ -1,0 +1,95 @@
+"""Unit tests for the result pipeline: store spill, converter, parallelism."""
+
+import datetime
+
+from repro import tdf
+from repro.results.converter import ResultConverter
+from repro.results.store import ResultStore
+from repro.xtra import types as t
+
+
+class TestResultStore:
+    def test_in_memory_until_cap(self):
+        store = ResultStore(max_memory_bytes=1024)
+        store.append(b"x" * 100)
+        assert not store.spilled
+        assert store.memory_bytes == 100
+
+    def test_spills_past_cap_and_replays_in_order(self, tmp_path):
+        store = ResultStore(max_memory_bytes=150, spill_dir=str(tmp_path))
+        chunks = [bytes([i]) * 100 for i in range(5)]
+        for chunk in chunks:
+            store.append(chunk)
+        assert store.spilled
+        assert list(store) == chunks
+        assert store.chunk_count == 5
+        store.close()
+
+    def test_iteration_is_repeatable(self, tmp_path):
+        store = ResultStore(max_memory_bytes=10, spill_dir=str(tmp_path))
+        store.append(b"abc")
+        store.append(b"defg")
+        assert list(store) == [b"abc", b"defg"]
+        assert list(store) == [b"abc", b"defg"]
+        store.close()
+
+    def test_close_removes_spill_file(self, tmp_path):
+        store = ResultStore(max_memory_bytes=1, spill_dir=str(tmp_path))
+        store.append(b"spilled")
+        assert any(tmp_path.iterdir())
+        store.close()
+        assert not any(tmp_path.iterdir())
+
+    def test_context_manager(self, tmp_path):
+        with ResultStore(max_memory_bytes=1, spill_dir=str(tmp_path)) as store:
+            store.append(b"zz")
+        assert not any(tmp_path.iterdir())
+
+
+class TestResultConverter:
+    def batches(self, rows, batch_rows=2):
+        return list(tdf.batches_of(["N", "S", "D"], rows, batch_rows))
+
+    def rows(self, count):
+        return [(i, f"s{i}", datetime.date(2014, 1, 1 + i % 28))
+                for i in range(count)]
+
+    def test_roundtrip_through_source_format(self):
+        rows = self.rows(5)
+        converter = ResultConverter()
+        result = converter.convert(self.batches(rows),
+                                   [t.INTEGER, t.varchar(10), t.DATE])
+        assert result.rowcount == 5
+        assert result.rows() == rows
+        result.close()
+
+    def test_parallel_conversion_matches_serial(self):
+        rows = self.rows(50)
+        serial = ResultConverter(parallelism=1).convert(
+            self.batches(rows, 5), [t.INTEGER, t.varchar(10), t.DATE])
+        parallel = ResultConverter(parallelism=4).convert(
+            self.batches(rows, 5), [t.INTEGER, t.varchar(10), t.DATE])
+        assert serial.rows() == parallel.rows()
+        serial.close()
+        parallel.close()
+
+    def test_streaming_mode_keeps_chunks(self):
+        converter = ResultConverter(buffer_all=False)
+        result = converter.convert(self.batches(self.rows(6), 2),
+                                   [t.INTEGER, t.varchar(10), t.DATE])
+        assert result.store is None
+        assert len(result.chunks) == 3
+
+    def test_spill_path_exercised(self, tmp_path):
+        converter = ResultConverter(max_memory_bytes=64, spill_dir=str(tmp_path))
+        rows = self.rows(100)
+        result = converter.convert(self.batches(rows, 10),
+                                   [t.INTEGER, t.varchar(10), t.DATE])
+        assert result.store is not None and result.store.spilled
+        assert result.rows() == rows
+        result.close()
+
+    def test_empty_input(self):
+        result = ResultConverter().convert([])
+        assert result.rowcount == 0
+        assert result.rows() == []

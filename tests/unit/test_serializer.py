@@ -1,0 +1,222 @@
+"""Unit tests for the serializers: ANSI base and per-target dialects."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SerializeError
+from repro.core.catalog import SessionCatalog, ShadowCatalog
+from repro.core.tracker import FeatureTracker
+from repro.frontend.teradata.binder import Binder
+from repro.frontend.teradata.parser import TeradataParser
+from repro.serializer import serializer_for
+from repro.serializer.base import Serializer
+from repro.transform.capabilities import (
+    AZURESYNTH, HYPERION, MEADOWSHIFT, SKYQUERY, SNOWFIELD,
+)
+from repro.transform.engine import Transformer
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+from repro.xtra.schema import ColumnSchema, TableSchema
+
+
+@pytest.fixture
+def catalog():
+    shadow = ShadowCatalog()
+    shadow.add_table(TableSchema("T", [
+        ColumnSchema("A", t.INTEGER),
+        ColumnSchema("B", t.varchar(20)),
+        ColumnSchema("D", t.DATE),
+    ]))
+    return SessionCatalog(shadow)
+
+
+def to_sql(sql, catalog, profile=HYPERION, tracker=None):
+    statement = Binder(catalog, tracker).bind(
+        TeradataParser(tracker).parse_statement(sql))
+    Transformer(profile, tracker).transform(statement)
+    return serializer_for(profile, tracker).serialize(statement)
+
+
+class TestExpressions:
+    def test_literals(self):
+        serializer = Serializer(HYPERION)
+        assert serializer.literal(None, t.UNKNOWN) == "NULL"
+        assert serializer.literal(True, t.BOOLEAN) == "TRUE"
+        assert serializer.literal("o'brien", t.varchar()) == "'o''brien'"
+        assert serializer.literal(datetime.date(2014, 1, 1), t.DATE) \
+            == "DATE '2014-01-01'"
+
+    def test_simple_select(self, catalog):
+        sql = to_sql("SEL A FROM T WHERE A > 1", catalog)
+        assert sql == "SELECT T.A AS A FROM T WHERE T.A > 1"
+
+    def test_function_name_translation(self, catalog, tracker):
+        tracker.begin_query()
+        sql = to_sql("SEL ZEROIFNULL(A), CHARS(B), INDEX(B, 'x') FROM T",
+                     catalog, HYPERION, tracker)
+        assert "COALESCE(T.A, 0)" in sql
+        assert "LENGTH(T.B)" in sql
+        assert "POSITION('x' IN T.B)" in sql
+        features = tracker._current.features  # type: ignore
+        assert {"zeroifnull", "chars_function", "index_function"} <= features
+
+    def test_nullifzero(self, catalog):
+        sql = to_sql("SEL NULLIFZERO(A) FROM T", catalog)
+        assert "NULLIF(T.A, 0)" in sql
+
+    def test_case_between_like(self, catalog):
+        sql = to_sql(
+            "SEL CASE WHEN A BETWEEN 1 AND 5 THEN 'low' ELSE 'high' END "
+            "FROM T WHERE B LIKE 'x%'", catalog)
+        assert "CASE WHEN T.A BETWEEN 1 AND 5" in sql
+        assert "T.B LIKE 'x%'" in sql
+
+    def test_exponent_becomes_power(self, catalog):
+        sql = to_sql("SEL A ** 2 FROM T", catalog)
+        assert "POWER(T.A, 2)" in sql
+
+
+class TestQueryShapes:
+    def test_group_by_inlines_group_exprs(self, catalog):
+        sql = to_sql("SEL A, COUNT(*) FROM T GROUP BY A", catalog)
+        assert "GROUP BY T.A" in sql
+        assert "COUNT(*)" in sql
+
+    def test_having(self, catalog):
+        sql = to_sql("SEL A, COUNT(*) FROM T GROUP BY A HAVING COUNT(*) > 2",
+                     catalog)
+        assert "HAVING COUNT(*) > 2" in sql
+
+    def test_qualify_renders_two_blocks(self, catalog):
+        sql = to_sql("SEL A FROM T QUALIFY RANK(A DESC) <= 3", catalog)
+        assert sql.count("SELECT") == 2
+        assert "RANK() OVER (ORDER BY" in sql
+        assert "WHERE" in sql.split(") AS ")[-1]  # outer filter on _W0
+
+    def test_window_without_qualify_inlines(self, catalog):
+        sql = to_sql("SEL A, RANK() OVER (ORDER BY A) FROM T", catalog)
+        assert sql.count("SELECT") == 1
+
+    def test_order_by_alias_used(self, catalog):
+        sql = to_sql("SEL A AS X FROM T ORDER BY X", catalog)
+        assert "ORDER BY X ASC" in sql
+
+    def test_hidden_sort_key_inlined(self, catalog):
+        sql = to_sql("SEL A FROM T ORDER BY B", catalog)
+        assert "SELECT T.A AS A FROM T ORDER BY T.B ASC" in sql
+        assert "_S0" not in sql
+
+    def test_top_renders_limit_on_limit_targets(self, catalog):
+        sql = to_sql("SEL TOP 5 A FROM T ORDER BY A", catalog)
+        assert sql.endswith("LIMIT 5")
+
+    def test_top_renders_top_on_tsql_targets(self, catalog):
+        sql = to_sql("SEL TOP 5 A FROM T ORDER BY A", catalog, AZURESYNTH)
+        assert sql.startswith("SELECT TOP 5 ")
+
+    def test_union_all(self, catalog):
+        sql = to_sql("SEL A FROM T UNION ALL SEL A FROM T", catalog)
+        assert "UNION ALL" in sql
+
+    def test_subquery_in_from(self, catalog):
+        sql = to_sql("SEL X.A FROM (SEL A FROM T) AS X", catalog)
+        assert "FROM (SELECT T.A AS A FROM T) AS X" in sql
+
+    def test_correlated_exists(self, catalog):
+        sql = to_sql(
+            "SEL A FROM T WHERE EXISTS (SEL 1 FROM T T2 WHERE T2.A = T.A)",
+            catalog)
+        assert "EXISTS (SELECT" in sql
+        assert "T2.A = T.A" in sql
+
+
+class TestNullOrdering:
+    def test_explicit_nulls_emitted(self, catalog):
+        sql = to_sql("SEL A FROM T ORDER BY A", catalog)
+        assert "ORDER BY A ASC NULLS FIRST" in sql
+
+    def test_azuresynth_needs_no_pinning_for_implicit_keys(self, catalog):
+        # T-SQL's implicit NULL placement already matches Teradata's.
+        sql = to_sql("SEL A FROM T ORDER BY A", catalog, AZURESYNTH)
+        assert "NULLS" not in sql
+        assert "CASE WHEN" not in sql
+
+    def test_case_emulation_for_explicit_placement_without_syntax(self, catalog):
+        # An explicit NULLS LAST on a target without the syntax is emulated
+        # with a CASE prefix key.
+        sql = to_sql("SEL A FROM T ORDER BY A NULLS LAST", catalog, AZURESYNTH)
+        assert "NULLS LAST" not in sql
+        assert "CASE WHEN" in sql
+
+
+class TestStatements:
+    def test_insert_values(self, catalog):
+        sql = to_sql("INS T (1, 'x', DATE '2014-01-01')", catalog)
+        assert sql == ("INSERT INTO T VALUES (1, 'x', DATE '2014-01-01')")
+
+    def test_update(self, catalog):
+        sql = to_sql("UPD T SET A = A + 1 WHERE B = 'x'", catalog)
+        assert sql.startswith("UPDATE T SET A = (T.A + 1) WHERE")
+
+    def test_delete(self, catalog):
+        assert to_sql("DEL FROM T WHERE A = 1", catalog) == \
+            "DELETE FROM T WHERE T.A = 1"
+
+    def test_create_table_strips_teradata_props(self, catalog):
+        sql = to_sql("CREATE SET TABLE S1 (X INTEGER NOT NULL, "
+                     "Y VARCHAR(5) NOT CASESPECIFIC) PRIMARY INDEX (X)",
+                     catalog)
+        assert "SET TABLE" not in sql
+        assert "CASESPECIFIC" not in sql
+        assert "PRIMARY INDEX" not in sql
+        assert "X INTEGER NOT NULL" in sql
+
+    def test_volatile_becomes_temporary(self, catalog):
+        sql = to_sql("CREATE VOLATILE TABLE V1 (X INTEGER)", catalog)
+        assert sql.startswith("CREATE TEMPORARY TABLE V1")
+
+    def test_nonconstant_default_stripped_from_target_ddl(self, catalog):
+        sql = to_sql("CREATE TABLE S2 (X DATE DEFAULT CURRENT_DATE)", catalog)
+        assert "DEFAULT" not in sql
+
+    def test_create_view(self, catalog):
+        sql = to_sql("CREATE VIEW V2 AS SEL A FROM T", catalog)
+        assert sql.startswith("CREATE VIEW V2")
+
+    def test_emulated_statement_has_no_serialization(self, catalog):
+        statement = Binder(catalog).bind(
+            TeradataParser().parse_statement("HELP SESSION"))
+        with pytest.raises(SerializeError):
+            Serializer(HYPERION).serialize(statement)
+
+
+class TestDialects:
+    def test_bigquery_type_names(self):
+        serializer = serializer_for(SKYQUERY)
+        assert serializer.type_sql(t.BIGINT) == "INT64"
+        assert serializer.type_sql(t.varchar(10)) == "STRING"
+        assert serializer.type_sql(t.decimal(10, 2)) == "NUMERIC"
+
+    def test_tsql_len_function(self, catalog):
+        sql = to_sql("SEL CHARS(B) FROM T", catalog, AZURESYNTH)
+        assert "LEN(" in sql
+
+    def test_snowflake_number_type(self):
+        serializer = serializer_for(SNOWFIELD)
+        assert serializer.type_sql(t.decimal(12, 2)) == "NUMBER(12,2)"
+
+    def test_postgres_double_precision(self):
+        serializer = serializer_for(MEADOWSHIFT)
+        assert serializer.type_sql(t.FLOAT) == "DOUBLE PRECISION"
+
+    def test_identifier_quoting_per_dialect(self):
+        assert serializer_for(SKYQUERY).ident("weird name") == "`weird name`"
+        assert serializer_for(AZURESYNTH).ident("weird name") == "[weird name]"
+        assert Serializer(HYPERION).ident("weird name") == '"weird name"'
+        assert Serializer(HYPERION).ident("PLAIN") == "PLAIN"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SerializeError):
+            serializer_for("no_such_target")

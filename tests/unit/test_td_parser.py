@@ -1,0 +1,293 @@
+"""Unit tests for the Teradata dialect parser."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ParseError
+from repro.core.tracker import FeatureTracker
+from repro.frontend.teradata import ast as a
+from repro.frontend.teradata.parser import TeradataParser
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+
+
+@pytest.fixture
+def parser():
+    return TeradataParser()
+
+
+def parse(sql, tracker=None):
+    return TeradataParser(tracker).parse_statement(sql)
+
+
+class TestKeywordShortcuts:
+    def test_sel_is_select(self, tracker):
+        statement = parse("SEL A FROM T", tracker)
+        tracker.begin_query()
+        parse("SEL A FROM T", tracker)
+        assert isinstance(statement, a.TdQuery)
+        assert "sel_shortcut" in tracker._current.features  # type: ignore
+
+    def test_ins_upd_del_shortcuts(self):
+        assert isinstance(parse("INS T (1, 2)"), a.TdInsert)
+        assert isinstance(parse("UPD T SET A = 1"), a.TdUpdate)
+        assert isinstance(parse("DEL FROM T WHERE A = 1"), a.TdDelete)
+
+    def test_delete_all_shorthand(self):
+        statement = parse("DEL T ALL")
+        assert isinstance(statement, a.TdDelete)
+        assert statement.where is None
+
+
+class TestClauseOrder:
+    """Example 1 places ORDER BY before WHERE; Teradata tolerates it."""
+
+    def test_order_by_before_where(self):
+        statement = parse("""
+            SEL PRODUCT_NAME FROM PRODUCT
+            ORDER BY STORE, PRODUCT_NAME
+            WHERE CHARS(PRODUCT_NAME) > 4
+        """)
+        core = statement.select.first
+        assert core.where is not None
+        assert len(core.order_by) == 2
+
+    def test_qualify_after_order(self):
+        statement = parse(
+            "SEL A FROM T ORDER BY A QUALIFY RANK(A DESC) <= 10")
+        assert statement.select.first.qualify is not None
+
+    def test_duplicate_clause_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SEL A FROM T WHERE A = 1 WHERE A = 2")
+
+
+class TestExpressions:
+    def expr_of(self, sql):
+        statement = parse(f"SEL {sql} FROM T")
+        return statement.select.first.items[0].expr
+
+    def test_legacy_rank_call(self):
+        expr = self.expr_of("RANK(AMOUNT DESC)")
+        assert isinstance(expr, a.TdRank)
+        assert expr.keys[0].ascending is False
+
+    def test_ansi_rank_over(self):
+        expr = self.expr_of("RANK() OVER (PARTITION BY S ORDER BY A DESC)")
+        assert isinstance(expr, s.WindowFunc)
+        assert len(expr.partition_by) == 1
+
+    def test_mod_keyword(self, tracker):
+        tracker.begin_query()
+        statement = TeradataParser(tracker).parse_statement("SEL A MOD 7 FROM T")
+        expr = statement.select.first.items[0].expr
+        assert isinstance(expr, s.Arith)
+        assert expr.op is s.ArithOp.MOD
+        assert "mod_operator" in tracker._current.features  # type: ignore
+
+    def test_exponent_operator_right_associative(self):
+        expr = self.expr_of("2 ** 3 ** 2")
+        assert isinstance(expr, s.Arith)
+        assert expr.op is s.ArithOp.POW
+        assert isinstance(expr.right, s.Arith)  # 3 ** 2 grouped right
+
+    def test_keyword_comparators(self):
+        statement = parse("SEL A FROM T WHERE A NE 3 AND A GE 1")
+        where = statement.select.first.where
+        assert isinstance(where, s.BoolOp)
+        assert where.args[0].op is s.CompOp.NE
+
+    def test_date_literal(self):
+        expr = self.expr_of("DATE '2014-01-01'")
+        assert isinstance(expr, s.Const)
+        assert expr.value == datetime.date(2014, 1, 1)
+
+    def test_interval_literal_normalized(self):
+        expr = self.expr_of("DATE '2014-01-01' + INTERVAL '3' MONTH")
+        assert isinstance(expr, s.Arith)
+        assert isinstance(expr.right, s.FuncCall)
+        assert expr.right.name == "_INTERVAL"
+
+    def test_vector_comparison_parses_to_quantified_subquery(self):
+        statement = parse(
+            "SEL * FROM SALES WHERE (AMOUNT, AMOUNT * 0.85) > "
+            "ANY (SEL GROSS, NET FROM SALES_HISTORY)")
+        where = statement.select.first.where
+        assert isinstance(where, s.SubqueryExpr)
+        assert where.kind is s.SubqueryKind.QUANTIFIED
+        assert len(where.left) == 2
+
+    def test_trim_variants(self):
+        assert self.expr_of("TRIM(X)").name == "TRIM"
+        assert self.expr_of("TRIM(TRAILING FROM X)").name == "RTRIM"
+        assert self.expr_of("TRIM(LEADING FROM X)").name == "LTRIM"
+
+    def test_not_in_list(self):
+        statement = parse("SEL A FROM T WHERE A NOT IN (1, 2)")
+        where = statement.select.first.where
+        assert isinstance(where, s.InList)
+        assert where.negated
+
+
+class TestTopAndSetOps:
+    def test_top_with_ties(self):
+        statement = parse("SEL TOP 10 WITH TIES A FROM T ORDER BY A")
+        assert statement.select.first.top == (10, True)
+
+    def test_minus_is_except(self):
+        statement = parse("SEL A FROM T MINUS SEL A FROM U")
+        ((kind, all_rows, __),) = statement.select.branches
+        assert kind is r.SetOpKind.EXCEPT
+        assert not all_rows
+
+    def test_union_all_chain(self):
+        statement = parse("SEL A FROM T UNION ALL SEL A FROM U UNION SEL A FROM V")
+        kinds = [(k, al) for k, al, __ in statement.select.branches]
+        assert kinds == [(r.SetOpKind.UNION, True), (r.SetOpKind.UNION, False)]
+
+
+class TestCreateTable:
+    def test_set_and_multiset(self):
+        assert parse("CREATE SET TABLE T (A INTEGER)").set_semantics
+        assert not parse("CREATE MULTISET TABLE T (A INTEGER)").set_semantics
+
+    def test_volatile_with_on_commit(self):
+        statement = parse("CREATE VOLATILE TABLE V (X INTEGER) "
+                          "ON COMMIT PRESERVE ROWS")
+        assert statement.volatile
+        assert statement.on_commit_preserve
+
+    def test_global_temporary(self):
+        statement = parse("CREATE GLOBAL TEMPORARY TABLE G (X INTEGER)")
+        assert statement.global_temporary
+
+    def test_column_properties(self):
+        statement = parse("""
+            CREATE TABLE T (
+                A INTEGER NOT NULL,
+                B VARCHAR(10) NOT CASESPECIFIC,
+                C DATE DEFAULT CURRENT_DATE,
+                D DECIMAL(12,2) DEFAULT 0.0,
+                E CHAR(3) CHARACTER SET LATIN
+            ) PRIMARY INDEX (A)
+        """)
+        by_name = {col.name: col for col in statement.columns}
+        assert by_name["A"].not_null
+        assert by_name["B"].case_specific is False
+        assert by_name["C"].default_sql.strip().upper() == "CURRENT_DATE"
+        assert by_name["D"].default_sql.strip() == "0.0"
+        assert statement.primary_index == ("A",)
+
+    def test_period_type(self):
+        statement = parse("CREATE TABLE T (P PERIOD(DATE))")
+        assert statement.columns[0].type.kind is t.TypeKind.PERIOD
+
+    def test_create_table_as_select(self):
+        statement = parse("CREATE TABLE T AS (SEL A FROM U) WITH DATA")
+        assert statement.as_select is not None
+
+
+class TestMacrosAndProcedures:
+    def test_create_macro_captures_body(self):
+        statement = parse(
+            "CREATE MACRO M (P1 INTEGER) AS (SEL A FROM T WHERE B = :P1;)")
+        assert isinstance(statement, a.TdCreateMacro)
+        assert ":P1" in statement.body_sql
+        assert statement.parameters == [("P1", t.INTEGER)]
+
+    def test_macro_body_with_nested_parens(self):
+        statement = parse(
+            "CREATE MACRO M AS (SEL COUNT(*) FROM (SEL A FROM T) X;)")
+        assert "COUNT ( * )" in statement.body_sql
+
+    def test_exec_with_positional_and_named(self):
+        statement = parse("EXEC M (1, P2 = 'x')")
+        assert len(statement.arguments) == 1
+        assert "P2" in statement.named_arguments
+
+    def test_create_procedure_control_flow(self):
+        statement = parse("""
+            CREATE PROCEDURE P (IN X INTEGER, OUT Y INTEGER)
+            BEGIN
+                DECLARE V INTEGER DEFAULT 0;
+                SET V = X + 1;
+                IF V > 10 THEN
+                    SET Y = V;
+                ELSE
+                    SET Y = 0;
+                END IF;
+                WHILE V < 3 DO
+                    SET V = V + 1;
+                END WHILE;
+            END
+        """)
+        assert isinstance(statement, a.TdCreateProcedure)
+        kinds = [type(item).__name__ for item in statement.body]
+        assert kinds == ["TdDeclare", "TdSetVariable", "TdIf", "TdWhile"]
+
+    def test_select_into(self):
+        statement = parse("""
+            CREATE PROCEDURE P (IN X INTEGER)
+            BEGIN
+                DECLARE V INTEGER;
+                SELECT A INTO :V FROM T WHERE B = :X;
+            END
+        """)
+        select_into = statement.body[1]
+        assert isinstance(select_into, a.TdSelectInto)
+        assert select_into.targets == ["V"]
+
+
+class TestMiscStatements:
+    def test_merge(self):
+        statement = parse("""
+            MERGE INTO T USING S ON T.ID = S.ID
+            WHEN MATCHED THEN UPD SET V = S.V
+            WHEN NOT MATCHED THEN INS (ID, V) VALUES (S.ID, S.V)
+        """)
+        assert isinstance(statement, a.TdMerge)
+        assert statement.matched_assignments
+        assert statement.insert_columns == ["ID", "V"]
+
+    def test_help_variants(self):
+        assert parse("HELP SESSION").kind == "SESSION"
+        assert parse("HELP TABLE T1").subject == "T1"
+        statement = parse("HELP COLUMN T1.C1")
+        assert statement.subject == "T1.C1"
+
+    def test_show_table(self):
+        statement = parse("SHOW TABLE T1")
+        assert isinstance(statement, a.TdShow)
+
+    def test_transactions(self):
+        assert parse("BT").action == "BEGIN"
+        assert parse("ET").action == "COMMIT"
+        assert parse("COMMIT WORK").action == "COMMIT"
+        assert parse("ROLLBACK").action == "ROLLBACK"
+
+    def test_collect_statistics_accepted(self):
+        statement = parse("COLLECT STATISTICS ON T COLUMN (A)")
+        assert isinstance(statement, a.TdCollectStatistics)
+
+    def test_with_recursive(self):
+        statement = parse("""
+            WITH RECURSIVE REPORTS (EMPNO, MGRNO) AS (
+                SELECT EMPNO, MGRNO FROM EMP WHERE MGRNO = 10
+                UNION ALL
+                SELECT EMP.EMPNO, EMP.MGRNO FROM EMP, REPORTS
+                WHERE REPORTS.EMPNO = EMP.MGRNO)
+            SELECT EMPNO FROM REPORTS ORDER BY EMPNO
+        """)
+        cte = statement.select.ctes[0]
+        assert cte.recursive
+        assert cte.column_names == ["EMPNO", "MGRNO"]
+
+    def test_script_parsing(self, parser):
+        statements = parser.parse_script("SEL A FROM T; DEL FROM U; HELP SESSION;")
+        assert len(statements) == 3
+
+    def test_garbage_rejected_with_position(self, parser):
+        with pytest.raises(ParseError):
+            parser.parse_statement("FROM SELECT")

@@ -1,0 +1,64 @@
+"""Unit tests for the XTRA type system and Teradata DATE encoding."""
+
+import datetime
+
+import pytest
+
+from repro.xtra import types as t
+
+
+class TestTypeClassification:
+    def test_numeric_kinds(self):
+        assert t.INTEGER.is_numeric
+        assert t.decimal(10, 2).is_numeric
+        assert not t.varchar(10).is_numeric
+        assert not t.DATE.is_numeric
+
+    def test_text_kinds(self):
+        assert t.varchar(5).is_text
+        assert t.char(3).is_text
+        assert not t.INTEGER.is_text
+
+    def test_temporal_kinds(self):
+        assert t.DATE.is_temporal
+        assert t.TIMESTAMP.is_temporal
+        assert not t.INTEGER.is_temporal
+
+    def test_str_rendering(self):
+        assert str(t.decimal(12, 2)) == "DECIMAL(12,2)"
+        assert str(t.varchar(40)) == "VARCHAR(40)"
+        assert str(t.char(3)) == "CHAR(3)"
+        assert str(t.INTEGER) == "INTEGER"
+
+
+class TestNumericWidening:
+    def test_widening_picks_higher_rank(self):
+        assert t.common_numeric(t.SMALLINT, t.BIGINT).kind is t.TypeKind.BIGINT
+        assert t.common_numeric(t.INTEGER, t.FLOAT).kind is t.TypeKind.FLOAT
+        assert t.common_numeric(t.decimal(10, 2), t.INTEGER).kind is t.TypeKind.DECIMAL
+
+    def test_widening_of_non_numeric_is_unknown(self):
+        assert t.common_numeric(t.varchar(5), t.INTEGER).kind is t.TypeKind.UNKNOWN
+
+
+class TestTeradataDateEncoding:
+    """Section 5.2: dates are stored as (year-1900)*10000 + month*100 + day."""
+
+    def test_paper_example_value(self):
+        assert t.date_to_teradata_int(datetime.date(2014, 1, 1)) == 1140101
+
+    def test_roundtrip(self):
+        for date in (datetime.date(1900, 1, 1), datetime.date(1999, 12, 31),
+                     datetime.date(2024, 2, 29)):
+            assert t.teradata_int_to_date(t.date_to_teradata_int(date)) == date
+
+    def test_pre_1900_dates_encode_negative(self):
+        assert t.date_to_teradata_int(datetime.date(1899, 12, 31)) < 0
+
+    def test_validity_check(self):
+        assert t.is_valid_teradata_date_int(1140101)
+        assert not t.is_valid_teradata_date_int(1141399)  # month 13
+
+    def test_invalid_integer_raises_on_decode(self):
+        with pytest.raises(ValueError):
+            t.teradata_int_to_date(1140199)  # Jan 99th

@@ -1,0 +1,69 @@
+"""Unit tests for the extended window-function set: LAG/LEAD/FIRST_VALUE/
+LAST_VALUE, partitioned and with offsets/defaults."""
+
+import pytest
+
+from repro.core.engine import HyperQ
+from repro.errors import HyperQError
+
+
+@pytest.fixture
+def session():
+    engine = HyperQ()
+    session = engine.create_session()
+    session.execute("CREATE TABLE SERIES (GRP VARCHAR(1), T INTEGER, V INTEGER)")
+    session.execute("INSERT INTO SERIES VALUES "
+                    "('a', 1, 10), ('a', 2, 15), ('a', 3, 12), "
+                    "('b', 1, 100), ('b', 2, NULL)")
+    return session
+
+
+class TestLagLead:
+    def test_lag_default_offset(self, session):
+        result = session.execute(
+            "SEL T, LAG(V) OVER (ORDER BY T) FROM SERIES "
+            "WHERE GRP = 'a' ORDER BY T")
+        assert [row[1] for row in result.rows] == [None, 10, 15]
+
+    def test_lead_with_offset_and_default(self, session):
+        result = session.execute(
+            "SEL T, LEAD(V, 2, -1) OVER (ORDER BY T) FROM SERIES "
+            "WHERE GRP = 'a' ORDER BY T")
+        assert [row[1] for row in result.rows] == [12, -1, -1]
+
+    def test_lag_respects_partitions(self, session):
+        result = session.execute(
+            "SEL GRP, T, LAG(V) OVER (PARTITION BY GRP ORDER BY T) AS P "
+            "FROM SERIES ORDER BY GRP, T")
+        by_key = {(row[0], row[1]): row[2] for row in result.rows}
+        assert by_key[("b", 1)] is None  # no bleed from partition 'a'
+        assert by_key[("b", 2)] == 100
+
+    def test_lag_carries_nulls(self, session):
+        result = session.execute(
+            "SEL T, LAG(V) OVER (ORDER BY T) AS P FROM SERIES "
+            "WHERE GRP = 'b' ORDER BY T")
+        assert [row[1] for row in result.rows] == [None, 100]
+
+    def test_non_constant_offset_rejected(self, session):
+        with pytest.raises(HyperQError):
+            session.execute(
+                "SEL LAG(V, T) OVER (ORDER BY T) FROM SERIES")
+
+
+class TestFirstLastValue:
+    def test_first_value(self, session):
+        result = session.execute(
+            "SEL T, FIRST_VALUE(V) OVER (PARTITION BY GRP ORDER BY T) AS F "
+            "FROM SERIES WHERE GRP = 'a' ORDER BY T")
+        assert all(row[1] == 10 for row in result.rows)
+
+    def test_last_value_over_whole_partition(self, session):
+        result = session.execute(
+            "SEL T, LAST_VALUE(V) OVER (PARTITION BY GRP ORDER BY T) AS L "
+            "FROM SERIES WHERE GRP = 'a' ORDER BY T")
+        assert all(row[1] == 12 for row in result.rows)
+
+    def test_requires_over_clause(self, session):
+        with pytest.raises(HyperQError):
+            session.execute("SEL FIRST_VALUE(V) FROM SERIES")

@@ -1,0 +1,138 @@
+"""Unit tests for XTRA node mechanics: output columns, structural equality,
+walkers and rewriters."""
+
+from repro.xtra import relational as r
+from repro.xtra import scalars as s
+from repro.xtra import types as t
+from repro.xtra.schema import ColumnSchema, TableSchema
+from repro.xtra.visitor import (
+    rewrite_rel,
+    rewrite_scalars,
+    walk_all_scalars,
+    walk_rel,
+    walk_scalars,
+)
+
+
+def sales_schema():
+    return TableSchema("SALES", [
+        ColumnSchema("STORE", t.INTEGER),
+        ColumnSchema("AMOUNT", t.FLOAT),
+    ])
+
+
+class TestOutputColumns:
+    def test_get_qualifies_with_alias(self):
+        get = r.Get(sales_schema(), alias="S")
+        cols = get.output_columns()
+        assert [(c.name, c.qualifier) for c in cols] == [
+            ("STORE", "S"), ("AMOUNT", "S")]
+
+    def test_get_qualifies_with_table_name_without_alias(self):
+        cols = r.Get(sales_schema()).output_columns()
+        assert cols[0].qualifier == "SALES"
+
+    def test_project_reports_names_and_types(self):
+        expr = s.Arith(s.ArithOp.ADD, s.const_int(1), s.const_int(2), type=t.INTEGER)
+        project = r.Project(r.Get(sales_schema()), [expr], ["TOTAL"])
+        (col,) = project.output_columns()
+        assert col.name == "TOTAL"
+        assert col.type.kind is t.TypeKind.INTEGER
+
+    def test_join_concatenates_columns(self):
+        join = r.Join(r.JoinKind.INNER, r.Get(sales_schema(), "A"),
+                      r.Get(sales_schema(), "B"), None)
+        assert len(join.output_columns()) == 4
+
+    def test_aggregate_outputs_groups_then_aggs(self):
+        agg_call = s.AggCall("SUM", [s.ColumnRef("AMOUNT", type=t.FLOAT)],
+                             type=t.FLOAT)
+        agg = r.Aggregate(r.Get(sales_schema()),
+                          [s.ColumnRef("STORE", type=t.INTEGER)], ["_G0"],
+                          [agg_call], ["_A0"])
+        assert [c.name for c in agg.output_columns()] == ["_G0", "_A0"]
+
+    def test_window_appends_columns(self):
+        win = r.Window(r.Get(sales_schema()),
+                       [s.WindowFunc("RANK", type=t.INTEGER)], ["_W0"])
+        assert [c.name for c in win.output_columns()] == ["STORE", "AMOUNT", "_W0"]
+
+    def test_derived_table_requalifies(self):
+        derived = r.DerivedTable(r.Get(sales_schema()), "D", ["X", "Y"])
+        cols = derived.output_columns()
+        assert [(c.name, c.qualifier) for c in cols] == [("X", "D"), ("Y", "D")]
+
+    def test_setop_uses_left_names(self):
+        left = r.Get(sales_schema(), "L")
+        right = r.Get(sales_schema(), "R")
+        setop = r.SetOp(r.SetOpKind.UNION, True, left, right)
+        assert [c.name for c in setop.output_columns()] == ["STORE", "AMOUNT"]
+
+
+class TestStructuralEquality:
+    def test_same_on_equal_trees(self):
+        left = s.Comp(s.CompOp.GT, s.ColumnRef("A"), s.const_int(1))
+        right = s.Comp(s.CompOp.GT, s.ColumnRef("A"), s.const_int(1))
+        assert s.same(left, right)
+
+    def test_same_detects_value_difference(self):
+        left = s.Comp(s.CompOp.GT, s.ColumnRef("A"), s.const_int(1))
+        right = s.Comp(s.CompOp.GT, s.ColumnRef("A"), s.const_int(2))
+        assert not s.same(left, right)
+
+    def test_same_detects_shape_difference(self):
+        assert not s.same(s.const_int(1), s.const_str("1"))
+
+    def test_conjoin(self):
+        assert s.conjoin([]) is None
+        single = s.const_int(1)
+        assert s.conjoin([single]) is single
+        combined = s.conjoin([s.const_int(1), s.const_int(2)])
+        assert isinstance(combined, s.BoolOp)
+        assert combined.op is s.BoolOpKind.AND
+
+
+class TestWalkers:
+    def test_walk_scalars_visits_nested(self):
+        expr = s.BoolOp(s.BoolOpKind.AND, [
+            s.Comp(s.CompOp.EQ, s.ColumnRef("A"), s.const_int(1)),
+            s.IsNull(s.ColumnRef("B")),
+        ])
+        names = [n.name for n in walk_scalars(expr) if isinstance(n, s.ColumnRef)]
+        assert names == ["A", "B"]
+
+    def test_walk_rel_visits_children(self):
+        plan = r.Filter(r.Get(sales_schema()), s.Const(True, t.BOOLEAN))
+        assert [type(node).__name__ for node in walk_rel(plan)] == ["Filter", "Get"]
+
+    def test_walk_all_scalars_enters_subquery_plans(self):
+        inner = r.Filter(r.Get(sales_schema()),
+                         s.Comp(s.CompOp.GT, s.ColumnRef("AMOUNT"), s.const_int(5)))
+        subq = s.SubqueryExpr(kind=s.SubqueryKind.EXISTS, plan=inner)
+        plan = r.Filter(r.Get(sales_schema()), subq)
+        refs = [n for n in walk_all_scalars(plan) if isinstance(n, s.ColumnRef)]
+        assert any(ref.name == "AMOUNT" for ref in refs)
+
+    def test_rewrite_scalars_bottom_up(self):
+        expr = s.Arith(s.ArithOp.ADD, s.const_int(1), s.const_int(2))
+
+        def fold(node):
+            if isinstance(node, s.Arith) and isinstance(node.left, s.Const) \
+                    and isinstance(node.right, s.Const):
+                return s.const_int(node.left.value + node.right.value)
+            return node
+
+        result = rewrite_scalars(expr, fold)
+        assert isinstance(result, s.Const)
+        assert result.value == 3
+
+    def test_rewrite_rel_replaces_nodes(self):
+        plan = r.Filter(r.Get(sales_schema()), s.Const(True, t.BOOLEAN))
+
+        def drop_filter(node):
+            if isinstance(node, r.Filter):
+                return node.child
+            return node
+
+        result = rewrite_rel(plan, drop_filter)
+        assert isinstance(result, r.Get)
