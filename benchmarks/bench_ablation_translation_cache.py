@@ -1,0 +1,176 @@
+"""Ablation: translation cache on vs. off.
+
+Section 6 argues Hyper-Q's per-request overhead must stay negligible even
+though every statement passes through parse/bind/transform/serialize. The
+translation cache short-circuits that pipeline for repeated statement
+*shapes* (literals lifted into splice slots), which is what real report
+workloads are made of. This ablation measures the warm-vs-cold latency gap
+on a representative statement mix and replays the Table 1 Customer 1
+workload to measure the achievable hit rate.
+"""
+
+import statistics
+import threading
+import time
+
+import pytest
+from conftest import emit
+
+from repro.bench.reporting import format_table
+from repro.core.engine import HyperQ
+from repro.workloads import customer
+from repro.workloads.tpch import queries as tpch_queries
+from repro.workloads.tpch.schema import SCHEMA_DDL, TABLE_NAMES
+
+STATEMENTS = [
+    "SEL C_CUSTKEY, C_NAME FROM CUSTOMER WHERE C_CUSTKEY = 7",
+    "SELECT O_ORDERKEY, O_TOTALPRICE FROM ORDERS "
+    "WHERE O_ORDERDATE > DATE '1995-01-01' AND O_TOTALPRICE > 1000 "
+    "QUALIFY RANK(O_TOTALPRICE DESC) <= 10",
+    "SELECT L_ORDERKEY, SUM(L_EXTENDEDPRICE) FROM LINEITEM "
+    "WHERE L_SHIPDATE > DATE '1996-03-15' GROUP BY L_ORDERKEY",
+]
+
+
+def _tpch_session(cache_size):
+    engine = HyperQ(cache_size=cache_size)
+    session = engine.create_session()
+    for name in TABLE_NAMES:
+        session.execute(SCHEMA_DDL[name])
+    return engine, session
+
+
+def _median_translate_latency(session, rounds=60):
+    samples = []
+    for i in range(rounds):
+        sql = STATEMENTS[i % len(STATEMENTS)]
+        start = time.perf_counter()
+        session.translate(sql)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_ablation_cold_vs_warm_latency(benchmark):
+    """Median translation latency, cache disabled vs. cache warm.
+
+    The acceptance bar is a >= 5x gap: a cache hit must cost fingerprint +
+    splice, not a full pipeline run.
+    """
+    __, cold_session = _tpch_session(cache_size=0)
+    cold = _median_translate_latency(cold_session)
+
+    engine, warm_session = _tpch_session(cache_size=32 * 1024 * 1024)
+    for sql in STATEMENTS:           # prime
+        warm_session.translate(sql)
+    warm = benchmark.pedantic(_median_translate_latency, args=(warm_session,),
+                              rounds=1, iterations=1)
+
+    speedup = cold / warm
+    emit(format_table(
+        ["path", "median latency", "speedup"],
+        [
+            ("cold (cache off)", f"{cold * 1e6:8.1f} us", "1.0x"),
+            ("warm (cache hit)", f"{warm * 1e6:8.1f} us", f"{speedup:.1f}x"),
+        ],
+        title="Ablation — translation cache, cold vs. warm"))
+    assert engine.cache_stats().hit_rate > 0.9
+    assert speedup >= 5.0, f"warm path only {speedup:.1f}x faster"
+
+
+def test_ablation_customer1_replay_hit_rate(benchmark):
+    """Replay the full Table 1 Customer 1 submission stream (every distinct
+    query at its Zipf-shaped frequency) and measure the cache hit rate.
+
+    Repeated submissions differ only in literals in real workloads; here the
+    distinct texts repeat verbatim, and the acceptance bar is >= 80% hits.
+    """
+    profile = customer.PROFILES[1]
+    schema, setup, distinct, freqs = customer.workload(profile)
+    engine = HyperQ()
+    session = engine.create_session()
+    for ddl in schema + setup:
+        session.execute(ddl)
+
+    def replay():
+        for sql, count in zip(distinct, freqs):
+            for __ in range(count):
+                try:
+                    session.translate(sql)
+                except Exception:
+                    pass        # emulation-boundary errors count as bypasses
+        return engine.cache_stats()
+
+    stats = benchmark.pedantic(replay, rounds=1, iterations=1)
+    total = stats.hits + stats.misses + stats.bypasses
+    emit(format_table(
+        ["metric", "value"],
+        [
+            ("statements replayed", f"{total}"),
+            ("hits", f"{stats.hits}"),
+            ("misses", f"{stats.misses}"),
+            ("bypasses", f"{stats.bypasses}"),
+            ("hit rate", f"{stats.hit_rate:.1%}"),
+        ],
+        title=f"Translation cache — Customer 1 replay "
+              f"({profile.total_queries} submissions)"))
+    assert total >= profile.total_queries
+    assert stats.hit_rate >= 0.80
+
+
+def test_ablation_concurrent_sessions_share_cache(benchmark):
+    """N concurrent sessions replaying TPC-H against one engine: all but the
+    first translation of each query should hit the shared cache, so total
+    misses stay bounded by the number of distinct queries."""
+    engine, setup = _tpch_session(cache_size=32 * 1024 * 1024)
+    clients = 8
+
+    def worker():
+        session = engine.create_session()
+        for sql in tpch_queries.QUERIES.values():
+            session.translate(sql)
+
+    def run():
+        threads = [threading.Thread(target=worker) for __ in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return engine.cache_stats()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = stats.hits + stats.misses
+    emit(format_table(
+        ["metric", "value"],
+        [
+            ("clients", f"{clients}"),
+            ("translations", f"{total}"),
+            ("misses", f"{stats.misses}"),
+            ("hit rate", f"{stats.hit_rate:.1%}"),
+        ],
+        title="Translation cache — concurrent TPC-H, shared cache"))
+    assert total == clients * len(tpch_queries.QUERIES)
+    # Every query is translated cold at most once per cache entry; allow a
+    # small race window where two sessions miss the same query concurrently.
+    assert stats.misses <= 2 * len(tpch_queries.QUERIES)
+
+
+@pytest.mark.smoke
+def test_smoke_warm_faster_than_cold():
+    """Cheap CI guard (no benchmark fixture): a cache hit must beat a full
+    pipeline run on the same statement."""
+    __, cold_session = _tpch_session(cache_size=0)
+    __, warm_session = _tpch_session(cache_size=1 << 20)
+    sql = STATEMENTS[1]
+    warm_session.translate(sql)     # prime
+
+    def median(session):
+        samples = []
+        for __ in range(20):
+            start = time.perf_counter()
+            session.translate(sql)
+            samples.append(time.perf_counter() - start)
+        return statistics.median(samples)
+
+    warm = median(warm_session)
+    cold = median(cold_session)
+    assert warm < cold

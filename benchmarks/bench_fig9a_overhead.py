@@ -26,6 +26,7 @@ def test_fig9a_sequential_overhead(benchmark, tpch_scale):
             ("execution", percent(split["execution"], 2), "~98%"),
             ("result transformation", percent(split["result_conversion"], 2),
              "~1%"),
+            ("cache lookup + probe", percent(split["cache_lookup"], 2), "—"),
             ("total Hyper-Q overhead", percent(log.overhead_fraction, 2),
              "< 2%"),
         ],

@@ -104,6 +104,7 @@ def cmd_tpch(args: argparse.Namespace) -> int:
     print(f"  query translation     {percent(split['translation'], 2)}")
     print(f"  execution             {percent(split['execution'], 2)}")
     print(f"  result transformation {percent(split['result_conversion'], 2)}")
+    print(f"  cache lookup + probe  {percent(split['cache_lookup'], 2)}")
     print(f"  total overhead        {percent(log.overhead_fraction, 2)} "
           "(paper: < 2%)")
     return 0

@@ -1,0 +1,498 @@
+"""The translation cache: memoized parse→bind→transform→serialize results.
+
+Table 1's workloads repeat heavily (39,731 total vs 3,778 distinct queries
+for the Health customer), and the paper's Figure 9 overhead claim rests on
+translation staying a sliver of end-to-end time even under concurrency. This
+module removes repeated translation work entirely:
+
+* :func:`fingerprint` canonicalizes a source request into a whitespace-,
+  case- and comment-insensitive token stream with literals lifted into
+  synthetic slots, so ``SEL * FROM T WHERE ID = 7`` and ``... ID = 42``
+  share one cache entry.
+* :class:`TranslationCache` is a byte-capped, thread-safe LRU keyed by
+  ``(source, target-capability-profile, fingerprint, catalog-version,
+  session-overlay-version)`` storing the serialized target SQL (as a
+  literal-slot template when safe, exact text otherwise) plus the tracker
+  feature bits observed during translation.
+
+Safety comes from *sentinel probing*: before a parameterized template is
+trusted, the statement is re-translated with unique sentinel literals and the
+template is accepted only if every sentinel survives translation verbatim.
+Value-dependent rewrites (ordinal GROUP BY, date/int comparison folding,
+interval arithmetic) destroy their sentinel and demote the entry to
+exact-match caching, which is always correct. Stale replays are impossible by
+construction: every DDL/macro/view/procedure change bumps the shadow-catalog
+version and every volatile-table change bumps the per-session overlay
+version, both of which are part of the key (and eagerly invalidated so the
+memory is reclaimed and counted).
+"""
+
+from __future__ import annotations
+
+import datetime
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sqlkit.tokens import Token, TokenKind
+
+# -- literal slot kinds -----------------------------------------------------------
+
+KIND_INT = "i"        # integer literal
+KIND_FLOAT = "f"      # float/decimal literal (never templated: formatting)
+KIND_STRING = "s"     # plain string literal
+KIND_DATE = "d"       # string literal following the DATE keyword
+KIND_OTHER = "o"      # TIME/TIMESTAMP/INTERVAL literal (never templated)
+
+#: Slot kinds eligible for sentinel probing and template substitution.
+TEMPLATABLE_KINDS = frozenset({KIND_INT, KIND_STRING, KIND_DATE})
+
+#: Keywords that type the string literal that follows them.
+_TYPED_LITERAL_KEYWORDS = {
+    "DATE": KIND_DATE,
+    "TIME": KIND_OTHER,
+    "TIMESTAMP": KIND_OTHER,
+    "INTERVAL": KIND_OTHER,
+}
+
+
+@dataclass(frozen=True)
+class LiteralSlot:
+    """One lifted literal: its kind and source value."""
+
+    kind: str
+    value: object
+
+
+class Fingerprint:
+    """Canonical form of one source request.
+
+    ``text`` is the case/whitespace/comment-insensitive token stream with
+    literal tokens replaced by kind-tagged placeholders; ``slots`` carries
+    the lifted literal values in source order. ``tokens`` keeps the raw
+    token list around for sentinel-probe reconstruction (transient — never
+    stored in the cache).
+    """
+
+    __slots__ = ("text", "slots", "tokens")
+
+    def __init__(self, text: str, slots: tuple[LiteralSlot, ...],
+                 tokens: list[Token]):
+        self.text = text
+        self.slots = slots
+        self.tokens = tokens
+
+    def values_key(self) -> tuple:
+        """Hashable projection of all lifted literal values."""
+        return tuple((slot.kind, slot.value) for slot in self.slots)
+
+
+def fingerprint(sql: str, lexer) -> Fingerprint:
+    """Canonicalize *sql* using *lexer* (the session frontend's own lexer).
+
+    Raises whatever the lexer raises on malformed input; callers treat that
+    as a cache bypass and let the real parser produce the error.
+    """
+    tokens = lexer.tokenize(sql)
+    parts: list[str] = []
+    slots: list[LiteralSlot] = []
+    previous_keyword: Optional[str] = None
+    for token in tokens:
+        if token.kind is TokenKind.EOF:
+            break
+        if token.kind is TokenKind.NUMBER:
+            kind = KIND_INT if isinstance(token.value, int) else KIND_FLOAT
+            parts.append("\x00" + kind)
+            slots.append(LiteralSlot(kind, token.value))
+        elif token.kind is TokenKind.STRING:
+            kind = _TYPED_LITERAL_KEYWORDS.get(previous_keyword or "", KIND_STRING)
+            parts.append("\x00" + kind)
+            slots.append(LiteralSlot(kind, token.value))
+        elif token.kind is TokenKind.QUOTED_IDENT:
+            # Quoted identifiers keep their exact case (they are case-
+            # sensitive in SQL); quote them so "x" and bare X never collide.
+            parts.append('"' + str(token.value) + '"')
+        elif token.kind is TokenKind.PARAM:
+            parts.append("?" if token.value == "?" else ":" + str(token.value))
+        else:
+            # Keywords/identifiers are already upper-cased by the lexer;
+            # operators are normalized (e.g. ^= -> <>).
+            parts.append(str(token.value))
+        previous_keyword = (str(token.value)
+                            if token.kind is TokenKind.KEYWORD else None)
+    return Fingerprint(" ".join(parts), tuple(slots), tokens)
+
+
+# -- sentinel probing ---------------------------------------------------------------
+
+_INT_SENTINEL_BASE = 987_650_001
+_STR_SENTINEL_BASE = 7_650_001
+
+
+def _sentinel_for(slot_index: int, kind: str) -> tuple[str, str]:
+    """(source spelling, expected target spelling) for one probed slot."""
+    if kind == KIND_INT:
+        digits = str(_INT_SENTINEL_BASE + slot_index)
+        return digits, digits
+    if kind == KIND_STRING:
+        # Digit-only payload framed by control chars: survives UPPER()
+        # compensation and cannot collide with real identifiers or numbers.
+        inner = f"\x02{_STR_SENTINEL_BASE + slot_index}\x02"
+        return "'" + inner + "'", "'" + inner + "'"
+    if kind == KIND_DATE:
+        inner = f"{3900 + slot_index // 28:04d}-12-{1 + slot_index % 28:02d}"
+        return "'" + inner + "'", "'" + inner + "'"
+    raise ValueError(f"slot kind {kind!r} is not templatable")
+
+
+def build_probe_sql(fp: Fingerprint) -> Optional[tuple[str, list[str]]]:
+    """Rebuild the source text with every literal replaced by a sentinel.
+
+    Returns ``(probe_sql, expected target spellings per slot)`` or ``None``
+    when any slot kind cannot be probed (floats, interval/timestamp
+    literals) — those statements fall back to exact-match caching.
+    """
+    if any(slot.kind not in TEMPLATABLE_KINDS for slot in fp.slots):
+        return None
+    out: list[str] = []
+    expected: list[str] = []
+    slot_index = 0
+    for token in fp.tokens:
+        if token.kind is TokenKind.EOF:
+            break
+        if token.kind in (TokenKind.NUMBER, TokenKind.STRING):
+            source, target = _sentinel_for(slot_index, fp.slots[slot_index].kind)
+            out.append(source)
+            expected.append(target)
+            slot_index += 1
+        else:
+            out.append(token.text)
+    return " ".join(out), expected
+
+
+@dataclass(frozen=True)
+class Template:
+    """Target SQL split at literal substitution sites.
+
+    ``segments`` has one more element than ``slot_refs``; rendering
+    interleaves ``segments[k] + literal(slot_refs[k])``. A slot may be
+    referenced more than once (named-expression aliasing duplicates
+    literals), and every referenced occurrence was verified by the probe.
+    """
+
+    segments: tuple[str, ...]
+    slot_refs: tuple[int, ...]
+
+    def render(self, slots: tuple[LiteralSlot, ...]) -> Optional[str]:
+        out: list[str] = []
+        for segment, ref in zip(self.segments, self.slot_refs):
+            out.append(segment)
+            rendered = _render_literal(slots[ref])
+            if rendered is None:
+                return None
+            out.append(rendered)
+        out.append(self.segments[-1])
+        return "".join(out)
+
+    def size(self) -> int:
+        return sum(len(segment) for segment in self.segments) \
+            + 8 * len(self.slot_refs)
+
+
+def _render_literal(slot: LiteralSlot) -> Optional[str]:
+    """Render a literal exactly as the serializer would."""
+    if slot.kind == KIND_INT:
+        return str(slot.value)
+    if slot.kind == KIND_STRING:
+        return "'" + str(slot.value).replace("'", "''") + "'"
+    if slot.kind == KIND_DATE:
+        # A hit bypasses the binder's date validation; splice only strings
+        # the serializer itself would have produced for a parsed DATE.
+        try:
+            parsed = datetime.date.fromisoformat(str(slot.value))
+        except ValueError:
+            return None
+        return "'" + parsed.isoformat() + "'"
+    return None
+
+
+def _is_number_boundary(char: str) -> bool:
+    return not (char.isalnum() or char in "_.")
+
+
+def build_template(target_sql: str,
+                   expected: list[str]) -> Optional[Template]:
+    """Split probe-translated *target_sql* at the sentinel sites.
+
+    Every sentinel must appear at least once, delimited (for numbers) so a
+    digit run inside a larger constant never matches, and occurrences must
+    not overlap. Any anomaly — a sentinel consumed by a value-dependent
+    rewrite, folded into another constant, or duplicated ambiguously —
+    rejects the template.
+    """
+    sites: list[tuple[int, int, int]] = []
+    for slot_index, pattern in enumerate(expected):
+        found = 0
+        start = 0
+        while True:
+            position = target_sql.find(pattern, start)
+            if position < 0:
+                break
+            end = position + len(pattern)
+            if pattern[0] != "'":
+                before = target_sql[position - 1] if position else " "
+                after = target_sql[end] if end < len(target_sql) else " "
+                if not (_is_number_boundary(before)
+                        and _is_number_boundary(after)):
+                    start = position + 1
+                    continue
+            sites.append((position, end, slot_index))
+            found += 1
+            start = end
+        if found == 0:
+            return None
+    sites.sort()
+    segments: list[str] = []
+    slot_refs: list[int] = []
+    cursor = 0
+    for position, end, slot_index in sites:
+        if position < cursor:
+            return None
+        segments.append(target_sql[cursor:position])
+        slot_refs.append(slot_index)
+        cursor = end
+    segments.append(target_sql[cursor:])
+    return Template(tuple(segments), tuple(slot_refs))
+
+
+# -- the cache ----------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Monotonic counters; snapshot with :meth:`TranslationCache.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    bypasses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "inserts": self.inserts, "evictions": self.evictions,
+            "invalidations": self.invalidations, "bypasses": self.bypasses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class CacheEntry:
+    """One memoized translation."""
+
+    template: Optional[Template]      # parameterized form, or
+    sql: Optional[str]                # exact target SQL (pinned literals)
+    notes: tuple[tuple[str, str], ...]  # tracker (feature, stage) bits
+    catalog_version: int
+    overlay_uid: Optional[int]
+    size: int = 0
+
+    def __post_init__(self):
+        base = self.template.size() if self.template is not None \
+            else len(self.sql or "")
+        self.size = base + 32 * len(self.notes) + 128
+
+
+class TranslationCache:
+    """Thread-safe byte-capped LRU over :class:`CacheEntry`.
+
+    Shared by every session of an engine (and, through the protocol server,
+    every concurrent connection). All mutation happens under one lock; the
+    expensive work — fingerprinting and sentinel probing — happens outside.
+    """
+
+    #: Entry count cap for the exact-text fingerprint memo.
+    FP_MEMO_ENTRIES = 4096
+
+    def __init__(self, max_bytes: int):
+        if max_bytes <= 0:
+            raise ValueError("TranslationCache needs a positive byte cap; "
+                             "use cache_size=0 on the engine to disable")
+        self._max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self._bytes = 0
+        self._stats = CacheStats()
+        # Exact-text -> Fingerprint memo: repeated request texts (the
+        # dominant pattern per Table 1) skip the lexer entirely on the hot
+        # path. Purely lexical, so it never needs invalidation.
+        self._fp_memo: "OrderedDict[str, Fingerprint]" = OrderedDict()
+
+    def fingerprint_cached(self, sql: str, lexer) -> Fingerprint:
+        """Fingerprint *sql*, memoizing by exact text."""
+        with self._lock:
+            memoized = self._fp_memo.get(sql)
+            if memoized is not None:
+                self._fp_memo.move_to_end(sql)
+                return memoized
+        fp = fingerprint(sql, lexer)
+        with self._lock:
+            self._fp_memo[sql] = fp
+            while len(self._fp_memo) > self.FP_MEMO_ENTRIES:
+                self._fp_memo.popitem(last=False)
+        return fp
+
+    # -- key composition ------------------------------------------------------------
+
+    @staticmethod
+    def key_base(source: str, profile_name: str, fp_text: str,
+                 catalog_version: int, overlay_key) -> tuple:
+        return (source, profile_name, fp_text, catalog_version, overlay_key)
+
+    # -- lookup / insert ------------------------------------------------------------
+
+    def lookup(self, key_base: tuple, fp: Fingerprint,
+               params_key: Optional[tuple]) -> Optional[tuple[str, tuple]]:
+        """Return ``(target_sql, notes)`` on a hit, ``None`` on a miss."""
+        with self._lock:
+            if params_key is None:
+                entry = self._entries.get(key_base + ("T",))
+                if entry is not None and entry.template is not None:
+                    rendered = entry.template.render(fp.slots)
+                    if rendered is not None:
+                        self._entries.move_to_end(key_base + ("T",))
+                        self._stats.hits += 1
+                        return rendered, entry.notes
+            exact_key = key_base + ("E", fp.values_key(), params_key)
+            entry = self._entries.get(exact_key)
+            if entry is not None and entry.sql is not None:
+                self._entries.move_to_end(exact_key)
+                self._stats.hits += 1
+                return entry.sql, entry.notes
+            self._stats.misses += 1
+            return None
+
+    def insert(self, key_base: tuple, fp: Fingerprint,
+               params_key: Optional[tuple], target_sql: str,
+               notes: tuple[tuple[str, str], ...],
+               probe: Optional[Callable[[str], str]] = None) -> None:
+        """Memoize one translation.
+
+        When *probe* is given, no explicit parameters were bound and every
+        slot is templatable, a sentinel probe attempts a parameterized
+        template; otherwise (or on any probe anomaly) the exact target SQL
+        is pinned under the full literal-value key.
+        """
+        catalog_version = key_base[3]
+        overlay_key = key_base[4]
+        overlay_uid = overlay_key[0] if isinstance(overlay_key, tuple) else None
+        template: Optional[Template] = None
+        if probe is not None and params_key is None and fp.slots:
+            built = build_probe_sql(fp)
+            if built is not None:
+                probe_sql, expected = built
+                try:
+                    probe_target = probe(probe_sql)
+                except Exception:
+                    probe_target = None
+                if probe_target is not None:
+                    template = build_template(probe_target, expected)
+        if template is not None:
+            key = key_base + ("T",)
+            entry = CacheEntry(template=template, sql=None, notes=notes,
+                               catalog_version=catalog_version,
+                               overlay_uid=overlay_uid)
+        else:
+            key = key_base + ("E", fp.values_key(), params_key)
+            entry = CacheEntry(template=None, sql=target_sql, notes=notes,
+                               catalog_version=catalog_version,
+                               overlay_uid=overlay_uid)
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous.size
+            self._entries[key] = entry
+            self._bytes += entry.size
+            self._stats.inserts += 1
+            while self._bytes > self._max_bytes and self._entries:
+                __, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.size
+                self._stats.evictions += 1
+
+    def note_bypass(self) -> None:
+        """Reclassify the preceding lookup miss as a bypass.
+
+        Cacheability is only known after parsing, so non-cacheable requests
+        (DDL, emulated statements) first register a miss; calling this keeps
+        the hit rate an honest property of the cacheable population.
+        """
+        with self._lock:
+            if self._stats.misses > 0:
+                self._stats.misses -= 1
+            self._stats.bypasses += 1
+
+    # -- invalidation ----------------------------------------------------------------
+
+    def invalidate_catalog(self, new_version: int) -> int:
+        """Drop every entry translated under an older shadow-catalog version.
+
+        Invariant: after any DDL/macro/view/procedure change, no entry keyed
+        with a stale catalog version survives — coarse (the whole shared
+        space is flushed) but airtight, and DDL is rare in the workloads
+        this cache targets.
+        """
+        return self._invalidate(
+            lambda entry: entry.catalog_version < new_version)
+
+    def invalidate_overlay(self, session_uid: int) -> int:
+        """Drop entries translated under *session_uid*'s volatile overlay.
+
+        Called on every volatile-table create/drop: any translation that
+        could have resolved a name through the session's previous overlay
+        state is discarded.
+        """
+        return self._invalidate(
+            lambda entry: entry.overlay_uid == session_uid)
+
+    def _invalidate(self, predicate) -> int:
+        with self._lock:
+            stale = [key for key, entry in self._entries.items()
+                     if predicate(entry)]
+            for key in stale:
+                entry = self._entries.pop(key)
+                self._bytes -= entry.size
+            self._stats.invalidations += len(stale)
+            return len(stale)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(**{name: getattr(self._stats, name)
+                                 for name in ("hits", "misses", "inserts",
+                                              "evictions", "invalidations",
+                                              "bypasses")})
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0

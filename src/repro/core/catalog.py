@@ -10,6 +10,7 @@ emulation requires (the paper calls it the DTM catalog in Table 2).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -37,13 +38,37 @@ class ProcedureDef:
 
 
 class ShadowCatalog:
-    """Source-side catalog shared by all Hyper-Q sessions."""
+    """Source-side catalog shared by all Hyper-Q sessions.
+
+    Every mutation — table/view DDL, macro or procedure (re)definition —
+    bumps a monotonic :attr:`version` and notifies subscribers, so memoized
+    translations keyed on an older version can never be replayed (the
+    translation cache's invalidation invariant).
+    """
 
     def __init__(self):
         self._tables: dict[str, TableSchema] = {}
         self._views: dict[str, TableSchema] = {}
         self._macros: dict[str, MacroDef] = {}
         self._procedures: dict[str, ProcedureDef] = {}
+        self._version = 0
+        self._listeners: list = []
+
+    # -- versioning ------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter, bumped on every catalog mutation."""
+        return self._version
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(new_version)`` to run after each mutation."""
+        self._listeners.append(listener)
+
+    def _bump(self) -> None:
+        self._version += 1
+        for listener in self._listeners:
+            listener(self._version)
 
     # -- tables/views ----------------------------------------------------------
 
@@ -52,11 +77,13 @@ class ShadowCatalog:
         if name in self._tables or name in self._views:
             raise CatalogError(f"object {name} already exists")
         self._tables[name] = schema
+        self._bump()
 
     def drop_table(self, name: str) -> None:
         if name.upper() not in self._tables:
             raise CatalogError(f"table {name} does not exist")
         del self._tables[name.upper()]
+        self._bump()
 
     def add_view(self, schema: TableSchema, replace: bool = False) -> None:
         name = schema.name.upper()
@@ -65,11 +92,13 @@ class ShadowCatalog:
         if name in self._views and not replace:
             raise CatalogError(f"view {name} already exists")
         self._views[name] = schema
+        self._bump()
 
     def drop_view(self, name: str) -> None:
         if name.upper() not in self._views:
             raise CatalogError(f"view {name} does not exist")
         del self._views[name.upper()]
+        self._bump()
 
     def resolve(self, name: str) -> Optional[TableSchema]:
         key = name.upper()
@@ -97,11 +126,13 @@ class ShadowCatalog:
         if key in self._macros and not replace:
             raise CatalogError(f"macro {macro.name} already exists")
         self._macros[key] = macro
+        self._bump()
 
     def drop_macro(self, name: str) -> None:
         if name.upper() not in self._macros:
             raise CatalogError(f"macro {name} does not exist")
         del self._macros[name.upper()]
+        self._bump()
 
     def macro(self, name: str) -> MacroDef:
         macro = self._macros.get(name.upper())
@@ -119,11 +150,13 @@ class ShadowCatalog:
         if key in self._procedures and not replace:
             raise CatalogError(f"procedure {procedure.name} already exists")
         self._procedures[key] = procedure
+        self._bump()
 
     def drop_procedure(self, name: str) -> None:
         if name.upper() not in self._procedures:
             raise CatalogError(f"procedure {name} does not exist")
         del self._procedures[name.upper()]
+        self._bump()
 
     def procedure(self, name: str) -> ProcedureDef:
         procedure = self._procedures.get(name.upper())
@@ -136,20 +169,57 @@ class ShadowCatalog:
 
 
 class SessionCatalog:
-    """Per-session view over the shadow catalog plus volatile tables."""
+    """Per-session view over the shadow catalog plus volatile tables.
+
+    Volatile-table changes bump :attr:`overlay_version` and notify the
+    optional :attr:`overlay_listener`, mirroring the shadow catalog's
+    versioning at session scope: translations that resolved a name through
+    the overlay are keyed on ``(uid, overlay_version)`` and can never be
+    replayed across overlay changes (nor leak into other sessions).
+    """
+
+    _uid_counter = 0
+    _uid_lock = threading.Lock()
 
     def __init__(self, shared: ShadowCatalog):
         self.shared = shared
         self._volatile: dict[str, TableSchema] = {}
+        with SessionCatalog._uid_lock:
+            SessionCatalog._uid_counter += 1
+            self.uid = SessionCatalog._uid_counter
+        self.overlay_version = 0
+        #: ``listener(session_uid)`` called after each volatile change.
+        self.overlay_listener = None
+
+    @property
+    def overlay_key(self):
+        """Cache-key component for the volatile overlay.
+
+        ``None`` while the overlay is empty (name resolution is then
+        identical to the shared catalog, so entries are shareable across
+        sessions); a per-session ``(uid, version)`` pair otherwise.
+        """
+        if not self._volatile:
+            return None
+        return (self.uid, self.overlay_version)
+
+    def _overlay_changed(self) -> None:
+        self.overlay_version += 1
+        if self.overlay_listener is not None:
+            self.overlay_listener(self.uid)
 
     def add_volatile(self, schema: TableSchema) -> None:
         name = schema.name.upper()
         if name in self._volatile:
             raise CatalogError(f"volatile table {name} already exists")
         self._volatile[name] = schema
+        self._overlay_changed()
 
     def drop_volatile(self, name: str) -> bool:
-        return self._volatile.pop(name.upper(), None) is not None
+        dropped = self._volatile.pop(name.upper(), None) is not None
+        if dropped:
+            self._overlay_changed()
+        return dropped
 
     def is_volatile(self, name: str) -> bool:
         return name.upper() in self._volatile

@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.errors import EmulationError, HyperQError, UnsupportedFeatureError
 from repro.backend.engine import Database
+from repro.core.cache import Fingerprint, TranslationCache, fingerprint
 from repro.core.catalog import MacroDef, ProcedureDef, SessionCatalog, ShadowCatalog
 from repro.core.timing import RequestTiming, TimingLog
 from repro.core.tracker import FeatureTracker
@@ -83,7 +84,8 @@ class HyperQ:
                  dml_batching: bool = False,
                  source: str = "teradata",
                  converter_max_memory: int = 64 * 1024 * 1024,
-                 spill_dir: Optional[str] = None):
+                 spill_dir: Optional[str] = None,
+                 cache_size: int = 32 * 1024 * 1024):
         if isinstance(target, str):
             target = PROFILES[target]
         if source not in ("teradata", "ansi"):
@@ -95,6 +97,11 @@ class HyperQ:
         self.shadow = ShadowCatalog()
         self.tracker = tracker
         self.timing_log = TimingLog()
+        #: Shared translation cache (byte cap; 0 disables caching entirely).
+        self.cache: Optional[TranslationCache] = None
+        if cache_size > 0:
+            self.cache = TranslationCache(cache_size)
+            self.shadow.subscribe(self.cache.invalidate_catalog)
         self.converter_parallelism = converter_parallelism
         self.transformer_fixpoint = transformer_fixpoint
         #: Section 4.3's performance transformation: merge contiguous
@@ -111,6 +118,10 @@ class HyperQ:
         """One-shot convenience for scripts and tests."""
         return self.create_session().execute(sql)
 
+    def cache_stats(self):
+        """Snapshot of translation-cache counters (None when disabled)."""
+        return self.cache.stats() if self.cache is not None else None
+
 
 class HyperQSession:
     """One application connection through the virtualization layer."""
@@ -120,6 +131,8 @@ class HyperQSession:
         self.profile = engine.profile
         self.tracker = engine.tracker
         self.catalog = SessionCatalog(engine.shadow)
+        if engine.cache is not None:
+            self.catalog.overlay_listener = engine.cache.invalidate_overlay
         self.parser = TeradataParser(engine.tracker)
         self.binder = Binder(self.catalog, engine.tracker)
         rules = None
@@ -154,6 +167,9 @@ class HyperQSession:
         }
         self._temp_counter = 0
         self._original_ddl: dict[str, str] = {}
+        #: Tracker-free pipeline used for translation-cache sentinel probes
+        #: (built lazily; probes must not pollute Figure 8 statistics).
+        self._probe_stack = None
 
     # -- public API ----------------------------------------------------------------
 
@@ -170,6 +186,17 @@ class HyperQSession:
             self.tracker.begin_query()
         try:
             timing = RequestTiming()
+            fp, params_key, hit = self._cache_lookup(
+                sql, parameters, named_parameters, timing)
+            if hit is not None:
+                target_sql, notes = hit
+                self._replay_notes(notes)
+                with timing.measure("execution"):
+                    odbc_result = self.odbc.execute(target_sql)
+                result = self.package_result(odbc_result, timing, [target_sql])
+                result.timing = timing
+                self.engine.timing_log.record(timing)
+                return result
             with timing.measure("translation"):
                 if self.ansi_frontend is not None:
                     if parameters or named_parameters:
@@ -187,7 +214,12 @@ class HyperQSession:
 
                         bind_parameters(ast, parameters, named_parameters)
                     bound = self.binder.bind(ast)
+            cache_key = self._cacheable_key(fp, bound)
             result = self._dispatch(bound, ast, timing)
+            if cache_key is not None and len(result.target_sql) == 1:
+                with timing.measure("cache_lookup"):
+                    self._cache_insert(cache_key, fp, params_key,
+                                       result.target_sql[0])
             result.timing = timing
             self.engine.timing_log.record(timing)
             return result
@@ -280,11 +312,17 @@ class HyperQSession:
         """Translate without executing — the workload-study entry point.
 
         Emulated statements report the feature that routes them to the
-        mid-tier instead of producing target SQL.
+        mid-tier instead of producing target SQL. Shares the translation
+        cache with :meth:`execute`.
         """
         if self.tracker is not None:
             self.tracker.begin_query()
         try:
+            fp, params_key, hit = self._cache_lookup(sql, None, {}, None)
+            if hit is not None:
+                target_sql, notes = hit
+                self._replay_notes(notes)
+                return TranslationResult("sql", [target_sql])
             if self.ansi_frontend is not None:
                 bound = self.ansi_frontend.bind_statement(sql)
             else:
@@ -293,17 +331,109 @@ class HyperQSession:
             feature = self._emulated_feature(bound)
             if feature is not None:
                 self._note(feature)
+                if fp is not None:
+                    self.engine.cache.note_bypass()
                 return TranslationResult("emulated", emulated_feature=feature)
+            cache_key = self._cacheable_key(fp, bound)
             if isinstance(bound, (r.NoOp, r.SetSessionParam)):
                 return TranslationResult("ok")
             self.transformer.transform(bound)
-            return TranslationResult("sql", [self.serializer.serialize(bound)])
+            target_sql = self.serializer.serialize(bound)
+            if cache_key is not None:
+                self._cache_insert(cache_key, fp, params_key, target_sql)
+            return TranslationResult("sql", [target_sql])
         finally:
             if self.tracker is not None:
                 self.tracker.end_query()
 
     def close(self) -> None:
         self.odbc.close()
+        self.converter.close()
+
+    # -- translation cache ---------------------------------------------------------
+
+    #: Statement kinds whose translation may be memoized: single-statement,
+    #: catalog-read-only requests on the plain run_translated path. Emulated
+    #: statements (multi-request, mid-tier state) and DDL/INSERT (catalog
+    #: mutation, mid-tier default evaluation) always bypass.
+    _CACHEABLE_KINDS = (r.Query, r.Update, r.Delete)
+
+    def _cache_lookup(self, sql: str, parameters, named_parameters,
+                      timing: Optional[RequestTiming]):
+        """Fingerprint *sql* and probe the shared cache.
+
+        Returns ``(fingerprint, params_key, hit)``; everything is ``None``
+        when caching is off or inapplicable (ANSI frontend, unhashable
+        parameter values, lexer errors).
+        """
+        cache = self.engine.cache
+        if cache is None or self.ansi_frontend is not None:
+            return None, None, None
+        from contextlib import nullcontext
+
+        stage = (timing.measure("cache_lookup") if timing is not None
+                 else nullcontext())
+        with stage:
+            try:
+                fp = cache.fingerprint_cached(sql, self.parser.lexer)
+            except Exception:
+                return None, None, None
+            params_key = None
+            if parameters or named_parameters:
+                params_key = _freeze_params(parameters, named_parameters)
+                if params_key is None:
+                    return None, None, None
+            hit = cache.lookup(self._cache_key_base(fp), fp, params_key)
+        return fp, params_key, hit
+
+    def _cache_key_base(self, fp: Fingerprint) -> tuple:
+        return TranslationCache.key_base(
+            self.engine.source, self.profile.name, fp.text,
+            self.engine.shadow.version, self.catalog.overlay_key)
+
+    def _cacheable_key(self, fp: Optional[Fingerprint], bound: r.Statement):
+        """Key base if this statement's translation may be memoized, else
+        None (reclassifying the lookup miss as a bypass)."""
+        cache = self.engine.cache
+        if cache is None or fp is None:
+            return None
+        if not isinstance(bound, self._CACHEABLE_KINDS) \
+                or self._emulated_feature(bound) is not None:
+            cache.note_bypass()
+            return None
+        return self._cache_key_base(fp)
+
+    def _cache_insert(self, key_base: tuple, fp: Fingerprint,
+                      params_key, target_sql: str) -> None:
+        notes = (self.tracker.current_notes()
+                 if self.tracker is not None else ())
+        self.engine.cache.insert(key_base, fp, params_key, target_sql, notes,
+                                 probe=self._probe_translate)
+
+    def _replay_notes(self, notes) -> None:
+        if self.tracker is not None:
+            for feature, stage in notes:
+                self.tracker.note(feature, stage)
+
+    def _probe_translate(self, probe_sql: str) -> str:
+        """Run the full pipeline over sentinel SQL, tracker-free.
+
+        Used by the cache to validate that a translation is safe to
+        parameterize; shares the session catalog so name resolution matches
+        the real translation exactly.
+        """
+        if self._probe_stack is None:
+            self._probe_stack = (
+                TeradataParser(),
+                Binder(self.catalog),
+                Transformer(self.engine.profile,
+                            fixpoint=self.engine.transformer_fixpoint),
+                serializer_for(self.engine.profile),
+            )
+        parser, binder, transformer, serializer = self._probe_stack
+        bound = binder.bind(parser.parse_statement(probe_sql))
+        transformer.transform(bound)
+        return serializer.serialize(bound)
 
     # -- helpers shared with emulators -----------------------------------------------
 
@@ -539,6 +669,19 @@ class HyperQSession:
                              view_sql=bound.source_sql)
         self.engine.shadow.add_view(schema, replace=bound.replace)
         return self.run_translated(bound, timing)
+
+
+def _freeze_params(parameters, named_parameters):
+    """Hashable projection of explicit parameter values, or None when the
+    values cannot key a cache entry (unhashable types bypass caching)."""
+    try:
+        positional = tuple(parameters or ())
+        named = tuple(sorted((name.upper(), value)
+                             for name, value in named_parameters.items()))
+        hash((positional, named))
+    except TypeError:
+        return None
+    return (positional, named)
 
 
 def _has_recursive_cte(plan: RelNode) -> bool:

@@ -56,6 +56,17 @@ class FeatureTracker:
         self._current.stages.setdefault(feature_name, stage)
         self.observed_stages.setdefault(feature_name, stage)
 
+    def current_notes(self) -> tuple[tuple[str, str], ...]:
+        """Snapshot of the in-flight request's (feature, stage) observations.
+
+        The translation cache stores this with each entry so memoized
+        requests still report feature incidence (Figure 8 replay): on a
+        cache hit the stored pairs are re-noted instead of re-discovered.
+        """
+        if self._current is None:
+            return ()
+        return tuple(sorted(self._current.stages.items()))
+
     def end_query(self) -> QueryFeatureRecord | None:
         """Finish the current request, folding it into workload totals."""
         record = self._current

@@ -49,6 +49,12 @@ class TeradataParser:
         self._tracker = tracker
         self._lexer = make_lexer()
 
+    @property
+    def lexer(self):
+        """The dialect-configured lexer, reused by the translation cache's
+        fingerprinter so canonicalization and parsing tokenize identically."""
+        return self._lexer
+
     def _note(self, feature: str, stage: str = "parser") -> None:
         if self._tracker is not None:
             self._tracker.note(feature, stage)

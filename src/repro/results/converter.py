@@ -51,7 +51,10 @@ class ResultConverter:
 
     ``parallelism > 1`` converts batches concurrently (the paper forks
     conversion processes; threads suffice at reproduction scale because the
-    hot loop is struct packing).
+    hot loop is struct packing). The worker pool is created once and lives
+    for the converter's lifetime — per-call pool construction would eat the
+    parallel speedup on streaming workloads — so callers owning a converter
+    should :meth:`close` it (sessions do this on close).
     """
 
     def __init__(self, parallelism: int = 1,
@@ -62,6 +65,26 @@ class ResultConverter:
         self._buffer_all = buffer_all
         self._max_memory = max_memory_bytes
         self._spill_dir = spill_dir
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._parallelism,
+                thread_name_prefix="result-converter")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; pool rebuilds on reuse)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ResultConverter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def convert(self, batches: Iterable[bytes],
                 declared_types: Optional[list[SQLType]] = None) -> ConvertedResult:
@@ -80,8 +103,7 @@ class ResultConverter:
 
         row_batches = [rows for __, rows in decoded]
         if self._parallelism > 1 and len(row_batches) > 1:
-            with ThreadPoolExecutor(max_workers=self._parallelism) as pool:
-                encoded = list(pool.map(encode_one, row_batches))
+            encoded = list(self._ensure_pool().map(encode_one, row_batches))
         else:
             encoded = [encode_one(rows) for rows in row_batches]
 

@@ -1,0 +1,244 @@
+"""Unit tests for the translation cache: fingerprinting, sentinel-probe
+templates, and the byte-capped LRU with its stats counters."""
+
+import pytest
+
+from repro.core.cache import (
+    KIND_DATE, KIND_FLOAT, KIND_INT, KIND_OTHER, KIND_STRING,
+    TranslationCache, build_probe_sql, build_template, fingerprint,
+)
+from repro.frontend.teradata.lexer import make_lexer
+
+
+@pytest.fixture(scope="module")
+def lexer():
+    return make_lexer()
+
+
+def fp(sql, lexer):
+    return fingerprint(sql, lexer)
+
+
+class TestFingerprintLiteralLifting:
+    def test_numbers_lift_into_shared_entry(self, lexer):
+        a = fp("SEL * FROM T WHERE ID = 7", lexer)
+        b = fp("SEL * FROM T WHERE ID = 42", lexer)
+        assert a.text == b.text
+        assert [slot.value for slot in a.slots] == [7]
+        assert [slot.value for slot in b.slots] == [42]
+        assert a.slots[0].kind == KIND_INT
+
+    def test_strings_lift(self, lexer):
+        a = fp("SELECT ID FROM T WHERE NAME = 'alice'", lexer)
+        b = fp("SELECT ID FROM T WHERE NAME = 'bob'", lexer)
+        assert a.text == b.text
+        assert a.slots[0].kind == KIND_STRING
+        assert a.slots[0].value == "alice"
+
+    def test_dates_lift_with_date_kind(self, lexer):
+        a = fp("SELECT ID FROM T WHERE D > DATE '2016-01-01'", lexer)
+        b = fp("SELECT ID FROM T WHERE D > DATE '2017-06-30'", lexer)
+        assert a.text == b.text
+        assert a.slots[0].kind == KIND_DATE
+
+    def test_floats_classified_separately(self, lexer):
+        a = fp("SELECT ID FROM T WHERE VAL > 0.5", lexer)
+        assert a.slots[0].kind == KIND_FLOAT
+
+    def test_timestamp_literal_is_other_kind(self, lexer):
+        a = fp("SELECT ID FROM T WHERE TS > TIMESTAMP '2016-01-01 10:00:00'",
+               lexer)
+        assert a.slots[0].kind == KIND_OTHER
+
+    def test_mixed_literals_keep_source_order(self, lexer):
+        a = fp("SELECT ID FROM T WHERE GRP = 3 AND NAME = 'x' AND QTY < 9",
+               lexer)
+        assert [slot.kind for slot in a.slots] == [KIND_INT, KIND_STRING,
+                                                   KIND_INT]
+        assert [slot.value for slot in a.slots] == [3, "x", 9]
+
+
+class TestFingerprintInsensitivity:
+    def test_case_insensitive(self, lexer):
+        a = fp("SELECT ID FROM T WHERE GRP = 1", lexer)
+        b = fp("select id from t where grp = 1", lexer)
+        assert a.text == b.text
+
+    def test_whitespace_insensitive(self, lexer):
+        a = fp("SELECT ID  FROM\n\tT   WHERE GRP = 1", lexer)
+        b = fp("SELECT ID FROM T WHERE GRP = 1", lexer)
+        assert a.text == b.text
+
+    def test_comment_insensitive(self, lexer):
+        a = fp("SELECT ID FROM T -- trailing comment\nWHERE GRP = 1", lexer)
+        b = fp("SELECT /* block */ ID FROM T WHERE GRP = 1", lexer)
+        c = fp("SELECT ID FROM T WHERE GRP = 1", lexer)
+        assert a.text == b.text == c.text
+
+    def test_operator_spelling_normalized(self, lexer):
+        a = fp("SELECT ID FROM T WHERE GRP ^= 1", lexer)
+        b = fp("SELECT ID FROM T WHERE GRP <> 1", lexer)
+        assert a.text == b.text
+
+
+class TestFingerprintNonCollision:
+    def test_ordinal_vs_column_group_by(self, lexer):
+        a = fp("SELECT C1, SUM(V) FROM T GROUP BY 1", lexer)
+        b = fp("SELECT C1, SUM(V) FROM T GROUP BY C1", lexer)
+        assert a.text != b.text
+
+    def test_number_vs_string_literal(self, lexer):
+        a = fp("SELECT ID FROM T WHERE K = 7", lexer)
+        b = fp("SELECT ID FROM T WHERE K = '7'", lexer)
+        assert a.text != b.text
+
+    def test_int_vs_float_literal(self, lexer):
+        a = fp("SELECT ID FROM T WHERE K = 7", lexer)
+        b = fp("SELECT ID FROM T WHERE K = 7.0", lexer)
+        assert a.text != b.text
+
+    def test_date_typed_vs_plain_string(self, lexer):
+        a = fp("SELECT ID FROM T WHERE D > DATE '2016-01-01'", lexer)
+        b = fp("SELECT ID FROM T WHERE D > '2016-01-01'", lexer)
+        assert a.text != b.text
+
+    def test_quoted_identifier_vs_bare(self, lexer):
+        a = fp('SELECT "id" FROM T', lexer)
+        b = fp("SELECT ID FROM T", lexer)
+        assert a.text != b.text
+
+    def test_parameter_markers_distinct(self, lexer):
+        a = fp("SELECT ID FROM T WHERE K = ?", lexer)
+        b = fp("SELECT ID FROM T WHERE K = :lim", lexer)
+        c = fp("SELECT ID FROM T WHERE K = 7", lexer)
+        assert len({a.text, b.text, c.text}) == 3
+
+    def test_structurally_different_queries(self, lexer):
+        a = fp("SELECT ID FROM T WHERE GRP = 1", lexer)
+        b = fp("SELECT ID FROM T HAVING GRP = 1", lexer)
+        assert a.text != b.text
+
+
+class TestSentinelTemplates:
+    def test_probe_skips_untemplatable_slots(self, lexer):
+        f = fp("SELECT ID FROM T WHERE VAL > 0.5", lexer)
+        assert build_probe_sql(f) is None
+
+    def test_probe_round_trip(self, lexer):
+        f = fp("SELECT ID FROM T WHERE GRP = 3 AND NAME = 'x'", lexer)
+        probe_sql, expected = build_probe_sql(f)
+        assert "3" not in probe_sql.replace(expected[0], "")
+        # Pretend translation was the identity: template splices new values.
+        template = build_template(probe_sql, expected)
+        assert template is not None
+        rendered = template.render(f.slots)
+        assert "GRP = 3" in rendered
+        assert "'x'" in rendered
+
+    def test_missing_sentinel_rejects_template(self, lexer):
+        f = fp("SELECT ID FROM T WHERE GRP = 3", lexer)
+        __, expected = build_probe_sql(f)
+        assert build_template("SELECT ID FROM T", expected) is None
+
+    def test_embedded_digits_do_not_match(self, lexer):
+        f = fp("SELECT ID FROM T WHERE GRP = 3", lexer)
+        __, expected = build_probe_sql(f)
+        # Sentinel digits glued inside a larger constant must not count.
+        assert build_template(f"WHERE GRP = 1{expected[0]}9", expected) is None
+
+    def test_duplicated_sentinel_renders_both_sites(self, lexer):
+        f = fp("SELECT VAL + 5 AS A FROM T", lexer)
+        __, expected = build_probe_sql(f)
+        target = f"SELECT VAL + {expected[0]} AS A, VAL + {expected[0]} AS B"
+        template = build_template(target, expected)
+        assert template is not None
+        assert template.render(f.slots).count("VAL + 5") == 2
+
+    def test_invalid_date_value_fails_render(self, lexer):
+        good = fp("SELECT ID FROM T WHERE D > DATE '2016-01-01'", lexer)
+        probe_sql, expected = build_probe_sql(good)
+        template = build_template(probe_sql, expected)
+        bad = fp("SELECT ID FROM T WHERE D > DATE '2016-99-99'", lexer)
+        assert template.render(bad.slots) is None
+        assert template.render(good.slots) is not None
+
+
+class TestTranslationCacheLRU:
+    def _key(self, cache, fp_obj, version=0):
+        return cache.key_base("teradata", "hyperion", fp_obj.text, version,
+                              None)
+
+    def test_hit_miss_insert_counters(self, lexer):
+        cache = TranslationCache(1 << 20)
+        f = fp("SELECT ID FROM T WHERE GRP = 1", lexer)
+        key = self._key(cache, f)
+        assert cache.lookup(key, f, None) is None
+        cache.insert(key, f, None, "SELECT 1", (("qualify", "binder"),))
+        sql, notes = cache.lookup(key, f, None)
+        assert sql == "SELECT 1"
+        assert notes == (("qualify", "binder"),)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.inserts) == (1, 1, 1)
+
+    def test_byte_cap_evicts_lru(self, lexer):
+        cache = TranslationCache(400)
+        queries = [f"SELECT C{i} FROM T{i}" for i in range(8)]
+        for sql in queries:
+            f = fp(sql, lexer)
+            cache.insert(self._key(cache, f), f, None, sql, ())
+        assert cache.stats().evictions > 0
+        assert cache.used_bytes <= 400
+        # The newest entry survived; the oldest was evicted.
+        newest = fp(queries[-1], lexer)
+        oldest = fp(queries[0], lexer)
+        assert cache.lookup(self._key(cache, newest), newest, None) is not None
+        assert cache.lookup(self._key(cache, oldest), oldest, None) is None
+
+    def test_bypass_reclassifies_miss(self, lexer):
+        cache = TranslationCache(1 << 20)
+        f = fp("CREATE TABLE X (A INTEGER)", lexer)
+        assert cache.lookup(self._key(cache, f), f, None) is None
+        cache.note_bypass()
+        stats = cache.stats()
+        assert stats.misses == 0
+        assert stats.bypasses == 1
+
+    def test_invalidate_catalog_drops_stale_versions(self, lexer):
+        cache = TranslationCache(1 << 20)
+        f = fp("SELECT ID FROM T", lexer)
+        cache.insert(self._key(cache, f, version=3), f, None, "SELECT 1", ())
+        assert cache.invalidate_catalog(4) == 1
+        assert len(cache) == 0
+        assert cache.stats().invalidations == 1
+
+    def test_invalidate_overlay_targets_one_session(self, lexer):
+        cache = TranslationCache(1 << 20)
+        f = fp("SELECT ID FROM T", lexer)
+        shared_key = cache.key_base("teradata", "hyperion", f.text, 0, None)
+        private_key = cache.key_base("teradata", "hyperion", f.text, 0, (7, 1))
+        cache.insert(shared_key, f, None, "SELECT 1", ())
+        cache.insert(private_key, f, None, "SELECT 2", ())
+        assert cache.invalidate_overlay(7) == 1
+        assert cache.lookup(shared_key, f, None) is not None
+        assert cache.lookup(private_key, f, None) is None
+
+    def test_explicit_parameters_pin_values(self, lexer):
+        cache = TranslationCache(1 << 20)
+        f = fp("SELECT ID FROM T WHERE K = ?", lexer)
+        key = self._key(cache, f)
+        cache.insert(key, f, ((10,), ()), "SELECT 10", ())
+        assert cache.lookup(key, f, ((10,), ())) is not None
+        assert cache.lookup(key, f, ((11,), ())) is None
+
+    def test_fingerprint_memo_capped(self, lexer):
+        cache = TranslationCache(1 << 20)
+        cap = TranslationCache.FP_MEMO_ENTRIES
+        first = cache.fingerprint_cached("SELECT 1 FROM T0", lexer)
+        assert cache.fingerprint_cached("SELECT 1 FROM T0", lexer) is first
+        for i in range(1, cap + 2):
+            cache.fingerprint_cached(f"SELECT 1 FROM T{i}", lexer)
+        assert len(cache._fp_memo) <= cap
+
+    def test_zero_cap_rejected(self):
+        with pytest.raises(ValueError):
+            TranslationCache(0)
