@@ -116,6 +116,11 @@ class BackendSession:
     def profile(self) -> CapabilityProfile:
         return self._database.profile
 
+    def _make_executor(self) -> Executor:
+        return Executor(self._catalog, self.profile,
+                        faults=self._database.faults,
+                        replica=self._database.replica)
+
     def execute(self, sql: str) -> QueryResult:
         """Parse and execute a single SQL statement."""
         statement = self._parser.parse_statement(sql)
@@ -165,7 +170,7 @@ class BackendSession:
 
     def _run_query(self, spec: p.QuerySpec) -> QueryResult:
         plan = self._planner.plan_query(spec)
-        executor = Executor(self._catalog, self.profile)
+        executor = self._make_executor()
         columns, rows = executor.run(plan)
         return QueryResult(
             "rows",
@@ -177,7 +182,7 @@ class BackendSession:
 
     def _plan_and_run(self, spec: p.QuerySpec):
         plan = self._planner.plan_query(spec)
-        executor = Executor(self._catalog, self.profile)
+        executor = self._make_executor()
         return executor.run(plan)
 
     # -- DML ------------------------------------------------------------------------------
@@ -190,7 +195,7 @@ class BackendSession:
         if spec.query is not None:
             __, rows = self._plan_and_run(spec.query)
         else:
-            executor = Executor(self._catalog, self.profile)
+            executor = self._make_executor()
             ctx = EvalContext((), Env([]), None)
             rows = []
             for row_exprs in spec.rows or []:
@@ -223,7 +228,7 @@ class BackendSession:
     def _run_update(self, spec: p.UpdateSpec) -> QueryResult:
         table = self._catalog.table(spec.table)
         env = self._table_env(table.schema, spec.alias)
-        executor = Executor(self._catalog, self.profile)
+        executor = self._make_executor()
         scope = p._Scope()
         predicate = (self._planner._plan_scalar_subqueries(spec.predicate, scope)
                      if spec.predicate is not None else None)
@@ -253,7 +258,7 @@ class BackendSession:
     def _run_delete(self, spec: p.DeleteSpec) -> QueryResult:
         table = self._catalog.table(spec.table)
         env = self._table_env(table.schema, spec.alias)
-        executor = Executor(self._catalog, self.profile)
+        executor = self._make_executor()
         scope = p._Scope()
         predicate = (self._planner._plan_scalar_subqueries(spec.predicate, scope)
                      if spec.predicate is not None else None)
@@ -307,7 +312,7 @@ class BackendSession:
         table = self._catalog.table(spec.target)
         target_env_cols = self._table_env(table.schema, spec.target_alias).columns
         source_plan = self._planner._plan_table_ref(spec.source, p._Scope())
-        executor = Executor(self._catalog, self.profile)
+        executor = self._make_executor()
         source_cols, source_rows = executor.run(source_plan)
         combined_env = Env(list(target_env_cols) + list(source_cols))
         scope = p._Scope()
@@ -352,10 +357,16 @@ class BackendSession:
 class Database:
     """A shared backend instance; create one session per client connection."""
 
-    def __init__(self, profile: CapabilityProfile = HYPERION):
+    def __init__(self, profile: CapabilityProfile = HYPERION,
+                 faults=None, replica: Optional[int] = None):
         self.profile = profile
         self.catalog = Catalog()
         self.lock = threading.RLock()
+        #: Optional :class:`repro.core.faults.FaultSchedule` consulted by the
+        #: plan executor (injection site ``"executor"``).
+        self.faults = faults
+        #: Replica index when this backend is one member of a scaled fleet.
+        self.replica = replica
 
     def create_session(self) -> BackendSession:
         return BackendSession(self)

@@ -41,9 +41,12 @@ def walk_rel_nodes(node: RelNode):
 class Executor:
     """Executes relational plans against a catalog."""
 
-    def __init__(self, catalog: Catalog, profile: CapabilityProfile):
+    def __init__(self, catalog: Catalog, profile: CapabilityProfile,
+                 faults=None, replica: Optional[int] = None):
         self._catalog = catalog
         self._profile = profile
+        self._faults = faults
+        self._replica = replica
         self._evaluator = Evaluator(profile, self._run_subquery)
         self._evaluator.subquery_overrides = {}
         self._cte_frames: list[dict[str, tuple[list[OutputColumn], list[tuple]]]] = []
@@ -63,6 +66,15 @@ class Executor:
 
         Plans are optimized (predicate pushdown) in place on first execution.
         """
+        if self._faults is not None and outer is None:
+            # Fault checkpoint: the warehouse itself hiccups mid-plan.
+            # Fires before any rows move, so a retried plan re-executes
+            # from scratch with no partial effects.
+            from repro.core.faults import apply_fault
+
+            apply_fault(self._faults.draw("executor",
+                                          op=type(plan).__name__,
+                                          replica=self._replica))
         if not getattr(plan, "_optimized", False):
             from repro.backend.optimizer import optimize
 

@@ -1,7 +1,13 @@
 """Hyper-Q core: the adaptive data virtualization engine (the paper's
 primary contribution)."""
 
+from repro.core.faults import (
+    FaultSchedule, FaultSpec, ResilienceStats, RetryPolicy, named_schedule,
+)
 from repro.core.tracker import FeatureTracker
 from repro.core.timing import RequestTiming
 
-__all__ = ["FeatureTracker", "RequestTiming"]
+__all__ = [
+    "FaultSchedule", "FaultSpec", "FeatureTracker", "RequestTiming",
+    "ResilienceStats", "RetryPolicy", "named_schedule",
+]

@@ -21,6 +21,7 @@ from repro.errors import EmulationError, HyperQError, UnsupportedFeatureError
 from repro.backend.engine import Database
 from repro.core.cache import Fingerprint, TranslationCache, fingerprint
 from repro.core.catalog import MacroDef, ProcedureDef, SessionCatalog, ShadowCatalog
+from repro.core.faults import ResilienceStats, RetryPolicy
 from repro.core.timing import RequestTiming, TimingLog
 from repro.core.tracker import FeatureTracker
 from repro.frontend.teradata import ast as td_ast
@@ -85,7 +86,10 @@ class HyperQ:
                  source: str = "teradata",
                  converter_max_memory: int = 64 * 1024 * 1024,
                  spill_dir: Optional[str] = None,
-                 cache_size: int = 32 * 1024 * 1024):
+                 cache_size: int = 32 * 1024 * 1024,
+                 faults=None,
+                 retry: Optional[RetryPolicy] = None,
+                 replica: Optional[int] = None):
         if isinstance(target, str):
             target = PROFILES[target]
         if source not in ("teradata", "ansi"):
@@ -93,7 +97,18 @@ class HyperQ:
         #: source dialect each session's frontend speaks.
         self.source = source
         self.profile = target
-        self.backend = backend if backend is not None else Database(target)
+        #: Optional :class:`repro.core.faults.FaultSchedule`; wired into the
+        #: ODBC layer, the backend executor (when the backend is engine-built),
+        #: and the wire server fronting this engine.
+        self.faults = faults
+        #: Replica index when this engine is one member of a scaled fleet.
+        self.replica = replica
+        #: Retry policy for transient backend failures on the target path.
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: What the resilience machinery actually did (retries, timeouts...).
+        self.resilience = ResilienceStats()
+        self.backend = (backend if backend is not None
+                        else Database(target, faults=faults, replica=replica))
         self.shadow = ShadowCatalog()
         self.tracker = tracker
         self.timing_log = TimingLog()
@@ -122,6 +137,10 @@ class HyperQ:
         """Snapshot of translation-cache counters (None when disabled)."""
         return self.cache.stats() if self.cache is not None else None
 
+    def resilience_stats(self) -> dict[str, int]:
+        """Snapshot of retry/failover/timeout counters."""
+        return self.resilience.snapshot()
+
 
 class HyperQSession:
     """One application connection through the virtualization layer."""
@@ -148,7 +167,11 @@ class HyperQSession:
                                        rules=rules,
                                        fixpoint=engine.transformer_fixpoint)
         self.serializer = serializer_for(engine.profile, engine.tracker)
-        self.odbc = OdbcServer(InProcessDriver(engine.backend))
+        self.odbc = OdbcServer(InProcessDriver(engine.backend),
+                               faults=engine.faults,
+                               replica=engine.replica,
+                               retry=engine.retry,
+                               observer=self._resilience_event)
         self.converter = ResultConverter(
             parallelism=engine.converter_parallelism,
             max_memory_bytes=engine.converter_max_memory,
@@ -434,6 +457,18 @@ class HyperQSession:
         bound = binder.bind(parser.parse_statement(probe_sql))
         transformer.transform(bound)
         return serializer.serialize(bound)
+
+    # -- resilience ------------------------------------------------------------------
+
+    def _resilience_event(self, event: str, detail: dict) -> None:
+        """ODBC-layer observer: fold a resilience action into the engine's
+        counters, the workload tracker, and the fault schedule's event log
+        (so retries land next to the faults that provoked them)."""
+        self.engine.resilience.note(event)
+        if self.tracker is not None:
+            self.tracker.note_resilience(event)
+        if self.engine.faults is not None:
+            self.engine.faults.record(event, **detail)
 
     # -- helpers shared with emulators -----------------------------------------------
 

@@ -1,0 +1,358 @@
+"""Deterministic fault injection for the resilience battery (Section 7.3).
+
+The paper positions Hyper-Q as drop-in production middleware; the stress test
+of Section 7.3 and the replica scale-out of Appendix B.3 only hold up if the
+proxy survives backend hiccups, replica loss, and abrupt client disconnects.
+This module is the plane that lets CI *deliberately* cause those events.
+
+A :class:`FaultSchedule` scripts fault points against three injection sites:
+
+* ``"odbc"`` — the ODBC Server, just before a statement reaches the target
+  driver (:mod:`repro.odbc.api`);
+* ``"executor"`` — the backend plan executor, modeling the warehouse itself
+  hiccuping mid-plan (:mod:`repro.backend.executor`);
+* ``"wire"`` — the Protocol Handler, per client request
+  (:mod:`repro.protocol.server`).
+
+Everything is seeded and counted, never clocked: a schedule decides whether
+to fire from deterministic per-site call counters and a ``random.Random``
+seeded at construction, so the same seed replays the identical fault
+sequence — and the identical :meth:`FaultSchedule.event_log` — on every run.
+That determinism is what makes the resilience suite CI-able rather than
+flaky.
+
+The resilience machinery that *reacts* to faults also lives here:
+:class:`RetryPolicy` (bounded retry, exponential backoff + seeded jitter)
+and :class:`ResilienceStats` (retry/failover/timeout counters shared by the
+engine, the wire server, and the scale-out fleet).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import (
+    BackendTimeoutError,
+    ReplicaUnavailableError,
+    TransientBackendError,
+)
+
+# -- fault vocabulary ----------------------------------------------------------------
+
+#: The target reported a retryable error (deadlock victim, connection reset).
+BACKEND_TRANSIENT = "backend-transient-error"
+#: The target exceeded its response deadline (also retryable).
+BACKEND_TIMEOUT = "backend-timeout"
+#: A whole replica stopped answering (scale-out failover territory).
+REPLICA_DOWN = "replica-down"
+#: The client connection drops mid-conversation, no LOGOFF.
+WIRE_DISCONNECT = "wire-disconnect"
+#: The result arrives, but late (exercises per-request timeouts).
+SLOW_RESULT = "slow-result"
+
+FAULT_KINDS = (BACKEND_TRANSIENT, BACKEND_TIMEOUT, REPLICA_DOWN,
+               WIRE_DISCONNECT, SLOW_RESULT)
+
+#: Injection sites a spec may target.
+SITES = ("odbc", "executor", "wire")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault point.
+
+    A spec fires at a *site* when the site's call counter satisfies any of
+    the triggers: an explicit 1-based index in ``at``, a period ``every``,
+    a window ``[after, until]`` (``until=0`` means forever — the shape of a
+    replica that stays dead), or a seeded coin flip ``probability``.
+    ``times`` bounds total firings (-1 = unlimited); ``match`` restricts to
+    statements containing a substring; ``replica`` restricts to one replica
+    of a scaled fleet (-1 = any); ``delay`` is the stall, in seconds, for
+    :data:`SLOW_RESULT` faults.
+    """
+
+    kind: str
+    site: str
+    at: tuple[int, ...] = ()
+    every: int = 0
+    after: int = 0
+    until: int = 0
+    probability: float = 0.0
+    times: int = -1
+    match: str = ""
+    replica: int = -1
+    delay: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A fault the schedule decided to fire on the current call."""
+
+    kind: str
+    site: str
+    seq: int
+    replica: Optional[int] = None
+    delay: float = 0.0
+
+
+class FaultSchedule:
+    """A seeded, scripted fault plan plus the event log it produces.
+
+    The log records every injected fault *and* every resilience action taken
+    in response (retries, failovers, quarantines, write replays), each as a
+    deterministic text line — no timestamps, no object ids — so two
+    single-threaded runs from the same seed compare byte-identical.
+    """
+
+    def __init__(self, seed: int = 0, specs: Optional[list[FaultSpec]] = None,
+                 name: str = "custom"):
+        self.seed = seed
+        self.name = name
+        self.specs = list(specs or ())
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, Optional[int]], int] = {}
+        self._firings: dict[int, int] = {}
+        self._events: list[str] = []
+
+    # -- scripting -------------------------------------------------------------------
+
+    def add(self, spec: FaultSpec) -> "FaultSchedule":
+        self.specs.append(spec)
+        return self
+
+    # -- the injection-site entry point ----------------------------------------------
+
+    def draw(self, site: str, op: str = "",
+             replica: Optional[int] = None) -> Optional[Fault]:
+        """Advance the (site, replica) call counter and return the fault to
+        fire on this call, if any. At most one spec fires per call (first
+        match in script order wins)."""
+        with self._lock:
+            key = (site, replica)
+            seq = self._counters.get(key, 0) + 1
+            self._counters[key] = seq
+            fired: Optional[Fault] = None
+            for index, spec in enumerate(self.specs):
+                if spec.site != site:
+                    continue
+                if spec.replica >= 0 and spec.replica != replica:
+                    continue
+                # A probability spec consumes exactly one rng draw per
+                # eligible call whether or not it fires — and whether or not
+                # an earlier spec already fired — keeping the rng stream a
+                # pure function of the call sequence.
+                coin = (self._rng.random() < spec.probability
+                        if spec.probability > 0 else False)
+                if fired is not None:
+                    continue
+                if spec.match and spec.match.upper() not in op.upper():
+                    continue
+                if spec.times >= 0 and self._firings.get(index, 0) >= spec.times:
+                    continue
+                due = coin
+                if spec.at and seq in spec.at:
+                    due = True
+                if spec.every and seq % spec.every == 0:
+                    due = True
+                if spec.after and seq >= spec.after \
+                        and (spec.until == 0 or seq <= spec.until):
+                    due = True
+                if not due:
+                    continue
+                self._firings[index] = self._firings.get(index, 0) + 1
+                fired = Fault(spec.kind, site, seq, replica, spec.delay)
+                self._events.append(_event_line(
+                    "inject", kind=spec.kind, site=site, seq=seq,
+                    replica=replica))
+            return fired
+
+    # -- the resilience-machinery entry point ----------------------------------------
+
+    def record(self, action: str, **detail) -> None:
+        """Log a resilience action (retry, failover, quarantine, replay...)
+        so it lands in the same deterministic event stream as the faults
+        that provoked it."""
+        with self._lock:
+            self._events.append(_event_line(action, **detail))
+
+    # -- inspection ------------------------------------------------------------------
+
+    def event_log(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    def event_log_bytes(self) -> bytes:
+        """The log as one byte string — the unit of the determinism check."""
+        return "\n".join(self.event_log()).encode("utf-8")
+
+    def injected_count(self) -> int:
+        with self._lock:
+            return sum(self._firings.values())
+
+
+def _event_line(action: str, **detail) -> str:
+    parts = [action]
+    for key in sorted(detail):
+        value = detail[key]
+        if value is None:
+            continue
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def apply_fault(fault: Optional[Fault]) -> Optional[Fault]:
+    """Standard behavior of a drawn fault at a backend-facing site.
+
+    Error kinds raise their exception; :data:`SLOW_RESULT` stalls in place.
+    :data:`WIRE_DISCONNECT` is returned unchanged — only the wire server can
+    act on it (by dropping the socket).
+    """
+    if fault is None:
+        return None
+    if fault.kind == BACKEND_TRANSIENT:
+        raise TransientBackendError(
+            f"injected transient backend error ({fault.site} call #{fault.seq})")
+    if fault.kind == BACKEND_TIMEOUT:
+        raise BackendTimeoutError(
+            f"injected backend timeout ({fault.site} call #{fault.seq})")
+    if fault.kind == REPLICA_DOWN:
+        raise ReplicaUnavailableError(
+            f"replica {fault.replica} is down "
+            f"({fault.site} call #{fault.seq})")
+    if fault.kind == SLOW_RESULT:
+        if fault.delay > 0:
+            time.sleep(fault.delay)
+        return None
+    return fault
+
+
+# -- retry policy --------------------------------------------------------------------
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
+
+    ``max_attempts`` counts executions, not re-executions: 4 means one try
+    plus up to three retries. Jitter comes from the policy's own seeded rng,
+    so sleep durations are reproducible too (they never enter the event log,
+    which keeps the log independent of scheduler timing)."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self._rng = random.Random(self.seed)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number *attempt* (1-based)."""
+        raw = self.base_delay * (self.multiplier ** (attempt - 1))
+        capped = min(self.max_delay, raw)
+        return capped * (1.0 + self.jitter * self._rng.random())
+
+
+#: A policy that never retries (for tests that want the raw error).
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+# -- resilience counters -------------------------------------------------------------
+
+
+class ResilienceStats:
+    """Thread-safe counters for what the resilience machinery actually did.
+
+    The acceptance bar for the fault battery reads straight off these:
+    transient errors retried to success means ``retries > 0`` with zero
+    client-visible errors; replica loss handled means ``failovers > 0``."""
+
+    FIELDS = ("retries", "retry_exhausted", "timeouts", "failovers",
+              "quarantines", "recoveries", "replayed_writes",
+              "wire_disconnects", "queued_writes")
+
+    #: Event names (as logged by the machinery) -> counter field.
+    EVENT_FIELDS = {
+        "retry": "retries", "retry_exhausted": "retry_exhausted",
+        "timeout": "timeouts", "failover": "failovers",
+        "quarantine": "quarantines", "recovery": "recoveries",
+        "replayed_write": "replayed_writes",
+        "wire_disconnect": "wire_disconnects",
+        "queued_write": "queued_writes",
+    }
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {name: 0 for name in self.FIELDS}
+
+    def note(self, event: str, count: int = 1) -> None:
+        field_name = self.EVENT_FIELDS.get(event, event)
+        with self._lock:
+            if field_name not in self._counts:
+                raise KeyError(f"unknown resilience event {event!r}")
+            self._counts[field_name] += count
+
+    def __getattr__(self, name: str) -> int:
+        counts = self.__dict__.get("_counts")
+        if counts is not None and name in counts:
+            with self.__dict__["_lock"]:
+                return counts[name]
+        raise AttributeError(name)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResilienceStats({self.snapshot()})"
+
+
+# -- named schedules (the CI fault matrix) -------------------------------------------
+
+
+def named_schedule(name: str, seed: int = 0) -> FaultSchedule:
+    """The three schedules the CI fault-matrix job runs.
+
+    * ``transient-errors`` — every 3rd target statement fails transiently,
+      every 7th times out; both must be retried to success with zero
+      client-visible errors.
+    * ``replica-loss`` — replica 1 stops answering from its 3rd through its
+      9th target call, then recovers; reads must fail over, queued writes
+      must replay.
+    * ``disconnect-storm`` — every 2nd wire request the client connection
+      is cut before a response, plus a periodic slow result; sessions must
+      be reclaimed and survivors unaffected.
+    """
+    if name == "transient-errors":
+        return FaultSchedule(seed, [
+            FaultSpec(BACKEND_TRANSIENT, "odbc", every=3),
+            FaultSpec(BACKEND_TIMEOUT, "odbc", every=7),
+        ], name=name)
+    if name == "replica-loss":
+        return FaultSchedule(seed, [
+            FaultSpec(REPLICA_DOWN, "odbc", replica=1, after=3, until=9),
+        ], name=name)
+    if name == "disconnect-storm":
+        return FaultSchedule(seed, [
+            FaultSpec(WIRE_DISCONNECT, "wire", every=2),
+            FaultSpec(SLOW_RESULT, "wire", every=5, delay=0.005),
+        ], name=name)
+    raise ValueError(f"unknown fault schedule {name!r}")
+
+
+NAMED_SCHEDULES = ("transient-errors", "replica-loss", "disconnect-storm")

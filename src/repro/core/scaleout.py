@@ -21,21 +21,41 @@ Session-scoped state (volatile tables, recursion work tables) stays
 consistent because a session pins each *read* to the replica that owns its
 session-scoped objects only when such objects exist; otherwise reads rotate
 freely.
+
+Replica loss is a first-class event, not an exception path: each replica
+carries a :class:`ReplicaHealth` record. Infrastructure failures (a replica
+that stops answering, a retry budget exhausted against it) count against the
+replica; at ``failure_threshold`` consecutive failures it is **quarantined**.
+Reads re-route around quarantined replicas; writes destined for one are
+**queued** and **replayed in order** when the replica recovers (detected by
+a drain attempt on the next write, or forced via :meth:`revive_replica`) —
+so a healed replica converges back to the fleet state instead of silently
+diverging. Query-level errors (a typo that fails identically everywhere)
+never count against health: only failures other replicas do not share do.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+from collections import deque
 from typing import Callable, Optional
 
-from repro.errors import HyperQError
+from repro.errors import (
+    HyperQError, ReplicaUnavailableError, RetryExhaustedError,
+    TransientBackendError,
+)
 from repro.core.engine import HQResult, HyperQ, HyperQSession
+from repro.core.faults import ResilienceStats, RetryPolicy
 from repro.frontend.teradata import ast as a
 from repro.frontend.teradata.parser import TeradataParser
 from repro.transform.capabilities import CapabilityProfile, HYPERION
 
 Policy = Callable[[int, int], int]  # (request_index, replica_count) -> index
+
+#: Failures that indict the replica rather than the query.
+_INFRA_ERRORS = (ReplicaUnavailableError, RetryExhaustedError,
+                 TransientBackendError)
 
 
 def round_robin(request_index: int, replica_count: int) -> int:
@@ -43,20 +63,51 @@ def round_robin(request_index: int, replica_count: int) -> int:
     return request_index % replica_count
 
 
+class ReplicaHealth:
+    """Liveness bookkeeping for one replica of the fleet."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.up = True
+        #: Administratively downed: no automatic recovery probes until an
+        #: explicit :meth:`ScaledHyperQ.revive_replica`.
+        self.held_down = False
+        self.consecutive_failures = 0
+        #: Writes this replica missed while quarantined, in arrival order.
+        self.pending_writes: deque[str] = deque()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "quarantined"
+        return (f"ReplicaHealth(#{self.index} {state}, "
+                f"{len(self.pending_writes)} queued)")
+
+
 class ScaledHyperQ:
     """A load-balanced fleet of replica warehouses behind one virtual front."""
 
     def __init__(self, replicas: int = 2,
                  target: CapabilityProfile | str = HYPERION,
-                 policy: Policy = round_robin):
+                 policy: Policy = round_robin,
+                 faults=None,
+                 retry: Optional[RetryPolicy] = None,
+                 failure_threshold: int = 2):
         if replicas < 1:
             raise HyperQError("at least one replica is required")
-        self.engines = [HyperQ(target=target) for __ in range(replicas)]
+        if failure_threshold < 1:
+            raise HyperQError("failure_threshold must be >= 1")
+        self.faults = faults
+        self.engines = [HyperQ(target=target, faults=faults, retry=retry,
+                               replica=index)
+                        for index in range(replicas)]
         self.policy = policy
+        self.failure_threshold = failure_threshold
         self._counter = itertools.count()
         self._lock = threading.Lock()
         #: reads served per replica (observability for the balance tests).
         self.reads_per_replica = [0] * replicas
+        self.health = [ReplicaHealth(index) for index in range(replicas)]
+        #: fleet-level failover/quarantine/replay counters.
+        self.resilience = ResilienceStats()
 
     @property
     def replica_count(self) -> int:
@@ -65,11 +116,136 @@ class ScaledHyperQ:
     def create_session(self) -> "ScaledSession":
         return ScaledSession(self)
 
-    def _next_read_index(self) -> int:
+    # -- health ------------------------------------------------------------------
+
+    def is_up(self, index: int) -> bool:
         with self._lock:
-            index = self.policy(next(self._counter), len(self.engines))
+            return self.health[index].up
+
+    def up_replicas(self) -> list[int]:
+        with self._lock:
+            return [h.index for h in self.health if h.up]
+
+    def pending_writes(self, index: int) -> list[str]:
+        with self._lock:
+            return list(self.health[index].pending_writes)
+
+    def record_success(self, index: int) -> None:
+        with self._lock:
+            self.health[index].consecutive_failures = 0
+
+    def record_failure(self, index: int, error: Exception) -> None:
+        """Count one replica-indicting failure; quarantine at threshold."""
+        with self._lock:
+            health = self.health[index]
+            health.consecutive_failures += 1
+            if health.up and health.consecutive_failures >= self.failure_threshold:
+                health.up = False
+                self._record_event("quarantine", replica=index,
+                                   failures=health.consecutive_failures)
+                self.resilience.note("quarantine")
+
+    def kill_replica(self, index: int, hold: bool = True) -> None:
+        """Mark a replica down. With ``hold`` (the administrative axe the
+        test battery swings), automatic recovery probes are suppressed until
+        :meth:`revive_replica`; without it, the next write probes as usual."""
+        with self._lock:
+            health = self.health[index]
+            health.held_down = health.held_down or hold
+            if health.up:
+                health.up = False
+                self._record_event("quarantine", replica=index,
+                                   failures="manual" if hold
+                                   else health.consecutive_failures)
+                self.resilience.note("quarantine")
+
+    def queue_write(self, index: int, sql: str) -> None:
+        with self._lock:
+            self.health[index].pending_writes.append(sql)
+            self._record_event("queued_write", replica=index)
+            self.resilience.note("queued_write")
+
+    def _record_event(self, action: str, **detail) -> None:
+        if self.faults is not None:
+            self.faults.record(action, **detail)
+
+    # -- recovery ----------------------------------------------------------------
+
+    def try_recover(self, index: int,
+                    session: Optional[HyperQSession] = None) -> bool:
+        """Attempt to drain a quarantined replica's write queue.
+
+        Replays queued writes in arrival order through *session* (or a
+        throwaway engine session); stops at the first statement the replica
+        still refuses. Only when the queue fully drains does the replica
+        rejoin the fleet — a half-replayed replica must never serve reads.
+        Returns True if the replica is up afterwards.
+        """
+        with self._lock:
+            health = self.health[index]
+            if health.up:
+                return True
+            if health.held_down:
+                return False
+        replay_session = session if session is not None \
+            else self.engines[index].create_session()
+        replayed = 0
+        try:
+            while True:
+                with self._lock:
+                    if not self.health[index].pending_writes:
+                        break
+                    sql = self.health[index].pending_writes[0]
+                try:
+                    replay_session.execute(sql)
+                except _INFRA_ERRORS:
+                    # Still down: keep the statement queued for next time.
+                    return False
+                with self._lock:
+                    self.health[index].pending_writes.popleft()
+                replayed += 1
+                self._record_event("replayed_write", replica=index)
+                self.resilience.note("replayed_write")
+        finally:
+            if session is None:
+                replay_session.close()
+        with self._lock:
+            self.health[index].up = True
+            self.health[index].consecutive_failures = 0
+        self._record_event("recovery", replica=index, replayed=replayed)
+        self.resilience.note("recovery")
+        return True
+
+    def revive_replica(self, index: int,
+                       session: Optional[HyperQSession] = None) -> bool:
+        """Explicit recovery: drain the queue and rejoin the fleet."""
+        with self._lock:
+            self.health[index].held_down = False
+        return self.try_recover(index, session)
+
+    # -- routing -----------------------------------------------------------------
+
+    def _next_read_index(self) -> int:
+        """One policy draw over the healthy replicas."""
+        with self._lock:
+            up = [h.index for h in self.health if h.up]
+            if not up:
+                raise ReplicaUnavailableError(
+                    "no healthy replicas available for reads")
+            slot = self.policy(next(self._counter), len(up))
+            return up[slot % len(up)]
+
+    def read_order(self) -> list[int]:
+        """Healthy replicas in preference order for one read: the policy's
+        pick first, the rest as failover fallbacks."""
+        first = self._next_read_index()
+        with self._lock:
+            rest = [h.index for h in self.health if h.up and h.index != first]
+        return [first] + rest
+
+    def count_read(self, index: int) -> None:
+        with self._lock:
             self.reads_per_replica[index] += 1
-            return index
 
 
 class ScaledSession:
@@ -124,35 +300,84 @@ class ScaledSession:
         return self._execute_write(sql)
 
     def _execute_read(self, sql: str) -> HQResult:
+        fleet = self._fleet
         if self._pinned is not None:
+            # Volatile state lives on exactly one replica; a read against it
+            # cannot re-route without losing the session's overlay.
+            if not fleet.is_up(self._pinned):
+                raise ReplicaUnavailableError(
+                    f"replica {self._pinned} holding this session's "
+                    f"volatile state is quarantined")
             return self._sessions[self._pinned].execute(sql)
-        index = self._fleet._next_read_index()
-        try:
-            return self._sessions[index].execute(sql)
-        except HyperQError:
-            # Failover: a broken replica must not break the application.
-            for fallback, session in enumerate(self._sessions):
-                if fallback != index:
-                    try:
-                        return session.execute(sql)
-                    except HyperQError:
-                        continue
-            raise
+        order = fleet.read_order()
+        failures: list[tuple[int, HyperQError]] = []
+        for index in order:
+            try:
+                result = self._sessions[index].execute(sql)
+            except HyperQError as error:
+                failures.append((index, error))
+                continue
+            if failures:
+                # The request succeeded elsewhere, so the earlier failures
+                # indict those replicas, not the query.
+                for failed_index, error in failures:
+                    fleet.record_failure(failed_index, error)
+                fleet.resilience.note("failover")
+                fleet._record_event(
+                    "failover", replica=index,
+                    skipped=",".join(str(i) for i, __ in failures))
+            fleet.record_success(index)
+            fleet.count_read(index)
+            return result
+        # Every healthy replica failed. Infrastructure errors still count
+        # against health (a fleet-wide outage is N replica outages); plain
+        # query errors do not — the query itself is at fault.
+        for index, error in failures:
+            if isinstance(error, _INFRA_ERRORS):
+                fleet.record_failure(index, error)
+        raise failures[-1][1]
 
     def _execute_session_scoped(self, sql: str) -> HQResult:
         if self._pinned is None:
             self._pinned = self._fleet._next_read_index()
+            self._fleet.count_read(self._pinned)
         return self._sessions[self._pinned].execute(sql)
 
     def _execute_write(self, sql: str) -> HQResult:
-        results = [session.execute(sql) for session in self._sessions]
-        # All replicas must agree on the effect; surfacing divergence beats
-        # silently returning one replica's answer.
-        counts = {result.rowcount for result in results}
+        fleet = self._fleet
+        results: dict[int, HQResult] = {}
+        infra_failures: list[tuple[int, HyperQError]] = []
+        for index, session in enumerate(self._sessions):
+            if not fleet.is_up(index):
+                # Queue first, then probe: if the replica has recovered the
+                # drain applies this very write and the fleet reconverges.
+                fleet.queue_write(index, sql)
+                fleet.try_recover(index, session)
+                continue
+            try:
+                results[index] = session.execute(sql)
+            except _INFRA_ERRORS as error:
+                infra_failures.append((index, error))
+                fleet.record_failure(index, error)
+                # A replica that missed a write is diverged until replay:
+                # quarantine immediately, regardless of the consecutive-
+                # failure threshold, so it cannot serve stale reads. Not
+                # held: the next write probes for organic recovery.
+                fleet.kill_replica(index, hold=False)
+                fleet.queue_write(index, sql)
+        if not results:
+            if infra_failures:
+                raise ReplicaUnavailableError(
+                    f"write failed on every replica: {infra_failures[-1][1]}")
+            raise ReplicaUnavailableError(
+                "no healthy replicas available for writes")
+        # All replicas that applied the write must agree on the effect;
+        # surfacing divergence beats silently returning one answer.
+        counts = {result.rowcount for result in results.values()}
         if len(counts) > 1:
             raise HyperQError(
                 f"replica divergence: write affected {sorted(counts)} rows")
-        return results[0]
+        return next(iter(results.values()))
 
     def close(self) -> None:
         for session in self._sessions:

@@ -35,6 +35,25 @@ class FeatureTracker:
         self.feature_query_counts: Counter[str] = Counter()
         self.class_query_counts: Counter[FeatureClass] = Counter()
         self.observed_stages: dict[str, str] = {}
+        #: Resilience actions observed across the workload (retries,
+        #: failovers, timeouts...) — the operational companion to the
+        #: feature counters: how often the proxy had to fight the target
+        #: to keep the workload's answers flowing.
+        self.resilience_counts: Counter[str] = Counter()
+
+    # -- resilience instrumentation ----------------------------------------------
+
+    def note_resilience(self, event: str) -> None:
+        """Count one resilience action (``retry``, ``failover``, ...)."""
+        self.resilience_counts[event] += 1
+
+    @property
+    def retries(self) -> int:
+        return self.resilience_counts["retry"]
+
+    @property
+    def failovers(self) -> int:
+        return self.resilience_counts["failover"]
 
     # -- per-request lifecycle ---------------------------------------------------
 

@@ -70,6 +70,34 @@ class TypeMismatchError(BackendError):
     """Raised when runtime values do not match their declared types."""
 
 
+class TransientBackendError(BackendError):
+    """A retryable backend failure (deadlock victim, dropped connection).
+
+    The ODBC Server retries these under the engine's :class:`RetryPolicy`;
+    the application never sees one unless the retry budget is exhausted.
+    """
+
+
+class BackendTimeoutError(TransientBackendError):
+    """The target (or a request as a whole) exceeded its deadline.
+
+    A subclass of :class:`TransientBackendError` because a timed-out
+    statement is retried exactly like any other transient failure.
+    """
+
+
+class RetryExhaustedError(BackendError):
+    """A transient failure persisted through the whole retry budget."""
+
+
+class ReplicaUnavailableError(HyperQError):
+    """A scale-out replica is down or quarantined.
+
+    Deliberately *not* transient: retrying the same replica is pointless;
+    the fix is failover, which :mod:`repro.core.scaleout` handles.
+    """
+
+
 class ProtocolError(HyperQError):
     """Raised for malformed or unexpected wire-protocol messages."""
 

@@ -5,15 +5,27 @@ multi-statement scripts) and retrieves results on demand in one or more
 batches packaged in :mod:`repro.tdf`. Handles "very wide rows and extremely
 large result sets" by never materializing more than one batch outside the
 :class:`~repro.results.store.ResultStore`.
+
+This layer is also where Hyper-Q absorbs target-side turbulence: every
+statement passes a fault-injection checkpoint (site ``"odbc"``), and
+transient failures — injected or real — are retried under the engine's
+:class:`~repro.core.faults.RetryPolicy` with exponential backoff before
+anything becomes visible to the application.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+import time
+from typing import Callable, Iterator, Optional
 
 from repro import tdf
+from repro.errors import RetryExhaustedError, TransientBackendError
 from repro.backend.engine import QueryResult
 from repro.odbc.drivers import Driver, DriverConnection
+
+#: Observer signature: (event, detail) — wired to the engine's resilience
+#: counters and the fault schedule's event log.
+Observer = Callable[[str, dict], None]
 
 
 class OdbcResult:
@@ -55,9 +67,15 @@ class OdbcResult:
 class OdbcServer:
     """One ODBC connection to the target per Hyper-Q session."""
 
-    def __init__(self, driver: Driver, batch_rows: int = 1024):
+    def __init__(self, driver: Driver, batch_rows: int = 1024,
+                 faults=None, replica: Optional[int] = None,
+                 retry=None, observer: Optional[Observer] = None):
         self._driver = driver
         self._batch_rows = batch_rows
+        self._faults = faults
+        self._replica = replica
+        self._retry = retry
+        self._observer = observer
         self._connection: Optional[DriverConnection] = None
 
     def _ensure_connection(self) -> DriverConnection:
@@ -69,10 +87,40 @@ class OdbcServer:
     def connection(self) -> DriverConnection:
         return self._ensure_connection()
 
+    def _notify(self, event: str, **detail) -> None:
+        if self._observer is not None:
+            self._observer(event, detail)
+
     def execute(self, sql: str) -> OdbcResult:
-        """Submit one statement to the target database."""
-        raw = self._ensure_connection().execute(sql)
-        return OdbcResult(raw, self._batch_rows)
+        """Submit one statement to the target database.
+
+        Transient failures (injected at the ``odbc``/``executor`` sites or
+        surfaced by a real driver) are retried with backoff up to the retry
+        policy's budget; retries never reorder or duplicate effects because
+        the injection checkpoints fire *before* the driver executes.
+        """
+        from repro.core.faults import apply_fault
+
+        attempt = 1
+        while True:
+            try:
+                if self._faults is not None:
+                    apply_fault(self._faults.draw(
+                        "odbc", op=sql, replica=self._replica))
+                raw = self._ensure_connection().execute(sql)
+                return OdbcResult(raw, self._batch_rows)
+            except TransientBackendError as error:
+                if self._retry is None or attempt >= self._retry.max_attempts:
+                    self._notify("retry_exhausted",
+                                 attempts=attempt, site="odbc",
+                                 replica=self._replica)
+                    raise RetryExhaustedError(
+                        f"transient backend failure persisted through "
+                        f"{attempt} attempt(s): {error}") from error
+                self._notify("retry", attempt=attempt, site="odbc",
+                             replica=self._replica)
+                time.sleep(self._retry.delay(attempt))
+                attempt += 1
 
     def execute_script(self, statements: list[str]) -> list[OdbcResult]:
         """Submit a multi-statement request, returning one result each."""

@@ -5,6 +5,22 @@ credentials and request payloads, hands them to the Hyper-Q engine, and
 packages responses back into the binary message format the application
 expects. One engine session per connection; a thread per connection gives
 the horizontal-scalability shape of the stress test (Section 7.3).
+
+Resilience duties of this layer:
+
+* every session is closed when its connection ends, cleanly or not — an
+  abrupt disconnect must not orphan the session's volatile-table overlay;
+* with ``request_timeout`` set, a request that overruns its deadline gets a
+  timely FAILURE reply instead of hanging the connection (the straggler
+  finishes on a single worker behind the scenes, so the session is never
+  driven concurrently);
+* unexpected internal errors become FAILURE replies, not dropped
+  connections;
+* the engine's fault schedule is consulted per request (site ``"wire"``):
+  :data:`~repro.core.faults.WIRE_DISCONNECT` cuts the connection with no
+  reply — the deterministic stand-in for a client yanked mid-conversation —
+  and :data:`~repro.core.faults.SLOW_RESULT` stalls the request inside the
+  timed region.
 """
 
 from __future__ import annotations
@@ -13,9 +29,13 @@ import socket
 import socketserver
 import struct
 import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Optional
 
-from repro.errors import HyperQError, ProtocolError
+from repro.errors import BackendTimeoutError, HyperQError, ProtocolError
+from repro.core import faults as flt
 from repro.core.engine import HQResult, HyperQ
 from repro.protocol.encoding import encode_meta
 from repro.protocol.messages import MessageKind, read_message, send_message
@@ -27,6 +47,8 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
         sock: socket.socket = self.request
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        session = None
+        self._executor: Optional[ThreadPoolExecutor] = None
         try:
             kind, payload = read_message(sock)
             if kind is not MessageKind.LOGON_REQUEST:
@@ -40,23 +62,79 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             self._serve(sock, session)
         except (ProtocolError, ConnectionError, OSError):
             return
+        finally:
+            # Sessions close on *every* exit path: a client that vanishes
+            # mid-request must not leak its volatile-table overlay or its
+            # converter resources.
+            if session is not None:
+                session.close()
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
 
     def _serve(self, sock: socket.socket, session) -> None:
+        engine = self.server.engine
         while True:
             kind, payload = read_message(sock)
             if kind is MessageKind.LOGOFF:
-                session.close()
                 return
             if kind is not MessageKind.RUN_QUERY:
                 raise ProtocolError(f"unexpected message {kind.name}")
             sql = payload.decode("utf-8")
+            fault = (engine.faults.draw("wire", op=sql)
+                     if engine.faults is not None else None)
+            if fault is not None and fault.kind == flt.WIRE_DISCONNECT:
+                engine.resilience.note("wire_disconnect")
+                if engine.faults is not None:
+                    engine.faults.record("wire_disconnect", seq=fault.seq)
+                # Abrupt: no FAILURE envelope, no LOGOFF — the client sees
+                # the connection die exactly as with a real network cut.
+                return
+            delay = fault.delay if fault is not None \
+                and fault.kind == flt.SLOW_RESULT else 0.0
             try:
-                result = session.execute(sql)
-            except HyperQError as error:
+                result = self._run_request(session, sql, delay)
+            except HyperQError as error:  # includes request timeouts
                 send_message(sock, MessageKind.FAILURE,
                              str(error).encode("utf-8"))
                 continue
+            except Exception as error:  # noqa: BLE001 — reply, don't drop
+                send_message(
+                    sock, MessageKind.FAILURE,
+                    f"internal error: {error}".encode("utf-8"))
+                continue
             self._send_result(sock, result)
+
+    def _run_request(self, session, sql: str, delay: float) -> HQResult:
+        """Execute one request, enforcing the server's per-request deadline.
+
+        The request runs on this connection's single worker thread; on
+        deadline overrun the client gets a FAILURE now and the straggler's
+        result is discarded (and closed) when it eventually lands. Because
+        the worker pool has exactly one thread, a straggler and the next
+        request can never touch the session concurrently.
+        """
+        def work() -> HQResult:
+            if delay > 0:
+                time.sleep(delay)
+            return session.execute(sql)
+
+        timeout = self.server.request_timeout
+        if timeout is None:
+            return work()
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="hyperq-request")
+        future = self._executor.submit(work)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            engine = self.server.engine
+            engine.resilience.note("timeout")
+            if engine.faults is not None:
+                engine.faults.record("timeout", timeout=f"{timeout:g}")
+            future.add_done_callback(_discard_result)
+            raise BackendTimeoutError(
+                f"request timed out after {timeout:g}s") from None
 
     def _send_result(self, sock: socket.socket, result: HQResult) -> None:
         if result.kind == "rows":
@@ -78,6 +156,16 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         result.close()
 
 
+def _discard_result(future) -> None:
+    """Release whatever a timed-out straggler eventually produced."""
+    try:
+        result = future.result()
+    except Exception:
+        return
+    if result is not None:
+        result.close()
+
+
 class HyperQServer(socketserver.ThreadingTCPServer):
     """Threaded TCP server wrapping one Hyper-Q engine.
 
@@ -89,14 +177,18 @@ class HyperQServer(socketserver.ThreadingTCPServer):
     Figure 9b stress bench opens dozens of connections and must always be
     able to tear the server down); ``request_queue_size`` bounds the listen
     backlog so connection storms queue in the kernel instead of failing.
+    ``request_timeout`` (seconds, None = unlimited) is the per-request
+    deadline after which the client receives a FAILURE reply.
     """
 
     allow_reuse_address = True
     daemon_threads = True
     request_queue_size = 128
 
-    def __init__(self, engine: HyperQ, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, engine: HyperQ, host: str = "127.0.0.1", port: int = 0,
+                 request_timeout: Optional[float] = None):
         self.engine = engine
+        self.request_timeout = request_timeout
         self._session_counter = 0
         self._counter_lock = threading.Lock()
         super().__init__((host, port), _ConnectionHandler)
@@ -121,8 +213,10 @@ class ServerThread:
             client = TdClient(*address)
     """
 
-    def __init__(self, engine: HyperQ, host: str = "127.0.0.1", port: int = 0):
-        self.server = HyperQServer(engine, host, port)
+    def __init__(self, engine: HyperQ, host: str = "127.0.0.1", port: int = 0,
+                 request_timeout: Optional[float] = None):
+        self.server = HyperQServer(engine, host, port,
+                                   request_timeout=request_timeout)
         self._thread: Optional[threading.Thread] = None
 
     def start(self) -> tuple[str, int]:

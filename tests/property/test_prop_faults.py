@@ -1,0 +1,137 @@
+"""Property-based tests on the fault-injection plane.
+
+Two invariants carry the whole subsystem:
+
+* **determinism** — a :class:`FaultSchedule` is a pure function of its seed
+  and the call sequence, so the same seed over the same workload yields a
+  byte-identical event log, run after run;
+* **transparency** — a schedule that injects nothing behaves exactly like
+  no schedule at all: same rows, same cache counters, zero resilience
+  activity.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import HyperQ
+from repro.core.faults import (
+    BACKEND_TIMEOUT, BACKEND_TRANSIENT, SLOW_RESULT,
+    FaultSchedule, FaultSpec, RetryPolicy, apply_fault,
+)
+
+# Generated specs are capped at 3 specs x 4 firings = 12 consecutive
+# faults, so a 16-attempt budget guarantees every statement eventually
+# lands and the workload always completes.
+_FAST = RetryPolicy(max_attempts=16, base_delay=0.0001, max_delay=0.0005)
+
+#: Specs whose faults the retry loop absorbs.
+transient_specs = st.builds(
+    FaultSpec,
+    kind=st.sampled_from([BACKEND_TRANSIENT, BACKEND_TIMEOUT]),
+    site=st.just("odbc"),
+    every=st.integers(min_value=3, max_value=9),
+    after=st.integers(min_value=0, max_value=5),
+    times=st.integers(min_value=1, max_value=4),
+)
+
+probability_specs = st.builds(
+    FaultSpec,
+    kind=st.just(BACKEND_TRANSIENT),
+    site=st.just("odbc"),
+    probability=st.floats(min_value=0.05, max_value=0.3),
+    times=st.integers(min_value=1, max_value=3),
+)
+
+schedules = st.builds(
+    FaultSchedule,
+    st.integers(min_value=0, max_value=2 ** 32 - 1),
+    st.lists(st.one_of(transient_specs, probability_specs),
+             min_size=0, max_size=3),
+)
+
+
+def run_workload(schedule):
+    """A fixed mini-workload; returns (rows, cache stats, resilience)."""
+    engine = HyperQ(faults=schedule, retry=_FAST)
+    session = engine.create_session()
+    session.execute("CREATE TABLE P (A INTEGER, B INTEGER)")
+    session.execute("INSERT INTO P VALUES (1, 10), (2, 20), (3, 30)")
+    session.execute("UPD P SET B = B + 1 WHERE A = 2")
+    rows = []
+    for __ in range(4):
+        rows.append(session.execute("SEL A, B FROM P ORDER BY A").rows)
+    rows.append(session.execute("SEL COUNT(*) FROM P").rows)
+    session.close()
+    return rows, engine.cache_stats().as_dict(), engine.resilience_stats()
+
+
+class TestScheduleDeterminism:
+    @given(schedule=schedules)
+    @settings(max_examples=30, deadline=None)
+    def test_same_seed_gives_byte_identical_event_logs(self, schedule):
+        first = FaultSchedule(schedule.seed, schedule.specs)
+        second = FaultSchedule(schedule.seed, schedule.specs)
+        rows_a = run_workload(first)[0]
+        rows_b = run_workload(second)[0]
+        assert first.event_log_bytes() == second.event_log_bytes()
+        assert rows_a == rows_b
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32 - 1),
+           probability=st.floats(min_value=0.1, max_value=0.9),
+           calls=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_probability_draws_are_a_pure_function_of_the_seed(
+            self, seed, probability, calls):
+        spec = FaultSpec(BACKEND_TRANSIENT, "odbc", probability=probability)
+        outcomes = []
+        for __ in range(2):
+            schedule = FaultSchedule(seed, [spec])
+            outcomes.append(tuple(
+                schedule.draw("odbc") is not None for _ in range(calls)))
+        assert outcomes[0] == outcomes[1]
+
+    @given(schedule=schedules)
+    @settings(max_examples=30, deadline=None)
+    def test_log_length_matches_injected_count(self, schedule):
+        run_workload(schedule)
+        injected_lines = [line for line in schedule.event_log()
+                          if line.startswith("inject ")]
+        assert len(injected_lines) == schedule.injected_count()
+
+
+class TestFaultFreeTransparency:
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_empty_schedule_is_behaviorally_invisible(self, seed):
+        baseline_rows, baseline_cache, baseline_res = run_workload(None)
+        schedule = FaultSchedule(seed, [])
+        rows, cache, resilience = run_workload(schedule)
+        assert rows == baseline_rows
+        assert cache == baseline_cache
+        assert resilience == baseline_res
+        assert all(count == 0 for count in resilience.values())
+        assert schedule.injected_count() == 0
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_never_matching_spec_is_behaviorally_invisible(self, seed):
+        baseline_rows = run_workload(None)[0]
+        # A window that opens far beyond the workload's call count.
+        schedule = FaultSchedule(seed, [
+            FaultSpec(BACKEND_TRANSIENT, "odbc", after=10_000)])
+        rows, __, resilience = run_workload(schedule)
+        assert rows == baseline_rows
+        assert all(count == 0 for count in resilience.values())
+        assert schedule.injected_count() == 0
+
+
+class TestApplyFaultTotality:
+    @given(delay=st.floats(min_value=0.0, max_value=0.001))
+    @settings(max_examples=10, deadline=None)
+    def test_slow_result_never_raises(self, delay):
+        schedule = FaultSchedule(0, [
+            FaultSpec(SLOW_RESULT, "odbc", every=1, delay=delay)])
+        fault = schedule.draw("odbc")
+        assert fault is not None
+        apply_fault(fault)  # stalls, returns None, never raises

@@ -1,0 +1,34 @@
+"""Shared helpers for the resilience battery.
+
+The suite runs standalone (``pytest tests/resilience``) and under the CI
+fault-matrix job, which sets ``HQ_FAULT_SCHEDULE`` to one of the named
+schedules so each matrix leg exercises one failure family.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.faults import NAMED_SCHEDULES, RetryPolicy
+
+
+def schedule_selected(name: str) -> bool:
+    """True when *name* should run: always locally, one per CI matrix leg."""
+    selected = os.environ.get("HQ_FAULT_SCHEDULE", "")
+    return selected in ("", name)
+
+
+def requires_schedule(name: str):
+    """Skip marker for tests tied to one named schedule."""
+    assert name in NAMED_SCHEDULES
+    return pytest.mark.skipif(
+        not schedule_selected(name),
+        reason=f"HQ_FAULT_SCHEDULE selects a different schedule than {name!r}")
+
+
+@pytest.fixture
+def fast_retry() -> RetryPolicy:
+    """Retry policy with microscopic backoff so tests stay fast."""
+    return RetryPolicy(max_attempts=4, base_delay=0.0001, max_delay=0.0005)

@@ -1,0 +1,127 @@
+"""Concurrent sessions under a disconnect-heavy schedule.
+
+N client threads hammer one engine through the wire server while the fault
+plane keeps cutting connections. The invariants that must hold:
+
+* no session-overlay cross-talk — every thread always reads *its own*
+  volatile table contents, never another session's;
+* every client-confirmed write landed exactly once (disconnected requests
+  are cut *before* execution, so they land exactly zero times);
+* every session the server created is closed again, clean exit or not;
+* the shared translation cache's counters stay internally consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core.engine import HyperQ, HyperQSession
+from repro.core.faults import WIRE_DISCONNECT, FaultSchedule, FaultSpec
+from repro.protocol.client import TdClient
+from repro.protocol.server import ServerThread
+
+THREADS = 6
+ROUNDS = 14
+
+DISCONNECT_EVERY = 7  # roughly one request in seven dies on the wire
+
+
+class _Worker(threading.Thread):
+    def __init__(self, tid: int, address):
+        super().__init__(daemon=True)
+        self.tid = tid
+        self.address = address
+        self.confirmed_inserts = 0
+        self.connections = 0
+        self.disconnects = 0
+        self.cross_talk: list = []
+        self.unexpected: list = []
+
+    def run(self) -> None:
+        client = None
+        for __ in range(ROUNDS):
+            try:
+                if client is None:
+                    client = TdClient(*self.address)
+                    self.connections += 1
+                    client.execute("CREATE VOLATILE TABLE MINE (X INTEGER)")
+                    client.execute(f"INS INTO MINE VALUES ({self.tid})")
+                rows = client.execute("SEL X FROM MINE").rows
+                if rows != [(self.tid,)]:
+                    self.cross_talk.append(rows)
+                client.execute(f"INS INTO SHARED VALUES ({self.tid})")
+                self.confirmed_inserts += 1
+            except (ProtocolError, ConnectionError, OSError):
+                self.disconnects += 1
+                client = None  # reconnect on the next round
+            except Exception as error:  # noqa: BLE001 — record, don't die
+                self.unexpected.append(error)
+                client = None
+        if client is not None:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+
+@pytest.fixture
+def close_counter(monkeypatch):
+    closed = []
+    original = HyperQSession.close
+
+    def counting_close(self):
+        closed.append(self)
+        return original(self)
+
+    monkeypatch.setattr(HyperQSession, "close", counting_close)
+    return closed
+
+
+def test_disconnect_storm_with_concurrent_sessions(close_counter):
+    schedule = FaultSchedule(42, [
+        FaultSpec(WIRE_DISCONNECT, "wire", every=DISCONNECT_EVERY)])
+    engine = HyperQ(faults=schedule)
+    engine.execute("CREATE TABLE SHARED (TID INTEGER)")
+    with ServerThread(engine) as address:
+        workers = [_Worker(tid, address) for tid in range(THREADS)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert not worker.is_alive()
+
+        # 1. No cross-session volatile-overlay leakage, no stray errors.
+        for worker in workers:
+            assert worker.cross_talk == [], \
+                f"thread {worker.tid} read foreign volatile rows"
+            assert worker.unexpected == [], worker.unexpected
+
+        # 2. The storm actually stormed, and clients rode it out.
+        total_disconnects = sum(w.disconnects for w in workers)
+        assert total_disconnects > 0
+        assert sum(w.confirmed_inserts for w in workers) > 0
+        assert engine.resilience_stats()["wire_disconnects"] >= \
+            total_disconnects
+
+        # 3. Exactly-once accounting: every confirmed insert landed, every
+        # cut-off request landed nowhere.
+        expected = sum(w.confirmed_inserts for w in workers)
+        assert engine.execute("SEL COUNT(*) FROM SHARED").rows == [(expected,)]
+
+        # 4. No session leaks: one close per connection the server accepted.
+        opened = sum(w.connections for w in workers)
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline and len(close_counter) < opened:
+            time.sleep(0.02)
+        assert len(close_counter) == opened
+
+    # 5. Translation-cache counters stayed coherent under concurrency.
+    stats = engine.cache_stats()
+    assert stats.hits >= 0 and stats.misses >= 0
+    assert stats.lookups == stats.hits + stats.misses
+    assert stats.inserts <= stats.misses + stats.bypasses
+    assert stats.lookups > 0

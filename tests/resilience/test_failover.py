@@ -1,0 +1,178 @@
+"""Replica loss: quarantine, read failover, write queuing and replay.
+
+Appendix B.3's promise under fire: losing a replica must cost the
+application nothing (reads) and the fleet nothing (writes reconverge on
+recovery).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HyperQError, ReplicaUnavailableError
+from repro.core.faults import (
+    BACKEND_TRANSIENT, REPLICA_DOWN, FaultSchedule, FaultSpec,
+)
+from repro.core.scaleout import ScaledHyperQ
+
+
+def make_fleet(replicas=3, **kwargs):
+    fleet = ScaledHyperQ(replicas=replicas, **kwargs)
+    session = fleet.create_session()
+    session.execute("CREATE TABLE EV (ID INTEGER, V INTEGER)")
+    session.execute("INSERT INTO EV VALUES (1, 10), (2, 20), (3, 30)")
+    return fleet, session
+
+
+class TestKilledReplica:
+    def test_reads_keep_flowing_after_a_kill(self):
+        fleet, session = make_fleet()
+        fleet.kill_replica(1)
+        for __ in range(9):
+            assert session.execute("SEL COUNT(*) FROM EV").rows == [(3,)]
+        assert fleet.reads_per_replica[1] == 0
+        assert fleet.up_replicas() == [0, 2]
+
+    def test_scheduled_replica_down_triggers_failover(self):
+        # Replica 1 stops answering from its 3rd target call on — i.e.
+        # right after the two setup statements land.
+        sched = FaultSchedule(0, [
+            FaultSpec(REPLICA_DOWN, "odbc", replica=1, after=3)])
+        fleet, session = make_fleet(faults=sched)
+        for __ in range(9):
+            assert session.execute("SEL COUNT(*) FROM EV").rows == [(3,)]
+        stats = fleet.resilience.snapshot()
+        assert stats["failovers"] > 0
+        assert stats["quarantines"] == 1
+        assert fleet.up_replicas() == [0, 2]
+
+    def test_all_replicas_down_is_a_clean_error(self):
+        fleet, session = make_fleet(replicas=2)
+        fleet.kill_replica(0)
+        fleet.kill_replica(1)
+        with pytest.raises(ReplicaUnavailableError):
+            session.execute("SEL COUNT(*) FROM EV")
+
+    def test_kill_is_idempotent(self):
+        fleet, __ = make_fleet()
+        fleet.kill_replica(2)
+        fleet.kill_replica(2)
+        assert fleet.resilience.snapshot()["quarantines"] == 1
+
+
+class TestQuarantineThreshold:
+    def test_consecutive_failures_quarantine_a_replica(self):
+        fleet, session = make_fleet(failure_threshold=2)
+        # Break replica 0 behind Hyper-Q's back: reads against it fail,
+        # reads against the others succeed, so the failures indict it.
+        fleet.engines[0].backend.catalog.drop_table("EV")
+        fleet.engines[0].shadow.drop_table("EV")
+        for __ in range(8):
+            assert session.execute("SEL COUNT(*) FROM EV").rows == [(3,)]
+        assert fleet.up_replicas() == [1, 2]
+        assert fleet.resilience.snapshot()["quarantines"] == 1
+
+    def test_a_bad_query_never_indicts_replicas(self):
+        fleet, session = make_fleet()
+        for __ in range(6):
+            with pytest.raises(HyperQError):
+                session.execute("SEL NO_SUCH_COLUMN FROM EV")
+        assert fleet.up_replicas() == [0, 1, 2]
+        assert fleet.resilience.snapshot()["quarantines"] == 0
+
+
+class TestWriteReplay:
+    def test_writes_queue_while_down_and_replay_on_revive(self):
+        fleet, session = make_fleet()
+        fleet.kill_replica(1)
+        session.execute("UPD EV SET V = V + 1 WHERE ID = 1")
+        session.execute("INS INTO EV VALUES (4, 40)")
+        assert len(fleet.pending_writes(1)) == 2
+        assert fleet.revive_replica(1)
+        assert fleet.pending_writes(1) == []
+        for engine in fleet.engines:
+            check = engine.create_session()
+            assert check.execute("SEL V FROM EV WHERE ID = 1").rows == [(11,)]
+            assert check.execute("SEL COUNT(*) FROM EV").rows == [(4,)]
+            check.close()
+        stats = fleet.resilience.snapshot()
+        assert stats["queued_writes"] == 2
+        assert stats["replayed_writes"] == 2
+        assert stats["recoveries"] == 1
+
+    def test_next_write_probes_recovery_automatically(self):
+        sched = FaultSchedule(0, [
+            FaultSpec(REPLICA_DOWN, "odbc", replica=1, after=3, until=5)])
+        fleet, session = make_fleet(faults=sched, failure_threshold=1)
+        # Drive replica 1 into its outage window via reads, then keep
+        # writing: the write path itself must detect recovery and replay.
+        for __ in range(4):
+            session.execute("SEL COUNT(*) FROM EV")
+        assert fleet.up_replicas() == [0, 2]
+        for __ in range(4):
+            session.execute("UPD EV SET V = V + 1 WHERE ID = 2")
+        assert fleet.up_replicas() == [0, 1, 2]
+        answers = {tuple(engine.create_session()
+                         .execute("SEL V FROM EV WHERE ID = 2").rows[0])
+                   for engine in fleet.engines}
+        assert answers == {(24,)}
+
+    def test_replay_preserves_write_order(self):
+        fleet, session = make_fleet()
+        fleet.kill_replica(2)
+        session.execute("UPD EV SET V = 100 WHERE ID = 1")
+        session.execute("UPD EV SET V = V + 5 WHERE ID = 1")
+        fleet.revive_replica(2)
+        check = fleet.engines[2].create_session()
+        assert check.execute("SEL V FROM EV WHERE ID = 1").rows == [(105,)]
+        check.close()
+
+    def test_write_during_outage_still_succeeds_for_the_app(self):
+        fleet, session = make_fleet()
+        fleet.kill_replica(0)
+        result = session.execute("UPD EV SET V = 0 WHERE ID = 3")
+        assert result.rowcount == 1
+
+    def test_transient_write_failure_quarantines_and_queues(self, fast_retry):
+        # Replica 2's target refuses persistently: the fleet must keep the
+        # write, quarantine the replica, and replay once it heals.
+        sched = FaultSchedule(0, [
+            FaultSpec(BACKEND_TRANSIENT, "odbc", replica=2, after=3, until=9)])
+        fleet, session = make_fleet(faults=sched, retry=fast_retry)
+        session.execute("UPD EV SET V = V * 2 WHERE ID = 1")
+        assert fleet.up_replicas() == [0, 1]
+        assert len(fleet.pending_writes(2)) == 1
+        for __ in range(4):
+            session.execute("UPD EV SET V = V + 1 WHERE ID = 1")
+        assert fleet.up_replicas() == [0, 1, 2]
+        answers = {tuple(engine.create_session()
+                         .execute("SEL V FROM EV WHERE ID = 1").rows[0])
+                   for engine in fleet.engines}
+        assert answers == {(24,)}
+
+    def test_divergence_still_detected_among_healthy_replicas(self):
+        fleet, session = make_fleet()
+        rogue = fleet.engines[1].create_session()
+        rogue.execute("INSERT INTO EV VALUES (99, 0)")
+        rogue.close()
+        with pytest.raises(HyperQError, match="divergence"):
+            session.execute("UPD EV SET V = 0 WHERE ID >= 0")
+
+
+class TestPinnedSessions:
+    def test_pinned_read_fails_cleanly_when_owner_is_down(self):
+        fleet, session = make_fleet()
+        session.execute("CREATE VOLATILE TABLE SCRATCH (X INTEGER)")
+        session.execute("INSERT INTO SCRATCH VALUES (7)")
+        pinned = session._pinned
+        assert pinned is not None
+        fleet.kill_replica(pinned)
+        with pytest.raises(ReplicaUnavailableError):
+            session.execute("SEL X FROM SCRATCH")
+
+    def test_unpinned_sessions_reroute_around_the_same_outage(self):
+        fleet, pinned_session = make_fleet()
+        pinned_session.execute("CREATE VOLATILE TABLE SCRATCH (X INTEGER)")
+        fleet.kill_replica(pinned_session._pinned)
+        other = fleet.create_session()
+        assert other.execute("SEL COUNT(*) FROM EV").rows == [(3,)]

@@ -1,0 +1,155 @@
+"""The CI fault matrix: three named schedules, each run end to end.
+
+Each scenario is a deterministic single-threaded battery; the CI job runs
+one schedule per matrix leg (``HQ_FAULT_SCHEDULE``), and every scenario is
+run **twice from the same seed** to prove the event log — faults injected
+plus resilience actions taken — reproduces byte-identically.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core.engine import HyperQ
+from repro.core.faults import RetryPolicy, named_schedule
+from repro.core.scaleout import ScaledHyperQ
+from repro.protocol.client import TdClient
+from repro.protocol.server import ServerThread
+
+from tests.resilience.conftest import requires_schedule
+
+SEED = 2018  # SIGMOD, naturally
+
+_FAST = dict(base_delay=0.0001, max_delay=0.0005)
+
+
+def run_transient_errors(seed: int):
+    """Every 3rd target statement fails transiently, every 7th times out;
+    the application must never see any of it."""
+    schedule = named_schedule("transient-errors", seed)
+    engine = HyperQ(faults=schedule, retry=RetryPolicy(seed=seed, **_FAST))
+    session = engine.create_session()
+    session.execute("CREATE TABLE LEDGER (ID INTEGER, AMT INTEGER)")
+    session.execute("INSERT INTO LEDGER VALUES (1, 100), (2, 200)")
+    client_errors = 0
+    for index in range(20):
+        try:
+            if index % 4 == 3:
+                session.execute(f"UPD LEDGER SET AMT = AMT + 1 WHERE ID = 1")
+            else:
+                assert session.execute(
+                    "SEL COUNT(*) FROM LEDGER").rows == [(2,)]
+        except Exception:
+            client_errors += 1
+    session.close()
+    return schedule, engine.resilience_stats(), client_errors
+
+
+def run_replica_loss(seed: int):
+    """Replica 1 dies mid-workload and later recovers; reads must all be
+    answered and queued writes must replay."""
+    schedule = named_schedule("replica-loss", seed)
+    fleet = ScaledHyperQ(replicas=3, faults=schedule,
+                         retry=RetryPolicy(seed=seed, **_FAST),
+                         failure_threshold=1)
+    session = fleet.create_session()
+    session.execute("CREATE TABLE KV (K INTEGER, V INTEGER)")
+    session.execute("INSERT INTO KV VALUES (1, 0)")
+    answered = 0
+    for index in range(12):
+        if index % 3 == 2:
+            session.execute("UPD KV SET V = V + 1 WHERE K = 1")
+        else:
+            assert session.execute("SEL COUNT(*) FROM KV").rows == [(1,)]
+            answered += 1
+    # Push replica 1's call counter past its outage window (each probe
+    # consumes one odbc call), then force full convergence via replay.
+    for __ in range(12):
+        try:
+            fleet.engines[1].execute("SEL COUNT(*) FROM KV")
+            break
+        except Exception:
+            continue
+    assert fleet.revive_replica(1)
+    values = {tuple(engine.create_session().execute(
+        "SEL V FROM KV WHERE K = 1").rows[0]) for engine in fleet.engines}
+    session.close()
+    return schedule, fleet.resilience.snapshot(), answered, values
+
+
+def run_disconnect_storm(seed: int):
+    """Every 2nd wire request the connection is cut; the client reconnects
+    and the server must reclaim every orphaned session."""
+    schedule = named_schedule("disconnect-storm", seed)
+    engine = HyperQ(faults=schedule)
+    survived = 0
+    disconnects = 0
+    with ServerThread(engine) as address:
+        engine.execute("CREATE TABLE STORM (X INTEGER)")
+        client = TdClient(*address)
+        for index in range(16):
+            try:
+                client.execute(f"INS INTO STORM VALUES ({index})")
+                survived += 1
+            except (ProtocolError, ConnectionError, OSError):
+                disconnects += 1
+                client = TdClient(*address)  # the app-side reconnect loop
+        client.close()
+        rows = engine.execute("SEL COUNT(*) FROM STORM").rows
+    return schedule, engine.resilience_stats(), survived, disconnects, rows
+
+
+@requires_schedule("transient-errors")
+class TestTransientErrors:
+    def test_retried_to_success_with_zero_client_errors(self):
+        schedule, stats, client_errors = run_transient_errors(SEED)
+        assert client_errors == 0
+        assert stats["retries"] > 0
+        assert stats["retry_exhausted"] == 0
+        assert schedule.injected_count() > 0
+
+    def test_same_seed_reproduces_identical_event_log(self):
+        first, __, __ = run_transient_errors(SEED)
+        second, __, __ = run_transient_errors(SEED)
+        assert first.event_log_bytes() == second.event_log_bytes()
+        assert len(first.event_log()) > 0
+
+
+@requires_schedule("replica-loss")
+class TestReplicaLoss:
+    def test_failover_answers_every_read_and_replays_writes(self):
+        schedule, stats, answered, values = run_replica_loss(SEED)
+        assert answered == 8          # every read answered
+        assert stats["failovers"] > 0
+        assert stats["quarantines"] > 0
+        assert len(values) == 1       # all replicas reconverged
+        assert schedule.injected_count() > 0
+
+    def test_same_seed_reproduces_identical_event_log(self):
+        first, __, __, __ = run_replica_loss(SEED)
+        second, __, __, __ = run_replica_loss(SEED)
+        assert first.event_log_bytes() == second.event_log_bytes()
+        assert len(first.event_log()) > 0
+
+
+@requires_schedule("disconnect-storm")
+class TestDisconnectStorm:
+    def test_server_reclaims_sessions_and_keeps_serving(self):
+        schedule, stats, survived, disconnects, rows = \
+            run_disconnect_storm(SEED)
+        assert disconnects > 0
+        assert survived > 0
+        assert stats["wire_disconnects"] == disconnects
+        assert rows == [(survived,)]
+        assert schedule.injected_count() > 0
+
+    def test_same_seed_reproduces_identical_event_log(self):
+        first = run_disconnect_storm(SEED)[0]
+        time.sleep(0.05)  # let handler threads finish logging
+        second = run_disconnect_storm(SEED)[0]
+        time.sleep(0.05)
+        assert first.event_log_bytes() == second.event_log_bytes()
+        assert len(first.event_log()) > 0

@@ -1,0 +1,147 @@
+"""Unit tests for scale-out routing: statement classification, read
+balancing, session pinning, and write fan-out consistency (Appendix B.3)."""
+
+import pytest
+
+from repro.errors import HyperQError, ReplicaUnavailableError
+from repro.core.scaleout import ScaledHyperQ, round_robin
+
+
+def make_fleet(replicas=3, **kwargs):
+    fleet = ScaledHyperQ(replicas=replicas, **kwargs)
+    session = fleet.create_session()
+    session.execute("CREATE TABLE T (A INTEGER)")
+    session.execute("INSERT INTO T VALUES (1), (2), (3)")
+    return fleet, session
+
+
+class TestConstruction:
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(HyperQError, match="at least one replica"):
+            ScaledHyperQ(replicas=0)
+
+    def test_zero_failure_threshold_rejected(self):
+        with pytest.raises(HyperQError, match="failure_threshold"):
+            ScaledHyperQ(failure_threshold=0)
+
+    def test_all_replicas_start_healthy(self):
+        fleet = ScaledHyperQ(replicas=4)
+        assert fleet.up_replicas() == [0, 1, 2, 3]
+        assert all(fleet.pending_writes(i) == [] for i in range(4))
+
+
+class TestReadRouting:
+    def test_round_robin_policy_rotates(self):
+        assert [round_robin(i, 3) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_reads_balance_across_replicas(self):
+        fleet, session = make_fleet(replicas=3)
+        for __ in range(9):
+            assert session.execute("SEL COUNT(*) FROM T").rows == [(3,)]
+        assert fleet.reads_per_replica == [3, 3, 3]
+
+    def test_pluggable_policy_directs_every_read(self):
+        fleet, session = make_fleet(replicas=3,
+                                    policy=lambda index, count: 1)
+        for __ in range(4):
+            session.execute("SEL A FROM T WHERE A = 1")
+        assert fleet.reads_per_replica == [0, 4, 0]
+
+    def test_reads_skip_quarantined_replicas(self):
+        fleet, session = make_fleet(replicas=3)
+        fleet.kill_replica(1)
+        for __ in range(6):
+            session.execute("SEL COUNT(*) FROM T")
+        assert fleet.reads_per_replica[1] == 0
+        assert fleet.reads_per_replica[0] + fleet.reads_per_replica[2] == 6
+
+    def test_no_healthy_replicas_is_a_clean_error(self):
+        fleet, session = make_fleet(replicas=2)
+        fleet.kill_replica(0)
+        fleet.kill_replica(1)
+        with pytest.raises(ReplicaUnavailableError, match="no healthy"):
+            session.execute("SEL COUNT(*) FROM T")
+
+
+class TestWriteFanOut:
+    def test_writes_reach_every_replica(self):
+        fleet, session = make_fleet(replicas=3)
+        session.execute("UPD T SET A = A + 10 WHERE A = 1")
+        for engine in fleet.engines:
+            rows = engine.execute("SEL COUNT(*) FROM T WHERE A = 11").rows
+            assert rows == [(1,)]
+
+    def test_ddl_fans_out_too(self):
+        fleet, session = make_fleet(replicas=2)
+        session.execute("CREATE TABLE U (B INTEGER)")
+        for engine in fleet.engines:
+            assert engine.execute("SEL COUNT(*) FROM U").rows == [(0,)]
+
+    def test_write_rowcounts_must_agree(self):
+        fleet, session = make_fleet(replicas=2)
+        # Skew one replica behind the fleet's back, then fan out a write
+        # whose effect now differs per replica.
+        fleet.engines[1].execute("DELETE FROM T WHERE A = 3")
+        with pytest.raises(HyperQError, match="divergence"):
+            session.execute("UPD T SET A = A + 1")
+
+    def test_write_result_reports_shared_rowcount(self):
+        fleet, session = make_fleet(replicas=3)
+        result = session.execute("DELETE FROM T WHERE A > 1")
+        assert result.rowcount == 2
+
+
+class TestSessionPinning:
+    def test_volatile_create_pins_the_session(self):
+        fleet, session = make_fleet(replicas=3)
+        assert session._pinned is None
+        session.execute("CREATE VOLATILE TABLE V (X INTEGER)")
+        session.execute("INS INTO V VALUES (7)")
+        assert session._pinned is not None
+        assert session.execute("SEL X FROM V").rows == [(7,)]
+
+    def test_pinned_reads_stick_to_the_owner(self):
+        fleet, session = make_fleet(replicas=3)
+        session.execute("CREATE VOLATILE TABLE V (X INTEGER)")
+        pinned = session._pinned
+        before = list(fleet.reads_per_replica)
+        for __ in range(5):
+            session.execute("SEL COUNT(*) FROM T")
+        after = fleet.reads_per_replica
+        # Only the pinned replica's counter may not move — pinned reads go
+        # direct — but no *other* replica may have served these reads.
+        assert [after[i] - before[i]
+                for i in range(3) if i != pinned] == [0, 0]
+
+    def test_volatile_dml_stays_on_the_owner(self):
+        fleet, session = make_fleet(replicas=3)
+        session.execute("CREATE VOLATILE TABLE V (X INTEGER)")
+        session.execute("INS INTO V VALUES (1)")
+        session.execute("UPD V SET X = 2")
+        session.execute("DEL FROM V")
+        pinned = session._pinned
+        for index, engine in enumerate(fleet.engines):
+            if index == pinned:
+                continue
+            with pytest.raises(HyperQError):
+                engine.execute("SEL COUNT(*) FROM V")
+
+    def test_unpinned_sessions_keep_rotating(self):
+        fleet, pinned_session = make_fleet(replicas=2)
+        pinned_session.execute("CREATE VOLATILE TABLE V (X INTEGER)")
+        free = fleet.create_session()
+        for __ in range(4):
+            free.execute("SEL COUNT(*) FROM T")
+        assert all(count > 0 for count in fleet.reads_per_replica)
+
+    def test_independent_sessions_have_independent_pins(self):
+        fleet, __ = make_fleet(replicas=2,
+                               policy=lambda index, count: index % count)
+        first = fleet.create_session()
+        second = fleet.create_session()
+        first.execute("CREATE VOLATILE TABLE MINE (X INTEGER)")
+        second.execute("CREATE VOLATILE TABLE MINE (X INTEGER)")
+        first.execute("INS INTO MINE VALUES (1)")
+        second.execute("INS INTO MINE VALUES (2)")
+        assert first.execute("SEL X FROM MINE").rows == [(1,)]
+        assert second.execute("SEL X FROM MINE").rows == [(2,)]
