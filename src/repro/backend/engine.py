@@ -10,9 +10,9 @@ the Hyper-Q emulation layer uses for WorkTable/TempTable scratch objects
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Iterable, Iterator, Optional
 
+from repro.core.budget import DEFAULT_BATCH_ROWS
 from repro.errors import BackendError, CatalogError
 from repro.transform.capabilities import CapabilityProfile, HYPERION
 from repro.backend.catalog import Catalog
@@ -26,23 +26,105 @@ from repro.xtra.relational import OutputColumn
 from repro.xtra.schema import ColumnSchema, TableSchema
 
 
-@dataclass
 class QueryResult:
     """Outcome of one backend statement.
 
     ``kind`` is "rows" for result sets, "count" for DML, "ok" for DDL and
     transaction control.
+
+    Result sets may arrive as a lazy *batch source* instead of a
+    materialized list. :meth:`iter_batches` streams the rows exactly once
+    in bounded batches; the :attr:`rows` / :attr:`rowcount` accessors are
+    compatibility shims that drain the stream into memory on first use.
     """
 
-    kind: str
-    columns: list[str] = field(default_factory=list)
-    column_types: list[t.SQLType] = field(default_factory=list)
-    rows: list[tuple] = field(default_factory=list)
-    rowcount: int = 0
+    def __init__(self, kind: str,
+                 columns: Optional[list[str]] = None,
+                 column_types: Optional[list[t.SQLType]] = None,
+                 rows: Optional[list[tuple]] = None,
+                 rowcount: int = 0,
+                 batch_source: Optional[Iterator[list[tuple]]] = None):
+        self.kind = kind
+        self.columns = list(columns) if columns else []
+        self.column_types = list(column_types) if column_types else []
+        if rows is not None or batch_source is None:
+            self._rows: Optional[list[tuple]] = list(rows) if rows else []
+        else:
+            self._rows = None
+        self._batch_source = batch_source if self._rows is None else None
+        self._rowcount = rowcount if self._rows is None or rowcount \
+            else len(self._rows)
+        self._consumed = False
 
     @property
     def is_rows(self) -> bool:
         return self.kind == "rows"
+
+    @property
+    def streaming(self) -> bool:
+        """True while rows are still a lazy, unconsumed batch source."""
+        return self._batch_source is not None
+
+    @property
+    def rows(self) -> list[tuple]:
+        """Materialized row list (drains and caches a pending stream)."""
+        if self._rows is None:
+            self._drain()
+        return self._rows
+
+    @property
+    def rowcount(self) -> int:
+        if self._rows is None and not self._consumed and self.kind == "rows":
+            self._drain()
+        return self._rowcount
+
+    def _drain(self) -> None:
+        if self._batch_source is None:
+            if self._rows is None:
+                raise BackendError("result stream was already consumed")
+            return
+        source, self._batch_source = self._batch_source, None
+        self._rows = [row for batch in source for row in batch]
+        self._rowcount = len(self._rows)
+        self._consumed = True
+
+    def iter_batches(self, batch_rows: int = 1024) -> Iterator[list[tuple]]:
+        """Yield the rows once, re-chunked into *batch_rows*-row batches.
+
+        Streams straight off the batch source when one is pending (single
+        use, bounded memory); falls back to slicing the materialized list.
+        """
+        if self._rows is not None:
+            for start in range(0, len(self._rows), batch_rows):
+                yield self._rows[start:start + batch_rows]
+            return
+        if self._batch_source is None:
+            raise BackendError("result stream was already consumed")
+        source, self._batch_source = self._batch_source, None
+        count = 0
+        pending: list[tuple] = []
+        for batch in source:
+            if not pending and len(batch) <= batch_rows:
+                count += len(batch)
+                yield batch
+                continue
+            pending.extend(batch)
+            while len(pending) >= batch_rows:
+                count += batch_rows
+                yield pending[:batch_rows]
+                pending = pending[batch_rows:]
+        if pending:
+            count += len(pending)
+            yield pending
+        self._rowcount = count
+        self._consumed = True
+
+    def wrap_batch_source(
+            self, wrap: Callable[[Iterator[list[tuple]]],
+                                 Iterator[list[tuple]]]) -> None:
+        """Instrumentation hook: interpose on a pending batch source."""
+        if self._batch_source is not None:
+            self._batch_source = wrap(self._batch_source)
 
 
 class _SessionCatalog:
@@ -171,14 +253,37 @@ class BackendSession:
     def _run_query(self, spec: p.QuerySpec) -> QueryResult:
         plan = self._planner.plan_query(spec)
         executor = self._make_executor()
-        columns, rows = executor.run(plan)
+        columns, batches = executor.run_stream(
+            plan, batch_rows=self._database.batch_rows)
+        # Prime the first batch while the statement lock is held so per-row
+        # evaluation errors surface at execute time, not at first fetch.
+        first = next(batches, None)
         return QueryResult(
             "rows",
             columns=[col.name for col in columns],
             column_types=[col.type for col in columns],
-            rows=rows,
-            rowcount=len(rows),
+            batch_source=self._locked_batches(first, batches),
         )
+
+    def _locked_batches(
+            self, first: Optional[list[tuple]],
+            batches: Iterator[list[tuple]]) -> Iterator[list[tuple]]:
+        """Re-acquire the database lock around each lazy batch pull.
+
+        The statement lock is released before a streaming result is
+        consumed; pulling a batch still evaluates expressions inside the
+        executor, so each step is taken back under the shared lock.
+        """
+        if first is not None:
+            yield first
+        lock = self._database.lock
+        while True:
+            with lock:
+                try:
+                    batch = next(batches)
+                except StopIteration:
+                    return
+            yield batch
 
     def _plan_and_run(self, spec: p.QuerySpec):
         plan = self._planner.plan_query(spec)
@@ -358,10 +463,13 @@ class Database:
     """A shared backend instance; create one session per client connection."""
 
     def __init__(self, profile: CapabilityProfile = HYPERION,
-                 faults=None, replica: Optional[int] = None):
+                 faults=None, replica: Optional[int] = None,
+                 batch_rows: int = DEFAULT_BATCH_ROWS):
         self.profile = profile
         self.catalog = Catalog()
         self.lock = threading.RLock()
+        #: Rows per batch yielded by streaming query results.
+        self.batch_rows = batch_rows
         #: Optional :class:`repro.core.faults.FaultSchedule` consulted by the
         #: plan executor (injection site ``"executor"``).
         self.faults = faults

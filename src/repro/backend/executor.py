@@ -4,13 +4,28 @@ Executes XTRA relational plans directly: scans, filters, projections, hash and
 nested-loop joins, hash aggregation (with grouping-set expansion when the
 capability profile enables it), window functions, sorting with explicit NULL
 placement, set operations, LIMIT/TOP, and (when enabled) recursive CTE
-iteration. Rows are plain tuples; results are fully materialized lists, which
-is appropriate for a single-node analytical engine at reproduction scale.
+iteration. Rows are plain tuples.
+
+Operators follow a pull-based Volcano discipline: every handler returns
+``(output columns, row iterable)`` where the iterable is a generator for
+pipelined operators (scan, filter, project, distinct, limit, join probe,
+streaming set ops) and a list for pipeline breakers (sort, aggregate,
+window, join build side). The plan *tree* is instantiated eagerly — catalog
+lookups, CTE binding, and table snapshots all happen at call time — but row
+flow is lazy, so :meth:`Executor.run_stream` delivers the first batch before
+the last one is produced and never materializes a pipelined result.
+:meth:`Executor.run` is the materializing wrapper used by DML, subquery
+evaluation, and every pre-streaming caller.
+
+Any operator whose expressions contain subqueries falls back to eager
+materialization: correlated subqueries may reference CTE frames that are
+only guaranteed alive while the enclosing ``WITH`` executes.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from itertools import islice
+from typing import Iterable, Iterator, Optional
 
 from repro.errors import BackendError
 from repro.transform.capabilities import CapabilityProfile, NullOrdering
@@ -62,10 +77,28 @@ class Executor:
 
     def run(self, plan: RelNode,
             outer: Optional[EvalContext] = None) -> tuple[list[OutputColumn], list[tuple]]:
-        """Execute *plan*, returning (output columns, row list).
+        """Execute *plan*, returning (output columns, materialized row list).
 
         Plans are optimized (predicate pushdown) in place on first execution.
         """
+        columns, rows = self._stream(plan, outer)
+        return columns, _as_list(rows)
+
+    def run_stream(self, plan: RelNode, batch_rows: int = 1024,
+                   outer: Optional[EvalContext] = None,
+                   ) -> tuple[list[OutputColumn], Iterator[list[tuple]]]:
+        """Execute *plan*, returning (output columns, batch iterator).
+
+        Batches hold at most *batch_rows* rows each and are produced on
+        demand: pipelined plans yield their first batch before the scan has
+        finished. Fault checkpoints and plan optimization still happen
+        eagerly, before this call returns, so a retried plan has no partial
+        effects.
+        """
+        columns, rows = self._stream(plan, outer)
+        return columns, _batched(rows, batch_rows)
+
+    def _stream(self, plan: RelNode, outer: Optional[EvalContext]):
         if self._faults is not None and outer is None:
             # Fault checkpoint: the warehouse itself hiccups mid-plan.
             # Fires before any rows move, so a retried plan re-executes
@@ -87,19 +120,20 @@ class Executor:
     def _run_subquery(self, plan: RelNode, outer: Optional[EvalContext]):
         # Uncorrelated subqueries execute once and are cached by plan
         # identity (never when CTE references are involved: recursion
-        # rebinds them between rounds).
+        # rebinds them between rounds). Results materialize: the evaluator
+        # indexes into them and cached results are shared across rows.
         cached = self._subquery_cache.get(id(plan))
         if cached is _CORRELATED:
-            return self._execute(plan, outer)
+            return self._materialize(plan, outer)
         if cached is not None:
             return cached
         if any(isinstance(node, CTERef) for node in walk_rel_nodes(plan)):
-            return self._execute(plan, outer)
+            return self._materialize(plan, outer)
         try:
-            result = self._execute(plan, None)
+            result = self._materialize(plan, None)
         except UnresolvedColumnError:
             self._subquery_cache[id(plan)] = _CORRELATED
-            return self._execute(plan, outer)
+            return self._materialize(plan, outer)
         self._subquery_cache[id(plan)] = result
         return result
 
@@ -109,13 +143,20 @@ class Executor:
             raise BackendError(f"cannot execute {type(plan).__name__}")
         return handler(self, plan, outer)
 
+    def _materialize(self, plan: RelNode, outer: Optional[EvalContext]):
+        columns, rows = self._execute(plan, outer)
+        return columns, _as_list(rows)
+
     # -- leaf operators ------------------------------------------------------------
 
     def _get(self, node: Get, outer):
+        # Snapshot eagerly (pointer copy): row flow may outlive the
+        # statement lock, but the rows visible are the ones at plan time.
         table = self._catalog.table(node.table.name)
         return node.output_columns(), list(table.rows)
 
     def _values(self, node: Values, outer):
+        # Eager: VALUES cells may contain subquery expressions.
         env = Env([])
         ctx = EvalContext((), env, outer)
         rows = [tuple(self._evaluator.eval(cell, ctx) for cell in row)
@@ -136,12 +177,24 @@ class Executor:
 
         columns, rows = self._execute(node.child, outer)
         env = Env(columns)
+        subqueries = decorrelate.collect_subqueries(node.predicate)
+        if not subqueries:
+            evaluator = self._evaluator
+
+            def generate():
+                for row in rows:
+                    if evaluator.eval_bool(node.predicate,
+                                           EvalContext(row, env, outer)):
+                        yield row
+            return node.output_columns(), generate()
+        # Subquery predicates evaluate eagerly (CTE frames must be alive).
         # Decorrelate eligible subqueries into hash probes before the row
         # loop; ineligible ones fall back to per-row evaluation.
+        rows = _as_list(rows)
         installed: list[int] = []
         try:
             if len(rows) > 8:
-                for subq in decorrelate.collect_subqueries(node.predicate):
+                for subq in subqueries:
                     if id(subq) in self._evaluator.subquery_overrides:
                         continue
                     index = decorrelate.build_index(self, subq)
@@ -159,11 +212,21 @@ class Executor:
     def _project(self, node: Project, outer):
         columns, rows = self._execute(node.child, outer)
         env = Env(columns)
-        out_rows = []
-        for row in rows:
-            ctx = EvalContext(row, env, outer)
-            out_rows.append(tuple(self._evaluator.eval(expr, ctx) for expr in node.exprs))
-        return node.output_columns(), out_rows
+        evaluator = self._evaluator
+        if any(_contains_subquery(expr) for expr in node.exprs):
+            # Eager: scalar subqueries may reference CTE frames.
+            out_rows = []
+            for row in rows:
+                ctx = EvalContext(row, env, outer)
+                out_rows.append(tuple(evaluator.eval(expr, ctx)
+                                      for expr in node.exprs))
+            return node.output_columns(), out_rows
+
+        def generate():
+            for row in rows:
+                ctx = EvalContext(row, env, outer)
+                yield tuple(evaluator.eval(expr, ctx) for expr in node.exprs)
+        return node.output_columns(), generate()
 
     def _derived(self, node: DerivedTable, outer):
         __, rows = self._execute(node.child, outer)
@@ -171,17 +234,18 @@ class Executor:
 
     def _distinct(self, node: Distinct, outer):
         columns, rows = self._execute(node.child, outer)
-        seen: set = set()
-        out_rows = []
-        for row in rows:
-            key = _hashable_row(row)
-            if key not in seen:
-                seen.add(key)
-                out_rows.append(row)
-        return columns, out_rows
+
+        def generate():
+            seen: set = set()
+            for row in rows:
+                key = _hashable_row(row)
+                if key not in seen:
+                    seen.add(key)
+                    yield row
+        return columns, generate()
 
     def _sort(self, node: Sort, outer):
-        columns, rows = self._execute(node.child, outer)
+        columns, rows = self._materialize(node.child, outer)
         env = Env(columns)
         sorted_rows = self._sort_rows(rows, node.keys, env, outer)
         return columns, sorted_rows
@@ -212,11 +276,14 @@ class Executor:
         columns, rows = self._execute(node.child, outer)
         start = node.offset
         if node.count is None:
-            return columns, rows[start:]
+            if start == 0:
+                return columns, rows
+            return columns, islice(iter(rows), start, None)
         end = start + node.count
         if node.with_ties:
             if not self._profile.top_with_ties:
                 raise BackendError("TOP ... WITH TIES is not supported by this system")
+            rows = _as_list(rows)
             if not isinstance(node.child, Sort) or end >= len(rows):
                 return columns, rows[start:end]
             env = Env(columns)
@@ -224,7 +291,9 @@ class Executor:
             boundary = rows[end - 1]
             while end < len(rows) and self._same_sort_key(rows[end], boundary, keys, env, outer):
                 end += 1
-        return columns, rows[start:end]
+            return columns, rows[start:end]
+        # Early termination: stop pulling the child once the window is full.
+        return columns, islice(iter(rows), start, end)
 
     def _same_sort_key(self, row_a, row_b, keys, env, outer) -> bool:
         for key in keys:
@@ -239,25 +308,34 @@ class Executor:
     # -- joins ------------------------------------------------------------------
 
     def _join(self, node: Join, outer):
-        left_cols, left_rows = self._execute(node.left, outer)
-        right_cols, right_rows = self._execute(node.right, outer)
         out_cols = node.output_columns()
+        if node.kind is JoinKind.RIGHT:
+            # Execute as LEFT with sides swapped, then restore column order.
+            right_width = len(node.right.output_columns())
+            swapped = Join(JoinKind.LEFT, node.right, node.left, node.condition)
+            cols, rows = self._join(swapped, outer)
+            reordered = (row[right_width:] + row[:right_width] for row in rows)
+            return out_cols, reordered
+
+        left_cols, left_rows = self._execute(node.left, outer)
+        # Build side materializes (it is probed repeatedly); the probe side
+        # streams unless the join condition carries subquery expressions.
+        right_cols, right_rows = self._materialize(node.right, outer)
         env = Env(out_cols)
         left_width = len(left_cols)
         right_width = len(right_cols)
 
         if node.kind is JoinKind.CROSS or node.condition is None:
-            rows = [l + r for l in left_rows for r in right_rows]
+            rows = (l + r for l in left_rows for r in right_rows)
             return out_cols, rows
 
-        equi, residual = self._split_equi(node.condition, Env(left_cols), Env(right_cols))
-        if node.kind is JoinKind.RIGHT:
-            # Execute as LEFT with sides swapped, then restore column order.
-            swapped = Join(JoinKind.LEFT, node.right, node.left, node.condition)
-            cols, rows = self._join(swapped, outer)
-            reordered = [row[right_width:] + row[:right_width] for row in rows]
-            return out_cols, reordered
+        if _contains_subquery(node.condition):
+            left_rows = _as_list(left_rows)
+            return out_cols, _as_list(self._loop_join(
+                node.kind, left_rows, right_rows, node.condition, env, outer,
+                left_width, right_width))
 
+        equi, residual = self._split_equi(node.condition, Env(left_cols), Env(right_cols))
         if equi:
             return out_cols, self._hash_join(
                 node.kind, left_rows, right_rows, left_cols, right_cols,
@@ -294,63 +372,66 @@ class Executor:
                    equi, residual, env, outer, left_width, right_width):
         left_env = Env(left_cols)
         right_env = Env(right_cols)
-        table: dict = {}
-        for index, row in enumerate(right_rows):
-            ctx = EvalContext(row, right_env, outer)
-            key = tuple(self._evaluator.eval(expr, ctx) for __, expr in equi)
-            if any(value is None for value in key):
-                continue  # NULL keys never join
-            table.setdefault(_hashable_row(key), []).append((index, row))
-        out_rows = []
-        matched_right: set[int] = set()
-        null_right = (None,) * right_width
-        for row in left_rows:
-            ctx = EvalContext(row, left_env, outer)
-            key = tuple(self._evaluator.eval(expr, ctx) for expr, __ in equi)
-            matched = False
-            if not any(value is None for value in key):
-                for right_index, right_row in table.get(_hashable_row(key), ()):
-                    combined = row + right_row
-                    if residual is None or self._evaluator.eval_bool(
-                            residual, EvalContext(combined, env, outer)):
-                        out_rows.append(combined)
-                        matched = True
-                        matched_right.add(right_index)
-            if not matched and kind in (JoinKind.LEFT, JoinKind.FULL):
-                out_rows.append(row + null_right)
-        if kind is JoinKind.FULL:
-            null_left = (None,) * left_width
-            for index, right_row in enumerate(right_rows):
-                if index not in matched_right:
-                    out_rows.append(null_left + right_row)
-        return out_rows
+
+        def generate():
+            # The build happens on first pull; probing then streams.
+            table: dict = {}
+            for index, row in enumerate(right_rows):
+                ctx = EvalContext(row, right_env, outer)
+                key = tuple(self._evaluator.eval(expr, ctx) for __, expr in equi)
+                if any(value is None for value in key):
+                    continue  # NULL keys never join
+                table.setdefault(_hashable_row(key), []).append((index, row))
+            matched_right: set[int] = set()
+            null_right = (None,) * right_width
+            for row in left_rows:
+                ctx = EvalContext(row, left_env, outer)
+                key = tuple(self._evaluator.eval(expr, ctx) for expr, __ in equi)
+                matched = False
+                if not any(value is None for value in key):
+                    for right_index, right_row in table.get(_hashable_row(key), ()):
+                        combined = row + right_row
+                        if residual is None or self._evaluator.eval_bool(
+                                residual, EvalContext(combined, env, outer)):
+                            yield combined
+                            matched = True
+                            matched_right.add(right_index)
+                if not matched and kind in (JoinKind.LEFT, JoinKind.FULL):
+                    yield row + null_right
+            if kind is JoinKind.FULL:
+                null_left = (None,) * left_width
+                for index, right_row in enumerate(right_rows):
+                    if index not in matched_right:
+                        yield null_left + right_row
+        return generate()
 
     def _loop_join(self, kind, left_rows, right_rows, condition, env, outer,
                    left_width, right_width):
-        out_rows = []
-        matched_right: set[int] = set()
-        null_right = (None,) * right_width
-        for row in left_rows:
-            matched = False
-            for index, right_row in enumerate(right_rows):
-                combined = row + right_row
-                if self._evaluator.eval_bool(condition, EvalContext(combined, env, outer)):
-                    out_rows.append(combined)
-                    matched = True
-                    matched_right.add(index)
-            if not matched and kind in (JoinKind.LEFT, JoinKind.FULL):
-                out_rows.append(row + null_right)
-        if kind is JoinKind.FULL:
-            null_left = (None,) * left_width
-            for index, right_row in enumerate(right_rows):
-                if index not in matched_right:
-                    out_rows.append(null_left + right_row)
-        return out_rows
+        def generate():
+            matched_right: set[int] = set()
+            null_right = (None,) * right_width
+            for row in left_rows:
+                matched = False
+                for index, right_row in enumerate(right_rows):
+                    combined = row + right_row
+                    if self._evaluator.eval_bool(condition,
+                                                 EvalContext(combined, env, outer)):
+                        yield combined
+                        matched = True
+                        matched_right.add(index)
+                if not matched and kind in (JoinKind.LEFT, JoinKind.FULL):
+                    yield row + null_right
+            if kind is JoinKind.FULL:
+                null_left = (None,) * left_width
+                for index, right_row in enumerate(right_rows):
+                    if index not in matched_right:
+                        yield null_left + right_row
+        return generate()
 
     # -- aggregation ---------------------------------------------------------------
 
     def _aggregate(self, node: Aggregate, outer):
-        columns, rows = self._execute(node.child, outer)
+        columns, rows = self._materialize(node.child, outer)
         env = Env(columns)
         key_count = len(node.group_by)
         sets = self._grouping_sets(node)
@@ -412,7 +493,7 @@ class Executor:
     # -- windows ---------------------------------------------------------------------
 
     def _window(self, node: Window, outer):
-        columns, rows = self._execute(node.child, outer)
+        columns, rows = self._materialize(node.child, outer)
         env = Env(columns)
         extra_columns: list[list[object]] = []
         for func in node.funcs:
@@ -553,36 +634,44 @@ class Executor:
 
     def _setop(self, node: SetOp, outer):
         left_cols, left_rows = self._execute(node.left, outer)
-        __, right_rows = self._execute(node.right, outer)
         out_cols = node.output_columns()
         if node.kind is SetOpKind.UNION:
-            combined = left_rows + right_rows
+            __, right_rows = self._execute(node.right, outer)
+
+            def union():
+                yield from left_rows
+                yield from right_rows
+            combined = union()
             if node.all:
                 return out_cols, combined
-            return out_cols, _dedupe(combined)
+            return out_cols, _dedupe_stream(combined)
+        # INTERSECT/EXCEPT probe the materialized right side per left row.
+        __, right_rows = self._materialize(node.right, outer)
         if node.kind is SetOpKind.INTERSECT:
+            def intersect():
+                counts = _count_rows(right_rows)
+                for row in left_rows:
+                    key = _hashable_row(row)
+                    if counts.get(key, 0) > 0:
+                        yield row
+                        if node.all:
+                            counts[key] -= 1
+                        else:
+                            # Zeroing the key also dedupes the output.
+                            counts[key] = 0
+            return out_cols, intersect()
+
+        def except_():
             counts = _count_rows(right_rows)
-            out = []
             for row in left_rows:
                 key = _hashable_row(row)
                 if counts.get(key, 0) > 0:
-                    out.append(row)
                     if node.all:
                         counts[key] -= 1
-                    else:
-                        counts[key] = 0
-            return out_cols, out if node.all else _dedupe(out)
-        # EXCEPT
-        counts = _count_rows(right_rows)
-        out = []
-        for row in left_rows:
-            key = _hashable_row(row)
-            if counts.get(key, 0) > 0:
-                if node.all:
-                    counts[key] -= 1
-                continue
-            out.append(row)
-        return out_cols, out if node.all else _dedupe(out)
+                    continue
+                yield row
+        kept = except_()
+        return out_cols, kept if node.all else _dedupe_stream(kept)
 
     # -- CTEs -------------------------------------------------------------------------------
 
@@ -598,8 +687,12 @@ class Executor:
                             "supported by this system")
                     frame[cte.name.upper()] = self._run_recursive_cte(cte, outer)
                 else:
-                    columns, rows = self._execute(cte.plan, outer)
+                    # CTE results are shared across references: materialize.
+                    columns, rows = self._materialize(cte.plan, outer)
                     frame[cte.name.upper()] = (columns, rows)
+            # Safe even though the body may stream: CTE references resolve
+            # eagerly while the plan tree is instantiated, so no lazy row
+            # flow looks the frame up after this pop.
             return self._execute(node.body, outer)
         finally:
             self._cte_frames.pop()
@@ -609,7 +702,7 @@ class Executor:
         if not isinstance(plan, SetOp) or plan.kind is not SetOpKind.UNION:
             raise BackendError("recursive CTE must be seed UNION ALL recursive-term")
         frame = self._cte_frames[-1]
-        seed_cols, work = self._execute(plan.left, outer)
+        seed_cols, work = self._materialize(plan.left, outer)
         all_rows = list(work)
         rounds = 0
         while work:
@@ -617,7 +710,7 @@ class Executor:
             if rounds > _MAX_RECURSION_ROUNDS:
                 raise BackendError("recursive CTE exceeded iteration limit")
             frame[cte.name.upper()] = (seed_cols, work)
-            __, produced = self._execute(plan.right, outer)
+            __, produced = self._materialize(plan.right, outer)
             work = produced
             all_rows.extend(produced)
         frame[cte.name.upper()] = (seed_cols, all_rows)
@@ -645,6 +738,40 @@ Executor._HANDLERS = {
 
 
 # -- small helpers ----------------------------------------------------------------
+
+def _as_list(rows: Iterable[tuple]) -> list[tuple]:
+    """Materialize a row iterable (no-op for lists)."""
+    return rows if isinstance(rows, list) else list(rows)
+
+
+def _batched(rows: Iterable[tuple], batch_rows: int) -> Iterator[list[tuple]]:
+    """Chunk a row iterable into lists of at most *batch_rows* rows."""
+    iterator = iter(rows)
+    while True:
+        batch = list(islice(iterator, batch_rows))
+        if not batch:
+            return
+        yield batch
+
+
+def _dedupe_stream(rows: Iterable[tuple]) -> Iterator[tuple]:
+    """Streaming first-occurrence dedupe (same key rules as `_dedupe`)."""
+    seen: set = set()
+    for row in rows:
+        key = _hashable_row(row)
+        if key not in seen:
+            seen.add(key)
+            yield row
+
+
+def _contains_subquery(expr: ScalarExpr) -> bool:
+    """True if *expr* embeds a subquery (forces eager evaluation: lazy row
+    flow must not outlive the CTE frames a correlated plan resolves in)."""
+    from repro.xtra.scalars import SubqueryExpr
+    from repro.xtra.visitor import walk_scalars
+
+    return any(isinstance(node, SubqueryExpr) for node in walk_scalars(expr))
+
 
 class _SortValue:
     """Total-ordering wrapper so heterogeneous-but-compatible values sort."""

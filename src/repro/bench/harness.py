@@ -72,10 +72,13 @@ def run_workload_study(profile: customer.CustomerProfile) -> WorkloadStudyResult
 # ---------------------------------------------------------------------------
 
 def prepare_tpch_engine(scale: float = 0.001, seed: int = 20180610,
-                        converter_parallelism: int = 1) -> HyperQ:
+                        converter_parallelism: int = 1,
+                        batch_budget=None) -> HyperQ:
     """An engine with the TPC-H schema created through Hyper-Q and data
-    loaded into the backing warehouse."""
-    engine = HyperQ(converter_parallelism=converter_parallelism)
+    loaded into the backing warehouse. *batch_budget* bounds the streaming
+    result pipeline (rows per batch, per-layer memory ceiling)."""
+    engine = HyperQ(converter_parallelism=converter_parallelism,
+                    batch_budget=batch_budget)
     session = engine.create_session()
     for table in TABLE_NAMES:
         session.execute(SCHEMA_DDL[table].strip())

@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.errors import EmulationError, HyperQError, UnsupportedFeatureError
 from repro.backend.engine import Database
+from repro.core.budget import BatchBudget
 from repro.core.cache import Fingerprint, TranslationCache, fingerprint
 from repro.core.catalog import MacroDef, ProcedureDef, SessionCatalog, ShadowCatalog
 from repro.core.faults import ResilienceStats, RetryPolicy
@@ -41,17 +42,37 @@ from repro.xtra.schema import ColumnSchema, TableSchema
 from repro.xtra.visitor import walk_rel
 
 
-@dataclass
 class HQResult:
-    """Outcome of one Hyper-Q request as seen by the application."""
+    """Outcome of one Hyper-Q request as seen by the application.
 
-    kind: str  # "rows" | "count" | "ok"
-    columns: list[str] = field(default_factory=list)
-    metas: list[ColumnMeta] = field(default_factory=list)
-    converted: Optional[ConvertedResult] = None
-    rowcount: int = 0
-    timing: RequestTiming = field(default_factory=RequestTiming)
-    target_sql: list[str] = field(default_factory=list)
+    Row results carry a converted result whose chunks may still be
+    streaming from the backend; :attr:`rows` and :attr:`rowcount` are
+    compatibility shims that drain the stream (buffering through the
+    Result Store, which spills past the memory budget) on first access.
+    """
+
+    def __init__(self, kind: str,
+                 columns: Optional[list[str]] = None,
+                 metas: Optional[list[ColumnMeta]] = None,
+                 converted: Optional[ConvertedResult] = None,
+                 rowcount: Optional[int] = None,
+                 timing: Optional[RequestTiming] = None,
+                 target_sql: Optional[list[str]] = None):
+        self.kind = kind  # "rows" | "count" | "ok"
+        self.columns = columns if columns is not None else []
+        self.metas = metas if metas is not None else []
+        self.converted = converted
+        self._rowcount = rowcount
+        self.timing = timing if timing is not None else RequestTiming()
+        self.target_sql = target_sql if target_sql is not None else []
+
+    @property
+    def rowcount(self) -> int:
+        if self._rowcount is not None:
+            return self._rowcount
+        if self.converted is not None:
+            return self.converted.rowcount
+        return 0
 
     @property
     def rows(self) -> list[tuple]:
@@ -59,6 +80,12 @@ class HQResult:
         if self.converted is None:
             return []
         return self.converted.rows()
+
+    def iter_chunks(self):
+        """Converted wire chunks as they arrive (the streaming fast path)."""
+        if self.converted is None:
+            return iter(())
+        return self.converted.iter_chunks()
 
     def close(self) -> None:
         if self.converted is not None:
@@ -89,7 +116,8 @@ class HyperQ:
                  cache_size: int = 32 * 1024 * 1024,
                  faults=None,
                  retry: Optional[RetryPolicy] = None,
-                 replica: Optional[int] = None):
+                 replica: Optional[int] = None,
+                 batch_budget: Optional[BatchBudget] = None):
         if isinstance(target, str):
             target = PROFILES[target]
         if source not in ("teradata", "ansi"):
@@ -107,8 +135,17 @@ class HyperQ:
         self.retry = retry if retry is not None else RetryPolicy()
         #: What the resilience machinery actually did (retries, timeouts...).
         self.resilience = ResilienceStats()
+        #: Per-request stream bounds: rows per batch between layers, and the
+        #: buffering memory ceiling before a layer spills to disk (§4.5/4.6).
+        #: An explicit budget overrides ``converter_max_memory``.
+        if batch_budget is None:
+            batch_budget = BatchBudget(max_memory_bytes=converter_max_memory)
+        else:
+            converter_max_memory = batch_budget.max_memory_bytes
+        self.batch_budget = batch_budget
         self.backend = (backend if backend is not None
-                        else Database(target, faults=faults, replica=replica))
+                        else Database(target, faults=faults, replica=replica,
+                                      batch_rows=batch_budget.batch_rows))
         self.shadow = ShadowCatalog()
         self.tracker = tracker
         self.timing_log = TimingLog()
@@ -168,6 +205,7 @@ class HyperQSession:
                                        fixpoint=engine.transformer_fixpoint)
         self.serializer = serializer_for(engine.profile, engine.tracker)
         self.odbc = OdbcServer(InProcessDriver(engine.backend),
+                               batch_rows=engine.batch_budget.batch_rows,
                                faults=engine.faults,
                                replica=engine.replica,
                                retry=engine.retry,
@@ -496,23 +534,41 @@ class HyperQSession:
 
     def package_result(self, odbc_result: OdbcResult, timing: RequestTiming,
                        target_sql: list[str]) -> HQResult:
-        """Run the TDF -> source-binary conversion path on a target result."""
+        """Set up the TDF -> source-binary conversion path on a target result.
+
+        The returned result streams: TDF packets are pulled from the ODBC
+        Server and converted chunk by chunk as the caller consumes them, so
+        no layer holds more than one batch (plus the bounded Result Store,
+        if the consumer buffers). Backend pull time lands in the
+        ``execution`` timing stage, decode/encode in ``result_conversion``.
+        """
         if odbc_result.kind != "rows":
             return HQResult(kind=odbc_result.kind, rowcount=odbc_result.rowcount,
                             timing=timing, target_sql=target_sql)
-        with timing.measure("execution"):
-            batches = list(odbc_result.tdf_batches())
-        with timing.measure("result_conversion"):
-            converted = self.converter.convert(batches, odbc_result.column_types)
+        converted = self.converter.convert_stream(
+            self._timed_batches(odbc_result, timing),
+            odbc_result.column_types,
+            timing=timing,
+            on_first_chunk=timing.mark_first_row)
         return HQResult(
             kind="rows",
             columns=odbc_result.columns,
             metas=converted.metas,
             converted=converted,
-            rowcount=converted.rowcount,
             timing=timing,
             target_sql=target_sql,
         )
+
+    @staticmethod
+    def _timed_batches(odbc_result: OdbcResult, timing: RequestTiming):
+        """Charge lazy backend batch pulls to the ``execution`` stage."""
+        source = odbc_result.fetch_batches()
+        while True:
+            with timing.measure("execution"):
+                packet = next(source, None)
+            if packet is None:
+                return
+            yield packet
 
     def fabricate_result(self, columns: list[str], types: list[t.SQLType],
                          rows: list[tuple], timing: RequestTiming,

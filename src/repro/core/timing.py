@@ -12,6 +12,11 @@ translation-cache probe/insert time — so memoized requests keep the Figure 9
 instrumentation honest: a cache hit reports near-zero translation time but
 still accounts for the lookup work it did.
 
+The streaming result pipeline adds *first row*: the latency from request
+start until the first converted chunk is available to the wire. It is a
+point-in-time mark, not an accumulating stage — it overlaps translation and
+execution — so it is reported separately and never folded into ``total``.
+
 :class:`RequestTiming` collects these for one request; :class:`TimingLog`
 aggregates them across a workload run.
 """
@@ -34,6 +39,11 @@ class RequestTiming:
     execution: float = 0.0
     result_conversion: float = 0.0
     cache_lookup: float = 0.0
+    #: Latency from request start to the first converted chunk (0.0 until
+    #: :meth:`mark_first_row` fires; excluded from :attr:`total`).
+    first_row: float = 0.0
+    started: float = field(default_factory=time.perf_counter, repr=False,
+                           compare=False)
 
     @property
     def total(self) -> float:
@@ -61,6 +71,11 @@ class RequestTiming:
             elapsed = time.perf_counter() - start
             setattr(self, stage, getattr(self, stage) + elapsed)
 
+    def mark_first_row(self) -> None:
+        """Record time-to-first-row once; later calls are no-ops."""
+        if not self.first_row:
+            self.first_row = time.perf_counter() - self.started
+
 
 @dataclass
 class TimingLog:
@@ -86,6 +101,12 @@ class TimingLog:
     @property
     def cache_lookup(self) -> float:
         return sum(t.cache_lookup for t in self.requests)
+
+    @property
+    def mean_first_row(self) -> float:
+        """Mean time-to-first-row across requests that produced rows."""
+        marked = [t.first_row for t in self.requests if t.first_row]
+        return sum(marked) / len(marked) if marked else 0.0
 
     @property
     def total(self) -> float:

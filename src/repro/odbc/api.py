@@ -29,11 +29,13 @@ Observer = Callable[[str, dict], None]
 
 
 class OdbcResult:
-    """One request's outcome, exposing results as TDF batches."""
+    """One request's outcome, exposing results as lazily encoded TDF batches."""
 
     def __init__(self, raw: QueryResult, batch_rows: int = 1024):
         self._raw = raw
         self._batch_rows = batch_rows
+        self._columns: Optional[list[str]] = None
+        self._column_types: Optional[list] = None
 
     @property
     def kind(self) -> str:
@@ -41,26 +43,52 @@ class OdbcResult:
 
     @property
     def columns(self) -> list[str]:
-        return list(self._raw.columns)
+        if self._columns is None:
+            self._columns = list(self._raw.columns)
+        return self._columns
 
     @property
     def column_types(self):
-        return list(self._raw.column_types)
+        if self._column_types is None:
+            self._column_types = list(self._raw.column_types)
+        return self._column_types
 
     @property
     def rowcount(self) -> int:
+        """Row count; drains a still-pending stream to find out."""
         return self._raw.rowcount
 
-    def tdf_batches(self) -> Iterator[bytes]:
-        """Yield the result set as encoded TDF packets."""
+    @property
+    def streaming(self) -> bool:
+        return self._raw.streaming
+
+    def fetch_batches(self) -> Iterator[bytes]:
+        """Lazily pull row batches and encode each into one TDF packet.
+
+        Pulls from the backend one batch at a time, so at most one batch of
+        rows plus its encoding is live in this layer. An empty result still
+        yields a single empty packet, which carries the column header
+        downstream. Single-use while the underlying result is streaming.
+        """
         if self._raw.kind != "rows":
             return
-        yield from tdf.batches_of(self._raw.columns, self._raw.rows,
-                                  self._batch_rows)
+        columns = self.columns
+        produced = False
+        for batch in self._raw.iter_batches(self._batch_rows):
+            if not batch:
+                continue
+            produced = True
+            yield tdf.encode_batch(columns, batch)
+        if not produced:
+            yield tdf.encode_batch(columns, [])
+
+    #: Backwards-compatible name for :meth:`fetch_batches`.
+    tdf_batches = fetch_batches
 
     def raw_rows(self) -> list[tuple]:
         """Direct row access for mid-tier emulators that drive recursion or
-        procedure control flow off result contents (Section 6)."""
+        procedure control flow off result contents (Section 6). Drains and
+        caches a pending stream."""
         return list(self._raw.rows)
 
 

@@ -28,6 +28,57 @@ class ClientResult:
     rowcount: int = 0
 
 
+class RowStream:
+    """Incremental view of one in-flight response.
+
+    Iterating yields rows frame by frame as RESULT_ROWS messages land;
+    :attr:`metas` fills once the RESULT_META frame arrives and
+    :attr:`final` holds the terminal :class:`ClientResult` (without rows)
+    after exhaustion. An optional :attr:`on_rows` callback fires per frame
+    — test instrumentation hooks timestamps through it.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self.metas: list[ColumnMeta] = []
+        self.final: Optional[ClientResult] = None
+        self.on_rows = None  # callable(frame_rows: list[tuple]) or None
+
+    @property
+    def columns(self) -> list[str]:
+        return [meta.name for meta in self.metas]
+
+    def __iter__(self):
+        count = 0
+        saw_count = False
+        while True:
+            kind, payload = read_message(self._sock)
+            if kind is MessageKind.RESULT_META:
+                self.metas = decode_meta(payload)
+            elif kind is MessageKind.RESULT_ROWS:
+                frame = decode_rows(self.metas, payload)
+                if self.on_rows is not None:
+                    self.on_rows(frame)
+                yield from frame
+            elif kind is MessageKind.RESULT_COUNT:
+                (count,) = struct.unpack(">Q", payload)
+                saw_count = True
+            elif kind is MessageKind.SUCCESS:
+                (total,) = struct.unpack(">Q", payload)
+                if self.metas:
+                    self.final = ClientResult("rows", self.columns,
+                                              rowcount=total)
+                elif saw_count:
+                    self.final = ClientResult("count", rowcount=count)
+                else:
+                    self.final = ClientResult("ok")
+                return
+            elif kind is MessageKind.FAILURE:
+                raise BackendError(payload.decode("utf-8", "replace"))
+            else:
+                raise ProtocolError(f"unexpected message {kind.name}")
+
+
 class TdClient:
     """A minimal interactive client (the reproduction's ``bteq``)."""
 
@@ -48,32 +99,23 @@ class TdClient:
 
     def execute(self, sql: str) -> ClientResult:
         """Submit one request and collect the full response."""
+        stream = self.execute_stream(sql)
+        rows = list(stream)
+        final = stream.final
+        if final.kind == "rows":
+            final.rows = rows
+        return final
+
+    def execute_stream(self, sql: str) -> "RowStream":
+        """Submit one request and iterate rows as frames arrive.
+
+        The returned :class:`RowStream` yields decoded rows while the server
+        is still producing — before the final response frame. It must be
+        drained (or the connection closed) before the next request; partial
+        iteration leaves response frames on the socket.
+        """
         send_message(self._sock, MessageKind.RUN_QUERY, sql.encode("utf-8"))
-        metas: list[ColumnMeta] = []
-        rows: list[tuple] = []
-        count = 0
-        saw_count = False
-        while True:
-            kind, payload = read_message(self._sock)
-            if kind is MessageKind.RESULT_META:
-                metas = decode_meta(payload)
-            elif kind is MessageKind.RESULT_ROWS:
-                rows.extend(decode_rows(metas, payload))
-            elif kind is MessageKind.RESULT_COUNT:
-                (count,) = struct.unpack(">Q", payload)
-                saw_count = True
-            elif kind is MessageKind.SUCCESS:
-                (total,) = struct.unpack(">Q", payload)
-                if metas:
-                    return ClientResult("rows", [m.name for m in metas], rows,
-                                        total)
-                if saw_count:
-                    return ClientResult("count", rowcount=count)
-                return ClientResult("ok")
-            elif kind is MessageKind.FAILURE:
-                raise BackendError(payload.decode("utf-8", "replace"))
-            else:
-                raise ProtocolError(f"unexpected message {kind.name}")
+        return RowStream(self._sock)
 
     def close(self) -> None:
         try:

@@ -137,23 +137,40 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 f"request timed out after {timeout:g}s") from None
 
     def _send_result(self, sock: socket.socket, result: HQResult) -> None:
-        if result.kind == "rows":
-            send_message(sock, MessageKind.RESULT_META,
-                         encode_meta(result.metas))
-            if result.converted is not None:
-                for chunk in result.converted.iter_chunks():
-                    if chunk:
-                        send_message(sock, MessageKind.RESULT_ROWS, chunk)
-            send_message(sock, MessageKind.SUCCESS,
-                         struct.pack(">Q", result.rowcount))
-        elif result.kind == "count":
-            send_message(sock, MessageKind.RESULT_COUNT,
-                         struct.pack(">Q", result.rowcount))
-            send_message(sock, MessageKind.SUCCESS,
-                         struct.pack(">Q", result.rowcount))
-        else:
-            send_message(sock, MessageKind.SUCCESS, struct.pack(">Q", 0))
-        result.close()
+        """Ship one result, streaming row chunks as they convert.
+
+        Chunks go onto the wire as the converter produces them, so a slow
+        client exerts backpressure all the way into the backend executor
+        (``sendall`` blocks, the chunk generator stops pulling). The final
+        SUCCESS frame carries the row total accumulated by the stream.
+        """
+        try:
+            if result.kind == "rows":
+                send_message(sock, MessageKind.RESULT_META,
+                             encode_meta(result.metas))
+                try:
+                    for chunk in result.iter_chunks():
+                        if chunk:
+                            send_message(sock, MessageKind.RESULT_ROWS, chunk)
+                except HyperQError as error:
+                    # Mid-stream failure: some rows may already be on the
+                    # wire; the FAILURE frame marks the result truncated.
+                    send_message(sock, MessageKind.FAILURE,
+                                 str(error).encode("utf-8"))
+                    return
+                send_message(sock, MessageKind.SUCCESS,
+                             struct.pack(">Q", result.rowcount))
+            elif result.kind == "count":
+                send_message(sock, MessageKind.RESULT_COUNT,
+                             struct.pack(">Q", result.rowcount))
+                send_message(sock, MessageKind.SUCCESS,
+                             struct.pack(">Q", result.rowcount))
+            else:
+                send_message(sock, MessageKind.SUCCESS, struct.pack(">Q", 0))
+        finally:
+            # Release converted buffers as soon as the last frame ships (or
+            # the attempt aborts) — nothing row-sized survives per session.
+            result.close()
 
 
 def _discard_result(future) -> None:

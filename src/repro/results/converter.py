@@ -9,11 +9,14 @@ the source protocol needs the full count up front.
 
 from __future__ import annotations
 
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro import tdf
+from repro.errors import ConversionError
 from repro.protocol.encoding import ColumnMeta, decode_rows, effective_meta, encode_rows
 from repro.results.store import ResultStore
 from repro.xtra.types import SQLType
@@ -42,8 +45,104 @@ class ConvertedResult:
         return out
 
     def close(self) -> None:
+        """Release converted row data (buffers and any spill file)."""
+        self.chunks = []
         if self.store is not None:
             self.store.close()
+
+
+class StreamingResult:
+    """A converted result whose chunks arrive lazily from the backend.
+
+    Chunks flow through exactly once via :meth:`iter_chunks`; nothing is
+    retained unless a consumer needs replay or the total row count first, in
+    which case :meth:`buffer` drains the remainder into a bounded
+    :class:`ResultStore` (spilling past the memory budget). The interface
+    mirrors :class:`ConvertedResult` so downstream layers take either.
+    """
+
+    def __init__(self, metas: list[ColumnMeta],
+                 source: Iterator[tuple[bytes, int]],
+                 max_memory_bytes: int = 64 * 1024 * 1024,
+                 spill_dir: Optional[str] = None,
+                 on_first_chunk: Optional[Callable[[], None]] = None):
+        self.metas = metas
+        self._source = source
+        self._max_memory = max_memory_bytes
+        self._spill_dir = spill_dir
+        self._on_first_chunk = on_first_chunk
+        self._store: Optional[ResultStore] = None
+        self._rowcount = 0
+        self._consumed = False
+        #: Largest single converted chunk seen — the layer's live footprint
+        #: on the pure streaming path.
+        self.peak_chunk_bytes = 0
+
+    @property
+    def streaming(self) -> bool:
+        return not self._consumed and self._store is None
+
+    @property
+    def store(self) -> ResultStore:
+        """The bounded buffer behind this result (compatibility accessor:
+        drains the remaining stream into it on first touch)."""
+        return self.buffer()
+
+    @property
+    def rowcount(self) -> int:
+        """Total rows; buffers the remaining stream to find out."""
+        if not self._consumed:
+            self.buffer()
+        return self._rowcount
+
+    def _pull(self) -> Iterator[bytes]:
+        first = True
+        for chunk, nrows in self._source:
+            self._rowcount += nrows
+            if len(chunk) > self.peak_chunk_bytes:
+                self.peak_chunk_bytes = len(chunk)
+            if first:
+                first = False
+                if self._on_first_chunk is not None:
+                    self._on_first_chunk()
+            yield chunk
+        self._consumed = True
+
+    def iter_chunks(self) -> Iterator[bytes]:
+        """Yield converted chunks: replayed from the buffer once one exists,
+        otherwise streamed straight through (single use)."""
+        if self._store is not None:
+            yield from self._store
+            return
+        if self._consumed:
+            raise ConversionError("converted stream was already consumed")
+        yield from self._pull()
+
+    def buffer(self) -> ResultStore:
+        """Drain the stream into a bounded store; replayable afterwards."""
+        if self._store is None:
+            store = ResultStore(self._max_memory, self._spill_dir)
+            if not self._consumed:
+                for chunk in self._pull():
+                    store.append(chunk)
+            self._store = store
+        return self._store
+
+    def rows(self) -> list[tuple]:
+        """Decode back into Python rows (what a client library would do)."""
+        self.buffer()
+        out: list[tuple] = []
+        for chunk in self.iter_chunks():
+            out.extend(decode_rows(self.metas, chunk))
+        return out
+
+    def close(self) -> None:
+        """Release buffered chunks and stop pulling from the backend."""
+        self._source = iter(())
+        self._consumed = True
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
 
 class ResultConverter:
@@ -114,3 +213,64 @@ class ResultConverter:
                 store.append(chunk)
             return ConvertedResult(metas=metas, rowcount=rowcount, store=store)
         return ConvertedResult(metas=metas, chunks=encoded, rowcount=rowcount)
+
+    def convert_stream(self, batches: Iterable[bytes],
+                       declared_types: Optional[list[SQLType]] = None,
+                       timing=None,
+                       on_first_chunk: Optional[Callable[[], None]] = None,
+                       ) -> StreamingResult:
+        """Convert TDF packets into source chunks one batch at a time.
+
+        Pulls lazily from *batches*; only the first packet is decoded up
+        front (it supplies the column sample for meta inference, and it makes
+        malformed results fail at convert time). Decode and encode time is
+        accumulated into the ``result_conversion`` stage of *timing* as the
+        stream is consumed. With ``parallelism > 1`` the converter keeps up
+        to that many encodes in flight ahead of the consumer — the paper's
+        parallel conversion, still bounded.
+        """
+        def measure():
+            return (timing.measure("result_conversion")
+                    if timing is not None else nullcontext())
+
+        iterator = iter(batches)
+        with measure():
+            first_packet = next(iterator, None)
+        if first_packet is None:
+            return StreamingResult([], iter(()), self._max_memory,
+                                   self._spill_dir, on_first_chunk)
+        with measure():
+            columns, sample = tdf.decode_batch(first_packet)
+            metas = effective_meta(columns, declared_types or [], sample)
+
+        def decoded_batches() -> Iterator[list[tuple]]:
+            yield sample
+            while True:
+                packet = next(iterator, None)  # backend pull, not conversion
+                if packet is None:
+                    return
+                with measure():
+                    __, rows = tdf.decode_batch(packet)
+                yield rows
+
+        def chunk_source() -> Iterator[tuple[bytes, int]]:
+            if self._parallelism > 1:
+                pool = self._ensure_pool()
+                in_flight: deque = deque()
+                for rows in decoded_batches():
+                    in_flight.append(
+                        (pool.submit(encode_rows, metas, rows), len(rows)))
+                    while len(in_flight) > self._parallelism:
+                        future, nrows = in_flight.popleft()
+                        yield future.result(), nrows
+                while in_flight:
+                    future, nrows = in_flight.popleft()
+                    yield future.result(), nrows
+            else:
+                for rows in decoded_batches():
+                    with measure():
+                        chunk = encode_rows(metas, rows)
+                    yield chunk, len(rows)
+
+        return StreamingResult(metas, chunk_source(), self._max_memory,
+                               self._spill_dir, on_first_chunk)

@@ -28,6 +28,7 @@ class ResultStore:
         self._spill_dir = spill_dir
         self._memory_chunks: list[bytes] = []
         self._memory_bytes = 0
+        self._high_water = 0
         self._spill_file: Optional[tempfile._TemporaryFileWrapper] = None
         self._spilled_chunks = 0
         self._closed = False
@@ -35,6 +36,11 @@ class ResultStore:
     @property
     def memory_bytes(self) -> int:
         return self._memory_bytes
+
+    @property
+    def high_water(self) -> int:
+        """Peak bytes of chunk data held in memory over the store's life."""
+        return self._high_water
 
     @property
     def spilled(self) -> bool:
@@ -51,6 +57,8 @@ class ResultStore:
                 self._memory_bytes + len(chunk) <= self._max_memory:
             self._memory_chunks.append(chunk)
             self._memory_bytes += len(chunk)
+            if self._memory_bytes > self._high_water:
+                self._high_water = self._memory_bytes
             return
         if self._spill_file is None:
             self._spill_file = tempfile.NamedTemporaryFile(

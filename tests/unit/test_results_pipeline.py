@@ -2,7 +2,10 @@
 
 import datetime
 
+import pytest
+
 from repro import tdf
+from repro.errors import ConversionError
 from repro.results.converter import ResultConverter
 from repro.results.store import ResultStore
 from repro.xtra import types as t
@@ -93,3 +96,109 @@ class TestResultConverter:
         result = ResultConverter().convert([])
         assert result.rowcount == 0
         assert result.rows() == []
+
+
+class TestStreamingConverter:
+    """convert_stream: lazy pull, bounded buffering, spill mid-stream."""
+
+    TYPES = [t.INTEGER, t.varchar(10), t.DATE]
+
+    def batches(self, rows, batch_rows=2):
+        return tdf.batches_of(["N", "S", "D"], rows, batch_rows)
+
+    def rows(self, count):
+        return [(i, f"s{i}", datetime.date(2014, 1, 1 + i % 28))
+                for i in range(count)]
+
+    def test_pulls_lazily_one_batch_at_a_time(self):
+        """The converter must not read ahead of the consumer (serial path)."""
+        pulled = []
+
+        def tracked():
+            for index, packet in enumerate(self.batches(self.rows(10), 2)):
+                pulled.append(index)
+                yield packet
+
+        result = ResultConverter().convert_stream(tracked(), self.TYPES)
+        assert pulled == [0]  # only the meta-sample packet so far
+        chunks = result.iter_chunks()
+        next(chunks)
+        assert pulled == [0]
+        next(chunks)
+        assert pulled == [0, 1]
+
+    def test_streaming_consumption_never_builds_a_store(self):
+        result = ResultConverter().convert_stream(
+            self.batches(self.rows(20), 4), self.TYPES)
+        consumed = list(result.iter_chunks())
+        assert len(consumed) == 5
+        assert result.rowcount == 20  # accumulated, not re-buffered
+        assert not result.streaming
+
+    def test_stream_is_single_use(self):
+        result = ResultConverter().convert_stream(
+            self.batches(self.rows(4), 2), self.TYPES)
+        list(result.iter_chunks())
+        with pytest.raises(ConversionError):
+            next(result.iter_chunks())
+
+    def test_spill_triggered_mid_stream(self, tmp_path):
+        """Draining through the store under a tiny budget spills partway and
+        replays everything in order."""
+        converter = ResultConverter(max_memory_bytes=64,
+                                    spill_dir=str(tmp_path))
+        rows = self.rows(100)
+        result = converter.convert_stream(self.batches(rows, 10), self.TYPES)
+        store = result.buffer()
+        assert store.spilled
+        assert store.memory_bytes <= 64
+        assert store.high_water <= 64
+        assert result.rows() == rows  # replay preserves order
+        assert result.rows() == rows  # and is repeatable once buffered
+        result.close()
+        assert not any(tmp_path.iterdir())  # temp spill file cleaned up
+
+    def test_rowcount_access_buffers_with_bounded_memory(self, tmp_path):
+        converter = ResultConverter(max_memory_bytes=64,
+                                    spill_dir=str(tmp_path))
+        result = converter.convert_stream(
+            self.batches(self.rows(100), 10), self.TYPES)
+        assert result.rowcount == 100
+        assert result.store.high_water <= 64
+        result.close()
+
+    def test_parallel_stream_matches_serial(self):
+        rows = self.rows(50)
+        serial = ResultConverter(parallelism=1).convert_stream(
+            self.batches(rows, 5), self.TYPES)
+        with ResultConverter(parallelism=4) as pooled:
+            parallel = pooled.convert_stream(self.batches(rows, 5), self.TYPES)
+            assert serial.rows() == parallel.rows()
+
+    def test_empty_result_still_yields_header_chunk(self):
+        result = ResultConverter().convert_stream(
+            self.batches([], 2), self.TYPES)
+        assert result.rowcount == 0
+        assert result.rows() == []
+
+    def test_first_chunk_callback_fires_once(self):
+        seen = []
+        result = ResultConverter().convert_stream(
+            self.batches(self.rows(6), 2), self.TYPES,
+            on_first_chunk=lambda: seen.append(True))
+        assert seen == []  # nothing converted until the consumer pulls
+        list(result.iter_chunks())
+        assert seen == [True]
+
+    def test_close_stops_pulling(self):
+        pulled = []
+
+        def tracked():
+            for index, packet in enumerate(self.batches(self.rows(10), 2)):
+                pulled.append(index)
+                yield packet
+
+        result = ResultConverter().convert_stream(tracked(), self.TYPES)
+        result.close()
+        assert result.rowcount == 0
+        assert pulled == [0]
