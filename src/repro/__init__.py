@@ -33,6 +33,7 @@ from repro.core.engine import (
 )
 from repro.core.tracker import FeatureTracker
 from repro.core.timing import RequestTiming, TimingLog
+from repro.core.workload import WorkloadConfig, WorkloadManager
 from repro.protocol.client import TdClient
 from repro.protocol.server import HyperQServer, ServerThread
 from repro.transform.capabilities import PROFILES, CapabilityProfile
@@ -53,6 +54,8 @@ __all__ = [
     "ServerThread",
     "CapabilityProfile",
     "PROFILES",
+    "WorkloadConfig",
+    "WorkloadManager",
     "virtualize",
 ]
 

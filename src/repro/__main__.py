@@ -76,11 +76,21 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    engine = HyperQ(target=args.target, source=args.source)
-    thread = ServerThread(engine, host=args.host, port=args.port)
+    import os
+
+    workload = None
+    if args.workload or os.environ.get("HQ_WORKLOAD_CONFIG"):
+        from repro.core.workload import WorkloadConfig, WorkloadManager
+
+        workload = WorkloadManager(WorkloadConfig.from_env())
+    engine = HyperQ(target=args.target, source=args.source, workload=workload)
+    thread = ServerThread(engine, host=args.host, port=args.port,
+                          max_connections=args.max_connections)
     host, port = thread.start()
+    managed = "on" if workload is not None else "off"
     print(f"Hyper-Q listening on {host}:{port} "
-          f"(source={args.source}, target={args.target}) — Ctrl-C to stop")
+          f"(source={args.source}, target={args.target}, "
+          f"workload management {managed}) — Ctrl-C to stop")
     try:
         import threading
 
@@ -130,6 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd = commands.add_parser("serve", help="start the wire server")
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument("--port", type=int, default=10250)
+    serve_cmd.add_argument("--max-connections", type=int, default=64,
+                           help="bound on concurrently served connections")
+    serve_cmd.add_argument("--workload", action="store_true",
+                           help="enable the workload manager (classification"
+                                ", admission control, fair scheduling); "
+                                "configure via HQ_WORKLOAD_CONFIG")
 
     tpch_cmd = commands.add_parser("tpch", help="load + run TPC-H")
     tpch_cmd.add_argument("--scale", type=float, default=0.001)

@@ -46,3 +46,12 @@ class BatchBudget:
             raise ValueError("batch_rows must be at least 1")
         if self.max_memory_bytes < 0:
             raise ValueError("max_memory_bytes cannot be negative")
+
+    def with_overrides(self, batch_rows: int | None = None,
+                       max_memory_bytes: int | None = None) -> "BatchBudget":
+        """A copy with non-zero overrides applied (workload classes tighten
+        or widen the engine default per request; 0/None inherits)."""
+        return BatchBudget(
+            batch_rows=batch_rows or self.batch_rows,
+            max_memory_bytes=max_memory_bytes or self.max_memory_bytes,
+        )

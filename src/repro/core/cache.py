@@ -382,6 +382,21 @@ class TranslationCache:
             self._stats.misses += 1
             return None
 
+    def contains(self, key_base: tuple, fp: Fingerprint,
+                 params_key: Optional[tuple]) -> bool:
+        """Would :meth:`lookup` hit right now? Touches no stats, no LRU
+        order — the workload classifier's cache-hit probe must not distort
+        the hit rate or the eviction sequence."""
+        with self._lock:
+            if params_key is None:
+                entry = self._entries.get(key_base + ("T",))
+                if entry is not None and entry.template is not None \
+                        and entry.template.render(fp.slots) is not None:
+                    return True
+            entry = self._entries.get(
+                key_base + ("E", fp.values_key(), params_key))
+            return entry is not None and entry.sql is not None
+
     def insert(self, key_base: tuple, fp: Fingerprint,
                params_key: Optional[tuple], target_sql: str,
                notes: tuple[tuple[str, str], ...],

@@ -117,7 +117,8 @@ class HyperQ:
                  faults=None,
                  retry: Optional[RetryPolicy] = None,
                  replica: Optional[int] = None,
-                 batch_budget: Optional[BatchBudget] = None):
+                 batch_budget: Optional[BatchBudget] = None,
+                 workload=None):
         if isinstance(target, str):
             target = PROFILES[target]
         if source not in ("teradata", "ansi"):
@@ -162,6 +163,16 @@ class HyperQ:
         #: Result Converter buffering budget before spilling to disk (§4.6).
         self.converter_max_memory = converter_max_memory
         self.spill_dir = spill_dir
+        #: Optional :class:`repro.core.workload.WorkloadManager` fronting
+        #: this engine: the wire server routes every request through it for
+        #: classification, admission control, and fair scheduling. A manager
+        #: constructed bare adopts the engine's tracker and fault schedule.
+        self.workload = workload
+        if workload is not None:
+            if workload.tracker is None:
+                workload.tracker = tracker
+            if workload.faults is None:
+                workload.faults = faults
 
     def create_session(self) -> "HyperQSession":
         return HyperQSession(self)
@@ -177,6 +188,19 @@ class HyperQ:
     def resilience_stats(self) -> dict[str, int]:
         """Snapshot of retry/failover/timeout counters."""
         return self.resilience.snapshot()
+
+    def estimate_rows(self, name: str) -> int:
+        """Estimated stored rows for table *name* — the scan statistic the
+        workload classifier feeds on. Backed by the in-process backend's
+        catalog; unknown names (views, volatile overlays, typos) estimate
+        zero rather than failing classification."""
+        try:
+            catalog = self.backend.catalog
+            if catalog.has_table(name):
+                return len(catalog.table(name))
+        except Exception:
+            pass
+        return 0
 
 
 class HyperQSession:
@@ -411,6 +435,48 @@ class HyperQSession:
         self.odbc.close()
         self.converter.close()
 
+    # -- workload management ---------------------------------------------------------
+
+    def workload_features(self, sql: str):
+        """``(QueryFeatures, cache_hit)`` for the workload classifier.
+
+        Parses and binds on the tracker-free probe pipeline so
+        classification never pollutes the Figure 8 statistics, and probes
+        the translation cache without counting (the classifier's cache-hit
+        signal must not distort the hit rate). Unparseable requests return
+        ``(None, cache_hit)`` — they will fail fast in :meth:`execute`, so
+        the classifier routes them interactive.
+        """
+        from repro.core.workload import extract_features
+
+        cache = self.engine.cache
+        cache_hit = False
+        if cache is not None and self.ansi_frontend is None:
+            try:
+                fp = cache.fingerprint_cached(sql, self.parser.lexer)
+                cache_hit = cache.contains(self._cache_key_base(fp), fp, None)
+            except Exception:
+                cache_hit = False
+        try:
+            if self.ansi_frontend is not None:
+                bound = self.ansi_frontend.bind_statement(sql)
+            else:
+                parser, binder, __, __ = self._ensure_probe_stack()
+                bound = binder.bind(parser.parse_statement(sql))
+        except Exception:
+            return None, cache_hit
+        return extract_features(bound, self.engine.estimate_rows), cache_hit
+
+    def apply_batch_budget(self, budget: Optional[BatchBudget]) -> None:
+        """Apply a per-request stream-budget override (workload classes
+        tighten or widen the engine default); ``None`` restores the
+        engine's budget. Sessions are driven serially by the wire server,
+        so the override cannot race an in-flight request."""
+        if budget is None:
+            budget = self.engine.batch_budget
+        self.odbc.set_batch_rows(budget.batch_rows)
+        self.converter.set_max_memory(budget.max_memory_bytes)
+
     # -- translation cache ---------------------------------------------------------
 
     #: Statement kinds whose translation may be memoized: single-statement,
@@ -483,6 +549,14 @@ class HyperQSession:
         parameterize; shares the session catalog so name resolution matches
         the real translation exactly.
         """
+        parser, binder, transformer, serializer = self._ensure_probe_stack()
+        bound = binder.bind(parser.parse_statement(probe_sql))
+        transformer.transform(bound)
+        return serializer.serialize(bound)
+
+    def _ensure_probe_stack(self):
+        """The lazily-built tracker-free pipeline (shared by cache sentinel
+        probes and workload classification)."""
         if self._probe_stack is None:
             self._probe_stack = (
                 TeradataParser(),
@@ -491,10 +565,7 @@ class HyperQSession:
                             fixpoint=self.engine.transformer_fixpoint),
                 serializer_for(self.engine.profile),
             )
-        parser, binder, transformer, serializer = self._probe_stack
-        bound = binder.bind(parser.parse_statement(probe_sql))
-        transformer.transform(bound)
-        return serializer.serialize(bound)
+        return self._probe_stack
 
     # -- resilience ------------------------------------------------------------------
 

@@ -12,7 +12,12 @@ A :class:`FaultSchedule` scripts fault points against three injection sites:
 * ``"executor"`` — the backend plan executor, modeling the warehouse itself
   hiccuping mid-plan (:mod:`repro.backend.executor`);
 * ``"wire"`` — the Protocol Handler, per client request
-  (:mod:`repro.protocol.server`).
+  (:mod:`repro.protocol.server`);
+* ``"admission"`` — the workload manager, per admission decision
+  (:mod:`repro.core.workload`): :data:`ADMISSION_REJECT` forces a shed and
+  :data:`SLOW_RESULT` injects *synthetic* queue age (added to the request's
+  recorded wait instead of sleeping), so queue-full and deadline storms are
+  scriptable without real clock pressure.
 
 Everything is seeded and counted, never clocked: a schedule decides whether
 to fire from deterministic per-site call counters and a ``random.Random``
@@ -53,12 +58,14 @@ REPLICA_DOWN = "replica-down"
 WIRE_DISCONNECT = "wire-disconnect"
 #: The result arrives, but late (exercises per-request timeouts).
 SLOW_RESULT = "slow-result"
+#: The workload manager sheds the request at admission (queue-full storm).
+ADMISSION_REJECT = "admission-reject"
 
 FAULT_KINDS = (BACKEND_TRANSIENT, BACKEND_TIMEOUT, REPLICA_DOWN,
-               WIRE_DISCONNECT, SLOW_RESULT)
+               WIRE_DISCONNECT, SLOW_RESULT, ADMISSION_REJECT)
 
 #: Injection sites a spec may target.
-SITES = ("odbc", "executor", "wire")
+SITES = ("odbc", "executor", "wire", "admission")
 
 
 @dataclass(frozen=True)
@@ -337,6 +344,11 @@ def named_schedule(name: str, seed: int = 0) -> FaultSchedule:
     * ``disconnect-storm`` — every 2nd wire request the client connection
       is cut before a response, plus a periodic slow result; sessions must
       be reclaimed and survivors unaffected.
+    * ``admission-storm`` — every 3rd admission decision is shed outright,
+      every 5th arrives with 30s of synthetic queue age (an instant
+      deadline miss for any deadline-bearing class), and replica 1 drops
+      out for a window; the workload manager must reject gracefully, keep
+      sessions alive, and fail reads over — with a byte-reproducible log.
     """
     if name == "transient-errors":
         return FaultSchedule(seed, [
@@ -352,7 +364,14 @@ def named_schedule(name: str, seed: int = 0) -> FaultSchedule:
             FaultSpec(WIRE_DISCONNECT, "wire", every=2),
             FaultSpec(SLOW_RESULT, "wire", every=5, delay=0.005),
         ], name=name)
+    if name == "admission-storm":
+        return FaultSchedule(seed, [
+            FaultSpec(ADMISSION_REJECT, "admission", every=3),
+            FaultSpec(SLOW_RESULT, "admission", every=5, delay=30.0),
+            FaultSpec(REPLICA_DOWN, "odbc", replica=1, after=4, until=10),
+        ], name=name)
     raise ValueError(f"unknown fault schedule {name!r}")
 
 
-NAMED_SCHEDULES = ("transient-errors", "replica-loss", "disconnect-storm")
+NAMED_SCHEDULES = ("transient-errors", "replica-loss", "disconnect-storm",
+                   "admission-storm")

@@ -90,12 +90,20 @@ class ScaledHyperQ:
                  policy: Policy = round_robin,
                  faults=None,
                  retry: Optional[RetryPolicy] = None,
-                 failure_threshold: int = 2):
+                 failure_threshold: int = 2,
+                 workload=None):
         if replicas < 1:
             raise HyperQError("at least one replica is required")
         if failure_threshold < 1:
             raise HyperQError("failure_threshold must be >= 1")
         self.faults = faults
+        #: Optional :class:`repro.core.workload.WorkloadManager` fronting
+        #: the fleet: sessions classify each request and route through it,
+        #: and workload class steers replica placement (ETL reads prefer
+        #: the primary, interactive reads spread across healthy replicas).
+        self.workload = workload
+        if workload is not None and workload.faults is None:
+            workload.faults = faults
         self.engines = [HyperQ(target=target, faults=faults, retry=retry,
                                replica=index)
                         for index in range(replicas)]
@@ -243,6 +251,18 @@ class ScaledHyperQ:
             rest = [h.index for h in self.health if h.up and h.index != first]
         return [first] + rest
 
+    def primary_read_order(self) -> list[int]:
+        """Healthy replicas with the primary (replica 0, or the lowest
+        healthy index) first — the ETL read path. Bulk scans pile onto the
+        same replica the write fan-out hits first, keeping the policy-
+        balanced replicas free for interactive traffic."""
+        with self._lock:
+            up = sorted(h.index for h in self.health if h.up)
+        if not up:
+            raise ReplicaUnavailableError(
+                "no healthy replicas available for reads")
+        return up
+
     def count_read(self, index: int) -> None:
         with self._lock:
             self.reads_per_replica[index] += 1
@@ -291,15 +311,30 @@ class ScaledSession:
     # -- execution -----------------------------------------------------------------
 
     def execute(self, sql: str) -> HQResult:
+        fleet = self._fleet
+        manager = fleet.workload
+        if manager is None:
+            return self._execute_classified(sql)
+        # Classification runs on the replica-0 session (every replica holds
+        # the same shadow catalog); admission, fair scheduling, and deadline
+        # propagation then wrap the whole fan-out/failover execution.
+        decision = manager.decide(self._sessions[0], sql)
+        return manager.run(self._sessions[0], sql,
+                           lambda: self._execute_classified(sql, decision),
+                           decision)
+
+    def _execute_classified(self, sql: str, decision=None) -> HQResult:
         statement = self._parser.parse_statement(sql)
         kind = self._classify(statement)
         if kind == "read":
-            return self._execute_read(sql)
+            return self._execute_read(sql, decision)
         if kind == "session":
             return self._execute_session_scoped(sql)
+        # Writes fan out in replica order — the primary (replica 0) always
+        # applies first, so ETL mutations land where ETL reads are routed.
         return self._execute_write(sql)
 
-    def _execute_read(self, sql: str) -> HQResult:
+    def _execute_read(self, sql: str, decision=None) -> HQResult:
         fleet = self._fleet
         if self._pinned is not None:
             # Volatile state lives on exactly one replica; a read against it
@@ -309,7 +344,14 @@ class ScaledSession:
                     f"replica {self._pinned} holding this session's "
                     f"volatile state is quarantined")
             return self._sessions[self._pinned].execute(sql)
-        order = fleet.read_order()
+        from repro.core.workload import ETL
+
+        # ETL-class scans stick to the primary; everything else spreads
+        # across the healthy replicas under the balancing policy.
+        if decision is not None and decision.wl_class == ETL:
+            order = fleet.primary_read_order()
+        else:
+            order = fleet.read_order()
         failures: list[tuple[int, HyperQError]] = []
         for index in order:
             try:

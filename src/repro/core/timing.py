@@ -12,6 +12,11 @@ translation-cache probe/insert time — so memoized requests keep the Figure 9
 instrumentation honest: a cache hit reports near-zero translation time but
 still accounts for the lookup work it did.
 
+The workload manager adds *queue wait*: time a request spent in its class's
+admission queue before a worker picked it up. It accumulates into ``total``
+and ``overhead`` — queueing is proxy-imposed latency the application would
+not see against the original warehouse.
+
 The streaming result pipeline adds *first row*: the latency from request
 start until the first converted chunk is available to the wire. It is a
 point-in-time mark, not an accumulating stage — it overlaps translation and
@@ -28,7 +33,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 #: Stage names accepted by :meth:`RequestTiming.measure`.
-STAGES = ("translation", "execution", "result_conversion", "cache_lookup")
+STAGES = ("translation", "execution", "result_conversion", "cache_lookup",
+          "queue_wait")
 
 
 @dataclass
@@ -39,6 +45,9 @@ class RequestTiming:
     execution: float = 0.0
     result_conversion: float = 0.0
     cache_lookup: float = 0.0
+    #: Time spent queued in the workload manager before execution began
+    #: (0.0 when no workload manager is configured).
+    queue_wait: float = 0.0
     #: Latency from request start to the first converted chunk (0.0 until
     #: :meth:`mark_first_row` fires; excluded from :attr:`total`).
     first_row: float = 0.0
@@ -48,12 +57,13 @@ class RequestTiming:
     @property
     def total(self) -> float:
         return (self.translation + self.execution + self.result_conversion
-                + self.cache_lookup)
+                + self.cache_lookup + self.queue_wait)
 
     @property
     def overhead(self) -> float:
         """Hyper-Q's share of the request (everything but execution)."""
-        return self.translation + self.result_conversion + self.cache_lookup
+        return (self.translation + self.result_conversion + self.cache_lookup
+                + self.queue_wait)
 
     @property
     def overhead_fraction(self) -> float:
@@ -103,6 +113,10 @@ class TimingLog:
         return sum(t.cache_lookup for t in self.requests)
 
     @property
+    def queue_wait(self) -> float:
+        return sum(t.queue_wait for t in self.requests)
+
+    @property
     def mean_first_row(self) -> float:
         """Mean time-to-first-row across requests that produced rows."""
         marked = [t.first_row for t in self.requests if t.first_row]
@@ -111,7 +125,7 @@ class TimingLog:
     @property
     def total(self) -> float:
         return (self.translation + self.execution + self.result_conversion
-                + self.cache_lookup)
+                + self.cache_lookup + self.queue_wait)
 
     def breakdown(self) -> dict[str, float]:
         """Fractions of end-to-end time per stage (sums to 1.0)."""
@@ -127,4 +141,4 @@ class TimingLog:
         if not total:
             return 0.0
         return (self.translation + self.result_conversion
-                + self.cache_lookup) / total
+                + self.cache_lookup + self.queue_wait) / total

@@ -40,12 +40,28 @@ class FeatureTracker:
         #: feature counters: how often the proxy had to fight the target
         #: to keep the workload's answers flowing.
         self.resilience_counts: Counter[str] = Counter()
+        #: Workload-management events keyed ``(class, event)`` — admitted /
+        #: queued / shed / deadline_missed / demoted / inherited per
+        #: workload class, the admission-control companion to the
+        #: resilience counters.
+        self.workload_counts: Counter[tuple[str, str]] = Counter()
 
     # -- resilience instrumentation ----------------------------------------------
 
     def note_resilience(self, event: str) -> None:
         """Count one resilience action (``retry``, ``failover``, ...)."""
         self.resilience_counts[event] += 1
+
+    # -- workload instrumentation ------------------------------------------------
+
+    def note_workload(self, wl_class: str, event: str) -> None:
+        """Count one workload-management event for *wl_class*."""
+        self.workload_counts[(wl_class, event)] += 1
+
+    def workload_total(self, event: str) -> int:
+        """Total occurrences of *event* across all workload classes."""
+        return sum(count for (_, ev), count in self.workload_counts.items()
+                   if ev == event)
 
     @property
     def retries(self) -> int:

@@ -98,6 +98,31 @@ class ReplicaUnavailableError(HyperQError):
     """
 
 
+class WorkloadError(HyperQError):
+    """Base class for workload-management rejections.
+
+    Deliberately *not* a backend or protocol error: the request never
+    reached the target. The wire server turns these into FAILURE replies
+    and keeps the session alive for the next request.
+    """
+
+
+class WorkloadShedError(WorkloadError):
+    """The request's workload class queue is saturated; shed at admission.
+
+    The message carries a ``retry after`` hint so well-behaved clients can
+    back off instead of hammering a saturated class.
+    """
+
+
+class WorkloadDeadlineError(WorkloadError):
+    """The request waited in the admission queue past its class deadline.
+
+    Raised *before* execution — a request that queued too long is rejected
+    while still queued, never run late.
+    """
+
+
 class ProtocolError(HyperQError):
     """Raised for malformed or unexpected wire-protocol messages."""
 

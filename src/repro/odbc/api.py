@@ -106,6 +106,13 @@ class OdbcServer:
         self._observer = observer
         self._connection: Optional[DriverConnection] = None
 
+    def set_batch_rows(self, batch_rows: int) -> None:
+        """Adjust the batch size for subsequent statements (per-request
+        workload-class budget overrides)."""
+        if batch_rows < 1:
+            raise ValueError("batch_rows must be at least 1")
+        self._batch_rows = batch_rows
+
     def _ensure_connection(self) -> DriverConnection:
         if self._connection is None:
             self._connection = self._driver.connect()

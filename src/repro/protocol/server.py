@@ -3,8 +3,17 @@
 Section 4.1: intercepts the application's network message flow, extracts
 credentials and request payloads, hands them to the Hyper-Q engine, and
 packages responses back into the binary message format the application
-expects. One engine session per connection; a thread per connection gives
-the horizontal-scalability shape of the stress test (Section 7.3).
+expects. One engine session per connection, served by a *bounded* pool of
+connection workers (``max_connections``) — the unbounded thread-per-
+connection shape fell over exactly where the Section 7.3 stress test
+lives, at hundreds of concurrent clients. Excess connections queue at
+accept until a worker frees up.
+
+When the engine carries a :class:`~repro.core.workload.WorkloadManager`,
+every request additionally routes through it: classification, admission
+control (sheds and queue deadlines become FAILURE replies on a live
+connection), and deficit-round-robin scheduling onto the manager's bounded
+executor pool.
 
 Resilience duties of this layer:
 
@@ -12,8 +21,10 @@ Resilience duties of this layer:
   abrupt disconnect must not orphan the session's volatile-table overlay;
 * with ``request_timeout`` set, a request that overruns its deadline gets a
   timely FAILURE reply instead of hanging the connection (the straggler
-  finishes on a single worker behind the scenes, so the session is never
-  driven concurrently);
+  finishes behind the scenes and is awaited before the session's next
+  request, so the session is never driven concurrently);
+* a request shed or queue-expired by the workload manager gets a clean
+  FAILURE reply and the session survives for the next request;
 * unexpected internal errors become FAILURE replies, not dropped
   connections;
 * the engine's fault schedule is consulted per request (site ``"wire"``):
@@ -25,6 +36,7 @@ Resilience duties of this layer:
 
 from __future__ import annotations
 
+import queue
 import socket
 import socketserver
 import struct
@@ -49,6 +61,10 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         session = None
         self._executor: Optional[ThreadPoolExecutor] = None
+        #: A timed-out request still running on a workload worker; awaited
+        #: before the session's next request so the session is never driven
+        #: by two threads at once.
+        self._straggler = None
         try:
             kind, payload = read_message(sock)
             if kind is not MessageKind.LOGON_REQUEST:
@@ -65,8 +81,10 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         finally:
             # Sessions close on *every* exit path: a client that vanishes
             # mid-request must not leak its volatile-table overlay or its
-            # converter resources.
+            # converter resources. A running straggler is awaited first —
+            # closing the session under it would yank its converter away.
             if session is not None:
+                self._await_straggler()
                 session.close()
             if self._executor is not None:
                 self._executor.shutdown(wait=False)
@@ -93,7 +111,7 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 and fault.kind == flt.SLOW_RESULT else 0.0
             try:
                 result = self._run_request(session, sql, delay)
-            except HyperQError as error:  # includes request timeouts
+            except HyperQError as error:  # timeouts, sheds, queue expiry
                 send_message(sock, MessageKind.FAILURE,
                              str(error).encode("utf-8"))
                 continue
@@ -105,7 +123,59 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             self._send_result(sock, result)
 
     def _run_request(self, session, sql: str, delay: float) -> HQResult:
-        """Execute one request, enforcing the server's per-request deadline.
+        manager = self.server.engine.workload
+        if manager is None:
+            return self._run_direct(session, sql, delay)
+        return self._run_managed(manager, session, sql, delay)
+
+    def _run_managed(self, manager, session, sql: str,
+                     delay: float) -> HQResult:
+        """Route one request through the workload manager.
+
+        Shed and queue-deadline rejections raise
+        :class:`~repro.errors.WorkloadError` subclasses, which the serve
+        loop turns into FAILURE replies on a live connection. A request
+        that overruns ``request_timeout`` while *running* becomes this
+        connection's straggler: the client gets a FAILURE now, and the
+        session's next request waits for the straggler to land first.
+        """
+        decision = manager.decide(session, sql)
+
+        def work() -> HQResult:
+            if decision.budget is not None:
+                session.apply_batch_budget(decision.budget)
+            if delay > 0:
+                time.sleep(delay)
+            return session.execute(sql)
+
+        self._await_straggler()
+        ticket = manager.submit(session, sql, work, decision)
+        timeout = self.server.request_timeout
+        try:
+            return manager.wait(ticket, timeout)
+        except FutureTimeoutError:
+            engine = self.server.engine
+            engine.resilience.note("timeout")
+            if engine.faults is not None:
+                engine.faults.record("timeout", timeout=f"{timeout:g}")
+            ticket.future.add_done_callback(_discard_result)
+            if not ticket.future.done():
+                self._straggler = ticket.future
+            raise BackendTimeoutError(
+                f"request timed out after {timeout:g}s") from None
+
+    def _await_straggler(self) -> None:
+        straggler, self._straggler = self._straggler, None
+        if straggler is None:
+            return
+        try:
+            straggler.result()
+        except Exception:  # noqa: BLE001 — its error already became a reply
+            pass
+
+    def _run_direct(self, session, sql: str, delay: float) -> HQResult:
+        """Execute one request without a workload manager, enforcing the
+        server's per-request deadline.
 
         The request runs on this connection's single worker thread; on
         deadline overrun the client gets a FAILURE now and the straggler's
@@ -183,29 +253,91 @@ def _discard_result(future) -> None:
         result.close()
 
 
-class HyperQServer(socketserver.ThreadingTCPServer):
-    """Threaded TCP server wrapping one Hyper-Q engine.
+class _ConnectionPool:
+    """A lazy, bounded pool of daemon worker threads for connections.
+
+    Deliberately not :class:`~concurrent.futures.ThreadPoolExecutor`: its
+    workers are non-daemon and joined at interpreter exit, so one stuck
+    client connection would hang shutdown — the property the old
+    ``daemon_threads = True`` server relied on. Threads spawn on demand up
+    to ``max_workers`` and block on the task queue when idle; beyond the
+    cap, accepted connections queue until a worker frees up.
+    """
+
+    def __init__(self, max_workers: int, name_prefix: str = "hyperq-conn"):
+        if max_workers < 1:
+            raise ValueError("connection pool needs at least one worker")
+        self._max = max_workers
+        self._prefix = name_prefix
+        self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._idle = 0
+        self._closed = False
+
+    def submit(self, fn, *args) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("connection pool is closed")
+            if self._idle == 0 and len(self._threads) < self._max:
+                thread = threading.Thread(
+                    target=self._worker,
+                    name=f"{self._prefix}-{len(self._threads)}",
+                    daemon=True)
+                self._threads.append(thread)
+                thread.start()
+        self._tasks.put((fn, args))
+
+    def _worker(self) -> None:
+        while True:
+            with self._lock:
+                self._idle += 1
+            task = self._tasks.get()
+            with self._lock:
+                self._idle -= 1
+            if task is None:
+                return
+            fn, args = task
+            try:
+                fn(*args)
+            except Exception:  # noqa: BLE001 — handler errors die with the
+                pass           # connection, never with the worker
+
+    def close(self) -> None:
+        """Wake every worker with a poison pill; in-flight connections
+        finish on their own (daemon threads never block exit)."""
+        with self._lock:
+            self._closed = True
+            count = len(self._threads)
+        for __ in range(count):
+            self._tasks.put(None)
+
+
+class HyperQServer(socketserver.TCPServer):
+    """TCP server wrapping one Hyper-Q engine.
 
     Sessions created here share the engine's translation cache, so a hot
     statement warmed by one connection is a cache hit for every other —
     which is why ADV overhead *shrinks* under concurrency (Figure 9b).
 
-    ``daemon_threads`` keeps a stuck client from hanging shutdown (the
-    Figure 9b stress bench opens dozens of connections and must always be
-    able to tear the server down); ``request_queue_size`` bounds the listen
-    backlog so connection storms queue in the kernel instead of failing.
+    ``max_connections`` bounds concurrently-served connections: accepted
+    sockets beyond the cap wait in the pool's task queue, and
+    ``request_queue_size`` bounds the kernel listen backlog behind that, so
+    connection storms queue instead of spawning unbounded threads.
     ``request_timeout`` (seconds, None = unlimited) is the per-request
     deadline after which the client receives a FAILURE reply.
     """
 
     allow_reuse_address = True
-    daemon_threads = True
     request_queue_size = 128
 
     def __init__(self, engine: HyperQ, host: str = "127.0.0.1", port: int = 0,
-                 request_timeout: Optional[float] = None):
+                 request_timeout: Optional[float] = None,
+                 max_connections: int = 64):
         self.engine = engine
         self.request_timeout = request_timeout
+        self.max_connections = max_connections
+        self._pool = _ConnectionPool(max_connections)
         self._session_counter = 0
         self._counter_lock = threading.Lock()
         super().__init__((host, port), _ConnectionHandler)
@@ -220,6 +352,31 @@ class HyperQServer(socketserver.ThreadingTCPServer):
             self._session_counter += 1
             return self._session_counter
 
+    # -- bounded accept-side concurrency ---------------------------------------------
+
+    def process_request(self, request, client_address) -> None:
+        """Serve the connection on the bounded worker pool (replacing
+        ThreadingMixIn's unbounded thread-per-connection)."""
+        self._pool.submit(self._process_request_pooled, request,
+                          client_address)
+
+    def _process_request_pooled(self, request, client_address) -> None:
+        try:
+            self.finish_request(request, client_address)
+        except Exception:  # noqa: BLE001 — mirror BaseServer's handling
+            self.handle_error(request, client_address)
+        finally:
+            self.shutdown_request(request)
+
+    def handle_error(self, request, client_address) -> None:
+        # Connection-level failures are expected under fault injection and
+        # client storms; never spam stderr with tracebacks for them.
+        pass
+
+    def server_close(self) -> None:
+        super().server_close()
+        self._pool.close()
+
 
 class ServerThread:
     """Runs a :class:`HyperQServer` on a background thread.
@@ -231,9 +388,11 @@ class ServerThread:
     """
 
     def __init__(self, engine: HyperQ, host: str = "127.0.0.1", port: int = 0,
-                 request_timeout: Optional[float] = None):
+                 request_timeout: Optional[float] = None,
+                 max_connections: int = 64):
         self.server = HyperQServer(engine, host, port,
-                                   request_timeout=request_timeout)
+                                   request_timeout=request_timeout,
+                                   max_connections=max_connections)
         self._thread: Optional[threading.Thread] = None
 
     def start(self) -> tuple[str, int]:

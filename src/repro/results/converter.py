@@ -166,6 +166,13 @@ class ResultConverter:
         self._spill_dir = spill_dir
         self._pool: Optional[ThreadPoolExecutor] = None
 
+    def set_max_memory(self, max_memory_bytes: int) -> None:
+        """Adjust the buffering ceiling for subsequent conversions
+        (per-request workload-class budget overrides)."""
+        if max_memory_bytes < 0:
+            raise ValueError("max_memory_bytes cannot be negative")
+        self._max_memory = max_memory_bytes
+
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(

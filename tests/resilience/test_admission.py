@@ -1,0 +1,109 @@
+"""The ``admission-storm`` leg of the CI fault matrix.
+
+A scripted storm against the workload manager: every 3rd admission decision
+is shed outright, every 5th arrives with 30 seconds of synthetic queue age
+(an instant deadline miss for any deadline-bearing class), and replica 1 of
+the scaled fleet drops out for a window of its target calls. The manager
+must reject gracefully — the session survives every rejection — reads must
+fail over, and the combined event log must reproduce byte-identically from
+the same seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.faults import RetryPolicy, named_schedule
+from repro.core.scaleout import ScaledHyperQ
+from repro.core.workload import ETL, WorkloadConfig, WorkloadManager
+from repro.errors import WorkloadDeadlineError, WorkloadShedError
+
+from tests.resilience.conftest import requires_schedule
+
+SEED = 2018
+
+_FAST = dict(base_delay=0.0001, max_delay=0.0005)
+
+#: The storm, driven sequentially so the event log is deterministic.
+#: Admission draws 3, 6, 9, 12, 15, 18 shed; draws 5, 10, 20 carry the
+#: synthetic queue age (draw 15 sheds first — first matching spec wins).
+_STATEMENTS = (
+    "CREATE TABLE KV (K INTEGER, V INTEGER)",        # 1  admin
+    "INSERT INTO KV VALUES (1, 10), (2, 20)",        # 2  etl
+    "SEL V FROM KV WHERE K = 1",                     # 3  shed
+    "SEL V FROM KV WHERE K = 2",                     # 4  interactive
+    "SEL COUNT(*) FROM KV",                          # 5  deadline miss
+    "UPD KV SET V = V + 1 WHERE K = 1",              # 6  shed
+    "SEL V FROM KV WHERE K = 1",                     # 7  interactive
+    "SEL V FROM KV WHERE K = 2",                     # 8  interactive
+    "SEL COUNT(*) FROM KV",                          # 9  shed
+    "SEL V FROM KV WHERE K = 1",                     # 10 deadline miss
+    "SEL V FROM KV WHERE K = 2",                     # 11 interactive
+    "UPD KV SET V = V + 1 WHERE K = 2",              # 12 shed
+    "SEL COUNT(*) FROM KV",                          # 13 reporting
+    "SEL V FROM KV WHERE K = 1",                     # 14 interactive
+    "SEL V FROM KV WHERE K = 2",                     # 15 shed
+    "SEL COUNT(*) FROM KV",                          # 16 reporting
+    "SEL V FROM KV WHERE K = 1",                     # 17 interactive
+    "UPD KV SET V = V + 1 WHERE K = 1",              # 18 shed
+    "SEL V FROM KV WHERE K = 1",                     # 19 interactive
+    "SEL COUNT(*) FROM KV",                          # 20 deadline miss
+    "SEL V FROM KV WHERE K = 2",                     # 21 shed
+)
+
+
+def run_admission_storm(seed: int):
+    schedule = named_schedule("admission-storm", seed)
+    manager = WorkloadManager(WorkloadConfig(workers=2))
+    fleet = ScaledHyperQ(replicas=3, faults=schedule,
+                         retry=RetryPolicy(seed=seed, **_FAST),
+                         failure_threshold=1, workload=manager)
+    session = fleet.create_session()
+    sheds = misses = answered = 0
+    try:
+        for sql in _STATEMENTS:
+            try:
+                session.execute(sql)
+                answered += 1
+            except WorkloadShedError as error:
+                assert "retry after" in str(error)
+                sheds += 1
+            except WorkloadDeadlineError:
+                misses += 1
+        # The session survived every rejection and still answers (this is
+        # admission draw 22 — neither a shed nor a miss slot).
+        final = session.execute("SEL COUNT(*) FROM KV").rows
+    finally:
+        session.close()
+        manager.close()
+    return (schedule, fleet.resilience.snapshot(), manager.stats,
+            sheds, misses, answered, final)
+
+
+@requires_schedule("admission-storm")
+class TestAdmissionStorm:
+    def test_storm_sheds_misses_and_fails_over_gracefully(self):
+        schedule, stats, wl_stats, sheds, misses, answered, final = \
+            run_admission_storm(SEED)
+        assert sheds == 7            # admission draws 3,6,9,12,15,18,21
+        assert misses == 3           # admission draws 5,10,20
+        assert answered == len(_STATEMENTS) - sheds - misses
+        assert final == [(2,)]       # the session outlived the storm
+        assert wl_stats.total("shed") == sheds
+        assert wl_stats.total("deadline_missed") == misses
+        # The replica outage inside the same storm was failed over.
+        assert stats["failovers"] > 0
+        assert schedule.injected_count() > 0
+
+    def test_rejections_reach_the_event_log(self):
+        schedule = run_admission_storm(SEED)[0]
+        log = schedule.event_log()
+        assert any(line.startswith("shed") for line in log)
+        assert any(line.startswith("deadline_missed") for line in log)
+        assert any("admission-reject" in line for line in log)
+
+    def test_same_seed_reproduces_identical_event_log(self):
+        first = run_admission_storm(SEED)[0]
+        second = run_admission_storm(SEED)[0]
+        assert first.event_log_bytes() == second.event_log_bytes()
+        assert len(first.event_log()) > 0

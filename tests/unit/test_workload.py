@@ -1,0 +1,516 @@
+"""Unit tests for the workload subsystem: classification, token buckets,
+deficit-round-robin, admission control, deadlines, and runtime feedback."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.budget import BatchBudget
+from repro.core.engine import HyperQ
+from repro.core.faults import (
+    ADMISSION_REJECT, SLOW_RESULT, FaultSchedule, FaultSpec,
+)
+from repro.core.tracker import FeatureTracker
+from repro.core.workload import (
+    ADMIN, ETL, INTERACTIVE, REPORTING,
+    DeficitRoundRobin, QueryClassifier, QueryFeatures, TokenBucket,
+    WorkloadClassConfig, WorkloadConfig, WorkloadDecision, WorkloadManager,
+    demote_class, extract_features,
+)
+from repro.errors import WorkloadDeadlineError, WorkloadShedError
+
+
+# -- configuration ------------------------------------------------------------------
+
+
+class TestWorkloadConfig:
+    def test_defaults_cover_all_classes(self):
+        config = WorkloadConfig()
+        assert set(config.classes) == {INTERACTIVE, REPORTING, ETL, ADMIN}
+        assert config.classes[INTERACTIVE].weight \
+            > config.classes[ETL].weight
+
+    def test_from_dict_overrides_merge_with_defaults(self):
+        config = WorkloadConfig.from_dict({
+            "workers": 8,
+            "classes": {"etl": {"weight": 0.5, "max_concurrency": 2},
+                        "interactive": {"deadline": 2.0}},
+        })
+        assert config.workers == 8
+        assert config.classes[ETL].weight == 0.5
+        assert config.classes[ETL].max_concurrency == 2
+        assert config.classes[INTERACTIVE].deadline == 2.0
+        # Untouched knobs keep their defaults.
+        assert config.classes[REPORTING].queue_depth == 128
+
+    def test_from_dict_rejects_unknown_class_and_key(self):
+        with pytest.raises(ValueError, match="unknown workload class"):
+            WorkloadConfig.from_dict({"classes": {"batch": {}}})
+        with pytest.raises(ValueError, match="unknown workload config"):
+            WorkloadConfig.from_dict({"wrokers": 3})
+
+    def test_from_env_inline_json_and_file(self, tmp_path):
+        config = WorkloadConfig.from_env(
+            {"HQ_WORKLOAD_CONFIG": '{"workers": 6}'})
+        assert config.workers == 6
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({"etl_scan_rows": 5}))
+        config = WorkloadConfig.from_env({"HQ_WORKLOAD_CONFIG": f"@{path}"})
+        assert config.etl_scan_rows == 5
+        assert WorkloadConfig.from_env({}).workers == 4  # unset -> defaults
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadClassConfig("x", weight=0)
+        with pytest.raises(ValueError):
+            WorkloadClassConfig("x", queue_depth=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(workers=0)
+
+
+class TestBatchBudgetOverrides:
+    def test_with_overrides_inherits_zeros(self):
+        base = BatchBudget(batch_rows=100, max_memory_bytes=1000)
+        assert base.with_overrides() == base
+        assert base.with_overrides(batch_rows=7).batch_rows == 7
+        assert base.with_overrides(batch_rows=7).max_memory_bytes == 1000
+        assert base.with_overrides(max_memory_bytes=5).batch_rows == 100
+
+
+# -- classification -----------------------------------------------------------------
+
+
+def _classify(features, **kwargs):
+    return QueryClassifier(WorkloadConfig()).classify(features, **kwargs)
+
+
+class TestClassifier:
+    def test_point_query_is_interactive(self):
+        decision = _classify(QueryFeatures(kind="query", fan_in=1))
+        assert decision.wl_class == INTERACTIVE
+
+    def test_aggregation_and_fan_in_are_reporting(self):
+        assert _classify(QueryFeatures(
+            kind="query", has_aggregation=True)).wl_class == REPORTING
+        assert _classify(QueryFeatures(
+            kind="query", has_window=True)).wl_class == REPORTING
+        assert _classify(QueryFeatures(
+            kind="query", fan_in=3)).wl_class == REPORTING
+
+    def test_cached_shaped_query_demotes_to_interactive(self):
+        features = QueryFeatures(kind="query", has_aggregation=True)
+        assert _classify(features, cache_hit=True).wl_class == INTERACTIVE
+        # ...but a big cached scan stays reporting: the cache saves
+        # translation, not execution.
+        big = QueryFeatures(kind="query", has_aggregation=True,
+                            scan_rows=50_000)
+        assert _classify(big, cache_hit=True).wl_class == REPORTING
+
+    def test_scan_thresholds(self):
+        assert _classify(QueryFeatures(
+            kind="query", scan_rows=10_000)).wl_class == REPORTING
+        assert _classify(QueryFeatures(
+            kind="query", scan_rows=100_000)).wl_class == ETL
+
+    def test_dml_is_etl_and_admin_is_admin(self):
+        assert _classify(QueryFeatures(kind="dml")).wl_class == ETL
+        assert _classify(QueryFeatures(kind="admin")).wl_class == ADMIN
+
+    def test_session_override_wins(self):
+        decision = _classify(QueryFeatures(kind="dml"),
+                             session_params={"WORKLOAD": "interactive"})
+        assert decision.wl_class == INTERACTIVE
+        assert decision.reason == "session override"
+
+    def test_unclassifiable_routes_interactive(self):
+        assert _classify(None).wl_class == INTERACTIVE
+
+    def test_demotion_ladder(self):
+        assert demote_class(INTERACTIVE, 1) == REPORTING
+        assert demote_class(INTERACTIVE, 2) == ETL
+        assert demote_class(INTERACTIVE, 9) == ETL
+        assert demote_class(ETL, 1) == ETL
+        assert demote_class(ADMIN, 1) == ADMIN
+
+
+class TestFeatureExtraction:
+    @pytest.fixture()
+    def session(self):
+        engine = HyperQ()
+        session = engine.create_session()
+        session.execute("CREATE TABLE T (A INTEGER, B INTEGER)")
+        session.execute("CREATE TABLE U (A INTEGER)")
+        yield session
+        session.close()
+
+    def test_statement_kinds(self, session):
+        features, __ = session.workload_features("SEL A FROM T")
+        assert features.kind == "query" and features.fan_in == 1
+        features, __ = session.workload_features("INS INTO T VALUES (1, 2)")
+        assert features.kind == "dml"
+        features, __ = session.workload_features("HELP TABLE T")
+        assert features.kind == "admin"
+        features, __ = session.workload_features(
+            "CREATE TABLE V (X INTEGER)")
+        assert features.kind == "admin"
+
+    def test_shape_signals(self, session):
+        features, __ = session.workload_features(
+            "SEL A, COUNT(*) FROM T GROUP BY A")
+        assert features.has_aggregation
+        features, __ = session.workload_features(
+            "SEL T.A FROM T, U WHERE T.A = U.A")
+        assert features.fan_in == 2
+
+    def test_scan_rows_from_backend_statistics(self, session):
+        session.execute("INS INTO T VALUES (1, 2)")
+        session.execute("INS INTO T VALUES (3, 4)")
+        features, __ = session.workload_features("SEL A FROM T")
+        assert features.scan_rows == 2
+        assert session.engine.estimate_rows("NOPE") == 0
+
+    def test_cache_hit_probe_does_not_count(self, session):
+        sql = "SEL A FROM T WHERE B = 5"
+        __, hit = session.workload_features(sql)
+        assert not hit
+        before = session.engine.cache.stats()
+        session.execute(sql)
+        __, hit = session.workload_features(sql)
+        assert hit
+        after = session.engine.cache.stats()
+        # The two workload probes added no lookups beyond execute's own.
+        assert after.lookups == before.lookups + 1
+
+    def test_unparseable_returns_none(self, session):
+        features, __ = session.workload_features("THIS IS NOT SQL !!!")
+        assert features is None
+
+
+# -- token bucket -------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=2, clock=lambda: now[0])
+        assert bucket.take() and bucket.take()
+        assert not bucket.take()
+        assert not bucket.peek()
+        now[0] += 0.1  # one token refilled
+        assert bucket.peek()
+        assert bucket.take()
+        assert not bucket.take()
+
+    def test_rate_zero_is_unlimited(self):
+        bucket = TokenBucket(rate=0.0, burst=1, clock=lambda: 0.0)
+        assert all(bucket.take() for __ in range(100))
+
+    def test_capacity_caps_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=100.0, burst=3, clock=lambda: now[0])
+        now[0] += 60.0
+        assert sum(bucket.take() for __ in range(10)) == 3
+
+
+# -- deficit round robin ------------------------------------------------------------
+
+
+class TestDeficitRoundRobin:
+    def test_weighted_shares(self):
+        drr = DeficitRoundRobin({"a": 3.0, "b": 1.0})
+        for index in range(400):
+            drr.enqueue("a", f"a{index}")
+            drr.enqueue("b", f"b{index}")
+        served = {"a": 0, "b": 0}
+        for __ in range(200):
+            wl_class, __item = drr.next()
+            served[wl_class] += 1
+        assert served["a"] == pytest.approx(150, abs=4)
+        assert served["b"] == pytest.approx(50, abs=4)
+
+    def test_fifo_within_class(self):
+        drr = DeficitRoundRobin({"a": 1.0})
+        for index in range(5):
+            drr.enqueue("a", index)
+        assert [drr.next()[1] for __ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_empty_returns_none_and_resets_deficit(self):
+        drr = DeficitRoundRobin({"a": 2.0, "b": 1.0})
+        assert drr.next() is None
+        drr.enqueue("b", "x")
+        assert drr.next() == ("b", "x")
+        assert len(drr) == 0
+
+    def test_ineligible_class_is_skipped_without_accrual(self):
+        drr = DeficitRoundRobin({"a": 1.0, "b": 1.0})
+        for index in range(10):
+            drr.enqueue("a", index)
+            drr.enqueue("b", index)
+        # With "a" blocked, every serve comes from "b".
+        for expected in range(4):
+            wl_class, item = drr.next(lambda c: c == "b")
+            assert (wl_class, item) == ("b", expected)
+        # Unblocking "a" must not let it burst ahead of "b": it accrued no
+        # deficit while ineligible, so service alternates fairly.
+        served = [drr.next()[0] for __ in range(6)]
+        assert served.count("a") == 3 and served.count("b") == 3
+
+    def test_all_ineligible_returns_none(self):
+        drr = DeficitRoundRobin({"a": 1.0})
+        drr.enqueue("a", "x")
+        assert drr.next(lambda c: False) is None
+        assert drr.pending("a") == 1
+
+    def test_sweep_preserves_order(self):
+        drr = DeficitRoundRobin({"a": 1.0})
+        for index in range(6):
+            drr.enqueue("a", index)
+        removed = drr.sweep(lambda item: item % 2 == 0)
+        assert removed == [0, 2, 4]
+        assert [drr.next()[1] for __ in range(3)] == [1, 3, 5]
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            DeficitRoundRobin({})
+        with pytest.raises(ValueError):
+            DeficitRoundRobin({"a": 0.0})
+
+
+# -- the manager --------------------------------------------------------------------
+
+
+def _fake_session(uid: int = 1):
+    return SimpleNamespace(
+        catalog=SimpleNamespace(uid=uid), session_params={}, engine=None,
+        workload_features=lambda sql: (None, False))
+
+
+def _config(**kwargs) -> WorkloadConfig:
+    classes = {
+        INTERACTIVE: WorkloadClassConfig(INTERACTIVE, weight=4.0,
+                                         **kwargs.pop("interactive", {})),
+        REPORTING: WorkloadClassConfig(REPORTING, weight=2.0),
+        ETL: WorkloadClassConfig(ETL, weight=1.0, **kwargs.pop("etl", {})),
+        ADMIN: WorkloadClassConfig(ADMIN),
+    }
+    return WorkloadConfig(classes=classes, **kwargs)
+
+
+class TestWorkloadManager:
+    def test_runs_work_and_counts_stats(self):
+        manager = WorkloadManager(_config(workers=2))
+        try:
+            session = _fake_session()
+            results = [manager.run(session, f"Q{i}", lambda i=i: i * 10)
+                       for i in range(5)]
+            assert results == [0, 10, 20, 30, 40]
+            assert manager.stats.get(INTERACTIVE, "admitted") == 5
+            assert manager.stats.get(INTERACTIVE, "queued") == 5
+            snap = manager.snapshot()[INTERACTIVE]
+            assert snap["queue_wait"]["count"] == 5
+            assert snap["run_time"]["count"] == 5
+        finally:
+            manager.close()
+
+    def test_errors_propagate_through_future(self):
+        manager = WorkloadManager(_config())
+        try:
+            def boom():
+                raise RuntimeError("kaput")
+
+            with pytest.raises(RuntimeError, match="kaput"):
+                manager.run(_fake_session(), "Q", boom)
+        finally:
+            manager.close()
+
+    def test_queue_full_sheds_with_retry_hint(self):
+        config = _config(workers=1,
+                         etl={"queue_depth": 1, "rate": 2.0, "burst": 1})
+        manager = WorkloadManager(config)
+        try:
+            release = threading.Event()
+            decision = WorkloadDecision(ETL, "test")
+            session = _fake_session()
+            first = manager.submit(session, "Q1", release.wait, decision)
+            time.sleep(0.05)  # the worker picks Q1 up and blocks
+            second = manager.submit(session, "Q2", lambda: 2, decision)
+            with pytest.raises(WorkloadShedError, match="retry after"):
+                manager.submit(session, "Q3", lambda: 3, decision)
+            assert manager.stats.get(ETL, "shed") == 1
+            release.set()
+            assert manager.wait(second) == 2
+            manager.wait(first)
+        finally:
+            release.set()
+            manager.close()
+
+    def test_queued_past_deadline_rejected_before_execution(self):
+        config = _config(workers=1, interactive={"deadline": 0.05})
+        manager = WorkloadManager(config)
+        try:
+            release = threading.Event()
+            session = _fake_session()
+            blocker = manager.submit(session, "SLOW", release.wait,
+                                     WorkloadDecision(ETL, "test"))
+            time.sleep(0.05)  # occupy the only worker
+            ran = []
+            ticket = manager.submit(session, "FAST",
+                                    lambda: ran.append(1),
+                                    WorkloadDecision(INTERACTIVE, "test"))
+            with pytest.raises(WorkloadDeadlineError, match="before execution"):
+                manager.wait(ticket)
+            release.set()
+            manager.wait(blocker)
+            assert ran == []  # the expired request never executed
+            assert manager.stats.get(INTERACTIVE, "deadline_missed") == 1
+        finally:
+            release.set()
+            manager.close()
+
+    def test_synthetic_queue_age_rejects_at_submit(self):
+        faults = FaultSchedule(0, [
+            FaultSpec(SLOW_RESULT, "admission", every=1, delay=30.0)])
+        config = _config(interactive={"deadline": 5.0})
+        manager = WorkloadManager(config, faults=faults)
+        try:
+            with pytest.raises(WorkloadDeadlineError):
+                manager.submit(_fake_session(), "Q", lambda: 1,
+                               WorkloadDecision(INTERACTIVE, "test"))
+            assert b"deadline_missed class=interactive" \
+                in faults.event_log_bytes()
+        finally:
+            manager.close()
+
+    def test_admission_reject_fault_sheds(self):
+        faults = FaultSchedule(0, [
+            FaultSpec(ADMISSION_REJECT, "admission", every=2)])
+        manager = WorkloadManager(_config(), faults=faults)
+        try:
+            session = _fake_session()
+            decision = WorkloadDecision(INTERACTIVE, "test")
+            assert manager.run(session, "Q1", lambda: 1, decision) == 1
+            with pytest.raises(WorkloadShedError):
+                manager.run(session, "Q2", lambda: 2, decision)
+            assert b"shed" in faults.event_log_bytes()
+        finally:
+            manager.close()
+
+    def test_nested_submission_runs_inline(self):
+        manager = WorkloadManager(_config(workers=1))
+        try:
+            session = _fake_session()
+            decision = WorkloadDecision(INTERACTIVE, "test")
+
+            def parent():
+                # With one worker, queueing this would deadlock; priority
+                # inheritance runs it inline on the owning worker instead.
+                return manager.run(session, "CHILD", lambda: "child",
+                                   decision)
+
+            assert manager.run(session, "PARENT", parent, decision) == "child"
+            assert manager.stats.get(INTERACTIVE, "inherited") == 1
+            assert manager.stats.get(INTERACTIVE, "admitted") == 2
+        finally:
+            manager.close()
+
+    def test_repeated_overruns_demote_session(self):
+        config = _config(demote_after=2,
+                         interactive={"runtime_ceiling": 0.001})
+        manager = WorkloadManager(config)
+        try:
+            session = _fake_session(uid=7)
+            decision = WorkloadDecision(INTERACTIVE, "test")
+            for __ in range(2):
+                manager.run(session, "HOG", lambda: time.sleep(0.01),
+                            decision)
+            assert manager.demotion_level(session) == 1
+            demoted = manager.decide(session, "whatever")
+            assert demoted.wl_class == REPORTING
+            assert demoted.demoted_from == INTERACTIVE
+            assert manager.stats.get(INTERACTIVE, "demoted") == 1
+            # A different session is unaffected.
+            assert manager.decide(_fake_session(uid=8),
+                                  "whatever").wl_class == INTERACTIVE
+        finally:
+            manager.close()
+
+    def test_max_concurrency_bounds_running(self):
+        config = _config(workers=4, etl={"max_concurrency": 1})
+        manager = WorkloadManager(config)
+        try:
+            running = []
+            peak = []
+            lock = threading.Lock()
+
+            def job():
+                with lock:
+                    running.append(1)
+                    peak.append(len(running))
+                time.sleep(0.02)
+                with lock:
+                    running.pop()
+
+            session = _fake_session()
+            decision = WorkloadDecision(ETL, "test")
+            tickets = [manager.submit(session, f"Q{i}", job, decision)
+                       for i in range(4)]
+            for ticket in tickets:
+                manager.wait(ticket)
+            assert max(peak) == 1
+        finally:
+            manager.close()
+
+    def test_tracker_receives_workload_events(self):
+        tracker = FeatureTracker()
+        manager = WorkloadManager(_config(), tracker=tracker)
+        try:
+            manager.run(_fake_session(), "Q", lambda: 1,
+                        WorkloadDecision(INTERACTIVE, "test"))
+            assert tracker.workload_counts[(INTERACTIVE, "admitted")] == 1
+            assert tracker.workload_total("admitted") == 1
+        finally:
+            manager.close()
+
+    def test_decision_attaches_class_budget(self):
+        config = _config(etl={"batch_rows": 64,
+                              "max_memory_bytes": 1024})
+        manager = WorkloadManager(config)
+        try:
+            engine = HyperQ(workload=manager)
+            session = engine.create_session()
+            session.execute("CREATE TABLE T (A INTEGER)")
+            decision = manager.decide(session, "INS INTO T VALUES (1)")
+            assert decision.wl_class == ETL
+            assert decision.budget == BatchBudget(batch_rows=64,
+                                                  max_memory_bytes=1024)
+            # Interactive has no override -> no budget attached.
+            assert manager.decide(session, "SEL A FROM T").budget is None
+            session.close()
+        finally:
+            manager.close()
+
+
+class TestExtractFeaturesDirect:
+    def test_extract_on_raw_tree_kinds(self):
+        from repro.xtra import relational as r
+
+        assert extract_features(r.NoOp()).kind == "admin"
+
+    def test_row_estimator_errors_are_swallowed(self):
+        engine = HyperQ()
+        session = engine.create_session()
+        session.execute("CREATE TABLE T (A INTEGER)")
+        features, __ = session.workload_features("SEL A FROM T")
+        # estimator raising must not break classification
+        def bad_estimator(name):
+            raise RuntimeError("stats offline")
+        parser, binder, __t, __s = session._ensure_probe_stack()
+        bound = binder.bind(parser.parse_statement("SEL A FROM T"))
+        features = extract_features(bound, bad_estimator)
+        assert features.scan_rows == 0
+        session.close()
