@@ -638,12 +638,19 @@ class WorkloadManager:
                 self._decisions.move_to_end(key)
                 return memoized
         features, cache_hit = session.workload_features(sql)
-        decision = self.classifier.classify(
-            features, getattr(session, "session_params", None), cache_hit)
-        with self._lock:
-            self._decisions[key] = decision
-            while len(self._decisions) > _DECISION_MEMO_ENTRIES:
-                self._decisions.popitem(last=False)
+        params = getattr(session, "session_params", None)
+        decision = self.classifier.classify(features, params, cache_hit)
+        # Cache-hit status changes as the translation cache warms, so only
+        # decisions that come out the same either way may be memoized — a
+        # shaped small-scan query must re-classify per request or the
+        # "cached dashboard query stays interactive" rule could never fire
+        # after its first (cache-miss) classification was memoized.
+        if decision == self.classifier.classify(features, params,
+                                                not cache_hit):
+            with self._lock:
+                self._decisions[key] = decision
+                while len(self._decisions) > _DECISION_MEMO_ENTRIES:
+                    self._decisions.popitem(last=False)
         return decision
 
     def _apply_demotion(self, session,

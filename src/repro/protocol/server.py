@@ -139,16 +139,20 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         connection's straggler: the client gets a FAILURE now, and the
         session's next request waits for the straggler to land first.
         """
+        # The straggler must land before *anything* touches the session —
+        # classification binds on the session's probe stack, so deciding
+        # first would race the straggler's execute on shared state.
+        self._await_straggler()
         decision = manager.decide(session, sql)
 
         def work() -> HQResult:
-            if decision.budget is not None:
-                session.apply_batch_budget(decision.budget)
+            # Unconditional: None restores the engine default, clearing a
+            # previous request's per-class override.
+            session.apply_batch_budget(decision.budget)
             if delay > 0:
                 time.sleep(delay)
             return session.execute(sql)
 
-        self._await_straggler()
         ticket = manager.submit(session, sql, work, decision)
         timeout = self.server.request_timeout
         try:
@@ -158,9 +162,14 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             engine.resilience.note("timeout")
             if engine.faults is not None:
                 engine.faults.record("timeout", timeout=f"{timeout:g}")
-            ticket.future.add_done_callback(_discard_result)
-            if not ticket.future.done():
-                self._straggler = ticket.future
+            # A future cancelled by wait() (timed out while still queued)
+            # never ran: there is nothing to discard and no straggler, and
+            # registering the callback would fire it synchronously with a
+            # CancelledError that no `except Exception` catches.
+            if not ticket.future.cancelled():
+                ticket.future.add_done_callback(_discard_result)
+                if not ticket.future.done():
+                    self._straggler = ticket.future
             raise BackendTimeoutError(
                 f"request timed out after {timeout:g}s") from None
 
@@ -245,9 +254,12 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
 
 def _discard_result(future) -> None:
     """Release whatever a timed-out straggler eventually produced."""
+    if future.cancelled():
+        return  # never ran; result() would raise CancelledError (a
+                # BaseException) straight through the pool worker
     try:
         result = future.result()
-    except Exception:
+    except BaseException:  # noqa: BLE001 — its error already became a reply
         return
     if result is not None:
         result.close()
@@ -273,13 +285,20 @@ class _ConnectionPool:
         self._lock = threading.Lock()
         self._threads: list[threading.Thread] = []
         self._idle = 0
+        self._pending = 0
         self._closed = False
 
     def submit(self, fn, *args) -> None:
         with self._lock:
             if self._closed:
                 raise RuntimeError("connection pool is closed")
-            if self._idle == 0 and len(self._threads) < self._max:
+            # Spawn on outstanding demand, not a raw idle count: a worker
+            # marks itself idle *before* consuming an earlier queued task,
+            # so "an idle worker exists" does not mean one is coming for
+            # this task — during an accept burst that under-spawns and
+            # strands the connection behind long-lived ones.
+            self._pending += 1
+            if self._pending > self._idle and len(self._threads) < self._max:
                 thread = threading.Thread(
                     target=self._worker,
                     name=f"{self._prefix}-{len(self._threads)}",
@@ -295,6 +314,8 @@ class _ConnectionPool:
             task = self._tasks.get()
             with self._lock:
                 self._idle -= 1
+                if task is not None:  # poison pills are not pending tasks
+                    self._pending -= 1
             if task is None:
                 return
             fn, args = task

@@ -198,6 +198,64 @@ class TestManagedServer:
         finally:
             manager.close()
 
+    def test_timeout_while_queued_cancels_cleanly(self):
+        """A request that hits ``request_timeout`` while still *queued* is
+        cancelled by the manager: the client gets a clean FAILURE, nothing
+        straggles, and the connection-pool worker survives. (A
+        CancelledError escaping the discard callback used to kill the
+        worker, permanently shrinking the pool.)"""
+        config = WorkloadConfig(workers=1)
+        faults = FaultSchedule(0, [
+            # after=2 skips the setup CREATE; the one SLOWTAG query that
+            # follows stalls long enough to back up the sole worker.
+            FaultSpec(SLOW_RESULT, "wire", match="SLOWTAG", after=2,
+                      times=1, delay=0.6),
+        ])
+        engine, manager, __ = _managed_engine(config, faults)
+        try:
+            with ServerThread(engine, request_timeout=0.15,
+                              max_connections=2) as (host, port):
+                with _client(host, port) as setup:
+                    setup.execute("CREATE TABLE SLOWTAG (A INTEGER)")
+
+                started = threading.Event()
+
+                def slow_query():
+                    with _client(host, port) as slow:
+                        started.set()
+                        # Runs past the request timeout itself; its own
+                        # FAILURE and straggler handling are exercised by
+                        # the straggler test above.
+                        with pytest.raises(BackendError, match="timed out"):
+                            slow.execute("SEL A FROM SLOWTAG")
+
+                thread = threading.Thread(target=slow_query)
+                thread.start()
+                started.wait(5)
+                time.sleep(0.1)  # let the slow query occupy the sole worker
+                with _client(host, port) as fast:
+                    begin = time.monotonic()
+                    with pytest.raises(BackendError, match="timed out"):
+                        fast.execute("SEL DATE")
+                    # Cancelled at the 0.15s request timeout while queued,
+                    # not after the 0.6s blocker ahead of it.
+                    assert time.monotonic() - begin < 0.5
+                    thread.join(timeout=5)
+                    # The slow client got its FAILURE early; its straggler
+                    # may still occupy the sole worker — let it drain.
+                    time.sleep(0.8)
+                    # Same connection keeps working: the pool worker did
+                    # not die and no straggler holds the session.
+                    assert fast.execute("SEL DATE").kind == "rows"
+                # A fresh connection is served too — pool capacity intact.
+                with _client(host, port) as again:
+                    assert again.execute("SEL DATE").kind == "rows"
+            # The cancelled request was queued but never admitted/run.
+            assert manager.stats.get(INTERACTIVE, "queued") \
+                > manager.stats.get(INTERACTIVE, "admitted")
+        finally:
+            manager.close()
+
     def test_session_override_param_reaches_classifier(self):
         engine, manager, __ = _managed_engine()
         try:

@@ -494,6 +494,43 @@ class TestWorkloadManager:
         finally:
             manager.close()
 
+    def test_memo_does_not_freeze_cache_hit_dependent_decisions(self):
+        """A shaped small-scan query classifies REPORTING on its first
+        (cache-miss) request but must flip to INTERACTIVE once the
+        translation cache warms — the memo must not pin the miss-time
+        answer (the "cached dashboard query" rule would never fire)."""
+        manager = WorkloadManager(_config())
+        try:
+            shaped = QueryFeatures(kind="query", has_aggregation=True)
+            state = {"hit": False}
+            session = SimpleNamespace(
+                catalog=SimpleNamespace(uid=1), session_params={},
+                engine=None,
+                workload_features=lambda sql: (shaped, state["hit"]))
+            sql = "SEL A, COUNT(*) FROM T GROUP BY A"
+            assert manager.decide(session, sql).wl_class == REPORTING
+            state["hit"] = True  # the translation cache has warmed
+            assert manager.decide(session, sql).wl_class == INTERACTIVE
+        finally:
+            manager.close()
+
+    def test_memo_still_caches_cache_hit_independent_decisions(self):
+        manager = WorkloadManager(_config())
+        try:
+            point = QueryFeatures(kind="query", fan_in=1)
+            probes = []
+            session = SimpleNamespace(
+                catalog=SimpleNamespace(uid=1), session_params={},
+                engine=None,
+                workload_features=lambda sql: (probes.append(sql)
+                                               or (point, False)))
+            for __ in range(3):
+                assert manager.decide(
+                    session, "SEL A FROM T").wl_class == INTERACTIVE
+            assert len(probes) == 1  # probed once, memoized after
+        finally:
+            manager.close()
+
 
 class TestExtractFeaturesDirect:
     def test_extract_on_raw_tree_kinds(self):
