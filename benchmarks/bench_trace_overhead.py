@@ -1,0 +1,77 @@
+"""Observability tax: the request tracer on the warm-cache hot path.
+
+ISSUE 5's acceptance bar: full request tracing — a span per pipeline stage,
+metrics counters, the trace ring buffer — must cost at most 5% of end-to-end
+latency on the warm-cache path, where the fixed per-request overhead is
+largest relative to the work done. Two identical engines, tracing on vs.
+off, run the same repeated statement in interleaved batches; the comparison
+uses the minimum of the per-batch means, which strips scheduler noise that
+a single long run folds in.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.bench.reporting import format_table
+from repro.core.engine import HyperQ
+
+STATEMENT = "SEL N, V FROM HOT WHERE N > 10"
+BATCHES = 12
+BATCH_ROUNDS = 50
+MAX_OVERHEAD = 0.05
+
+
+def _session(tracing: bool):
+    engine = HyperQ(tracing=tracing)
+    session = engine.create_session()
+    session.execute("CREATE TABLE HOT (N INTEGER, V VARCHAR(20))")
+    session.execute("INSERT INTO HOT VALUES " +
+                    ", ".join(f"({i}, 'v{i}')" for i in range(200)))
+    return engine, session
+
+
+def _batch_mean(session, rounds=BATCH_ROUNDS) -> float:
+    start = time.perf_counter()
+    for __ in range(rounds):
+        result = session.execute(STATEMENT)
+        __ = result.rows
+        result.close()
+    return (time.perf_counter() - start) / rounds
+
+
+def _interleaved(traced_session, plain_session):
+    traced, plain = [], []
+    for __ in range(BATCHES):
+        traced.append(_batch_mean(traced_session))
+        plain.append(_batch_mean(plain_session))
+    return min(traced), min(plain)
+
+
+def test_trace_overhead_on_warm_cache_path(benchmark):
+    traced_engine, traced_session = _session(tracing=True)
+    __, plain_session = _session(tracing=False)
+    for session in (traced_session, plain_session):  # warm the cache
+        _batch_mean(session, rounds=20)
+
+    traced, plain = benchmark.pedantic(
+        _interleaved, args=(traced_session, plain_session),
+        rounds=1, iterations=1)
+
+    overhead = traced / plain - 1
+    emit(format_table(
+        ["path", "per-request latency", "overhead"],
+        [
+            ("tracing off", f"{plain * 1e6:8.1f} us", "—"),
+            ("tracing on", f"{traced * 1e6:8.1f} us", f"{overhead:+.2%}"),
+        ],
+        title="Observability overhead — warm-cache hot path"))
+
+    # The traced engine really did trace every request (no silent off-switch
+    # making the comparison vacuous).
+    metrics = traced_engine.tracing.metrics
+    assert metrics.counter("hyperq_requests_total").value \
+        >= BATCHES * BATCH_ROUNDS
+    assert traced_engine.tracing.last_trace() is not None
+    assert overhead <= MAX_OVERHEAD, \
+        f"tracing adds {overhead:.2%}, above the {MAX_OVERHEAD:.0%} budget"

@@ -61,6 +61,8 @@ def cmd_shell(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.trace import render_trace
+
     engine = HyperQ(target=args.target, source=args.source,
                     dml_batching=args.batch_dml)
     session = engine.create_session()
@@ -72,6 +74,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     except HyperQError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if args.trace:
+            hub = engine.tracing
+            for trace_id in hub.trace_ids():
+                trace = hub.get_trace(trace_id)
+                if trace is not None:
+                    print("\n".join(render_trace(trace)), file=sys.stderr)
+    if args.metrics:
+        print(engine.tracing.render_metrics(), file=sys.stderr)
     return 0
 
 
@@ -83,14 +94,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from repro.core.workload import WorkloadConfig, WorkloadManager
 
         workload = WorkloadManager(WorkloadConfig.from_env())
-    engine = HyperQ(target=args.target, source=args.source, workload=workload)
+    engine = HyperQ(target=args.target, source=args.source, workload=workload,
+                    tracing=not args.no_trace, trace_ring=args.trace_ring,
+                    trace_log=args.trace_log,
+                    slow_query_log=args.slow_query_log)
     thread = ServerThread(engine, host=args.host, port=args.port,
                           max_connections=args.max_connections)
     host, port = thread.start()
     managed = "on" if workload is not None else "off"
+    traced = "off" if args.no_trace else "on"
     print(f"Hyper-Q listening on {host}:{port} "
           f"(source={args.source}, target={args.target}, "
-          f"workload management {managed}) — Ctrl-C to stop")
+          f"workload management {managed}, tracing {traced}) "
+          "— Ctrl-C to stop")
     try:
         import threading
 
@@ -136,6 +152,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("script")
     run_cmd.add_argument("--batch-dml", action="store_true",
                          help="merge contiguous single-row inserts")
+    run_cmd.add_argument("--trace", action="store_true",
+                         help="print each statement's span tree to stderr")
+    run_cmd.add_argument("--metrics", action="store_true",
+                         help="print the metrics dump to stderr at the end")
 
     serve_cmd = commands.add_parser("serve", help="start the wire server")
     serve_cmd.add_argument("--host", default="127.0.0.1")
@@ -146,6 +166,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="enable the workload manager (classification"
                                 ", admission control, fair scheduling); "
                                 "configure via HQ_WORKLOAD_CONFIG")
+    serve_cmd.add_argument("--no-trace", action="store_true",
+                           help="disable request-scoped tracing (metrics "
+                                "and SHOW HYPERQ commands return empty)")
+    serve_cmd.add_argument("--trace-ring", type=int, default=256,
+                           help="finished traces kept in memory for "
+                                "SHOW HYPERQ TRACE <id> (default: 256)")
+    serve_cmd.add_argument("--trace-log", default=None, metavar="PATH",
+                           help="append every finished trace to PATH as "
+                                "JSONL (one trace per line)")
+    serve_cmd.add_argument("--slow-query-log", default=None, metavar="PATH",
+                           help="append requests exceeding their workload "
+                                "class's latency threshold to PATH as JSONL")
 
     tpch_cmd = commands.add_parser("tpch", help="load + run TPC-H")
     tpch_cmd.add_argument("--scale", type=float, default=0.001)

@@ -1,6 +1,10 @@
 """Hyper-Q core: the adaptive data virtualization engine (the paper's
 primary contribution)."""
 
+from repro.core.trace import (
+    Histogram, MetricsRegistry, Trace, TraceHub, assert_span_tree,
+    render_trace,
+)
 from repro.core.faults import (
     FaultSchedule, FaultSpec, ResilienceStats, RetryPolicy, named_schedule,
 )
@@ -8,6 +12,8 @@ from repro.core.tracker import FeatureTracker
 from repro.core.timing import RequestTiming
 
 __all__ = [
-    "FaultSchedule", "FaultSpec", "FeatureTracker", "RequestTiming",
-    "ResilienceStats", "RetryPolicy", "named_schedule",
+    "FaultSchedule", "FaultSpec", "FeatureTracker", "Histogram",
+    "MetricsRegistry", "RequestTiming", "ResilienceStats", "RetryPolicy",
+    "Trace", "TraceHub", "assert_span_tree", "named_schedule",
+    "render_trace",
 ]

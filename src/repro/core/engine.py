@@ -14,16 +14,20 @@ observations (Figure 8) are collected on the way through.
 
 from __future__ import annotations
 
+import re
+
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import EmulationError, HyperQError, UnsupportedFeatureError
 from repro.backend.engine import Database
+from repro.core import trace as trace_mod
 from repro.core.budget import BatchBudget
 from repro.core.cache import Fingerprint, TranslationCache, fingerprint
 from repro.core.catalog import MacroDef, ProcedureDef, SessionCatalog, ShadowCatalog
 from repro.core.faults import ResilienceStats, RetryPolicy
 from repro.core.timing import RequestTiming, TimingLog
+from repro.core.trace import MetricsRegistry, TraceHub, render_trace
 from repro.core.tracker import FeatureTracker
 from repro.frontend.teradata import ast as td_ast
 from repro.frontend.teradata.binder import Binder
@@ -118,7 +122,13 @@ class HyperQ:
                  retry: Optional[RetryPolicy] = None,
                  replica: Optional[int] = None,
                  batch_budget: Optional[BatchBudget] = None,
-                 workload=None):
+                 workload=None,
+                 tracing: bool = True,
+                 trace_ring: int = 256,
+                 trace_log: Optional[str] = None,
+                 slow_query_log: Optional[str] = None,
+                 slow_thresholds: Optional[dict[str, float]] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if isinstance(target, str):
             target = PROFILES[target]
         if source not in ("teradata", "ansi"):
@@ -149,7 +159,17 @@ class HyperQ:
                                       batch_rows=batch_budget.batch_rows))
         self.shadow = ShadowCatalog()
         self.tracker = tracker
-        self.timing_log = TimingLog()
+        #: The observability layer: request traces, metric registry, sinks
+        #: (ring buffer, JSONL log, slow-query log). ``tracing=False`` keeps
+        #: the registry but records no spans (the overhead-bench baseline).
+        self.tracing = TraceHub(enabled=tracing, ring_size=trace_ring,
+                                trace_log=trace_log,
+                                slow_query_log=slow_query_log,
+                                slow_thresholds=slow_thresholds,
+                                metrics=metrics)
+        if tracker is not None and tracker.metrics is None:
+            tracker.metrics = self.tracing.metrics
+        self.timing_log = TimingLog(metrics=self.tracing.metrics)
         #: Shared translation cache (byte cap; 0 disables caching entirely).
         self.cache: Optional[TranslationCache] = None
         if cache_size > 0:
@@ -267,6 +287,14 @@ class HyperQSession:
             session.execute("SEL A FROM T WHERE B = ? AND C = :lim",
                             ["x"], lim=10)
         """
+        admin = _ADMIN_COMMAND_RE.match(sql)
+        if admin is not None:
+            return self._run_admin(admin)
+        with self.engine.tracing.request("request", sql):
+            return self._execute_traced(sql, parameters, named_parameters)
+
+    def _execute_traced(self, sql: str, parameters,
+                        named_parameters) -> HQResult:
         if self.tracker is not None:
             self.tracker.begin_query()
         try:
@@ -289,16 +317,19 @@ class HyperQSession:
                             "parameter binding is implemented for the "
                             "Teradata frontend only")
                     ast = None
-                    bound = self.ansi_frontend.bind_statement(sql)
+                    with trace_mod.span("parse"):
+                        bound = self.ansi_frontend.bind_statement(sql)
                 else:
-                    ast = self.parser.parse_statement(sql)
+                    with trace_mod.span("parse", bytes=len(sql)):
+                        ast = self.parser.parse_statement(sql)
                     if parameters or named_parameters:
                         from repro.frontend.teradata.parameters import (
                             bind_parameters,
                         )
 
                         bind_parameters(ast, parameters, named_parameters)
-                    bound = self.binder.bind(ast)
+                    with trace_mod.span("bind"):
+                        bound = self.binder.bind(ast)
             cache_key = self._cacheable_key(fp, bound)
             result = self._dispatch(bound, ast, timing)
             if cache_key is not None and len(result.target_sql) == 1:
@@ -331,6 +362,11 @@ class HyperQSession:
                 self.engine.timing_log.record(timing)
                 results.append(result)
             return results
+        if _ADMIN_COMMAND_HINT_RE.search(sql) is not None:
+            # Admin commands never reach the parser, so a script holding
+            # one runs statement-by-statement through the intercept.
+            return [self.execute(statement)
+                    for statement in self.parser.split_script(sql)]
         statements = self.parser.parse_script(sql)
         if not self.engine.dml_batching:
             return [self._execute_ast(ast) for ast in statements]
@@ -340,13 +376,14 @@ class HyperQSession:
         if self.tracker is not None:
             self.tracker.begin_query()
         try:
-            timing = RequestTiming()
-            with timing.measure("translation"):
-                bound = self.binder.bind(ast)
-            result = self._dispatch(bound, ast, timing)
-            result.timing = timing
-            self.engine.timing_log.record(timing)
-            return result
+            with self.engine.tracing.request("request", type(ast).__name__):
+                timing = RequestTiming()
+                with timing.measure("translation"), trace_mod.span("bind"):
+                    bound = self.binder.bind(ast)
+                result = self._dispatch(bound, ast, timing)
+                result.timing = timing
+                self.engine.timing_log.record(timing)
+                return result
         finally:
             if self.tracker is not None:
                 self.tracker.end_query()
@@ -403,37 +440,87 @@ class HyperQSession:
         if self.tracker is not None:
             self.tracker.begin_query()
         try:
-            fp, params_key, hit = self._cache_lookup(sql, None, {}, None)
-            if hit is not None:
-                target_sql, notes = hit
-                self._replay_notes(notes)
-                return TranslationResult("sql", [target_sql])
-            if self.ansi_frontend is not None:
-                bound = self.ansi_frontend.bind_statement(sql)
-            else:
-                ast = self.parser.parse_statement(sql)
-                bound = self.binder.bind(ast)
-            feature = self._emulated_feature(bound)
-            if feature is not None:
-                self._note(feature)
-                if fp is not None:
-                    self.engine.cache.note_bypass()
-                return TranslationResult("emulated", emulated_feature=feature)
-            cache_key = self._cacheable_key(fp, bound)
-            if isinstance(bound, (r.NoOp, r.SetSessionParam)):
-                return TranslationResult("ok")
-            self.transformer.transform(bound)
-            target_sql = self.serializer.serialize(bound)
-            if cache_key is not None:
-                self._cache_insert(cache_key, fp, params_key, target_sql)
-            return TranslationResult("sql", [target_sql])
+            with self.engine.tracing.request("translate", sql):
+                return self._translate_traced(sql)
         finally:
             if self.tracker is not None:
                 self.tracker.end_query()
 
+    def _translate_traced(self, sql: str) -> TranslationResult:
+        fp, params_key, hit = self._cache_lookup(sql, None, {}, None)
+        if hit is not None:
+            target_sql, notes = hit
+            self._replay_notes(notes)
+            return TranslationResult("sql", [target_sql])
+        if self.ansi_frontend is not None:
+            with trace_mod.span("parse"):
+                bound = self.ansi_frontend.bind_statement(sql)
+        else:
+            with trace_mod.span("parse", bytes=len(sql)):
+                ast = self.parser.parse_statement(sql)
+            with trace_mod.span("bind"):
+                bound = self.binder.bind(ast)
+        feature = self._emulated_feature(bound)
+        if feature is not None:
+            self._note(feature)
+            trace_mod.add_event("emulated", feature=feature)
+            if fp is not None:
+                self.engine.cache.note_bypass()
+            return TranslationResult("emulated", emulated_feature=feature)
+        cache_key = self._cacheable_key(fp, bound)
+        if isinstance(bound, (r.NoOp, r.SetSessionParam)):
+            return TranslationResult("ok")
+        with trace_mod.span("transform"):
+            self.transformer.transform(bound)
+        with trace_mod.span("serialize") as span:
+            target_sql = self.serializer.serialize(bound)
+            if span is not None:
+                span.annotate("bytes", len(target_sql))
+        if cache_key is not None:
+            self._cache_insert(cache_key, fp, params_key, target_sql)
+        return TranslationResult("sql", [target_sql])
+
     def close(self) -> None:
         self.odbc.close()
         self.converter.close()
+
+    # -- observability admin commands --------------------------------------------------
+
+    def _run_admin(self, match: "re.Match[str]") -> HQResult:
+        """Serve a ``SHOW HYPERQ ...`` observability command from the
+        mid-tier: metrics dump, trace listing, one rendered span tree, or
+        the slow-query records — as an ordinary row result, so any wire
+        client (or bteq stand-in) can read them."""
+        import json
+
+        hub = self.engine.tracing
+        what = match.group("what").upper()
+        timing = RequestTiming()
+        if what == "METRICS":
+            lines = hub.render_metrics().splitlines() \
+                or ["(no metrics recorded)"]
+        elif what == "TRACES":
+            lines = []
+            for trace_id in hub.trace_ids():
+                trace = hub.get_trace(trace_id)
+                if trace is not None:
+                    lines.append(
+                        f"{trace_id}\t{trace.spans[0].outcome}\t"
+                        f"{trace.duration * 1e3:.3f}ms\t{trace.sql[:80]}")
+            lines = lines or ["(no traces recorded)"]
+        elif what.startswith("SLOW"):
+            lines = [json.dumps(record, sort_keys=True)
+                     for record in hub.slow_queries] or ["(no slow queries)"]
+        else:
+            trace_id = int(match.group("id"))
+            trace = hub.get_trace(trace_id)
+            if trace is None:
+                raise HyperQError(
+                    f"no trace {trace_id} in the ring buffer "
+                    f"(ids: {hub.trace_ids() or 'none'})")
+            lines = render_trace(trace)
+        return self.fabricate_result(
+            ["LINE"], [t.varchar(2048)], [(line,) for line in lines], timing)
 
     # -- workload management ---------------------------------------------------------
 
@@ -500,7 +587,7 @@ class HyperQSession:
 
         stage = (timing.measure("cache_lookup") if timing is not None
                  else nullcontext())
-        with stage:
+        with stage, trace_mod.span("cache_lookup") as span:
             try:
                 fp = cache.fingerprint_cached(sql, self.parser.lexer)
             except Exception:
@@ -511,6 +598,8 @@ class HyperQSession:
                 if params_key is None:
                     return None, None, None
             hit = cache.lookup(self._cache_key_base(fp), fp, params_key)
+            if span is not None:
+                span.annotate("hit", hit is not None)
         return fp, params_key, hit
 
     def _cache_key_base(self, fp: Fingerprint) -> tuple:
@@ -547,12 +636,15 @@ class HyperQSession:
 
         Used by the cache to validate that a translation is safe to
         parameterize; shares the session catalog so name resolution matches
-        the real translation exactly.
+        the real translation exactly. Tracing is suppressed for the same
+        reason the tracker is: probes must not pollute the real request's
+        span tree with sentinel rule firings.
         """
         parser, binder, transformer, serializer = self._ensure_probe_stack()
-        bound = binder.bind(parser.parse_statement(probe_sql))
-        transformer.transform(bound)
-        return serializer.serialize(bound)
+        with trace_mod.activate(None):
+            bound = binder.bind(parser.parse_statement(probe_sql))
+            transformer.transform(bound)
+            return serializer.serialize(bound)
 
     def _ensure_probe_stack(self):
         """The lazily-built tracker-free pipeline (shared by cache sentinel
@@ -592,8 +684,12 @@ class HyperQSession:
     def run_translated(self, bound: r.Statement, timing: RequestTiming) -> HQResult:
         """Transform + serialize + execute one statement on the target."""
         with timing.measure("translation"):
-            self.transformer.transform(bound)
-            sql = self.serializer.serialize(bound)
+            with trace_mod.span("transform"):
+                self.transformer.transform(bound)
+            with trace_mod.span("serialize") as span:
+                sql = self.serializer.serialize(bound)
+                if span is not None:
+                    span.annotate("bytes", len(sql))
         with timing.measure("execution"):
             odbc_result = self.odbc.execute(sql)
         return self.package_result(odbc_result, timing, [sql])
@@ -831,6 +927,18 @@ class HyperQSession:
                              view_sql=bound.source_sql)
         self.engine.shadow.add_view(schema, replace=bound.replace)
         return self.run_translated(bound, timing)
+
+
+#: ``SHOW HYPERQ ...`` observability commands, intercepted before the parser
+#: (they are Hyper-Q's own, not source-dialect SQL).
+_ADMIN_COMMAND_RE = re.compile(
+    r"^\s*SHOW\s+HYPERQ\s+(?P<what>METRICS|TRACES|SLOW\s+QUERIES"
+    r"|TRACE\s+(?P<id>\d+))\s*;?\s*$",
+    re.IGNORECASE)
+
+#: Cheap presence probe deciding whether a *script* might hold an admin
+#: command (scripts without one keep the single-parse fast path).
+_ADMIN_COMMAND_HINT_RE = re.compile(r"SHOW\s+HYPERQ", re.IGNORECASE)
 
 
 def _freeze_params(parameters, named_parameters):

@@ -45,6 +45,7 @@ from repro.errors import (
     ReplicaUnavailableError,
     TransientBackendError,
 )
+from repro.core import trace as trace_mod
 
 # -- fault vocabulary ----------------------------------------------------------------
 
@@ -182,16 +183,21 @@ class FaultSchedule:
                 self._events.append(_event_line(
                     "inject", kind=spec.kind, site=site, seq=seq,
                     replica=replica))
-            return fired
+        if fired is not None:
+            trace_mod.add_event("fault_injected", kind=fired.kind,
+                                site=site, seq=fired.seq, replica=replica)
+        return fired
 
     # -- the resilience-machinery entry point ----------------------------------------
 
     def record(self, action: str, **detail) -> None:
         """Log a resilience action (retry, failover, quarantine, replay...)
         so it lands in the same deterministic event stream as the faults
-        that provoked it."""
+        that provoked it. The active trace span (if any) gets the same
+        event, so resilience actions show up in the request's span tree."""
         with self._lock:
             self._events.append(_event_line(action, **detail))
+        trace_mod.add_event(action, **detail)
 
     # -- inspection ------------------------------------------------------------------
 

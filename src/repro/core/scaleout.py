@@ -45,6 +45,7 @@ from repro.errors import (
     HyperQError, ReplicaUnavailableError, RetryExhaustedError,
     TransientBackendError,
 )
+from repro.core import trace as trace_mod
 from repro.core.engine import HQResult, HyperQ, HyperQSession
 from repro.core.faults import ResilienceStats, RetryPolicy
 from repro.frontend.teradata import ast as a
@@ -175,7 +176,9 @@ class ScaledHyperQ:
 
     def _record_event(self, action: str, **detail) -> None:
         if self.faults is not None:
-            self.faults.record(action, **detail)
+            self.faults.record(action, **detail)  # also traces the event
+        else:
+            trace_mod.add_event(action, **detail)
 
     # -- recovery ----------------------------------------------------------------
 
@@ -355,7 +358,8 @@ class ScaledSession:
         failures: list[tuple[int, HyperQError]] = []
         for index in order:
             try:
-                result = self._sessions[index].execute(sql)
+                with trace_mod.span("replica_attempt", replica=index):
+                    result = self._sessions[index].execute(sql)
             except HyperQError as error:
                 failures.append((index, error))
                 continue

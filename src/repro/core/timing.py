@@ -23,7 +23,11 @@ point-in-time mark, not an accumulating stage — it overlaps translation and
 execution — so it is reported separately and never folded into ``total``.
 
 :class:`RequestTiming` collects these for one request; :class:`TimingLog`
-aggregates them across a workload run.
+aggregates them across a workload run. A log constructed with a
+:class:`~repro.core.trace.MetricsRegistry` additionally feeds per-stage
+latency histograms (``hyperq_stage_seconds_<stage>``) and the request
+counter on every record, so the Figure 9 instrumentation and the
+observability layer read from one stream.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Optional
 
 #: Stage names accepted by :meth:`RequestTiming.measure`.
 STAGES = ("translation", "execution", "result_conversion", "cache_lookup",
@@ -92,9 +97,25 @@ class TimingLog:
     """Aggregated timings across many requests (Figure 9 series)."""
 
     requests: list[RequestTiming] = field(default_factory=list)
+    #: Optional :class:`~repro.core.trace.MetricsRegistry` mirrored into on
+    #: every :meth:`record` (typed loosely to keep this module import-light).
+    metrics: Optional[object] = field(default=None, repr=False, compare=False)
 
     def record(self, timing: RequestTiming) -> None:
         self.requests.append(timing)
+        registry = self.metrics
+        if registry is None:
+            return
+        registry.counter("hyperq_timed_requests_total").inc()
+        for stage in STAGES:
+            value = getattr(timing, stage)
+            if value > 0.0:
+                registry.histogram(
+                    f"hyperq_stage_seconds_{stage}").observe(value)
+        registry.histogram("hyperq_pipeline_seconds").observe(timing.total)
+        if timing.first_row:
+            registry.histogram("hyperq_first_row_seconds").observe(
+                timing.first_row)
 
     @property
     def translation(self) -> float:

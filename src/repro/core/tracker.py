@@ -5,12 +5,28 @@ of the 27 tracked non-standard features. Per query, the tracker records which
 features (and therefore which difficulty classes) the query uses and at which
 pipeline stage each rewrite was carried out — the raw data behind Figures 8a
 and 8b and the component attribution of Table 2.
+
+One tracker is shared engine-wide, which means *every session thread* in the
+wire server's pool mutates it concurrently. The in-flight query record is
+therefore **thread-local** (each worker drives exactly one request at a
+time, so "the current query" is a per-thread notion), and the workload-level
+counters mutate under a lock — the unlocked counters used to drop updates
+under the Section 7.3 stress shape (see the concurrent-sessions regression
+test).
+
+When a :class:`~repro.core.trace.MetricsRegistry` is attached (the engine
+does this on construction), every observation is mirrored into named
+counters (``hyperq_feature_*``, ``hyperq_resilience_*``,
+``hyperq_workload_*``) so the Figure 8 bookkeeping and the observability
+layer stay one source of truth.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.workloads.features import FEATURES_BY_NAME, Feature, FeatureClass
 
@@ -29,8 +45,12 @@ class QueryFeatureRecord:
 class FeatureTracker:
     """Aggregates per-query feature observations across a workload."""
 
-    def __init__(self):
-        self._current: QueryFeatureRecord | None = None
+    def __init__(self, metrics=None):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        #: Optional :class:`~repro.core.trace.MetricsRegistry` every
+        #: observation is mirrored into.
+        self.metrics = metrics
         self.query_count = 0
         self.feature_query_counts: Counter[str] = Counter()
         self.class_query_counts: Counter[FeatureClass] = Counter()
@@ -46,35 +66,57 @@ class FeatureTracker:
         #: resilience counters.
         self.workload_counts: Counter[tuple[str, str]] = Counter()
 
+    # -- the in-flight record (one per worker thread) ------------------------------
+
+    @property
+    def _current(self) -> Optional[QueryFeatureRecord]:
+        return getattr(self._local, "record", None)
+
+    @_current.setter
+    def _current(self, record: Optional[QueryFeatureRecord]) -> None:
+        self._local.record = record
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
     # -- resilience instrumentation ----------------------------------------------
 
     def note_resilience(self, event: str) -> None:
         """Count one resilience action (``retry``, ``failover``, ...)."""
-        self.resilience_counts[event] += 1
+        with self._lock:
+            self.resilience_counts[event] += 1
+        self._count(f"hyperq_resilience_{event}_total")
 
     # -- workload instrumentation ------------------------------------------------
 
     def note_workload(self, wl_class: str, event: str) -> None:
         """Count one workload-management event for *wl_class*."""
-        self.workload_counts[(wl_class, event)] += 1
+        with self._lock:
+            self.workload_counts[(wl_class, event)] += 1
+        self._count(f"hyperq_workload_{wl_class}_{event}_total")
 
     def workload_total(self, event: str) -> int:
         """Total occurrences of *event* across all workload classes."""
-        return sum(count for (_, ev), count in self.workload_counts.items()
-                   if ev == event)
+        with self._lock:
+            return sum(count
+                       for (_, ev), count in self.workload_counts.items()
+                       if ev == event)
 
     @property
     def retries(self) -> int:
-        return self.resilience_counts["retry"]
+        with self._lock:
+            return self.resilience_counts["retry"]
 
     @property
     def failovers(self) -> int:
-        return self.resilience_counts["failover"]
+        with self._lock:
+            return self.resilience_counts["failover"]
 
     # -- per-request lifecycle ---------------------------------------------------
 
     def begin_query(self) -> None:
-        """Start recording a new request."""
+        """Start recording a new request (on the calling thread)."""
         self._current = QueryFeatureRecord()
 
     def note(self, feature_name: str, stage: str) -> None:
@@ -85,11 +127,13 @@ class FeatureTracker:
         """
         feature = FEATURES_BY_NAME[feature_name]
         assert isinstance(feature, Feature)
-        if self._current is None:
+        record = self._current
+        if record is None:
             return
-        self._current.features.add(feature_name)
-        self._current.stages.setdefault(feature_name, stage)
-        self.observed_stages.setdefault(feature_name, stage)
+        record.features.add(feature_name)
+        record.stages.setdefault(feature_name, stage)
+        with self._lock:
+            self.observed_stages.setdefault(feature_name, stage)
 
     def current_notes(self) -> tuple[tuple[str, str], ...]:
         """Snapshot of the in-flight request's (feature, stage) observations.
@@ -98,9 +142,10 @@ class FeatureTracker:
         requests still report feature incidence (Figure 8 replay): on a
         cache hit the stored pairs are re-noted instead of re-discovered.
         """
-        if self._current is None:
+        record = self._current
+        if record is None:
             return ()
-        return tuple(sorted(self._current.stages.items()))
+        return tuple(sorted(record.stages.items()))
 
     def end_query(self) -> QueryFeatureRecord | None:
         """Finish the current request, folding it into workload totals."""
@@ -108,17 +153,22 @@ class FeatureTracker:
         self._current = None
         if record is None:
             return None
-        self.query_count += 1
+        with self._lock:
+            self.query_count += 1
+            for name in record.features:
+                self.feature_query_counts[name] += 1
+            for cls in record.classes():
+                self.class_query_counts[cls] += 1
+        self._count("hyperq_tracked_queries_total")
         for name in record.features:
-            self.feature_query_counts[name] += 1
-        for cls in record.classes():
-            self.class_query_counts[cls] += 1
+            self._count(f"hyperq_feature_{name}_total")
         return record
 
     # -- workload-level reporting (Figure 8) ----------------------------------------
 
     def features_seen(self) -> set[str]:
-        return set(self.feature_query_counts)
+        with self._lock:
+            return set(self.feature_query_counts)
 
     def feature_presence_by_class(self) -> dict[FeatureClass, float]:
         """Figure 8a: fraction of the 9 tracked features per class that
@@ -137,7 +187,8 @@ class FeatureTracker:
         A query counts at most once per class but may count in several
         classes, exactly as the paper specifies.
         """
-        if self.query_count == 0:
-            return {cls: 0.0 for cls in FeatureClass}
-        return {cls: self.class_query_counts[cls] / self.query_count
-                for cls in FeatureClass}
+        with self._lock:
+            if self.query_count == 0:
+                return {cls: 0.0 for cls in FeatureClass}
+            return {cls: self.class_query_counts[cls] / self.query_count
+                    for cls in FeatureClass}

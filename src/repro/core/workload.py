@@ -53,6 +53,7 @@ from typing import Callable, Optional
 
 from repro.errors import WorkloadDeadlineError, WorkloadShedError
 from repro.core import faults as flt
+from repro.core import trace as trace_mod
 from repro.core.budget import BatchBudget
 from repro.xtra import relational as r
 from repro.xtra.visitor import walk_rel
@@ -813,8 +814,11 @@ class WorkloadManager:
         self.stats.count(decision.wl_class, "shed")
         self._note(decision.wl_class, "shed")
         if self.faults is not None:
-            self.faults.record("shed", reason=reason,
+            self.faults.record("shed", reason=reason,  # also traces the event
                                **{"class": decision.wl_class})
+        else:
+            trace_mod.add_event("shed", reason=reason,
+                                wl_class=decision.wl_class)
         raise WorkloadShedError(
             f"workload queue full for class '{decision.wl_class}' "
             f"({reason}), retry after {cfg.retry_after:g}s")
@@ -827,8 +831,11 @@ class WorkloadManager:
         # Only *injected* misses enter the fault log: real queue waits are
         # wall-clock-dependent, and the log must stay byte-reproducible.
         if injected and self.faults is not None:
-            self.faults.record("deadline_missed",
+            self.faults.record("deadline_missed",  # also traces the event
                                **{"class": decision.wl_class})
+        else:
+            trace_mod.add_event("deadline_missed",
+                                wl_class=decision.wl_class)
         raise WorkloadDeadlineError(
             f"workload deadline exceeded for class '{decision.wl_class}' "
             f"after {waited:.3f}s queued (limit {cfg.deadline:g}s); "

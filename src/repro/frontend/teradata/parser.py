@@ -77,6 +77,37 @@ class TeradataParser:
             statements.append(self._statement())
         return statements
 
+    def split_script(self, sql: str) -> list[str]:
+        """Slice *sql* into statement substrings at top-level ``;`` tokens.
+
+        Lexer-driven, so semicolons inside string literals and quoted
+        identifiers never split. Used to route statements the engine
+        intercepts before parsing (``SHOW HYPERQ ...``) without parsing
+        the rest of the script twice.
+        """
+        line_starts = [0]
+        for line in sql.split("\n")[:-1]:
+            line_starts.append(line_starts[-1] + len(line) + 1)
+
+        def offset(token: Token) -> int:
+            return line_starts[token.line - 1] + token.column - 1
+
+        segments: list[str] = []
+        start: Optional[int] = None
+        for token in self._lexer.tokenize(sql):
+            if token.kind is TokenKind.EOF:
+                break
+            if token.is_op(";"):
+                if start is not None:
+                    segments.append(sql[start:offset(token)])
+                    start = None
+                continue
+            if start is None:
+                start = offset(token)
+        if start is not None:
+            segments.append(sql[start:])
+        return segments
+
     # -- token plumbing -------------------------------------------------------------
 
     def _peek(self, offset: int = 0) -> Token:

@@ -21,6 +21,7 @@ from typing import Callable, Iterator, Optional
 from repro import tdf
 from repro.errors import RetryExhaustedError, TransientBackendError
 from repro.backend.engine import QueryResult
+from repro.core import trace as trace_mod
 from repro.odbc.drivers import Driver, DriverConnection
 
 #: Observer signature: (event, detail) — wired to the engine's resilience
@@ -133,29 +134,41 @@ class OdbcServer:
         surfaced by a real driver) are retried with backoff up to the retry
         policy's budget; retries never reorder or duplicate effects because
         the injection checkpoints fire *before* the driver executes.
+
+        Each statement gets an ``odbc_execute`` span with one ``attempt``
+        child per try, so retries — and emulator child statements, which
+        re-enter here per target statement — are visible in the request's
+        span tree.
         """
         from repro.core.faults import apply_fault
 
-        attempt = 1
-        while True:
-            try:
-                if self._faults is not None:
-                    apply_fault(self._faults.draw(
-                        "odbc", op=sql, replica=self._replica))
-                raw = self._ensure_connection().execute(sql)
-                return OdbcResult(raw, self._batch_rows)
-            except TransientBackendError as error:
-                if self._retry is None or attempt >= self._retry.max_attempts:
-                    self._notify("retry_exhausted",
-                                 attempts=attempt, site="odbc",
+        with trace_mod.span("odbc_execute", sql=sql[:120],
+                            replica=self._replica) as span:
+            attempt = 1
+            while True:
+                try:
+                    with trace_mod.span("attempt", number=attempt):
+                        if self._faults is not None:
+                            apply_fault(self._faults.draw(
+                                "odbc", op=sql, replica=self._replica))
+                        raw = self._ensure_connection().execute(sql)
+                    if span is not None:
+                        span.annotate("kind", raw.kind)
+                        span.annotate("attempts", attempt)
+                    return OdbcResult(raw, self._batch_rows)
+                except TransientBackendError as error:
+                    if self._retry is None \
+                            or attempt >= self._retry.max_attempts:
+                        self._notify("retry_exhausted",
+                                     attempts=attempt, site="odbc",
+                                     replica=self._replica)
+                        raise RetryExhaustedError(
+                            f"transient backend failure persisted through "
+                            f"{attempt} attempt(s): {error}") from error
+                    self._notify("retry", attempt=attempt, site="odbc",
                                  replica=self._replica)
-                    raise RetryExhaustedError(
-                        f"transient backend failure persisted through "
-                        f"{attempt} attempt(s): {error}") from error
-                self._notify("retry", attempt=attempt, site="odbc",
-                             replica=self._replica)
-                time.sleep(self._retry.delay(attempt))
-                attempt += 1
+                    time.sleep(self._retry.delay(attempt))
+                    attempt += 1
 
     def execute_script(self, statements: list[str]) -> list[OdbcResult]:
         """Submit a multi-statement request, returning one result each."""

@@ -117,6 +117,28 @@ class TdClient:
         send_message(self._sock, MessageKind.RUN_QUERY, sql.encode("utf-8"))
         return RowStream(self._sock)
 
+    # -- observability admin commands ------------------------------------------------
+
+    def show_metrics(self) -> str:
+        """The server's metrics dump (``SHOW HYPERQ METRICS``)."""
+        result = self.execute("SHOW HYPERQ METRICS")
+        return "\n".join(row[0] for row in result.rows)
+
+    def show_trace(self, trace_id: int) -> str:
+        """One request's rendered span tree (``SHOW HYPERQ TRACE <id>``)."""
+        result = self.execute(f"SHOW HYPERQ TRACE {trace_id}")
+        return "\n".join(row[0] for row in result.rows)
+
+    def show_traces(self) -> str:
+        """The ring buffer's trace index (``SHOW HYPERQ TRACES``)."""
+        result = self.execute("SHOW HYPERQ TRACES")
+        return "\n".join(row[0] for row in result.rows)
+
+    def show_slow_queries(self) -> str:
+        """The slow-query log records (``SHOW HYPERQ SLOW QUERIES``)."""
+        result = self.execute("SHOW HYPERQ SLOW QUERIES")
+        return "\n".join(row[0] for row in result.rows)
+
     def close(self) -> None:
         try:
             send_message(self._sock, MessageKind.LOGOFF)

@@ -48,6 +48,7 @@ from typing import Optional
 
 from repro.errors import BackendTimeoutError, HyperQError, ProtocolError
 from repro.core import faults as flt
+from repro.core import trace as trace_mod
 from repro.core.engine import HQResult, HyperQ
 from repro.protocol.encoding import encode_meta
 from repro.protocol.messages import MessageKind, read_message, send_message
@@ -90,37 +91,69 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 self._executor.shutdown(wait=False)
 
     def _serve(self, sock: socket.socket, session) -> None:
-        engine = self.server.engine
         while True:
             kind, payload = read_message(sock)
             if kind is MessageKind.LOGOFF:
                 return
             if kind is not MessageKind.RUN_QUERY:
                 raise ProtocolError(f"unexpected message {kind.name}")
-            sql = payload.decode("utf-8")
-            fault = (engine.faults.draw("wire", op=sql)
-                     if engine.faults is not None else None)
-            if fault is not None and fault.kind == flt.WIRE_DISCONNECT:
-                engine.resilience.note("wire_disconnect")
-                if engine.faults is not None:
-                    engine.faults.record("wire_disconnect", seq=fault.seq)
-                # Abrupt: no FAILURE envelope, no LOGOFF — the client sees
-                # the connection die exactly as with a real network cut.
+            if not self._handle_request(sock, session, payload):
                 return
-            delay = fault.delay if fault is not None \
-                and fault.kind == flt.SLOW_RESULT else 0.0
+
+    def _handle_request(self, sock: socket.socket, session,
+                        payload: bytes) -> bool:
+        """Serve one RUN_QUERY message under a request-scoped trace.
+
+        The trace roots here — on the connection thread — so every layer
+        below (engine, workload pool via explicit hand-off, converter,
+        wire encode) nests under one span tree per wire request. Returns
+        False when the connection must drop (injected disconnect).
+        """
+        engine = self.server.engine
+        hub = engine.tracing
+        trace = hub.start_trace("request") if hub.enabled else None
+        self._wl_class: Optional[str] = None
+        with trace_mod.activate(trace.root if trace is not None else None):
+            outcome = "ok"
             try:
-                result = self._run_request(session, sql, delay)
-            except HyperQError as error:  # timeouts, sheds, queue expiry
-                send_message(sock, MessageKind.FAILURE,
-                             str(error).encode("utf-8"))
-                continue
-            except Exception as error:  # noqa: BLE001 — reply, don't drop
-                send_message(
-                    sock, MessageKind.FAILURE,
-                    f"internal error: {error}".encode("utf-8"))
-                continue
-            self._send_result(sock, result)
+                with trace_mod.span("protocol_decode", bytes=len(payload)):
+                    sql = payload.decode("utf-8")
+                    fault = (engine.faults.draw("wire", op=sql)
+                             if engine.faults is not None else None)
+                if trace is not None:
+                    trace.sql = sql
+                    trace.root.annotate("sql", sql[:200])
+                if fault is not None and fault.kind == flt.WIRE_DISCONNECT:
+                    engine.resilience.note("wire_disconnect")
+                    engine.faults.record("wire_disconnect", seq=fault.seq)
+                    trace_mod.add_event("wire_disconnect", seq=fault.seq)
+                    outcome = "wire_disconnect"
+                    # Abrupt: no FAILURE envelope, no LOGOFF — the client
+                    # sees the connection die as with a real network cut.
+                    return False
+                delay = fault.delay if fault is not None \
+                    and fault.kind == flt.SLOW_RESULT else 0.0
+                try:
+                    result = self._run_request(session, sql, delay)
+                except HyperQError as error:  # timeouts, sheds, queue expiry
+                    outcome = f"error:{type(error).__name__}"
+                    send_message(sock, MessageKind.FAILURE,
+                                 str(error).encode("utf-8"))
+                    return True
+                except Exception as error:  # noqa: BLE001 — reply, don't drop
+                    outcome = f"error:{type(error).__name__}"
+                    send_message(
+                        sock, MessageKind.FAILURE,
+                        f"internal error: {error}".encode("utf-8"))
+                    return True
+                self._send_result(sock, result)
+                return True
+            except BaseException as error:  # connection died mid-reply
+                outcome = f"error:{type(error).__name__}"
+                raise
+            finally:
+                if trace is not None:
+                    hub.finish_trace(trace, outcome, wl_class=self._wl_class)
 
     def _run_request(self, session, sql: str, delay: float) -> HQResult:
         manager = self.server.engine.workload
@@ -143,15 +176,27 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         # classification binds on the session's probe stack, so deciding
         # first would race the straggler's execute on shared state.
         self._await_straggler()
-        decision = manager.decide(session, sql)
+        with trace_mod.span("classify") as cspan:
+            decision = manager.decide(session, sql)
+            if cspan is not None:
+                cspan.annotate("wl_class", decision.wl_class)
+                cspan.annotate("reason", decision.reason)
+        self._wl_class = decision.wl_class
+        # The pool worker gets a fresh context; hand the active span across
+        # explicitly, and time the queue wait from submit to work start.
+        root = trace_mod.current_span()
+        qspan = trace_mod.begin_span("queue_wait", wl_class=decision.wl_class)
 
         def work() -> HQResult:
-            # Unconditional: None restores the engine default, clearing a
-            # previous request's per-class override.
-            session.apply_batch_budget(decision.budget)
-            if delay > 0:
-                time.sleep(delay)
-            return session.execute(sql)
+            with trace_mod.activate(root):
+                if qspan is not None:
+                    qspan.finish()
+                # Unconditional: None restores the engine default, clearing
+                # a previous request's per-class override.
+                session.apply_batch_budget(decision.budget)
+                if delay > 0:
+                    time.sleep(delay)
+                return session.execute(sql)
 
         ticket = manager.submit(session, sql, work, decision)
         timeout = self.server.request_timeout
@@ -192,10 +237,13 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         the worker pool has exactly one thread, a straggler and the next
         request can never touch the session concurrently.
         """
+        root = trace_mod.current_span()
+
         def work() -> HQResult:
-            if delay > 0:
-                time.sleep(delay)
-            return session.execute(sql)
+            with trace_mod.activate(root):
+                if delay > 0:
+                    time.sleep(delay)
+                return session.execute(sql)
 
         timeout = self.server.request_timeout
         if timeout is None:
@@ -223,33 +271,48 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         (``sendall`` blocks, the chunk generator stops pulling). The final
         SUCCESS frame carries the row total accumulated by the stream.
         """
-        try:
-            if result.kind == "rows":
-                send_message(sock, MessageKind.RESULT_META,
-                             encode_meta(result.metas))
-                try:
-                    for chunk in result.iter_chunks():
-                        if chunk:
-                            send_message(sock, MessageKind.RESULT_ROWS, chunk)
-                except HyperQError as error:
-                    # Mid-stream failure: some rows may already be on the
-                    # wire; the FAILURE frame marks the result truncated.
-                    send_message(sock, MessageKind.FAILURE,
-                                 str(error).encode("utf-8"))
-                    return
-                send_message(sock, MessageKind.SUCCESS,
-                             struct.pack(">Q", result.rowcount))
-            elif result.kind == "count":
-                send_message(sock, MessageKind.RESULT_COUNT,
-                             struct.pack(">Q", result.rowcount))
-                send_message(sock, MessageKind.SUCCESS,
-                             struct.pack(">Q", result.rowcount))
-            else:
-                send_message(sock, MessageKind.SUCCESS, struct.pack(">Q", 0))
-        finally:
-            # Release converted buffers as soon as the last frame ships (or
-            # the attempt aborts) — nothing row-sized survives per session.
-            result.close()
+        with trace_mod.span("wire_encode") as span:
+            try:
+                if result.kind == "rows":
+                    send_message(sock, MessageKind.RESULT_META,
+                                 encode_meta(result.metas))
+                    sent = 0
+                    try:
+                        for chunk in result.iter_chunks():
+                            if chunk:
+                                send_message(sock, MessageKind.RESULT_ROWS,
+                                             chunk)
+                                sent += len(chunk)
+                    except HyperQError as error:
+                        # Mid-stream failure: some rows may already be on
+                        # the wire; the FAILURE frame marks the result
+                        # truncated.
+                        send_message(sock, MessageKind.FAILURE,
+                                     str(error).encode("utf-8"))
+                        if span is not None:
+                            span.annotate("bytes", sent)
+                            span.outcome = "truncated"
+                        return
+                    send_message(sock, MessageKind.SUCCESS,
+                                 struct.pack(">Q", result.rowcount))
+                    if span is not None:
+                        span.annotate("bytes", sent)
+                        span.annotate("rows", result.rowcount)
+                elif result.kind == "count":
+                    send_message(sock, MessageKind.RESULT_COUNT,
+                                 struct.pack(">Q", result.rowcount))
+                    send_message(sock, MessageKind.SUCCESS,
+                                 struct.pack(">Q", result.rowcount))
+                    if span is not None:
+                        span.annotate("rows", result.rowcount)
+                else:
+                    send_message(sock, MessageKind.SUCCESS,
+                                 struct.pack(">Q", 0))
+            finally:
+                # Release converted buffers as soon as the last frame ships
+                # (or the attempt aborts) — nothing row-sized survives per
+                # session.
+                result.close()
 
 
 def _discard_result(future) -> None:

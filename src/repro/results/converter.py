@@ -17,6 +17,7 @@ from typing import Callable, Iterable, Iterator, Optional
 
 from repro import tdf
 from repro.errors import ConversionError
+from repro.core import trace as trace_mod
 from repro.protocol.encoding import ColumnMeta, decode_rows, effective_meta, encode_rows
 from repro.results.store import ResultStore
 from repro.xtra.types import SQLType
@@ -208,10 +209,15 @@ class ResultConverter:
             return encode_rows(metas, rows)
 
         row_batches = [rows for __, rows in decoded]
-        if self._parallelism > 1 and len(row_batches) > 1:
-            encoded = list(self._ensure_pool().map(encode_one, row_batches))
-        else:
-            encoded = [encode_one(rows) for rows in row_batches]
+        with trace_mod.span("result_convert", batches=len(row_batches)) as sp:
+            if self._parallelism > 1 and len(row_batches) > 1:
+                encoded = list(self._ensure_pool().map(
+                    encode_one, row_batches))
+            else:
+                encoded = [encode_one(rows) for rows in row_batches]
+            if sp is not None:
+                sp.annotate("rows", sum(len(rows) for rows in row_batches))
+                sp.annotate("bytes", sum(len(chunk) for chunk in encoded))
 
         rowcount = sum(len(rows) for rows in row_batches)
         if self._buffer_all:
@@ -279,5 +285,25 @@ class ResultConverter:
                         chunk = encode_rows(metas, rows)
                     yield chunk, len(rows)
 
-        return StreamingResult(metas, chunk_source(), self._max_memory,
+        def traced_source() -> Iterator[tuple[bytes, int]]:
+            # One span covers the whole lazy conversion, opened at first
+            # pull on whatever thread is draining (so it nests under the
+            # wire-encode span on the server path) and closed when the
+            # stream ends — or clamped by Trace.finish if abandoned.
+            span = trace_mod.begin_span("result_convert")
+            chunks = rows = size = 0
+            try:
+                for chunk, nrows in chunk_source():
+                    chunks += 1
+                    rows += nrows
+                    size += len(chunk)
+                    yield chunk, nrows
+            finally:
+                if span is not None:
+                    span.annotate("chunks", chunks)
+                    span.annotate("rows", rows)
+                    span.annotate("bytes", size)
+                    span.finish()
+
+        return StreamingResult(metas, traced_source(), self._max_memory,
                                self._spill_dir, on_first_chunk)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import TransformError
+from repro.core import trace as trace_mod
 from repro.core.tracker import FeatureTracker
 from repro.transform.capabilities import CapabilityProfile
 from repro.xtra.relational import RelNode, Statement
@@ -54,10 +55,16 @@ class RuleContext:
         self.profile = profile
         self.tracker = tracker
         self.changed = False
+        #: Names of rules that fired this pass, first-fire order (feeds the
+        #: per-rule trace spans and the golden-corpus rule summaries).
+        self.fired_rules: list[str] = []
         self._alias_counter = 0
 
     def fired(self, rule: Rule) -> None:
         self.changed = True
+        name = rule.name or type(rule).__name__
+        if name not in self.fired_rules:
+            self.fired_rules.append(name)
         if rule.feature and self.tracker is not None:
             self.tracker.note(rule.feature, rule.stage)
 
@@ -101,9 +108,17 @@ class Transformer:
         return list(self._rules)
 
     def transform(self, statement: Statement) -> Statement:
-        """Rewrite *statement* in place, returning it for chaining."""
+        """Rewrite *statement* in place, returning it for chaining.
+
+        When a trace is active, each pass that fires rules emits one child
+        span per fired rule (``rule:<name>``) carrying the XTRA digests
+        from before and after the pass — the provenance trail showing what
+        each rewrite actually changed. Digests are pass-granular because a
+        pass applies all rules in one tree walk.
+        """
         if not self._rules:
             return statement
+        tracing = trace_mod.current_span() is not None
         passes = 0
         while True:
             passes += 1
@@ -112,6 +127,10 @@ class Transformer:
                     "transformation did not reach a fixpoint within "
                     f"{_MAX_PASSES} passes")
             ctx = RuleContext(self._profile, self._tracker)
+            before_digest = (trace_mod.xtra_digest(statement)
+                             if tracing else "")
+            pass_start = (trace_mod.current_span().trace.clock()
+                          if tracing else 0.0)
 
             def scalar_fn(expr: ScalarExpr) -> ScalarExpr:
                 for rule in self._rules:
@@ -124,5 +143,13 @@ class Transformer:
                 return node
 
             rewrite_statement(statement, rel_fn, scalar_fn)
+            if tracing and ctx.fired_rules:
+                pass_end = trace_mod.current_span().trace.clock()
+                after_digest = trace_mod.xtra_digest(statement)
+                for rule_name in ctx.fired_rules:
+                    trace_mod.add_span(
+                        f"rule:{rule_name}", pass_start, pass_end,
+                        before=before_digest, after=after_digest,
+                        transform_pass=passes)
             if not ctx.changed or not self._fixpoint:
                 return statement

@@ -2,11 +2,40 @@
 
 from __future__ import annotations
 
+import os
+import re
+
 import pytest
 
 from repro.backend import Database
 from repro.core.engine import HyperQ
 from repro.core.tracker import FeatureTracker
+
+
+def pytest_runtest_makereport(item, call):
+    """On failure, dump every live trace ring buffer as JSONL.
+
+    Gated on ``HQ_TRACE_DUMP_DIR`` (set by the CI integration/resilience
+    jobs, which upload the directory as an artifact) so local runs pay
+    nothing. One file per failed test, all hubs concatenated.
+    """
+    dump_dir = os.environ.get("HQ_TRACE_DUMP_DIR")
+    if not dump_dir or call.when != "call" or call.excinfo is None:
+        return
+    from repro.core.trace import live_hubs
+
+    lines = []
+    for hub in live_hubs():
+        dumped = hub.dump_jsonl()
+        if dumped:
+            lines.append(dumped)
+    if not lines:
+        return
+    os.makedirs(dump_dir, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", item.nodeid)
+    path = os.path.join(dump_dir, f"{safe}.jsonl")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 @pytest.fixture

@@ -1,0 +1,9 @@
+"""Golden-corpus differential harness for the translation pipeline.
+
+``corpus.py`` holds ~40 representative Teradata statements; for each one
+the harness records the exact target SQL Hyper-Q emits plus a trace summary
+(pipeline stages + fired rewrite rules). ``test_golden.py`` diffs fresh
+output against the checked-in files under ``expected/``;
+``python -m tests.golden.regen`` regenerates them after an intentional
+translation change.
+"""

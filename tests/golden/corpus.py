@@ -1,0 +1,198 @@
+"""The golden translation corpus: one engine, one scripted conversation.
+
+Every entry is executed in order against a single fresh engine (so volatile
+tables, macros, and views created early in the corpus are visible to later
+statements, exactly like a real migrated application session). For each
+corpus statement the harness captures:
+
+* the **target SQL** actually sent to the warehouse (``result.target_sql``
+  — emulated features produce several statements per request);
+* the **trace summary**: the request's pipeline stages in span-tree
+  pre-order plus the rewrite rules that fired.
+
+Both projections are deterministic — no durations, no ids, no wall clock —
+so regeneration is byte-identical across runs (checked by
+``test_golden.py::test_regen_is_deterministic``).
+"""
+
+from __future__ import annotations
+
+#: Schema + data the corpus statements run against (not golden-checked).
+SETUP = [
+    """CREATE MULTISET TABLE SALES (
+        PRODUCT_NAME VARCHAR(40),
+        STORE INTEGER,
+        AMOUNT DECIMAL(12,2),
+        SALES_DATE DATE)""",
+    """CREATE MULTISET TABLE SALES_HISTORY (
+        GROSS DECIMAL(12,2), NET DECIMAL(12,2))""",
+    "CREATE TABLE EMP (EMPNO INTEGER, MGRNO INTEGER)",
+    "CREATE TABLE DELTAS (PRODUCT_NAME VARCHAR(40), AMOUNT DECIMAL(12,2))",
+    "CREATE TABLE SERIES (GRP VARCHAR(1), T INTEGER, V INTEGER)",
+    "CREATE TABLE WORDS (W VARCHAR(20))",
+    """INSERT INTO SALES VALUES
+        ('alpha', 1, 100.00, DATE '2015-02-03'),
+        ('beta',  1,  50.00, DATE '2013-01-01'),
+        ('gamma', 2,  80.00, DATE '2016-05-05'),
+        ('delta', 2,  80.00, DATE '2014-07-01'),
+        ('omega', 3,  20.00, DATE '2014-01-02')""",
+    "INSERT INTO SALES_HISTORY VALUES (90.00, 70.00), (60.00, 40.00)",
+    "INSERT INTO EMP VALUES (1, 7), (7, 8), (8, 10), (9, 10), (10, 11)",
+    "INSERT INTO DELTAS VALUES ('alpha', 111.00), ('newone', 9.99)",
+    """INSERT INTO SERIES VALUES
+        ('a', 1, 10), ('a', 2, 20), ('a', 3, 30),
+        ('b', 1, 5), ('b', 2, NULL), ('b', 3, 15)""",
+    "INSERT INTO WORDS VALUES ('apple'), ('plum'), ('pear'), ('banana')",
+]
+
+#: (name, teradata_sql) in execution order; names key the expected/ files.
+CORPUS = [
+    # -- SEL shortcut, projection shapes -------------------------------------------
+    ("sel_star", "SEL * FROM SALES"),
+    ("sel_shortcut_where", "SEL PRODUCT_NAME FROM SALES WHERE STORE = 1"),
+    ("named_expression",
+     "SEL AMOUNT AS BASE, BASE + 100 AS OFFSET_AMT FROM SALES"),
+    ("select_distinct", "SEL DISTINCT STORE FROM SALES"),
+    ("order_before_where",
+     "SEL PRODUCT_NAME FROM SALES ORDER BY PRODUCT_NAME WHERE AMOUNT > 40"),
+    # -- QUALIFY and window functions ----------------------------------------------
+    ("qualify_row_number",
+     "SEL PRODUCT_NAME FROM SALES "
+     "QUALIFY ROW_NUMBER() OVER (ORDER BY AMOUNT DESC) <= 2"),
+    ("qualify_sum_window",
+     "SEL PRODUCT_NAME, AMOUNT FROM SALES "
+     "QUALIFY 10 < SUM(AMOUNT) OVER (PARTITION BY STORE)"),
+    ("qualify_legacy_rank",
+     "SEL PRODUCT_NAME FROM SALES QUALIFY RANK(AMOUNT DESC) <= 3"),
+    ("window_lag",
+     "SEL T, LAG(V) OVER (PARTITION BY GRP ORDER BY T) FROM SERIES"),
+    ("window_lead_offset_default",
+     "SEL T, LEAD(V, 2, -1) OVER (ORDER BY T) FROM SERIES"),
+    ("window_first_value",
+     "SEL T, FIRST_VALUE(V) OVER (PARTITION BY GRP ORDER BY T) FROM SERIES"),
+    # -- date/int comparisons and date arithmetic ----------------------------------
+    ("date_int_comparison",
+     "SEL PRODUCT_NAME FROM SALES WHERE SALES_DATE > 1140101"),
+    ("date_arith_plus_days",
+     "SEL PRODUCT_NAME FROM SALES WHERE SALES_DATE + 30 > DATE '2015-01-01'"),
+    ("paper_example_3",
+     """SEL * FROM SALES
+        WHERE SALES_DATE > 1140101
+          AND (AMOUNT, AMOUNT * 0.85) >
+              ANY (SEL GROSS, NET FROM SALES_HISTORY)
+        QUALIFY RANK(AMOUNT DESC) <= 10"""),
+    # -- vector subqueries and quantified predicates -------------------------------
+    ("vector_subquery_any",
+     "SEL PRODUCT_NAME FROM SALES WHERE (AMOUNT, AMOUNT) > "
+     "ANY (SEL GROSS, NET FROM SALES_HISTORY)"),
+    ("in_subquery",
+     "SEL PRODUCT_NAME FROM SALES "
+     "WHERE STORE IN (SEL STORE FROM SALES WHERE AMOUNT > 90)"),
+    ("like_any",
+     "SEL W FROM WORDS WHERE W LIKE ANY ('ap%', 'pl%') ORDER BY 1"),
+    ("not_like_any",
+     "SEL W FROM WORDS WHERE W NOT LIKE ANY ('ap%', 'pl%') ORDER BY 1"),
+    # -- aggregation and OLAP grouping extensions ----------------------------------
+    ("group_by_having",
+     "SEL STORE, SUM(AMOUNT) FROM SALES GROUP BY STORE "
+     "HAVING SUM(AMOUNT) > 50"),
+    ("group_by_rollup",
+     "SEL STORE, SUM(AMOUNT) FROM SALES GROUP BY ROLLUP (STORE)"),
+    ("group_by_cube",
+     "SEL STORE, SALES_DATE, SUM(AMOUNT) FROM SALES "
+     "GROUP BY CUBE (STORE, SALES_DATE)"),
+    ("null_ordering",
+     "SEL T, V FROM SERIES ORDER BY V DESC"),
+    # -- teradata scalar idioms ----------------------------------------------------
+    ("chars_function",
+     "SEL PRODUCT_NAME FROM SALES WHERE CHARS(PRODUCT_NAME) > 4"),
+    ("zeroifnull",
+     "SEL T, ZEROIFNULL(V) FROM SERIES"),
+    ("nullifzero",
+     "SEL T, NULLIFZERO(V) FROM SERIES"),
+    # -- recursive query emulation (Example 4) -------------------------------------
+    ("recursive_reports",
+     """WITH RECURSIVE REPORTS (EMPNO, MGRNO) AS (
+            SELECT EMPNO, MGRNO FROM EMP WHERE MGRNO = 10
+            UNION ALL
+            SELECT EMP.EMPNO, EMP.MGRNO
+            FROM EMP, REPORTS
+            WHERE REPORTS.EMPNO = EMP.MGRNO)
+        SELECT EMPNO FROM REPORTS ORDER BY EMPNO"""),
+    # -- MERGE emulation -----------------------------------------------------------
+    ("merge_update_insert",
+     """MERGE INTO SALES USING DELTAS D
+        ON SALES.PRODUCT_NAME = D.PRODUCT_NAME
+        WHEN MATCHED THEN UPDATE SET AMOUNT = D.AMOUNT
+        WHEN NOT MATCHED THEN INSERT (PRODUCT_NAME, AMOUNT)
+            VALUES (D.PRODUCT_NAME, D.AMOUNT)"""),
+    ("merge_update_only",
+     """MERGE INTO SALES USING DELTAS D
+        ON SALES.PRODUCT_NAME = D.PRODUCT_NAME
+        WHEN MATCHED THEN UPDATE SET AMOUNT = 77.00"""),
+    # -- macros --------------------------------------------------------------------
+    ("create_macro",
+     "CREATE MACRO TOP_SALES (N INTEGER) AS "
+     "(SEL PRODUCT_NAME FROM SALES QUALIFY RANK(AMOUNT DESC) <= :N;)"),
+    ("exec_macro", "EXEC TOP_SALES (2)"),
+    ("exec_macro_named", "EXEC TOP_SALES (N = 1)"),
+    # -- views ---------------------------------------------------------------------
+    ("create_view",
+     "CREATE VIEW PRICY AS SEL PRODUCT_NAME AS PNAME, AMOUNT, STORE "
+     "FROM SALES WHERE AMOUNT > 60"),
+    ("select_from_view", "SEL PNAME FROM PRICY ORDER BY 1"),
+    ("update_through_view",
+     "UPD PRICY SET AMOUNT = AMOUNT + 1 WHERE STORE = 1"),
+    ("delete_through_view", "DEL FROM PRICY WHERE PNAME = 'gamma'"),
+    # -- volatile tables -----------------------------------------------------------
+    ("create_volatile",
+     "CREATE VOLATILE TABLE SCRATCH (X INTEGER) ON COMMIT PRESERVE ROWS"),
+    ("insert_volatile", "INSERT INTO SCRATCH VALUES (7)"),
+    ("select_volatile", "SEL X FROM SCRATCH"),
+    ("drop_volatile", "DROP TABLE SCRATCH"),
+    # -- DML shorthand and catalog statements --------------------------------------
+    ("upd_shorthand", "UPD SALES SET AMOUNT = AMOUNT WHERE STORE = 3"),
+    ("del_shorthand", "DEL FROM DELTAS WHERE PRODUCT_NAME = 'newone'"),
+    ("help_table", "HELP TABLE SALES"),
+    ("show_table", "SHOW TABLE EMP"),
+    # -- warm-cache repeat: the cache-hit trace shape ------------------------------
+    ("cache_hit_repeat", "SEL PRODUCT_NAME FROM SALES WHERE STORE = 1"),
+]
+
+
+def run_corpus():
+    """Execute the corpus on one fresh engine; yield
+    ``(name, target_sql_list, trace_summary)`` per statement."""
+    from repro.core.engine import HyperQ
+
+    engine = HyperQ()
+    session = engine.create_session()
+    for sql in SETUP:
+        session.execute(sql).close()
+    for name, sql in CORPUS:
+        result = session.execute(sql)
+        targets = list(result.target_sql)
+        result.close()
+        trace = engine.tracing.last_trace()
+        yield name, targets, trace.summary()
+    session.close()
+
+
+def render_sql(targets: list[str]) -> str:
+    """The checked-in .sql form: one target statement per ';'-terminated
+    line (some requests legitimately emit none — catalog-only DDL)."""
+    if not targets:
+        return "-- no target statements (catalog-side request)\n"
+    return "".join(f"{sql};\n" for sql in targets)
+
+
+def render_summary(summary: dict) -> str:
+    """The checked-in .trace form: stage list then fired rules."""
+    lines = ["stages:"]
+    lines += [f"  {stage}" for stage in summary["stages"]]
+    lines.append("rules:")
+    if summary["rules"]:
+        lines += [f"  {rule}" for rule in summary["rules"]]
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines) + "\n"

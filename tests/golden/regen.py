@@ -1,0 +1,44 @@
+"""Regenerate the golden corpus files: ``python -m tests.golden.regen``.
+
+Writes ``tests/golden/expected/<name>.sql`` (exact target SQL) and
+``<name>.trace`` (stage + rule summary) for every corpus statement, and
+removes stale files for statements no longer in the corpus. Output is
+deterministic: running regen twice produces byte-identical files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from tests.golden.corpus import render_sql, render_summary, run_corpus
+
+EXPECTED_DIR = pathlib.Path(__file__).resolve().parent / "expected"
+
+
+def regenerate() -> list[str]:
+    """Write all expected files; returns the corpus names written."""
+    EXPECTED_DIR.mkdir(exist_ok=True)
+    names = []
+    for name, targets, summary in run_corpus():
+        names.append(name)
+        (EXPECTED_DIR / f"{name}.sql").write_text(
+            render_sql(targets), encoding="utf-8")
+        (EXPECTED_DIR / f"{name}.trace").write_text(
+            render_summary(summary), encoding="utf-8")
+    keep = {f"{name}.sql" for name in names} \
+        | {f"{name}.trace" for name in names}
+    for stale in EXPECTED_DIR.iterdir():
+        if stale.name not in keep and stale.suffix in (".sql", ".trace"):
+            stale.unlink()
+    return names
+
+
+def main() -> int:
+    names = regenerate()
+    print(f"regenerated {len(names)} golden entries under {EXPECTED_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

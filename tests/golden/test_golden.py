@@ -1,0 +1,77 @@
+"""Differential tests against the checked-in golden corpus.
+
+A failure means the translation pipeline's output (or its trace shape)
+drifted. If the drift is intentional, regenerate with
+``python -m tests.golden.regen`` and review the diff in the commit.
+"""
+
+from __future__ import annotations
+
+import difflib
+import pathlib
+
+import pytest
+
+from tests.golden.corpus import CORPUS, render_sql, render_summary, run_corpus
+
+EXPECTED_DIR = pathlib.Path(__file__).resolve().parent / "expected"
+
+
+@pytest.fixture(scope="module")
+def corpus_output():
+    """Run the whole corpus once; map name -> (sql_text, trace_text)."""
+    return {name: (render_sql(targets), render_summary(summary))
+            for name, targets, summary in run_corpus()}
+
+
+def _diff(expected: str, actual: str, label: str) -> str:
+    return "".join(difflib.unified_diff(
+        expected.splitlines(keepends=True), actual.splitlines(keepends=True),
+        fromfile=f"expected/{label}", tofile=f"actual/{label}"))
+
+
+@pytest.mark.parametrize("name", [name for name, __ in CORPUS])
+def test_target_sql_matches_golden(corpus_output, name):
+    path = EXPECTED_DIR / f"{name}.sql"
+    assert path.exists(), (
+        f"no golden file for corpus entry '{name}' — run "
+        "`python -m tests.golden.regen`")
+    expected = path.read_text(encoding="utf-8")
+    actual = corpus_output[name][0]
+    if actual != expected:
+        pytest.fail(
+            f"target SQL drifted for '{name}' (regen with "
+            "`python -m tests.golden.regen` if intentional):\n"
+            + _diff(expected, actual, f"{name}.sql"))
+
+
+@pytest.mark.parametrize("name", [name for name, __ in CORPUS])
+def test_trace_summary_matches_golden(corpus_output, name):
+    path = EXPECTED_DIR / f"{name}.trace"
+    assert path.exists(), (
+        f"no golden trace for corpus entry '{name}' — run "
+        "`python -m tests.golden.regen`")
+    expected = path.read_text(encoding="utf-8")
+    actual = corpus_output[name][1]
+    if actual != expected:
+        pytest.fail(
+            f"trace summary drifted for '{name}' (regen with "
+            "`python -m tests.golden.regen` if intentional):\n"
+            + _diff(expected, actual, f"{name}.trace"))
+
+
+def test_no_stale_golden_files():
+    """Every expected/ file corresponds to a live corpus entry."""
+    names = {name for name, __ in CORPUS}
+    stale = [p.name for p in EXPECTED_DIR.iterdir()
+             if p.suffix in (".sql", ".trace") and p.stem not in names]
+    assert not stale, f"stale golden files (rerun regen): {stale}"
+
+
+def test_regen_is_deterministic():
+    """Two corpus runs produce byte-identical output (fresh engine each)."""
+    first = {name: (render_sql(t), render_summary(s))
+             for name, t, s in run_corpus()}
+    second = {name: (render_sql(t), render_summary(s))
+              for name, t, s in run_corpus()}
+    assert first == second

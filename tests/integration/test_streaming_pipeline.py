@@ -142,6 +142,46 @@ class TestPerLayerMemoryBounds:
         assert not any(tmp_path.iterdir())  # spill file cleaned up
         session.close()
 
+    def test_span_tree_covers_streaming_wire_request(self):
+        """Every wire request yields exactly one complete span tree: one
+        root, children nested inside parent intervals, and the streaming
+        stages (decode, execute, convert, encode) all present."""
+        from repro.core.trace import assert_span_tree
+
+        budget = BatchBudget(batch_rows=BATCH_ROWS)
+        engine = HyperQ(batch_budget=budget)
+        seed_big_table(engine, rows=2_000)
+        with ServerThread(engine) as (host, port):
+            with TdClient(host, port, timeout=120.0) as client:
+                for __ in range(3):
+                    result = client.execute("SEL N, PAD FROM BIGSTREAM")
+                    assert result.rowcount == 2_000
+
+        hub = engine.tracing
+        deadline = time.monotonic() + 5
+
+        def wire_traces():
+            traces = [hub.get_trace(tid) for tid in hub.trace_ids()]
+            return [t for t in traces
+                    if t is not None and "wire_encode" in t.stage_names()]
+
+        while time.monotonic() < deadline and len(wire_traces()) < 3:
+            time.sleep(0.01)
+        traced = wire_traces()
+        assert len(traced) == 3
+        for trace in traced:
+            assert_span_tree(trace)  # one root, nesting, all spans finished
+            names = trace.stage_names()
+            for stage in ("protocol_decode", "odbc_execute",
+                          "result_convert", "wire_encode"):
+                assert stage in names, f"missing {stage} in {names}"
+            # The lazy conversion nests under the wire-encode interval.
+            convert = next(s for s in trace.spans
+                           if s.name == "result_convert")
+            encode = next(s for s in trace.spans if s.name == "wire_encode")
+            assert convert.parent_id == encode.span_id
+            assert convert.attrs["rows"] == 2_000
+
     def test_first_row_timing_recorded(self):
         engine = HyperQ()
         seed_big_table(engine, rows=5_000)

@@ -107,6 +107,49 @@ class TestManagedServer:
         finally:
             manager.close()
 
+    def test_managed_requests_produce_valid_span_trees(self):
+        """Every managed wire request ends with exactly one complete span
+        tree: the classify and queue_wait stages appear on the connection
+        side, the pipeline stages follow on the pool worker (cross-thread
+        hand-off), and all children nest within the root interval."""
+        from repro.core.trace import assert_span_tree
+
+        engine, manager, __ = _managed_engine()
+        try:
+            with ServerThread(engine) as (host, port):
+                with _client(host, port) as client:
+                    client.execute("CREATE TABLE T (A INTEGER)")
+                    client.execute("INS INTO T VALUES (41)")
+                    assert client.execute("SEL A FROM T").rows == [(41,)]
+
+            hub = engine.tracing
+            deadline = time.monotonic() + 5
+
+            def finished_wire_traces():
+                traces = [hub.get_trace(tid) for tid in hub.trace_ids()]
+                return [t for t in traces if t is not None and t.done
+                        and "protocol_decode" in t.stage_names()]
+
+            while time.monotonic() < deadline \
+                    and len(finished_wire_traces()) < 3:
+                time.sleep(0.01)
+            traced = finished_wire_traces()
+            assert len(traced) == 3
+            for trace in traced:
+                assert_span_tree(trace)
+                names = trace.stage_names()
+                assert names[0] == "request"
+                assert "classify" in names
+                assert "queue_wait" in names
+                assert "odbc_execute" in names
+                roots = [s for s in trace.spans if s.parent_id is None]
+                assert len(roots) == 1
+            select = next(t for t in traced if t.sql.startswith("SEL"))
+            classify = next(s for s in select.spans if s.name == "classify")
+            assert classify.attrs["wl_class"] == INTERACTIVE
+        finally:
+            manager.close()
+
     def test_queue_expired_request_gets_clean_failure(self):
         """Satellite 2: an expired request is rejected with a FAILURE reply
         and the session keeps serving subsequent requests."""

@@ -1,0 +1,165 @@
+"""Property-based tests on the metrics layer of :mod:`repro.core.trace`.
+
+The load-bearing invariants:
+
+* **merge algebra** — histogram merge is associative and commutative
+  (bucket-count addition), so per-thread/per-replica histograms combine in
+  any order without changing any quantile;
+* **quantile error bound** — a log-linear histogram with ``SUBBUCKETS``
+  linear buckets per octave answers any quantile within a relative error
+  of ``1/SUBBUCKETS`` (the estimate is the bucket's upper bound, so it
+  never *under*-reports a latency);
+* **counter monotonicity** — counters never go negative, under concurrency
+  and under adversarial decrement attempts.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace import Counter, Histogram, MetricsRegistry
+
+#: Positive magnitudes spanning the microsecond-to-hour latency range.
+values = st.floats(min_value=1e-7, max_value=1e4,
+                   allow_nan=False, allow_infinity=False)
+#: Observation batches, including empty and zero/negative-clamped entries.
+batches = st.lists(st.one_of(values, st.just(0.0)), max_size=60)
+
+
+def _hist(observations) -> Histogram:
+    h = Histogram("h")
+    for value in observations:
+        h.observe(value)
+    return h
+
+
+def _assert_states_equal(a, b):
+    """Exact on counts/min/max; the running float sum only up to float
+    addition reordering (sums themselves are not associative)."""
+    assert a[:3] == b[:3]
+    assert a[4:] == b[4:]
+    assert math.isclose(a[3], b[3], rel_tol=1e-9, abs_tol=1e-12)
+
+
+# -- merge algebra -------------------------------------------------------------------
+
+
+@given(batches, batches)
+@settings(max_examples=200, deadline=None)
+def test_merge_commutative(xs, ys):
+    ab = _hist(xs).merged(_hist(ys))
+    ba = _hist(ys).merged(_hist(xs))
+    _assert_states_equal(ab.state(), ba.state())
+
+
+@given(batches, batches, batches)
+@settings(max_examples=150, deadline=None)
+def test_merge_associative(xs, ys, zs):
+    left = _hist(xs).merged(_hist(ys)).merged(_hist(zs))
+    right = _hist(xs).merged(_hist(ys).merged(_hist(zs)))
+    _assert_states_equal(left.state(), right.state())
+
+
+@given(batches, batches)
+@settings(max_examples=150, deadline=None)
+def test_merge_equals_union(xs, ys):
+    """Merging two histograms is indistinguishable from one histogram that
+    observed both streams."""
+    merged = _hist(xs).merged(_hist(ys))
+    union = _hist(list(xs) + list(ys))
+    _assert_states_equal(merged.state(), union.state())
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert merged.quantile(q) == union.quantile(q)
+
+
+# -- quantile error bound ------------------------------------------------------------
+
+
+@given(st.lists(values, min_size=1, max_size=80),
+       st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=300, deadline=None)
+def test_quantile_within_bucket_width(xs, q):
+    """The estimate brackets the true order statistic from above, within
+    one sub-bucket of relative error: ``t <= est <= t * (1 + 1/SUBBUCKETS)``
+    (modulo float rounding at bucket edges)."""
+    h = _hist(xs)
+    ordered = sorted(xs)
+    rank = max(1, math.ceil(q * len(ordered)))
+    true_value = ordered[rank - 1]
+    estimate = h.quantile(q)
+    slack = 1e-9 * max(1.0, true_value)
+    assert true_value - slack <= estimate
+    assert estimate <= true_value * (1 + 1 / Histogram.SUBBUCKETS) + slack
+
+
+@given(st.lists(values, min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_quantiles_monotone(xs):
+    h = _hist(xs)
+    qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+    estimates = [h.quantile(q) for q in qs]
+    assert estimates == sorted(estimates)
+
+
+def test_quantile_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        Histogram("h").quantile(1.5)
+
+
+# -- counters ------------------------------------------------------------------------
+
+
+def test_counter_rejects_negative_increments():
+    counter = Counter("c")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    assert counter.value == 0
+
+
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=1, max_value=200))
+@settings(max_examples=20, deadline=None)
+def test_counter_exact_under_concurrency(threads, per_thread):
+    """N threads x M increments lose nothing and never dip negative."""
+    counter = Counter("c")
+
+    def work():
+        for __ in range(per_thread):
+            counter.inc()
+
+    workers = [threading.Thread(target=work) for __ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert counter.value == threads * per_thread
+
+
+def test_registry_concurrent_get_or_create_is_idempotent():
+    """Racing threads asking for the same metric all get one instance, and
+    their recordings all land on it."""
+    registry = MetricsRegistry()
+    barrier = threading.Barrier(8)
+    seen = []
+
+    def work():
+        barrier.wait()
+        counter = registry.counter("shared")
+        seen.append(counter)
+        for __ in range(100):
+            counter.inc()
+        registry.histogram("shared_h").observe(0.001)
+
+    workers = [threading.Thread(target=work) for __ in range(8)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert len({id(c) for c in seen}) == 1
+    assert registry.counter("shared").value == 800
+    assert registry.histogram("shared_h").count == 8

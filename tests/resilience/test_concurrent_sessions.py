@@ -125,3 +125,49 @@ def test_disconnect_storm_with_concurrent_sessions(close_counter):
     assert stats.lookups == stats.hits + stats.misses
     assert stats.inserts <= stats.misses + stats.bypasses
     assert stats.lookups > 0
+
+
+def test_shared_tracker_counts_exactly_under_concurrency():
+    """Regression: one engine-wide FeatureTracker is mutated by every
+    session thread at once. The in-flight record must be thread-local (no
+    cross-request feature bleed) and the workload counters lock-protected
+    (no lost updates) — the unlocked version dropped counts here."""
+    from repro.core.tracker import FeatureTracker
+
+    tracker = FeatureTracker()
+    engine = HyperQ(tracker=tracker)
+    engine.execute("CREATE TABLE NUMS (N INTEGER, D DATE)")
+    engine.execute("INSERT INTO NUMS VALUES (1, DATE '2020-06-01')")
+    base_queries = tracker.query_count  # setup statements count too
+
+    threads, per_thread = 8, 25
+    errors: list = []
+
+    def hammer(tid: int) -> None:
+        session = engine.create_session()
+        try:
+            for i in range(per_thread):
+                # Every statement fires exactly one tracked feature
+                # (sel_shortcut), so totals are exactly predictable.
+                session.execute(f"SEL N FROM NUMS WHERE N > {tid} - {i} - 2")
+        except Exception as error:  # noqa: BLE001 — fail the assertion below
+            errors.append(error)
+        finally:
+            session.close()
+
+    workers = [threading.Thread(target=hammer, args=(tid,))
+               for tid in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=60)
+        assert not worker.is_alive()
+
+    assert errors == []
+    expected = threads * per_thread
+    assert tracker.query_count == base_queries + expected
+    assert tracker.feature_query_counts["sel_shortcut"] == expected
+    # Resilience counters share the same lock discipline.
+    for __ in range(100):
+        tracker.note_resilience("retry")
+    assert tracker.retries == 100

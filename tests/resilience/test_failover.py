@@ -46,6 +46,34 @@ class TestKilledReplica:
         assert stats["quarantines"] == 1
         assert fleet.up_replicas() == [0, 2]
 
+    def test_failover_is_visible_in_the_span_tree(self):
+        """Observability clause: a failed-over read shows one
+        ``replica_attempt`` child span per replica tried — the dead one
+        with an error outcome — plus a ``failover`` event on the trace."""
+        from repro.core.trace import TraceHub, assert_span_tree
+
+        sched = FaultSchedule(0, [
+            FaultSpec(REPLICA_DOWN, "odbc", replica=1, after=3)])
+        fleet, session = make_fleet(faults=sched)
+        hub = TraceHub()
+        traces = []
+        for __ in range(9):
+            with hub.request("request", "SEL COUNT(*) FROM EV") as trace:
+                assert session.execute(
+                    "SEL COUNT(*) FROM EV").rows == [(3,)]
+            traces.append(trace)
+        failed_over = [
+            t for t in traces
+            if any(name == "failover" for s in t.spans for name, __ in s.events)]
+        assert failed_over, "no traced read hit the dead replica"
+        trace = failed_over[0]
+        assert_span_tree(trace)
+        attempts = [s for s in trace.spans if s.name == "replica_attempt"]
+        assert len(attempts) >= 2
+        assert attempts[0].attrs["replica"] == 1
+        assert attempts[0].outcome.startswith("error:")
+        assert attempts[-1].outcome == "ok"
+
     def test_all_replicas_down_is_a_clean_error(self):
         fleet, session = make_fleet(replicas=2)
         fleet.kill_replica(0)

@@ -190,6 +190,27 @@ class TestRetryToSuccess:
         assert any(line.startswith("inject") for line in log)
         assert any(line.startswith("retry") for line in log)
 
+    def test_retries_appear_as_annotated_child_spans(self, fast_retry):
+        """Observability clause: every try is an ``attempt`` child span of
+        ``odbc_execute`` — the failed one carries the error outcome and the
+        injected-fault event, the retry event lands on the parent."""
+        from repro.core.trace import assert_span_tree
+
+        sched = FaultSchedule(0, [FaultSpec(BACKEND_TRANSIENT, "odbc", at=(1,))])
+        engine = HyperQ(faults=sched, retry=fast_retry)
+        engine.execute("SEL 1")
+        trace = engine.tracing.last_trace()
+        assert_span_tree(trace)
+        execute = next(s for s in trace.spans if s.name == "odbc_execute")
+        attempts = [s for s in trace.spans
+                    if s.name == "attempt" and s.parent_id == execute.span_id]
+        assert [s.attrs["number"] for s in attempts] == [1, 2]
+        assert attempts[0].outcome == "error:TransientBackendError"
+        assert any(name == "fault_injected" for name, __ in attempts[0].events)
+        assert attempts[1].outcome == "ok"
+        assert any(name == "retry" for name, __ in execute.events)
+        assert execute.attrs["attempts"] == 2
+
     def test_no_schedule_means_no_overhead_paths(self):
         engine = HyperQ()
         assert engine.execute("SEL 1").rows == [(1,)]
