@@ -1,0 +1,192 @@
+"""Gateway scaling benchmark: warm-cache QPS, 1 worker vs a fleet.
+
+One Python process tops out one core on translation, so the
+process-per-core gateway should scale warm-cache throughput roughly
+linearly with workers — on a machine that actually has the cores.
+Clients are separate *processes* (not threads): a thread-based load
+generator would serialize on the client's own GIL and measure itself.
+
+Also cross-checks fleet observability: after the run quiesces, the sum
+of the per-worker ``hyperq_requests_total`` counters must equal the
+fleet-wide number any session sees via ``SHOW HYPERQ METRICS``.
+
+Standalone (not pytest-benchmark — it forks process fleets)::
+
+    PYTHONPATH=src python benchmarks/bench_gateway_scaling.py --smoke \\
+        --json BENCH_gateway.json
+
+The >=3x speedup assertion only arms on >= 4 usable CPUs and outside
+``--smoke`` — a 1-core CI container cannot (and should not) show
+multi-core scaling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.gateway import Gateway, GatewayConfig  # noqa: E402
+from repro.protocol.client import TdClient  # noqa: E402
+
+SETUP_SQL = """
+CREATE TABLE bench_t (a INTEGER, b VARCHAR(20), c INTEGER);
+INSERT INTO bench_t VALUES (1, 'x', 10);
+INSERT INTO bench_t VALUES (2, 'y', 20);
+INSERT INTO bench_t VALUES (3, 'z', 30);
+INSERT INTO bench_t VALUES (4, 'w', 40);
+"""
+
+QUERIES = [
+    "SELECT a, b FROM bench_t WHERE a = 1",
+    "SELECT COUNT(*) FROM bench_t WHERE c > 15",
+    "SELECT b FROM bench_t WHERE a = 3 AND c = 30",
+    "SELECT a + c FROM bench_t WHERE b = 'y'",
+]
+
+
+def _client_proc(host: str, port: int, requests: int,
+                 ready, start, results) -> None:
+    client = TdClient(host, port)
+    ready.put(os.getpid())
+    start.wait()
+    begin = time.perf_counter()
+    for index in range(requests):
+        client.execute(QUERIES[index % len(QUERIES)])
+    end = time.perf_counter()
+    client.close()
+    results.put((requests, begin, end))
+
+
+def run_fleet(workers: int, clients: int, requests: int) -> dict:
+    """QPS of *clients* concurrent sessions against a *workers*-wide
+    gateway, plus the per-worker/fleet metrics cross-check."""
+    gateway = Gateway(GatewayConfig(workers=workers, setup_sql=SETUP_SQL))
+    try:
+        host, port = gateway.start()
+        # warm the shared cache tier: one pass translates every query
+        # once; every worker's L1 then adopts from the tier
+        with TdClient(host, port) as warm:
+            for query in QUERIES:
+                warm.execute(query)
+
+        ctx = multiprocessing.get_context("fork")
+        ready, results = ctx.Queue(), ctx.Queue()
+        start = ctx.Event()
+        procs = [ctx.Process(target=_client_proc,
+                             args=(host, port, requests, ready, start,
+                                   results), daemon=True)
+                 for __ in range(clients)]
+        for proc in procs:
+            proc.start()
+        for __ in procs:
+            ready.get(timeout=60)
+        start.set()
+        spans = [results.get(timeout=600) for __ in procs]
+        for proc in procs:
+            proc.join(timeout=10)
+
+        total = sum(count for count, __, __ in spans)
+        wall = max(end for __, __, end in spans) \
+            - min(begin for __, begin, __ in spans)
+        qps = total / wall if wall > 0 else float("inf")
+
+        # -- fleet metrics cross-check -------------------------------------------
+        # quiesce: the request counter lands just after each reply
+        def fleet_sum() -> int:
+            return sum(state["counters"].get("hyperq_requests_total", 0)
+                       for __, state in gateway.worker_metrics_states())
+
+        expected = fleet_sum()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            time.sleep(0.05)
+            current = fleet_sum()
+            if current == expected:
+                break
+            expected = current
+        with TdClient(host, port) as probe:
+            counters = dict(
+                line.split()[1:3]
+                for line in probe.show_metrics().splitlines()
+                if line.startswith("counter "))
+        reported = int(counters["hyperq_requests_total"])
+        if reported != expected:
+            raise AssertionError(
+                f"fleet metrics mismatch: SHOW HYPERQ METRICS says "
+                f"{reported}, per-worker sum is {expected}")
+        per_worker = {
+            index: state["counters"].get("hyperq_requests_total", 0)
+            for index, state in gateway.worker_metrics_states()}
+        cache = gateway.cache_service_stats()
+        return {"workers": workers, "clients": clients,
+                "requests": total, "wall_s": round(wall, 4),
+                "qps": round(qps, 1), "per_worker_requests": per_worker,
+                "fleet_requests_total": reported,
+                "cache_tier": cache}
+    finally:
+        gateway.stop()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fleet and request counts; never "
+                             "asserts the speedup ratio (CI containers "
+                             "have one core)")
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client")
+    parser.add_argument("--fleets", default=None,
+                        help="comma-separated worker counts (default: "
+                             "1,2 smoke / 1,4 full)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the results as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    fleets = [int(n) for n in args.fleets.split(",")] if args.fleets \
+        else ([1, 2] if args.smoke else [1, 4])
+    clients = args.clients or (4 if args.smoke else 8)
+    requests = args.requests or (25 if args.smoke else 200)
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+
+    print(f"gateway scaling: fleets={fleets} clients={clients} "
+          f"requests/client={requests} cpus={cpus} smoke={args.smoke}")
+    runs = []
+    for workers in fleets:
+        result = run_fleet(workers, clients, requests)
+        runs.append(result)
+        print(f"  workers={workers}: {result['qps']} qps "
+              f"({result['requests']} requests in {result['wall_s']}s, "
+              f"per-worker {result['per_worker_requests']}, "
+              f"metrics cross-check ok)")
+
+    report = {"cpus": cpus, "smoke": args.smoke, "runs": runs}
+    if len(runs) >= 2 and runs[0]["workers"] == 1:
+        speedup = runs[-1]["qps"] / runs[0]["qps"]
+        report["speedup"] = round(speedup, 2)
+        print(f"  speedup x{report['speedup']} "
+              f"({runs[-1]['workers']} workers vs 1)")
+        if not args.smoke and cpus >= 4 and runs[-1]["workers"] >= 4:
+            assert speedup >= 3.0, \
+                f"expected >=3x warm-cache QPS at {runs[-1]['workers']} " \
+                f"workers on {cpus} cpus, got x{speedup:.2f}"
+            print("  >=3x scaling assertion: PASS")
+        else:
+            print("  >=3x scaling assertion: skipped "
+                  f"(cpus={cpus}, smoke={args.smoke})")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"  wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

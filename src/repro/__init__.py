@@ -31,6 +31,7 @@ from repro.core.engine import (
     HyperQSession,
     TranslationResult,
 )
+from repro.core.gateway import Gateway, GatewayConfig
 from repro.core.tracker import FeatureTracker
 from repro.core.timing import RequestTiming, TimingLog
 from repro.core.workload import WorkloadConfig, WorkloadManager
@@ -52,6 +53,8 @@ __all__ = [
     "TdClient",
     "HyperQServer",
     "ServerThread",
+    "Gateway",
+    "GatewayConfig",
     "CapabilityProfile",
     "PROFILES",
     "WorkloadConfig",

@@ -89,6 +89,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import os
 
+    if args.workers > 1:
+        return _serve_gateway(args)
     workload = None
     if args.workload or os.environ.get("HQ_WORKLOAD_CONFIG"):
         from repro.core.workload import WorkloadConfig, WorkloadManager
@@ -115,6 +117,47 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         thread.stop()
+    return 0
+
+
+def _serve_gateway(args: argparse.Namespace) -> int:
+    """``serve --workers N``: the multi-process sharded gateway — one
+    acceptor process routing sessions to N engine workers, a shared
+    translation-cache tier, and fleet-wide SHOW HYPERQ aggregation."""
+    import os
+
+    from repro.core.gateway import Gateway, GatewayConfig
+
+    workload = None
+    if args.workload or os.environ.get("HQ_WORKLOAD_CONFIG"):
+        from repro.core.workload import WorkloadConfig
+
+        workload = WorkloadConfig.from_env()
+    setup_sql = ""
+    if args.setup_script:
+        with open(args.setup_script, "r", encoding="utf-8") as handle:
+            setup_sql = handle.read()
+    gateway = Gateway(GatewayConfig(
+        workers=args.workers, host=args.host, port=args.port,
+        target=args.target, source=args.source, setup_sql=setup_sql,
+        max_connections=args.max_connections, workload=workload,
+        tracing=not args.no_trace,
+        engine_options={"trace_ring": args.trace_ring}))
+    host, port = gateway.start()
+    managed = "on" if workload is not None else "off"
+    traced = "off" if args.no_trace else "on"
+    print(f"Hyper-Q gateway listening on {host}:{port} "
+          f"({args.workers} workers, source={args.source}, "
+          f"target={args.target}, workload management {managed}, "
+          f"tracing {traced}) — Ctrl-C to stop")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        gateway.stop()
     return 0
 
 
@@ -161,7 +204,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--host", default="127.0.0.1")
     serve_cmd.add_argument("--port", type=int, default=10250)
     serve_cmd.add_argument("--max-connections", type=int, default=64,
-                           help="bound on concurrently served connections")
+                           help="bound on concurrently served connections "
+                                "(fleet-wide with --workers)")
+    serve_cmd.add_argument("--workers", type=int, default=1,
+                           help="worker processes; >1 starts the sharded "
+                                "gateway (process-per-core engines behind "
+                                "one acceptor, shared translation-cache "
+                                "tier, fleet-wide SHOW HYPERQ METRICS)")
+    serve_cmd.add_argument("--setup-script", default=None, metavar="PATH",
+                           help="SQL script each gateway worker runs at "
+                                "boot (DDL/data for its backend)")
     serve_cmd.add_argument("--workload", action="store_true",
                            help="enable the workload manager (classification"
                                 ", admission control, fair scheduling); "

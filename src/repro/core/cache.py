@@ -32,7 +32,7 @@ from __future__ import annotations
 import datetime
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Optional
 
 from repro.sqlkit.tokens import Token, TokenKind
@@ -266,11 +266,41 @@ def build_template(target_sql: str,
     return Template(tuple(segments), tuple(slot_refs))
 
 
+# -- the shared tier interface -------------------------------------------------------
+
+
+class CacheTier:
+    """Interface of a shared L2 translation-cache tier.
+
+    The gateway implements this over a cache-service process (one per
+    fleet); tests implement it in memory. Keys are the exact tuples the L1
+    uses — ``key_base + ("T",)`` for templates, ``key_base + ("E", values,
+    params)`` for pinned entries — so tier and L1 agree byte-for-byte on
+    what an entry means. Every method may raise (the service can be down);
+    the L1 treats any tier error as a miss.
+    """
+
+    def get(self, key: tuple) -> Optional["CacheEntry"]:
+        raise NotImplementedError
+
+    def put(self, key: tuple, entry: "CacheEntry") -> None:
+        raise NotImplementedError
+
+    def invalidate_catalog(self, new_version: int) -> None:
+        raise NotImplementedError
+
+
 # -- the cache ----------------------------------------------------------------------
 
 @dataclass
 class CacheStats:
-    """Monotonic counters; snapshot with :meth:`TranslationCache.stats`."""
+    """Monotonic counters; snapshot with :meth:`TranslationCache.stats`.
+
+    ``tier_hits`` / ``tier_misses`` count shared-tier (L2) consultations on
+    L1 misses when a cache tier is attached (the gateway's cache service); a
+    tier hit also counts as a plain ``hit`` — the request skipped
+    translation either way.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -278,6 +308,8 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     bypasses: int = 0
+    tier_hits: int = 0
+    tier_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -292,6 +324,7 @@ class CacheStats:
             "hits": self.hits, "misses": self.misses,
             "inserts": self.inserts, "evictions": self.evictions,
             "invalidations": self.invalidations, "bypasses": self.bypasses,
+            "tier_hits": self.tier_hits, "tier_misses": self.tier_misses,
             "hit_rate": self.hit_rate,
         }
 
@@ -324,7 +357,7 @@ class TranslationCache:
     #: Entry count cap for the exact-text fingerprint memo.
     FP_MEMO_ENTRIES = 4096
 
-    def __init__(self, max_bytes: int):
+    def __init__(self, max_bytes: int, tier: Optional["CacheTier"] = None):
         if max_bytes <= 0:
             raise ValueError("TranslationCache needs a positive byte cap; "
                              "use cache_size=0 on the engine to disable")
@@ -333,6 +366,11 @@ class TranslationCache:
         self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
         self._bytes = 0
         self._stats = CacheStats()
+        #: Optional shared L2 (:class:`CacheTier`): consulted outside the
+        #: lock on L1 misses, written through on inserts. Only entries with
+        #: no session overlay in the key are shared — overlay uids are
+        #: process-local and must never collide across gateway workers.
+        self.tier = tier
         # Exact-text -> Fingerprint memo: repeated request texts (the
         # dominant pattern per Table 1) skip the lexer entirely on the hot
         # path. Purely lexical, so it never needs invalidation.
@@ -363,7 +401,15 @@ class TranslationCache:
 
     def lookup(self, key_base: tuple, fp: Fingerprint,
                params_key: Optional[tuple]) -> Optional[tuple[str, tuple]]:
-        """Return ``(target_sql, notes)`` on a hit, ``None`` on a miss."""
+        """Return ``(target_sql, notes)`` on a hit, ``None`` on a miss.
+
+        The L1 probe runs under the lock; on an L1 miss with a shared tier
+        attached (and no session overlay in the key), the tier is consulted
+        *outside* the lock — a tier RPC must never serialize the fleet's
+        hot path — and a tier entry is adopted into the L1 so the next
+        lookup of the same statement is purely local.
+        """
+        exact_key = key_base + ("E", fp.values_key(), params_key)
         with self._lock:
             if params_key is None:
                 entry = self._entries.get(key_base + ("T",))
@@ -373,14 +419,58 @@ class TranslationCache:
                         self._entries.move_to_end(key_base + ("T",))
                         self._stats.hits += 1
                         return rendered, entry.notes
-            exact_key = key_base + ("E", fp.values_key(), params_key)
             entry = self._entries.get(exact_key)
             if entry is not None and entry.sql is not None:
                 self._entries.move_to_end(exact_key)
                 self._stats.hits += 1
                 return entry.sql, entry.notes
+        shareable = self.tier is not None and key_base[4] is None
+        if shareable:
+            found = self._tier_lookup(key_base, fp, params_key, exact_key)
+            if found is not None:
+                return found
+        with self._lock:
             self._stats.misses += 1
+            if shareable:
+                self._stats.tier_misses += 1
             return None
+
+    def _tier_lookup(self, key_base: tuple, fp: Fingerprint,
+                     params_key: Optional[tuple],
+                     exact_key: tuple) -> Optional[tuple[str, tuple]]:
+        """Consult the shared tier after an L1 miss; adopt hits into the L1.
+        Any tier error (service down, protocol hiccup) degrades to a miss."""
+        try:
+            if params_key is None:
+                entry = self.tier.get(key_base + ("T",))
+                if entry is not None and entry.template is not None:
+                    rendered = entry.template.render(fp.slots)
+                    if rendered is not None:
+                        self._adopt(key_base + ("T",), entry)
+                        return rendered, entry.notes
+            entry = self.tier.get(exact_key)
+            if entry is not None and entry.sql is not None:
+                self._adopt(exact_key, entry)
+                return entry.sql, entry.notes
+        except Exception:
+            return None
+        return None
+
+    def _adopt(self, key: tuple, entry: CacheEntry) -> None:
+        """Install a tier-provided entry into the L1 (counted as a hit plus
+        a tier hit, never as an insert — no translation happened here)."""
+        with self._lock:
+            self._stats.hits += 1
+            self._stats.tier_hits += 1
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous.size
+            self._entries[key] = entry
+            self._bytes += entry.size
+            while self._bytes > self._max_bytes and self._entries:
+                __, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.size
+                self._stats.evictions += 1
 
     def contains(self, key_base: tuple, fp: Fingerprint,
                  params_key: Optional[tuple]) -> bool:
@@ -443,6 +533,13 @@ class TranslationCache:
                 __, evicted = self._entries.popitem(last=False)
                 self._bytes -= evicted.size
                 self._stats.evictions += 1
+        # Write through to the shared tier (outside the lock): a statement
+        # one worker translated becomes a warm hit for the whole fleet.
+        if self.tier is not None and key_base[4] is None:
+            try:
+                self.tier.put(key, entry)
+            except Exception:
+                pass
 
     def note_bypass(self) -> None:
         """Reclassify the preceding lookup miss as a bypass.
@@ -464,10 +561,18 @@ class TranslationCache:
         Invariant: after any DDL/macro/view/procedure change, no entry keyed
         with a stale catalog version survives — coarse (the whole shared
         space is flushed) but airtight, and DDL is rare in the workloads
-        this cache targets.
+        this cache targets. With a shared tier attached the flush is
+        broadcast to it too, so a DDL on one gateway worker reclaims the
+        fleet's stale entries as well.
         """
-        return self._invalidate(
+        dropped = self._invalidate(
             lambda entry: entry.catalog_version < new_version)
+        if self.tier is not None:
+            try:
+                self.tier.invalidate_catalog(new_version)
+            except Exception:
+                pass
+        return dropped
 
     def invalidate_overlay(self, session_uid: int) -> int:
         """Drop entries translated under *session_uid*'s volatile overlay.
@@ -493,10 +598,8 @@ class TranslationCache:
 
     def stats(self) -> CacheStats:
         with self._lock:
-            return CacheStats(**{name: getattr(self._stats, name)
-                                 for name in ("hits", "misses", "inserts",
-                                              "evictions", "invalidations",
-                                              "bypasses")})
+            return CacheStats(**{f.name: getattr(self._stats, f.name)
+                                 for f in fields(CacheStats)})
 
     def __len__(self) -> int:
         with self._lock:

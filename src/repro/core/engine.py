@@ -128,7 +128,10 @@ class HyperQ:
                  trace_log: Optional[str] = None,
                  slow_query_log: Optional[str] = None,
                  slow_thresholds: Optional[dict[str, float]] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 cache_tier=None,
+                 worker_index: Optional[int] = None,
+                 fleet_size: int = 1):
         if isinstance(target, str):
             target = PROFILES[target]
         if source not in ("teradata", "ansi"):
@@ -142,6 +145,13 @@ class HyperQ:
         self.faults = faults
         #: Replica index when this engine is one member of a scaled fleet.
         self.replica = replica
+        #: Gateway worker index when this engine runs inside one shard of a
+        #: multi-process gateway (None = standalone). Workers draw the
+        #: ``"gateway"`` fault site per request, keyed by this index.
+        self.worker_index = worker_index
+        #: Fleet aggregation client installed by the gateway worker; when
+        #: set, ``SHOW HYPERQ METRICS/TRACES/...`` report fleet-wide.
+        self.fleet = None
         #: Retry policy for transient backend failures on the target path.
         self.retry = retry if retry is not None else RetryPolicy()
         #: What the resilience machinery actually did (retries, timeouts...).
@@ -166,14 +176,16 @@ class HyperQ:
                                 trace_log=trace_log,
                                 slow_query_log=slow_query_log,
                                 slow_thresholds=slow_thresholds,
-                                metrics=metrics)
+                                metrics=metrics,
+                                id_offset=worker_index or 0,
+                                id_stride=max(1, fleet_size))
         if tracker is not None and tracker.metrics is None:
             tracker.metrics = self.tracing.metrics
         self.timing_log = TimingLog(metrics=self.tracing.metrics)
         #: Shared translation cache (byte cap; 0 disables caching entirely).
         self.cache: Optional[TranslationCache] = None
         if cache_size > 0:
-            self.cache = TranslationCache(cache_size)
+            self.cache = TranslationCache(cache_size, tier=cache_tier)
             self.shadow.subscribe(self.cache.invalidate_catalog)
         self.converter_parallelism = converter_parallelism
         self.transformer_fixpoint = transformer_fixpoint
@@ -494,31 +506,60 @@ class HyperQSession:
         import json
 
         hub = self.engine.tracing
+        fleet = self.engine.fleet
         what = match.group("what").upper()
         timing = RequestTiming()
         if what == "METRICS":
-            lines = hub.render_metrics().splitlines() \
-                or ["(no metrics recorded)"]
+            lines = None
+            if fleet is not None:
+                try:
+                    lines = fleet.metrics_text().splitlines()
+                except Exception as exc:  # degraded to the local view
+                    lines = hub.render_metrics().splitlines()
+                    lines.append(f"# fleet aggregation unavailable: {exc}")
+            if lines is None:
+                lines = hub.render_metrics().splitlines()
+            lines = lines or ["(no metrics recorded)"]
         elif what == "TRACES":
-            lines = []
-            for trace_id in hub.trace_ids():
-                trace = hub.get_trace(trace_id)
-                if trace is not None:
-                    lines.append(
-                        f"{trace_id}\t{trace.spans[0].outcome}\t"
-                        f"{trace.duration * 1e3:.3f}ms\t{trace.sql[:80]}")
+            lines = None
+            if fleet is not None:
+                try:
+                    lines = fleet.trace_index()
+                except Exception as exc:
+                    lines = [f"# fleet aggregation unavailable: {exc}"]
+            if lines is None:
+                lines = []
+                for trace_id in hub.trace_ids():
+                    trace = hub.get_trace(trace_id)
+                    if trace is not None:
+                        lines.append(
+                            f"{trace_id}\t{trace.spans[0].outcome}\t"
+                            f"{trace.duration * 1e3:.3f}ms\t{trace.sql[:80]}")
             lines = lines or ["(no traces recorded)"]
         elif what.startswith("SLOW"):
+            records = hub.slow_queries
+            if fleet is not None:
+                try:
+                    records = fleet.slow_queries()
+                except Exception:
+                    pass
             lines = [json.dumps(record, sort_keys=True)
-                     for record in hub.slow_queries] or ["(no slow queries)"]
+                     for record in records] or ["(no slow queries)"]
         else:
             trace_id = int(match.group("id"))
-            trace = hub.get_trace(trace_id)
-            if trace is None:
-                raise HyperQError(
-                    f"no trace {trace_id} in the ring buffer "
-                    f"(ids: {hub.trace_ids() or 'none'})")
-            lines = render_trace(trace)
+            lines = None
+            if fleet is not None:
+                try:
+                    lines = fleet.find_trace(trace_id)
+                except Exception:
+                    lines = None
+            if lines is None:
+                trace = hub.get_trace(trace_id)
+                if trace is None:
+                    raise HyperQError(
+                        f"no trace {trace_id} in the ring buffer "
+                        f"(ids: {hub.trace_ids() or 'none'})")
+                lines = render_trace(trace)
         return self.fabricate_result(
             ["LINE"], [t.varchar(2048)], [(line,) for line in lines], timing)
 

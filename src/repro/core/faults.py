@@ -61,12 +61,20 @@ WIRE_DISCONNECT = "wire-disconnect"
 SLOW_RESULT = "slow-result"
 #: The workload manager sheds the request at admission (queue-full storm).
 ADMISSION_REJECT = "admission-reject"
+#: A gateway worker process dies abruptly mid-request (``os._exit``) — the
+#: deterministic stand-in for a segfaulted/OOM-killed shard; the gateway
+#: supervisor must restart it within one supervision tick with every other
+#: worker's sessions unaffected.
+WORKER_CRASH = "worker-crash"
 
 FAULT_KINDS = (BACKEND_TRANSIENT, BACKEND_TIMEOUT, REPLICA_DOWN,
-               WIRE_DISCONNECT, SLOW_RESULT, ADMISSION_REJECT)
+               WIRE_DISCONNECT, SLOW_RESULT, ADMISSION_REJECT, WORKER_CRASH)
 
-#: Injection sites a spec may target.
-SITES = ("odbc", "executor", "wire", "admission")
+#: Injection sites a spec may target. ``"gateway"`` is drawn once per
+#: request inside a gateway worker process (the spec's ``replica`` field
+#: selects the worker index), so a scripted :data:`WORKER_CRASH` kills a
+#: chosen shard at a chosen request deterministically.
+SITES = ("odbc", "executor", "wire", "admission", "gateway")
 
 
 @dataclass(frozen=True)

@@ -548,6 +548,35 @@ class Histogram:
             return (tuple(sorted(self._counts.items())), self._zero,
                     self._count, self._sum, self._min, self._max)
 
+    def state_dict(self) -> dict:
+        """Portable full state for cross-process aggregation (the gateway
+        ships these between workers). JSON/pickle-safe: bucket counts as
+        pairs, empty min/max as None."""
+        with self._lock:
+            return {
+                "counts": sorted(self._counts.items()),
+                "zero": self._zero,
+                "count": self._count,
+                "sum": self._sum,
+                "min": None if self._count == 0 else self._min,
+                "max": None if self._count == 0 else self._max,
+            }
+
+    def merge_state_dict(self, state: dict) -> "Histogram":
+        """Fold a :meth:`state_dict` into this histogram — the cross-process
+        counterpart of :meth:`merge`, same bucket-addition algebra."""
+        with self._lock:
+            for index, n in state["counts"]:
+                self._counts[index] = self._counts.get(index, 0) + n
+            self._zero += state["zero"]
+            self._count += state["count"]
+            self._sum += state["sum"]
+            if state["min"] is not None and state["min"] < self._min:
+                self._min = state["min"]
+            if state["max"] is not None and state["max"] > self._max:
+                self._max = state["max"]
+        return self
+
     def snapshot(self) -> dict:
         return {
             "count": self.count,
@@ -606,6 +635,34 @@ class MetricsRegistry:
             "histograms": {n: h.snapshot() for n, h in histograms.items()},
         }
 
+    # -- cross-process aggregation (the gateway's fleet-wide view) ---------------
+
+    def dump_state(self) -> dict:
+        """Full portable state: counters and gauges by value, histograms as
+        mergeable bucket states. One gateway worker's contribution to the
+        fleet-wide ``SHOW HYPERQ METRICS``."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in counters.items()},
+            "gauges": {n: g.value for n, g in gauges.items()},
+            "histograms": {n: h.state_dict() for n, h in histograms.items()},
+        }
+
+    def merge_state(self, state: dict) -> "MetricsRegistry":
+        """Fold one :meth:`dump_state` into this registry: counters and
+        gauges add, histograms merge by bucket addition — associative and
+        commutative, so fleet aggregation order never changes the answer."""
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).add(value)
+        for name, hist_state in state.get("histograms", {}).items():
+            self.histogram(name).merge_state_dict(hist_state)
+        return self
+
     def render_text(self) -> str:
         """The ``SHOW HYPERQ METRICS`` / CLI dump: one metric per line,
         sorted, exposition-format-ish."""
@@ -622,6 +679,15 @@ class MetricsRegistry:
                 f"mean={h['mean']:.6f} p50={h['p50']:.6f} "
                 f"p95={h['p95']:.6f} p99={h['p99']:.6f}")
         return "\n".join(lines)
+
+
+def aggregate_metrics(states: list[dict]) -> MetricsRegistry:
+    """Merge per-worker :meth:`MetricsRegistry.dump_state` snapshots into
+    one fleet-wide registry."""
+    fleet = MetricsRegistry()
+    for state in states:
+        fleet.merge_state(state)
+    return fleet
 
 
 # -- the hub -------------------------------------------------------------------------
@@ -653,7 +719,8 @@ class TraceHub:
                  trace_log: Optional[str] = None,
                  slow_query_log: Optional[str] = None,
                  slow_thresholds: Optional[dict[str, float]] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 id_offset: int = 0, id_stride: int = 1):
         self.enabled = enabled
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.slow_thresholds = dict(DEFAULT_SLOW_THRESHOLDS)
@@ -662,7 +729,13 @@ class TraceHub:
         self._lock = threading.Lock()
         self._ring: "OrderedDict[int, Trace]" = OrderedDict()
         self._ring_size = ring_size
-        self._next_id = 0
+        #: Gateway workers interleave trace-id sequences (worker *i* of *N*
+        #: uses offset ``i``, stride ``N``) so every trace id is unique
+        #: fleet-wide and ``SHOW HYPERQ TRACE <id>`` can locate its worker.
+        if id_stride < 1:
+            raise ValueError("id_stride must be >= 1")
+        self._next_id = id_offset
+        self._id_stride = id_stride
         self._trace_log = trace_log
         self._slow_log = slow_query_log
         #: In-memory slow-query records (kept even without a log file, so
@@ -674,7 +747,7 @@ class TraceHub:
 
     def start_trace(self, name: str, sql: str = "") -> Trace:
         with self._lock:
-            self._next_id += 1
+            self._next_id += self._id_stride
             trace = Trace(self._next_id, name, sql)
         return trace
 

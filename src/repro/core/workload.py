@@ -196,6 +196,34 @@ class WorkloadConfig:
                 value = handle.read()
         return cls.from_dict(json.loads(value))
 
+    def per_worker(self, fleet_size: int) -> "WorkloadConfig":
+        """This config's share for one of *fleet_size* gateway workers.
+
+        The gateway runs one workload manager per worker process; fleet-wide
+        admission limits only hold if each worker enforces ``1/fleet_size``
+        of every capacity. Bounded capacities split by ceiling division
+        (never below 1, so a small class still admits *something* on every
+        shard); token-bucket rates split exactly; ``0`` sentinels (meaning
+        "unbounded" / "disabled") stay 0. Classifier thresholds are
+        per-query properties and pass through unchanged.
+        """
+        if fleet_size <= 1:
+            return self
+        def ceil_share(value: int) -> int:
+            return -(-value // fleet_size) if value > 0 else value
+        classes = {
+            name: replace(
+                cfg,
+                max_concurrency=ceil_share(cfg.max_concurrency),
+                queue_depth=max(1, ceil_share(cfg.queue_depth)),
+                rate=cfg.rate / fleet_size if cfg.rate > 0 else 0.0,
+                burst=max(1, ceil_share(cfg.burst)),
+            )
+            for name, cfg in self.classes.items()
+        }
+        return replace(self, classes=classes,
+                       workers=max(1, ceil_share(self.workers)))
+
 
 # -- classification ------------------------------------------------------------------
 

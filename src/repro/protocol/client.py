@@ -83,8 +83,20 @@ class TdClient:
     """A minimal interactive client (the reproduction's ``bteq``)."""
 
     def __init__(self, host: str, port: int, user: str = "dbc",
-                 password: str = "dbc", timeout: float = 60.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+                 password: str = "dbc", timeout: float = 60.0,
+                 sock: Optional[socket.socket] = None):
+        # A caller-provided socket lets tests pick the client's source
+        # port before connecting — the gateway routes on the client
+        # address, so this pins a session to a chosen worker.
+        if sock is None:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        else:
+            sock.settimeout(timeout)
+            try:
+                sock.getpeername()
+            except OSError:  # bound but not yet connected
+                sock.connect((host, port))
+        self._sock = sock
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.session_id: Optional[int] = None
         self._logon(user, password)

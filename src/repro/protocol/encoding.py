@@ -6,6 +6,14 @@ target format for the reproduction: length-prefixed records with a NULL
 indicator bitmap followed by per-column payloads in declared-type layout —
 including Teradata's internal integer DATE encoding
 ``(year-1900)*10000 + month*100 + day``.
+
+This is the hottest byte-bashing loop in the proxy (every result row of every
+request funnels through :func:`encode_rows`), so the per-type ``struct`` calls
+are precompiled into module-level :class:`struct.Struct` instances and row
+encoding is batched: one growing buffer per chunk, record lengths patched in
+place, and per-column encoder dispatch resolved once per batch instead of
+once per value. Decoding reads through a :class:`memoryview` so bitmap and
+payload access never copies the chunk.
 """
 
 from __future__ import annotations
@@ -44,6 +52,16 @@ _KIND_TO_CODE = {
     TypeKind.BOOLEAN: CODE_BOOLEAN,
     TypeKind.TIME: CODE_TIME,
 }
+
+# Precompiled wire layouts: parsing a format string per value is pure
+# overhead on the row path.
+_S_I16 = struct.Struct("<h")
+_S_I32 = struct.Struct("<i")
+_S_I64 = struct.Struct("<q")
+_S_F64 = struct.Struct("<d")
+_S_U16 = struct.Struct("<H")
+_S_U32 = struct.Struct("<I")
+_S_META = struct.Struct("<BHH")
 
 
 @dataclass(frozen=True)
@@ -107,131 +125,228 @@ def effective_meta(names: list[str], declared: list[SQLType],
 # -- metadata framing -----------------------------------------------------------
 
 def encode_meta(metas: list[ColumnMeta]) -> bytes:
-    out = bytearray(struct.pack("<H", len(metas)))
+    out = bytearray(_S_U16.pack(len(metas)))
     for meta in metas:
         payload = meta.name.encode("utf-8")
-        out += struct.pack("<H", len(payload))
+        out += _S_U16.pack(len(payload))
         out += payload
-        out += struct.pack("<BHH", meta.code, meta.length, meta.scale)
+        out += _S_META.pack(meta.code, meta.length, meta.scale)
     return bytes(out)
 
 
 def decode_meta(blob: bytes) -> list[ColumnMeta]:
     offset = 0
-    count = struct.unpack_from("<H", blob, offset)[0]
+    count = _S_U16.unpack_from(blob, offset)[0]
     offset += 2
     metas = []
     for __ in range(count):
-        length = struct.unpack_from("<H", blob, offset)[0]
+        length = _S_U16.unpack_from(blob, offset)[0]
         offset += 2
         name = blob[offset:offset + length].decode("utf-8")
         offset += length
-        code, col_len, scale = struct.unpack_from("<BHH", blob, offset)
+        code, col_len, scale = _S_META.unpack_from(blob, offset)
         offset += 5
         metas.append(ColumnMeta(name, code, col_len, scale))
     return metas
 
 
-# -- row records -------------------------------------------------------------------
+# -- per-type value codecs ----------------------------------------------------------
+
+def _enc_smallint(value: object, out: bytearray) -> None:
+    out += _S_I16.pack(int(value))
+
+
+def _enc_integer(value: object, out: bytearray) -> None:
+    out += _S_I32.pack(int(value))
+
+
+def _enc_bigint(value: object, out: bytearray) -> None:
+    out += _S_I64.pack(int(value))
+
+
+def _enc_float(value: object, out: bytearray) -> None:
+    out += _S_F64.pack(float(value))
+
+
+def _enc_string(value: object, out: bytearray) -> None:
+    if not isinstance(value, str):
+        value = str(value)
+    payload = value.encode("utf-8")
+    out += _S_U16.pack(len(payload))
+    out += payload
+
+
+def _enc_date(value: object, out: bytearray) -> None:
+    if isinstance(value, datetime.datetime):
+        value = value.date()
+    if not isinstance(value, datetime.date):
+        raise ConversionError(f"DATE column got {type(value).__name__}")
+    out += _S_I32.pack(date_to_teradata_int(value))
+
+
+def _enc_timestamp(value: object, out: bytearray) -> None:
+    if isinstance(value, datetime.date) \
+            and not isinstance(value, datetime.datetime):
+        value = datetime.datetime(value.year, value.month, value.day)
+    payload = value.isoformat(sep=" ").encode("ascii")
+    out += _S_U16.pack(len(payload))
+    out += payload
+
+
+def _enc_boolean(value: object, out: bytearray) -> None:
+    out.append(1 if value else 0)
+
+
+def _enc_time(value: object, out: bytearray) -> None:
+    payload = value.isoformat().encode("ascii")
+    out += _S_U16.pack(len(payload))
+    out += payload
+
+
+_ENCODERS = {
+    CODE_SMALLINT: _enc_smallint,
+    CODE_INTEGER: _enc_integer,
+    CODE_BIGINT: _enc_bigint,
+    CODE_FLOAT: _enc_float,
+    CODE_DECIMAL: _enc_float,
+    CODE_CHAR: _enc_string,
+    CODE_VARCHAR: _enc_string,
+    CODE_DATE: _enc_date,
+    CODE_TIMESTAMP: _enc_timestamp,
+    CODE_BOOLEAN: _enc_boolean,
+    CODE_TIME: _enc_time,
+}
+
 
 def _encode_value(code: int, value: object, out: bytearray) -> None:
-    if code == CODE_SMALLINT:
-        out += struct.pack("<h", int(value))
-    elif code == CODE_INTEGER:
-        out += struct.pack("<i", int(value))
-    elif code == CODE_BIGINT:
-        out += struct.pack("<q", int(value))
-    elif code in (CODE_FLOAT, CODE_DECIMAL):
-        out += struct.pack("<d", float(value))
-    elif code in (CODE_CHAR, CODE_VARCHAR):
-        if not isinstance(value, str):
-            value = str(value)
-        payload = value.encode("utf-8")
-        out += struct.pack("<H", len(payload))
-        out += payload
-    elif code == CODE_DATE:
-        if isinstance(value, datetime.datetime):
-            value = value.date()
-        if not isinstance(value, datetime.date):
-            raise ConversionError(f"DATE column got {type(value).__name__}")
-        out += struct.pack("<i", date_to_teradata_int(value))
-    elif code == CODE_TIMESTAMP:
-        if isinstance(value, datetime.date) and not isinstance(value, datetime.datetime):
-            value = datetime.datetime(value.year, value.month, value.day)
-        payload = value.isoformat(sep=" ").encode("ascii")
-        out += struct.pack("<H", len(payload))
-        out += payload
-    elif code == CODE_BOOLEAN:
-        out.append(1 if value else 0)
-    elif code == CODE_TIME:
-        payload = value.isoformat().encode("ascii")
-        out += struct.pack("<H", len(payload))
-        out += payload
-    else:
+    encoder = _ENCODERS.get(code)
+    if encoder is None:
         raise ConversionError(f"unknown wire type code {code}")
+    encoder(value, out)
 
 
-def _decode_value(code: int, blob: bytes, offset: int) -> tuple[object, int]:
-    if code == CODE_SMALLINT:
-        return struct.unpack_from("<h", blob, offset)[0], offset + 2
-    if code == CODE_INTEGER:
-        return struct.unpack_from("<i", blob, offset)[0], offset + 4
-    if code == CODE_BIGINT:
-        return struct.unpack_from("<q", blob, offset)[0], offset + 8
-    if code in (CODE_FLOAT, CODE_DECIMAL):
-        return struct.unpack_from("<d", blob, offset)[0], offset + 8
-    if code in (CODE_CHAR, CODE_VARCHAR, CODE_TIMESTAMP, CODE_TIME):
-        length = struct.unpack_from("<H", blob, offset)[0]
-        offset += 2
-        text = blob[offset:offset + length].decode("utf-8")
-        offset += length
-        if code == CODE_TIMESTAMP:
-            return datetime.datetime.fromisoformat(text), offset
-        if code == CODE_TIME:
-            return datetime.time.fromisoformat(text), offset
-        return text, offset
-    if code == CODE_DATE:
-        encoded = struct.unpack_from("<i", blob, offset)[0]
-        return teradata_int_to_date(encoded), offset + 4
-    if code == CODE_BOOLEAN:
-        return bool(blob[offset]), offset + 1
-    raise ConversionError(f"unknown wire type code {code}")
+def _dec_smallint(view, offset: int) -> tuple[object, int]:
+    return _S_I16.unpack_from(view, offset)[0], offset + 2
 
+
+def _dec_integer(view, offset: int) -> tuple[object, int]:
+    return _S_I32.unpack_from(view, offset)[0], offset + 4
+
+
+def _dec_bigint(view, offset: int) -> tuple[object, int]:
+    return _S_I64.unpack_from(view, offset)[0], offset + 8
+
+
+def _dec_float(view, offset: int) -> tuple[object, int]:
+    return _S_F64.unpack_from(view, offset)[0], offset + 8
+
+
+def _dec_string(view, offset: int) -> tuple[object, int]:
+    length = _S_U16.unpack_from(view, offset)[0]
+    offset += 2
+    return str(view[offset:offset + length], "utf-8"), offset + length
+
+
+def _dec_timestamp(view, offset: int) -> tuple[object, int]:
+    text, offset = _dec_string(view, offset)
+    return datetime.datetime.fromisoformat(text), offset
+
+
+def _dec_time(view, offset: int) -> tuple[object, int]:
+    text, offset = _dec_string(view, offset)
+    return datetime.time.fromisoformat(text), offset
+
+
+def _dec_date(view, offset: int) -> tuple[object, int]:
+    return teradata_int_to_date(_S_I32.unpack_from(view, offset)[0]), offset + 4
+
+
+def _dec_boolean(view, offset: int) -> tuple[object, int]:
+    return bool(view[offset]), offset + 1
+
+
+_DECODERS = {
+    CODE_SMALLINT: _dec_smallint,
+    CODE_INTEGER: _dec_integer,
+    CODE_BIGINT: _dec_bigint,
+    CODE_FLOAT: _dec_float,
+    CODE_DECIMAL: _dec_float,
+    CODE_CHAR: _dec_string,
+    CODE_VARCHAR: _dec_string,
+    CODE_DATE: _dec_date,
+    CODE_TIMESTAMP: _dec_timestamp,
+    CODE_BOOLEAN: _dec_boolean,
+    CODE_TIME: _dec_time,
+}
+
+
+def _decode_value(code: int, blob, offset: int) -> tuple[object, int]:
+    decoder = _DECODERS.get(code)
+    if decoder is None:
+        raise ConversionError(f"unknown wire type code {code}")
+    return decoder(blob, offset)
+
+
+# -- row records -------------------------------------------------------------------
 
 def encode_rows(metas: list[ColumnMeta], rows: list[tuple]) -> bytes:
-    """Encode rows as length-prefixed records with NULL indicator bitmaps."""
-    out = bytearray()
+    """Encode rows as length-prefixed records with NULL indicator bitmaps.
+
+    The whole batch encodes into one buffer: each record writes a 4-byte
+    length placeholder plus a zeroed bitmap, appends column payloads through
+    per-column encoders resolved once for the batch, then patches length and
+    NULL bits in place — no per-row intermediate buffer, no per-value format
+    parsing.
+    """
+    encoders = []
+    for meta in metas:
+        encoder = _ENCODERS.get(meta.code)
+        if encoder is None:
+            raise ConversionError(f"unknown wire type code {meta.code}")
+        encoders.append(encoder)
     bitmap_len = (len(metas) + 7) // 8
+    prefix = bytes(4 + bitmap_len)  # length placeholder + zeroed bitmap
+    pack_length = _S_U32.pack_into
+    out = bytearray()
     for row in rows:
-        record = bytearray(bitmap_len)
-        for index, (meta, value) in enumerate(zip(metas, row)):
+        header = len(out)
+        out += prefix
+        bitmap_at = header + 4
+        for index, (encoder, value) in enumerate(zip(encoders, row)):
             if value is None:
-                record[index // 8] |= 1 << (index % 8)
+                out[bitmap_at + (index >> 3)] |= 1 << (index & 7)
             else:
-                _encode_value(meta.code, value, record)
-        out += struct.pack("<I", len(record))
-        out += record
+                encoder(value, out)
+        pack_length(out, header, len(out) - bitmap_at)
     return bytes(out)
 
 
 def decode_rows(metas: list[ColumnMeta], blob: bytes) -> list[tuple]:
     """Decode a stream of records produced by :func:`encode_rows`."""
+    decoders = []
+    for meta in metas:
+        decoder = _DECODERS.get(meta.code)
+        if decoder is None:
+            raise ConversionError(f"unknown wire type code {meta.code}")
+        decoders.append(decoder)
     rows = []
+    view = memoryview(blob)
     offset = 0
     bitmap_len = (len(metas) + 7) // 8
-    total = len(blob)
+    total = len(view)
+    unpack_length = _S_U32.unpack_from
     while offset < total:
-        record_len = struct.unpack_from("<I", blob, offset)[0]
+        record_len = unpack_length(view, offset)[0]
         offset += 4
         record_end = offset + record_len
-        bitmap = blob[offset:offset + bitmap_len]
+        bitmap_at = offset
         cursor = offset + bitmap_len
         values = []
-        for index, meta in enumerate(metas):
-            if bitmap[index // 8] & (1 << (index % 8)):
+        for index, decoder in enumerate(decoders):
+            if view[bitmap_at + (index >> 3)] & (1 << (index & 7)):
                 values.append(None)
             else:
-                value, cursor = _decode_value(meta.code, blob, cursor)
+                value, cursor = decoder(view, cursor)
                 values.append(value)
         if cursor != record_end:
             raise ConversionError("corrupt record: trailing bytes")

@@ -36,6 +36,7 @@ Resilience duties of this layer:
 
 from __future__ import annotations
 
+import os
 import queue
 import socket
 import socketserver
@@ -131,6 +132,15 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                     # Abrupt: no FAILURE envelope, no LOGOFF — the client
                     # sees the connection die as with a real network cut.
                     return False
+                if engine.faults is not None \
+                        and engine.worker_index is not None:
+                    gw_fault = engine.faults.draw(
+                        "gateway", op=sql, replica=engine.worker_index)
+                    if gw_fault is not None \
+                            and gw_fault.kind == flt.WORKER_CRASH:
+                        # Abrupt worker death: no reply, no cleanup — the
+                        # gateway supervisor must detect and restart us.
+                        os._exit(86)
                 delay = fault.delay if fault is not None \
                     and fault.kind == flt.SLOW_RESULT else 0.0
                 try:
@@ -387,14 +397,45 @@ class _ConnectionPool:
             except Exception:  # noqa: BLE001 — handler errors die with the
                 pass           # connection, never with the worker
 
-    def close(self) -> None:
-        """Wake every worker with a poison pill; in-flight connections
-        finish on their own (daemon threads never block exit)."""
+    def close(self, on_cancel=None, join_timeout: float = 2.0) -> None:
+        """Drain and join the pool.
+
+        Queued-but-unstarted tasks are cancelled (handed to *on_cancel* so
+        the server can close their accepted sockets instead of leaking
+        them), every worker is woken with a poison pill, and workers are
+        joined up to *join_timeout* seconds total. A worker still serving a
+        stuck connection past the deadline is abandoned — threads are
+        daemonic, so they never block interpreter exit — but the normal
+        stop path sees every worker land before the listening socket
+        closes.
+        """
         with self._lock:
             self._closed = True
-            count = len(self._threads)
-        for __ in range(count):
+            threads = list(self._threads)
+        # Cancel queued tasks first so no worker picks up a new connection
+        # between the drain and the pills.
+        while True:
+            try:
+                task = self._tasks.get_nowait()
+            except queue.Empty:
+                break
+            if task is None:
+                continue
+            with self._lock:
+                self._pending -= 1
+            if on_cancel is not None:
+                try:
+                    on_cancel(task[1])
+                except Exception:  # noqa: BLE001 — best-effort cleanup
+                    pass
+        for __ in range(len(threads)):
             self._tasks.put(None)
+        deadline = time.monotonic() + join_timeout
+        for thread in threads:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            thread.join(timeout=remaining)
 
 
 class HyperQServer(socketserver.TCPServer):
@@ -417,14 +458,18 @@ class HyperQServer(socketserver.TCPServer):
 
     def __init__(self, engine: HyperQ, host: str = "127.0.0.1", port: int = 0,
                  request_timeout: Optional[float] = None,
-                 max_connections: int = 64):
+                 max_connections: int = 64, bind: bool = True):
         self.engine = engine
         self.request_timeout = request_timeout
         self.max_connections = max_connections
         self._pool = _ConnectionPool(max_connections)
         self._session_counter = 0
         self._counter_lock = threading.Lock()
-        super().__init__((host, port), _ConnectionHandler)
+        # bind=False leaves the listening socket unbound: gateway workers
+        # never accept themselves — they serve sockets handed off by the
+        # acceptor process via process_request().
+        super().__init__((host, port), _ConnectionHandler,
+                         bind_and_activate=bind)
 
     @property
     def address(self) -> tuple[str, int]:
@@ -458,8 +503,17 @@ class HyperQServer(socketserver.TCPServer):
         pass
 
     def server_close(self) -> None:
+        # Drain and join the connection pool *before* the listening socket
+        # closes: queued accepted sockets are shut down instead of leaked,
+        # and no worker thread outlives the server (repeated start/stop in
+        # tests must not accumulate threads or ResourceWarnings).
+        self._pool.close(on_cancel=self._cancel_queued_connection)
         super().server_close()
-        self._pool.close()
+
+    def _cancel_queued_connection(self, args) -> None:
+        """Close an accepted socket whose task never reached a worker."""
+        request = args[0]
+        self.shutdown_request(request)
 
 
 class ServerThread:

@@ -1,0 +1,148 @@
+"""_ConnectionPool under bursty accept load, and server shutdown ordering.
+
+The pool is the accept-side concurrency bound of the wire server (and of
+every gateway worker): it must spawn on outstanding demand without ever
+exceeding its cap, never deadlock when pending tasks outnumber idle workers
+during a simultaneous-connect storm, and drain cleanly — queued tasks
+cancelled, workers joined — before the listening socket closes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import HyperQ
+from repro.protocol.server import ServerThread, _ConnectionPool
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestConnectionPoolBurst:
+    def test_cap_holds_under_simultaneous_connect_storm(self):
+        """A storm of submits far beyond the cap spawns exactly cap workers,
+        and every task still runs once the long-lived ones release."""
+        cap = 4
+        pool = _ConnectionPool(cap, name_prefix="burst")
+        release = threading.Event()
+        started = []
+        done = []
+        lock = threading.Lock()
+
+        def task(index: int) -> None:
+            with lock:
+                started.append(index)
+            release.wait(timeout=10)
+            with lock:
+                done.append(index)
+
+        submitters = [
+            threading.Thread(target=lambda base=base: [
+                pool.submit(task, base * 8 + offset) for offset in range(8)])
+            for base in range(8)
+        ]
+        for thread in submitters:
+            thread.start()
+        for thread in submitters:
+            thread.join()
+        # All 64 tasks submitted from 8 threads at once: the pool must sit
+        # at its cap with the rest queued, not deadlocked and not over-spawned.
+        assert _wait_until(lambda: len(started) >= cap)
+        assert len(pool._threads) <= cap
+        assert len(done) == 0
+        release.set()
+        assert _wait_until(lambda: len(done) == 64)
+        assert len(pool._threads) <= cap
+        pool.close()
+
+    def test_pending_over_idle_storm_never_strands_a_task(self):
+        """Tasks queued while every worker is busy (pending > idle) are
+        picked up as workers free — the spawn-on-demand accounting must not
+        under-spawn and strand a queued task behind long-lived ones."""
+        cap = 3
+        pool = _ConnectionPool(cap, name_prefix="strand")
+        holders = threading.Event()
+        ran = []
+        lock = threading.Lock()
+
+        def long_lived() -> None:
+            holders.wait(timeout=10)
+
+        def short(index: int) -> None:
+            with lock:
+                ran.append(index)
+
+        # Occupy cap-1 workers, then storm short tasks: the pool must spawn
+        # its last worker for them even though idle workers "exist" on paper.
+        for __ in range(cap - 1):
+            pool.submit(long_lived)
+        for index in range(16):
+            pool.submit(short, index)
+        assert _wait_until(lambda: len(ran) == 16), \
+            f"only {len(ran)}/16 short tasks ran — stranded behind holders"
+        holders.set()
+        pool.close()
+
+    def test_close_cancels_queued_tasks_and_joins_workers(self):
+        pool = _ConnectionPool(2, name_prefix="drain")
+        release = threading.Event()
+        cancelled = []
+
+        def blocker() -> None:
+            release.wait(timeout=10)
+
+        pool.submit(blocker)
+        pool.submit(blocker)
+        assert _wait_until(lambda: pool._idle == 0)
+        for index in range(5):
+            pool.submit(lambda: None, index)
+        release.set()
+        pool.close(on_cancel=lambda args: cancelled.append(args),
+                   join_timeout=5.0)
+        # Every queued-but-unstarted task was either run by a freed worker
+        # or cancelled; none linger, and all workers have exited.
+        assert all(not thread.is_alive() for thread in pool._threads)
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+    def test_close_is_bounded_with_a_stuck_worker(self):
+        pool = _ConnectionPool(1, name_prefix="stuck")
+        forever = threading.Event()
+        pool.submit(forever.wait, 30)
+        assert _wait_until(lambda: len(pool._threads) == 1)
+        t0 = time.monotonic()
+        pool.close(join_timeout=0.2)
+        assert time.monotonic() - t0 < 2.0
+        forever.set()
+
+
+class TestServerShutdownOrdering:
+    def test_repeated_start_stop_leaks_no_workers(self):
+        """server_close drains and joins the pool before the listening
+        socket closes: repeated start/stop cycles leave no hyperq-conn
+        threads behind."""
+        engine = HyperQ(tracing=False)
+
+        def conn_threads() -> list[threading.Thread]:
+            return [thread for thread in threading.enumerate()
+                    if thread.name.startswith("hyperq-conn")]
+
+        for __ in range(3):
+            server = ServerThread(engine, max_connections=4)
+            host, port = server.start()
+            from repro.protocol.client import TdClient
+
+            with TdClient(host, port) as client:
+                assert client.execute("SELECT 1").rows == [(1,)]
+            server.stop()
+            assert _wait_until(lambda: not conn_threads()), \
+                f"leaked connection workers: {conn_threads()}"
