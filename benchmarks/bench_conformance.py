@@ -1,0 +1,99 @@
+"""Conformance matrix smoke timing: the cost of checking every dialect.
+
+The differential matrix re-executes each corpus statement once per profile,
+so its wall-clock cost scales with profiles × statements. This bench times
+matrix construction (engines + TPC-H load on every leg) and the per-profile
+check throughput, and fails loudly if the matrix reports any disagreement —
+a timing run on a red matrix would benchmark the reducer, not the harness.
+
+Standalone (the matrix manages six live engines — not a microbench)::
+
+    PYTHONPATH=src python benchmarks/bench_conformance.py --smoke \\
+        --json BENCH_conformance.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from tests.conformance.generator import (  # noqa: E402
+    GENERATOR_SETUP, generate_statements, load_tpch,
+)
+from tests.conformance.runner import Matrix, PROFILES  # noqa: E402
+from tests.golden.corpus import CORPUS, SETUP  # noqa: E402
+
+#: Statements per corpus in --smoke mode (full corpus otherwise).
+SMOKE_STATEMENTS = 40
+
+
+def run(smoke: bool) -> dict:
+    report: dict = {"profiles": list(PROFILES), "smoke": smoke}
+
+    t0 = time.perf_counter()
+    matrix = Matrix()
+    load_tpch(matrix)
+    matrix.run_setup(SETUP)
+    matrix.run_setup(GENERATOR_SETUP)
+    report["setup_s"] = round(time.perf_counter() - t0, 3)
+
+    golden = list(CORPUS)
+    generated = generate_statements()
+    if smoke:
+        golden = golden[:SMOKE_STATEMENTS]
+        generated = generated[:SMOKE_STATEMENTS]
+
+    disagreements = 0
+    t0 = time.perf_counter()
+    for name, sql in golden + generated:
+        disagreements += len(matrix.check(sql, name))
+    elapsed = time.perf_counter() - t0
+    matrix.close()
+
+    checked = len(golden) + len(generated)
+    cells = checked * (len(PROFILES) - 1)
+    report.update({
+        "statements": checked,
+        "cells": cells,
+        "disagreements": disagreements,
+        "check_s": round(elapsed, 3),
+        "statements_per_s": round(checked / elapsed, 1) if elapsed else None,
+        "cells_per_s": round(cells / elapsed, 1) if elapsed else None,
+    })
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"check only {SMOKE_STATEMENTS} statements "
+                             "per corpus")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the timing report to PATH")
+    args = parser.parse_args(argv)
+
+    report = run(args.smoke)
+    print(f"conformance matrix: {report['statements']} statements x "
+          f"{len(report['profiles']) - 1} dialect legs "
+          f"({report['cells']} cells)")
+    print(f"  setup {report['setup_s']}s, checks {report['check_s']}s "
+          f"({report['cells_per_s']} cells/s)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"  wrote {args.json}")
+    if report["disagreements"]:
+        print(f"  MATRIX RED: {report['disagreements']} disagreement(s) — "
+              "timing numbers are not comparable", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Surface-syntax dialects of the executing backend.
+
+The in-memory backend models each cloud target as one ANSI engine behind a
+capability profile, but the *texts* the per-target serializers emit differ in
+spelling: BigQuery-style targets write ``INT64``/``STRING`` and backtick
+quoting, T-SQL-style targets write ``DATETIME2``, ``LEN()`` and bracket
+quoting, Snowflake-style targets write ``NUMBER(p,s)``. For the differential
+conformance matrix the backend must accept its own profile's spellings — and
+continue to reject every other dialect's — so those differences live here as
+data consumed by :class:`repro.backend.parser.BackendParser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+
+def _frozen(mapping: dict[str, str]) -> Mapping[str, str]:
+    return MappingProxyType(dict(mapping))
+
+
+@dataclass(frozen=True)
+class BackendDialect:
+    """Lexical/spelling knobs of one backend parser instance.
+
+    Attributes:
+        type_synonyms: dialect type name -> canonical ANSI type name. Applied
+            before the parser's type table, so ``INT64`` parses as ``BIGINT``.
+        function_aliases: dialect function spelling -> canonical function name
+            (e.g. T-SQL ``LEN`` -> ``LENGTH``), applied at parse time so the
+            evaluator keeps a single implementation per function.
+        backquote_idents: accept `` `name` `` quoted identifiers.
+        bracket_idents: accept ``[name]`` quoted identifiers.
+    """
+
+    type_synonyms: Mapping[str, str] = field(default_factory=lambda: _frozen({}))
+    function_aliases: Mapping[str, str] = field(default_factory=lambda: _frozen({}))
+    backquote_idents: bool = False
+    bracket_idents: bool = False
+
+
+ANSI = BackendDialect()
+
+_DIALECTS: dict[str, BackendDialect] = {
+    # BigQuery-like: backtick quoting, INT64/FLOAT64/STRING/BOOL/NUMERIC.
+    "skyquery": BackendDialect(
+        type_synonyms=_frozen({
+            "INT64": "BIGINT",
+            "FLOAT64": "FLOAT",
+            "STRING": "VARCHAR",
+            "BOOL": "BOOLEAN",
+        }),
+        backquote_idents=True,
+    ),
+    # T-SQL-like: bracket quoting, DATETIME2, LEN().
+    "azuresynth": BackendDialect(
+        type_synonyms=_frozen({"DATETIME2": "TIMESTAMP"}),
+        function_aliases=_frozen({"LEN": "LENGTH"}),
+        bracket_idents=True,
+    ),
+    # Snowflake-like: NUMBER(p,s) for decimals.
+    "snowfield": BackendDialect(
+        type_synonyms=_frozen({"NUMBER": "DECIMAL"}),
+    ),
+}
+
+
+def dialect_for(profile_name: str) -> BackendDialect:
+    """The backend dialect matching a capability profile name."""
+    return _DIALECTS.get(profile_name, ANSI)

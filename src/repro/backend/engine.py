@@ -21,9 +21,11 @@ from repro.backend.expressions import Env, EvalContext
 from repro.backend.parser import BackendParser
 from repro.backend import planner as p
 from repro.backend.storage import Table, default_value_for
+from repro.xtra import scalars as s
 from repro.xtra import types as t
 from repro.xtra.relational import OutputColumn
 from repro.xtra.schema import ColumnSchema, TableSchema
+from repro.xtra.visitor import rewrite_scalars, walk_scalars
 
 
 class QueryResult:
@@ -224,11 +226,11 @@ class BackendSession:
         if isinstance(statement, p.QueryStatementSpec):
             return self._run_query(statement.query)
         if isinstance(statement, p.InsertSpec):
-            return self._run_insert(statement)
+            return self._run_insert(self._resolve_dml_target(statement))
         if isinstance(statement, p.UpdateSpec):
-            return self._run_update(statement)
+            return self._run_update(self._resolve_dml_target(statement))
         if isinstance(statement, p.DeleteSpec):
-            return self._run_delete(statement)
+            return self._run_delete(self._resolve_dml_target(statement))
         if isinstance(statement, p.CreateTableSpec):
             return self._run_create_table(statement)
         if isinstance(statement, p.DropTableSpec):
@@ -291,6 +293,124 @@ class BackendSession:
         return executor.run(plan)
 
     # -- DML ------------------------------------------------------------------------------
+
+    def _resolve_dml_target(self, spec):
+        """Route DML aimed at an updatable view to its base table.
+
+        Supported on profiles with ``updatable_views``: the view must be a
+        simple projection (plain column list or ``*``) over a single table,
+        optionally filtered by a subquery-free WHERE. Column references are
+        remapped through the view's select list and the view predicate is
+        conjoined onto UPDATE/DELETE predicates (INSERT takes no predicate —
+        the backend models views without CHECK OPTION).
+        """
+        while not self._catalog.has_table(spec.table) \
+                and self._catalog.has_view(spec.table):
+            if not self.profile.updatable_views:
+                raise BackendError(
+                    f"view {spec.table} is not updatable on this system")
+            spec = self._rewrite_view_dml(spec)
+        return spec
+
+    def _rewrite_view_dml(self, spec):
+        view = self._catalog.view(spec.table)
+        core = self._updatable_view_core(spec.table, view)
+        base = core.from_refs[0]
+        base_schema = self._catalog.resolve(base.name)
+        column_map: dict[str, str] = {}
+        item_names: list[str] = []
+        for item in core.items:
+            if item.star:
+                item_names.extend(col.name for col in base_schema.columns)
+            else:
+                expr = item.expr
+                if not isinstance(expr, s.ColumnRef):
+                    raise BackendError(
+                        f"view {spec.table} is not updatable "
+                        "(computed select items)")
+                item_names.append(expr.name.upper())
+        view_columns = [col.name for col in view.columns]
+        if len(view_columns) != len(item_names):
+            raise BackendError(
+                f"view {spec.table} is not updatable (column-count mismatch)")
+        column_map = dict(zip(view_columns, item_names))
+
+        view_qualifiers = {spec.table.upper()}
+        if getattr(spec, "alias", None):
+            view_qualifiers.add(spec.alias.upper())
+
+        def remap(expr: s.ScalarExpr) -> s.ScalarExpr:
+            if isinstance(expr, s.ColumnRef):
+                if expr.table is not None \
+                        and expr.table.upper() not in view_qualifiers:
+                    raise BackendError(
+                        f"unknown qualifier {expr.table} in DML against "
+                        f"view {spec.table}")
+                mapped = column_map.get(expr.name.upper())
+                if mapped is None:
+                    raise BackendError(
+                        f"view {spec.table} has no column {expr.name}")
+                return s.ColumnRef(mapped)
+            return expr
+
+        def strip_qualifier(expr: s.ScalarExpr) -> s.ScalarExpr:
+            if isinstance(expr, s.ColumnRef) and expr.table is not None:
+                return s.ColumnRef(expr.name)
+            return expr
+
+        view_predicate = None
+        if core.where is not None:
+            if any(isinstance(node, s.SubqueryExpr)
+                   for node in walk_scalars(core.where)):
+                raise BackendError(
+                    f"view {spec.table} is not updatable "
+                    "(subquery in view predicate)")
+            view_predicate = rewrite_scalars(core.where, strip_qualifier)
+
+        if isinstance(spec, p.InsertSpec):
+            source_columns = spec.columns or view_columns
+            mapped_columns = []
+            for name in source_columns:
+                mapped = column_map.get(name.upper())
+                if mapped is None:
+                    raise BackendError(
+                        f"view {spec.table} has no column {name}")
+                mapped_columns.append(mapped)
+            return p.InsertSpec(base.name, mapped_columns, spec.rows, spec.query)
+
+        predicate = (rewrite_scalars(spec.predicate, remap)
+                     if spec.predicate is not None else None)
+        combined = s.conjoin(
+            [part for part in (view_predicate, predicate) if part is not None])
+        if isinstance(spec, p.UpdateSpec):
+            assignments = []
+            for name, expr in spec.assignments:
+                mapped = column_map.get(name.upper())
+                if mapped is None:
+                    raise BackendError(
+                        f"view {spec.table} has no column {name}")
+                assignments.append((mapped, rewrite_scalars(expr, remap)))
+            return p.UpdateSpec(base.name, None, assignments, combined)
+        return p.DeleteSpec(base.name, None, combined)
+
+    def _updatable_view_core(self, name: str, view: TableSchema) -> p.CoreSpec:
+        statement = self._parser.parse_statement(view.view_sql or "")
+        not_updatable = BackendError(
+            f"view {name} is not updatable "
+            "(simple single-table projections only)")
+        if not isinstance(statement, p.QueryStatementSpec):
+            raise not_updatable
+        query = statement.query
+        core = query.first
+        if query.ctes or query.branches or query.order_by \
+                or query.limit is not None or query.offset \
+                or not isinstance(core, p.CoreSpec) \
+                or core.distinct or core.top or core.group_by or core.having \
+                or len(core.from_refs) != 1 \
+                or not isinstance(core.from_refs[0], p.TableNameSpec) \
+                or core.from_refs[0].column_names:
+            raise not_updatable
+        return core
 
     def _run_insert(self, spec: p.InsertSpec) -> QueryResult:
         table = self._catalog.table(spec.table)

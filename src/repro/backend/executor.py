@@ -257,7 +257,10 @@ class Executor:
         for key in reversed(keys):
             values = [self._evaluator.eval(key.expr, EvalContext(row, env, outer))
                       for row in decorated]
-            nulls_first = key.nulls_first if key.nulls_first is not None else default_first
+            # default_null_ordering is defined per *ascending* key: the engine
+            # treats NULL as an extreme value, so a DESC key flips placement.
+            default = default_first if key.ascending else not default_first
+            nulls_first = key.nulls_first if key.nulls_first is not None else default
             reverse = not key.ascending
             if reverse:
                 null_rank = 1 if nulls_first else 0
@@ -533,7 +536,9 @@ class Executor:
                     key.expr, EvalContext(rows[index], env, outer))
                 for index in ordered
             }
-            nulls_first = key.nulls_first if key.nulls_first is not None else default_first
+            # Per-ascending-key default; DESC keys flip (see _sort_rows).
+            default = default_first if key.ascending else not default_first
+            nulls_first = key.nulls_first if key.nulls_first is not None else default
             reverse = not key.ascending
             if reverse:
                 null_rank = 1 if nulls_first else 0

@@ -16,6 +16,7 @@ from repro.errors import BackendError, ParseError
 from repro.sqlkit import Lexer, LexerConfig, Token, TokenKind
 from repro.transform.capabilities import CapabilityProfile
 from repro.backend import planner as p
+from repro.backend.dialect import ANSI, dialect_for
 from repro.xtra import types as t
 from repro.xtra import relational as r
 from repro.xtra import scalars as s
@@ -51,7 +52,15 @@ class BackendParser:
 
     def __init__(self, profile: CapabilityProfile):
         self._profile = profile
-        self._lexer = Lexer(_LEXER_CONFIG)
+        self._dialect = dialect_for(profile.name)
+        if self._dialect is ANSI:
+            config = _LEXER_CONFIG
+        else:
+            config = LexerConfig(
+                keywords=_KEYWORDS,
+                backquote_idents=self._dialect.backquote_idents,
+                bracket_idents=self._dialect.bracket_idents)
+        self._lexer = Lexer(config)
 
     # -- entry points ------------------------------------------------------------
 
@@ -331,6 +340,7 @@ class BackendParser:
         token = self._peek()
         name = str(token.value).upper() if token.kind in (
             TokenKind.IDENT, TokenKind.KEYWORD) else ""
+        name = self._dialect.type_synonyms.get(name, name)
         if name not in _TYPE_NAMES:
             raise ParseError(f"expected a type name, found {token.text!r}",
                              token.line, token.column)
@@ -1018,7 +1028,7 @@ class BackendParser:
             while self._accept_op(","):
                 args.append(self._expr())
         self._expect_op(")")
-        upper = name.upper()
+        upper = self._dialect.function_aliases.get(name.upper(), name.upper())
         window = self._over_clause()
         if window is not None:
             if upper not in _WINDOW_ONLY and upper not in _AGG_NAMES:

@@ -55,6 +55,30 @@ class _Env:
         return None
 
 
+# Words every modeled target treats as reserved: a bare identifier spelled
+# like one of these must be quoted or the emitted SQL re-parses differently
+# (or not at all). Mirrors the backend grammar's keyword set.
+RESERVED_WORDS = frozenset("""
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET DISTINCT ALL AS ON
+    AND OR NOT IN IS NULL LIKE ESCAPE BETWEEN EXISTS ANY SOME CASE WHEN THEN
+    ELSE END CAST EXTRACT SUBSTRING POSITION FOR JOIN INNER LEFT RIGHT FULL
+    OUTER CROSS UNION INTERSECT EXCEPT WITH RECURSIVE VALUES INSERT INTO
+    UPDATE SET DELETE CREATE TABLE VIEW DROP IF TEMPORARY TEMP REPLACE MERGE
+    USING MATCHED ASC DESC NULLS FIRST LAST TOP TIES DATE TIME TIMESTAMP
+    INTERVAL YEAR MONTH DAY HOUR MINUTE SECOND TRUE FALSE DEFAULT PRIMARY KEY
+    UNIQUE CHECK REFERENCES FOREIGN CONSTRAINT BEGIN COMMIT ROLLBACK WORK
+    TRANSACTION OVER PARTITION ROWS RANGE UNBOUNDED PRECEDING FOLLOWING
+    CURRENT ROW ROLLUP CUBE GROUPING SETS TRUNCATE
+""".split())
+
+
+def plain_ident(name: str) -> bool:
+    """True when *name* can be emitted bare in any modeled dialect."""
+    return bool(name) and (name[0].isalpha() or name[0] == "_") and \
+        all(ch.isalnum() or ch == "_" for ch in name) and \
+        name.upper() not in RESERVED_WORDS
+
+
 class Serializer:
     """Serializes XTRA statements into the target's SQL dialect."""
 
@@ -110,8 +134,7 @@ class Serializer:
 
     def ident(self, name: str) -> str:
         """Render an identifier (quote when necessary)."""
-        if name and (name[0].isalpha() or name[0] == "_") and \
-                all(ch.isalnum() or ch == "_" for ch in name):
+        if plain_ident(name):
             return name
         return '"' + name.replace('"', '""') + '"'
 
@@ -548,15 +571,18 @@ class Serializer:
         group_sql: list[str] = []
         env_after_agg = base_env
         if aggregate is not None:
-            if aggregate.kind is not r.GroupingKind.SIMPLE:
+            if aggregate.kind is not r.GroupingKind.SIMPLE \
+                    and not self._profile.grouping_extensions:
                 raise SerializeError(
                     "extended grouping reached serialization for a target "
                     "without support (transformer should have expanded it)")
             agg_entries: list[tuple[OutputColumn, str]] = []
+            key_sql: list[str] = []
             for expr, name in zip(aggregate.group_by, aggregate.group_names):
                 text = self.render_expr(expr, base_env)
-                group_sql.append(text)
+                key_sql.append(text)
                 agg_entries.append((OutputColumn(name, expr.type), text))
+            group_sql = self._grouping_clause(aggregate, key_sql)
             for agg_call, name in zip(aggregate.aggs, aggregate.agg_names):
                 text = self.render_agg(agg_call, base_env)
                 agg_entries.append((OutputColumn(name, agg_call.type), text))
@@ -587,6 +613,19 @@ class Serializer:
         return self._assemble(select_parts, out_names, distinct, from_sql,
                               where_sql, group_sql, having_sql, order_sql,
                               limit), out_names
+
+    def _grouping_clause(self, aggregate: r.Aggregate,
+                         key_sql: list[str]) -> list[str]:
+        """GROUP BY terms for an aggregate, ROLLUP/CUBE/SETS rendered natively."""
+        if aggregate.kind is r.GroupingKind.SIMPLE:
+            return key_sql
+        if aggregate.kind is r.GroupingKind.SETS:
+            sets = [
+                "(" + ", ".join(key_sql[index] for index in indexes) + ")"
+                for indexes in aggregate.grouping_sets or []
+            ]
+            return ["GROUPING SETS (" + ", ".join(sets) + ")"]
+        return [f"{aggregate.kind.value} (" + ", ".join(key_sql) + ")"]
 
     def _render_select_list(self, exprs: list[ScalarExpr], names: list[str],
                             env: _Env):

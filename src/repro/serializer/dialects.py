@@ -13,7 +13,7 @@ from typing import Optional
 
 from repro.core.tracker import FeatureTracker
 from repro.errors import SerializeError
-from repro.serializer.base import Serializer
+from repro.serializer.base import Serializer, plain_ident
 from repro.transform.capabilities import (
     AZURESYNTH, CapabilityProfile, HYPERION, HYPERION_PLUS, MEADOWSHIFT,
     PROFILES, SKYQUERY, SNOWFIELD,
@@ -46,8 +46,9 @@ class BigQuerySerializer(Serializer):
     }
 
     def ident(self, name: str) -> str:
-        if name and (name[0].isalpha() or name[0] == "_") and \
-                all(ch.isalnum() or ch == "_" for ch in name):
+        # Reserved words (e.g. a column named "select") must be quoted too;
+        # plain_ident rejects them alongside non-word characters.
+        if plain_ident(name):
             return name
         return "`" + name.replace("`", "``") + "`"
 
@@ -70,8 +71,7 @@ class TSQLSerializer(Serializer):
     FUNCTION_MAP.update({"LENGTH": "LEN"})
 
     def ident(self, name: str) -> str:
-        if name and (name[0].isalpha() or name[0] == "_") and \
-                all(ch.isalnum() or ch == "_" for ch in name):
+        if plain_ident(name):
             return name
         return "[" + name.replace("]", "]]") + "]"
 

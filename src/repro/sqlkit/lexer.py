@@ -31,12 +31,18 @@ class LexerConfig:
         extra_operators: additional operator spellings (longest-match wins).
         line_comment: prefix that starts a comment running to end of line.
         allow_named_params: recognize ``:name`` parameter markers.
+        backquote_idents: recognize `` `name` `` quoted identifiers
+            (BigQuery-style; doubled backtick escapes).
+        bracket_idents: recognize ``[name]`` quoted identifiers (T-SQL-style;
+            doubled ``]`` escapes). Takes precedence over the ``[`` operator.
     """
 
     keywords: frozenset[str] = frozenset()
     extra_operators: tuple[str, ...] = ()
     line_comment: str = "--"
     allow_named_params: bool = True
+    backquote_idents: bool = False
+    bracket_idents: bool = False
 
 
 class Lexer:
@@ -112,6 +118,10 @@ class Lexer:
             return self._lex_string(line, col)
         if char == '"':
             return self._lex_quoted_ident(line, col)
+        if char == "`" and self._config.backquote_idents:
+            return self._lex_delimited_ident(line, col, "`", "`")
+        if char == "[" and self._config.bracket_idents:
+            return self._lex_delimited_ident(line, col, "[", "]")
         if char.isdigit() or (char == "." and self._peek(1).isdigit()):
             return self._lex_number(line, col)
         if char.isalpha() or char == "_":
@@ -165,6 +175,29 @@ class Lexer:
             if char == '"':
                 if self._peek(1) == '"':
                     parts.append('"')
+                    self._advance(2)
+                else:
+                    self._advance()
+                    break
+            else:
+                parts.append(char)
+                self._advance()
+        raw = self._text[start:self._pos]
+        return Token(TokenKind.QUOTED_IDENT, "".join(parts), raw, line, col)
+
+    def _lex_delimited_ident(self, line: int, col: int,
+                             open_char: str, close_char: str) -> Token:
+        # Dialect-specific quoted identifier; the closer escapes by doubling.
+        start = self._pos
+        self._advance()  # opening delimiter
+        parts: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise LexError("unterminated quoted identifier", line, col)
+            char = self._peek()
+            if char == close_char:
+                if self._peek(1) == close_char:
+                    parts.append(close_char)
                     self._advance(2)
                 else:
                     self._advance()

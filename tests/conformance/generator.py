@@ -1,0 +1,266 @@
+"""Seeded generative corpus for the conformance matrix.
+
+Statements are synthesized from the TPC-H schema (plus a few auxiliary
+tables for NULL-ordering, MERGE, and reserved-word coverage) by template
+families that each target a transform-rule trigger shape: Teradata date
+arithmetic and date/integer comparisons, implicit NULL ordering, grouping
+extensions (ROLLUP / CUBE / GROUPING SETS), vector subqueries and other
+quantified predicates, QUALIFY, Teradata scalar idioms, and MERGE.
+
+Everything is driven by one seeded :class:`random.Random`, so the corpus is
+deterministic: the same ≥200 ``(name, sql)`` pairs come back on every run,
+and a disagreement reported by CI reproduces locally by name.
+"""
+
+from __future__ import annotations
+
+import random
+
+SEED = 20260808
+
+#: TPC-H scale factor for matrix runs. Small on purpose: the corpus cares
+#: about *shape* coverage, not volume, and every statement runs once per
+#: profile on a pure-Python executor.
+TPCH_SCALE = 0.0002
+
+#: Auxiliary schema: NULL-bearing measures with a unique tiebreaker key,
+#: a MERGE/DML target with its delta feed, and a table whose column names
+#: are reserved words (exercises identifier quoting on every dialect).
+GENERATOR_SETUP = [
+    "CREATE TABLE CONF_NULLS (K INTEGER, GRP VARCHAR(1), V INTEGER)",
+    """INSERT INTO CONF_NULLS VALUES
+        (1, 'a', 30), (2, 'a', NULL), (3, 'a', 10),
+        (4, 'b', NULL), (5, 'b', 20), (6, 'b', 20),
+        (7, 'c', NULL), (8, 'c', 5), (9, 'c', 40), (10, 'c', NULL)""",
+    """CREATE TABLE CONF_TARGET (
+        PK INTEGER, NAME VARCHAR(20), QTY INTEGER, PRICE DECIMAL(10,2))""",
+    """INSERT INTO CONF_TARGET VALUES
+        (1, 'anchor', 5, 10.00), (2, 'beacon', 3, 20.50),
+        (3, 'candle', 9, 7.25), (4, 'dynamo', 1, 99.99)""",
+    """CREATE TABLE CONF_DELTA (
+        PK INTEGER, NAME VARCHAR(20), QTY INTEGER, PRICE DECIMAL(10,2))""",
+    """INSERT INTO CONF_DELTA VALUES
+        (2, 'beacon', 30, 21.00), (4, 'dynamo', 10, 89.99),
+        (5, 'ember', 2, 3.50), (6, 'fathom', 8, 12.00)""",
+    """CREATE TABLE CONF_RSVD ("SELECT" INTEGER, "FROM" VARCHAR(5))""",
+    """INSERT INTO CONF_RSVD VALUES (1, 'one'), (2, 'two'), (3, 'six')""",
+]
+
+
+def tpch_ddl() -> list[str]:
+    """The TPC-H DDL in source dialect, ready for :meth:`Matrix.run_setup`."""
+    from repro.workloads.tpch.schema import SCHEMA_DDL, TABLE_NAMES
+
+    return [SCHEMA_DDL[name].strip() for name in TABLE_NAMES]
+
+
+def load_tpch(matrix) -> None:
+    """Create the TPC-H schema through every leg, then bulk-load rows
+    directly into each backend (the slow path would dominate the matrix)."""
+    from repro.workloads.tpch.datagen import load_direct
+
+    matrix.run_setup(tpch_ddl())
+    for profile in matrix.profiles:
+        load_direct(matrix.engine(profile).backend, scale=TPCH_SCALE,
+                    seed=SEED)
+
+
+def _teradata_date_int(year: int, month: int, day: int) -> int:
+    """Teradata internal date integer: (year-1900)*10000 + mm*100 + dd."""
+    return (year - 1900) * 10000 + month * 100 + day
+
+
+def generate_statements() -> list[tuple[str, str]]:
+    """Deterministic ``(name, sql)`` list, ≥200 statements."""
+    rng = random.Random(SEED)
+    out: list[tuple[str, str]] = []
+
+    def emit(family: str, sql: str) -> None:
+        out.append((f"gen_{family}_{sum(1 for n, _ in out if n.startswith(f'gen_{family}_')):03d}",
+                    sql))
+
+    # -- date arithmetic and date/integer comparisons (30) -------------------------
+    for _ in range(10):
+        days = rng.randrange(1, 120)
+        year = rng.randrange(1993, 1998)
+        emit("date_arith",
+             f"SEL O_ORDERKEY FROM ORDERS "
+             f"WHERE O_ORDERDATE + {days} > DATE '{year}-06-01' "
+             f"ORDER BY O_ORDERKEY")
+    for _ in range(10):
+        year = rng.randrange(1993, 1998)
+        month = rng.randrange(1, 13)
+        emit("date_int",
+             f"SEL COUNT(*) FROM ORDERS "
+             f"WHERE O_ORDERDATE > {_teradata_date_int(year, month, 15)}")
+    for _ in range(10):
+        days = rng.randrange(5, 90)
+        emit("date_span",
+             f"SEL L_ORDERKEY, L_LINENUMBER FROM LINEITEM "
+             f"WHERE L_RECEIPTDATE > L_SHIPDATE + {days} "
+             f"ORDER BY L_ORDERKEY, L_LINENUMBER")
+
+    # -- NULL ordering (25): unique key K breaks every tie -------------------------
+    for _ in range(25):
+        direction = rng.choice(["ASC", "DESC"])
+        extra = rng.choice(["", "GRP, "])
+        predicate = rng.choice(
+            ["", "WHERE V IS NOT NULL ", "WHERE K > 2 ", "WHERE GRP <> 'b' "])
+        emit("null_order",
+             f"SEL K, GRP, V FROM CONF_NULLS {predicate}"
+             f"ORDER BY {extra}V {direction}, K")
+
+    # -- grouping extensions (30) --------------------------------------------------
+    for _ in range(10):
+        emit("rollup",
+             f"SEL O_ORDERSTATUS, O_ORDERPRIORITY, SUM(O_TOTALPRICE), COUNT(*) "
+             f"FROM ORDERS WHERE O_CUSTKEY > {rng.randrange(0, 20)} "
+             f"GROUP BY ROLLUP (O_ORDERSTATUS, O_ORDERPRIORITY)")
+    for _ in range(10):
+        emit("cube",
+             f"SEL L_RETURNFLAG, L_LINESTATUS, SUM(L_QUANTITY) FROM LINEITEM "
+             f"WHERE L_PARTKEY > {rng.randrange(0, 15)} "
+             f"GROUP BY CUBE (L_RETURNFLAG, L_LINESTATUS)")
+    for _ in range(10):
+        emit("grouping_sets",
+             f"SEL L_RETURNFLAG, L_SHIPMODE, SUM(L_EXTENDEDPRICE) "
+             f"FROM LINEITEM WHERE L_SUPPKEY >= {rng.randrange(0, 4)} "
+             f"GROUP BY GROUPING SETS ((L_RETURNFLAG), (L_SHIPMODE))")
+
+    # -- vector subqueries and quantified predicates (25) --------------------------
+    for _ in range(9):
+        bal = rng.randrange(1000, 8000)
+        emit("vector_any",
+             f"SEL C_NAME FROM CUSTOMER "
+             f"WHERE (C_ACCTBAL, C_NATIONKEY) > "
+             f"ANY (SEL C_ACCTBAL, C_NATIONKEY FROM CUSTOMER "
+             f"WHERE C_ACCTBAL > {bal}) "
+             f"ORDER BY C_NAME")
+    for _ in range(8):
+        status = rng.choice(["'O'", "'F'", "'P'"])
+        emit("in_subquery",
+             f"SEL C_NAME FROM CUSTOMER "
+             f"WHERE C_CUSTKEY IN (SEL O_CUSTKEY FROM ORDERS "
+             f"WHERE O_ORDERSTATUS = {status}) ORDER BY C_NAME")
+    # No end-anchored patterns ('%ST'): CHAR columns are blank-padded on
+    # targets with a true CHAR type, so a trailing anchor is a genuine
+    # cross-dialect incompatibility rather than a translation defect.
+    for _ in range(8):
+        patterns = rng.sample(
+            ["'A%'", "'EU%'", "'M%'", "'AF%'", "'%IC%'", "'%AS%'"], k=2)
+        emit("like_any",
+             f"SEL R_NAME FROM REGION "
+             f"WHERE R_NAME LIKE ANY ({', '.join(patterns)}) ORDER BY 1")
+
+    # -- QUALIFY (20) --------------------------------------------------------------
+    for _ in range(7):
+        n = rng.randrange(2, 8)
+        emit("qualify_rownum",
+             f"SEL O_ORDERKEY, O_TOTALPRICE FROM ORDERS "
+             f"QUALIFY ROW_NUMBER() OVER "
+             f"(ORDER BY O_TOTALPRICE DESC, O_ORDERKEY) <= {n}")
+    for _ in range(7):
+        n = rng.randrange(1, 4)
+        emit("qualify_partition",
+             f"SEL L_ORDERKEY, L_LINENUMBER FROM LINEITEM "
+             f"QUALIFY ROW_NUMBER() OVER (PARTITION BY L_ORDERKEY "
+             f"ORDER BY L_EXTENDEDPRICE DESC, L_LINENUMBER) <= {n} "
+             f"ORDER BY L_ORDERKEY, L_LINENUMBER")
+    for _ in range(6):
+        n = rng.randrange(2, 6)
+        emit("qualify_legacy",
+             f"SEL C_NAME FROM CUSTOMER QUALIFY RANK(C_ACCTBAL DESC) <= {n}")
+
+    # -- Teradata scalar idioms (20) -----------------------------------------------
+    for _ in range(7):
+        length = rng.randrange(12, 22)
+        emit("chars",
+             f"SEL C_NAME FROM CUSTOMER WHERE CHARS(C_NAME) > {length} "
+             f"ORDER BY C_NAME")
+    for _ in range(7):
+        emit("zeroifnull",
+             f"SEL K, ZEROIFNULL(V) + {rng.randrange(0, 5)} FROM CONF_NULLS "
+             f"ORDER BY K")
+    for _ in range(6):
+        emit("nullifzero",
+             f"SEL K, NULLIFZERO(V - {rng.choice([5, 10, 20])}) "
+             f"FROM CONF_NULLS WHERE V IS NOT NULL ORDER BY K")
+
+    # -- EXISTS and scalar subqueries (15) -----------------------------------------
+    for _ in range(8):
+        bal = rng.randrange(0, 5000)
+        emit("exists",
+             f"SEL N_NAME FROM NATION WHERE EXISTS "
+             f"(SEL 1 FROM SUPPLIER WHERE S_NATIONKEY = N_NATIONKEY "
+             f"AND S_ACCTBAL > {bal}) ORDER BY N_NAME")
+    for _ in range(7):
+        emit("scalar_subquery",
+             f"SEL O_ORDERKEY FROM ORDERS "
+             f"WHERE O_TOTALPRICE > (SEL AVG(O_TOTALPRICE) + {rng.randrange(0, 9000)} "
+             f"FROM ORDERS) ORDER BY O_ORDERKEY")
+
+    # -- implicit (comma) joins (15) -----------------------------------------------
+    for _ in range(8):
+        emit("implicit_join",
+             f"SEL N_NAME, R_NAME FROM NATION, REGION "
+             f"WHERE N_REGIONKEY = R_REGIONKEY "
+             f"AND N_NATIONKEY > {rng.randrange(0, 15)} ORDER BY N_NAME")
+    for _ in range(7):
+        emit("join_agg",
+             f"SEL C_MKTSEGMENT, COUNT(*), SUM(O_TOTALPRICE) "
+             f"FROM CUSTOMER, ORDERS WHERE C_CUSTKEY = O_CUSTKEY "
+             f"AND O_ORDERKEY > {rng.randrange(0, 50)} "
+             f"GROUP BY C_MKTSEGMENT")
+
+    # -- aggregates, HAVING, DISTINCT (15) -----------------------------------------
+    for _ in range(8):
+        n = rng.randrange(1, 5)
+        emit("having",
+             f"SEL L_SHIPMODE, COUNT(*), MIN(L_QUANTITY), MAX(L_QUANTITY) "
+             f"FROM LINEITEM GROUP BY L_SHIPMODE HAVING COUNT(*) > {n}")
+    for _ in range(7):
+        emit("distinct",
+             f"SEL DISTINCT O_ORDERSTATUS, O_ORDERPRIORITY FROM ORDERS "
+             f"WHERE O_SHIPPRIORITY = {rng.choice([0, 0, 1])} "
+             f"ORDER BY 1, 2")
+
+    # -- reserved-word identifiers (5) ---------------------------------------------
+    for bound in (0, 1, 2, 3, 9):
+        emit("reserved_ident",
+             f'SEL "SELECT", "FROM" FROM CONF_RSVD '
+             f'WHERE "SELECT" > {bound} ORDER BY "SELECT"')
+
+    # -- MERGE and DML on CONF_TARGET, each followed by verification (20) ----------
+    # Ordering matters: every leg applies the same mutations in lockstep, so
+    # the verification SELECT after each DML compares the mutated state.
+    verify = ("SEL PK, NAME, QTY, PRICE FROM CONF_TARGET ORDER BY PK")
+    emit("merge", "MERGE INTO CONF_TARGET USING CONF_DELTA D "
+                  "ON CONF_TARGET.PK = D.PK "
+                  "WHEN MATCHED THEN UPDATE SET QTY = D.QTY, PRICE = D.PRICE "
+                  "WHEN NOT MATCHED THEN INSERT (PK, NAME, QTY, PRICE) "
+                  "VALUES (D.PK, D.NAME, D.QTY, D.PRICE)")
+    emit("merge", verify)
+    emit("merge", "MERGE INTO CONF_TARGET USING CONF_DELTA D "
+                  "ON CONF_TARGET.PK = D.PK AND D.QTY > 5 "
+                  "WHEN MATCHED THEN UPDATE SET QTY = CONF_TARGET.QTY + D.QTY")
+    emit("merge", verify)
+    for qty, price in ((7, "11.50"), (2, "8.00"), (12, "30.25")):
+        emit("dml", f"UPD CONF_TARGET SET QTY = QTY + {qty} "
+                    f"WHERE PRICE < {price}")
+        emit("dml", verify)
+    emit("dml", "INSERT INTO CONF_TARGET VALUES (90, 'gale', 4, 44.00)")
+    emit("dml", verify)
+    emit("dml", "DEL FROM CONF_TARGET WHERE QTY > 30")
+    emit("dml", verify)
+    for _ in range(6):
+        emit("dml", f"SEL NAME, QTY * PRICE FROM CONF_TARGET "
+                    f"WHERE QTY >= {rng.randrange(0, 6)} ORDER BY NAME")
+
+    return out
+
+
+if __name__ == "__main__":
+    statements = generate_statements()
+    print(f"{len(statements)} statements")
+    for name, sql in statements:
+        print(f"{name}: {sql}")

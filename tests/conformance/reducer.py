@@ -1,0 +1,258 @@
+"""RISE-style statement reducer: shrink a disagreement to a minimal repro.
+
+The reducer never parses SQL with the real grammar. It tokenizes just enough
+to find paren-depth-0 clause boundaries, then greedily applies shrinking
+passes — delete a whole clause, delete a select-list item, delete a
+parenthesized-list item, delete an AND/OR conjunct, shrink a literal — and
+keeps any candidate for which the caller-supplied predicate still reports a
+disagreement. Invalid candidates take care of themselves: a statement both
+sides reject is an *agreement* (both-error), so the predicate rejects it.
+
+Passes loop to a fixpoint, so a 9-clause query typically lands on the 2-3
+clauses that actually trigger the diverging serializer path.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterator, Optional
+
+#: Keywords that open a new top-level clause in a SELECT statement.
+_CLAUSE_HEADS = ("SELECT", "SEL", "FROM", "WHERE", "GROUP", "HAVING",
+                 "QUALIFY", "ORDER")
+
+_WORD = re.compile(r"[A-Za-z_][A-Za-z_0-9]*")
+
+
+def reducible(sql: str) -> bool:
+    """Only read-only statements are safe to re-run while shrinking."""
+    head = sql.lstrip().split(None, 1)
+    return bool(head) and head[0].upper() in ("SEL", "SELECT", "WITH")
+
+
+# -- lightweight scanning -------------------------------------------------------------
+
+
+def _scan(sql: str) -> Iterator[tuple[int, int, str]]:
+    """Yield ``(position, depth, word)`` for every word outside literals."""
+    depth = 0
+    index = 0
+    while index < len(sql):
+        char = sql[index]
+        if char in ("'", '"'):
+            quote = char
+            index += 1
+            while index < len(sql):
+                if sql[index] == quote:
+                    if index + 1 < len(sql) and sql[index + 1] == quote:
+                        index += 2
+                        continue
+                    break
+                index += 1
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        else:
+            match = _WORD.match(sql, index)
+            if match:
+                yield match.start(), depth, match.group().upper()
+                index = match.end()
+                continue
+        index += 1
+
+
+def clause_count(sql: str) -> int:
+    """Number of top-level clauses — the reducer's minimality metric."""
+    return sum(1 for __, depth, word in _scan(sql)
+               if depth == 0 and word in _CLAUSE_HEADS)
+
+
+def _clause_spans(sql: str) -> list[tuple[str, int, int]]:
+    """``(head_word, start, end)`` for every depth-0 clause, in order."""
+    heads = [(pos, word) for pos, depth, word in _scan(sql)
+             if depth == 0 and word in _CLAUSE_HEADS]
+    spans = []
+    for i, (pos, word) in enumerate(heads):
+        end = heads[i + 1][0] if i + 1 < len(heads) else len(sql)
+        spans.append((word, pos, end))
+    return spans
+
+
+def _top_level_commas(sql: str, start: int, end: int) -> list[int]:
+    """Positions of paren-depth-0 commas inside ``sql[start:end]``."""
+    commas = []
+    depth = 0
+    index = start
+    while index < end:
+        char = sql[index]
+        if char in ("'", '"'):
+            quote = char
+            index += 1
+            while index < end:
+                if sql[index] == quote:
+                    if index + 1 < end and sql[index + 1] == quote:
+                        index += 2
+                        continue
+                    break
+                index += 1
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif char == "," and depth == 0:
+            commas.append(index)
+        index += 1
+    return commas
+
+
+def _splice(sql: str, start: int, end: int, replacement: str = "") -> str:
+    return (sql[:start] + replacement + sql[end:]).strip()
+
+
+# -- shrinking passes: each yields candidate statements -------------------------------
+
+
+def _drop_clauses(sql: str) -> Iterator[str]:
+    """Delete one optional clause (everything except SELECT/FROM)."""
+    for word, start, end in _clause_spans(sql):
+        if word not in ("SELECT", "SEL", "FROM"):
+            yield _splice(sql, start, end, " ")
+
+
+def _drop_list_items(sql: str) -> Iterator[str]:
+    """Delete one item of the select list (keep at least one item)."""
+    for word, start, end in _clause_spans(sql):
+        if word not in ("SELECT", "SEL"):
+            continue
+        body_start = start + len(word)
+        commas = _top_level_commas(sql, body_start, end)
+        if not commas:
+            continue
+        edges = [body_start] + commas + [end]
+        for i in range(len(edges) - 1):
+            item_start = edges[i] + (0 if i == 0 else 1)
+            item_end = edges[i + 1]
+            if i + 1 < len(edges) - 1:
+                item_end += 1  # swallow the trailing comma instead
+            yield _splice(sql, item_start, item_end, " ")
+
+
+def _drop_paren_items(sql: str) -> Iterator[str]:
+    """Delete one element of any parenthesized comma list with ≥2 items."""
+    for open_pos, char in enumerate(sql):
+        if char != "(":
+            continue
+        depth = 0
+        close_pos = None
+        for index in range(open_pos, len(sql)):
+            if sql[index] == "(":
+                depth += 1
+            elif sql[index] == ")":
+                depth -= 1
+                if depth == 0:
+                    close_pos = index
+                    break
+        if close_pos is None:
+            continue
+        commas = _top_level_commas(sql, open_pos + 1, close_pos)
+        if not commas:
+            continue
+        edges = [open_pos] + commas + [close_pos]
+        for i in range(len(edges) - 1):
+            yield _splice(sql, edges[i] + 1,
+                          edges[i + 1] + (1 if i + 1 < len(edges) - 1 else 0),
+                          " ")
+
+
+def _drop_conjuncts(sql: str) -> Iterator[str]:
+    """Delete one side of a depth-0 AND/OR inside WHERE/HAVING/QUALIFY."""
+    for word, start, end in _clause_spans(sql):
+        if word not in ("WHERE", "HAVING", "QUALIFY"):
+            continue
+        joins = [(pos, w) for pos, depth, w in _scan(sql)
+                 if depth == 0 and start < pos < end and w in ("AND", "OR")]
+        if not joins:
+            continue
+        body_start = start + len(word)
+        edges = [body_start] + [pos for pos, __ in joins] + [end]
+        for i in range(len(edges) - 1):
+            lo = edges[i]
+            hi = edges[i + 1]
+            if i > 0:
+                lo += len(joins[i - 1][1])  # keep the preceding AND/OR out
+            if i + 1 < len(edges) - 1:
+                hi += len(joins[i][1])      # swallow the following AND/OR
+            yield _splice(sql, lo, hi, " ")
+
+
+_NUMBER = re.compile(r"\b\d+(?:\.\d+)?\b")
+_STRING = re.compile(r"'(?:[^']|'')+'")
+
+
+def _shrink_literals(sql: str) -> Iterator[str]:
+    """Replace one numeric literal with 0 (or 1), one string with ''."""
+    for match in _NUMBER.finditer(sql):
+        for small in ("0", "1"):
+            if match.group() != small:
+                yield _splice(sql, match.start(), match.end(), small)
+    for match in _STRING.finditer(sql):
+        yield _splice(sql, match.start(), match.end(), "''")
+
+
+_PASSES = (_drop_clauses, _drop_list_items, _drop_paren_items,
+           _drop_conjuncts, _shrink_literals)
+
+
+def _normalize_ws(sql: str) -> str:
+    out = []
+    index = 0
+    while index < len(sql):
+        char = sql[index]
+        if char in ("'", '"'):
+            quote = char
+            end = index + 1
+            while end < len(sql):
+                if sql[end] == quote:
+                    if end + 1 < len(sql) and sql[end + 1] == quote:
+                        end += 2
+                        continue
+                    break
+                end += 1
+            out.append(sql[index:end + 1])
+            index = end + 1
+        elif char.isspace():
+            if out and out[-1] != " ":
+                out.append(" ")
+            index += 1
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out).strip()
+
+
+def reduce_statement(sql: str, still_fails: Callable[[str], bool],
+                     max_rounds: int = 25) -> str:
+    """Greedy fixpoint reduction of *sql* under the *still_fails* oracle.
+
+    The predicate must return True when a candidate still reproduces the
+    disagreement. The original statement is assumed to fail; the result is
+    1-minimal with respect to the passes (no single pass step fails).
+    """
+    current = _normalize_ws(sql)
+    seen = {current}
+    for _ in range(max_rounds):
+        improved = False
+        for shrink_pass in _PASSES:
+            for candidate in shrink_pass(current):
+                candidate = _normalize_ws(candidate)
+                if len(candidate) >= len(current) or candidate in seen:
+                    continue
+                seen.add(candidate)
+                if still_fails(candidate):
+                    current = candidate
+                    improved = True
+                    break   # restart the pass on the smaller statement
+        if not improved:
+            break
+    return current

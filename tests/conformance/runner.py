@@ -1,0 +1,339 @@
+"""Differential conformance runner: one statement, every dialect, one truth.
+
+The matrix keeps a live Hyper-Q engine per capability profile in
+:data:`PROFILES`, all fed the *same* Teradata statement stream in lockstep.
+Each statement is translated by the full pipeline (parse → bind → transform →
+serialize) for its profile and cross-executed on an in-memory backend
+configured with that profile — backtick/bracket quoting, dialect type names,
+TOP-vs-LIMIT and all. The oracle leg is direct Teradata-frontend execution
+against the reference target (``hyperion``): whatever the customer's
+application observed on Teradata must be what every cloud translation
+produces. Row results compare as multisets unless the source statement has a
+top-level ORDER BY, in which case sequence order must match too.
+
+Run one cell of the matrix locally::
+
+    PYTHONPATH=src python -m tests.conformance.runner --profile skyquery \
+        --corpus golden --name group_by_cube
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import decimal
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+#: Execution profiles of the matrix. The first entry is the oracle: the
+#: reference target whose results stand in for "what Teradata returned".
+#: ("teradata" itself is the *source* grammar, not an executable target.)
+PROFILES = ("hyperion", "hyperion_plus", "meadowshift", "skyquery",
+            "azuresynth", "snowfield")
+
+ORACLE = PROFILES[0]
+
+#: Rows shown per side in a disagreement report.
+_REPORT_ROWS = 12
+
+
+# -- result normalization ------------------------------------------------------------
+
+
+def normalize_value(value: object) -> object:
+    """Collapse representation differences that are not semantic ones.
+
+    Exact numerics (int / Decimal) unify on their exact decimal string so a
+    ``DECIMAL(8,2)`` leg agrees with a ``NUMBER(18,2)`` leg; floats round to
+    9 significant decimals to absorb re-association across plan shapes.
+    """
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, decimal.Decimal):
+        text = format(value.normalize(), "f")
+        return ("n", text.rstrip("0").rstrip(".") if "." in text else text)
+    if isinstance(value, int):
+        return ("n", str(value))
+    if isinstance(value, float):
+        return ("f", f"{value:.9g}")
+    if isinstance(value, (datetime.date, datetime.time, datetime.datetime)):
+        return ("t", value.isoformat())
+    if value is None:
+        return ("z",)
+    # ANSI PAD SPACE: trailing blanks are insignificant in CHAR comparison,
+    # and dialects without a fixed-width CHAR type (e.g. STRING) store the
+    # unpadded form. Strip them so both spellings agree.
+    return ("s", str(value).rstrip(" "))
+
+
+def normalize_rows(rows: Iterable[tuple]) -> list[tuple]:
+    return [tuple(normalize_value(v) for v in row) for row in rows]
+
+
+def is_order_sensitive(sql: str) -> bool:
+    """True when *sql* has a top-level ORDER BY (paren-depth-0 scan)."""
+    depth = 0
+    index = 0
+    while index < len(sql):
+        char = sql[index]
+        if char == "'" or char == '"':
+            quote = char
+            index += 1
+            while index < len(sql):
+                if sql[index] == quote:
+                    if index + 1 < len(sql) and sql[index + 1] == quote:
+                        index += 2
+                        continue
+                    break
+                index += 1
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif depth == 0 and (char.isalpha() or char == "_"):
+            start = index
+            while index + 1 < len(sql) and (sql[index + 1].isalnum()
+                                            or sql[index + 1] == "_"):
+                index += 1
+            if sql[start:index + 1].upper() == "ORDER":
+                return True
+        index += 1
+    return False
+
+
+# -- matrix cells ---------------------------------------------------------------------
+
+
+@dataclass
+class Cell:
+    """One (statement, profile) execution outcome."""
+
+    profile: str
+    kind: str                       # "rows" | "count" | "ok" | "error"
+    rows: Optional[list[tuple]]     # raw values, display order
+    rowcount: int
+    error: Optional[str]
+    target_sql: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.kind == "error":
+            return f"error: {self.error}"
+        if self.kind == "rows":
+            return f"{len(self.rows or [])} row(s)"
+        if self.kind == "count":
+            return f"count={self.rowcount}"
+        return "ok"
+
+
+@dataclass
+class Disagreement:
+    """A matrix cell that diverged from the oracle leg."""
+
+    name: str
+    statement: str
+    profile: str
+    reason: str
+    oracle: Cell
+    subject: Cell
+
+
+class Matrix:
+    """Lockstep sessions over every profile; statement-at-a-time checking."""
+
+    def __init__(self, profiles: Iterable[str] = PROFILES,
+                 oracle: str = ORACLE, **engine_kwargs):
+        from repro.core.engine import HyperQ
+
+        self.oracle_name = oracle
+        self.profiles = list(dict.fromkeys([oracle, *profiles]))
+        self._engines = {name: HyperQ(target=name, **engine_kwargs)
+                         for name in self.profiles}
+        self._sessions = {name: engine.create_session()
+                          for name, engine in self._engines.items()}
+
+    def engine(self, profile: str):
+        return self._engines[profile]
+
+    def close(self) -> None:
+        for session in self._sessions.values():
+            session.close()
+
+    # -- execution --------------------------------------------------------------------
+
+    def _execute_cell(self, profile: str, sql: str) -> Cell:
+        session = self._sessions[profile]
+        try:
+            result = session.execute(sql)
+        except Exception as exc:  # typed engine errors — keep the taxonomy
+            return Cell(profile, "error", None, 0,
+                        f"{type(exc).__name__}: {exc}")
+        try:
+            rows = list(result.rows) if result.kind == "rows" else None
+            cell = Cell(profile, result.kind, rows, result.rowcount,
+                        None, list(result.target_sql))
+        finally:
+            result.close()
+        return cell
+
+    def execute_all(self, sql: str) -> dict[str, Cell]:
+        return {profile: self._execute_cell(profile, sql)
+                for profile in self.profiles}
+
+    def run_setup(self, statements: Iterable[str]) -> None:
+        """Run schema/data statements on every leg; all must succeed."""
+        for sql in statements:
+            for profile, cell in self.execute_all(sql).items():
+                if cell.kind == "error":
+                    raise AssertionError(
+                        f"setup statement failed on {profile}: {cell.error}\n"
+                        f"  {sql}")
+
+    # -- comparison -------------------------------------------------------------------
+
+    def check(self, sql: str, name: str = "<statement>",
+              cells: Optional[dict[str, Cell]] = None) -> list[Disagreement]:
+        """Execute *sql* everywhere; return each leg's disagreement, if any.
+
+        Pass *cells* to compare an :meth:`execute_all` result without
+        re-executing (mutating statements must run exactly once per leg).
+        """
+        if cells is None:
+            cells = self.execute_all(sql)
+        oracle = cells[self.oracle_name]
+        ordered = is_order_sensitive(sql)
+        out = []
+        for profile in self.profiles:
+            if profile == self.oracle_name:
+                continue
+            reason = _compare(oracle, cells[profile], ordered)
+            if reason is not None:
+                out.append(Disagreement(name, sql, profile, reason,
+                                        oracle, cells[profile]))
+        return out
+
+
+def _compare(oracle: Cell, subject: Cell, ordered: bool) -> Optional[str]:
+    if oracle.kind == "error" and subject.kind == "error":
+        return None  # both sides reject — message texts may differ
+    if oracle.kind != subject.kind:
+        return (f"result kind differs: oracle {oracle.summary()}, "
+                f"{subject.profile} {subject.summary()}")
+    if oracle.kind == "count" and oracle.rowcount != subject.rowcount:
+        return (f"affected-row count differs: oracle {oracle.rowcount}, "
+                f"{subject.profile} {subject.rowcount}")
+    if oracle.kind != "rows":
+        return None
+    left = normalize_rows(oracle.rows or [])
+    right = normalize_rows(subject.rows or [])
+    if ordered:
+        if left != right:
+            return "ordered row sequence differs"
+        return None
+    if sorted(left, key=repr) != sorted(right, key=repr):
+        return "row multiset differs"
+    return None
+
+
+# -- reporting ------------------------------------------------------------------------
+
+
+def _rows_block(cell: Cell) -> str:
+    if cell.kind == "error":
+        return f"  {cell.error}"
+    if cell.kind != "rows":
+        return f"  {cell.summary()}"
+    rows = cell.rows or []
+    lines = [f"  {row!r}" for row in rows[:_REPORT_ROWS]]
+    if len(rows) > _REPORT_ROWS:
+        lines.append(f"  ... {len(rows) - _REPORT_ROWS} more row(s)")
+    if not lines:
+        lines = ["  (no rows)"]
+    return "\n".join(lines)
+
+
+def format_report(disagreement: Disagreement,
+                  reduced: Optional[str] = None) -> str:
+    """A disagreement as a human-readable repro: minimal statement first,
+    then both result sets, then the diverging serializer outputs."""
+    d = disagreement
+    lines = [
+        f"conformance disagreement [{d.profile}] on '{d.name}': {d.reason}",
+        f"statement: {d.statement}",
+    ]
+    if reduced is not None and reduced != d.statement:
+        lines.append(f"reduced repro: {reduced}")
+    lines.append(f"oracle ({d.oracle.profile}) result:")
+    lines.append(_rows_block(d.oracle))
+    lines.append(f"{d.profile} result:")
+    lines.append(_rows_block(d.subject))
+    lines.append(f"oracle ({d.oracle.profile}) target SQL:")
+    lines += [f"  {sql}" for sql in d.oracle.target_sql] or ["  (none)"]
+    lines.append(f"{d.profile} target SQL:")
+    lines += [f"  {sql}" for sql in d.subject.target_sql] or ["  (none)"]
+    return "\n".join(lines)
+
+
+def report_with_reduction(matrix: Matrix, disagreement: Disagreement) -> str:
+    """Shrink the failing statement (read-only statements only) and format."""
+    from tests.conformance.reducer import reduce_statement, reducible
+
+    reduced = None
+    if reducible(disagreement.statement):
+        target = disagreement.profile
+
+        def still_fails(candidate: str) -> bool:
+            return any(d.profile == target
+                       for d in matrix.check(candidate, disagreement.name))
+
+        reduced = reduce_statement(disagreement.statement, still_fails)
+    return format_report(disagreement, reduced)
+
+
+# -- CLI: run one matrix cell ---------------------------------------------------------
+
+
+def _cli(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run one cell of the conformance matrix")
+    parser.add_argument("--profile", required=True,
+                        help=f"target profile ({', '.join(PROFILES[1:])})")
+    parser.add_argument("--corpus", default="golden",
+                        choices=("golden", "generated"))
+    parser.add_argument("--name", default=None,
+                        help="statement name (default: every statement)")
+    args = parser.parse_args(argv)
+    if args.profile not in PROFILES or args.profile == ORACLE:
+        parser.error(f"--profile must be one of {', '.join(PROFILES[1:])}")
+
+    if args.corpus == "golden":
+        from tests.golden.corpus import CORPUS, SETUP
+        setup, statements = SETUP, CORPUS
+    else:
+        from tests.conformance.generator import (
+            GENERATOR_SETUP, generate_statements, load_tpch,
+        )
+        setup, statements = GENERATOR_SETUP, generate_statements()
+
+    matrix = Matrix(profiles=(ORACLE, args.profile))
+    if args.corpus == "generated":
+        load_tpch(matrix)
+    matrix.run_setup(setup)
+    failures = 0
+    checked = 0
+    for name, sql in statements:
+        if args.name is not None and name != args.name:
+            continue
+        checked += 1
+        for disagreement in matrix.check(sql, name):
+            failures += 1
+            print(report_with_reduction(matrix, disagreement))
+            print()
+    matrix.close()
+    print(f"{checked} statement(s) checked against {args.profile}; "
+          f"{failures} disagreement(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(_cli())

@@ -1,0 +1,147 @@
+"""The reducer, proven on a seeded serializer bug.
+
+The headline test plants a real defect — a meadowshift serializer that spells
+``>`` as ``>=`` — builds a two-profile matrix, and shows the conformance
+harness (a) catches the divergence and (b) shrinks a sprawling multi-clause
+query to a minimal reproducer of at most 3 top-level clauses that still
+triggers the bug. The remaining tests pin the reducer's text surgery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serializer import dialects
+from repro.xtra import scalars as s
+from tests.conformance.reducer import (
+    clause_count, reduce_statement, reducible,
+)
+from tests.conformance.runner import Matrix, format_report
+
+
+class _GreaterSpelledGreaterEqual(dialects.PostgresSerializer):
+    """Seeded bug: every ``>`` comparison is serialized as ``>=``."""
+
+    def render_expr(self, expr, env):
+        if isinstance(expr, s.Comp) and expr.op is s.CompOp.GT:
+            left = self.render_expr(expr.left, env)
+            right = self.render_expr(expr.right, env)
+            return f"{left} >= {right}"
+        return super().render_expr(expr, env)
+
+
+@pytest.fixture
+def buggy_matrix(monkeypatch):
+    """A hyperion/meadowshift matrix whose meadowshift leg has the bug.
+
+    Serializers are instantiated per engine from the registry, so patching
+    the registry before building the matrix is all it takes.
+    """
+    monkeypatch.setitem(dialects._SERIALIZERS, "meadowshift",
+                        _GreaterSpelledGreaterEqual)
+    matrix = Matrix(profiles=("hyperion", "meadowshift"))
+    matrix.run_setup([
+        "CREATE TABLE M (GRP VARCHAR(1), K INTEGER, V INTEGER)",
+        """INSERT INTO M VALUES
+            ('a', 1, 10), ('a', 2, 20), ('a', 3, 30),
+            ('b', 4, 20), ('b', 5, 40), ('c', 6, 50)""",
+    ])
+    yield matrix
+    matrix.close()
+
+
+# A deliberately baggy statement: 7 top-level clauses, multi-item select
+# list, conjunction chain. Only `V > 20` touches the seeded bug (the
+# boundary row V = 20 flips sides under `>=`).
+SEEDED_QUERY = ("SEL GRP, K, V, V + 1 FROM M "
+                "WHERE V > 20 AND K < 9 AND GRP <> 'z' "
+                "GROUP BY GRP, K, V HAVING COUNT(*) >= 1 "
+                "QUALIFY ROW_NUMBER() OVER (ORDER BY K) >= 1 "
+                "ORDER BY GRP, K")
+
+
+def test_seeded_bug_is_caught(buggy_matrix):
+    disagreements = buggy_matrix.check(SEEDED_QUERY, "seeded")
+    assert [d.profile for d in disagreements] == ["meadowshift"]
+    report = format_report(disagreements[0])
+    assert ">= 20" in "\n".join(disagreements[0].subject.target_sql)
+    assert "meadowshift" in report and "target SQL" in report
+
+
+def test_seeded_bug_reduces_to_three_clauses(buggy_matrix):
+    assert reducible(SEEDED_QUERY)
+
+    def still_fails(candidate: str) -> bool:
+        return any(d.profile == "meadowshift"
+                   for d in buggy_matrix.check(candidate, "seeded"))
+
+    assert still_fails(SEEDED_QUERY)
+    reduced = reduce_statement(SEEDED_QUERY, still_fails)
+    assert still_fails(reduced), "reduction lost the disagreement"
+    assert clause_count(reduced) <= 3, reduced
+    assert len(reduced) < len(SEEDED_QUERY)
+    # The essential trigger survives: a strict > comparison.
+    assert ">" in reduced
+
+
+def test_clean_matrix_has_no_disagreement_on_seeded_query():
+    matrix = Matrix(profiles=("hyperion", "meadowshift"))
+    matrix.run_setup([
+        "CREATE TABLE M (GRP VARCHAR(1), K INTEGER, V INTEGER)",
+        "INSERT INTO M VALUES ('a', 1, 10), ('a', 2, 20), ('b', 5, 40)",
+    ])
+    assert matrix.check(SEEDED_QUERY, "seeded") == []
+    matrix.close()
+
+
+# -- text-surgery unit tests ----------------------------------------------------------
+
+
+def test_clause_count_ignores_nested_clauses():
+    sql = ("SELECT A FROM T WHERE X IN (SELECT B FROM U WHERE Y > 1) "
+           "ORDER BY A")
+    assert clause_count(sql) == 4  # SELECT, FROM, WHERE, ORDER
+
+
+def test_clause_count_ignores_string_literals():
+    assert clause_count("SELECT 'WHERE ORDER FROM' FROM T") == 2
+
+
+def test_reducible_only_for_read_only_statements():
+    assert reducible("SEL A FROM T")
+    assert reducible("  select a from t")
+    assert reducible("WITH X AS (SELECT 1) SELECT * FROM X")
+    assert not reducible("UPDATE T SET A = 1")
+    assert not reducible("DELETE FROM T")
+    assert not reducible("MERGE INTO T USING U ON T.A = U.A "
+                         "WHEN MATCHED THEN UPDATE SET A = 2")
+
+
+def test_reduce_drops_irrelevant_clauses():
+    # Predicate: any candidate still containing the magic token "fails".
+    def still_fails(sql: str) -> bool:
+        return "QUALIFY" in sql.upper()
+
+    reduced = reduce_statement(
+        "SEL A, B FROM T WHERE A > 1 QUALIFY ROW_NUMBER() OVER "
+        "(ORDER BY A) <= 2 ORDER BY B", still_fails)
+    assert "QUALIFY" in reduced
+    assert "WHERE" not in reduced
+    assert "ORDER BY B" not in reduced
+    assert clause_count(reduced) <= 3
+
+
+def test_reduce_shrinks_select_list_and_literals():
+    def still_fails(sql: str) -> bool:
+        return "ZEROIFNULL" in sql
+
+    reduced = reduce_statement(
+        "SEL A, ZEROIFNULL(B), C, D FROM T WHERE X = 12345", still_fails)
+    assert "ZEROIFNULL" in reduced
+    assert "C" not in reduced and "D" not in reduced
+    assert "12345" not in reduced
+
+
+def test_reduce_keeps_original_when_nothing_smaller_fails():
+    sql = "SEL A FROM T"
+    assert reduce_statement(sql, lambda c: c == sql) == sql

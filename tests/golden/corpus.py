@@ -160,12 +160,19 @@ CORPUS = [
 ]
 
 
-def run_corpus():
-    """Execute the corpus on one fresh engine; yield
-    ``(name, target_sql_list, trace_summary)`` per statement."""
+# Every target profile the golden corpus is pinned for. "hyperion" is the
+# default target and keeps the flat expected/<name>.sql + .trace layout; the
+# other dialects check in SQL only, under expected/<dialect>/<name>.sql.
+GOLDEN_DIALECTS = ("hyperion", "hyperion_plus", "meadowshift", "skyquery",
+                   "azuresynth", "snowfield")
+
+
+def run_corpus(target: str = "hyperion"):
+    """Execute the corpus on one fresh engine translating for *target*;
+    yield ``(name, target_sql_list, trace_summary)`` per statement."""
     from repro.core.engine import HyperQ
 
-    engine = HyperQ()
+    engine = HyperQ(target=target)
     session = engine.create_session()
     for sql in SETUP:
         session.execute(sql).close()

@@ -1,42 +1,137 @@
 """Regenerate the golden corpus files: ``python -m tests.golden.regen``.
 
 Writes ``tests/golden/expected/<name>.sql`` (exact target SQL) and
-``<name>.trace`` (stage + rule summary) for every corpus statement, and
-removes stale files for statements no longer in the corpus. Output is
-deterministic: running regen twice produces byte-identical files.
+``<name>.trace`` (stage + rule summary) for every corpus statement against
+the default target, and removes stale files for statements no longer in the
+corpus. ``--dialect <name>`` regenerates one cloud dialect's SQL under
+``expected/<dialect>/``; ``--dialect all`` covers every dialect. ``--check``
+writes nothing and instead exits non-zero with a unified diff naming each
+dialect that drifted. Output is deterministic: running regen twice produces
+byte-identical files.
 """
 
 from __future__ import annotations
 
+import argparse
+import difflib
 import pathlib
 import sys
 
-from tests.golden.corpus import render_sql, render_summary, run_corpus
+from tests.golden.corpus import (
+    GOLDEN_DIALECTS, render_sql, render_summary, run_corpus,
+)
 
 EXPECTED_DIR = pathlib.Path(__file__).resolve().parent / "expected"
 
 
-def regenerate() -> list[str]:
-    """Write all expected files; returns the corpus names written."""
+def expected_files(dialect: str) -> dict[str, str]:
+    """Run the corpus for *dialect*; map relative file path -> content.
+
+    The default dialect pins SQL and trace summaries in the flat layout;
+    cloud dialects pin SQL only, under ``expected/<dialect>/``.
+    """
+    files: dict[str, str] = {}
+    for name, targets, summary in run_corpus(dialect):
+        if dialect == GOLDEN_DIALECTS[0]:
+            files[f"{name}.sql"] = render_sql(targets)
+            files[f"{name}.trace"] = render_summary(summary)
+        else:
+            files[f"{dialect}/{name}.sql"] = render_sql(targets)
+    return files
+
+
+def _checked_in(dialect: str) -> dict[str, str]:
+    """The on-disk golden files of one dialect, path -> content."""
+    if dialect == GOLDEN_DIALECTS[0]:
+        root, prefix = EXPECTED_DIR, ""
+    else:
+        root, prefix = EXPECTED_DIR / dialect, f"{dialect}/"
+    if not root.is_dir():
+        return {}
+    return {
+        f"{prefix}{path.name}": path.read_text(encoding="utf-8")
+        for path in root.iterdir()
+        if path.is_file() and path.suffix in (".sql", ".trace")
+    }
+
+
+def regenerate(dialects: list[str] | None = None) -> list[str]:
+    """Write the expected files of *dialects*; returns the paths written."""
     EXPECTED_DIR.mkdir(exist_ok=True)
-    names = []
-    for name, targets, summary in run_corpus():
-        names.append(name)
-        (EXPECTED_DIR / f"{name}.sql").write_text(
-            render_sql(targets), encoding="utf-8")
-        (EXPECTED_DIR / f"{name}.trace").write_text(
-            render_summary(summary), encoding="utf-8")
-    keep = {f"{name}.sql" for name in names} \
-        | {f"{name}.trace" for name in names}
-    for stale in EXPECTED_DIR.iterdir():
-        if stale.name not in keep and stale.suffix in (".sql", ".trace"):
-            stale.unlink()
-    return names
+    written: list[str] = []
+    for dialect in dialects or [GOLDEN_DIALECTS[0]]:
+        files = expected_files(dialect)
+        for relative, content in files.items():
+            path = EXPECTED_DIR / relative
+            path.parent.mkdir(exist_ok=True)
+            path.write_text(content, encoding="utf-8")
+            written.append(relative)
+        for stale in set(_checked_in(dialect)) - set(files):
+            (EXPECTED_DIR / stale).unlink()
+    return written
 
 
-def main() -> int:
-    names = regenerate()
-    print(f"regenerated {len(names)} golden entries under {EXPECTED_DIR}")
+def check(dialects: list[str]) -> list[tuple[str, str, str]]:
+    """Diff regenerated output against the checked-in files.
+
+    Returns ``(dialect, relative_path, diff_text)`` per drifted, missing, or
+    stale file, so a failure names exactly which dialects drifted.
+    """
+    problems: list[tuple[str, str, str]] = []
+    for dialect in dialects:
+        fresh = expected_files(dialect)
+        on_disk = _checked_in(dialect)
+        for relative in sorted(set(fresh) | set(on_disk)):
+            expected = on_disk.get(relative)
+            actual = fresh.get(relative)
+            if expected == actual:
+                continue
+            diff = "".join(difflib.unified_diff(
+                (expected or "").splitlines(keepends=True),
+                (actual or "").splitlines(keepends=True),
+                fromfile=f"checked-in/{relative}",
+                tofile=f"regenerated/{relative}"))
+            if expected is None:
+                diff = f"missing golden file {relative}\n" + diff
+            elif actual is None:
+                diff = f"stale golden file {relative}\n"
+            problems.append((dialect, relative, diff))
+    return problems
+
+
+def _resolve_dialects(option: str) -> list[str]:
+    if option == "all":
+        return list(GOLDEN_DIALECTS)
+    if option not in GOLDEN_DIALECTS:
+        raise SystemExit(
+            f"unknown dialect {option!r}; choose from "
+            f"{', '.join(GOLDEN_DIALECTS)} or 'all'")
+    return [option]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate (or --check) the golden corpus files")
+    parser.add_argument(
+        "--dialect", default=GOLDEN_DIALECTS[0], metavar="NAME|all",
+        help="target dialect to regenerate (default: %(default)s)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="write nothing; fail with a unified diff per drifted dialect")
+    args = parser.parse_args(argv)
+    dialects = _resolve_dialects(args.dialect)
+    if args.check:
+        problems = check(dialects)
+        if problems:
+            drifted = sorted({dialect for dialect, __, __ in problems})
+            print(f"golden drift in dialect(s): {', '.join(drifted)}\n")
+            print("".join(diff for __, __, diff in problems))
+            return 1
+        print(f"golden files up to date for: {', '.join(dialects)}")
+        return 0
+    written = regenerate(dialects)
+    print(f"regenerated {len(written)} golden files under {EXPECTED_DIR} "
+          f"({', '.join(dialects)})")
     return 0
 
 

@@ -12,9 +12,12 @@ import pathlib
 
 import pytest
 
-from tests.golden.corpus import CORPUS, render_sql, render_summary, run_corpus
+from tests.golden.corpus import (
+    CORPUS, GOLDEN_DIALECTS, render_sql, render_summary, run_corpus,
+)
 
 EXPECTED_DIR = pathlib.Path(__file__).resolve().parent / "expected"
+CLOUD_DIALECTS = [d for d in GOLDEN_DIALECTS if d != "hyperion"]
 
 
 @pytest.fixture(scope="module")
@@ -60,11 +63,36 @@ def test_trace_summary_matches_golden(corpus_output, name):
             + _diff(expected, actual, f"{name}.trace"))
 
 
+@pytest.mark.parametrize("dialect", CLOUD_DIALECTS)
+def test_dialect_sql_matches_golden(dialect):
+    """Per-dialect target SQL matches expected/<dialect>/<name>.sql."""
+    dialect_dir = EXPECTED_DIR / dialect
+    assert dialect_dir.is_dir(), (
+        f"no golden directory for dialect '{dialect}' — run "
+        f"`python -m tests.golden.regen --dialect {dialect}`")
+    drifted = []
+    for name, targets, __ in run_corpus(dialect):
+        path = dialect_dir / f"{name}.sql"
+        actual = render_sql(targets)
+        expected = path.read_text(encoding="utf-8") if path.exists() else ""
+        if actual != expected:
+            drifted.append(_diff(expected, actual, f"{dialect}/{name}.sql"))
+    if drifted:
+        pytest.fail(
+            f"{len(drifted)} statement(s) drifted for dialect '{dialect}' "
+            f"(regen with `python -m tests.golden.regen --dialect {dialect}` "
+            "if intentional):\n" + "\n".join(drifted))
+
+
 def test_no_stale_golden_files():
     """Every expected/ file corresponds to a live corpus entry."""
     names = {name for name, __ in CORPUS}
     stale = [p.name for p in EXPECTED_DIR.iterdir()
              if p.suffix in (".sql", ".trace") and p.stem not in names]
+    stale += [f"{d.name}/{p.name}"
+              for d in EXPECTED_DIR.iterdir() if d.is_dir()
+              for p in d.iterdir()
+              if d.name not in GOLDEN_DIALECTS or p.stem not in names]
     assert not stale, f"stale golden files (rerun regen): {stale}"
 
 

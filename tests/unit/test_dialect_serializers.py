@@ -1,0 +1,185 @@
+"""Direct unit tests per serializer subclass: type names, identifier
+quoting, and function spellings — pinned without running the full pipeline,
+so a dialect regression points at the exact serializer method.
+
+Includes the regression test for the BigQuery identifier bug: reserved
+words used as column names (legal when quoted in the source dialect) must
+come out backtick-quoted, not bare.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.catalog import SessionCatalog, ShadowCatalog
+from repro.frontend.teradata.binder import Binder
+from repro.frontend.teradata.parser import TeradataParser
+from repro.serializer import serializer_for
+from repro.serializer.base import RESERVED_WORDS, Serializer, plain_ident
+from repro.serializer.dialects import (
+    BigQuerySerializer, PostgresSerializer, SnowflakeSerializer,
+    TSQLSerializer,
+)
+from repro.sqlkit import Lexer, LexerConfig, TokenKind
+from repro.transform.capabilities import (
+    AZURESYNTH, HYPERION, MEADOWSHIFT, SKYQUERY, SNOWFIELD,
+)
+from repro.transform.engine import Transformer
+from repro.xtra import types as t
+from repro.xtra.schema import ColumnSchema, TableSchema
+
+
+@pytest.fixture
+def catalog():
+    shadow = ShadowCatalog()
+    shadow.add_table(TableSchema("T", [
+        ColumnSchema("A", t.INTEGER),
+        ColumnSchema("B", t.varchar(20)),
+    ]))
+    shadow.add_table(TableSchema("RSVD", [
+        ColumnSchema("SELECT", t.INTEGER),
+        ColumnSchema("FROM", t.varchar(5)),
+    ]))
+    return SessionCatalog(shadow)
+
+
+def to_sql(sql, catalog, profile):
+    statement = Binder(catalog).bind(TeradataParser().parse_statement(sql))
+    Transformer(profile).transform(statement)
+    return serializer_for(profile).serialize(statement)
+
+
+# -- registry -------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("profile,cls", [
+    (HYPERION, Serializer),
+    (MEADOWSHIFT, PostgresSerializer),
+    (SKYQUERY, BigQuerySerializer),
+    (AZURESYNTH, TSQLSerializer),
+    (SNOWFIELD, SnowflakeSerializer),
+])
+def test_registry_maps_profile_to_subclass(profile, cls):
+    assert type(serializer_for(profile)) is cls
+
+
+# -- identifier quoting ---------------------------------------------------------------
+
+
+def test_plain_ident_rejects_reserved_and_odd_names():
+    assert plain_ident("SALES")
+    assert plain_ident("_tmp_1")
+    assert not plain_ident("SELECT")
+    assert not plain_ident("order")          # case-insensitive
+    assert not plain_ident("has space")
+    assert not plain_ident("1starts_digit")
+    assert "GROUP" in RESERVED_WORDS
+
+
+def test_base_serializer_quotes_reserved_words():
+    serializer = Serializer(HYPERION)
+    assert serializer.ident("SALES") == "SALES"
+    assert serializer.ident("SELECT") == '"SELECT"'
+    assert serializer.ident('we"ird') == '"we""ird"'
+
+
+def test_bigquery_ident_backticks_reserved_words():
+    serializer = BigQuerySerializer(SKYQUERY)
+    assert serializer.ident("SALES") == "SALES"
+    assert serializer.ident("SELECT") == "`SELECT`"
+    assert serializer.ident("has space") == "`has space`"
+    assert serializer.ident("tick`y") == "`tick``y`"
+
+
+def test_tsql_ident_brackets_reserved_words():
+    serializer = TSQLSerializer(AZURESYNTH)
+    assert serializer.ident("SALES") == "SALES"
+    assert serializer.ident("FROM") == "[FROM]"
+    assert serializer.ident("clo]se") == "[clo]]se]"
+
+
+def test_reserved_column_roundtrip_per_dialect(catalog):
+    source = 'SEL "SELECT", "FROM" FROM RSVD'
+    assert '"SELECT"' in to_sql(source, catalog, HYPERION)
+    assert "`SELECT`" in to_sql(source, catalog, SKYQUERY)
+    assert "[SELECT]" in to_sql(source, catalog, AZURESYNTH)
+    assert '"SELECT"' in to_sql(source, catalog, SNOWFIELD)
+
+
+# -- type names -----------------------------------------------------------------------
+
+
+def test_postgres_type_names():
+    serializer = PostgresSerializer(MEADOWSHIFT)
+    assert serializer.type_sql(t.FLOAT) == "DOUBLE PRECISION"
+    assert serializer.type_sql(t.TIMESTAMP) == "TIMESTAMP WITHOUT TIME ZONE"
+    assert serializer.type_sql(t.decimal(12, 2)) == "DECIMAL(12,2)"
+
+
+def test_bigquery_type_names():
+    serializer = BigQuerySerializer(SKYQUERY)
+    assert serializer.type_sql(t.INTEGER) == "INT64"
+    assert serializer.type_sql(t.BIGINT) == "INT64"
+    assert serializer.type_sql(t.FLOAT) == "FLOAT64"
+    assert serializer.type_sql(t.BOOLEAN) == "BOOL"
+    assert serializer.type_sql(t.varchar(20)) == "STRING"
+    assert serializer.type_sql(t.char(5)) == "STRING"
+    assert serializer.type_sql(t.decimal(12, 2)) == "NUMERIC"
+
+
+def test_tsql_type_names():
+    serializer = TSQLSerializer(AZURESYNTH)
+    assert serializer.type_sql(t.FLOAT) == "FLOAT"
+    assert serializer.type_sql(t.TIMESTAMP) == "DATETIME2"
+
+
+def test_snowflake_type_names():
+    serializer = SnowflakeSerializer(SNOWFIELD)
+    assert serializer.type_sql(t.decimal(12, 2)) == "NUMBER(12,2)"
+    assert serializer.type_sql(t.decimal()) == "NUMBER(18,2)"
+
+
+def test_create_table_type_spelling_end_to_end(catalog):
+    ddl = "CREATE TABLE NEWT (X INTEGER, Y VARCHAR(9), Z DECIMAL(7,2))"
+    assert "INT64" in to_sql(ddl, catalog, SKYQUERY)
+    assert "NUMBER(7,2)" in to_sql(ddl, catalog, SNOWFIELD)
+
+
+# -- function spellings ---------------------------------------------------------------
+
+
+def test_tsql_spells_length_as_len(catalog):
+    sql = to_sql("SEL CHARS(B) FROM T", catalog, AZURESYNTH)
+    assert "LEN(T.B)" in sql
+    assert "LENGTH(" not in sql
+
+
+def test_other_dialects_keep_length(catalog):
+    for profile in (HYPERION, MEADOWSHIFT, SKYQUERY, SNOWFIELD):
+        assert "LENGTH(T.B)" in to_sql("SEL CHARS(B) FROM T", catalog,
+                                       profile)
+
+
+# -- lexer support for dialect quoting ------------------------------------------------
+
+
+def test_lexer_backquote_idents():
+    config = LexerConfig(keywords=frozenset({"SELECT"}),
+                         backquote_idents=True)
+    token = Lexer(config).tokenize("`GROUP by``x`")[0]
+    assert token.kind is TokenKind.QUOTED_IDENT
+    assert token.value == "GROUP by`x"
+
+
+def test_lexer_bracket_idents():
+    config = LexerConfig(keywords=frozenset({"SELECT"}),
+                         bracket_idents=True)
+    token = Lexer(config).tokenize("[ORDER]] it]")[0]
+    assert token.kind is TokenKind.QUOTED_IDENT
+    assert token.value == "ORDER] it"
+
+
+def test_lexer_rejects_dialect_quoting_when_disabled():
+    config = LexerConfig(keywords=frozenset({"SELECT"}))
+    tokens = Lexer(config).tokenize("[x]")
+    assert all(token.kind is not TokenKind.QUOTED_IDENT for token in tokens)
