@@ -1,0 +1,157 @@
+"""Semantic-cache ablation: none vs translation-only vs + result cache.
+
+A dashboard-style workload re-issues a fixed set of read queries against
+a HOT table while single-table DML churns a separate CHURN table.  With
+the whole-catalog invalidation the seed shipped with, every DML round
+would wipe both caches; with semantic per-table invalidation, entries on
+the untouched HOT table must survive every round.  The report captures:
+
+* wall time and backend executor calls per configuration (a result-cache
+  hit performs zero backend calls — the statements_executed delta is the
+  direct evidence),
+* translation- and result-cache hit rates,
+* the **survival rate**: the fraction of HOT-table result-cache probes
+  immediately after a disjoint-table DML that still hit.
+
+Standalone (in-process engines, no fleet)::
+
+    PYTHONPATH=src python benchmarks/bench_semantic_cache.py --smoke \\
+        --json BENCH_semantic_cache.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.engine import HyperQ  # noqa: E402
+
+HOT_QUERIES = [
+    "SELECT ID, VAL FROM HOT WHERE ID = 7",
+    "SELECT COUNT(*) FROM HOT WHERE VAL > 50",
+    "SELECT GRP, SUM(VAL) FROM HOT GROUP BY GRP",
+    "SELECT ID FROM HOT WHERE GRP = 'a' ORDER BY ID",
+    "SELECT MAX(VAL) - MIN(VAL) FROM HOT WHERE ID < 40",
+]
+
+CHURN_QUERIES = [
+    "SELECT COUNT(*) FROM CHURN",
+    "SELECT SUM(N) FROM CHURN WHERE N > 3",
+]
+
+
+def build_session(engine: HyperQ, rows: int):
+    session = engine.create_session()
+    session.execute("CREATE MULTISET TABLE HOT "
+                    "(ID INTEGER, GRP VARCHAR(1), VAL INTEGER)")
+    session.execute("CREATE MULTISET TABLE CHURN (N INTEGER)")
+    values = ", ".join(
+        f"({i}, '{'abc'[i % 3]}', {(i * 37) % 100})" for i in range(rows))
+    session.execute(f"INSERT INTO HOT VALUES {values}")
+    session.execute("INSERT INTO CHURN VALUES (1), (2), (3)")
+    return session
+
+
+def run_config(label: str, engine: HyperQ, rounds: int, rows: int) -> dict:
+    session = build_session(engine, rows)
+    rcache = engine.result_cache
+    survival_probes = survival_hits = 0
+    begin = time.perf_counter()
+    for round_index in range(rounds):
+        for sql in HOT_QUERIES + CHURN_QUERIES:
+            session.execute(sql).rows
+        # single-table DML: only CHURN-dependent entries may be dropped
+        session.execute(f"INSERT INTO CHURN VALUES ({10 + round_index})")
+        hits_before = rcache.stats().hits if rcache is not None else 0
+        for sql in HOT_QUERIES:
+            session.execute(sql).rows
+        if rcache is not None:
+            survival_probes += len(HOT_QUERIES)
+            survival_hits += rcache.stats().hits - hits_before
+    wall = time.perf_counter() - begin
+
+    report = {
+        "config": label,
+        "rounds": rounds,
+        "wall_s": round(wall, 4),
+        "backend_statements": session.odbc.statements_executed,
+    }
+    tcache = engine.cache_stats()
+    if tcache is not None:
+        report["translation_cache"] = {
+            "hits": tcache.hits, "misses": tcache.misses,
+            "invalidations": tcache.invalidations}
+    rstats = engine.result_cache_stats()
+    if rstats is not None:
+        report["result_cache"] = rstats.as_dict()
+        report["survival_rate"] = (
+            round(survival_hits / survival_probes, 4)
+            if survival_probes else 0.0)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small round/row counts for CI")
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--rows", type=int, default=None,
+                        help="rows in the HOT table")
+    parser.add_argument("--result-cache-bytes", type=int,
+                        default=4 * 1024 * 1024)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the results as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    rounds = args.rounds or (8 if args.smoke else 60)
+    rows = args.rows or (50 if args.smoke else 400)
+    configs = [
+        ("none", HyperQ(cache_size=0)),
+        ("translation-only", HyperQ()),
+        ("translation+result", HyperQ(
+            result_cache_bytes=args.result_cache_bytes)),
+    ]
+
+    print(f"semantic-cache ablation: rounds={rounds} rows={rows} "
+          f"smoke={args.smoke}")
+    runs = []
+    for label, engine in configs:
+        result = run_config(label, engine, rounds, rows)
+        runs.append(result)
+        line = (f"  {label}: {result['wall_s']}s, "
+                f"{result['backend_statements']} backend statements")
+        if "result_cache" in result:
+            rc = result["result_cache"]
+            line += (f", result-cache hit rate "
+                     f"{rc['hit_rate']:.2f}, survival rate "
+                     f"{result['survival_rate']:.2f} "
+                     f"({rc['invalidations']:.0f} invalidations)")
+        print(line)
+
+    report = {"smoke": args.smoke, "rounds": rounds, "rows": rows, "runs": runs}
+    cached = runs[-1]
+    # acceptance evidence: disjoint-table DML left the HOT entries alive
+    assert cached["survival_rate"] == 1.0, \
+        f"HOT-table entries did not survive disjoint DML: {cached}"
+    # and the result cache actually removed backend work
+    assert cached["backend_statements"] < runs[1]["backend_statements"], \
+        "result cache did not reduce backend executor calls"
+    report["backend_statements_saved_vs_translation_only"] = \
+        runs[1]["backend_statements"] - cached["backend_statements"]
+    print(f"  survival assertion: PASS (rate "
+          f"{cached['survival_rate']:.2f}); backend statements saved: "
+          f"{report['backend_statements_saved_vs_translation_only']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"  wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

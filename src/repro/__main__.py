@@ -99,7 +99,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     engine = HyperQ(target=args.target, source=args.source, workload=workload,
                     tracing=not args.no_trace, trace_ring=args.trace_ring,
                     trace_log=args.trace_log,
-                    slow_query_log=args.slow_query_log)
+                    slow_query_log=args.slow_query_log,
+                    result_cache_bytes=args.result_cache_bytes)
     thread = ServerThread(engine, host=args.host, port=args.port,
                           max_connections=args.max_connections)
     host, port = thread.start()
@@ -142,6 +143,7 @@ def _serve_gateway(args: argparse.Namespace) -> int:
         target=args.target, source=args.source, setup_sql=setup_sql,
         max_connections=args.max_connections, workload=workload,
         tracing=not args.no_trace,
+        result_cache_bytes=args.result_cache_bytes,
         engine_options={"trace_ring": args.trace_ring}))
     host, port = gateway.start()
     managed = "on" if workload is not None else "off"
@@ -218,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="enable the workload manager (classification"
                                 ", admission control, fair scheduling); "
                                 "configure via HQ_WORKLOAD_CONFIG")
+    serve_cmd.add_argument("--result-cache-bytes", type=int, default=0,
+                           metavar="N",
+                           help="semantic result cache budget in bytes "
+                                "(0 disables; hits replay stored result "
+                                "batches with zero backend calls, "
+                                "invalidated per table on DML)")
     serve_cmd.add_argument("--no-trace", action="store_true",
                            help="disable request-scoped tracing (metrics "
                                 "and SHOW HYPERQ commands return empty)")

@@ -10,7 +10,7 @@ module removes repeated translation work entirely:
   synthetic slots, so ``SEL * FROM T WHERE ID = 7`` and ``... ID = 42``
   share one cache entry.
 * :class:`TranslationCache` is a byte-capped, thread-safe LRU keyed by
-  ``(source, target-capability-profile, fingerprint, catalog-version,
+  ``(source, target-capability-profile, fingerprint,
   session-overlay-version)`` storing the serialized target SQL (as a
   literal-slot template when safe, exact text otherwise) plus the tracker
   feature bits observed during translation.
@@ -20,11 +20,17 @@ trusted, the statement is re-translated with unique sentinel literals and the
 template is accepted only if every sentinel survives translation verbatim.
 Value-dependent rewrites (ordinal GROUP BY, date/int comparison folding,
 interval arithmetic) destroy their sentinel and demote the entry to
-exact-match caching, which is always correct. Stale replays are impossible by
-construction: every DDL/macro/view/procedure change bumps the shadow-catalog
-version and every volatile-table change bumps the per-session overlay
-version, both of which are part of the key (and eagerly invalidated so the
-memory is reclaimed and counted).
+exact-match caching, which is always correct.
+
+Invalidation is *semantic*: every entry carries the dependency set the
+extractor (``core/deps.py``) computed for its statement — base tables
+through view closures, plus the ``"*"`` wildcard when the closure is
+unknown — and an inverted table→entries index drops exactly the entries
+whose dependencies intersect a catalog change.  DDL on table A leaves
+entries that touch only table B in place (previously any DDL flushed the
+whole cache).  Volatile-table changes still bump the per-session overlay
+version that is part of the key, and overlay entries are eagerly
+invalidated so the memory is reclaimed and counted.
 """
 
 from __future__ import annotations
@@ -33,8 +39,9 @@ import datetime
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields
-from typing import Callable, Optional
+from typing import Callable, NamedTuple, Optional
 
+from repro.core.deps import WILDCARD
 from repro.sqlkit.tokens import Token, TokenKind
 
 # -- literal slot kinds -----------------------------------------------------------
@@ -286,11 +293,26 @@ class CacheTier:
     def put(self, key: tuple, entry: "CacheEntry") -> None:
         raise NotImplementedError
 
-    def invalidate_catalog(self, new_version: int) -> None:
+    def invalidate_tables(self, names: tuple) -> None:
+        """Drop entries whose dependency set intersects *names*."""
         raise NotImplementedError
 
 
 # -- the cache ----------------------------------------------------------------------
+
+
+class CacheHit(NamedTuple):
+    """What :meth:`TranslationCache.lookup` returns on a hit.
+
+    ``deps``/``result_shareable`` echo the entry's dependency facts so the
+    execute path can feed the result cache without re-binding.
+    """
+
+    target_sql: str
+    notes: tuple
+    deps: tuple = (WILDCARD,)
+    result_shareable: bool = False
+
 
 @dataclass
 class CacheStats:
@@ -331,19 +353,29 @@ class CacheStats:
 
 @dataclass
 class CacheEntry:
-    """One memoized translation."""
+    """One memoized translation.
+
+    ``deps`` is the statement's base-table dependency set (upper-cased,
+    sorted; may contain the ``"*"`` wildcard when the closure is unknown).
+    The cache indexes entries by it for precise invalidation.
+    """
 
     template: Optional[Template]      # parameterized form, or
     sql: Optional[str]                # exact target SQL (pinned literals)
     notes: tuple[tuple[str, str], ...]  # tracker (feature, stage) bits
-    catalog_version: int
-    overlay_uid: Optional[int]
+    deps: tuple[str, ...] = (WILDCARD,)
+    overlay_uid: Optional[int] = None
+    #: True when the statement's *result* may also be cached (read-only,
+    #: deterministic, no volatile tables) — carried here so a translation
+    #: hit still knows whether to rematerialize into the result cache.
+    result_shareable: bool = False
     size: int = 0
 
     def __post_init__(self):
         base = self.template.size() if self.template is not None \
             else len(self.sql or "")
-        self.size = base + 32 * len(self.notes) + 128
+        self.size = base + 32 * len(self.notes) \
+            + sum(16 + len(name) for name in self.deps) + 128
 
 
 class TranslationCache:
@@ -364,6 +396,8 @@ class TranslationCache:
         self._max_bytes = max_bytes
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        # Inverted dependency index: table name (or "*") -> entry keys.
+        self._dep_index: dict[str, set] = {}
         self._bytes = 0
         self._stats = CacheStats()
         #: Optional shared L2 (:class:`CacheTier`): consulted outside the
@@ -394,14 +428,14 @@ class TranslationCache:
 
     @staticmethod
     def key_base(source: str, profile_name: str, fp_text: str,
-                 catalog_version: int, overlay_key) -> tuple:
-        return (source, profile_name, fp_text, catalog_version, overlay_key)
+                 overlay_key) -> tuple:
+        return (source, profile_name, fp_text, overlay_key)
 
     # -- lookup / insert ------------------------------------------------------------
 
     def lookup(self, key_base: tuple, fp: Fingerprint,
-               params_key: Optional[tuple]) -> Optional[tuple[str, tuple]]:
-        """Return ``(target_sql, notes)`` on a hit, ``None`` on a miss.
+               params_key: Optional[tuple]) -> Optional[CacheHit]:
+        """Return a :class:`CacheHit` on a hit, ``None`` on a miss.
 
         The L1 probe runs under the lock; on an L1 miss with a shared tier
         attached (and no session overlay in the key), the tier is consulted
@@ -418,13 +452,15 @@ class TranslationCache:
                     if rendered is not None:
                         self._entries.move_to_end(key_base + ("T",))
                         self._stats.hits += 1
-                        return rendered, entry.notes
+                        return CacheHit(rendered, entry.notes, entry.deps,
+                                        entry.result_shareable)
             entry = self._entries.get(exact_key)
             if entry is not None and entry.sql is not None:
                 self._entries.move_to_end(exact_key)
                 self._stats.hits += 1
-                return entry.sql, entry.notes
-        shareable = self.tier is not None and key_base[4] is None
+                return CacheHit(entry.sql, entry.notes, entry.deps,
+                                entry.result_shareable)
+        shareable = self.tier is not None and key_base[3] is None
         if shareable:
             found = self._tier_lookup(key_base, fp, params_key, exact_key)
             if found is not None:
@@ -437,7 +473,7 @@ class TranslationCache:
 
     def _tier_lookup(self, key_base: tuple, fp: Fingerprint,
                      params_key: Optional[tuple],
-                     exact_key: tuple) -> Optional[tuple[str, tuple]]:
+                     exact_key: tuple) -> Optional[CacheHit]:
         """Consult the shared tier after an L1 miss; adopt hits into the L1.
         Any tier error (service down, protocol hiccup) degrades to a miss."""
         try:
@@ -447,14 +483,43 @@ class TranslationCache:
                     rendered = entry.template.render(fp.slots)
                     if rendered is not None:
                         self._adopt(key_base + ("T",), entry)
-                        return rendered, entry.notes
+                        return CacheHit(rendered, entry.notes, entry.deps,
+                                        entry.result_shareable)
             entry = self.tier.get(exact_key)
             if entry is not None and entry.sql is not None:
                 self._adopt(exact_key, entry)
-                return entry.sql, entry.notes
+                return CacheHit(entry.sql, entry.notes, entry.deps,
+                                entry.result_shareable)
         except Exception:
             return None
         return None
+
+    def _index_add(self, key: tuple, entry: CacheEntry) -> None:
+        for name in entry.deps:
+            self._dep_index.setdefault(name, set()).add(key)
+
+    def _index_remove(self, key: tuple, entry: CacheEntry) -> None:
+        for name in entry.deps:
+            keys = self._dep_index.get(name)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._dep_index[name]
+
+    def _install(self, key: tuple, entry: CacheEntry) -> None:
+        """Put *entry* under *key* and evict over cap; caller holds the lock."""
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._bytes -= previous.size
+            self._index_remove(key, previous)
+        self._entries[key] = entry
+        self._bytes += entry.size
+        self._index_add(key, entry)
+        while self._bytes > self._max_bytes and self._entries:
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.size
+            self._index_remove(evicted_key, evicted)
+            self._stats.evictions += 1
 
     def _adopt(self, key: tuple, entry: CacheEntry) -> None:
         """Install a tier-provided entry into the L1 (counted as a hit plus
@@ -462,15 +527,7 @@ class TranslationCache:
         with self._lock:
             self._stats.hits += 1
             self._stats.tier_hits += 1
-            previous = self._entries.pop(key, None)
-            if previous is not None:
-                self._bytes -= previous.size
-            self._entries[key] = entry
-            self._bytes += entry.size
-            while self._bytes > self._max_bytes and self._entries:
-                __, evicted = self._entries.popitem(last=False)
-                self._bytes -= evicted.size
-                self._stats.evictions += 1
+            self._install(key, entry)
 
     def contains(self, key_base: tuple, fp: Fingerprint,
                  params_key: Optional[tuple]) -> bool:
@@ -490,17 +547,25 @@ class TranslationCache:
     def insert(self, key_base: tuple, fp: Fingerprint,
                params_key: Optional[tuple], target_sql: str,
                notes: tuple[tuple[str, str], ...],
+               deps: tuple[str, ...] = (WILDCARD,),
+               result_shareable: bool = False,
                probe: Optional[Callable[[str], str]] = None) -> None:
         """Memoize one translation.
+
+        *deps* is the statement's dependency set from the extractor; when a
+        caller has none, the default wildcard keeps invalidation sound
+        (the entry then drops on any catalog change).
 
         When *probe* is given, no explicit parameters were bound and every
         slot is templatable, a sentinel probe attempts a parameterized
         template; otherwise (or on any probe anomaly) the exact target SQL
         is pinned under the full literal-value key.
         """
-        catalog_version = key_base[3]
-        overlay_key = key_base[4]
+        overlay_key = key_base[3]
         overlay_uid = overlay_key[0] if isinstance(overlay_key, tuple) else None
+        # Empty deps is meaningful (a table-free statement like SELECT 1
+        # depends on nothing); only the *default* is the wildcard.
+        deps = tuple(sorted({name.upper() for name in deps}))
         template: Optional[Template] = None
         if probe is not None and params_key is None and fp.slots:
             built = build_probe_sql(fp)
@@ -515,27 +580,19 @@ class TranslationCache:
         if template is not None:
             key = key_base + ("T",)
             entry = CacheEntry(template=template, sql=None, notes=notes,
-                               catalog_version=catalog_version,
-                               overlay_uid=overlay_uid)
+                               deps=deps, overlay_uid=overlay_uid,
+                               result_shareable=result_shareable)
         else:
             key = key_base + ("E", fp.values_key(), params_key)
             entry = CacheEntry(template=None, sql=target_sql, notes=notes,
-                               catalog_version=catalog_version,
-                               overlay_uid=overlay_uid)
+                               deps=deps, overlay_uid=overlay_uid,
+                               result_shareable=result_shareable)
         with self._lock:
-            previous = self._entries.pop(key, None)
-            if previous is not None:
-                self._bytes -= previous.size
-            self._entries[key] = entry
-            self._bytes += entry.size
             self._stats.inserts += 1
-            while self._bytes > self._max_bytes and self._entries:
-                __, evicted = self._entries.popitem(last=False)
-                self._bytes -= evicted.size
-                self._stats.evictions += 1
+            self._install(key, entry)
         # Write through to the shared tier (outside the lock): a statement
         # one worker translated becomes a warm hit for the whole fleet.
-        if self.tier is not None and key_base[4] is None:
+        if self.tier is not None and key_base[3] is None:
             try:
                 self.tier.put(key, entry)
             except Exception:
@@ -555,24 +612,34 @@ class TranslationCache:
 
     # -- invalidation ----------------------------------------------------------------
 
-    def invalidate_catalog(self, new_version: int) -> int:
-        """Drop every entry translated under an older shadow-catalog version.
+    def invalidate_tables(self, names) -> int:
+        """Drop entries whose dependency set intersects *names*.
 
-        Invariant: after any DDL/macro/view/procedure change, no entry keyed
-        with a stale catalog version survives — coarse (the whole shared
-        space is flushed) but airtight, and DDL is rare in the workloads
-        this cache targets. With a shared tier attached the flush is
-        broadcast to it too, so a DDL on one gateway worker reclaims the
-        fleet's stale entries as well.
+        Invariant: after DDL on object X, no entry that depends on X (or
+        carries the wildcard) survives — while entries on disjoint tables
+        stay warm. With a shared tier attached the per-table drop is
+        forwarded to it too, so DDL on one gateway worker reclaims exactly
+        the fleet's affected entries and nothing else.
         """
-        dropped = self._invalidate(
-            lambda entry: entry.catalog_version < new_version)
+        touched = tuple(sorted({name.upper() for name in names}))
+        with self._lock:
+            if WILDCARD in touched:
+                stale = set(self._entries)
+            else:
+                stale: set = set()
+                for name in touched + (WILDCARD,):
+                    stale |= self._dep_index.get(name, set())
+            for key in stale:
+                entry = self._entries.pop(key)
+                self._bytes -= entry.size
+                self._index_remove(key, entry)
+            self._stats.invalidations += len(stale)
         if self.tier is not None:
             try:
-                self.tier.invalidate_catalog(new_version)
+                self.tier.invalidate_tables(touched)
             except Exception:
                 pass
-        return dropped
+        return len(stale)
 
     def invalidate_overlay(self, session_uid: int) -> int:
         """Drop entries translated under *session_uid*'s volatile overlay.
@@ -591,6 +658,7 @@ class TranslationCache:
             for key in stale:
                 entry = self._entries.pop(key)
                 self._bytes -= entry.size
+                self._index_remove(key, entry)
             self._stats.invalidations += len(stale)
             return len(stale)
 
@@ -613,4 +681,5 @@ class TranslationCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._dep_index.clear()
             self._bytes = 0

@@ -40,19 +40,29 @@ class ProcedureDef:
 class ShadowCatalog:
     """Source-side catalog shared by all Hyper-Q sessions.
 
-    Every mutation — table/view DDL, macro or procedure (re)definition —
-    bumps a monotonic :attr:`version` and notifies subscribers, so memoized
-    translations keyed on an older version can never be replayed (the
-    translation cache's invalidation invariant).
+    Mutations are versioned *per object*: DDL on a table (or view, macro,
+    procedure) bumps only that object's entry in the schema version vector,
+    and DML bumps a separate per-table **data** version.  Subscribers are
+    notified with the set of touched names, so the translation cache drops
+    only entries whose dependency sets intersect the change — DDL on table
+    A leaves cached translations that touch only table B in place, both in
+    the per-process L1 and the gateway's shared L2 tier.
+
+    A global monotonic :attr:`version` is retained as a cheap "anything
+    changed" observer for tooling; nothing is keyed on it anymore.
     """
 
     def __init__(self):
         self._tables: dict[str, TableSchema] = {}
         self._views: dict[str, TableSchema] = {}
+        self._view_deps: dict[str, Optional[tuple]] = {}
         self._macros: dict[str, MacroDef] = {}
         self._procedures: dict[str, ProcedureDef] = {}
         self._version = 0
+        self._table_versions: dict[str, int] = {}
+        self._data_versions: dict[str, int] = {}
         self._listeners: list = []
+        self._data_listeners: list = []
 
     # -- versioning ------------------------------------------------------------
 
@@ -61,14 +71,62 @@ class ShadowCatalog:
         """Monotonic counter, bumped on every catalog mutation."""
         return self._version
 
+    def table_version(self, name: str) -> int:
+        """Schema (DDL) epoch of one object; 0 if never touched."""
+        return self._table_versions.get(name.upper(), 0)
+
+    def data_version(self, name: str) -> int:
+        """Data (DML) epoch of one table; 0 if never written."""
+        return self._data_versions.get(name.upper(), 0)
+
+    def version_vector(self, names) -> tuple:
+        """Sorted ``(name, schema_epoch, data_epoch)`` triples for *names*.
+
+        This is the result cache's key component: two requests see the same
+        vector iff no DDL or DML touched any dependency in between.
+        """
+        return tuple(
+            (key, self._table_versions.get(key, 0),
+             self._data_versions.get(key, 0))
+            for key in sorted({n.upper() for n in names}))
+
     def subscribe(self, listener) -> None:
-        """Register ``listener(new_version)`` to run after each mutation."""
+        """Register ``listener(names)`` to run after each schema mutation.
+
+        ``names`` is a tuple of upper-cased object names touched by the
+        mutation — the listener should drop state that depends on any of
+        them (plus any wildcard bucket).
+        """
         self._listeners.append(listener)
 
-    def _bump(self) -> None:
+    def subscribe_data(self, listener) -> None:
+        """Register ``listener(names)`` for data (DML) changes.
+
+        Schema mutations also fire this channel: DDL implies the data a
+        dependent result embeds may no longer exist.
+        """
+        self._data_listeners.append(listener)
+
+    def _bump(self, *names: str) -> None:
         self._version += 1
+        touched = tuple(n.upper() for n in names)
+        for key in touched:
+            self._table_versions[key] = self._table_versions.get(key, 0) + 1
+            self._data_versions[key] = self._data_versions.get(key, 0) + 1
         for listener in self._listeners:
-            listener(self._version)
+            listener(touched)
+        for listener in self._data_listeners:
+            listener(touched)
+
+    def bump_data(self, *names: str) -> None:
+        """Record a DML write to *names*: data epochs move, schema stays."""
+        touched = tuple(n.upper() for n in names)
+        if not touched:
+            return
+        for key in touched:
+            self._data_versions[key] = self._data_versions.get(key, 0) + 1
+        for listener in self._data_listeners:
+            listener(touched)
 
     # -- tables/views ----------------------------------------------------------
 
@@ -77,28 +135,40 @@ class ShadowCatalog:
         if name in self._tables or name in self._views:
             raise CatalogError(f"object {name} already exists")
         self._tables[name] = schema
-        self._bump()
+        self._bump(name)
 
     def drop_table(self, name: str) -> None:
         if name.upper() not in self._tables:
             raise CatalogError(f"table {name} does not exist")
         del self._tables[name.upper()]
-        self._bump()
+        self._bump(name)
 
-    def add_view(self, schema: TableSchema, replace: bool = False) -> None:
+    def add_view(self, schema: TableSchema, replace: bool = False,
+                 deps: Optional[tuple] = None) -> None:
+        """Register a view; *deps* is its base-table closure (upper-cased).
+
+        ``None`` marks the closure unknown: dependents fall into the
+        wildcard bucket and are invalidated by any catalog change.
+        """
         name = schema.name.upper()
         if name in self._tables:
             raise CatalogError(f"object {name} already exists as a table")
         if name in self._views and not replace:
             raise CatalogError(f"view {name} already exists")
         self._views[name] = schema
-        self._bump()
+        self._view_deps[name] = deps
+        self._bump(name)
 
     def drop_view(self, name: str) -> None:
         if name.upper() not in self._views:
             raise CatalogError(f"view {name} does not exist")
         del self._views[name.upper()]
-        self._bump()
+        self._view_deps.pop(name.upper(), None)
+        self._bump(name)
+
+    def view_deps(self, name: str) -> Optional[tuple]:
+        """Base-table closure stored for a view, or ``None`` if unknown."""
+        return self._view_deps.get(name.upper())
 
     def resolve(self, name: str) -> Optional[TableSchema]:
         key = name.upper()
@@ -126,13 +196,13 @@ class ShadowCatalog:
         if key in self._macros and not replace:
             raise CatalogError(f"macro {macro.name} already exists")
         self._macros[key] = macro
-        self._bump()
+        self._bump(key)
 
     def drop_macro(self, name: str) -> None:
         if name.upper() not in self._macros:
             raise CatalogError(f"macro {name} does not exist")
         del self._macros[name.upper()]
-        self._bump()
+        self._bump(name)
 
     def macro(self, name: str) -> MacroDef:
         macro = self._macros.get(name.upper())
@@ -150,13 +220,13 @@ class ShadowCatalog:
         if key in self._procedures and not replace:
             raise CatalogError(f"procedure {procedure.name} already exists")
         self._procedures[key] = procedure
-        self._bump()
+        self._bump(key)
 
     def drop_procedure(self, name: str) -> None:
         if name.upper() not in self._procedures:
             raise CatalogError(f"procedure {name} does not exist")
         del self._procedures[name.upper()]
-        self._bump()
+        self._bump(name)
 
     def procedure(self, name: str) -> ProcedureDef:
         procedure = self._procedures.get(name.upper())
@@ -242,6 +312,9 @@ class SessionCatalog:
         if name.upper() in self._volatile:
             return False
         return self.shared.is_view(name)
+
+    def view_deps(self, name: str) -> Optional[tuple]:
+        return self.shared.view_deps(name)
 
     def drop_table(self, name: str) -> None:
         if not self.drop_volatile(name):

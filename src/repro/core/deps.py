@@ -1,0 +1,287 @@
+"""Semantic dependency extraction over bound XTRA statements.
+
+The translation cache (PR 1) and the gateway's shared L2 tier (PR 6)
+invalidate on a single whole-catalog version: any DDL anywhere drops every
+cached translation fleet-wide.  This module extracts, per bound statement,
+the *semantic* dependency set that makes precise invalidation possible:
+
+* **tables** — the base tables the statement reads, with views expanded to
+  their base closure (the closure is computed once at ``CREATE VIEW`` time
+  and stored in the shadow catalog; see :meth:`ShadowCatalog.view_deps`),
+* **write_tables** — the base tables a DML/DDL statement mutates, resolved
+  through updatable views to their underlying base the same way the view
+  emulation layer (``core/emulation/views.py``) rebases DML,
+* **columns** — referenced column names (qualifier-stripped, upper-cased),
+* **constants** — constant equality predicates ``(column, value)`` found in
+  filters, which the workload classifier uses to refine row estimates,
+* a **read_only** / **deterministic** classification: read-only means no
+  DML/DDL side effects; deterministic means no volatile functions
+  (``CURRENT_TIMESTAMP`` and friends) whose value changes between calls.
+
+A statement whose closure cannot be established (an unknown view, a macro
+or procedure call with an opaque body) is marked ``wildcard``: it depends
+on *everything*, keyed in the caches under the ``"*"`` bucket which every
+invalidation clears.
+
+The extractor walks relational plans *deeply*: unlike ``walk_rel`` it
+descends into scalar-subquery plans (``SubqueryExpr.plan``) so that tables
+referenced only inside ``IN (SELECT ...)`` or ``EXISTS`` are still part of
+the dependency set.  A property test cross-checks the extracted set against
+the tables the executor actually scans on the conformance corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from ..xtra import relational as r
+from ..xtra import scalars as s
+from ..xtra.relational import RelNode
+from ..xtra.scalars import ScalarExpr
+
+# Marker dependency for statements whose closure is unknown; every
+# invalidation — DDL or DML, any table — clears the "*" bucket.
+WILDCARD = "*"
+
+# Functions whose value changes between evaluations: results that embed
+# them must never be served from the result cache.
+VOLATILE_FUNCTIONS = frozenset({
+    "CURRENT_DATE", "CURRENT_TIMESTAMP", "CURRENT_TIME", "DATE", "TIME",
+    "USER", "SESSION", "RANDOM", "RANDU", "NOW",
+})
+
+# Statement kinds with no backend table deps at all (pure admin/session).
+_ADMIN_KINDS = (r.HelpCommand, r.ShowCommand, r.SetSessionParam, r.NoOp,
+                r.Transaction)
+
+
+@dataclass(frozen=True)
+class StatementDeps:
+    """The semantic dependency footprint of one bound statement."""
+
+    tables: tuple[str, ...] = ()         # base tables read (sorted, upper)
+    write_tables: tuple[str, ...] = ()   # base tables written (sorted, upper)
+    columns: tuple[str, ...] = ()        # referenced column names (sorted)
+    constants: tuple[tuple[str, object], ...] = ()  # (column, value) equality
+    read_only: bool = True
+    deterministic: bool = True
+    uses_volatile: bool = False          # touches session volatile tables
+    wildcard: bool = False               # closure unknown — depend on all
+
+    @property
+    def all_tables(self) -> tuple[str, ...]:
+        """Read + write closure — the cache invalidation key set."""
+        merged = set(self.tables) | set(self.write_tables)
+        if self.wildcard:
+            merged.add(WILDCARD)
+        return tuple(sorted(merged))
+
+    @property
+    def shareable(self) -> bool:
+        """May the *result* be stored and replayed for other requests?"""
+        return (self.read_only and self.deterministic
+                and not self.uses_volatile and not self.wildcard)
+
+
+class _Collector:
+    """Accumulates dependency facts while walking a statement."""
+
+    def __init__(self, catalog) -> None:
+        self._catalog = catalog
+        self.tables: set[str] = set()
+        self.write_tables: set[str] = set()
+        self.columns: set[str] = set()
+        self.constants: list[tuple[str, object]] = []
+        self.deterministic = True
+        self.uses_volatile = False
+        self.wildcard = False
+
+    # -- table resolution ---------------------------------------------------
+
+    def add_read_table(self, name: str) -> None:
+        for base in self._closure(name):
+            self.tables.add(base)
+
+    def add_write_table(self, name: str) -> None:
+        for base in self._closure(name):
+            self.write_tables.add(base)
+
+    def _closure(self, name: str) -> Iterable[str]:
+        """Resolve *name* through views to its base tables (upper-cased)."""
+        name = name.upper()
+        catalog = self._catalog
+        if catalog is None:
+            return (name,)
+        if getattr(catalog, "is_volatile", None) and catalog.is_volatile(name):
+            self.uses_volatile = True
+            return (name,)
+        if catalog.is_view(name):
+            deps = None
+            view_deps = getattr(catalog, "view_deps", None)
+            if view_deps is not None:
+                deps = view_deps(name)
+            if deps is None:
+                # Unknown closure (view registered without deps): the only
+                # safe dependency set is "everything".
+                self.wildcard = True
+                return (name,)
+            # The view's own name is part of the closure: REPLACE/DROP VIEW
+            # bumps it and must invalidate everything bound through it.
+            return (name,) + tuple(deps)
+        return (name,)
+
+    # -- plan / scalar walks ------------------------------------------------
+
+    def walk_plan(self, root: Optional[RelNode]) -> None:
+        """Deep pre-order walk: child rels *and* scalar-subquery plans."""
+        if root is None:
+            return
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, r.Get):
+                schema = node.table
+                if schema.volatile:
+                    self.uses_volatile = True
+                    self.tables.add(schema.name.upper())
+                else:
+                    self.add_read_table(schema.name)
+            stack.extend(node.children())
+            for expr in node.scalars():
+                stack.extend(self._scan_scalar(expr))
+
+    def _scan_scalar(self, expr: Optional[ScalarExpr]) -> Iterator[RelNode]:
+        """Record scalar facts; yield nested subquery plans to keep walking."""
+        if expr is None:
+            return
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, s.SubqueryExpr):
+                if node.plan is not None:
+                    yield node.plan
+            elif isinstance(node, s.ColumnRef):
+                self.columns.add(node.name.upper())
+            elif isinstance(node, s.FuncCall):
+                if node.name.upper() in VOLATILE_FUNCTIONS:
+                    self.deterministic = False
+            elif isinstance(node, s.Comp) and node.op is s.CompOp.EQ:
+                self._note_equality(node)
+            stack.extend(node.children())
+
+    def _note_equality(self, comp: s.Comp) -> None:
+        column, const = comp.left, comp.right
+        if isinstance(column, s.Const) and isinstance(const, s.ColumnRef):
+            column, const = const, column
+        if isinstance(column, s.ColumnRef) and isinstance(const, s.Const):
+            self.constants.append((column.name.upper(), const.value))
+
+    def scan_scalars(self, exprs: Iterable[Optional[ScalarExpr]]) -> None:
+        for expr in exprs:
+            for plan in self._scan_scalar(expr):
+                self.walk_plan(plan)
+
+    # -- finish -------------------------------------------------------------
+
+    def freeze(self, read_only: bool) -> StatementDeps:
+        return StatementDeps(
+            tables=tuple(sorted(self.tables)),
+            write_tables=tuple(sorted(self.write_tables)),
+            columns=tuple(sorted(self.columns)),
+            constants=tuple(self.constants),
+            read_only=read_only,
+            deterministic=self.deterministic,
+            uses_volatile=self.uses_volatile,
+            wildcard=self.wildcard,
+        )
+
+
+def extract(stmt: r.Statement, catalog=None) -> StatementDeps:
+    """Extract the dependency footprint of a bound XTRA statement.
+
+    ``catalog`` is duck-typed: it needs ``is_view(name)`` and, for view
+    closure, ``view_deps(name)``; ``is_volatile(name)`` when session
+    overlays exist.  ``None`` treats every name as a base table.
+    """
+    c = _Collector(catalog)
+
+    if isinstance(stmt, _ADMIN_KINDS):
+        # Session/admin statements: no table deps, nothing cacheable.
+        return c.freeze(read_only=True)
+
+    if isinstance(stmt, r.Query):
+        c.walk_plan(stmt.plan)
+        return c.freeze(read_only=True)
+
+    if isinstance(stmt, r.Insert):
+        c.add_write_table(stmt.table)
+        c.walk_plan(stmt.source)
+        return c.freeze(read_only=False)
+
+    if isinstance(stmt, r.Update):
+        c.add_write_table(stmt.table)
+        c.add_read_table(stmt.table)
+        c.scan_scalars([expr for _, expr in stmt.assignments])
+        c.scan_scalars([stmt.predicate])
+        return c.freeze(read_only=False)
+
+    if isinstance(stmt, r.Delete):
+        c.add_write_table(stmt.table)
+        c.add_read_table(stmt.table)
+        c.scan_scalars([stmt.predicate])
+        return c.freeze(read_only=False)
+
+    if isinstance(stmt, r.Merge):
+        c.add_write_table(stmt.target)
+        c.add_read_table(stmt.target)
+        c.walk_plan(stmt.source)
+        c.scan_scalars([stmt.condition])
+        if stmt.matched_assignments:
+            c.scan_scalars([expr for _, expr in stmt.matched_assignments])
+        if stmt.insert_values:
+            c.scan_scalars(stmt.insert_values)
+        return c.freeze(read_only=False)
+
+    if isinstance(stmt, r.CreateTable):
+        c.add_write_table(stmt.schema.name)
+        if stmt.schema.volatile:
+            c.uses_volatile = True
+        c.walk_plan(stmt.as_query)
+        return c.freeze(read_only=False)
+
+    if isinstance(stmt, (r.DropTable, r.DropView, r.DropMacro,
+                         r.DropProcedure)):
+        c.add_write_table(stmt.name)
+        return c.freeze(read_only=False)
+
+    if isinstance(stmt, r.CreateView):
+        c.add_write_table(stmt.name)
+        c.walk_plan(stmt.plan)
+        return c.freeze(read_only=False)
+
+    if isinstance(stmt, (r.CreateMacro, r.CreateProcedure)):
+        c.add_write_table(stmt.name)
+        return c.freeze(read_only=False)
+
+    if isinstance(stmt, (r.ExecMacro, r.CallProcedure)):
+        # Opaque body: could read or write anything.
+        c.wildcard = True
+        return c.freeze(read_only=False)
+
+    # Unknown statement shape: be conservative.
+    c.wildcard = True
+    return c.freeze(read_only=False)
+
+
+def view_closure(plan: RelNode, catalog=None) -> tuple[str, ...] | None:
+    """Base-table closure of a view body, or ``None`` if unknowable.
+
+    Called at ``CREATE VIEW`` time so nested views flatten transitively:
+    inner views already have their closure stored in the catalog.
+    """
+    c = _Collector(catalog)
+    c.walk_plan(plan)
+    if c.wildcard:
+        return None
+    return tuple(sorted(c.tables))

@@ -21,11 +21,13 @@ from typing import Optional
 
 from repro.errors import EmulationError, HyperQError, UnsupportedFeatureError
 from repro.backend.engine import Database
+from repro.core import deps as deps_mod
 from repro.core import trace as trace_mod
 from repro.core.budget import BatchBudget
-from repro.core.cache import Fingerprint, TranslationCache, fingerprint
+from repro.core.cache import CacheHit, Fingerprint, TranslationCache, fingerprint
 from repro.core.catalog import MacroDef, ProcedureDef, SessionCatalog, ShadowCatalog
 from repro.core.faults import ResilienceStats, RetryPolicy
+from repro.core.result_cache import ResultCache, ResultEntry
 from repro.core.timing import RequestTiming, TimingLog
 from repro.core.trace import MetricsRegistry, TraceHub, render_trace
 from repro.core.tracker import FeatureTracker
@@ -131,7 +133,8 @@ class HyperQ:
                  metrics: Optional[MetricsRegistry] = None,
                  cache_tier=None,
                  worker_index: Optional[int] = None,
-                 fleet_size: int = 1):
+                 fleet_size: int = 1,
+                 result_cache_bytes: int = 0):
         if isinstance(target, str):
             target = PROFILES[target]
         if source not in ("teradata", "ansi"):
@@ -186,7 +189,24 @@ class HyperQ:
         self.cache: Optional[TranslationCache] = None
         if cache_size > 0:
             self.cache = TranslationCache(cache_size, tier=cache_tier)
-            self.shadow.subscribe(self.cache.invalidate_catalog)
+            # Schema epochs (DDL) invalidate translations of the touched
+            # tables only; entries on disjoint tables survive.
+            self.shadow.subscribe(self.cache.invalidate_tables)
+        #: Semantic result cache (byte cap; 0 disables). Subscribed to the
+        #: *data* channel: DML on a table drops exactly the materialized
+        #: results whose dependency set includes it.
+        self.result_cache: Optional[ResultCache] = None
+        if result_cache_bytes > 0:
+            self.result_cache = ResultCache(result_cache_bytes, faults=faults)
+            registry = self.tracing.metrics
+
+            def _on_data_change(names, _rc=self.result_cache, _m=registry):
+                dropped = _rc.invalidate_tables(names)
+                if dropped and _m is not None:
+                    _m.counter(
+                        "hyperq_result_cache_invalidations_total").inc(dropped)
+
+            self.shadow.subscribe_data(_on_data_change)
         self.converter_parallelism = converter_parallelism
         self.transformer_fixpoint = transformer_fixpoint
         #: Section 4.3's performance transformation: merge contiguous
@@ -216,6 +236,11 @@ class HyperQ:
     def cache_stats(self):
         """Snapshot of translation-cache counters (None when disabled)."""
         return self.cache.stats() if self.cache is not None else None
+
+    def result_cache_stats(self):
+        """Snapshot of result-cache counters (None when disabled)."""
+        return (self.result_cache.stats()
+                if self.result_cache is not None else None)
 
     def resilience_stats(self) -> dict[str, int]:
         """Snapshot of retry/failover/timeout counters."""
@@ -284,6 +309,9 @@ class HyperQSession:
         }
         self._temp_counter = 0
         self._original_ddl: dict[str, str] = {}
+        #: Armed :class:`_ResultCapture` consumed by the next
+        #: :meth:`package_result` (result-cache materialize-through).
+        self._pending_capture: Optional[_ResultCapture] = None
         #: Tracker-free pipeline used for translation-cache sentinel probes
         #: (built lazily; probes must not pollute Figure 8 statistics).
         self._probe_stack = None
@@ -314,11 +342,26 @@ class HyperQSession:
             fp, params_key, hit = self._cache_lookup(
                 sql, parameters, named_parameters, timing)
             if hit is not None:
-                target_sql, notes = hit
-                self._replay_notes(notes)
-                with timing.measure("execution"):
-                    odbc_result = self.odbc.execute(target_sql)
-                result = self.package_result(odbc_result, timing, [target_sql])
+                if hit.result_shareable:
+                    rc_key = self._result_cache_key(fp, params_key)
+                    if rc_key is not None:
+                        replayed = self._result_cache_replay(rc_key, timing)
+                        if replayed is not None:
+                            replayed.timing = timing
+                            self.engine.timing_log.record(timing)
+                            return replayed
+                        # Re-materialize on this execution: the translation
+                        # entry survived a result-cache eviction (or a data
+                        # bump), so its deps are already known.
+                        self._arm_result_capture(rc_key, hit.deps, hit.notes)
+                self._replay_notes(hit.notes)
+                try:
+                    with timing.measure("execution"):
+                        odbc_result = self.odbc.execute(hit.target_sql)
+                    result = self.package_result(
+                        odbc_result, timing, [hit.target_sql])
+                finally:
+                    self._pending_capture = None
                 result.timing = timing
                 self.engine.timing_log.record(timing)
                 return result
@@ -343,11 +386,33 @@ class HyperQSession:
                     with trace_mod.span("bind"):
                         bound = self.binder.bind(ast)
             cache_key = self._cacheable_key(fp, bound)
-            result = self._dispatch(bound, ast, timing)
+            stmt_deps = self._extract_deps(bound, timing)
+            capture = None
+            if cache_key is not None and isinstance(bound, r.Query) \
+                    and stmt_deps is not None and stmt_deps.shareable:
+                rc_key = self._result_cache_key(fp, params_key)
+                if rc_key is not None:
+                    # Translation missed but the result may still be cached
+                    # (the two caches evict independently).
+                    replayed = self._result_cache_replay(rc_key, timing)
+                    if replayed is not None:
+                        replayed.timing = timing
+                        self.engine.timing_log.record(timing)
+                        return replayed
+                    capture = self._arm_result_capture(
+                        rc_key, stmt_deps.all_tables, None)
+            try:
+                result = self._dispatch(bound, ast, timing)
+            finally:
+                self._pending_capture = None
+                self._note_data_write(bound, stmt_deps)
+            if capture is not None and capture.notes is None:
+                capture.notes = (self.tracker.current_notes()
+                                 if self.tracker is not None else ())
             if cache_key is not None and len(result.target_sql) == 1:
                 with timing.measure("cache_lookup"):
                     self._cache_insert(cache_key, fp, params_key,
-                                       result.target_sql[0])
+                                       result.target_sql[0], stmt_deps)
             result.timing = timing
             self.engine.timing_log.record(timing)
             return result
@@ -369,7 +434,10 @@ class HyperQSession:
                 timing = RequestTiming()
                 with timing.measure("translation"):
                     bound = self.ansi_frontend.lower_spec(spec)
-                result = self._dispatch(bound, None, timing)
+                try:
+                    result = self._dispatch(bound, None, timing)
+                finally:
+                    self._note_data_write(bound)
                 result.timing = timing
                 self.engine.timing_log.record(timing)
                 results.append(result)
@@ -392,7 +460,10 @@ class HyperQSession:
                 timing = RequestTiming()
                 with timing.measure("translation"), trace_mod.span("bind"):
                     bound = self.binder.bind(ast)
-                result = self._dispatch(bound, ast, timing)
+                try:
+                    result = self._dispatch(bound, ast, timing)
+                finally:
+                    self._note_data_write(bound)
                 result.timing = timing
                 self.engine.timing_log.record(timing)
                 return result
@@ -414,7 +485,10 @@ class HyperQSession:
             merged = batch_statements([bound for bound, __ in pending])
             for bound in merged:
                 timing = RequestTiming()
-                result = self._dispatch(bound, pending[0][1], timing)
+                try:
+                    result = self._dispatch(bound, pending[0][1], timing)
+                finally:
+                    self._note_data_write(bound)
                 result.timing = timing
                 self.engine.timing_log.record(timing)
                 results.append(result)
@@ -432,7 +506,10 @@ class HyperQSession:
                     pending.append((bound, ast))
                     continue
                 flush()
-                result = self._dispatch(bound, ast, timing)
+                try:
+                    result = self._dispatch(bound, ast, timing)
+                finally:
+                    self._note_data_write(bound)
                 result.timing = timing
                 self.engine.timing_log.record(timing)
                 results.append(result)
@@ -461,9 +538,8 @@ class HyperQSession:
     def _translate_traced(self, sql: str) -> TranslationResult:
         fp, params_key, hit = self._cache_lookup(sql, None, {}, None)
         if hit is not None:
-            target_sql, notes = hit
-            self._replay_notes(notes)
-            return TranslationResult("sql", [target_sql])
+            self._replay_notes(hit.notes)
+            return TranslationResult("sql", [hit.target_sql])
         if self.ansi_frontend is not None:
             with trace_mod.span("parse"):
                 bound = self.ansi_frontend.bind_statement(sql)
@@ -482,6 +558,8 @@ class HyperQSession:
         cache_key = self._cacheable_key(fp, bound)
         if isinstance(bound, (r.NoOp, r.SetSessionParam)):
             return TranslationResult("ok")
+        stmt_deps = (self._extract_deps(bound, None)
+                     if cache_key is not None else None)
         with trace_mod.span("transform"):
             self.transformer.transform(bound)
         with trace_mod.span("serialize") as span:
@@ -489,7 +567,8 @@ class HyperQSession:
             if span is not None:
                 span.annotate("bytes", len(target_sql))
         if cache_key is not None:
-            self._cache_insert(cache_key, fp, params_key, target_sql)
+            self._cache_insert(cache_key, fp, params_key, target_sql,
+                               stmt_deps)
         return TranslationResult("sql", [target_sql])
 
     def close(self) -> None:
@@ -593,7 +672,8 @@ class HyperQSession:
                 bound = binder.bind(parser.parse_statement(sql))
         except Exception:
             return None, cache_hit
-        return extract_features(bound, self.engine.estimate_rows), cache_hit
+        return extract_features(bound, self.engine.estimate_rows,
+                                catalog=self.catalog), cache_hit
 
     def apply_batch_budget(self, budget: Optional[BatchBudget]) -> None:
         """Apply a per-request stream-budget override (workload classes
@@ -646,7 +726,7 @@ class HyperQSession:
     def _cache_key_base(self, fp: Fingerprint) -> tuple:
         return TranslationCache.key_base(
             self.engine.source, self.profile.name, fp.text,
-            self.engine.shadow.version, self.catalog.overlay_key)
+            self.catalog.overlay_key)
 
     def _cacheable_key(self, fp: Optional[Fingerprint], bound: r.Statement):
         """Key base if this statement's translation may be memoized, else
@@ -661,16 +741,150 @@ class HyperQSession:
         return self._cache_key_base(fp)
 
     def _cache_insert(self, key_base: tuple, fp: Fingerprint,
-                      params_key, target_sql: str) -> None:
+                      params_key, target_sql: str, stmt_deps=None) -> None:
         notes = (self.tracker.current_notes()
                  if self.tracker is not None else ())
+        deps = (stmt_deps.all_tables if stmt_deps is not None
+                else (deps_mod.WILDCARD,))
+        shareable = stmt_deps.shareable if stmt_deps is not None else False
         self.engine.cache.insert(key_base, fp, params_key, target_sql, notes,
+                                 deps=deps, result_shareable=shareable,
                                  probe=self._probe_translate)
 
     def _replay_notes(self, notes) -> None:
         if self.tracker is not None:
             for feature, stage in notes:
                 self.tracker.note(feature, stage)
+
+    # -- semantic dependencies and the result cache ------------------------------------
+
+    def _extract_deps(self, bound: r.Statement, timing):
+        """Dependency footprint of *bound* (timed as ``dependency_extract``).
+
+        Extraction failures degrade to ``None`` — callers treat that as
+        "unknown deps": wildcard translation entries, no result caching,
+        no data bump (the schema channel still catches DDL).
+        """
+        from contextlib import nullcontext
+
+        stage = (timing.measure("dependency_extract") if timing is not None
+                 else nullcontext())
+        try:
+            with stage, trace_mod.span("dependency_extract") as span:
+                stmt_deps = deps_mod.extract(bound, self.catalog)
+                if span is not None:
+                    span.annotate("tables", len(stmt_deps.all_tables))
+                    span.annotate("shareable", stmt_deps.shareable)
+            return stmt_deps
+        except Exception:
+            return None
+
+    def _note_data_write(self, bound: r.Statement, stmt_deps=None) -> None:
+        """Bump the data epoch of every table *bound* writes.
+
+        Runs after dispatch on every execution path (including script
+        batching), so result-cache entries depending on the written tables
+        drop immediately and their stored vectors can never match again.
+        Macro/procedure calls have opaque bodies — they bump the wildcard.
+        """
+        if isinstance(bound, (r.Insert, r.Update, r.Delete, r.Merge)):
+            if stmt_deps is None:
+                stmt_deps = self._extract_deps(bound, None)
+            if stmt_deps is not None and stmt_deps.write_tables:
+                self.engine.shadow.bump_data(*stmt_deps.write_tables)
+            elif stmt_deps is None:
+                self.engine.shadow.bump_data(deps_mod.WILDCARD)
+        elif isinstance(bound, (r.ExecMacro, r.CallProcedure)):
+            self.engine.shadow.bump_data(deps_mod.WILDCARD)
+
+    def _result_cache_key(self, fp: Optional[Fingerprint], params_key):
+        """Result-cache key for this request, or None when result caching
+        is off, the statement has no fingerprint, or a session volatile
+        overlay makes results non-shareable across sessions."""
+        if self.engine.result_cache is None or fp is None \
+                or self.catalog.overlay_key is not None:
+            return None
+        return (self.engine.source, self.profile.name, fp.text,
+                fp.values_key(), params_key)
+
+    def _result_cache_replay(self, rc_key: tuple, timing) -> Optional[HQResult]:
+        """Serve a materialized result with zero backend calls, or None.
+
+        A hit replays the stored TDF packets through the normal Result
+        Converter path, so the client-visible bytes match a live run; the
+        cache itself re-checks the dependency version vector before
+        serving.
+        """
+        rcache = self.engine.result_cache
+        metrics = self.engine.tracing.metrics
+        with timing.measure("dependency_extract"), \
+                trace_mod.span("result_cache") as span:
+            entry = rcache.lookup(rc_key, self.engine.shadow.version_vector)
+            if span is not None:
+                span.annotate("hit", entry is not None)
+        if entry is None:
+            if metrics is not None:
+                metrics.counter("hyperq_result_cache_misses_total").inc()
+            return None
+        if metrics is not None:
+            metrics.counter("hyperq_result_cache_hits_total").inc()
+        self._replay_notes(entry.notes)
+        with timing.measure("result_conversion"):
+            converted = self.converter.convert(list(entry.packets),
+                                               list(entry.types))
+        timing.mark_first_row()
+        return HQResult(
+            kind="rows", columns=list(entry.columns), metas=converted.metas,
+            converted=converted, rowcount=converted.rowcount, timing=timing,
+            target_sql=[entry.target_sql] if entry.target_sql else [],
+        )
+
+    def _arm_result_capture(self, rc_key: tuple, dep_tables, notes):
+        """Prepare to materialize the next packaged result into the result
+        cache. The dependency version vector is captured *now* — before
+        execution — so DML racing the execution makes the stored vector
+        stale (a conservative drop on next lookup), never a stale serve."""
+        capture = _ResultCapture(
+            key=rc_key, deps=tuple(dep_tables),
+            vector=self.engine.shadow.version_vector(dep_tables),
+            notes=notes)
+        self._pending_capture = capture
+        return capture
+
+    def _capturing_batches(self, capture, packets, columns, types,
+                           target_sql: str):
+        """Tee the streamed TDF packets into a result-cache entry.
+
+        Accumulation aborts (and counts a reject) the moment the running
+        packet size crosses the per-entry cap, so an oversized scan never
+        buffers unbounded bytes; the entry is inserted only when the
+        consumer drains the stream to completion."""
+        rcache = self.engine.result_cache
+        collected: Optional[list[bytes]] = []
+        size = 0
+        for packet in packets:
+            if collected is not None:
+                size += len(packet)
+                if size > rcache.max_entry_bytes:
+                    collected = None
+                    rcache.note_reject()
+                else:
+                    collected.append(packet)
+            yield packet
+        if collected is None:
+            return
+        notes = capture.notes
+        if notes is None:
+            notes = (self.tracker.current_notes()
+                     if self.tracker is not None else ())
+        entry = ResultEntry(
+            columns=tuple(columns), types=tuple(types),
+            packets=tuple(collected), notes=tuple(notes),
+            deps=capture.deps, vector=capture.vector, target_sql=target_sql)
+        if rcache.insert(capture.key, entry):
+            metrics = self.engine.tracing.metrics
+            if metrics is not None:
+                metrics.counter("hyperq_result_cache_inserts_total").inc()
 
     def _probe_translate(self, probe_sql: str) -> str:
         """Run the full pipeline over sentinel SQL, tracker-free.
@@ -750,11 +964,18 @@ class HyperQSession:
         if the consumer buffers). Backend pull time lands in the
         ``execution`` timing stage, decode/encode in ``result_conversion``.
         """
+        capture, self._pending_capture = self._pending_capture, None
         if odbc_result.kind != "rows":
             return HQResult(kind=odbc_result.kind, rowcount=odbc_result.rowcount,
                             timing=timing, target_sql=target_sql)
+        packets = self._timed_batches(odbc_result, timing)
+        if capture is not None and self.engine.result_cache is not None:
+            packets = self._capturing_batches(
+                capture, packets, odbc_result.columns,
+                odbc_result.column_types,
+                target_sql[0] if len(target_sql) == 1 else "")
         converted = self.converter.convert_stream(
-            self._timed_batches(odbc_result, timing),
+            packets,
             odbc_result.column_types,
             timing=timing,
             on_first_chunk=timing.mark_first_row)
@@ -966,8 +1187,28 @@ class HyperQSession:
                        for col in bound.plan.output_columns()]
         schema = TableSchema(bound.name, columns, is_view=True,
                              view_sql=bound.source_sql)
-        self.engine.shadow.add_view(schema, replace=bound.replace)
+        # Store the base-table closure so dependency extraction can expand
+        # references through this view (nested views flatten transitively).
+        closure = deps_mod.view_closure(bound.plan, self.catalog)
+        self.engine.shadow.add_view(schema, replace=bound.replace,
+                                    deps=closure)
         return self.run_translated(bound, timing)
+
+
+class _ResultCapture:
+    """State armed before execution for result-cache materialization.
+
+    ``notes`` may be ``None`` until translation completes; the capturing
+    generator falls back to the tracker's in-flight notes in that case.
+    """
+
+    __slots__ = ("key", "deps", "vector", "notes")
+
+    def __init__(self, key: tuple, deps: tuple, vector: tuple, notes):
+        self.key = key
+        self.deps = deps
+        self.vector = vector
+        self.notes = notes
 
 
 #: ``SHOW HYPERQ ...`` observability commands, intercepted before the parser

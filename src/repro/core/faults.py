@@ -66,15 +66,25 @@ ADMISSION_REJECT = "admission-reject"
 #: supervisor must restart it within one supervision tick with every other
 #: worker's sessions unaffected.
 WORKER_CRASH = "worker-crash"
+#: A result-cache entry is force-evicted right after insertion (seeded
+#: churn: the warm path must fall back to the backend, never error).
+RESULT_CACHE_EVICT = "result-cache-evict"
+#: A result-cache lookup is forced to treat its entry as version-stale and
+#: drop it (the paranoid probe: correctness must not depend on the eager
+#: invalidation index, only on the version-vector check).
+RESULT_CACHE_STALE = "result-cache-stale"
 
 FAULT_KINDS = (BACKEND_TRANSIENT, BACKEND_TIMEOUT, REPLICA_DOWN,
-               WIRE_DISCONNECT, SLOW_RESULT, ADMISSION_REJECT, WORKER_CRASH)
+               WIRE_DISCONNECT, SLOW_RESULT, ADMISSION_REJECT, WORKER_CRASH,
+               RESULT_CACHE_EVICT, RESULT_CACHE_STALE)
 
 #: Injection sites a spec may target. ``"gateway"`` is drawn once per
 #: request inside a gateway worker process (the spec's ``replica`` field
 #: selects the worker index), so a scripted :data:`WORKER_CRASH` kills a
-#: chosen shard at a chosen request deterministically.
-SITES = ("odbc", "executor", "wire", "admission", "gateway")
+#: chosen shard at a chosen request deterministically. ``"result_cache"``
+#: is drawn per result-cache lookup/insert and only the two
+#: ``RESULT_CACHE_*`` kinds act there.
+SITES = ("odbc", "executor", "wire", "admission", "gateway", "result_cache")
 
 
 @dataclass(frozen=True)
@@ -363,6 +373,9 @@ def named_schedule(name: str, seed: int = 0) -> FaultSchedule:
       deadline miss for any deadline-bearing class), and replica 1 drops
       out for a window; the workload manager must reject gracefully, keep
       sessions alive, and fail reads over — with a byte-reproducible log.
+    * ``result-cache-churn`` — every 4th result-cache operation evicts the
+      just-touched entry, every 7th forces a stale-version drop; answers
+      must stay byte-identical to an uncached run (misses re-execute).
     """
     if name == "transient-errors":
         return FaultSchedule(seed, [
@@ -384,8 +397,13 @@ def named_schedule(name: str, seed: int = 0) -> FaultSchedule:
             FaultSpec(SLOW_RESULT, "admission", every=5, delay=30.0),
             FaultSpec(REPLICA_DOWN, "odbc", replica=1, after=4, until=10),
         ], name=name)
+    if name == "result-cache-churn":
+        return FaultSchedule(seed, [
+            FaultSpec(RESULT_CACHE_EVICT, "result_cache", every=4),
+            FaultSpec(RESULT_CACHE_STALE, "result_cache", every=7),
+        ], name=name)
     raise ValueError(f"unknown fault schedule {name!r}")
 
 
 NAMED_SCHEDULES = ("transient-errors", "replica-loss", "disconnect-storm",
-                   "admission-storm")
+                   "admission-storm", "result-cache-churn")

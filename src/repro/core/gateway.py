@@ -62,6 +62,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.cache import CacheEntry, CacheTier
+from repro.core.deps import WILDCARD
 from repro.core.faults import FaultSchedule, FaultSpec
 from repro.core.trace import MetricsRegistry, aggregate_metrics, render_trace
 from repro.errors import HyperQError
@@ -251,11 +252,16 @@ def _cache_path(run_dir: str) -> str:
 
 
 class _TierStore:
-    """Byte-capped LRU of :class:`CacheEntry` for the cache service."""
+    """Byte-capped LRU of :class:`CacheEntry` for the cache service.
+
+    Mirrors the L1's semantic invalidation: every entry carries its
+    dependency table set and an inverted table→keys index drops exactly
+    the entries a DDL epoch bump affects, fleet-wide."""
 
     def __init__(self, max_bytes: int):
         self.max_bytes = max_bytes
         self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        self._dep_index: dict[str, set] = {}
         self._bytes = 0
         self.hits = 0
         self.misses = 0
@@ -276,21 +282,43 @@ class _TierStore:
         previous = self._entries.pop(key, None)
         if previous is not None:
             self._bytes -= previous.size
+            self._index_remove(key, previous)
         self._entries[key] = entry
         self._bytes += entry.size
+        self._index_add(key, entry)
         self.inserts += 1
         while self._bytes > self.max_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
+            evicted_key, evicted = self._entries.popitem(last=False)
             self._bytes -= evicted.size
+            self._index_remove(evicted_key, evicted)
             self.evictions += 1
 
-    def invalidate_catalog(self, new_version: int) -> int:
-        stale = [key for key, entry in self._entries.items()
-                 if entry.catalog_version < new_version]
+    def invalidate_tables(self, names) -> int:
+        touched = {str(name).upper() for name in names}
+        if WILDCARD in touched:
+            stale = set(self._entries)
+        else:
+            stale = set()
+            for name in touched | {WILDCARD}:
+                stale |= self._dep_index.get(name, set())
         for key in stale:
-            self._bytes -= self._entries.pop(key).size
+            entry = self._entries.pop(key)
+            self._bytes -= entry.size
+            self._index_remove(key, entry)
         self.invalidated += len(stale)
         return len(stale)
+
+    def _index_add(self, key: tuple, entry: CacheEntry) -> None:
+        for name in entry.deps:
+            self._dep_index.setdefault(name, set()).add(key)
+
+    def _index_remove(self, key: tuple, entry: CacheEntry) -> None:
+        for name in entry.deps:
+            keys = self._dep_index.get(name)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._dep_index[name]
 
     def stats(self) -> dict:
         return {"entries": len(self._entries), "bytes": self._bytes,
@@ -323,8 +351,8 @@ def _cache_service_main(path: str, max_bytes: int,
             if op == "put":
                 store.put(request[1], request[2])
                 return True
-            if op == "invalidate_catalog":
-                return store.invalidate_catalog(request[1])
+            if op == "invalidate_tables":
+                return store.invalidate_tables(request[1])
             if op == "stats":
                 return store.stats()
         raise GatewayError(f"unknown cache op {op!r}")
@@ -349,8 +377,8 @@ class CacheServiceClient(CacheTier):
     def put(self, key: tuple, entry: CacheEntry) -> None:
         self._rpc.call("put", key, entry)
 
-    def invalidate_catalog(self, new_version: int) -> None:
-        self._rpc.call("invalidate_catalog", new_version)
+    def invalidate_tables(self, names) -> None:
+        self._rpc.call("invalidate_tables", tuple(names))
 
     def stats(self) -> dict:
         return self._rpc.call("stats")
@@ -420,6 +448,10 @@ class GatewayConfig:
     cache_size: int = 32 * 1024 * 1024
     shared_cache: bool = True
     shared_cache_bytes: int = 32 * 1024 * 1024
+    #: Per-worker semantic result cache (0 disables). Kept per worker —
+    #: results are large and replaying them through a shared-tier RPC
+    #: would cost more than re-executing most statements.
+    result_cache_bytes: int = 0
     setup_sql: str = ""
     request_timeout: Optional[float] = None
     max_connections: int = 64
@@ -499,6 +531,7 @@ def _worker_main(config: GatewayConfig, index: int, generation: int,
                     cache_size=config.cache_size, cache_tier=tier,
                     faults=faults, workload=workload, tracing=config.tracing,
                     worker_index=index, fleet_size=config.workers,
+                    result_cache_bytes=config.result_cache_bytes,
                     **dict(config.engine_options))
     if config.setup_sql:
         boot = engine.create_session()
@@ -531,6 +564,9 @@ def _worker_main(config: GatewayConfig, index: int, generation: int,
         if op == "cache_stats":
             return engine.cache.stats().as_dict() \
                 if engine.cache is not None else None
+        if op == "result_cache_stats":
+            stats = engine.result_cache_stats()
+            return stats.as_dict() if stats is not None else None
         if op == "shutdown":
             stop.set()
             try:
@@ -940,6 +976,25 @@ class Gateway:
         if self._cache_client is None:
             return None
         return self._cache_client.call("stats")
+
+    def result_cache_stats(self) -> Optional[dict]:
+        """Fleet-wide result-cache counters: every worker's snapshot
+        summed (None when no worker has a result cache)."""
+        per_worker = [stats for _, stats
+                      in self._collect("result_cache_stats")
+                      if stats is not None]
+        if not per_worker:
+            return None
+        fleet: dict[str, float] = {}
+        for stats in per_worker:
+            for name, value in stats.items():
+                if name == "hit_rate":
+                    continue
+                fleet[name] = fleet.get(name, 0) + value
+        lookups = fleet.get("hits", 0) + fleet.get("misses", 0)
+        fleet["hit_rate"] = fleet.get("hits", 0) / lookups if lookups else 0.0
+        fleet["workers"] = len(per_worker)
+        return fleet
 
     @property
     def restarts(self) -> dict[int, int]:

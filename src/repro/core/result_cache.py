@@ -1,0 +1,243 @@
+"""Fingerprint-keyed result cache for repeated read-only statements.
+
+The workload the paper targets (Table 1) and the dashboard traffic Sigma
+Worksheet describes re-issue near-identical read-only queries constantly.
+The translation cache already makes those skip parse→bind→transform→
+serialize; this layer makes them skip the *backend* too: a hit replays the
+stored result batches through the normal TDF → Result Converter pipeline
+(:meth:`HyperQSession.fabricate_result`) with zero executor calls.
+
+Safety model (two independent layers):
+
+1. **Version vectors in the entry.**  Every entry stores the dependency
+   set the extractor (``core/deps.py``) computed for its statement and the
+   shadow catalog's ``(name, schema_epoch, data_epoch)`` vector over that
+   set, captured before first execution.  A lookup recomputes the current
+   vector and serves only on exact equality — a stale serve is impossible
+   by construction, even if the eager index below were broken.
+2. **Eager invalidation index.**  The same inverted table→entries index
+   the translation cache uses drops affected entries the moment DDL/DML
+   touches a dependency, reclaiming memory immediately and making entry
+   survival across disjoint-table DML measurable.
+
+Only *shareable* statements are stored: read-only, deterministic (no
+``CURRENT_TIMESTAMP`` and friends), no volatile-table references, no
+session overlay active, and no parameter values the key cannot freeze.
+Entries are byte-bounded with LRU eviction and a per-entry cap so one
+giant scan cannot monopolize (or thrash) the cache; oversized results
+abort materialization mid-stream and are simply not stored.
+
+The ``"result_cache"`` fault site injects seeded churn: forced eviction
+after insert and forced stale-version drops on lookup, so the resilience
+battery can prove answers never depend on the cache's health.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.core.deps import WILDCARD
+from repro.core.faults import RESULT_CACHE_EVICT, RESULT_CACHE_STALE
+
+
+@dataclass
+class ResultCacheStats:
+    """Monotonic counters; snapshot with :meth:`ResultCache.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    stale_drops: int = 0     # vector mismatch (or forced stale probe)
+    rejects: int = 0         # result too large / not shareable
+    injected_evictions: int = 0  # fault-plane forced evictions
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        snapshot = {f.name: getattr(self, f.name)
+                    for f in fields(ResultCacheStats)}
+        snapshot["hit_rate"] = self.hit_rate
+        return snapshot
+
+
+@dataclass
+class ResultEntry:
+    """One materialized result: the exact TDF packets the backend produced.
+
+    Storing the *encoded* batches (not decoded rows) means a replay pushes
+    byte-identical packets through the same Result Converter path a live
+    execution uses — the client cannot tell a hit from a backend run — and
+    sizing is exact instead of estimated.
+    """
+
+    columns: tuple[str, ...]
+    types: tuple                      # declared backend column types
+    packets: tuple[bytes, ...]        # encoded TDF batches, in order
+    notes: tuple[tuple[str, str], ...]  # tracker bits to replay on a hit
+    deps: tuple[str, ...]             # dependency tables (upper-cased)
+    vector: tuple                     # shadow version vector over ``deps``
+    target_sql: str = ""              # what a backend run would have sent
+    size: int = 0
+
+    def __post_init__(self):
+        if not self.size:
+            self.size = sum(len(packet) for packet in self.packets) \
+                + 16 * len(self.columns) + 32 * len(self.notes) \
+                + sum(16 + len(name) for name in self.deps) + 256
+
+
+class ResultCache:
+    """Thread-safe byte-capped LRU over :class:`ResultEntry`.
+
+    Keys are ``(source, profile, fingerprint_text, literal_values,
+    params_key)`` — the dependency *versions* live in the entry and are
+    checked on every lookup, so a key never needs to embed them.
+    """
+
+    def __init__(self, max_bytes: int,
+                 max_entry_bytes: Optional[int] = None,
+                 faults=None):
+        if max_bytes <= 0:
+            raise ValueError("ResultCache needs a positive byte cap; "
+                             "leave result_cache_bytes=0 to disable")
+        self.max_bytes = max_bytes
+        #: Largest single result worth storing (default: an eighth of the
+        #: cache, so churn from one big scan cannot evict everything).
+        self.max_entry_bytes = (max_entry_bytes if max_entry_bytes
+                                else max(1, max_bytes // 8))
+        self._faults = faults
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, ResultEntry]" = OrderedDict()
+        self._dep_index: dict[str, set] = {}
+        self._bytes = 0
+        self._stats = ResultCacheStats()
+
+    # -- lookup / insert --------------------------------------------------------------
+
+    def lookup(self, key: tuple, current_vector) -> Optional[ResultEntry]:
+        """Return the entry iff its dependency vector is still current.
+
+        *current_vector* is ``ShadowCatalog.version_vector`` (or any
+        callable mapping a name set to a comparable vector).  A vector
+        mismatch drops the entry — it can never become valid again because
+        epochs are monotonic.
+        """
+        fault = (self._faults.draw("result_cache", op="lookup")
+                 if self._faults is not None else None)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._stats.misses += 1
+                return None
+            stale_forced = fault is not None and fault.kind == RESULT_CACHE_STALE
+            if stale_forced or current_vector(entry.deps) != entry.vector:
+                self._drop(key, entry)
+                self._stats.stale_drops += 1
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+        return entry
+
+    def insert(self, key: tuple, entry: ResultEntry) -> bool:
+        """Store *entry*; returns False (and counts a reject) when it does
+        not fit under the per-entry cap."""
+        if entry.size > self.max_entry_bytes:
+            with self._lock:
+                self._stats.rejects += 1
+            return False
+        fault = (self._faults.draw("result_cache", op="insert")
+                 if self._faults is not None else None)
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous.size
+                self._index_remove(key, previous)
+            self._entries[key] = entry
+            self._bytes += entry.size
+            self._index_add(key, entry)
+            self._stats.inserts += 1
+            while self._bytes > self.max_bytes and self._entries:
+                evicted_key, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.size
+                self._index_remove(evicted_key, evicted)
+                self._stats.evictions += 1
+            if fault is not None and fault.kind == RESULT_CACHE_EVICT \
+                    and key in self._entries:
+                self._drop(key, self._entries[key])
+                self._stats.injected_evictions += 1
+        return True
+
+    # -- invalidation -----------------------------------------------------------------
+
+    def invalidate_tables(self, names) -> int:
+        """Drop entries whose dependency set intersects *names*."""
+        touched = {name.upper() for name in names}
+        with self._lock:
+            if WILDCARD in touched:
+                stale = set(self._entries)
+            else:
+                stale = set()
+                for name in touched | {WILDCARD}:
+                    stale |= self._dep_index.get(name, set())
+            for key in stale:
+                self._drop(key, self._entries[key])
+            self._stats.invalidations += len(stale)
+            return len(stale)
+
+    def _drop(self, key: tuple, entry: ResultEntry) -> None:
+        del self._entries[key]
+        self._bytes -= entry.size
+        self._index_remove(key, entry)
+
+    def _index_add(self, key: tuple, entry: ResultEntry) -> None:
+        for name in entry.deps:
+            self._dep_index.setdefault(name, set()).add(key)
+
+    def _index_remove(self, key: tuple, entry: ResultEntry) -> None:
+        for name in entry.deps:
+            keys = self._dep_index.get(name)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._dep_index[name]
+
+    def note_reject(self) -> None:
+        """Count a result that was not storable (non-shareable statement,
+        oversized materialization aborted mid-stream)."""
+        with self._lock:
+            self._stats.rejects += 1
+
+    # -- introspection ----------------------------------------------------------------
+
+    def stats(self) -> ResultCacheStats:
+        with self._lock:
+            return ResultCacheStats(
+                **{f.name: getattr(self._stats, f.name)
+                   for f in fields(ResultCacheStats)})
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._dep_index.clear()
+            self._bytes = 0

@@ -39,7 +39,7 @@ from typing import Optional
 
 #: Stage names accepted by :meth:`RequestTiming.measure`.
 STAGES = ("translation", "execution", "result_conversion", "cache_lookup",
-          "queue_wait")
+          "dependency_extract", "queue_wait")
 
 
 @dataclass
@@ -50,6 +50,9 @@ class RequestTiming:
     execution: float = 0.0
     result_conversion: float = 0.0
     cache_lookup: float = 0.0
+    #: Dependency extraction over the bound plan plus result-cache
+    #: bookkeeping (0.0 when the semantic layers are disabled).
+    dependency_extract: float = 0.0
     #: Time spent queued in the workload manager before execution began
     #: (0.0 when no workload manager is configured).
     queue_wait: float = 0.0
@@ -62,13 +65,14 @@ class RequestTiming:
     @property
     def total(self) -> float:
         return (self.translation + self.execution + self.result_conversion
-                + self.cache_lookup + self.queue_wait)
+                + self.cache_lookup + self.dependency_extract
+                + self.queue_wait)
 
     @property
     def overhead(self) -> float:
         """Hyper-Q's share of the request (everything but execution)."""
         return (self.translation + self.result_conversion + self.cache_lookup
-                + self.queue_wait)
+                + self.dependency_extract + self.queue_wait)
 
     @property
     def overhead_fraction(self) -> float:
@@ -134,6 +138,10 @@ class TimingLog:
         return sum(t.cache_lookup for t in self.requests)
 
     @property
+    def dependency_extract(self) -> float:
+        return sum(t.dependency_extract for t in self.requests)
+
+    @property
     def queue_wait(self) -> float:
         return sum(t.queue_wait for t in self.requests)
 
@@ -146,7 +154,8 @@ class TimingLog:
     @property
     def total(self) -> float:
         return (self.translation + self.execution + self.result_conversion
-                + self.cache_lookup + self.queue_wait)
+                + self.cache_lookup + self.dependency_extract
+                + self.queue_wait)
 
     def breakdown(self) -> dict[str, float]:
         """Fractions of end-to-end time per stage (sums to 1.0)."""
@@ -161,5 +170,5 @@ class TimingLog:
         total = self.total
         if not total:
             return 0.0
-        return (self.translation + self.result_conversion
-                + self.cache_lookup + self.queue_wait) / total
+        return (self.translation + self.result_conversion + self.cache_lookup
+                + self.dependency_extract + self.queue_wait) / total

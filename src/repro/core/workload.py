@@ -237,6 +237,8 @@ class QueryFeatures:
     has_aggregation: bool = False
     has_window: bool = False
     scan_rows: int = 0         # estimated rows scanned (shadow-catalog stats)
+    tables: tuple = ()         # dependency base tables (when extractable)
+    constant_filters: int = 0  # constant equality predicates found
 
 
 #: Statements answered from mid-tier state or mutating the catalog: cheap,
@@ -253,14 +255,29 @@ _DML_STATEMENTS = (r.Insert, r.Update, r.Delete, r.Merge, r.ExecMacro,
                    r.CallProcedure)
 
 
+#: Assumed selectivity of one constant equality predicate when refining
+#: the scan estimate (each ``col = <const>`` divides by this, capped at
+#: :data:`_MAX_FILTER_REFINEMENTS` predicates).
+_FILTER_SELECTIVITY = 10
+_MAX_FILTER_REFINEMENTS = 2
+
+
 def extract_features(bound: r.Statement,
                      row_estimator: Optional[Callable[[str], int]] = None,
-                     ) -> QueryFeatures:
+                     catalog=None) -> QueryFeatures:
     """Pull the classifier's inputs out of one bound XTRA statement.
 
     *row_estimator* maps a table name to its estimated row count (the
     engine wires it to the shadow-catalog statistics); missing estimates
     count as zero rather than failing classification.
+
+    With a *catalog*, the scan estimate comes from the semantic dependency
+    extractor instead of a per-``Get`` walk: view references resolve
+    through their stored base-table closure (a view scan is priced at its
+    base tables, not zero), and each constant equality predicate the
+    extractor found divides the estimate by an assumed selectivity — a
+    dashboard's ``WHERE region = 'EMEA'`` point-lookup no longer
+    classifies like a full reporting scan.
     """
     if isinstance(bound, _ADMIN_STATEMENTS):
         return QueryFeatures(kind="admin")
@@ -286,9 +303,33 @@ def extract_features(bound: r.Statement,
             has_aggregation = True
         elif isinstance(node, r.Window):
             has_window = True
+    tables: tuple = ()
+    constant_filters = 0
+    if catalog is not None:
+        deps = None
+        try:
+            from repro.core import deps as deps_mod
+
+            deps = deps_mod.extract(bound, catalog)
+        except Exception:
+            deps = None
+        if deps is not None and not deps.wildcard:
+            tables = deps.tables
+            constant_filters = len(deps.constants)
+            if row_estimator is not None:
+                refined = 0
+                for name in deps.tables:
+                    try:
+                        refined += max(0, int(row_estimator(name)))
+                    except Exception:
+                        pass
+                refined //= _FILTER_SELECTIVITY ** min(
+                    constant_filters, _MAX_FILTER_REFINEMENTS)
+                scan_rows = refined
     return QueryFeatures(kind="query", fan_in=fan_in,
                          has_aggregation=has_aggregation,
-                         has_window=has_window, scan_rows=scan_rows)
+                         has_window=has_window, scan_rows=scan_rows,
+                         tables=tables, constant_filters=constant_filters)
 
 
 @dataclass(frozen=True)

@@ -106,6 +106,10 @@ class OdbcServer:
         self._retry = retry
         self._observer = observer
         self._connection: Optional[DriverConnection] = None
+        #: Statements that reached the target driver (retries of one
+        #: statement count once). The result cache's zero-backend-call
+        #: guarantee is asserted against this counter.
+        self.statements_executed = 0
 
     def set_batch_rows(self, batch_rows: int) -> None:
         """Adjust the batch size for subsequent statements (per-request
@@ -144,6 +148,7 @@ class OdbcServer:
 
         with trace_mod.span("odbc_execute", sql=sql[:120],
                             replica=self._replica) as span:
+            self.statements_executed += 1
             attempt = 1
             while True:
                 try:

@@ -173,15 +173,44 @@ class TestSharedCacheTier:
         # worker 1's L1 missed, the shared tier hit — no retranslation
         assert after["hits"] > before["hits"]
 
-    def test_tier_store_lru_and_invalidation(self):
-        def entry(version: int) -> CacheEntry:
-            return CacheEntry(template=None, sql="SELECT 1", notes=(),
-                              catalog_version=version, overlay_uid=None)
+    def test_disjoint_ddl_preserves_l1_and_l2_entries(self, gateway):
+        """DDL on table A must leave entries that touch only table B alive
+        in the worker's L1 *and* the shared L2 tier (the per-table
+        invalidation acceptance bar)."""
+        gw, address = gateway
+        # a statement shape no other test warms (fingerprints strip
+        # literals, so sharing a shape would pre-warm worker L1s)
+        sql = "SELECT a FROM gw_t WHERE b = 'y' AND a BETWEEN 1 AND 3"
+        with client_on_worker(gw, address, 0) as zero:
+            assert zero.execute(sql).rows == [(2,)]     # warm L1 + L2
+            before = gw.cache_service_stats()
+            # DDL on a table the cached entry does not depend on
+            zero.execute("CREATE TABLE gw_disjoint (n INTEGER)")
+            after_ddl = gw.cache_service_stats()
+            assert after_ddl["invalidated"] == before["invalidated"]
+            # worker 0's L1 survived: the re-run never consults the tier
+            assert zero.execute(sql).rows == [(2,)]
+            after_rerun = gw.cache_service_stats()
+            assert after_rerun["hits"] == after_ddl["hits"]
+            assert after_rerun["misses"] == after_ddl["misses"]
+        # the shared L2 survived too: worker 1 misses its L1, hits the tier
+        with client_on_worker(gw, address, 1) as one:
+            assert one.execute(sql).rows == [(2,)]
+        assert gw.cache_service_stats()["hits"] > after_rerun["hits"]
 
-        store = _TierStore(max_bytes=3 * entry(1).size)
+    def test_tier_store_lru_and_invalidation(self):
+        def entry(table: str) -> CacheEntry:
+            return CacheEntry(template=None, sql="SELECT 1", notes=(),
+                              deps=(table,), overlay_uid=None)
+
+        store = _TierStore(max_bytes=3 * entry("T0").size)
         for key in range(4):
-            store.put(("k", key), entry(1))
+            store.put(("k", key), entry(f"T{key}"))
         assert store.evictions == 1 and store.get(("k", 0)) is None
         assert store.get(("k", 3)) is not None
-        assert store.invalidate_catalog(2) == 3
+        # per-table: only the entry depending on T2 drops
+        assert store.invalidate_tables(("T2",)) == 1
+        assert store.stats()["entries"] == 2
+        # wildcard bump clears the rest
+        assert store.invalidate_tables(("*",)) == 2
         assert store.stats()["entries"] == 0

@@ -1,0 +1,164 @@
+"""Unit tests for the semantic dependency extractor (core/deps.py):
+table closures through views, write targets, constant predicates, and the
+read-only / deterministic shareability classification."""
+
+import pytest
+
+from repro.core import deps as deps_mod
+from repro.core.deps import WILDCARD, StatementDeps, extract, view_closure
+from repro.core.engine import HyperQ
+
+
+@pytest.fixture()
+def session():
+    engine = HyperQ()
+    s = engine.create_session()
+    s.execute("CREATE MULTISET TABLE T "
+              "(ID INTEGER, VAL DECIMAL(12,2), NAME VARCHAR(20), D DATE)")
+    s.execute("CREATE MULTISET TABLE U (ID INTEGER, X INTEGER)")
+    s.execute("CREATE VIEW V1 AS SELECT ID, VAL FROM T")
+    s.execute("CREATE VIEW V2 AS SELECT ID FROM V1")
+    return s
+
+
+def bind(session, sql):
+    return session.binder.bind(session.parser.parse_statement(sql))
+
+
+def deps_of(session, sql) -> StatementDeps:
+    return extract(bind(session, sql), session.catalog)
+
+
+class TestReadDeps:
+    def test_simple_select(self, session):
+        d = deps_of(session, "SELECT ID FROM T WHERE ID = 1")
+        assert d.tables == ("T",)
+        assert d.read_only and d.deterministic and d.shareable
+        assert not d.wildcard
+
+    def test_join_collects_both_tables(self, session):
+        d = deps_of(session, "SELECT T.ID FROM T JOIN U ON T.ID = U.ID")
+        assert d.tables == ("T", "U")
+
+    def test_subquery_tables_collected(self, session):
+        d = deps_of(session, "SELECT ID FROM T WHERE ID IN "
+                             "(SELECT ID FROM U WHERE X > 0)")
+        assert d.tables == ("T", "U")
+
+    def test_scalar_subquery_in_select_list(self, session):
+        d = deps_of(session, "SELECT ID, (SELECT MAX(X) FROM U) FROM T")
+        assert d.tables == ("T", "U")
+
+    def test_view_expands_to_base_closure(self, session):
+        d = deps_of(session, "SELECT ID FROM V1")
+        # the view's own name stays in the set so REPLACE/DROP VIEW
+        # invalidates entries bound through it
+        assert d.tables == ("T", "V1")
+
+    def test_nested_view_flattens_transitively(self, session):
+        d = deps_of(session, "SELECT ID FROM V2")
+        assert d.tables == ("T", "V1", "V2")
+
+    def test_qualify_window_query_is_shareable(self, session):
+        d = deps_of(session, "SELECT ID, VAL FROM T "
+                             "QUALIFY RANK(VAL DESC) <= 3")
+        assert d.tables == ("T",)
+        assert d.shareable
+
+    def test_constant_equality_predicates_recorded(self, session):
+        d = deps_of(session, "SELECT VAL FROM T WHERE ID = 5 "
+                             "AND NAME = 'abc'")
+        assert ("ID", 5) in d.constants
+        assert ("NAME", "abc") in d.constants
+
+    def test_referenced_columns_recorded(self, session):
+        d = deps_of(session, "SELECT VAL FROM T WHERE ID = 5")
+        assert "ID" in d.columns and "VAL" in d.columns
+
+
+class TestWriteDeps:
+    def test_insert_target_is_written(self, session):
+        d = deps_of(session, "INSERT INTO U SELECT ID, ID FROM T")
+        assert d.write_tables == ("U",)
+        assert "T" in d.tables
+        assert not d.read_only and not d.shareable
+
+    def test_update_target(self, session):
+        d = deps_of(session, "UPDATE T SET VAL = 0 WHERE ID = 1")
+        assert d.write_tables == ("T",)
+        assert not d.read_only
+
+    def test_delete_target(self, session):
+        d = deps_of(session, "DELETE FROM U WHERE X = 9")
+        assert d.write_tables == ("U",)
+        assert not d.read_only
+
+    def test_merge_target_and_source(self, session):
+        d = deps_of(session, "MERGE INTO U USING T ON U.ID = T.ID "
+                             "WHEN MATCHED THEN UPDATE SET X = 1 "
+                             "WHEN NOT MATCHED THEN INSERT (ID, X) "
+                             "VALUES (T.ID, 0)")
+        assert d.write_tables == ("U",)
+        assert "T" in d.tables
+        assert not d.read_only
+
+    def test_update_through_view_writes_base_closure(self, session):
+        d = deps_of(session, "UPDATE V1 SET VAL = 0 WHERE ID = 1")
+        # updatable view: the write closure reaches the base table
+        assert set(d.write_tables) >= {"T", "V1"}
+
+    def test_all_tables_unions_reads_and_writes(self, session):
+        d = deps_of(session, "INSERT INTO U SELECT ID, ID FROM T")
+        assert set(d.all_tables) == {"T", "U"}
+
+
+class TestShareability:
+    def test_current_date_is_not_deterministic(self, session):
+        # Teradata's niladic DATE binds to CURRENT_DATE
+        d = deps_of(session, "SELECT ID FROM T WHERE D < DATE")
+        assert not d.deterministic
+        assert not d.shareable
+
+    def test_volatile_table_blocks_sharing(self, session):
+        session.execute("CREATE VOLATILE TABLE VT (K INTEGER) "
+                        "ON COMMIT PRESERVE ROWS")
+        d = deps_of(session, "SELECT K FROM VT")
+        assert d.uses_volatile
+        assert not d.shareable
+
+    def test_exec_macro_is_wildcard(self, session):
+        session.execute("CREATE MACRO M AS (SELECT ID FROM T;)")
+        d = deps_of(session, "EXEC M")
+        assert d.wildcard
+        assert not d.read_only
+        assert not d.shareable
+        assert WILDCARD in d.all_tables
+
+    def test_ddl_is_not_read_only(self, session):
+        d = deps_of(session, "CREATE MULTISET TABLE W (A INTEGER)")
+        assert not d.read_only
+        assert "W" in d.write_tables
+
+
+class TestViewClosure:
+    def test_closure_stored_at_create_view(self, session):
+        assert session.catalog.view_deps("V1") == ("T",)
+        assert set(session.catalog.view_deps("V2")) == {"T", "V1"}
+
+    def test_closure_helper_on_bound_plan(self, session):
+        bound = bind(session, "SELECT T.ID FROM T JOIN V1 ON T.ID = V1.ID")
+        closure = view_closure(bound.plan, session.catalog)
+        assert set(closure) == {"T", "V1"}
+
+    def test_replace_view_reaches_outer_dependents(self, session):
+        # V2 depends on V1; a statement through V2 must list V1 so that
+        # REPLACE VIEW V1 (which bumps only V1) invalidates it.
+        d = deps_of(session, "SELECT ID FROM V2")
+        assert "V1" in d.tables
+
+
+class TestWithoutCatalog:
+    def test_no_catalog_treats_names_as_base_tables(self, session):
+        bound = bind(session, "SELECT ID FROM V1")
+        d = extract(bound, None)
+        assert d.tables == ("V1",)

@@ -164,19 +164,20 @@ class TestSentinelTemplates:
 
 
 class TestTranslationCacheLRU:
-    def _key(self, cache, fp_obj, version=0):
-        return cache.key_base("teradata", "hyperion", fp_obj.text, version,
-                              None)
+    def _key(self, cache, fp_obj):
+        return cache.key_base("teradata", "hyperion", fp_obj.text, None)
 
     def test_hit_miss_insert_counters(self, lexer):
         cache = TranslationCache(1 << 20)
         f = fp("SELECT ID FROM T WHERE GRP = 1", lexer)
         key = self._key(cache, f)
         assert cache.lookup(key, f, None) is None
-        cache.insert(key, f, None, "SELECT 1", (("qualify", "binder"),))
-        sql, notes = cache.lookup(key, f, None)
-        assert sql == "SELECT 1"
-        assert notes == (("qualify", "binder"),)
+        cache.insert(key, f, None, "SELECT 1", (("qualify", "binder"),),
+                     deps=("T",))
+        hit = cache.lookup(key, f, None)
+        assert hit.target_sql == "SELECT 1"
+        assert hit.notes == (("qualify", "binder"),)
+        assert hit.deps == ("T",)
         stats = cache.stats()
         assert (stats.hits, stats.misses, stats.inserts) == (1, 1, 1)
 
@@ -203,19 +204,40 @@ class TestTranslationCacheLRU:
         assert stats.misses == 0
         assert stats.bypasses == 1
 
-    def test_invalidate_catalog_drops_stale_versions(self, lexer):
+    def test_invalidate_tables_drops_dependents_only(self, lexer):
+        cache = TranslationCache(1 << 20)
+        on_t = fp("SELECT ID FROM T", lexer)
+        on_u = fp("SELECT ID FROM U", lexer)
+        cache.insert(self._key(cache, on_t), on_t, None, "SELECT 1", (),
+                     deps=("T",))
+        cache.insert(self._key(cache, on_u), on_u, None, "SELECT 2", (),
+                     deps=("U",))
+        assert cache.invalidate_tables(("T",)) == 1
+        assert len(cache) == 1
+        assert cache.stats().invalidations == 1
+        assert cache.lookup(self._key(cache, on_u), on_u, None) is not None
+
+    def test_wildcard_deps_invalidated_by_any_table(self, lexer):
         cache = TranslationCache(1 << 20)
         f = fp("SELECT ID FROM T", lexer)
-        cache.insert(self._key(cache, f, version=3), f, None, "SELECT 1", ())
-        assert cache.invalidate_catalog(4) == 1
+        # Default deps are the wildcard: conservative entries drop on every
+        # schema change, matching the old whole-cache behaviour.
+        cache.insert(self._key(cache, f), f, None, "SELECT 1", ())
+        assert cache.invalidate_tables(("UNRELATED",)) == 1
         assert len(cache) == 0
-        assert cache.stats().invalidations == 1
+
+    def test_empty_deps_survive_every_table_bump(self, lexer):
+        cache = TranslationCache(1 << 20)
+        f = fp("SELECT ID FROM T", lexer)
+        cache.insert(self._key(cache, f), f, None, "SELECT 1", (), deps=())
+        assert cache.invalidate_tables(("T", "U")) == 0
+        assert cache.invalidate_tables(("*",)) == 1
 
     def test_invalidate_overlay_targets_one_session(self, lexer):
         cache = TranslationCache(1 << 20)
         f = fp("SELECT ID FROM T", lexer)
-        shared_key = cache.key_base("teradata", "hyperion", f.text, 0, None)
-        private_key = cache.key_base("teradata", "hyperion", f.text, 0, (7, 1))
+        shared_key = cache.key_base("teradata", "hyperion", f.text, None)
+        private_key = cache.key_base("teradata", "hyperion", f.text, (7, 1))
         cache.insert(shared_key, f, None, "SELECT 1", ())
         cache.insert(private_key, f, None, "SELECT 2", ())
         assert cache.invalidate_overlay(7) == 1
