@@ -1,0 +1,203 @@
+"""Noisy-neighbor isolation benchmark: per-tenant p99 under an ETL storm.
+
+Three phases against the same wire server and TPC-H schema:
+
+* *solo*      — tenant ``dash`` replays a generated BI dashboard session
+  (:mod:`repro.workloads.sessions`) alone: the baseline p50/p99.
+* *untenanted* — the same replay while ``storm`` floods the shared
+  worker pool with no tenancy control plane: the degradation everyone
+  gets when one tenant misbehaves on pooled infrastructure.
+* *tenanted*  — the storm again, but with per-tenant quotas (one
+  concurrency slot, a two-deep queue, a QPS bucket) and a 4x fair-share
+  weight for ``dash``: the storm is shed at admission and the dashboard
+  keeps its latency.
+
+Reported: per-tenant p50/p99 per phase, storm shed/served counts, and
+the isolation factor (tenanted dash p99 / solo p99). Full runs assert
+the acceptance bar — tenanted p99 within 2x of solo (plus a small
+absolute floor for timer noise on sub-millisecond queries); ``--smoke``
+only reports, a one-core CI container's numbers being what they are.
+
+Standalone (it starts servers and thread fleets, not pytest-benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_tenancy.py --smoke \\
+        --json BENCH_tenancy.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import HyperQ, ServerThread, TdClient  # noqa: E402
+from repro.core.tenancy import TenancyConfig, TenantRegistry  # noqa: E402
+from repro.core.workload import WorkloadConfig, WorkloadManager  # noqa: E402
+from repro.errors import BackendError  # noqa: E402
+from repro.workloads.sessions import SessionConfig, generate  # noqa: E402
+from repro.workloads.tpch.schema import SCHEMA_DDL  # noqa: E402
+
+TENANCY = {
+    "tenants": {
+        "storm": {"weight": 1.0, "max_concurrency": 1, "queue_depth": 2,
+                  "rate": 100.0, "burst": 8},
+        "dash": {"weight": 4.0},
+    },
+}
+
+STORM_SQL = "SEL COUNT(*) FROM ORDERS CROSS JOIN NATION CROSS JOIN REGION"
+
+
+def _percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def _start_server(tenanted: bool):
+    registry = TenantRegistry(TenancyConfig.from_dict(TENANCY)) \
+        if tenanted else None
+    manager = WorkloadManager(WorkloadConfig(workers=2), tenancy=registry)
+    engine = HyperQ(workload=manager)
+    boot = engine.create_session()
+    for ddl in SCHEMA_DDL.values():
+        boot.execute(ddl)
+    thread = ServerThread(engine)
+    host, port = thread.start()
+    return thread, manager, host, port
+
+
+def _dash_latencies(host, port, tenant, statements) -> list[float]:
+    samples = []
+    with TdClient(host, port, tenant=tenant) as client:
+        for sql in statements:
+            begin = time.monotonic()
+            client.execute(sql)
+            samples.append(time.monotonic() - begin)
+    return samples
+
+
+def _run_phase(tenanted: bool, storm_threads: int, statements) -> dict:
+    """One server lifecycle: optional storm + the dash replay, measured."""
+    thread, manager, host, port = _start_server(tenanted)
+    dash = "dash" if tenanted else None
+    storm = "storm" if tenanted else None
+    try:
+        # Warm translation paths so the first measured query is not an
+        # outlier of parse/bind/transform work the steady state skips.
+        with TdClient(host, port, tenant=dash) as warm:
+            for sql in set(statements):
+                warm.execute(sql)
+            warm.execute(STORM_SQL)
+
+        stop = threading.Event()
+        counts = {"served": 0, "shed": 0}
+        lock = threading.Lock()
+
+        def flood():
+            with TdClient(host, port, tenant=storm) as client:
+                while not stop.is_set():
+                    try:
+                        client.execute(STORM_SQL)
+                        with lock:
+                            counts["served"] += 1
+                    except BackendError:
+                        with lock:
+                            counts["shed"] += 1
+
+        workers = [threading.Thread(target=flood)
+                   for __ in range(storm_threads)]
+        for worker in workers:
+            worker.start()
+        if workers:
+            time.sleep(0.2)  # let the storm ramp before measuring
+        try:
+            samples = _dash_latencies(host, port, dash, statements)
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=30)
+        return {
+            "tenanted": tenanted,
+            "storm_threads": storm_threads,
+            "dash_p50_ms": round(_percentile(samples, 0.50) * 1e3, 3),
+            "dash_p99_ms": round(_percentile(samples, 0.99) * 1e3, 3),
+            "storm_served": counts["served"],
+            "storm_sheds": counts["shed"],
+        }
+    finally:
+        thread.stop()
+        manager.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="shorter session, fewer storm threads, no "
+                             "isolation assertion")
+    parser.add_argument("--storm-threads", type=int, default=None)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the results as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    storm_threads = args.storm_threads or (2 if args.smoke else 4)
+    steps = 10 if args.smoke else 30
+    statements = [event.sql for event in generate(SessionConfig(
+        tenants=("dash",), sessions_per_tenant=1, steps_per_session=steps,
+        seed=20260808))]
+
+    print(f"tenancy isolation: {len(statements)} dashboard statements, "
+          f"{storm_threads} storm threads, smoke={args.smoke}")
+    solo = _run_phase(tenanted=True, storm_threads=0,
+                      statements=statements)
+    untenanted = _run_phase(tenanted=False, storm_threads=storm_threads,
+                            statements=statements)
+    tenanted = _run_phase(tenanted=True, storm_threads=storm_threads,
+                          statements=statements)
+
+    for label, phase in (("solo", solo), ("untenanted storm", untenanted),
+                         ("tenanted storm", tenanted)):
+        print(f"  {label}: dash p50 {phase['dash_p50_ms']}ms "
+              f"p99 {phase['dash_p99_ms']}ms, storm served "
+              f"{phase['storm_served']} shed {phase['storm_sheds']}")
+
+    isolation = tenanted["dash_p99_ms"] / solo["dash_p99_ms"] \
+        if solo["dash_p99_ms"] else float("inf")
+    degradation = untenanted["dash_p99_ms"] / solo["dash_p99_ms"] \
+        if solo["dash_p99_ms"] else float("inf")
+    print(f"  isolation factor x{isolation:.2f} (tenanted p99 / solo p99); "
+          f"untenanted degradation x{degradation:.2f}")
+
+    report = {"smoke": args.smoke, "statements": len(statements),
+              "solo": solo, "untenanted_storm": untenanted,
+              "tenanted_storm": tenanted,
+              "isolation_factor": round(isolation, 3),
+              "untenanted_degradation": round(degradation, 3)}
+
+    if not args.smoke:
+        # The acceptance bar: within 2x of solo, with a small absolute
+        # floor so a sub-millisecond baseline doesn't fail on timer noise.
+        bound_ms = max(2.0 * solo["dash_p99_ms"],
+                       solo["dash_p99_ms"] + 50.0)
+        assert tenanted["dash_p99_ms"] <= bound_ms, (
+            f"tenanted dash p99 {tenanted['dash_p99_ms']}ms exceeded "
+            f"{bound_ms}ms (solo {solo['dash_p99_ms']}ms)")
+        assert tenanted["storm_sheds"] > 0, \
+            "the storm tenant was never shed — quotas did not engage"
+        print("  <=2x isolation assertion: PASS")
+    else:
+        print("  <=2x isolation assertion: skipped (smoke)")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"  wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.core.engine import (
     TranslationResult,
 )
 from repro.core.gateway import Gateway, GatewayConfig
+from repro.core.tenancy import TenancyConfig, TenantRegistry
 from repro.core.tracker import FeatureTracker
 from repro.core.timing import RequestTiming, TimingLog
 from repro.core.workload import WorkloadConfig, WorkloadManager
@@ -59,6 +60,8 @@ __all__ = [
     "PROFILES",
     "WorkloadConfig",
     "WorkloadManager",
+    "TenancyConfig",
+    "TenantRegistry",
     "virtualize",
 ]
 

@@ -86,34 +86,67 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tenancy_config(args: argparse.Namespace):
+    """The multi-tenant control-plane config from ``--tenants`` (inline
+    JSON or ``@path``) or ``HQ_TENANCY_CONFIG``; None when unset."""
+    from repro.core.tenancy import TenancyConfig
+
+    if args.tenants:
+        return TenancyConfig.parse(args.tenants)
+    return TenancyConfig.from_env()
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import os
+    import signal
+    import threading
 
     if args.workers > 1:
         return _serve_gateway(args)
+    tenancy = _tenancy_config(args)
+    registry = None
+    if tenancy is not None:
+        from repro.core.tenancy import TenantRegistry
+
+        registry = TenantRegistry(tenancy)
     workload = None
-    if args.workload or os.environ.get("HQ_WORKLOAD_CONFIG"):
+    if args.workload or tenancy is not None \
+            or os.environ.get("HQ_WORKLOAD_CONFIG"):
         from repro.core.workload import WorkloadConfig, WorkloadManager
 
-        workload = WorkloadManager(WorkloadConfig.from_env())
+        workload = WorkloadManager(WorkloadConfig.from_env(),
+                                   tenancy=registry)
     engine = HyperQ(target=args.target, source=args.source, workload=workload,
                     tracing=not args.no_trace, trace_ring=args.trace_ring,
                     trace_log=args.trace_log,
                     slow_query_log=args.slow_query_log,
-                    result_cache_bytes=args.result_cache_bytes)
+                    result_cache_bytes=args.result_cache_bytes,
+                    tenancy=registry)
     thread = ServerThread(engine, host=args.host, port=args.port,
                           max_connections=args.max_connections)
     host, port = thread.start()
     managed = "on" if workload is not None else "off"
     traced = "off" if args.no_trace else "on"
+    tenanted = (f"{len(registry.tenant_names)} tenants"
+                if registry is not None else "tenancy off")
     print(f"Hyper-Q listening on {host}:{port} "
           f"(source={args.source}, target={args.target}, "
-          f"workload management {managed}, tracing {traced}) "
-          "— Ctrl-C to stop")
+          f"workload management {managed}, tracing {traced}, {tenanted}) "
+          "— Ctrl-C to stop, SIGTERM to drain")
+    done = threading.Event()
+    # SIGTERM drains: in-flight requests finish, idle connections close,
+    # then the server stops — no reply is ever cut mid-stream.
+    signal.signal(signal.SIGTERM, lambda signum, frame: done.set())
     try:
-        import threading
+        done.wait()
+        thread.server.begin_drain()
+        deadline = args.drain_deadline
+        import time as time_mod
 
-        threading.Event().wait()
+        until = time_mod.monotonic() + deadline
+        while not thread.server.drained() \
+                and time_mod.monotonic() < until:
+            time_mod.sleep(0.05)
     except KeyboardInterrupt:
         pass
     finally:
@@ -126,11 +159,15 @@ def _serve_gateway(args: argparse.Namespace) -> int:
     acceptor process routing sessions to N engine workers, a shared
     translation-cache tier, and fleet-wide SHOW HYPERQ aggregation."""
     import os
+    import signal
+    import threading
 
     from repro.core.gateway import Gateway, GatewayConfig
 
+    tenancy = _tenancy_config(args)
     workload = None
-    if args.workload or os.environ.get("HQ_WORKLOAD_CONFIG"):
+    if args.workload or tenancy is not None \
+            or os.environ.get("HQ_WORKLOAD_CONFIG"):
         from repro.core.workload import WorkloadConfig
 
         workload = WorkloadConfig.from_env()
@@ -142,24 +179,34 @@ def _serve_gateway(args: argparse.Namespace) -> int:
         workers=args.workers, host=args.host, port=args.port,
         target=args.target, source=args.source, setup_sql=setup_sql,
         max_connections=args.max_connections, workload=workload,
-        tracing=not args.no_trace,
+        tenancy=tenancy, tracing=not args.no_trace,
         result_cache_bytes=args.result_cache_bytes,
         engine_options={"trace_ring": args.trace_ring}))
     host, port = gateway.start()
     managed = "on" if workload is not None else "off"
     traced = "off" if args.no_trace else "on"
+    tenanted = (f"{len(tenancy.tenants)} tenants" if tenancy is not None
+                else "tenancy off")
     print(f"Hyper-Q gateway listening on {host}:{port} "
           f"({args.workers} workers, source={args.source}, "
           f"target={args.target}, workload management {managed}, "
-          f"tracing {traced}) — Ctrl-C to stop")
+          f"tracing {traced}, {tenanted}) — Ctrl-C to stop, "
+          "SIGTERM to drain")
+    done = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: done.set())
+    drained = False
     try:
-        import threading
-
-        threading.Event().wait()
+        done.wait()
+        # Graceful fleet drain: every worker finishes its in-flight
+        # requests (deadline, then SIGKILL) before the supervisor exits.
+        outcomes = gateway.drain(deadline=args.drain_deadline)
+        drained = True
+        print(f"gateway drained: {outcomes}")
     except KeyboardInterrupt:
         pass
     finally:
-        gateway.stop()
+        if not drained:
+            gateway.stop()
     return 0
 
 
@@ -220,6 +267,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="enable the workload manager (classification"
                                 ", admission control, fair scheduling); "
                                 "configure via HQ_WORKLOAD_CONFIG")
+    serve_cmd.add_argument("--tenants", default=None, metavar="CONFIG",
+                           help="enable the multi-tenant control plane: "
+                                "inline JSON or @path to a config file "
+                                "({\"tenants\": {name: {weight, rate, "
+                                "max_concurrency, ...}}}); implies the "
+                                "workload manager; also read from "
+                                "HQ_TENANCY_CONFIG")
+    serve_cmd.add_argument("--drain-deadline", type=float, default=10.0,
+                           metavar="SECONDS",
+                           help="on SIGTERM, seconds each gateway worker "
+                                "gets to finish in-flight requests before "
+                                "SIGKILL (default: 10)")
     serve_cmd.add_argument("--result-cache-bytes", type=int, default=0,
                            metavar="N",
                            help="semantic result cache budget in bytes "

@@ -389,7 +389,8 @@ class TranslationCache:
     #: Entry count cap for the exact-text fingerprint memo.
     FP_MEMO_ENTRIES = 4096
 
-    def __init__(self, max_bytes: int, tier: Optional["CacheTier"] = None):
+    def __init__(self, max_bytes: int, tier: Optional["CacheTier"] = None,
+                 tenant_shares: Optional[dict] = None):
         if max_bytes <= 0:
             raise ValueError("TranslationCache needs a positive byte cap; "
                              "use cache_size=0 on the engine to disable")
@@ -400,6 +401,17 @@ class TranslationCache:
         self._dep_index: dict[str, set] = {}
         self._bytes = 0
         self._stats = CacheStats()
+        # Per-tenant byte accounting with reserved eviction floors:
+        # ``tenant_shares`` maps tenant name -> fraction of the cap below
+        # which other tenants' inserts may not evict that tenant's entries.
+        shares = dict(tenant_shares) if tenant_shares else {}
+        if sum(shares.values()) > 1.0 + 1e-9:
+            raise ValueError("tenant translation-cache shares sum to more "
+                             "than the whole cache")
+        self._reserved = {tenant: int(share * max_bytes)
+                          for tenant, share in shares.items()}
+        self._owner: dict[tuple, Optional[str]] = {}
+        self._tenant_bytes: dict[str, int] = {}
         #: Optional shared L2 (:class:`CacheTier`): consulted outside the
         #: lock on L1 misses, written through on inserts. Only entries with
         #: no session overlay in the key are shared — overlay uids are
@@ -506,20 +518,52 @@ class TranslationCache:
                 if not keys:
                     del self._dep_index[name]
 
-    def _install(self, key: tuple, entry: CacheEntry) -> None:
+    def _install(self, key: tuple, entry: CacheEntry,
+                 tenant: Optional[str] = None) -> None:
         """Put *entry* under *key* and evict over cap; caller holds the lock."""
         previous = self._entries.pop(key, None)
         if previous is not None:
-            self._bytes -= previous.size
+            self._account(key, -previous.size)
             self._index_remove(key, previous)
         self._entries[key] = entry
-        self._bytes += entry.size
+        self._owner[key] = tenant
+        self._account(key, entry.size)
         self._index_add(key, entry)
         while self._bytes > self._max_bytes and self._entries:
-            evicted_key, evicted = self._entries.popitem(last=False)
-            self._bytes -= evicted.size
-            self._index_remove(evicted_key, evicted)
+            victim = next((k for k in self._entries
+                           if self._evictable(k, tenant)), None)
+            if victim is None:
+                # Everyone else is at or below their reserved floor:
+                # progress beats protection, take the global LRU head.
+                victim = next(iter(self._entries))
+            self._remove(victim, self._entries[victim])
             self._stats.evictions += 1
+
+    def _account(self, key: tuple, delta: int) -> None:
+        self._bytes += delta
+        tenant = self._owner.get(key)
+        if tenant is None:
+            return
+        total = self._tenant_bytes.get(tenant, 0) + delta
+        if total > 0:
+            self._tenant_bytes[tenant] = total
+        else:
+            self._tenant_bytes.pop(tenant, None)
+
+    def _evictable(self, key: tuple, inserting: Optional[str]) -> bool:
+        """May *key* be evicted on behalf of tenant *inserting*?  A tenant
+        may always shed its own entries; another tenant's entries are fair
+        game only while that tenant sits above its reserved share."""
+        owner = self._owner.get(key)
+        if owner is None or owner == inserting:
+            return True
+        return self._tenant_bytes.get(owner, 0) > self._reserved.get(owner, 0)
+
+    def _remove(self, key: tuple, entry: CacheEntry) -> None:
+        del self._entries[key]
+        self._account(key, -entry.size)
+        self._owner.pop(key, None)
+        self._index_remove(key, entry)
 
     def _adopt(self, key: tuple, entry: CacheEntry) -> None:
         """Install a tier-provided entry into the L1 (counted as a hit plus
@@ -549,7 +593,8 @@ class TranslationCache:
                notes: tuple[tuple[str, str], ...],
                deps: tuple[str, ...] = (WILDCARD,),
                result_shareable: bool = False,
-               probe: Optional[Callable[[str], str]] = None) -> None:
+               probe: Optional[Callable[[str], str]] = None,
+               tenant: Optional[str] = None) -> None:
         """Memoize one translation.
 
         *deps* is the statement's dependency set from the extractor; when a
@@ -589,7 +634,7 @@ class TranslationCache:
                                result_shareable=result_shareable)
         with self._lock:
             self._stats.inserts += 1
-            self._install(key, entry)
+            self._install(key, entry, tenant=tenant)
         # Write through to the shared tier (outside the lock): a statement
         # one worker translated becomes a warm hit for the whole fleet.
         if self.tier is not None and key_base[3] is None:
@@ -630,9 +675,7 @@ class TranslationCache:
                 for name in touched + (WILDCARD,):
                     stale |= self._dep_index.get(name, set())
             for key in stale:
-                entry = self._entries.pop(key)
-                self._bytes -= entry.size
-                self._index_remove(key, entry)
+                self._remove(key, self._entries[key])
             self._stats.invalidations += len(stale)
         if self.tier is not None:
             try:
@@ -656,9 +699,7 @@ class TranslationCache:
             stale = [key for key, entry in self._entries.items()
                      if predicate(entry)]
             for key in stale:
-                entry = self._entries.pop(key)
-                self._bytes -= entry.size
-                self._index_remove(key, entry)
+                self._remove(key, self._entries[key])
             self._stats.invalidations += len(stale)
             return len(stale)
 
@@ -678,8 +719,15 @@ class TranslationCache:
         with self._lock:
             return self._bytes
 
+    def tenant_bytes(self) -> dict[str, int]:
+        """Bytes currently resident per tenant (insert-attributed)."""
+        with self._lock:
+            return dict(self._tenant_bytes)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._dep_index.clear()
+            self._owner.clear()
+            self._tenant_bytes.clear()
             self._bytes = 0

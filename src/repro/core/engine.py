@@ -134,7 +134,8 @@ class HyperQ:
                  cache_tier=None,
                  worker_index: Optional[int] = None,
                  fleet_size: int = 1,
-                 result_cache_bytes: int = 0):
+                 result_cache_bytes: int = 0,
+                 tenancy=None):
         if isinstance(target, str):
             target = PROFILES[target]
         if source not in ("teradata", "ansi"):
@@ -185,10 +186,29 @@ class HyperQ:
         if tracker is not None and tracker.metrics is None:
             tracker.metrics = self.tracing.metrics
         self.timing_log = TimingLog(metrics=self.tracing.metrics)
+        #: Multi-tenant control plane: a
+        #: :class:`~repro.core.tenancy.TenantRegistry` (or a
+        #: :class:`~repro.core.tenancy.TenancyConfig`, promoted here).
+        #: Establishes identity at LOGON, partitions the caches, and feeds
+        #: ``SHOW HYPERQ TENANTS``.
+        self.tenancy = None
+        if tenancy is not None:
+            from repro.core.tenancy import TenancyConfig, TenantRegistry
+
+            if isinstance(tenancy, TenancyConfig):
+                tenancy = TenantRegistry(tenancy, faults=faults)
+            self.tenancy = tenancy
+        if self.tenancy is None and workload is not None:
+            # Adopt the manager's registry so LOGON resolution, cache
+            # shares, and SHOW HYPERQ TENANTS see the same control plane.
+            self.tenancy = getattr(workload, "tenancy", None)
         #: Shared translation cache (byte cap; 0 disables caching entirely).
         self.cache: Optional[TranslationCache] = None
         if cache_size > 0:
-            self.cache = TranslationCache(cache_size, tier=cache_tier)
+            self.cache = TranslationCache(
+                cache_size, tier=cache_tier,
+                tenant_shares=(self.tenancy.translation_cache_shares()
+                               if self.tenancy is not None else None))
             # Schema epochs (DDL) invalidate translations of the touched
             # tables only; entries on disjoint tables survive.
             self.shadow.subscribe(self.cache.invalidate_tables)
@@ -197,7 +217,10 @@ class HyperQ:
         #: results whose dependency set includes it.
         self.result_cache: Optional[ResultCache] = None
         if result_cache_bytes > 0:
-            self.result_cache = ResultCache(result_cache_bytes, faults=faults)
+            self.result_cache = ResultCache(
+                result_cache_bytes, faults=faults,
+                tenant_shares=(self.tenancy.result_cache_shares()
+                               if self.tenancy is not None else None))
             registry = self.tracing.metrics
 
             def _on_data_change(names, _rc=self.result_cache, _m=registry):
@@ -225,6 +248,13 @@ class HyperQ:
                 workload.tracker = tracker
             if workload.faults is None:
                 workload.faults = faults
+            if self.tenancy is not None \
+                    and getattr(workload, "tenancy", None) is not self.tenancy:
+                raise HyperQError(
+                    "tenancy requires the WorkloadManager to schedule per "
+                    "tenant: construct it with "
+                    "WorkloadManager(config, tenancy=<the same registry>) "
+                    "instead of attaching tenancy to the engine alone")
 
     def create_session(self) -> "HyperQSession":
         return HyperQSession(self)
@@ -307,6 +337,10 @@ class HyperQSession:
             "SOURCE": engine.source,
             "TARGET": engine.profile.name,
         }
+        if engine.tenancy is not None:
+            # Connections that present no tenant id land on the default
+            # tenant; the wire server overwrites this after LOGON.
+            self.session_params["TENANT"] = engine.tenancy.default_tenant
         self._temp_counter = 0
         self._original_ddl: dict[str, str] = {}
         #: Armed :class:`_ResultCapture` consumed by the next
@@ -315,6 +349,15 @@ class HyperQSession:
         #: Tracker-free pipeline used for translation-cache sentinel probes
         #: (built lazily; probes must not pollute Figure 8 statistics).
         self._probe_stack = None
+
+    @property
+    def tenant(self) -> Optional[str]:
+        """The session's resolved tenant, or None outside a tenanted
+        deployment (identity is set at LOGON, default-mapped otherwise)."""
+        if self.engine.tenancy is None:
+            return None
+        value = self.session_params.get("TENANT")
+        return value if isinstance(value, str) else None
 
     # -- public API ----------------------------------------------------------------
 
@@ -331,6 +374,16 @@ class HyperQSession:
         if admin is not None:
             return self._run_admin(admin)
         with self.engine.tracing.request("request", sql):
+            tenant = self.tenant
+            if tenant is not None:
+                # Per-tenant tagging: a trace event on the request's root
+                # span and a per-tenant counter that the gateway's metric
+                # merge sums fleet-wide.
+                trace_mod.add_event("tenant", tenant=tenant)
+                metrics = self.engine.tracing.metrics
+                if metrics is not None:
+                    metrics.counter("hyperq_tenant_requests_total"
+                                    f'{{tenant="{tenant}"}}').inc()
             return self._execute_traced(sql, parameters, named_parameters)
 
     def _execute_traced(self, sql: str, parameters,
@@ -615,6 +668,26 @@ class HyperQSession:
                             f"{trace_id}\t{trace.spans[0].outcome}\t"
                             f"{trace.duration * 1e3:.3f}ms\t{trace.sql[:80]}")
             lines = lines or ["(no traces recorded)"]
+        elif what == "TENANTS":
+            from repro.core import tenancy as tenancy_mod
+
+            report = None
+            workers = 1
+            if fleet is not None:
+                try:
+                    report, workers = fleet.tenants()
+                except Exception as exc:  # degraded to the local view
+                    report = tenancy_mod.tenant_report(self.engine)
+                    lines = (tenancy_mod.render_tenants(report).splitlines()
+                             if report else ["(tenancy disabled)"])
+                    lines.append(f"# fleet aggregation unavailable: {exc}")
+                    return self.fabricate_result(
+                        ["LINE"], [t.varchar(2048)],
+                        [(line,) for line in lines], timing)
+            if report is None:
+                report = tenancy_mod.tenant_report(self.engine)
+            lines = (tenancy_mod.render_tenants(report, workers).splitlines()
+                     if report else ["(tenancy disabled)"])
         elif what.startswith("SLOW"):
             records = hub.slow_queries
             if fleet is not None:
@@ -749,7 +822,8 @@ class HyperQSession:
         shareable = stmt_deps.shareable if stmt_deps is not None else False
         self.engine.cache.insert(key_base, fp, params_key, target_sql, notes,
                                  deps=deps, result_shareable=shareable,
-                                 probe=self._probe_translate)
+                                 probe=self._probe_translate,
+                                 tenant=self.tenant)
 
     def _replay_notes(self, notes) -> None:
         if self.tracker is not None:
@@ -852,7 +926,7 @@ class HyperQSession:
         return capture
 
     def _capturing_batches(self, capture, packets, columns, types,
-                           target_sql: str):
+                           target_sql: str, timing=None):
         """Tee the streamed TDF packets into a result-cache entry.
 
         Accumulation aborts (and counts a reject) the moment the running
@@ -881,7 +955,9 @@ class HyperQSession:
             columns=tuple(columns), types=tuple(types),
             packets=tuple(collected), notes=tuple(notes),
             deps=capture.deps, vector=capture.vector, target_sql=target_sql)
-        if rcache.insert(capture.key, entry):
+        backend_ms = timing.execution * 1e3 if timing is not None else 0.0
+        if rcache.insert(capture.key, entry, tenant=self.tenant,
+                         backend_ms=backend_ms):
             metrics = self.engine.tracing.metrics
             if metrics is not None:
                 metrics.counter("hyperq_result_cache_inserts_total").inc()
@@ -973,7 +1049,8 @@ class HyperQSession:
             packets = self._capturing_batches(
                 capture, packets, odbc_result.columns,
                 odbc_result.column_types,
-                target_sql[0] if len(target_sql) == 1 else "")
+                target_sql[0] if len(target_sql) == 1 else "",
+                timing=timing)
         converted = self.converter.convert_stream(
             packets,
             odbc_result.column_types,
@@ -1214,7 +1291,7 @@ class _ResultCapture:
 #: ``SHOW HYPERQ ...`` observability commands, intercepted before the parser
 #: (they are Hyper-Q's own, not source-dialect SQL).
 _ADMIN_COMMAND_RE = re.compile(
-    r"^\s*SHOW\s+HYPERQ\s+(?P<what>METRICS|TRACES|SLOW\s+QUERIES"
+    r"^\s*SHOW\s+HYPERQ\s+(?P<what>METRICS|TRACES|TENANTS|SLOW\s+QUERIES"
     r"|TRACE\s+(?P<id>\d+))\s*;?\s*$",
     re.IGNORECASE)
 

@@ -73,18 +73,26 @@ RESULT_CACHE_EVICT = "result-cache-evict"
 #: drop it (the paranoid probe: correctness must not depend on the eager
 #: invalidation index, only on the version-vector check).
 RESULT_CACHE_STALE = "result-cache-stale"
+#: The tenancy control plane rejects the request at admission as if a
+#: per-tenant quota tripped (QUOTA_EXCEEDED shed with a retry-after hint),
+#: regardless of the tenant's actual budget — the scripted stand-in for a
+#: tenant hitting its QPS bucket or concurrency cap.
+QUOTA_EXCEEDED = "quota-exceeded"
 
 FAULT_KINDS = (BACKEND_TRANSIENT, BACKEND_TIMEOUT, REPLICA_DOWN,
                WIRE_DISCONNECT, SLOW_RESULT, ADMISSION_REJECT, WORKER_CRASH,
-               RESULT_CACHE_EVICT, RESULT_CACHE_STALE)
+               RESULT_CACHE_EVICT, RESULT_CACHE_STALE, QUOTA_EXCEEDED)
 
 #: Injection sites a spec may target. ``"gateway"`` is drawn once per
 #: request inside a gateway worker process (the spec's ``replica`` field
 #: selects the worker index), so a scripted :data:`WORKER_CRASH` kills a
 #: chosen shard at a chosen request deterministically. ``"result_cache"``
 #: is drawn per result-cache lookup/insert and only the two
-#: ``RESULT_CACHE_*`` kinds act there.
-SITES = ("odbc", "executor", "wire", "admission", "gateway", "result_cache")
+#: ``RESULT_CACHE_*`` kinds act there. ``"tenancy"`` is drawn once per
+#: tenant admission decision (``op`` carries ``tenant:class``) and only
+#: :data:`QUOTA_EXCEEDED` acts there.
+SITES = ("odbc", "executor", "wire", "admission", "gateway", "result_cache",
+         "tenancy")
 
 
 @dataclass(frozen=True)
@@ -376,6 +384,9 @@ def named_schedule(name: str, seed: int = 0) -> FaultSchedule:
     * ``result-cache-churn`` — every 4th result-cache operation evicts the
       just-touched entry, every 7th forces a stale-version drop; answers
       must stay byte-identical to an uncached run (misses re-execute).
+    * ``tenant-quota-storm`` — every 3rd tenant admission decision is shed
+      as QUOTA_EXCEEDED; sessions must survive, the shed must carry a
+      retry-after hint, and untouched tenants must be unaffected.
     """
     if name == "transient-errors":
         return FaultSchedule(seed, [
@@ -402,8 +413,13 @@ def named_schedule(name: str, seed: int = 0) -> FaultSchedule:
             FaultSpec(RESULT_CACHE_EVICT, "result_cache", every=4),
             FaultSpec(RESULT_CACHE_STALE, "result_cache", every=7),
         ], name=name)
+    if name == "tenant-quota-storm":
+        return FaultSchedule(seed, [
+            FaultSpec(QUOTA_EXCEEDED, "tenancy", every=3),
+        ], name=name)
     raise ValueError(f"unknown fault schedule {name!r}")
 
 
 NAMED_SCHEDULES = ("transient-errors", "replica-loss", "disconnect-storm",
-                   "admission-storm", "result-cache-churn")
+                   "admission-storm", "result-cache-churn",
+                   "tenant-quota-storm")

@@ -51,6 +51,7 @@ import multiprocessing
 import os
 import pickle
 import shutil
+import signal
 import socket
 import struct
 import tempfile
@@ -456,6 +457,10 @@ class GatewayConfig:
     request_timeout: Optional[float] = None
     max_connections: int = 64
     workload: Optional[object] = None  # WorkloadConfig
+    #: Multi-tenant control plane (a ``TenancyConfig``): split per worker
+    #: like the workload config so fleet-wide quotas hold, and wired into
+    #: each worker's WorkloadManager, engine, and caches.
+    tenancy: Optional[object] = None  # TenancyConfig
     tracing: bool = True
     fault_specs: tuple[FaultSpec, ...] = ()
     fault_seed: int = 0
@@ -493,6 +498,9 @@ class _FleetClient:
     def slow_queries(self) -> list[dict]:
         return self._rpc.call("slow_queries")
 
+    def tenants(self) -> tuple[dict, int]:
+        return self._rpc.call("tenants")
+
 
 def _trace_index_lines(hub) -> list[str]:
     lines = []
@@ -524,14 +532,21 @@ def _worker_main(config: GatewayConfig, index: int, generation: int,
         if config.shared_cache else None
     faults = FaultSchedule(config.fault_seed, list(config.fault_specs),
                            name="gateway") if config.fault_specs else None
+    tenancy = None
+    if config.tenancy is not None:
+        from repro.core.tenancy import TenantRegistry
+        tenancy = TenantRegistry(config.tenancy.per_worker(config.workers),
+                                 faults=faults)
     workload = None
     if config.workload is not None:
-        workload = WorkloadManager(config.workload.per_worker(config.workers))
+        workload = WorkloadManager(config.workload.per_worker(config.workers),
+                                   tenancy=tenancy)
     engine = HyperQ(target=config.target, source=config.source,
                     cache_size=config.cache_size, cache_tier=tier,
                     faults=faults, workload=workload, tracing=config.tracing,
                     worker_index=index, fleet_size=config.workers,
                     result_cache_bytes=config.result_cache_bytes,
+                    tenancy=tenancy,
                     **dict(config.engine_options))
     if config.setup_sql:
         boot = engine.create_session()
@@ -545,7 +560,35 @@ def _worker_main(config: GatewayConfig, index: int, generation: int,
         bind=False)
 
     stop = threading.Event()
+    draining = threading.Event()
     handoff_listener = _bind_unix(_handoff_path(run_dir, index, generation))
+    #: The live supervisor handoff connection, if any — drain must shut it
+    #: down to unblock the main thread's recv_fds().
+    conn_holder: list = []
+
+    def begin_drain() -> None:
+        """Stop taking new work; let every in-flight request finish.
+
+        Idempotent. Triggered by SIGTERM (supervisor-driven graceful
+        shutdown) or the ``drain`` control RPC. The main thread notices
+        the closed handoff sockets, waits for the wire server to drain,
+        and exits cleanly — no reply in flight is ever cut."""
+        if draining.is_set():
+            return
+        draining.set()
+        stop.set()
+        server.begin_drain()
+        try:
+            handoff_listener.close()
+        except OSError:
+            pass
+        for conn in list(conn_holder):
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    signal.signal(signal.SIGTERM, lambda signum, frame: begin_drain())
 
     def handle_control(request):
         op = request[0]
@@ -567,6 +610,14 @@ def _worker_main(config: GatewayConfig, index: int, generation: int,
         if op == "result_cache_stats":
             stats = engine.result_cache_stats()
             return stats.as_dict() if stats is not None else None
+        if op == "tenant_stats":
+            if engine.tenancy is None:
+                return None
+            from repro.core.tenancy import tenant_report
+            return tenant_report(engine)
+        if op == "drain":
+            begin_drain()
+            return "draining"
         if op == "shutdown":
             stop.set()
             try:
@@ -581,14 +632,22 @@ def _worker_main(config: GatewayConfig, index: int, generation: int,
                      args=(control_listener, handle_control),
                      name="hq-gw-control", daemon=True).start()
 
-    _worker_handoff_loop(handoff_listener, server, stop)
+    _worker_handoff_loop(handoff_listener, server, stop, conn_holder)
+    if draining.is_set():
+        # Graceful path: every registered connection either finished its
+        # in-flight request or was idle and is now closed. Wait for the
+        # stragglers to land before tearing the server down.
+        deadline = time.monotonic() + 30.0
+        while not server.drained() and time.monotonic() < deadline:
+            time.sleep(0.01)
     server.server_close()
     # Daemon threads (control RPC, pool) may still be parked; exit hard so
     # the process never outlives its supervisor's join.
     os._exit(0)
 
 
-def _worker_handoff_loop(listener: socket.socket, server, stop) -> None:
+def _worker_handoff_loop(listener: socket.socket, server, stop,
+                         conn_holder: Optional[list] = None) -> None:
     """Receive handed-off client sockets and serve them on the worker's
     connection pool. Runs on the worker's main thread until shutdown."""
     while not stop.is_set():
@@ -596,6 +655,8 @@ def _worker_handoff_loop(listener: socket.socket, server, stop) -> None:
             supervisor, _ = listener.accept()
         except OSError:
             return
+        if conn_holder is not None:
+            conn_holder.append(supervisor)
         try:
             while not stop.is_set():
                 data, fds, _, _ = socket.recv_fds(supervisor, 16, 4)
@@ -611,6 +672,11 @@ def _worker_handoff_loop(listener: socket.socket, server, stop) -> None:
         except OSError:
             continue
         finally:
+            if conn_holder is not None:
+                try:
+                    conn_holder.remove(supervisor)
+                except ValueError:
+                    pass
             try:
                 supervisor.close()
             except OSError:
@@ -752,6 +818,57 @@ class Gateway:
                 pass
         if self._run_dir is not None:
             shutil.rmtree(self._run_dir, ignore_errors=True)
+
+    def drain(self, deadline: float = 10.0) -> dict[int, str]:
+        """Graceful fleet shutdown: SIGTERM every worker, let in-flight
+        requests finish, SIGKILL whoever overruns *deadline* seconds.
+
+        The accept loop stops first (no new sessions), then each worker's
+        SIGTERM handler drains its wire server — idle connections close
+        immediately, busy ones ship their current reply — and the process
+        exits on its own. Returns ``{worker_index: "drained" | "killed"}``.
+        """
+        self._stopping.set()
+        self._wake_monitor.set()
+        if self._listen is not None:
+            try:
+                self._listen.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=5)
+        with self._lock:
+            handles = list(self._workers.values())
+            self._workers.clear()
+            self._alive.clear()
+        for handle in handles:
+            pid = handle.process.pid
+            if pid is not None and handle.process.is_alive():
+                try:
+                    os.kill(pid, signal.SIGTERM)
+                except OSError:
+                    pass
+        outcomes: dict[int, str] = {}
+        until = time.monotonic() + deadline
+        for handle in handles:
+            handle.process.join(timeout=max(0.0, until - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=2)
+                outcomes[handle.index] = "killed"
+            else:
+                outcomes[handle.index] = "drained"
+            handle.control.close()
+            try:
+                handle.handoff.close()
+            except OSError:
+                pass
+        # Remaining shared infrastructure (cache service, fleet RPC, run
+        # dir) tears down on the normal path; workers are already gone.
+        self.stop()
+        return outcomes
 
     def __enter__(self) -> tuple[str, int]:
         return self.start()
@@ -939,6 +1056,8 @@ class Gateway:
             return self.find_trace(request[1])
         if op == "slow_queries":
             return self.slow_queries()
+        if op == "tenants":
+            return self.tenants()
         raise GatewayError(f"unknown fleet op {op!r}")
 
     def worker_metrics_states(self) -> list[tuple[int, dict]]:
@@ -971,6 +1090,17 @@ class Gateway:
             for record in chunk:
                 records.append({**record, "worker": index})
         return records
+
+    def tenants(self) -> tuple[dict, int]:
+        """Fleet-wide tenant report: every worker's per-tenant counters,
+        QPS, queue-wait histograms, and cache bytes merged (counters and
+        bytes sum, histograms merge bucket-wise). Returns ``(report,
+        reporting_workers)``."""
+        from repro.core.tenancy import merge_reports
+
+        reports = [report for _, report in self._collect("tenant_stats")
+                   if report is not None]
+        return merge_reports(reports), len(reports)
 
     def cache_service_stats(self) -> Optional[dict]:
         if self._cache_client is None:

@@ -43,6 +43,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import re
 import threading
 import time
 from collections import OrderedDict, deque
@@ -71,6 +72,11 @@ WORKLOAD_CLASSES = (INTERACTIVE, REPORTING, ETL, ADMIN)
 #: Demotion ladder for sessions that overrun their class's run-time ceiling:
 #: interactive -> reporting -> etl (admin and etl never demote).
 _DEMOTION_LADDER = (INTERACTIVE, REPORTING, ETL)
+
+#: Hyper-Q observability verbs (``SHOW HYPERQ ...``) — not source-dialect
+#: SQL, so the feature extractor can't see them; classified ``admin`` by
+#: text probe and exempt from tenant QPS buckets.
+_OBSERVABILITY_RE = re.compile(r"\s*SHOW\s+HYPERQ\b", re.IGNORECASE)
 
 
 @dataclass(frozen=True)
@@ -618,11 +624,11 @@ class _WorkRequest:
     """One admitted-or-waiting request inside the manager."""
 
     __slots__ = ("wl_class", "fn", "future", "session_uid", "enqueued",
-                 "deadline_at", "synthetic_wait", "decision")
+                 "deadline_at", "synthetic_wait", "decision", "tenant")
 
     def __init__(self, decision: WorkloadDecision, fn, session_uid: int,
                  enqueued: float, deadline_at: Optional[float],
-                 synthetic_wait: float):
+                 synthetic_wait: float, tenant: Optional[str] = None):
         self.decision = decision
         self.wl_class = decision.wl_class
         self.fn = fn
@@ -631,6 +637,7 @@ class _WorkRequest:
         self.enqueued = enqueued
         self.deadline_at = deadline_at
         self.synthetic_wait = synthetic_wait
+        self.tenant = tenant
 
 
 @dataclass
@@ -652,21 +659,36 @@ _DECISION_MEMO_ENTRIES = 2048
 
 class WorkloadManager:
     """The admission controller + fair scheduler fronting one engine (or a
-    scaled fleet). Construct once, share across every connection."""
+    scaled fleet). Construct once, share across every connection.
+
+    With a :class:`~repro.core.tenancy.TenantRegistry` attached, the
+    deficit-round-robin scheduler runs over (tenant, class) queues with
+    product weights — tenant share × class share — and admission enforces
+    the tenant's quotas (queue depth, QPS bucket at submit; concurrency
+    slots at dispatch) *before* any per-class policy. Without one, the
+    scheduler is per-class exactly as in PR 4.
+    """
 
     def __init__(self, config: Optional[WorkloadConfig] = None,
                  tracker=None, faults=None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 tenancy=None):
         self.config = config if config is not None else WorkloadConfig()
         self.classifier = QueryClassifier(self.config)
         self.tracker = tracker
         self.faults = faults
+        self.tenancy = tenancy
         self._clock = clock
         self.stats = WorkloadStats(tuple(self.config.classes))
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
-        self._drr = DeficitRoundRobin(
-            {name: cfg.weight for name, cfg in self.config.classes.items()})
+        class_weights = {name: cfg.weight
+                         for name, cfg in self.config.classes.items()}
+        if tenancy is not None:
+            self._drr = DeficitRoundRobin(
+                tenancy.scheduler_weights(class_weights))
+        else:
+            self._drr = DeficitRoundRobin(class_weights)
         self._buckets = {name: TokenBucket(cfg.rate, cfg.burst, clock)
                          for name, cfg in self.config.classes.items()}
         self._running = {name: 0 for name in self.config.classes}
@@ -688,6 +710,12 @@ class WorkloadManager:
     def decide(self, session, sql: str) -> WorkloadDecision:
         """Classify one request for *session*: session override, memoized
         rule classification, then the session's demotion level."""
+        if _OBSERVABILITY_RE.match(sql):
+            # Hyper-Q's own SHOW HYPERQ verbs are admin work no matter
+            # what the session pinned or how far it demoted: a tenant at
+            # its QPS budget must still be able to observe its own sheds.
+            return self._attach_budget(
+                session, WorkloadDecision(ADMIN, "hyperq observability"))
         params = getattr(session, "session_params", None)
         override = params.get("WORKLOAD") if params else None
         if isinstance(override, str) and override.lower() in self.config.classes:
@@ -777,6 +805,14 @@ class WorkloadManager:
         # emulation behind its own concurrency limit.
         if getattr(self._active, "depth", 0) > 0:
             return self._run_inline(decision, fn, _session_uid(session))
+        tenant = None
+        if self.tenancy is not None:
+            params = getattr(session, "session_params", None)
+            tenant = self.tenancy.resolve((params or {}).get("TENANT"))
+            # Tenant quotas gate *before* any per-class policy: a tenant at
+            # its queue-depth or QPS budget sheds with QUOTA_EXCEEDED (and
+            # a retry-after hint) no matter how empty its class queue is.
+            self.tenancy.admit(tenant, wl_class, sql)
         synthetic_wait = 0.0
         if self.faults is not None:
             fault = self.faults.draw("admission", op=sql)
@@ -795,13 +831,16 @@ class WorkloadManager:
                 self._deadline_missed(decision, cfg, synthetic_wait,
                                       injected=True)
         request = _WorkRequest(decision, fn, _session_uid(session), now,
-                               deadline_at, synthetic_wait)
+                               deadline_at, synthetic_wait, tenant)
+        key = wl_class if tenant is None else (tenant, wl_class)
         with self._cond:
-            if self._drr.pending(wl_class) >= cfg.queue_depth:
+            if self._class_pending(wl_class) >= cfg.queue_depth:
                 pass_lock = True
             else:
                 pass_lock = False
-                self._drr.enqueue(wl_class, request)
+                self._drr.enqueue(key, request)
+                if tenant is not None:
+                    self.tenancy.note_queued(tenant)
                 self._cond.notify()
         if pass_lock:
             self._shed(decision, cfg, "queue-full")
@@ -834,6 +873,7 @@ class WorkloadManager:
         except FutureTimeoutError:
             with self._cond:
                 removed = self._drr.sweep(lambda rq: rq is request)
+                self._unqueue_removed(removed)
             if removed:
                 now = self._clock()
                 if request.deadline_at is not None \
@@ -875,6 +915,24 @@ class WorkloadManager:
     def snapshot(self) -> dict:
         """Per-class stats snapshot (counters + histograms)."""
         return self.stats.snapshot()
+
+    # -- tenancy plumbing --------------------------------------------------------
+
+    def _class_pending(self, wl_class: str) -> int:
+        """Waiting requests of one class (summed across tenant queues)."""
+        if self.tenancy is None:
+            return self._drr.pending(wl_class)
+        return sum(self._drr.pending((tenant, wl_class))
+                   for tenant in self.tenancy.tenant_names)
+
+    def _unqueue_removed(self, removed) -> None:
+        """Keep the registry's queued gauges honest for requests swept out
+        of the scheduler (deadline expiry, caller-side cancellation)."""
+        if self.tenancy is None:
+            return
+        for request in removed:
+            if request.tenant is not None:
+                self.tenancy.note_unqueued(request.tenant)
 
     # -- shedding / deadlines ----------------------------------------------------
 
@@ -937,11 +995,14 @@ class WorkloadManager:
                                     if len(self._drr) else None)
                 if item is None:
                     return
-                wl_class, request = item
+                __, request = item
+                wl_class = request.wl_class
                 self._running[wl_class] += 1
             try:
                 self._execute(request)
             finally:
+                if request.tenant is not None and self.tenancy is not None:
+                    self.tenancy.note_finish(request.tenant)
                 with self._cond:
                     self._running[wl_class] -= 1
                     self._cond.notify_all()
@@ -950,24 +1011,32 @@ class WorkloadManager:
         now = self._clock()
         # Expired waiters are rejected during dispatch — before execution —
         # regardless of whether their class is currently eligible.
-        for request in self._drr.sweep(
-                lambda rq: rq.deadline_at is not None
-                and now >= rq.deadline_at):
+        expired = self._drr.sweep(
+            lambda rq: rq.deadline_at is not None
+            and now >= rq.deadline_at)
+        self._unqueue_removed(expired)
+        for request in expired:
             self._reject_expired(request, now)
 
-        def eligible(wl_class: str) -> bool:
+        def eligible(key) -> bool:
+            tenant, wl_class = (key if isinstance(key, tuple)
+                                else (None, key))
             cfg = self.config.classes[wl_class]
             if cfg.max_concurrency \
                     and self._running[wl_class] >= cfg.max_concurrency:
+                return False
+            if tenant is not None and not self.tenancy.has_slot(tenant):
+                # A tenant at its concurrency quota is skipped without
+                # accruing deficit, exactly like a capped class.
                 return False
             return self._buckets[wl_class].peek(now)
 
         item = self._drr.next(eligible)
         if item is None:
             return None
-        wl_class, request = item
-        self._buckets[wl_class].take(now)
-        return wl_class, request
+        key, request = item
+        self._buckets[request.wl_class].take(now)
+        return key, request
 
     def _execute(self, request: _WorkRequest) -> None:
         start = self._clock()
@@ -976,6 +1045,10 @@ class WorkloadManager:
         self.stats.observe_wait(wl_class, wait)
         self.stats.count(wl_class, "admitted")
         self._note(wl_class, "admitted")
+        if request.tenant is not None and self.tenancy is not None:
+            self.tenancy.note_dispatch(request.tenant, wait)
+            trace_mod.add_event("tenant_dispatch", tenant=request.tenant,
+                                wl_class=wl_class)
         self._active.depth = getattr(self._active, "depth", 0) + 1
         try:
             result = request.fn()

@@ -123,6 +123,35 @@ class WorkloadDeadlineError(WorkloadError):
     """
 
 
+class TenancyError(HyperQError):
+    """Base class for multi-tenant control-plane errors."""
+
+
+class TenancyConfigError(TenancyError):
+    """A tenancy configuration is malformed (bad quota JSON, negative
+    share, unknown key). The message names the offending tenant/field so
+    the operator can fix the config instead of chasing a raw KeyError."""
+
+
+class UnknownTenantError(TenancyError):
+    """A connection presented a tenant id the control plane has never
+    heard of. Surfaced as a clean LOGON failure, never a stack trace."""
+
+
+class TenantQuotaError(WorkloadShedError, TenancyError):
+    """A per-tenant quota (concurrency, queue depth, QPS bucket) rejected
+    the request at admission: QUOTA_EXCEEDED with a ``retry after`` hint.
+
+    Subclasses :class:`WorkloadShedError` so the wire server's existing
+    shed handling (FAILURE reply, session survives) applies unchanged.
+    """
+
+
+class SessionConfigError(HyperQError):
+    """A BI session-generator configuration is invalid (unknown tenant,
+    non-positive counts, bad distribution parameters)."""
+
+
 class ProtocolError(HyperQError):
     """Raised for malformed or unexpected wire-protocol messages."""
 

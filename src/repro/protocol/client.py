@@ -84,7 +84,8 @@ class TdClient:
 
     def __init__(self, host: str, port: int, user: str = "dbc",
                  password: str = "dbc", timeout: float = 60.0,
-                 sock: Optional[socket.socket] = None):
+                 sock: Optional[socket.socket] = None,
+                 tenant: Optional[str] = None):
         # A caller-provided socket lets tests pick the client's source
         # port before connecting — the gateway routes on the client
         # address, so this pins a session to a chosen worker.
@@ -99,12 +100,21 @@ class TdClient:
         self._sock = sock
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.session_id: Optional[int] = None
-        self._logon(user, password)
+        self._logon(user, password, tenant)
 
-    def _logon(self, user: str, password: str) -> None:
+    def _logon(self, user: str, password: str,
+               tenant: Optional[str]) -> None:
         payload = user.encode("utf-8") + b"\0" + password.encode("utf-8")
+        if tenant is not None:
+            # Optional third LOGON field; servers without tenancy treat
+            # everything after the first NUL as the password, which the
+            # reproduction's server never checks.
+            payload += b"\0" + tenant.encode("utf-8")
         send_message(self._sock, MessageKind.LOGON_REQUEST, payload)
         kind, response = read_message(self._sock)
+        if kind is MessageKind.FAILURE:
+            self._sock.close()
+            raise BackendError(response.decode("utf-8", "replace"))
         if kind is not MessageKind.LOGON_RESPONSE:
             raise ProtocolError(f"logon failed: got {kind.name}")
         (self.session_id,) = struct.unpack(">I", response)
@@ -144,6 +154,12 @@ class TdClient:
     def show_traces(self) -> str:
         """The ring buffer's trace index (``SHOW HYPERQ TRACES``)."""
         result = self.execute("SHOW HYPERQ TRACES")
+        return "\n".join(row[0] for row in result.rows)
+
+    def show_tenants(self) -> str:
+        """The per-tenant control-plane report (``SHOW HYPERQ TENANTS``),
+        aggregated across the whole worker fleet when served by a gateway."""
+        result = self.execute("SHOW HYPERQ TENANTS")
         return "\n".join(row[0] for row in result.rows)
 
     def show_slow_queries(self) -> str:

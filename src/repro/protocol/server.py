@@ -47,7 +47,8 @@ from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Optional
 
-from repro.errors import BackendTimeoutError, HyperQError, ProtocolError
+from repro.errors import (BackendTimeoutError, HyperQError, ProtocolError,
+                          UnknownTenantError)
 from repro.core import faults as flt
 from repro.core import trace as trace_mod
 from repro.core.engine import HQResult, HyperQ
@@ -67,20 +68,44 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         #: before the session's next request so the session is never driven
         #: by two threads at once.
         self._straggler = None
+        self.busy = False
+        registered = False
         try:
             kind, payload = read_message(sock)
             if kind is not MessageKind.LOGON_REQUEST:
                 raise ProtocolError("expected LOGON_REQUEST")
-            user = payload.split(b"\0", 1)[0].decode("utf-8", "replace")
+            # LOGON payload: ``user\0password`` with an optional third
+            # ``\0tenant`` field (absent for legacy clients — they land on
+            # the default tenant when tenancy is enabled).
+            fields = payload.split(b"\0", 2)
+            user = fields[0].decode("utf-8", "replace")
+            tenant_field = (fields[2].decode("utf-8", "replace")
+                            if len(fields) > 2 else "")
+            engine = self.server.engine
+            if engine.tenancy is not None:
+                try:
+                    tenant = engine.tenancy.resolve(tenant_field or None)
+                except UnknownTenantError as error:
+                    # Clean rejection at the door: the client sees a
+                    # FAILURE envelope instead of a LOGON_RESPONSE.
+                    send_message(sock, MessageKind.FAILURE,
+                                 str(error).encode("utf-8"))
+                    return
             session = self.server.engine.create_session()
             session.session_params["USER"] = user.upper() or "HYPERQ"
+            if engine.tenancy is not None:
+                session.session_params["TENANT"] = tenant
             session_id = self.server.next_session_id()
             send_message(sock, MessageKind.LOGON_RESPONSE,
                          struct.pack(">I", session_id))
-            self._serve(sock, session)
+            registered = self.server.register_handler(self)
+            if registered:
+                self._serve(sock, session)
         except (ProtocolError, ConnectionError, OSError):
             return
         finally:
+            if registered:
+                self.server.unregister_handler(self)
             # Sessions close on *every* exit path: a client that vanishes
             # mid-request must not leak its volatile-table overlay or its
             # converter resources. A running straggler is awaited first —
@@ -98,7 +123,15 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 return
             if kind is not MessageKind.RUN_QUERY:
                 raise ProtocolError(f"unexpected message {kind.name}")
-            if not self._handle_request(sock, session, payload):
+            # Mark the connection busy for the span of the request so a
+            # drain never cuts a query that is already being served; the
+            # reply below lands before the draining check closes the loop.
+            self.busy = True
+            try:
+                alive = self._handle_request(sock, session, payload)
+            finally:
+                self.busy = False
+            if not alive or self.server.draining:
                 return
 
     def _handle_request(self, sock: socket.socket, session,
@@ -465,6 +498,12 @@ class HyperQServer(socketserver.TCPServer):
         self._pool = _ConnectionPool(max_connections)
         self._session_counter = 0
         self._counter_lock = threading.Lock()
+        #: Graceful-drain state: once set, idle connections are closed,
+        #: busy ones finish their current request then close, and no new
+        #: handler may register.
+        self.draining = False
+        self._handlers: set = set()
+        self._handlers_lock = threading.Lock()
         # bind=False leaves the listening socket unbound: gateway workers
         # never accept themselves — they serve sockets handed off by the
         # acceptor process via process_request().
@@ -480,6 +519,45 @@ class HyperQServer(socketserver.TCPServer):
         with self._counter_lock:
             self._session_counter += 1
             return self._session_counter
+
+    # -- graceful drain ---------------------------------------------------------------
+
+    def register_handler(self, handler) -> bool:
+        """Track a live connection; refused (False) once draining started,
+        so a connection that raced the drain closes instead of serving."""
+        with self._handlers_lock:
+            if self.draining:
+                return False
+            self._handlers.add(handler)
+            return True
+
+    def unregister_handler(self, handler) -> None:
+        with self._handlers_lock:
+            self._handlers.discard(handler)
+
+    def begin_drain(self) -> None:
+        """Start a graceful drain: no new requests are served, connections
+        idle between requests are closed now, and a connection mid-request
+        finishes that request (the client gets its full reply) before its
+        serve loop exits. Callers stop the accept loop separately and poll
+        :meth:`drained` (or just join the serving thread) afterwards."""
+        with self._handlers_lock:
+            self.draining = True
+            handlers = list(self._handlers)
+        for handler in handlers:
+            if not handler.busy:
+                # Shut only the read half: the handler's read_message()
+                # unblocks with EOF, while a request that raced the drain
+                # (read completed, `busy` not yet set) can still ship its
+                # reply on the intact write half before the loop exits.
+                try:
+                    handler.request.shutdown(socket.SHUT_RD)
+                except OSError:
+                    pass
+
+    def drained(self) -> bool:
+        with self._handlers_lock:
+            return not self._handlers
 
     # -- bounded accept-side concurrency ---------------------------------------------
 

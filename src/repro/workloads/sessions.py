@@ -1,0 +1,321 @@
+"""Interactive BI dashboard sessions: a seeded multi-tenant workload.
+
+The paper's adoption story (Section 7, Table 1) is dominated by BI tools
+re-issuing near-identical read-only queries as analysts interact with
+dashboards — drill-downs, filters, pivots, sorts, and whole-dashboard
+refreshes that fan out one query per tile at the same instant. This
+module generates that traffic shape deterministically so the tenancy
+control plane can be exercised (and benchmarked) with a reproducible
+multi-tenant timeline.
+
+Model: each session is one analyst's dashboard with a handful of tiles
+(worksheets). Opening the dashboard issues every tile's query at once (a
+burst); each subsequent *gesture* mutates the focused tile's worksheet
+state — drill adds a dimension, filter adds a predicate, pivot rotates
+dimensions or flips aggregate/top-n mode, sort flips direction — and
+re-issues its SQL after an exponentially-distributed think time. A
+*refresh* gesture re-issues every tile at the same timestamp.
+
+All SQL is built from dialect shapes the conformance battery proves
+end-to-end: ``GROUP BY ROLLUP (...)`` aggregates and ``QUALIFY
+ROW_NUMBER() OVER (...) <= n`` top-n windows over the TPC-H schema
+(:mod:`repro.workloads.tpch`).
+
+Determinism contract: :func:`generate` is a pure function of its
+:class:`SessionConfig` — same seed, byte-identical SQL stream *and*
+timeline. :func:`render` canonicalizes the event list to text and
+:func:`signature` hashes it; the regression suite pins both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass, fields
+from typing import Callable, Optional
+
+from repro.errors import SessionConfigError
+
+#: Gestures a step may apply to the focused tile. ``refresh`` re-issues
+#: every tile of the dashboard in one burst.
+GESTURES = ("drill", "filter", "pivot", "sort", "refresh")
+
+_GESTURE_WEIGHTS = (25, 25, 15, 15, 20)
+
+#: Worksheet catalog: each entry describes one dashboard tile family over
+#: the TPC-H schema. ``dims`` are drillable in order; ``filters`` are
+#: appended (then cycled) by filter gestures; ``topn`` is ``(key column,
+#: value column, partition column)`` for the window-mode rendering.
+WORKSHEETS = (
+    {
+        "name": "orders_status",
+        "table": "ORDERS",
+        "dims": ("O_ORDERSTATUS", "O_ORDERPRIORITY"),
+        "measure": "SUM(O_TOTALPRICE)",
+        "filters": ("O_CUSTKEY > 10", "O_TOTALPRICE > 1000",
+                    "O_ORDERSTATUS = 'F'"),
+        "topn": ("O_ORDERKEY", "O_TOTALPRICE", "O_ORDERSTATUS"),
+    },
+    {
+        "name": "lineitem_flow",
+        "table": "LINEITEM",
+        "dims": ("L_RETURNFLAG", "L_LINESTATUS", "L_SHIPMODE"),
+        "measure": "SUM(L_EXTENDEDPRICE)",
+        "filters": ("L_PARTKEY > 5", "L_QUANTITY > 10",
+                    "L_SHIPMODE = 'AIR'"),
+        "topn": ("L_ORDERKEY", "L_EXTENDEDPRICE", "L_RETURNFLAG"),
+    },
+    {
+        "name": "customer_segments",
+        "table": "CUSTOMER",
+        "dims": ("C_MKTSEGMENT", "C_NATIONKEY"),
+        "measure": "SUM(C_ACCTBAL)",
+        "filters": ("C_ACCTBAL > 100", "C_CUSTKEY > 3",
+                    "C_MKTSEGMENT = 'BUILDING'"),
+        "topn": ("C_CUSTKEY", "C_ACCTBAL", "C_MKTSEGMENT"),
+    },
+)
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything the generator needs; a pure value, safe to pickle.
+
+    ``tenants`` get equal session counts; skew tenant load by repeating a
+    name. Think times are exponential with mean ``think_mean`` seconds,
+    floored at ``think_min``; session starts spread uniformly over
+    ``start_spread`` seconds so tenants interleave from t=0.
+    """
+
+    seed: int = 20260808
+    tenants: tuple[str, ...] = ("acme", "zenith")
+    sessions_per_tenant: int = 2
+    steps_per_session: int = 8
+    tiles_per_session: int = 3
+    think_mean: float = 1.0
+    think_min: float = 0.05
+    refresh_probability: float = 0.2
+    start_spread: float = 2.0
+    top_n: int = 5
+
+    def __post_init__(self):
+        if not self.tenants:
+            raise SessionConfigError(
+                "session config needs at least one tenant")
+        for tenant in self.tenants:
+            if not isinstance(tenant, str) or not tenant.strip():
+                raise SessionConfigError(
+                    f"tenant names must be non-empty strings, got {tenant!r}")
+        object.__setattr__(self, "tenants",
+                           tuple(t.strip().lower() for t in self.tenants))
+        for name, minimum in (("sessions_per_tenant", 1),
+                              ("steps_per_session", 1),
+                              ("tiles_per_session", 1), ("top_n", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < minimum:
+                raise SessionConfigError(
+                    f"{name} must be an integer >= {minimum}, got {value!r}")
+        if self.think_mean <= 0:
+            raise SessionConfigError(
+                f"think_mean must be positive seconds, got {self.think_mean!r}")
+        if self.think_min < 0 or self.start_spread < 0:
+            raise SessionConfigError(
+                "think_min and start_spread must be non-negative")
+        if not 0.0 <= self.refresh_probability <= 1.0:
+            raise SessionConfigError(
+                f"refresh_probability must be in [0, 1], "
+                f"got {self.refresh_probability!r}")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionConfig":
+        """Build from a JSON-shaped dict, rejecting unknown keys by name
+        (a typo'd field must not silently fall back to a default)."""
+        if not isinstance(data, dict):
+            raise SessionConfigError(
+                f"session config must be an object, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SessionConfigError(
+                f"unknown session config keys {unknown}; "
+                f"known keys are {sorted(known)}")
+        value = dict(data)
+        if "tenants" in value:
+            if not isinstance(value["tenants"], (list, tuple)):
+                raise SessionConfigError(
+                    "session config 'tenants' must be a list of names")
+            value["tenants"] = tuple(value["tenants"])
+        return cls(**value)
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One query issue: the instant, who issued it, and the exact SQL."""
+
+    at: float          # seconds from timeline start
+    tenant: str
+    session: int       # per-tenant session ordinal
+    step: int          # gesture ordinal within the session (0 = open)
+    tile: int          # which dashboard tile issued the query
+    gesture: str
+    sql: str
+
+
+class _Worksheet:
+    """Mutable per-tile state the gesture machine evolves.
+
+    Two render modes: ``rollup`` (aggregate grid — ``GROUP BY ROLLUP``)
+    and ``topn`` (record detail — ``QUALIFY ROW_NUMBER()``), both proven
+    by the conformance battery.
+    """
+
+    def __init__(self, spec: dict, top_n: int):
+        self.spec = spec
+        self.active_dims = [spec["dims"][0]]
+        self.active_filters: list[str] = []
+        self.mode = "rollup"
+        self.top_n = top_n
+        self.descending = True
+
+    def drill(self) -> None:
+        for dim in self.spec["dims"]:
+            if dim not in self.active_dims:
+                self.active_dims.append(dim)
+                return
+        self.pivot()  # fully drilled: rotate instead
+
+    def filter(self) -> None:
+        for predicate in self.spec["filters"]:
+            if predicate not in self.active_filters:
+                self.active_filters.append(predicate)
+                return
+        self.active_filters.clear()  # all applied: clear back to base view
+
+    def pivot(self) -> None:
+        if len(self.active_dims) > 1:
+            self.active_dims = self.active_dims[1:] + self.active_dims[:1]
+        else:
+            self.mode = "topn" if self.mode == "rollup" else "rollup"
+
+    def sort(self) -> None:
+        if self.mode == "topn":
+            self.descending = not self.descending
+        else:
+            self.mode = "topn"
+
+    def compile_sql(self) -> str:
+        where = (" WHERE " + " AND ".join(self.active_filters)
+                 if self.active_filters else "")
+        if self.mode == "rollup":
+            dims = ", ".join(self.active_dims)
+            return (f"SEL {dims}, {self.spec['measure']}, COUNT(*) "
+                    f"FROM {self.spec['table']}{where} "
+                    f"GROUP BY ROLLUP ({dims})")
+        key, value, partition = self.spec["topn"]
+        direction = "DESC" if self.descending else "ASC"
+        return (f"SEL {key}, {value} FROM {self.spec['table']}{where} "
+                f"QUALIFY ROW_NUMBER() OVER (PARTITION BY {partition} "
+                f"ORDER BY {value} {direction}, {key}) <= {self.top_n}")
+
+
+def _session_events(config: SessionConfig, tenant: str, tenant_index: int,
+                    session: int) -> list[SessionEvent]:
+    """One session's full timeline, from its own derived RNG stream.
+
+    The derivation is plain integer arithmetic (never ``hash()``, which
+    is salted per process) so a given (seed, tenant position, session)
+    always replays the identical stream.
+    """
+    rng = random.Random(config.seed * 1_000_003
+                        + tenant_index * 10_007 + session)
+    tiles = [_Worksheet(WORKSHEETS[(tenant_index + session + k)
+                                   % len(WORKSHEETS)], config.top_n)
+             for k in range(config.tiles_per_session)]
+    events: list[SessionEvent] = []
+    at = rng.uniform(0.0, config.start_spread)
+    # Opening the dashboard loads every tile at once — the first burst.
+    for index, tile in enumerate(tiles):
+        events.append(SessionEvent(at, tenant, session, 0, index, "open",
+                                   tile.compile_sql()))
+    for step in range(1, config.steps_per_session + 1):
+        at += max(config.think_min,
+                  rng.expovariate(1.0 / config.think_mean))
+        if rng.random() < config.refresh_probability:
+            # Whole-dashboard refresh: every tile re-issues at the same
+            # instant — the bursty fan-out the tenancy quotas must absorb.
+            for index, tile in enumerate(tiles):
+                events.append(SessionEvent(at, tenant, session, step, index,
+                                           "refresh", tile.compile_sql()))
+            continue
+        gesture = rng.choices(GESTURES[:4], weights=_GESTURE_WEIGHTS[:4])[0]
+        focus = rng.randrange(len(tiles))
+        tile = tiles[focus]
+        getattr(tile, gesture)()
+        events.append(SessionEvent(at, tenant, session, step, focus,
+                                   gesture, tile.compile_sql()))
+    return events
+
+
+def generate(config: SessionConfig) -> list[SessionEvent]:
+    """The full multi-tenant timeline, sorted by issue instant.
+
+    Ties (dashboard bursts, cross-session coincidences) break on
+    ``(tenant, session, step, tile)`` so the order itself is
+    deterministic, not merely the set of events.
+    """
+    events: list[SessionEvent] = []
+    for tenant_index, tenant in enumerate(config.tenants):
+        for session in range(config.sessions_per_tenant):
+            events.extend(
+                _session_events(config, tenant, tenant_index, session))
+    events.sort(key=lambda e: (e.at, e.tenant, e.session, e.step, e.tile))
+    return events
+
+
+def render(events: list[SessionEvent]) -> str:
+    """Byte-canonical text form of a timeline (one TSV line per event).
+
+    Timestamps print with fixed six-decimal precision; since every field
+    is either deterministic text or a float produced by the seeded RNG,
+    equal seeds yield equal bytes.
+    """
+    lines = [f"{event.at:.6f}\t{event.tenant}\t{event.session}"
+             f"\t{event.step}\t{event.tile}\t{event.gesture}\t{event.sql}"
+             for event in events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def signature(events: list[SessionEvent]) -> str:
+    """SHA-256 over :func:`render` — the replayability fingerprint."""
+    return hashlib.sha256(render(events).encode("utf-8")).hexdigest()
+
+
+def replay(events: list[SessionEvent],
+           execute: Callable[[SessionEvent], object],
+           timescale: float = 0.0,
+           clock: Callable[[], float] = time.monotonic,
+           sleep: Callable[[float], None] = time.sleep,
+           stop: Optional[Callable[[], bool]] = None) -> int:
+    """Drive a timeline against *execute* (called once per event).
+
+    ``timescale`` scales the recorded timestamps into real waiting: 1.0
+    replays at recorded speed, 0.1 ten times faster, 0 as fast as
+    *execute* returns (the benchmark mode). *stop* is polled before each
+    event for cooperative cancellation. Returns the number of events
+    executed.
+    """
+    if timescale < 0:
+        raise SessionConfigError("timescale must be non-negative")
+    start = clock()
+    issued = 0
+    for event in events:
+        if stop is not None and stop():
+            break
+        if timescale > 0:
+            delay = event.at * timescale - (clock() - start)
+            if delay > 0:
+                sleep(delay)
+        execute(event)
+        issued += 1
+    return issued
