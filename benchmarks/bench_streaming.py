@@ -125,3 +125,16 @@ def test_smoke_memory_ceiling_holds():
     assert store.spilled
     result.close()
     session.close()
+
+
+if __name__ == "__main__":
+    # Standalone wire-path mode axis: the streaming benchmark's stress
+    # flavor is the shared harness in bench_fig9b_stress (same directory),
+    # so ``python benchmarks/bench_streaming.py --mode both --smoke
+    # --json BENCH_wire.json`` and the fig9b entry point report the same
+    # numbers from the same code.
+    import sys
+
+    from bench_fig9b_stress import wire_stress_main
+
+    sys.exit(wire_stress_main())

@@ -36,6 +36,7 @@ from repro.core.tenancy import TenancyConfig, TenantRegistry
 from repro.core.tracker import FeatureTracker
 from repro.core.timing import RequestTiming, TimingLog
 from repro.core.workload import WorkloadConfig, WorkloadManager
+from repro.protocol.aio_server import AioHyperQServer, AioServerThread
 from repro.protocol.client import TdClient
 from repro.protocol.server import HyperQServer, ServerThread
 from repro.transform.capabilities import PROFILES, CapabilityProfile
@@ -54,6 +55,8 @@ __all__ = [
     "TdClient",
     "HyperQServer",
     "ServerThread",
+    "AioHyperQServer",
+    "AioServerThread",
     "Gateway",
     "GatewayConfig",
     "CapabilityProfile",

@@ -122,15 +122,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     slow_query_log=args.slow_query_log,
                     result_cache_bytes=args.result_cache_bytes,
                     tenancy=registry)
-    thread = ServerThread(engine, host=args.host, port=args.port,
-                          max_connections=args.max_connections)
+    if args.wire == "async":
+        from repro.protocol.aio_server import AioServerThread
+
+        thread = AioServerThread(engine, host=args.host, port=args.port,
+                                 max_connections=args.max_connections)
+    else:
+        thread = ServerThread(engine, host=args.host, port=args.port,
+                              max_connections=args.max_connections)
     host, port = thread.start()
     managed = "on" if workload is not None else "off"
     traced = "off" if args.no_trace else "on"
     tenanted = (f"{len(registry.tenant_names)} tenants"
                 if registry is not None else "tenancy off")
     print(f"Hyper-Q listening on {host}:{port} "
-          f"(source={args.source}, target={args.target}, "
+          f"(wire={args.wire}, source={args.source}, target={args.target}, "
           f"workload management {managed}, tracing {traced}, {tenanted}) "
           "— Ctrl-C to stop, SIGTERM to drain")
     done = threading.Event()
@@ -181,14 +187,15 @@ def _serve_gateway(args: argparse.Namespace) -> int:
         max_connections=args.max_connections, workload=workload,
         tenancy=tenancy, tracing=not args.no_trace,
         result_cache_bytes=args.result_cache_bytes,
-        engine_options={"trace_ring": args.trace_ring}))
+        engine_options={"trace_ring": args.trace_ring},
+        wire=args.wire))
     host, port = gateway.start()
     managed = "on" if workload is not None else "off"
     traced = "off" if args.no_trace else "on"
     tenanted = (f"{len(tenancy.tenants)} tenants" if tenancy is not None
                 else "tenancy off")
     print(f"Hyper-Q gateway listening on {host}:{port} "
-          f"({args.workers} workers, source={args.source}, "
+          f"({args.workers} workers, wire={args.wire}, source={args.source}, "
           f"target={args.target}, workload management {managed}, "
           f"tracing {traced}, {tenanted}) — Ctrl-C to stop, "
           "SIGTERM to drain")
@@ -255,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--max-connections", type=int, default=64,
                            help="bound on concurrently served connections "
                                 "(fleet-wide with --workers)")
+    serve_cmd.add_argument("--wire", choices=("threaded", "async"),
+                           default="threaded",
+                           help="wire path: one thread per connection, or "
+                                "all sessions multiplexed on one asyncio "
+                                "event loop per worker (default: threaded)")
     serve_cmd.add_argument("--workers", type=int, default=1,
                            help="worker processes; >1 starts the sharded "
                                 "gateway (process-per-core engines behind "

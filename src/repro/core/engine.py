@@ -15,6 +15,7 @@ observations (Figure 8) are collected on the way through.
 from __future__ import annotations
 
 import re
+import threading
 
 from dataclasses import dataclass, field
 from typing import Optional
@@ -238,6 +239,8 @@ class HyperQ:
         #: Result Converter buffering budget before spilling to disk (§4.6).
         self.converter_max_memory = converter_max_memory
         self.spill_dir = spill_dir
+        self._session_lock = threading.Lock()
+        self._open_sessions = 0
         #: Optional :class:`repro.core.workload.WorkloadManager` fronting
         #: this engine: the wire server routes every request through it for
         #: classification, admission control, and fair scheduling. A manager
@@ -258,6 +261,24 @@ class HyperQ:
 
     def create_session(self) -> "HyperQSession":
         return HyperQSession(self)
+
+    @property
+    def open_session_count(self) -> int:
+        """Sessions constructed against this engine and not yet closed.
+
+        The wire fuzz/resilience suites assert this returns to baseline
+        after abusive clients disconnect — a leaked session means a wire
+        path dropped its ``session.close()``."""
+        with self._session_lock:
+            return self._open_sessions
+
+    def _session_opened(self) -> None:
+        with self._session_lock:
+            self._open_sessions += 1
+
+    def _session_closed(self) -> None:
+        with self._session_lock:
+            self._open_sessions -= 1
 
     def execute(self, sql: str) -> HQResult:
         """One-shot convenience for scripts and tests."""
@@ -349,6 +370,8 @@ class HyperQSession:
         #: Tracker-free pipeline used for translation-cache sentinel probes
         #: (built lazily; probes must not pollute Figure 8 statistics).
         self._probe_stack = None
+        self._closed = False
+        engine._session_opened()
 
     @property
     def tenant(self) -> Optional[str]:
@@ -627,6 +650,9 @@ class HyperQSession:
     def close(self) -> None:
         self.odbc.close()
         self.converter.close()
+        if not self._closed:
+            self._closed = True
+            self.engine._session_closed()
 
     # -- observability admin commands --------------------------------------------------
 

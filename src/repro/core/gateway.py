@@ -468,10 +468,21 @@ class GatewayConfig:
     route_timeout: float = 5.0
     start_timeout: float = 30.0
     engine_options: dict = field(default_factory=dict)
+    #: Wire path each worker serves its sessions on: ``"threaded"`` (one
+    #: connection-pool thread per session) or ``"async"`` (all of a
+    #: worker's sessions multiplexed on one event loop —
+    #: :class:`repro.protocol.aio_server.AioHyperQServer`). The default
+    #: follows ``HQ_WIRE`` so CI's wire-matrix job flips gateway tests
+    #: without touching them; passing ``wire=`` explicitly always wins.
+    wire: str = field(default_factory=lambda: (
+        "async" if os.environ.get("HQ_WIRE", "").lower() == "async"
+        else "threaded"))
 
     def __post_init__(self):
         if self.workers < 1:
             raise ValueError("gateway needs at least one worker")
+        if self.wire not in ("threaded", "async"):
+            raise ValueError(f"unknown wire path {self.wire!r}")
 
 
 # -- the worker process ---------------------------------------------------------------
@@ -553,11 +564,19 @@ def _worker_main(config: GatewayConfig, index: int, generation: int,
         boot.execute_script(config.setup_sql)
     engine.fleet = _FleetClient(_fleet_path(run_dir))
 
-    server = HyperQServer(
-        engine, request_timeout=config.request_timeout,
-        max_connections=max(
-            1, _ceil_div(config.max_connections, config.workers)),
-        bind=False)
+    worker_cap = max(1, _ceil_div(config.max_connections, config.workers))
+    if config.wire == "async":
+        from repro.protocol.aio_server import AioHyperQServer
+        server = AioHyperQServer(
+            engine, request_timeout=config.request_timeout,
+            max_connections=worker_cap, bind=False)
+        # Unbound: the event loop only serves sockets handed over through
+        # process_request(), but it must be running before the first one.
+        server.start()
+    else:
+        server = HyperQServer(
+            engine, request_timeout=config.request_timeout,
+            max_connections=worker_cap, bind=False)
 
     stop = threading.Event()
     draining = threading.Event()

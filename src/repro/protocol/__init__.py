@@ -1,5 +1,7 @@
 """Source wire protocol: framing, binary row encoding, server, client."""
 
-from repro.protocol.encoding import ColumnMeta, effective_meta, encode_rows, decode_rows
+from repro.protocol.encoding import (ColumnMeta, RowCodec, decode_rows,
+                                     effective_meta, encode_rows)
 
-__all__ = ["ColumnMeta", "effective_meta", "encode_rows", "decode_rows"]
+__all__ = ["ColumnMeta", "RowCodec", "effective_meta", "encode_rows",
+           "decode_rows"]

@@ -39,6 +39,25 @@ def encode_message(kind: MessageKind, payload: bytes = b"") -> bytes:
     return HEADER.pack(MAGIC, int(kind), len(payload)) + payload
 
 
+def parse_header(header: bytes) -> tuple[MessageKind, int]:
+    """Validate a 7-byte frame header and return ``(kind, payload_length)``.
+
+    Shared by the blocking and asyncio readers so both wire paths reject
+    malformed frames identically (magic, declared length, kind — all
+    checked before a single payload byte is read).
+    """
+    magic, kind, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"declared payload of {length} bytes exceeds limit")
+    try:
+        message_kind = MessageKind(kind)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown message kind {kind}") from exc
+    return message_kind, length
+
+
 def read_exact(sock: socket.socket, count: int) -> bytes:
     chunks = []
     remaining = count
@@ -53,19 +72,34 @@ def read_exact(sock: socket.socket, count: int) -> bytes:
 
 def read_message(sock: socket.socket) -> tuple[MessageKind, bytes]:
     header = read_exact(sock, HEADER.size)
-    magic, kind, length = HEADER.unpack(header)
-    if magic != MAGIC:
-        raise ProtocolError(f"bad magic {magic!r}")
-    if length > MAX_PAYLOAD:
-        raise ProtocolError(f"declared payload of {length} bytes exceeds limit")
-    try:
-        message_kind = MessageKind(kind)
-    except ValueError as exc:
-        raise ProtocolError(f"unknown message kind {kind}") from exc
+    message_kind, length = parse_header(header)
     payload = read_exact(sock, length) if length else b""
     return message_kind, payload
 
 
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
+
+
+def _sendmsg_all(sock: socket.socket, header: bytes, payload: bytes) -> None:
+    # writev-style gathered send: header and payload go out as two iovecs
+    # with no intermediate concatenation. Partial sends advance through
+    # memoryview slices, never copying the chunk.
+    views = [memoryview(header), memoryview(payload)]
+    while views:
+        sent = sock.sendmsg(views)
+        while views and sent >= len(views[0]):
+            sent -= len(views[0])
+            del views[0]
+        if views and sent:
+            views[0] = views[0][sent:]
+
+
 def send_message(sock: socket.socket, kind: MessageKind,
                  payload: bytes = b"") -> None:
-    sock.sendall(encode_message(kind, payload))
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(f"payload of {len(payload)} bytes exceeds limit")
+    header = HEADER.pack(MAGIC, int(kind), len(payload))
+    if payload and _HAS_SENDMSG:
+        _sendmsg_all(sock, header, payload)
+    else:
+        sock.sendall(header + payload)

@@ -56,6 +56,96 @@ from repro.protocol.encoding import encode_meta
 from repro.protocol.messages import MessageKind, read_message, send_message
 
 
+class RequestState:
+    """Per-connection request bookkeeping shared by both wire paths.
+
+    Holds the straggler (a timed-out request still running on a pool
+    thread, which must land before the session's next request) and the
+    workload class of the request in flight (for trace finishing). The
+    threaded handler owns one per connection; the asyncio server owns one
+    per stream pair.
+    """
+
+    __slots__ = ("straggler", "wl_class")
+
+    def __init__(self):
+        self.straggler = None
+        self.wl_class: Optional[str] = None
+
+
+def await_straggler(state: RequestState) -> None:
+    """Block until the connection's timed-out request (if any) lands."""
+    straggler, state.straggler = state.straggler, None
+    if straggler is None:
+        return
+    try:
+        straggler.result()
+    except Exception:  # noqa: BLE001 — its error already became a reply
+        pass
+
+
+def run_managed(server, state: RequestState, session, sql: str,
+                delay: float) -> HQResult:
+    """Route one request through the workload manager (blocking).
+
+    Shared by both wire paths: the threaded handler calls it on the
+    connection thread, the asyncio server calls it on an executor thread
+    with the request's root span activated. Shed and queue-deadline
+    rejections raise :class:`~repro.errors.WorkloadError` subclasses,
+    which callers turn into FAILURE replies on a live connection. A
+    request that overruns ``server.request_timeout`` while *running*
+    becomes the connection's straggler in *state*: the client gets a
+    FAILURE now, and the session's next request waits for the straggler
+    to land first.
+    """
+    manager = server.engine.workload
+    # The straggler must land before *anything* touches the session —
+    # classification binds on the session's probe stack, so deciding
+    # first would race the straggler's execute on shared state.
+    await_straggler(state)
+    with trace_mod.span("classify") as cspan:
+        decision = manager.decide(session, sql)
+        if cspan is not None:
+            cspan.annotate("wl_class", decision.wl_class)
+            cspan.annotate("reason", decision.reason)
+    state.wl_class = decision.wl_class
+    # The pool worker gets a fresh context; hand the active span across
+    # explicitly, and time the queue wait from submit to work start.
+    root = trace_mod.current_span()
+    qspan = trace_mod.begin_span("queue_wait", wl_class=decision.wl_class)
+
+    def work() -> HQResult:
+        with trace_mod.activate(root):
+            if qspan is not None:
+                qspan.finish()
+            # Unconditional: None restores the engine default, clearing
+            # a previous request's per-class override.
+            session.apply_batch_budget(decision.budget)
+            if delay > 0:
+                time.sleep(delay)
+            return session.execute(sql)
+
+    ticket = manager.submit(session, sql, work, decision)
+    timeout = server.request_timeout
+    try:
+        return manager.wait(ticket, timeout)
+    except FutureTimeoutError:
+        engine = server.engine
+        engine.resilience.note("timeout")
+        if engine.faults is not None:
+            engine.faults.record("timeout", timeout=f"{timeout:g}")
+        # A future cancelled by wait() (timed out while still queued)
+        # never ran: there is nothing to discard and no straggler, and
+        # registering the callback would fire it synchronously with a
+        # CancelledError that no `except Exception` catches.
+        if not ticket.future.cancelled():
+            ticket.future.add_done_callback(_discard_result)
+            if not ticket.future.done():
+                state.straggler = ticket.future
+        raise BackendTimeoutError(
+            f"request timed out after {timeout:g}s") from None
+
+
 class _ConnectionHandler(socketserver.BaseRequestHandler):
     server: "HyperQServer"
 
@@ -64,10 +154,9 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         session = None
         self._executor: Optional[ThreadPoolExecutor] = None
-        #: A timed-out request still running on a workload worker; awaited
-        #: before the session's next request so the session is never driven
-        #: by two threads at once.
-        self._straggler = None
+        #: Straggler + workload-class bookkeeping, shared format with the
+        #: asyncio wire path.
+        self._state = RequestState()
         self.busy = False
         registered = False
         try:
@@ -111,7 +200,7 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             # converter resources. A running straggler is awaited first —
             # closing the session under it would yank its converter away.
             if session is not None:
-                self._await_straggler()
+                await_straggler(self._state)
                 session.close()
             if self._executor is not None:
                 self._executor.shutdown(wait=False)
@@ -146,7 +235,7 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         engine = self.server.engine
         hub = engine.tracing
         trace = hub.start_trace("request") if hub.enabled else None
-        self._wl_class: Optional[str] = None
+        self._state.wl_class = None
         with trace_mod.activate(trace.root if trace is not None else None):
             outcome = "ok"
             try:
@@ -196,79 +285,14 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 raise
             finally:
                 if trace is not None:
-                    hub.finish_trace(trace, outcome, wl_class=self._wl_class)
+                    hub.finish_trace(trace, outcome,
+                                     wl_class=self._state.wl_class)
 
     def _run_request(self, session, sql: str, delay: float) -> HQResult:
         manager = self.server.engine.workload
         if manager is None:
             return self._run_direct(session, sql, delay)
-        return self._run_managed(manager, session, sql, delay)
-
-    def _run_managed(self, manager, session, sql: str,
-                     delay: float) -> HQResult:
-        """Route one request through the workload manager.
-
-        Shed and queue-deadline rejections raise
-        :class:`~repro.errors.WorkloadError` subclasses, which the serve
-        loop turns into FAILURE replies on a live connection. A request
-        that overruns ``request_timeout`` while *running* becomes this
-        connection's straggler: the client gets a FAILURE now, and the
-        session's next request waits for the straggler to land first.
-        """
-        # The straggler must land before *anything* touches the session —
-        # classification binds on the session's probe stack, so deciding
-        # first would race the straggler's execute on shared state.
-        self._await_straggler()
-        with trace_mod.span("classify") as cspan:
-            decision = manager.decide(session, sql)
-            if cspan is not None:
-                cspan.annotate("wl_class", decision.wl_class)
-                cspan.annotate("reason", decision.reason)
-        self._wl_class = decision.wl_class
-        # The pool worker gets a fresh context; hand the active span across
-        # explicitly, and time the queue wait from submit to work start.
-        root = trace_mod.current_span()
-        qspan = trace_mod.begin_span("queue_wait", wl_class=decision.wl_class)
-
-        def work() -> HQResult:
-            with trace_mod.activate(root):
-                if qspan is not None:
-                    qspan.finish()
-                # Unconditional: None restores the engine default, clearing
-                # a previous request's per-class override.
-                session.apply_batch_budget(decision.budget)
-                if delay > 0:
-                    time.sleep(delay)
-                return session.execute(sql)
-
-        ticket = manager.submit(session, sql, work, decision)
-        timeout = self.server.request_timeout
-        try:
-            return manager.wait(ticket, timeout)
-        except FutureTimeoutError:
-            engine = self.server.engine
-            engine.resilience.note("timeout")
-            if engine.faults is not None:
-                engine.faults.record("timeout", timeout=f"{timeout:g}")
-            # A future cancelled by wait() (timed out while still queued)
-            # never ran: there is nothing to discard and no straggler, and
-            # registering the callback would fire it synchronously with a
-            # CancelledError that no `except Exception` catches.
-            if not ticket.future.cancelled():
-                ticket.future.add_done_callback(_discard_result)
-                if not ticket.future.done():
-                    self._straggler = ticket.future
-            raise BackendTimeoutError(
-                f"request timed out after {timeout:g}s") from None
-
-    def _await_straggler(self) -> None:
-        straggler, self._straggler = self._straggler, None
-        if straggler is None:
-            return
-        try:
-            straggler.result()
-        except Exception:  # noqa: BLE001 — its error already became a reply
-            pass
+        return run_managed(self.server, self._state, session, sql, delay)
 
     def _run_direct(self, session, sql: str, delay: float) -> HQResult:
         """Execute one request without a workload manager, enforcing the
@@ -601,7 +625,22 @@ class ServerThread:
 
         with ServerThread(engine) as address:
             client = TdClient(*address)
+
+    Setting ``HQ_WIRE=async`` in the environment swaps in the asyncio wire
+    path (:class:`repro.protocol.aio_server.AioServerThread`) — the hook CI's
+    wire-matrix job uses to run the whole integration/resilience battery
+    against both servers without touching any test.
     """
+
+    def __new__(cls, *args, **kwargs):
+        if cls is ServerThread \
+                and os.environ.get("HQ_WIRE", "").lower() == "async":
+            from repro.protocol.aio_server import AioServerThread
+
+            # Returning a non-subclass instance skips cls.__init__; the
+            # async thread wrapper exposes the same start/stop/server API.
+            return AioServerThread(*args, **kwargs)
+        return super().__new__(cls)
 
     def __init__(self, engine: HyperQ, host: str = "127.0.0.1", port: int = 0,
                  request_timeout: Optional[float] = None,

@@ -18,7 +18,8 @@ from typing import Callable, Iterable, Iterator, Optional
 from repro import tdf
 from repro.errors import ConversionError
 from repro.core import trace as trace_mod
-from repro.protocol.encoding import ColumnMeta, decode_rows, effective_meta, encode_rows
+from repro.protocol.encoding import (
+    ColumnMeta, RowCodec, decode_rows, effective_meta)
 from repro.results.store import ResultStore
 from repro.xtra.types import SQLType
 
@@ -139,8 +140,17 @@ class StreamingResult:
 
     def close(self) -> None:
         """Release buffered chunks and stop pulling from the backend."""
-        self._source = iter(())
+        source, self._source = self._source, iter(())
         self._consumed = True
+        close_source = getattr(source, "close", None)
+        if close_source is not None:
+            # Run the conversion generator's finally blocks now (span
+            # finish, in-flight encode bookkeeping) instead of at GC time —
+            # the wire paths call close() even on abrupt client disconnect.
+            try:
+                close_source()
+            except Exception:
+                pass
         if self._store is not None:
             self._store.close()
             self._store = None
@@ -204,9 +214,7 @@ class ResultConverter:
         columns = decoded[0][0]
         sample_rows = next((rows for __, rows in decoded if rows), [])
         metas = effective_meta(columns, declared_types or [], sample_rows)
-
-        def encode_one(rows: list[tuple]) -> bytes:
-            return encode_rows(metas, rows)
+        encode_one = RowCodec.for_metas(metas).encode
 
         row_batches = [rows for __, rows in decoded]
         with trace_mod.span("result_convert", batches=len(row_batches)) as sp:
@@ -255,6 +263,7 @@ class ResultConverter:
         with measure():
             columns, sample = tdf.decode_batch(first_packet)
             metas = effective_meta(columns, declared_types or [], sample)
+        codec = RowCodec.for_metas(metas)  # one compiled codec per stream
 
         def decoded_batches() -> Iterator[list[tuple]]:
             yield sample
@@ -272,7 +281,7 @@ class ResultConverter:
                 in_flight: deque = deque()
                 for rows in decoded_batches():
                     in_flight.append(
-                        (pool.submit(encode_rows, metas, rows), len(rows)))
+                        (pool.submit(codec.encode, rows), len(rows)))
                     while len(in_flight) > self._parallelism:
                         future, nrows = in_flight.popleft()
                         yield future.result(), nrows
@@ -280,9 +289,10 @@ class ResultConverter:
                     future, nrows = in_flight.popleft()
                     yield future.result(), nrows
             else:
+                encode = codec.encode
                 for rows in decoded_batches():
                     with measure():
-                        chunk = encode_rows(metas, rows)
+                        chunk = encode(rows)
                     yield chunk, len(rows)
 
         def traced_source() -> Iterator[tuple[bytes, int]]:

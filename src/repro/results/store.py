@@ -11,7 +11,10 @@ from __future__ import annotations
 import os
 import struct
 import tempfile
+import threading
 from typing import Iterator, Optional
+
+_OPEN_LOCK = threading.Lock()
 
 
 class ResultStore:
@@ -21,6 +24,11 @@ class ResultStore:
     on every chunk goes to a spill file. Iteration yields chunks in append
     order regardless of where they live.
     """
+
+    #: Stores constructed but not yet closed, process-wide. The wire paths
+    #: must close every buffer even on abrupt client disconnect; the
+    #: resilience suite asserts this count returns to its baseline.
+    _open_stores = 0
 
     def __init__(self, max_memory_bytes: int = 64 * 1024 * 1024,
                  spill_dir: Optional[str] = None):
@@ -32,6 +40,14 @@ class ResultStore:
         self._spill_file: Optional[tempfile._TemporaryFileWrapper] = None
         self._spilled_chunks = 0
         self._closed = False
+        with _OPEN_LOCK:
+            ResultStore._open_stores += 1
+
+    @classmethod
+    def open_count(cls) -> int:
+        """Process-wide count of stores created and not yet closed."""
+        with _OPEN_LOCK:
+            return cls._open_stores
 
     @property
     def memory_bytes(self) -> int:
@@ -81,9 +97,12 @@ class ResultStore:
 
     def close(self) -> None:
         """Release buffers and delete any spill file."""
+        if not self._closed:
+            self._closed = True
+            with _OPEN_LOCK:
+                ResultStore._open_stores -= 1
         self._memory_chunks = []
         self._memory_bytes = 0
-        self._closed = True
         if self._spill_file is not None:
             name = self._spill_file.name
             self._spill_file.close()

@@ -37,82 +37,109 @@ TAG_LIST = 9
 
 _EPOCH = datetime.date(1970, 1, 1)
 
+# Every backend row funnels through these loops (the ODBC server encodes, the
+# result converter decodes), so the per-value ``struct`` formats are compiled
+# once at import and bound as locals, and the common scalar tags take an
+# exact-type fast path ahead of the isinstance ladder.
+_S_I64 = struct.Struct("<q")
+_S_F64 = struct.Struct("<d")
+_S_I32 = struct.Struct("<i")
+_S_U32 = struct.Struct("<I")
+_S_U16 = struct.Struct("<H")
 
-def _encode_value(value: object, out: bytearray) -> None:
-    if value is None:
+
+def _encode_value(value: object, out: bytearray,
+                  _pq=_S_I64.pack, _pd=_S_F64.pack, _pi=_S_I32.pack,
+                  _pu=_S_U32.pack) -> None:
+    kind = type(value)
+    if kind is int:
+        out.append(TAG_INT)
+        out += _pq(value)
+    elif kind is str:
+        payload = value.encode("utf-8")
+        out.append(TAG_STRING)
+        out += _pu(len(payload))
+        out += payload
+    elif kind is float:
+        out.append(TAG_FLOAT)
+        out += _pd(value)
+    elif value is None:
         out.append(TAG_NULL)
-    elif isinstance(value, bool):
+    elif kind is bool:
         out.append(TAG_BOOL)
         out.append(1 if value else 0)
     elif isinstance(value, int):
         out.append(TAG_INT)
-        out += struct.pack("<q", value)
+        out += _pq(value)
     elif isinstance(value, float):
         out.append(TAG_FLOAT)
-        out += struct.pack("<d", value)
+        out += _pd(value)
     elif isinstance(value, str):
         payload = value.encode("utf-8")
         out.append(TAG_STRING)
-        out += struct.pack("<I", len(payload))
+        out += _pu(len(payload))
         out += payload
     elif isinstance(value, datetime.datetime):
         out.append(TAG_TIMESTAMP)
-        out += struct.pack("<d", value.timestamp())
+        out += _pd(value.timestamp())
     elif isinstance(value, datetime.date):
         out.append(TAG_DATE)
-        out += struct.pack("<i", (value - _EPOCH).days)
+        out += _pi((value - _EPOCH).days)
     elif isinstance(value, datetime.time):
         out.append(TAG_TIME)
         micros = ((value.hour * 60 + value.minute) * 60 + value.second) * 1_000_000 \
             + value.microsecond
-        out += struct.pack("<q", micros)
+        out += _pq(micros)
     elif isinstance(value, (bytes, bytearray)):
         out.append(TAG_BYTES)
-        out += struct.pack("<I", len(value))
+        out += _pu(len(value))
         out += bytes(value)
     elif isinstance(value, (list, tuple)):
         out.append(TAG_LIST)
-        out += struct.pack("<I", len(value))
+        out += _pu(len(value))
         for item in value:
             _encode_value(item, out)
     else:
         raise ConversionError(f"TDF cannot encode {type(value).__name__}")
 
 
-def _decode_value(buffer: memoryview, offset: int) -> tuple[object, int]:
+def _decode_value(buffer: memoryview, offset: int,
+                  _uq=_S_I64.unpack_from, _ud=_S_F64.unpack_from,
+                  _ui=_S_I32.unpack_from,
+                  _uu=_S_U32.unpack_from) -> tuple[object, int]:
     tag = buffer[offset]
     offset += 1
+    if tag == TAG_INT:
+        return _uq(buffer, offset)[0], offset + 8
+    if tag == TAG_STRING:
+        length = _uu(buffer, offset)[0]
+        offset += 4
+        text = str(buffer[offset:offset + length], "utf-8")
+        return text, offset + length
+    if tag == TAG_FLOAT:
+        return _ud(buffer, offset)[0], offset + 8
     if tag == TAG_NULL:
         return None, offset
     if tag == TAG_BOOL:
         return bool(buffer[offset]), offset + 1
-    if tag == TAG_INT:
-        return struct.unpack_from("<q", buffer, offset)[0], offset + 8
-    if tag == TAG_FLOAT:
-        return struct.unpack_from("<d", buffer, offset)[0], offset + 8
-    if tag == TAG_STRING:
-        length = struct.unpack_from("<I", buffer, offset)[0]
-        offset += 4
-        text = bytes(buffer[offset:offset + length]).decode("utf-8")
-        return text, offset + length
     if tag == TAG_DATE:
-        days = struct.unpack_from("<i", buffer, offset)[0]
+        days = _ui(buffer, offset)[0]
         return _EPOCH + datetime.timedelta(days=days), offset + 4
     if tag == TAG_TIMESTAMP:
-        stamp = struct.unpack_from("<d", buffer, offset)[0]
+        stamp = _ud(buffer, offset)[0]
         return datetime.datetime.fromtimestamp(stamp), offset + 8
     if tag == TAG_TIME:
-        micros = struct.unpack_from("<q", buffer, offset)[0]
+        micros = _uq(buffer, offset)[0]
         seconds, micro = divmod(micros, 1_000_000)
         minutes, second = divmod(seconds, 60)
         hour, minute = divmod(minutes, 60)
         return datetime.time(hour, minute, second, micro), offset + 8
     if tag == TAG_BYTES:
-        length = struct.unpack_from("<I", buffer, offset)[0]
+        length = _uu(buffer, offset)[0]
         offset += 4
         return bytes(buffer[offset:offset + length]), offset + length
     if tag == TAG_LIST:
-        count = struct.unpack_from("<I", buffer, offset)[0]
+        count = _uu(buffer, offset)[0]
         offset += 4
         items = []
         for __ in range(count):
@@ -125,19 +152,21 @@ def _decode_value(buffer: memoryview, offset: int) -> tuple[object, int]:
 def encode_batch(columns: list[str], rows: Iterable[tuple]) -> bytes:
     """Encode one batch of rows into a TDF packet."""
     out = bytearray(MAGIC)
-    out += struct.pack("<I", len(columns))
+    out += _S_U32.pack(len(columns))
     for name in columns:
         payload = name.encode("utf-8")
-        out += struct.pack("<H", len(payload))
+        out += _S_U16.pack(len(payload))
         out += payload
     rows = list(rows)
-    out += struct.pack("<I", len(rows))
+    out += _S_U32.pack(len(rows))
+    encode_value = _encode_value
+    width = len(columns)
     for row in rows:
-        if len(row) != len(columns):
+        if len(row) != width:
             raise ConversionError(
-                f"TDF row has {len(row)} values for {len(columns)} columns")
+                f"TDF row has {len(row)} values for {width} columns")
         for value in row:
-            _encode_value(value, out)
+            encode_value(value, out)
     return bytes(out)
 
 
@@ -147,22 +176,24 @@ def decode_batch(packet: bytes) -> tuple[list[str], list[tuple]]:
         raise ConversionError("not a TDF packet")
     buffer = memoryview(packet)
     offset = 4
-    column_count = struct.unpack_from("<I", buffer, offset)[0]
+    column_count = _S_U32.unpack_from(buffer, offset)[0]
     offset += 4
     columns = []
     for __ in range(column_count):
-        length = struct.unpack_from("<H", buffer, offset)[0]
+        length = _S_U16.unpack_from(buffer, offset)[0]
         offset += 2
-        columns.append(bytes(buffer[offset:offset + length]).decode("utf-8"))
+        columns.append(str(buffer[offset:offset + length], "utf-8"))
         offset += length
-    row_count = struct.unpack_from("<I", buffer, offset)[0]
+    row_count = _S_U32.unpack_from(buffer, offset)[0]
     offset += 4
     rows = []
+    decode_value = _decode_value
     for __ in range(row_count):
         values = []
+        append = values.append
         for __ in range(column_count):
-            value, offset = _decode_value(buffer, offset)
-            values.append(value)
+            value, offset = decode_value(buffer, offset)
+            append(value)
         rows.append(tuple(values))
     return columns, rows
 

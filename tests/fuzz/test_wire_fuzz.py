@@ -1,0 +1,274 @@
+"""Seeded fuzzing of the wire-protocol frame parser, on both wire paths.
+
+Feeds malformed byte sequences — truncated frames, oversized length
+prefixes, bad magic, unknown kinds, garbage mid-stream, and pathological
+1-byte split sends — at a live server and asserts the invariants that make
+the protocol layer safe to expose:
+
+* the server answers with a clean FAILURE or closes the connection — it
+  never hangs holding a half-parsed frame;
+* no FAILURE payload ever leaks an internal traceback;
+* no session and no result buffer outlives its connection
+  (``engine.open_session_count`` and ``ResultStore.open_count`` return to
+  baseline after the whole corpus).
+
+The corpus is deterministic per seed. CI runs the default seed; the
+nightly job widens coverage by exporting ``HQ_FUZZ_SEED`` (one extra seed
+per run) and ``HQ_FUZZ_CASES`` without any code change. When a case fails,
+the test greedily minimizes the byte sequence (drop-a-span to a fixpoint,
+RISE-style) and prints the minimized hex so the failure is replayable in a
+commit message or a regression corpus entry.
+"""
+
+import os
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.core.engine import HyperQ
+from repro.protocol.aio_server import AioServerThread
+from repro.protocol.messages import HEADER, MAGIC, MessageKind
+from repro.protocol.server import ServerThread
+from repro.results.store import ResultStore
+
+DEFAULT_SEED = 0xD470
+CASES = int(os.environ.get("HQ_FUZZ_CASES", "60"))
+READ_DEADLINE = 5.0
+
+_LOGON = HEADER.pack(MAGIC, int(MessageKind.LOGON_REQUEST), 7) + b"dbc\0dbc"
+_QUERY_SQL = b"SELECT 1"
+_QUERY = HEADER.pack(MAGIC, int(MessageKind.RUN_QUERY),
+                     len(_QUERY_SQL)) + _QUERY_SQL
+
+
+def _seeds():
+    seeds = [DEFAULT_SEED]
+    extra = os.environ.get("HQ_FUZZ_SEED")
+    if extra:
+        seeds.append(int(extra, 0))
+    return seeds
+
+
+# -- corpus generation ----------------------------------------------------------------
+
+def _mutations(rng):
+    """One malformed byte sequence per call, spanning the parser's attack
+    surface. Returns (description, payload bytes)."""
+    choice = rng.randrange(8)
+    if choice == 0:
+        # Truncated header: fewer bytes than the 7-byte frame header.
+        return "truncated-header", _LOGON + HEADER.pack(
+            MAGIC, int(MessageKind.RUN_QUERY), 4)[:rng.randrange(1, 7)]
+    if choice == 1:
+        # Oversized length prefix: declares more than MAX_PAYLOAD.
+        return "oversized-length", _LOGON + HEADER.pack(
+            MAGIC, int(MessageKind.RUN_QUERY),
+            rng.randrange(2 ** 26 + 1, 2 ** 32 - 1))
+    if choice == 2:
+        # Bad magic on the first or a later frame.
+        bad = bytes([rng.randrange(256), rng.randrange(256)])
+        frame = struct.pack(">2sBI", bad, 3, 5) + b"hello"
+        return "bad-magic", (frame if rng.random() < 0.5
+                             else _LOGON + frame)
+    if choice == 3:
+        # Unknown message kind after a clean logon.
+        kind = rng.choice([0, 10, 42, 200, 255])
+        return "unknown-kind", _LOGON + HEADER.pack(MAGIC, kind, 0)
+    if choice == 4:
+        # Truncated payload: header promises more bytes than ever arrive.
+        declared = rng.randrange(5, 4096)
+        sent = rng.randrange(0, declared)
+        return "truncated-payload", _LOGON + HEADER.pack(
+            MAGIC, int(MessageKind.RUN_QUERY), declared) + bytes(sent)
+    if choice == 5:
+        # Pure garbage, no valid logon.
+        return "garbage", bytes(rng.randrange(256)
+                                for __ in range(rng.randrange(1, 64)))
+    if choice == 6:
+        # Garbage mid-stream: a full valid exchange, then junk.
+        return "garbage-midstream", _LOGON + _QUERY + bytes(
+            rng.randrange(256) for __ in range(rng.randrange(1, 32)))
+    # Response-kind frame sent where a request belongs.
+    kind = rng.choice([MessageKind.RESULT_ROWS, MessageKind.SUCCESS,
+                       MessageKind.FAILURE, MessageKind.LOGON_RESPONSE])
+    return "response-kind", _LOGON + HEADER.pack(MAGIC, int(kind), 2) + b"xx"
+
+
+# -- exchange + invariant check -------------------------------------------------------
+
+def _exchange(address, data, split=False):
+    """Send *data* (optionally byte-at-a-time), half-close, then drain the
+    server's reply until EOF. Returns (reply_bytes, hung)."""
+    with socket.create_connection(address, timeout=READ_DEADLINE) as sock:
+        sock.settimeout(READ_DEADLINE)
+        try:
+            if split:
+                for i in range(len(data)):
+                    sock.sendall(data[i:i + 1])
+            else:
+                sock.sendall(data)
+            sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass  # server already slammed the door — that's a clean reject
+        reply = bytearray()
+        deadline = time.monotonic() + READ_DEADLINE
+        while time.monotonic() < deadline:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout:
+                return bytes(reply), True
+            except OSError:
+                break
+            if not chunk:
+                break
+            reply += chunk
+        else:
+            return bytes(reply), True
+        return bytes(reply), False
+
+
+def _frames(reply):
+    """Parse whatever complete frames the server sent back."""
+    out = []
+    offset = 0
+    while offset + HEADER.size <= len(reply):
+        magic, kind, length = HEADER.unpack_from(reply, offset)
+        if magic != MAGIC or offset + HEADER.size + length > len(reply):
+            break
+        out.append((kind, bytes(reply[offset + HEADER.size:
+                                      offset + HEADER.size + length])))
+        offset += HEADER.size + length
+    return out
+
+
+def _violation(reply, hung):
+    """The fuzz property: clean FAILURE or disconnect, no hang, no
+    traceback leak. Returns a description or None."""
+    if hung:
+        return "server hung instead of closing the connection"
+    for kind, payload in _frames(reply):
+        if kind == int(MessageKind.FAILURE):
+            if b"Traceback" in payload or b'File "' in payload:
+                return f"FAILURE leaks a traceback: {payload[:120]!r}"
+    return None
+
+
+def _minimize(address, data, split):
+    """Greedy span-drop minimization: repeatedly remove byte spans while
+    the violation persists, halving span width down to single bytes."""
+    current = data
+
+    def still_fails(candidate):
+        reply, hung = _exchange(address, candidate, split=split)
+        return _violation(reply, hung) is not None
+
+    width = max(1, len(current) // 2)
+    while width >= 1:
+        offset = 0
+        while offset < len(current):
+            candidate = current[:offset] + current[offset + width:]
+            if candidate and still_fails(candidate):
+                current = candidate
+            else:
+                offset += width
+        width //= 2
+    return current
+
+
+# -- fixtures -------------------------------------------------------------------------
+
+@pytest.fixture(params=["threaded", "async"])
+def wire_server(request):
+    engine = HyperQ(tracing=False)
+    thread_cls = ServerThread if request.param == "threaded" \
+        else AioServerThread
+    thread = thread_cls(engine, max_connections=16)
+    address = thread.start()
+    yield engine, address
+    thread.stop()
+
+
+def _settle(predicate, deadline=5.0):
+    until = time.monotonic() + deadline
+    while time.monotonic() < until:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+# -- the battery ----------------------------------------------------------------------
+
+class TestWireFuzz:
+    def test_malformed_corpus(self, wire_server):
+        import random
+
+        engine, address = wire_server
+        store_baseline = ResultStore.open_count()
+        for seed in _seeds():
+            rng = random.Random(seed)
+            for case in range(CASES):
+                label, data = _mutations(rng)
+                split = rng.random() < 0.25
+                reply, hung = _exchange(address, data, split=split)
+                problem = _violation(reply, hung)
+                if problem is not None:
+                    minimized = _minimize(address, data, split)
+                    pytest.fail(
+                        f"seed={seed:#x} case={case} ({label}, "
+                        f"split={split}): {problem}\n"
+                        f"minimized ({len(minimized)} bytes): "
+                        f"{minimized.hex()}")
+        # No session and no result buffer may outlive its connection.
+        assert _settle(lambda: engine.open_session_count == 0), \
+            f"{engine.open_session_count} sessions leaked"
+        assert _settle(
+            lambda: ResultStore.open_count() <= store_baseline), \
+            f"{ResultStore.open_count() - store_baseline} stores leaked"
+
+    def test_split_sends_still_served(self, wire_server):
+        """A pathologically fragmented but valid exchange must succeed:
+        framing cannot depend on TCP segment boundaries."""
+        __, address = wire_server
+        logoff = HEADER.pack(MAGIC, int(MessageKind.LOGOFF), 0)
+        reply, hung = _exchange(address, _LOGON + _QUERY + logoff,
+                                split=True)
+        assert not hung
+        kinds = [kind for kind, __ in _frames(reply)]
+        assert int(MessageKind.LOGON_RESPONSE) == kinds[0]
+        assert int(MessageKind.SUCCESS) in kinds
+        assert int(MessageKind.FAILURE) not in kinds
+
+    def test_oversized_reply_refused_cleanly(self, wire_server):
+        """An oversized length prefix is rejected before any payload is
+        read — immediately, not after 64 MiB of allocation."""
+        __, address = wire_server
+        data = _LOGON + HEADER.pack(MAGIC, int(MessageKind.RUN_QUERY),
+                                    2 ** 31)
+        start = time.monotonic()
+        reply, hung = _exchange(address, data)
+        assert not hung
+        assert time.monotonic() - start < READ_DEADLINE
+        # Logon succeeded; the poisoned frame just drops the connection.
+        kinds = [kind for kind, __ in _frames(reply)]
+        assert kinds[0] == int(MessageKind.LOGON_RESPONSE)
+
+    def test_disconnect_between_frames_releases_session(self, wire_server):
+        """100 abrupt disconnects (no LOGOFF, mid-conversation) leak
+        nothing: sessions and result buffers return to baseline."""
+        engine, address = wire_server
+        store_baseline = ResultStore.open_count()
+        for __ in range(100):
+            with socket.create_connection(address, timeout=5.0) as sock:
+                sock.sendall(_LOGON)
+                sock.settimeout(5.0)
+                sock.recv(HEADER.size + 4)  # LOGON_RESPONSE
+                sock.sendall(_QUERY)
+                # Vanish without draining the reply or sending LOGOFF.
+        assert _settle(lambda: engine.open_session_count == 0), \
+            f"{engine.open_session_count} sessions leaked"
+        assert _settle(
+            lambda: ResultStore.open_count() <= store_baseline), \
+            f"{ResultStore.open_count() - store_baseline} stores leaked"
